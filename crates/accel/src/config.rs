@@ -1,0 +1,236 @@
+//! Accelerator configuration: PE array geometry, buffers, DRAM channel,
+//! nonlinear unit and the data-format specialisation (Fig. 7).
+
+use bbal_arith::{GateLibrary, PeKind, ProcessingElement};
+use bbal_core::{BbfpConfig, BfpConfig};
+use bbal_mem::{DramChannel, SramMacro};
+use bbal_nonlinear::NonlinearUnitConfig;
+
+/// The data format an accelerator instance is specialised for: fixes the
+/// PE microarchitecture and the storage bits per element.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FormatSpec {
+    /// PE microarchitecture.
+    pub pe: PeKind,
+    /// Storage bits per weight element (shared exponent amortised).
+    pub weight_bits: f64,
+    /// Storage bits per activation element.
+    pub activation_bits: f64,
+}
+
+impl FormatSpec {
+    /// Specification for a BFP format.
+    pub fn bfp(mantissa_bits: u8) -> FormatSpec {
+        let cost = BfpConfig::new(mantissa_bits)
+            .expect("valid BFP width")
+            .cost();
+        FormatSpec {
+            pe: PeKind::Bfp(mantissa_bits),
+            weight_bits: cost.equivalent_bit_width,
+            activation_bits: cost.equivalent_bit_width,
+        }
+    }
+
+    /// Specification for a BBFP format.
+    pub fn bbfp(mantissa_bits: u8, overlap_bits: u8) -> FormatSpec {
+        let cost = BbfpConfig::new(mantissa_bits, overlap_bits)
+            .expect("valid BBFP config")
+            .cost();
+        FormatSpec {
+            pe: PeKind::Bbfp(mantissa_bits, overlap_bits),
+            weight_bits: cost.equivalent_bit_width,
+            activation_bits: cost.equivalent_bit_width,
+        }
+    }
+
+    /// Specification for the Oltron baseline: 4-bit body plus the
+    /// amortised outlier side-band (3 × 8-bit slots per 128 elements).
+    pub fn oltron() -> FormatSpec {
+        let bits = 5.0 + (3.0 * 8.0) / 128.0;
+        FormatSpec {
+            pe: PeKind::Oltron,
+            weight_bits: bits,
+            activation_bits: bits,
+        }
+    }
+
+    /// Specification for the Olive baseline: 4-bit pairs (outliers reuse
+    /// the victim's bits) plus a 1-bit pair marker.
+    pub fn olive() -> FormatSpec {
+        let bits = 5.0 + 0.5;
+        FormatSpec {
+            pe: PeKind::Olive,
+            weight_bits: bits,
+            activation_bits: bits,
+        }
+    }
+
+    /// Looks a spec up by the method names used in the figures.
+    pub fn by_name(name: &str) -> Option<FormatSpec> {
+        match name {
+            "Oltron" => Some(FormatSpec::oltron()),
+            "Olive" => Some(FormatSpec::olive()),
+            "BFP4" => Some(FormatSpec::bfp(4)),
+            "BFP6" => Some(FormatSpec::bfp(6)),
+            "BBFP(3,1)" => Some(FormatSpec::bbfp(3, 1)),
+            "BBFP(3,2)" => Some(FormatSpec::bbfp(3, 2)),
+            "BBFP(4,2)" => Some(FormatSpec::bbfp(4, 2)),
+            "BBFP(4,3)" => Some(FormatSpec::bbfp(4, 3)),
+            "BBFP(6,3)" => Some(FormatSpec::bbfp(6, 3)),
+            "BBFP(6,4)" => Some(FormatSpec::bbfp(6, 4)),
+            "BBFP(6,5)" => Some(FormatSpec::bbfp(6, 5)),
+            _ => None,
+        }
+    }
+}
+
+/// Full accelerator configuration (Fig. 7's organisation).
+#[derive(Debug, Clone)]
+pub struct AcceleratorConfig {
+    /// Data format specialisation.
+    pub format: FormatSpec,
+    /// PE array rows (the weight-stationary `k` dimension).
+    pub pe_rows: usize,
+    /// PE array columns (the output `n` dimension).
+    pub pe_cols: usize,
+    /// Clock frequency in GHz.
+    pub clock_ghz: f64,
+    /// Input (activation) buffer.
+    pub input_buffer: SramMacro,
+    /// Weight buffer.
+    pub weight_buffer: SramMacro,
+    /// Output buffer.
+    pub output_buffer: SramMacro,
+    /// External memory channel.
+    pub dram: DramChannel,
+    /// Nonlinear unit configuration.
+    pub nonlinear: NonlinearUnitConfig,
+}
+
+impl AcceleratorConfig {
+    /// The paper's BBAL instance: a 16×16 BBFP(4,2) PE array with 64 KiB
+    /// input/weight buffers and a 32 KiB output buffer at 1 GHz.
+    pub fn bbal_paper() -> AcceleratorConfig {
+        AcceleratorConfig::with_format(FormatSpec::bbfp(4, 2), 16, 16)
+    }
+
+    /// An instance with a chosen format and PE array geometry, using the
+    /// paper's buffer sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension is zero.
+    pub fn with_format(format: FormatSpec, pe_rows: usize, pe_cols: usize) -> AcceleratorConfig {
+        assert!(pe_rows > 0 && pe_cols > 0);
+        AcceleratorConfig {
+            format,
+            pe_rows,
+            pe_cols,
+            clock_ghz: 1.0,
+            input_buffer: SramMacro::new(64 * 1024, 256).expect("valid macro"),
+            weight_buffer: SramMacro::new(64 * 1024, 256).expect("valid macro"),
+            output_buffer: SramMacro::new(32 * 1024, 256).expect("valid macro"),
+            dram: DramChannel::lpddr4(),
+            nonlinear: NonlinearUnitConfig::paper(),
+        }
+    }
+
+    /// Replaces the input/weight buffers with macros of `bytes` capacity
+    /// (output buffer scaled to half).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is too small for the 256-bit port.
+    pub fn with_buffer_bytes(mut self, bytes: u64) -> AcceleratorConfig {
+        self.input_buffer = SramMacro::new(bytes, 256).expect("valid macro");
+        self.weight_buffer = SramMacro::new(bytes, 256).expect("valid macro");
+        self.output_buffer = SramMacro::new((bytes / 2).max(64), 256).expect("valid macro");
+        self
+    }
+
+    /// Number of PEs.
+    pub fn pe_count(&self) -> usize {
+        self.pe_rows * self.pe_cols
+    }
+
+    /// Area of the PE array in µm² (type-① PEs on the first row carry the
+    /// shared-exponent adder; the rest bypass, per Fig. 7).
+    pub fn pe_array_area_um2(&self, lib: &GateLibrary) -> f64 {
+        let with_adder = ProcessingElement::with_exponent_adder(self.format.pe)
+            .cost(lib)
+            .area_um2;
+        let with_bypass = ProcessingElement::with_exponent_bypass(self.format.pe)
+            .cost(lib)
+            .area_um2;
+        self.pe_cols as f64 * with_adder + (self.pe_count() - self.pe_cols) as f64 * with_bypass
+    }
+
+    /// Leakage of the PE array plus buffers, in mW.
+    pub fn static_power_mw(&self, lib: &GateLibrary) -> f64 {
+        let pe_leak_nw = ProcessingElement::with_exponent_adder(self.format.pe)
+            .cost(lib)
+            .leakage_nw;
+        let pe_mw = pe_leak_nw * self.pe_count() as f64 / 1.0e6;
+        pe_mw
+            + self.input_buffer.leakage_mw()
+            + self.weight_buffer.leakage_mw()
+            + self.output_buffer.leakage_mw()
+    }
+
+    /// Per-MAC core energy in pJ.
+    pub fn pe_energy_pj(&self, lib: &GateLibrary) -> f64 {
+        ProcessingElement::with_exponent_adder(self.format.pe)
+            .cost(lib)
+            .energy_pj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_dimensions() {
+        let c = AcceleratorConfig::bbal_paper();
+        assert_eq!(c.pe_count(), 256);
+        assert_eq!(c.format.pe, PeKind::Bbfp(4, 2));
+    }
+
+    #[test]
+    fn format_bits_match_core_costs() {
+        let bfp6 = FormatSpec::bfp(6);
+        assert!((bfp6.weight_bits - 7.15625).abs() < 1e-9);
+        let bbfp42 = FormatSpec::bbfp(4, 2);
+        assert!((bbfp42.weight_bits - (4.0 + 2.0 + 5.0 / 32.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn by_name_covers_fig8_lineup() {
+        for name in [
+            "Oltron", "Olive", "BFP4", "BFP6", "BBFP(3,1)", "BBFP(3,2)", "BBFP(4,2)",
+            "BBFP(4,3)", "BBFP(6,3)", "BBFP(6,4)", "BBFP(6,5)",
+        ] {
+            assert!(FormatSpec::by_name(name).is_some(), "{name}");
+        }
+        assert!(FormatSpec::by_name("FP64").is_none());
+    }
+
+    #[test]
+    fn pe_array_area_scales_with_count() {
+        let lib = GateLibrary::default();
+        let small = AcceleratorConfig::with_format(FormatSpec::bbfp(4, 2), 8, 8);
+        let large = AcceleratorConfig::with_format(FormatSpec::bbfp(4, 2), 16, 16);
+        let ratio = large.pe_array_area_um2(&lib) / small.pe_array_area_um2(&lib);
+        assert!((3.9..4.1).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn static_power_includes_buffers() {
+        let lib = GateLibrary::default();
+        let c = AcceleratorConfig::bbal_paper();
+        let buffers_only = c.input_buffer.leakage_mw()
+            + c.weight_buffer.leakage_mw()
+            + c.output_buffer.leakage_mw();
+        assert!(c.static_power_mw(&lib) > buffers_only);
+    }
+}

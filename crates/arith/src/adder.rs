@@ -1,0 +1,300 @@
+//! Adders: ripple-carry, the paper's carry chain, and the sparse
+//! partial-sum adder that combines them (paper §IV-A, Fig. 5(b)).
+//!
+//! The BBFP product of Fig. 5(a) has a *structured* zero pattern: its top
+//! `2(m−o)` bits are constant zero unless both operands were flagged. When
+//! adding such a product into a running partial sum, the upper bits see
+//! `b = 0`, so the full adder `S = Ci ⊕ ai ⊕ bi`, `C = ai·bi + Ci(ai ⊕ bi)`
+//! degenerates to `S = Ci ⊕ ai`, `C = Ci·ai` (Eqs. 13–14) — one XOR and one
+//! AND per bit instead of a 5-gate full adder. Replacing a `(12+n)`-bit
+//! adder with a 12-bit adder plus an `n`-bit carry chain is the paper's
+//! "15% resource reduction" claim, which [`SparseAdder::area_saving`]
+//! reproduces.
+
+use crate::gates::{CostSummary, GateCounts, GateLibrary};
+
+/// A `width`-bit ripple-carry adder built from full adders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RippleCarryAdder {
+    /// Operand width in bits.
+    pub width: u32,
+}
+
+impl RippleCarryAdder {
+    /// Creates an adder of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds 63 (simulation headroom in u64).
+    pub fn new(width: u32) -> RippleCarryAdder {
+        assert!(width > 0 && width < 64, "width {width} out of range");
+        RippleCarryAdder { width }
+    }
+
+    /// Structural gate bag: one full adder per bit.
+    pub fn gate_counts(&self) -> GateCounts {
+        GateCounts::full_adder() * self.width as u64
+    }
+
+    /// Bit-level simulation: returns `(sum, carry_out)` of
+    /// `a + b + carry_in` over `width` bits, computed cell by cell.
+    pub fn simulate(&self, a: u64, b: u64, carry_in: bool) -> (u64, bool) {
+        let mask = (1u64 << self.width) - 1;
+        let (a, b) = (a & mask, b & mask);
+        let mut carry = carry_in;
+        let mut sum = 0u64;
+        for i in 0..self.width {
+            let ai = (a >> i) & 1 == 1;
+            let bi = (b >> i) & 1 == 1;
+            let s = ai ^ bi ^ carry;
+            carry = (ai & bi) | (carry & (ai ^ bi));
+            if s {
+                sum |= 1 << i;
+            }
+        }
+        (sum, carry)
+    }
+
+    /// Physical cost: the critical path ripples through every carry.
+    pub fn cost(&self, lib: &GateLibrary) -> CostSummary {
+        let g = self.gate_counts();
+        // Carry path per cell: XOR (propagate) then AND + OR.
+        let cell_delay = lib.params(crate::gates::GateKind::And2).delay_ps
+            + lib.params(crate::gates::GateKind::Or2).delay_ps;
+        let first = lib.params(crate::gates::GateKind::Xor2).delay_ps;
+        CostSummary {
+            area_um2: g.area_um2(lib),
+            energy_pj: g.energy_pj(lib, 0.25),
+            delay_ps: first + cell_delay * self.width as f64,
+            leakage_nw: g.leakage_nw(lib),
+        }
+    }
+}
+
+/// An `n`-bit carry chain (paper Eqs. 13–14): propagates a carry through
+/// `n` bits of a value whose addend is known to be zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CarryChain {
+    /// Chain length in bits.
+    pub width: u32,
+}
+
+impl CarryChain {
+    /// Creates a chain of the given length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds 63.
+    pub fn new(width: u32) -> CarryChain {
+        assert!(width > 0 && width < 64, "width {width} out of range");
+        CarryChain { width }
+    }
+
+    /// Structural gate bag: one XOR + one AND per bit.
+    pub fn gate_counts(&self) -> GateCounts {
+        GateCounts::carry_chain_cell() * self.width as u64
+    }
+
+    /// Bit-level simulation of `a + carry_in` over `width` bits (the
+    /// second addend is structurally zero): returns `(sum, carry_out)`.
+    pub fn simulate(&self, a: u64, carry_in: bool) -> (u64, bool) {
+        let mask = (1u64 << self.width) - 1;
+        let a = a & mask;
+        let mut carry = carry_in;
+        let mut sum = 0u64;
+        for i in 0..self.width {
+            let ai = (a >> i) & 1 == 1;
+            let s = ai ^ carry; // Eq. 13
+            carry = ai & carry; // Eq. 14
+            if s {
+                sum |= 1 << i;
+            }
+        }
+        (sum, carry)
+    }
+
+    /// Physical cost: the carry path is a single AND per cell.
+    pub fn cost(&self, lib: &GateLibrary) -> CostSummary {
+        let g = self.gate_counts();
+        let cell_delay = lib.params(crate::gates::GateKind::And2).delay_ps;
+        CostSummary {
+            area_um2: g.area_um2(lib),
+            energy_pj: g.energy_pj(lib, 0.25),
+            delay_ps: cell_delay * self.width as f64,
+            leakage_nw: g.leakage_nw(lib),
+        }
+    }
+}
+
+/// The paper's sparse partial-sum adder: a full `adder_width`-bit ripple
+/// adder for the low bits plus a `chain_width`-bit carry chain for the high
+/// bits where the addend is structurally zero (Fig. 5(b)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SparseAdder {
+    /// Width of the dense low section (e.g. 8 in the paper's example).
+    pub adder_width: u32,
+    /// Width of the sparse high section (e.g. 4 in the paper's example).
+    pub chain_width: u32,
+}
+
+impl SparseAdder {
+    /// Creates a sparse adder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either width is 0 or the total exceeds 63.
+    pub fn new(adder_width: u32, chain_width: u32) -> SparseAdder {
+        assert!(adder_width > 0 && chain_width > 0);
+        assert!(adder_width + chain_width < 64);
+        SparseAdder {
+            adder_width,
+            chain_width,
+        }
+    }
+
+    /// Total width of the replaced dense adder.
+    pub fn total_width(&self) -> u32 {
+        self.adder_width + self.chain_width
+    }
+
+    /// Structural gate bag.
+    pub fn gate_counts(&self) -> GateCounts {
+        RippleCarryAdder::new(self.adder_width).gate_counts()
+            + CarryChain::new(self.chain_width).gate_counts()
+    }
+
+    /// Simulates `a + b` where `b` is guaranteed to fit in the low
+    /// `adder_width` bits (the structured sparsity invariant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` has bits set above `adder_width` — that would violate
+    /// the sparsity pattern the hardware relies on.
+    pub fn simulate(&self, a: u64, b: u64) -> (u64, bool) {
+        assert!(
+            b < (1u64 << self.adder_width),
+            "addend violates the structured sparsity invariant"
+        );
+        let low_mask = (1u64 << self.adder_width) - 1;
+        let low = RippleCarryAdder::new(self.adder_width);
+        let (low_sum, mid_carry) = low.simulate(a & low_mask, b, false);
+        let chain = CarryChain::new(self.chain_width);
+        let (high_sum, carry_out) = chain.simulate(a >> self.adder_width, mid_carry);
+        (low_sum | (high_sum << self.adder_width), carry_out)
+    }
+
+    /// Physical cost (critical path: ripple then chain).
+    pub fn cost(&self, lib: &GateLibrary) -> CostSummary {
+        let low = RippleCarryAdder::new(self.adder_width).cost(lib);
+        let high = CarryChain::new(self.chain_width).cost(lib);
+        CostSummary {
+            area_um2: low.area_um2 + high.area_um2,
+            energy_pj: low.energy_pj + high.energy_pj,
+            delay_ps: low.delay_ps + high.delay_ps,
+            leakage_nw: low.leakage_nw + high.leakage_nw,
+        }
+    }
+
+    /// Fractional area saving versus the dense adder of the same total
+    /// width — the paper's "15% reduction" for the 8+4 configuration.
+    pub fn area_saving(&self, lib: &GateLibrary) -> f64 {
+        let dense = RippleCarryAdder::new(self.total_width()).cost(lib).area_um2;
+        let sparse = self.cost(lib).area_um2;
+        1.0 - sparse / dense
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ripple_adder_matches_integer_addition() {
+        let adder = RippleCarryAdder::new(12);
+        for (a, b, cin) in [
+            (0u64, 0u64, false),
+            (4095, 1, false),
+            (2048, 2048, false),
+            (123, 456, true),
+            (4095, 4095, true),
+        ] {
+            let (sum, cout) = adder.simulate(a, b, cin);
+            let exact = (a & 0xFFF) + (b & 0xFFF) + cin as u64;
+            assert_eq!(sum, exact & 0xFFF, "a={a} b={b}");
+            assert_eq!(cout, exact >> 12 != 0, "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn carry_chain_matches_increment() {
+        let chain = CarryChain::new(4);
+        for a in 0u64..16 {
+            for cin in [false, true] {
+                let (sum, cout) = chain.simulate(a, cin);
+                let exact = a + cin as u64;
+                assert_eq!(sum, exact & 0xF, "a={a} cin={cin}");
+                assert_eq!(cout, exact >> 4 != 0, "a={a} cin={cin}");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_adder_equals_dense_adder_under_invariant() {
+        let sparse = SparseAdder::new(8, 4);
+        let dense = RippleCarryAdder::new(12);
+        for a in (0u64..4096).step_by(37) {
+            for b in (0u64..256).step_by(13) {
+                let (s1, c1) = sparse.simulate(a, b);
+                let (s2, c2) = dense.simulate(a, b, false);
+                assert_eq!((s1, c1), (s2, c2), "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sparsity invariant")]
+    fn sparse_adder_rejects_wide_addend() {
+        SparseAdder::new(8, 4).simulate(0, 0x100);
+    }
+
+    #[test]
+    fn paper_15_percent_saving_at_8_plus_4() {
+        // §IV-A: "by replacing the 12-bit adder with an 8-bit adder and a
+        // 4-bit carry chain, the adder unit achieves a 15% reduction in
+        // resource consumption."
+        let lib = GateLibrary::default();
+        let saving = SparseAdder::new(8, 4).area_saving(&lib);
+        assert!(
+            (0.10..=0.25).contains(&saving),
+            "expected ~15% saving, got {:.1}%",
+            saving * 100.0
+        );
+    }
+
+    #[test]
+    fn saving_grows_with_chain_fraction() {
+        // §IV-A: "as the BBFP bit-width increases and the number of
+        // overlapping bits decreases, the optimization effect becomes
+        // increasingly pronounced."
+        let lib = GateLibrary::default();
+        let small = SparseAdder::new(12, 2).area_saving(&lib);
+        let large = SparseAdder::new(12, 6).area_saving(&lib);
+        assert!(large > small, "{large} <= {small}");
+    }
+
+    #[test]
+    fn chain_is_cheaper_and_faster_than_adder() {
+        let lib = GateLibrary::default();
+        let chain = CarryChain::new(6).cost(&lib);
+        let adder = RippleCarryAdder::new(6).cost(&lib);
+        assert!(chain.area_um2 < adder.area_um2);
+        assert!(chain.delay_ps < adder.delay_ps);
+        assert!(chain.energy_pj < adder.energy_pj);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_width_adder_rejected() {
+        RippleCarryAdder::new(0);
+    }
+}

@@ -1,0 +1,246 @@
+//! Carry-save reduction: 3:2 compressors and Wallace-style adder trees.
+//!
+//! The block MAC's partial-product reduction can be built either as a
+//! binary tree of carry-propagate adders (what [`crate::mac`] costs, and
+//! what the paper's carry-chain optimisation targets) or as a carry-save
+//! tree that defers carry propagation to one final adder. This module
+//! provides the latter as a measured design alternative: same gate count
+//! to first order, far shorter critical path — the classic EDA trade
+//! against the simplicity (and sparsity-friendliness) of ripple adders.
+
+use crate::adder::RippleCarryAdder;
+use crate::gates::{CostSummary, GateCounts, GateKind, GateLibrary};
+
+/// A `width`-bit 3:2 carry-save compressor row (one full adder per bit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CarrySaveRow {
+    /// Bit width.
+    pub width: u32,
+}
+
+impl CarrySaveRow {
+    /// Creates a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or ≥ 63.
+    pub fn new(width: u32) -> CarrySaveRow {
+        assert!(width > 0 && width < 63);
+        CarrySaveRow { width }
+    }
+
+    /// Structural gate bag: one full adder per bit.
+    pub fn gate_counts(&self) -> GateCounts {
+        GateCounts::full_adder() * self.width as u64
+    }
+
+    /// Compresses three addends into `(sum, carry)` with
+    /// `a + b + c == sum + (carry << 1)` (no carry propagation).
+    pub fn compress(&self, a: u64, b: u64, c: u64) -> (u64, u64) {
+        let mask = (1u64 << self.width) - 1;
+        let (a, b, c) = (a & mask, b & mask, c & mask);
+        let sum = a ^ b ^ c;
+        let carry = (a & b) | (b & c) | (a & c);
+        (sum, carry)
+    }
+
+    /// Physical cost: a single full-adder delay regardless of width.
+    pub fn cost(&self, lib: &GateLibrary) -> CostSummary {
+        let g = self.gate_counts();
+        CostSummary {
+            area_um2: g.area_um2(lib),
+            energy_pj: g.energy_pj(lib, 0.3),
+            delay_ps: 2.0 * lib.params(GateKind::Xor2).delay_ps,
+            leakage_nw: g.leakage_nw(lib),
+        }
+    }
+}
+
+/// A Wallace-style carry-save tree reducing `inputs` addends of
+/// `input_width` bits to one result through 3:2 rows plus a final
+/// carry-propagate adder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CsaTree {
+    /// Number of addends.
+    pub inputs: u32,
+    /// Width of each addend.
+    pub input_width: u32,
+}
+
+impl CsaTree {
+    /// Creates a tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `inputs >= 3` and the result width fits u64.
+    pub fn new(inputs: u32, input_width: u32) -> CsaTree {
+        assert!(inputs >= 3);
+        assert!(input_width > 0);
+        assert!(input_width + 32 - inputs.leading_zeros() < 63, "result too wide");
+        CsaTree { inputs, input_width }
+    }
+
+    /// Width of the final sum: input width plus `ceil(log2(inputs))`.
+    pub fn result_width(&self) -> u32 {
+        self.input_width + (32 - (self.inputs - 1).leading_zeros())
+    }
+
+    /// Number of 3:2 compressor rows: each row removes one operand, so
+    /// reducing `n` operands to 2 takes `n − 2` rows.
+    pub fn compressor_rows(&self) -> u32 {
+        self.inputs - 2
+    }
+
+    /// Reduction depth in carry-save levels (`log_{3/2}`-ish).
+    pub fn depth(&self) -> u32 {
+        let mut n = self.inputs;
+        let mut d = 0;
+        while n > 2 {
+            n = n - n / 3; // each level turns groups of 3 into 2
+            d += 1;
+        }
+        d
+    }
+
+    /// Structural gate bag: compressor rows at result width plus the
+    /// final carry-propagate adder.
+    pub fn gate_counts(&self) -> GateCounts {
+        let w = self.result_width() as u64;
+        let mut g = GateCounts::full_adder() * (self.compressor_rows() as u64 * w);
+        g += RippleCarryAdder::new(self.result_width()).gate_counts();
+        g
+    }
+
+    /// Sums the addends exactly (values masked to the input width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != inputs`.
+    pub fn simulate(&self, values: &[u64]) -> u64 {
+        assert_eq!(values.len(), self.inputs as usize);
+        let in_mask = (1u64 << self.input_width) - 1;
+        let out_mask = (1u64 << self.result_width()) - 1;
+        let row = CarrySaveRow::new(self.result_width());
+        let mut pending: Vec<u64> = values.iter().map(|v| v & in_mask).collect();
+        while pending.len() > 2 {
+            let mut next = Vec::with_capacity(pending.len() * 2 / 3 + 1);
+            for chunk in pending.chunks(3) {
+                match *chunk {
+                    [a, b, c] => {
+                        let (s, cy) = row.compress(a, b, c);
+                        next.push(s & out_mask);
+                        next.push((cy << 1) & out_mask);
+                    }
+                    [a, b] => {
+                        next.push(a);
+                        next.push(b);
+                    }
+                    [a] => next.push(a),
+                    _ => unreachable!("chunks of 3"),
+                }
+            }
+            pending = next;
+        }
+        let final_adder = RippleCarryAdder::new(self.result_width());
+        let a = pending.first().copied().unwrap_or(0);
+        let b = pending.get(1).copied().unwrap_or(0);
+        final_adder.simulate(a, b, false).0
+    }
+
+    /// Physical cost: tree depth in compressor delays plus one
+    /// carry-propagate adder.
+    pub fn cost(&self, lib: &GateLibrary) -> CostSummary {
+        let g = self.gate_counts();
+        let row = CarrySaveRow::new(self.result_width());
+        CostSummary {
+            area_um2: g.area_um2(lib),
+            energy_pj: g.energy_pj(lib, 0.3),
+            delay_ps: row.cost(lib).delay_ps * self.depth() as f64
+                + RippleCarryAdder::new(self.result_width()).cost(lib).delay_ps,
+            leakage_nw: g.leakage_nw(lib),
+        }
+    }
+
+    /// Cost of the equivalent binary tree of carry-propagate adders — the
+    /// structure [`crate::mac`]'s block MACs charge.
+    pub fn carry_propagate_equivalent(&self, lib: &GateLibrary) -> CostSummary {
+        let levels = 32 - (self.inputs - 1).leading_zeros();
+        let mut area = 0.0;
+        let mut energy = 0.0;
+        let mut delay = 0.0;
+        let mut leak = 0.0;
+        let mut adders = self.inputs / 2;
+        for level in 0..levels {
+            let w = (self.input_width + level + 1).min(self.result_width());
+            let c = RippleCarryAdder::new(w).cost(lib);
+            area += c.area_um2 * adders as f64;
+            energy += c.energy_pj * adders as f64;
+            leak += c.leakage_nw * adders as f64;
+            delay += c.delay_ps;
+            adders = (adders / 2).max(1);
+        }
+        CostSummary { area_um2: area, energy_pj: energy, delay_ps: delay, leakage_nw: leak }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compressor_identity_holds() {
+        let row = CarrySaveRow::new(12);
+        for (a, b, c) in [(0u64, 0u64, 0u64), (5, 9, 3), (4095, 4095, 4095), (17, 2048, 999)] {
+            let (s, cy) = row.compress(a, b, c);
+            assert_eq!(s + (cy << 1), (a & 0xFFF) + (b & 0xFFF) + (c & 0xFFF));
+        }
+    }
+
+    #[test]
+    fn tree_sums_exactly() {
+        let tree = CsaTree::new(8, 8);
+        let values: Vec<u64> = (0..8).map(|i| (i * 37) % 256).collect();
+        let expected: u64 = values.iter().sum();
+        assert_eq!(tree.simulate(&values), expected);
+    }
+
+    #[test]
+    fn tree_sums_worst_case() {
+        let tree = CsaTree::new(32, 8);
+        let values = vec![255u64; 32];
+        assert_eq!(tree.simulate(&values), 255 * 32);
+        assert!(tree.result_width() >= 13);
+    }
+
+    #[test]
+    fn csa_tree_is_faster_than_carry_propagate_tree() {
+        // The classic result: same-order area, much shorter critical path.
+        let lib = GateLibrary::default();
+        let tree = CsaTree::new(32, 8);
+        let csa = tree.cost(&lib);
+        let cpa = tree.carry_propagate_equivalent(&lib);
+        assert!(csa.delay_ps < 0.7 * cpa.delay_ps, "{} vs {}", csa.delay_ps, cpa.delay_ps);
+        // Area within ~2x either way.
+        let ratio = csa.area_um2 / cpa.area_um2;
+        assert!((0.5..2.0).contains(&ratio), "area ratio {ratio}");
+    }
+
+    #[test]
+    fn depth_grows_logarithmically() {
+        assert!(CsaTree::new(8, 8).depth() <= 4);
+        assert!(CsaTree::new(32, 8).depth() <= 8);
+        assert!(CsaTree::new(32, 8).depth() > CsaTree::new(8, 8).depth());
+    }
+
+    #[test]
+    fn row_count_is_inputs_minus_two() {
+        assert_eq!(CsaTree::new(8, 8).compressor_rows(), 6);
+        assert_eq!(CsaTree::new(32, 8).compressor_rows(), 30);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_fewer_than_three_inputs() {
+        CsaTree::new(2, 8);
+    }
+}

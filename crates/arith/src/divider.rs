@@ -1,0 +1,96 @@
+//! Restoring integer divider — the "Div Unit" of the nonlinear computation
+//! unit (paper Fig. 6). Softmax and sigmoid both end with a division; the
+//! paper notes this unit's "full-precision, high-bitwidth integer
+//! multipliers and dividers" are what make its ADP worse than approximate
+//! designs, so the cost model here matters for Table V.
+
+use crate::adder::RippleCarryAdder;
+use crate::gates::{CostSummary, GateCounts, GateKind, GateLibrary};
+
+/// A `width`-bit restoring array divider: `width` stages, each a subtractor
+/// plus a restore mux.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestoringDivider {
+    /// Operand width in bits.
+    pub width: u32,
+}
+
+impl RestoringDivider {
+    /// Creates a divider of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds 31.
+    pub fn new(width: u32) -> RestoringDivider {
+        assert!(width > 0 && width < 32, "width {width} out of range");
+        RestoringDivider { width }
+    }
+
+    /// Structural gate bag: one subtract-and-restore row per quotient bit.
+    pub fn gate_counts(&self) -> GateCounts {
+        let w = self.width as u64;
+        let row = RippleCarryAdder::new(self.width + 1).gate_counts()
+            + GateCounts::new()
+                .with(GateKind::Mux2, w + 1)
+                .with(GateKind::Inv, w + 1); // two's-complement of divisor
+        row * w
+    }
+
+    /// Returns `(quotient, remainder)` of the masked operands; division by
+    /// zero returns `(max, dividend)` as saturating hardware would.
+    pub fn simulate(&self, dividend: u64, divisor: u64) -> (u64, u64) {
+        let mask = (1u64 << self.width) - 1;
+        let (n, d) = (dividend & mask, divisor & mask);
+        if d == 0 {
+            return (mask, n);
+        }
+        (n / d, n % d)
+    }
+
+    /// Physical cost: the restore rows ripple sequentially.
+    pub fn cost(&self, lib: &GateLibrary) -> CostSummary {
+        let g = self.gate_counts();
+        let row_delay = RippleCarryAdder::new(self.width + 1).cost(lib).delay_ps
+            + lib.params(GateKind::Mux2).delay_ps;
+        CostSummary {
+            area_um2: g.area_um2(lib),
+            energy_pj: g.energy_pj(lib, 0.3),
+            delay_ps: row_delay * self.width as f64,
+            leakage_nw: g.leakage_nw(lib),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn division_matches_integer_semantics() {
+        let div = RestoringDivider::new(8);
+        for n in (0u64..256).step_by(7) {
+            for d in 1u64..16 {
+                let (q, r) = div.simulate(n, d);
+                assert_eq!(q, n / d);
+                assert_eq!(r, n % d);
+            }
+        }
+    }
+
+    #[test]
+    fn divide_by_zero_saturates() {
+        let div = RestoringDivider::new(8);
+        assert_eq!(div.simulate(42, 0), (255, 42));
+    }
+
+    #[test]
+    fn divider_is_expensive() {
+        // A divider should cost several times a same-width multiplier —
+        // the premise of the paper's Table V discussion.
+        let lib = GateLibrary::default();
+        let div = RestoringDivider::new(16).cost(&lib);
+        let mult = crate::multiplier::ArrayMultiplier::new(16).cost(&lib);
+        assert!(div.area_um2 > mult.area_um2);
+        assert!(div.delay_ps > mult.delay_ps);
+    }
+}

@@ -1,0 +1,209 @@
+//! Encoders and comparators: leading-one detection (FP normalisation and
+//! the FP encoder of the BBAL datapath), magnitude comparison (the max
+//! unit shared between the output path and the nonlinear unit).
+
+use crate::gates::{CostSummary, GateCounts, GateKind, GateLibrary};
+
+/// A leading-one detector / priority encoder over `width` bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeadingOneDetector {
+    /// Input width in bits.
+    pub width: u32,
+}
+
+impl LeadingOneDetector {
+    /// Creates a detector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or ≥ 64.
+    pub fn new(width: u32) -> LeadingOneDetector {
+        assert!(width > 0 && width < 64);
+        LeadingOneDetector { width }
+    }
+
+    /// Structural gate bag: a priority chain of AND/NOT pairs plus the
+    /// one-hot to binary encoder (~1 OR per input bit per output bit).
+    pub fn gate_counts(&self) -> GateCounts {
+        let n = self.width as u64;
+        let out_bits = (64 - (self.width as u64 - 1).leading_zeros()) as u64;
+        GateCounts::new()
+            .with(GateKind::And2, n)
+            .with(GateKind::Inv, n)
+            .with(GateKind::Or2, n.saturating_mul(out_bits) / 2)
+    }
+
+    /// Returns the bit position of the most significant set bit, or `None`
+    /// if the input is zero.
+    pub fn simulate(&self, value: u64) -> Option<u32> {
+        let mask = (1u64 << self.width) - 1;
+        let v = value & mask;
+        if v == 0 {
+            None
+        } else {
+            Some(63 - v.leading_zeros())
+        }
+    }
+
+    /// Physical cost: the priority chain dominates the delay.
+    pub fn cost(&self, lib: &GateLibrary) -> CostSummary {
+        let g = self.gate_counts();
+        CostSummary {
+            area_um2: g.area_um2(lib),
+            energy_pj: g.energy_pj(lib, 0.2),
+            delay_ps: lib.params(GateKind::And2).delay_ps * self.width as f64 / 2.0,
+            leakage_nw: g.leakage_nw(lib),
+        }
+    }
+}
+
+/// An unsigned magnitude comparator (`a > b`) over `width` bits — the
+/// building block of the BBAL max unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Comparator {
+    /// Operand width in bits.
+    pub width: u32,
+}
+
+impl Comparator {
+    /// Creates a comparator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or ≥ 64.
+    pub fn new(width: u32) -> Comparator {
+        assert!(width > 0 && width < 64);
+        Comparator { width }
+    }
+
+    /// Structural gate bag: per-bit XNOR equality plus a greater-than
+    /// chain.
+    pub fn gate_counts(&self) -> GateCounts {
+        let n = self.width as u64;
+        GateCounts::new()
+            .with(GateKind::Xnor2, n)
+            .with(GateKind::And2, 2 * n)
+            .with(GateKind::Inv, n)
+            .with(GateKind::Or2, n)
+    }
+
+    /// Returns `a > b` over the masked operands.
+    pub fn simulate(&self, a: u64, b: u64) -> bool {
+        let mask = (1u64 << self.width) - 1;
+        (a & mask) > (b & mask)
+    }
+
+    /// Physical cost.
+    pub fn cost(&self, lib: &GateLibrary) -> CostSummary {
+        let g = self.gate_counts();
+        CostSummary {
+            area_um2: g.area_um2(lib),
+            energy_pj: g.energy_pj(lib, 0.2),
+            delay_ps: lib.params(GateKind::And2).delay_ps * self.width as f64 / 2.0
+                + lib.params(GateKind::Or2).delay_ps,
+            leakage_nw: g.leakage_nw(lib),
+        }
+    }
+}
+
+/// A `lanes`-input max-reduction tree of [`Comparator`]s plus selection
+/// muxes — the BBAL "Max Unit" that feeds both the output encoder and the
+/// softmax subtraction (Fig. 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaxTree {
+    /// Number of input lanes (power of two).
+    pub lanes: u32,
+    /// Lane width in bits.
+    pub width: u32,
+}
+
+impl MaxTree {
+    /// Creates a max tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lanes` is a power of two ≥ 2 and `width` fits u64.
+    pub fn new(lanes: u32, width: u32) -> MaxTree {
+        assert!(lanes >= 2 && lanes.is_power_of_two());
+        assert!(width > 0 && width < 64);
+        MaxTree { lanes, width }
+    }
+
+    /// Structural gate bag: `lanes − 1` comparators and mux rows.
+    pub fn gate_counts(&self) -> GateCounts {
+        let nodes = (self.lanes - 1) as u64;
+        let mut g = Comparator::new(self.width).gate_counts() * nodes;
+        g += GateCounts::new().with(GateKind::Mux2, nodes * self.width as u64);
+        g
+    }
+
+    /// Returns the maximum of the lane values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != lanes`.
+    pub fn simulate(&self, values: &[u64]) -> u64 {
+        assert_eq!(values.len(), self.lanes as usize);
+        let mask = (1u64 << self.width) - 1;
+        values.iter().map(|v| v & mask).max().unwrap_or(0)
+    }
+
+    /// Physical cost: `log2(lanes)` comparator levels.
+    pub fn cost(&self, lib: &GateLibrary) -> CostSummary {
+        let g = self.gate_counts();
+        let levels = 31 - self.lanes.leading_zeros();
+        let per_level = Comparator::new(self.width).cost(lib).delay_ps
+            + lib.params(GateKind::Mux2).delay_ps;
+        CostSummary {
+            area_um2: g.area_um2(lib),
+            energy_pj: g.energy_pj(lib, 0.2),
+            delay_ps: per_level * levels as f64,
+            leakage_nw: g.leakage_nw(lib),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lod_finds_msb() {
+        let lod = LeadingOneDetector::new(11);
+        assert_eq!(lod.simulate(0), None);
+        assert_eq!(lod.simulate(1), Some(0));
+        assert_eq!(lod.simulate(0b100), Some(2));
+        assert_eq!(lod.simulate(0x7FF), Some(10));
+        // Masked to width:
+        assert_eq!(lod.simulate(0x800), None);
+    }
+
+    #[test]
+    fn comparator_is_unsigned_gt() {
+        let c = Comparator::new(8);
+        assert!(c.simulate(200, 100));
+        assert!(!c.simulate(100, 200));
+        assert!(!c.simulate(55, 55));
+    }
+
+    #[test]
+    fn max_tree_selects_maximum() {
+        let t = MaxTree::new(8, 16);
+        let vals = [3u64, 9, 1, 65535, 0, 7, 9, 2];
+        assert_eq!(t.simulate(&vals), 65535);
+    }
+
+    #[test]
+    fn max_tree_cost_scales_with_lanes() {
+        let lib = GateLibrary::default();
+        let small = MaxTree::new(4, 16).cost(&lib).area_um2;
+        let big = MaxTree::new(16, 16).cost(&lib).area_um2;
+        assert!(big > 3.0 * small);
+    }
+
+    #[test]
+    #[should_panic]
+    fn max_tree_rejects_non_power_of_two() {
+        MaxTree::new(6, 8);
+    }
+}

@@ -1,0 +1,166 @@
+//! Structural models of the floating-point units in the BBAL datapath:
+//! the FP16 multiplier (baseline MAC), the FP accumulate adder used after
+//! the PE array, and the fixed-point→FP encoder (Fig. 7's "FP Encoder").
+
+use crate::adder::RippleCarryAdder;
+use crate::encoder::{Comparator, LeadingOneDetector};
+use crate::gates::{CostSummary, GateCounts, GateKind, GateLibrary};
+use crate::multiplier::ArrayMultiplier;
+use crate::shifter::BarrelShifter;
+
+/// An IEEE binary16 multiplier: 11×11 significand multiplier, exponent
+/// adder, normalisation and rounding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Fp16Multiplier;
+
+impl Fp16Multiplier {
+    /// Structural gate bag.
+    pub fn gate_counts(&self) -> GateCounts {
+        let mut g = ArrayMultiplier::new(11).gate_counts();
+        // Exponent adder (5-bit plus bias correction).
+        g += RippleCarryAdder::new(6).gate_counts();
+        // Normalisation: 1-bit conditional shift + rounding incrementer.
+        g += GateCounts::new().with(GateKind::Mux2, 11);
+        g += GateCounts::half_adder() * 11;
+        // Sign XOR and exception logic.
+        g += GateCounts::new().with(GateKind::Xor2, 1).with(GateKind::Or2, 4);
+        g
+    }
+
+    /// Physical cost; the significand multiplier dominates the path.
+    pub fn cost(&self, lib: &GateLibrary) -> CostSummary {
+        let g = self.gate_counts();
+        CostSummary {
+            area_um2: g.area_um2(lib),
+            energy_pj: g.energy_pj(lib, 0.3),
+            delay_ps: ArrayMultiplier::new(11).cost(lib).delay_ps
+                + lib.params(GateKind::Mux2).delay_ps
+                + lib.params(GateKind::Xor2).delay_ps,
+            leakage_nw: g.leakage_nw(lib),
+        }
+    }
+}
+
+/// A floating-point accumulate adder with a `mantissa_bits`-wide datapath
+/// (24 for the FP32-precision accumulation BBAL performs after the PE
+/// array): exponent compare, align shifter, mantissa adder, leading-one
+/// detector, normalise shifter and round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FpAccumulator {
+    /// Significand datapath width (24 ≈ FP32).
+    pub mantissa_bits: u32,
+}
+
+impl FpAccumulator {
+    /// Creates an accumulator of the given significand width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width is 0 or ≥ 63.
+    pub fn new(mantissa_bits: u32) -> FpAccumulator {
+        assert!(mantissa_bits > 0 && mantissa_bits < 63);
+        FpAccumulator { mantissa_bits }
+    }
+
+    /// Structural gate bag.
+    pub fn gate_counts(&self) -> GateCounts {
+        let w = self.mantissa_bits;
+        let mut g = GateCounts::new();
+        g += Comparator::new(8).gate_counts(); // exponent compare
+        g += BarrelShifter::new(w, w - 1).gate_counts(); // align
+        g += RippleCarryAdder::new(w + 1).gate_counts(); // mantissa add
+        g += LeadingOneDetector::new(w + 1).gate_counts(); // renormalise
+        g += BarrelShifter::new(w, w - 1).gate_counts(); // normalise shift
+        g += GateCounts::half_adder() * w as u64; // round incrementer
+        g += RippleCarryAdder::new(8).gate_counts(); // exponent update
+        g += GateCounts::new().with(GateKind::Mux2, 2 * w as u64); // operand swap
+        g
+    }
+
+    /// Physical cost: align → add → LOD → normalise dominates.
+    pub fn cost(&self, lib: &GateLibrary) -> CostSummary {
+        let g = self.gate_counts();
+        let w = self.mantissa_bits;
+        let delay = Comparator::new(8).cost(lib).delay_ps
+            + BarrelShifter::new(w, w - 1).cost(lib).delay_ps
+            + RippleCarryAdder::new(w + 1).cost(lib).delay_ps
+            + LeadingOneDetector::new(w + 1).cost(lib).delay_ps
+            + BarrelShifter::new(w, w - 1).cost(lib).delay_ps;
+        CostSummary {
+            area_um2: g.area_um2(lib),
+            energy_pj: g.energy_pj(lib, 0.25),
+            delay_ps: delay,
+            leakage_nw: g.leakage_nw(lib),
+        }
+    }
+}
+
+/// The fixed-point → floating-point encoder (Fig. 7's "FP Encoder"):
+/// leading-one detection, normalising shift and exponent subtraction over
+/// a `width`-bit accumulator value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FpEncoder {
+    /// Fixed-point input width.
+    pub width: u32,
+}
+
+impl FpEncoder {
+    /// Creates an encoder for the given accumulator width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width is 0 or ≥ 63.
+    pub fn new(width: u32) -> FpEncoder {
+        assert!(width > 0 && width < 63);
+        FpEncoder { width }
+    }
+
+    /// Structural gate bag.
+    pub fn gate_counts(&self) -> GateCounts {
+        let mut g = LeadingOneDetector::new(self.width).gate_counts();
+        g += BarrelShifter::new(self.width, self.width - 1).gate_counts();
+        g += RippleCarryAdder::new(6).gate_counts(); // exponent bias adjust
+        g
+    }
+
+    /// Physical cost.
+    pub fn cost(&self, lib: &GateLibrary) -> CostSummary {
+        let g = self.gate_counts();
+        CostSummary {
+            area_um2: g.area_um2(lib),
+            energy_pj: g.energy_pj(lib, 0.25),
+            delay_ps: LeadingOneDetector::new(self.width).cost(lib).delay_ps
+                + BarrelShifter::new(self.width, self.width - 1).cost(lib).delay_ps,
+            leakage_nw: g.leakage_nw(lib),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fp16_multiplier_dwarfs_int_multiplier() {
+        let lib = GateLibrary::default();
+        let fp = Fp16Multiplier.cost(&lib).area_um2;
+        let int8 = ArrayMultiplier::new(8).cost(&lib).area_um2;
+        assert!(fp > 1.5 * int8, "fp {fp} vs int8 {int8}");
+    }
+
+    #[test]
+    fn fp_accumulator_is_much_bigger_than_int_adder() {
+        let lib = GateLibrary::default();
+        let fp = FpAccumulator::new(24).cost(&lib).area_um2;
+        let int = RippleCarryAdder::new(24).cost(&lib).area_um2;
+        assert!(fp > 2.0 * int, "fp {fp} vs int {int}");
+    }
+
+    #[test]
+    fn encoder_cost_grows_with_width() {
+        let lib = GateLibrary::default();
+        let narrow = FpEncoder::new(12).cost(&lib).area_um2;
+        let wide = FpEncoder::new(24).cost(&lib).area_um2;
+        assert!(wide > narrow);
+    }
+}

@@ -1,0 +1,321 @@
+//! Standard-cell gate library and gate-count accounting.
+//!
+//! The BBAL paper reports synthesis results from Design Compiler at
+//! TSMC 28nm. We cannot synthesise RTL here, so every circuit in this crate
+//! is described *structurally* — as a bag of standard cells — and costed
+//! against a 28nm-class gate library. Absolute numbers are calibrated to
+//! land in the same range as the paper's Table I (see
+//! [`GateLibrary::tsmc28_class`]); the experiments only rely on *ratios*
+//! between circuits built from the same library.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul};
+
+/// Primitive cell kinds used by the structural circuits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum GateKind {
+    /// Inverter.
+    Inv,
+    /// 2-input NAND.
+    Nand2,
+    /// 2-input NOR.
+    Nor2,
+    /// 2-input AND.
+    And2,
+    /// 2-input OR.
+    Or2,
+    /// 2-input XOR.
+    Xor2,
+    /// 2-input XNOR.
+    Xnor2,
+    /// 2:1 multiplexer.
+    Mux2,
+    /// D flip-flop (pipeline/buffer register bit).
+    Dff,
+}
+
+/// Per-gate physical parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateParams {
+    /// Cell area in µm².
+    pub area_um2: f64,
+    /// Propagation delay in ps (nominal corner, FO4-ish load).
+    pub delay_ps: f64,
+    /// Dynamic energy per output toggle in fJ.
+    pub energy_fj: f64,
+    /// Leakage power in nW.
+    pub leakage_nw: f64,
+}
+
+/// A standard-cell library: parameters for every [`GateKind`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateLibrary {
+    params: BTreeMap<GateKind, GateParams>,
+    /// Human-readable name (e.g. `"tsmc28-class"`).
+    pub name: &'static str,
+}
+
+impl GateLibrary {
+    /// A 28nm-class library.
+    ///
+    /// Values are representative of published 28nm HPM standard-cell data
+    /// (NAND2 ≈ 0.5 µm², ≈ 15 ps, ≈ 1 fJ/toggle) and are *calibrated* so
+    /// that a 32-lane INT8 block MAC lands near the paper's Table I value
+    /// (9257 µm²). Only ratios between circuits matter to the experiments.
+    pub fn tsmc28_class() -> GateLibrary {
+        let mut params = BTreeMap::new();
+        params.insert(GateKind::Inv, GateParams { area_um2: 0.29, delay_ps: 9.0, energy_fj: 0.45, leakage_nw: 1.2 });
+        params.insert(GateKind::Nand2, GateParams { area_um2: 0.49, delay_ps: 14.0, energy_fj: 0.80, leakage_nw: 1.8 });
+        params.insert(GateKind::Nor2, GateParams { area_um2: 0.49, delay_ps: 16.0, energy_fj: 0.85, leakage_nw: 1.8 });
+        params.insert(GateKind::And2, GateParams { area_um2: 0.64, delay_ps: 20.0, energy_fj: 1.00, leakage_nw: 2.2 });
+        params.insert(GateKind::Or2, GateParams { area_um2: 0.64, delay_ps: 21.0, energy_fj: 1.05, leakage_nw: 2.2 });
+        params.insert(GateKind::Xor2, GateParams { area_um2: 1.17, delay_ps: 28.0, energy_fj: 1.90, leakage_nw: 3.4 });
+        params.insert(GateKind::Xnor2, GateParams { area_um2: 1.17, delay_ps: 28.0, energy_fj: 1.90, leakage_nw: 3.4 });
+        params.insert(GateKind::Mux2, GateParams { area_um2: 1.07, delay_ps: 24.0, energy_fj: 1.55, leakage_nw: 3.0 });
+        params.insert(GateKind::Dff, GateParams { area_um2: 2.34, delay_ps: 65.0, energy_fj: 3.10, leakage_nw: 5.6 });
+        GateLibrary { params, name: "tsmc28-class" }
+    }
+
+    /// Parameters of one gate kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the library does not define the kind (the built-in library
+    /// defines all kinds).
+    pub fn params(&self, kind: GateKind) -> GateParams {
+        self.params[&kind]
+    }
+}
+
+impl Default for GateLibrary {
+    fn default() -> Self {
+        GateLibrary::tsmc28_class()
+    }
+}
+
+/// A multiset of gates: the structural description of a circuit.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct GateCounts {
+    counts: BTreeMap<GateKind, u64>,
+}
+
+impl GateCounts {
+    /// An empty gate bag.
+    pub fn new() -> GateCounts {
+        GateCounts::default()
+    }
+
+    /// Adds `n` gates of a kind.
+    pub fn add_gates(&mut self, kind: GateKind, n: u64) -> &mut Self {
+        *self.counts.entry(kind).or_insert(0) += n;
+        self
+    }
+
+    /// Builder-style [`GateCounts::add_gates`].
+    pub fn with(mut self, kind: GateKind, n: u64) -> Self {
+        self.add_gates(kind, n);
+        self
+    }
+
+    /// Count of one kind.
+    pub fn count(&self, kind: GateKind) -> u64 {
+        self.counts.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Total number of gates.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Iterates over `(kind, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (GateKind, u64)> + '_ {
+        self.counts.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// The gate bag of a full adder: 2 XOR + 2 AND + 1 OR.
+    pub fn full_adder() -> GateCounts {
+        GateCounts::new()
+            .with(GateKind::Xor2, 2)
+            .with(GateKind::And2, 2)
+            .with(GateKind::Or2, 1)
+    }
+
+    /// The gate bag of a half adder: 1 XOR + 1 AND.
+    pub fn half_adder() -> GateCounts {
+        GateCounts::new().with(GateKind::Xor2, 1).with(GateKind::And2, 1)
+    }
+
+    /// The gate bag of one carry-chain cell (paper Eqs. 13–14):
+    /// `S = Ci ⊕ ai`, `Cout = Ci·ai` — one XOR and one AND, saving one AND
+    /// and one XOR plus the OR against a full adder.
+    pub fn carry_chain_cell() -> GateCounts {
+        GateCounts::new().with(GateKind::Xor2, 1).with(GateKind::And2, 1)
+    }
+
+    /// Total cell area in µm².
+    pub fn area_um2(&self, lib: &GateLibrary) -> f64 {
+        self.iter().map(|(k, n)| lib.params(k).area_um2 * n as f64).sum()
+    }
+
+    /// Total leakage power in nW.
+    pub fn leakage_nw(&self, lib: &GateLibrary) -> f64 {
+        self.iter().map(|(k, n)| lib.params(k).leakage_nw * n as f64).sum()
+    }
+
+    /// Dynamic energy per operation in pJ, assuming each gate toggles with
+    /// probability `activity` per operation.
+    pub fn energy_pj(&self, lib: &GateLibrary, activity: f64) -> f64 {
+        self.iter()
+            .map(|(k, n)| lib.params(k).energy_fj * n as f64 * activity)
+            .sum::<f64>()
+            / 1000.0
+    }
+}
+
+impl Add for GateCounts {
+    type Output = GateCounts;
+    fn add(mut self, rhs: GateCounts) -> GateCounts {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for GateCounts {
+    fn add_assign(&mut self, rhs: GateCounts) {
+        for (k, n) in rhs.counts {
+            *self.counts.entry(k).or_insert(0) += n;
+        }
+    }
+}
+
+impl Mul<u64> for GateCounts {
+    type Output = GateCounts;
+    fn mul(mut self, rhs: u64) -> GateCounts {
+        for v in self.counts.values_mut() {
+            *v *= rhs;
+        }
+        self
+    }
+}
+
+impl fmt::Display for GateCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (k, n) in self.iter() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k:?}x{n}")?;
+            first = false;
+        }
+        if first {
+            write!(f, "(empty)")?;
+        }
+        Ok(())
+    }
+}
+
+/// A summary of the physical cost of a circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CostSummary {
+    /// Cell area in µm².
+    pub area_um2: f64,
+    /// Dynamic energy per operation in pJ.
+    pub energy_pj: f64,
+    /// Critical-path delay in ps.
+    pub delay_ps: f64,
+    /// Leakage power in nW.
+    pub leakage_nw: f64,
+}
+
+impl CostSummary {
+    /// Area-delay product in µm²·ns (Table V's ADP unit scale).
+    pub fn adp(&self) -> f64 {
+        self.area_um2 * self.delay_ps / 1000.0
+    }
+
+    /// Energy-delay product in pJ·ns (Table V's EDP unit scale).
+    pub fn edp(&self) -> f64 {
+        self.energy_pj * self.delay_ps / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_defines_all_kinds() {
+        let lib = GateLibrary::tsmc28_class();
+        for kind in [
+            GateKind::Inv,
+            GateKind::Nand2,
+            GateKind::Nor2,
+            GateKind::And2,
+            GateKind::Or2,
+            GateKind::Xor2,
+            GateKind::Xnor2,
+            GateKind::Mux2,
+            GateKind::Dff,
+        ] {
+            assert!(lib.params(kind).area_um2 > 0.0);
+        }
+    }
+
+    #[test]
+    fn carry_chain_cell_cheaper_than_full_adder() {
+        // The paper claims the carry chain removes one AND and two XORs
+        // relative to a full adder... (§IV-A: "reduces one AND gate and two
+        // XOR gates"): FA = 2 XOR + 2 AND + 1 OR, chain cell = 1 XOR + 1 AND.
+        let lib = GateLibrary::default();
+        let fa = GateCounts::full_adder();
+        let cc = GateCounts::carry_chain_cell();
+        assert!(cc.area_um2(&lib) < fa.area_um2(&lib));
+        assert_eq!(fa.count(GateKind::Xor2) - cc.count(GateKind::Xor2), 1);
+        assert_eq!(fa.count(GateKind::And2) - cc.count(GateKind::And2), 1);
+        assert_eq!(fa.count(GateKind::Or2) - cc.count(GateKind::Or2), 1);
+    }
+
+    #[test]
+    fn gate_count_arithmetic() {
+        let a = GateCounts::new().with(GateKind::And2, 3);
+        let b = GateCounts::new().with(GateKind::And2, 2).with(GateKind::Xor2, 1);
+        let c = a + b;
+        assert_eq!(c.count(GateKind::And2), 5);
+        assert_eq!(c.count(GateKind::Xor2), 1);
+        assert_eq!(c.total(), 6);
+        let d = c * 4;
+        assert_eq!(d.count(GateKind::And2), 20);
+    }
+
+    #[test]
+    fn area_scales_linearly() {
+        let lib = GateLibrary::default();
+        let one = GateCounts::full_adder();
+        let ten = GateCounts::full_adder() * 10;
+        assert!((ten.area_um2(&lib) - 10.0 * one.area_um2(&lib)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_uses_activity_factor() {
+        let lib = GateLibrary::default();
+        let g = GateCounts::full_adder();
+        let half = g.energy_pj(&lib, 0.5);
+        let full = g.energy_pj(&lib, 1.0);
+        assert!((full - 2.0 * half).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(GateCounts::new().to_string(), "(empty)");
+        assert!(GateCounts::full_adder().to_string().contains("Xor2"));
+    }
+
+    #[test]
+    fn cost_summary_products() {
+        let c = CostSummary { area_um2: 100.0, energy_pj: 2.0, delay_ps: 500.0, leakage_nw: 10.0 };
+        assert!((c.adp() - 50.0).abs() < 1e-12);
+        assert!((c.edp() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,53 @@
+//! # bbal-arith — gate-level arithmetic and area/power/delay estimation
+//!
+//! The BBAL paper synthesises its design with Design Compiler at TSMC 28nm.
+//! This crate is the reproduction's substitute: every datapath block is
+//! described *structurally* (as standard cells), is *bit-accurately
+//! simulable*, and is costed against a 28nm-class [`GateLibrary`].
+//!
+//! * [`adder`] — ripple-carry adders, the paper's carry chain (Eqs. 13–14)
+//!   and the sparse partial-sum adder of Fig. 5(b).
+//! * [`multiplier`] — array multipliers (the mantissa multipliers).
+//! * [`shifter`] — barrel shifters and the Eq. 10 flag-controlled product
+//!   router.
+//! * [`divider`] — the restoring divider used by the nonlinear unit.
+//! * [`encoder`] — leading-one detectors, comparators, max trees.
+//! * [`float`] — FP16 multiplier, FP accumulator, fixed→FP encoder.
+//! * [`mac`] — 32-lane block MAC units (Table I).
+//! * [`pe`] — single weight-stationary PEs (Table III).
+//!
+//! ## Example: the paper's carry-chain saving
+//!
+//! ```
+//! use bbal_arith::adder::SparseAdder;
+//! use bbal_arith::gates::GateLibrary;
+//!
+//! let lib = GateLibrary::default();
+//! let saving = SparseAdder::new(8, 4).area_saving(&lib);
+//! assert!(saving > 0.10); // the paper reports ~15%
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod adder;
+pub mod csa;
+pub mod divider;
+pub mod encoder;
+pub mod float;
+pub mod gates;
+pub mod mac;
+pub mod multiplier;
+pub mod pe;
+pub mod shifter;
+
+pub use adder::{CarryChain, RippleCarryAdder, SparseAdder};
+pub use csa::{CarrySaveRow, CsaTree};
+pub use divider::RestoringDivider;
+pub use encoder::{Comparator, LeadingOneDetector, MaxTree};
+pub use float::{Fp16Multiplier, FpAccumulator, FpEncoder};
+pub use gates::{CostSummary, GateCounts, GateKind, GateLibrary, GateParams};
+pub use mac::{BlockMac, MacKind};
+pub use multiplier::ArrayMultiplier;
+pub use pe::{PeKind, ProcessingElement};
+pub use shifter::{BarrelShifter, FlagShifter};

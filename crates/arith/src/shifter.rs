@@ -1,0 +1,200 @@
+//! Shifters: the logarithmic barrel shifter used by FP alignment, and the
+//! flag-controlled product shifter of the BBFP MAC (paper Eq. 10).
+
+use crate::gates::{CostSummary, GateCounts, GateKind, GateLibrary};
+
+/// A logarithmic barrel shifter: `stages = ceil(log2(max_shift+1))` rows of
+/// 2:1 muxes, each row `width` wide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarrelShifter {
+    /// Data width in bits.
+    pub width: u32,
+    /// Maximum supported shift amount.
+    pub max_shift: u32,
+}
+
+impl BarrelShifter {
+    /// Creates a shifter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or ≥ 64, or `max_shift` is 0.
+    pub fn new(width: u32, max_shift: u32) -> BarrelShifter {
+        assert!(width > 0 && width < 64);
+        assert!(max_shift > 0);
+        BarrelShifter { width, max_shift }
+    }
+
+    /// Number of mux stages.
+    pub fn stages(&self) -> u32 {
+        32 - self.max_shift.leading_zeros()
+    }
+
+    /// Structural gate bag: one mux row per stage.
+    pub fn gate_counts(&self) -> GateCounts {
+        GateCounts::new().with(GateKind::Mux2, (self.width * self.stages()) as u64)
+    }
+
+    /// Simulates a right shift by `amount`, stage by stage.
+    pub fn simulate_right(&self, value: u64, amount: u32) -> u64 {
+        let mask = if self.width == 63 {
+            u64::MAX >> 1
+        } else {
+            (1u64 << self.width) - 1
+        };
+        let mut v = value & mask;
+        for s in 0..self.stages() {
+            if (amount >> s) & 1 == 1 {
+                v >>= 1 << s;
+            }
+        }
+        v
+    }
+
+    /// Simulates a left shift by `amount` (bits shifted beyond `width` are
+    /// dropped, as in hardware).
+    pub fn simulate_left(&self, value: u64, amount: u32) -> u64 {
+        let mask = (1u64 << self.width) - 1;
+        let mut v = value & mask;
+        for s in 0..self.stages() {
+            if (amount >> s) & 1 == 1 {
+                v = (v << (1 << s)) & mask;
+            }
+        }
+        v
+    }
+
+    /// Physical cost: one mux delay per stage.
+    pub fn cost(&self, lib: &GateLibrary) -> CostSummary {
+        let g = self.gate_counts();
+        CostSummary {
+            area_um2: g.area_um2(lib),
+            energy_pj: g.energy_pj(lib, 0.3),
+            delay_ps: lib.params(GateKind::Mux2).delay_ps * self.stages() as f64,
+            leakage_nw: g.leakage_nw(lib),
+        }
+    }
+}
+
+/// The BBFP product shifter (paper Eq. 10): shifts a `2m`-bit product left
+/// by `0`, `gap` or `2·gap` depending on the two operand flags. Implemented
+/// as two cascaded conditional shift-by-`gap` mux rows over the widened
+/// product.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlagShifter {
+    /// Product width before shifting (2m bits).
+    pub product_bits: u32,
+    /// Window gap `m − o`: the per-flag shift amount.
+    pub gap: u32,
+}
+
+impl FlagShifter {
+    /// Creates a flag shifter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is 0 or the widened product exceeds 63 bits.
+    pub fn new(product_bits: u32, gap: u32) -> FlagShifter {
+        assert!(product_bits > 0 && gap > 0);
+        assert!(product_bits + 2 * gap < 64);
+        FlagShifter { product_bits, gap }
+    }
+
+    /// Width of the widened (shifted) product: `2m + 2·gap`.
+    pub fn widened_bits(&self) -> u32 {
+        self.product_bits + 2 * self.gap
+    }
+
+    /// Structural gate bag.
+    ///
+    /// The hardware does not materialise the shifted zeros (that is the
+    /// whole point of the Fig. 5(a) product format): the `2m` product bits
+    /// are *routed* to one of three positions in the partial-sum adder by
+    /// 3:1 selectors over the dense window — ≈1.5 mux2 equivalents per
+    /// product bit — plus the two flag-combination gates.
+    pub fn gate_counts(&self) -> GateCounts {
+        GateCounts::new()
+            .with(GateKind::Mux2, (3 * self.product_bits as u64).div_ceil(2))
+            .with(GateKind::And2, 1) // flag1 & flag2
+            .with(GateKind::Xor2, 1) // flag1 ^ flag2
+    }
+
+    /// Applies the Eq. 10 shift for the given operand flags.
+    pub fn simulate(&self, product: u64, flag_a: bool, flag_b: bool) -> u64 {
+        let mask = (1u64 << self.widened_bits()) - 1;
+        let mut v = product & ((1u64 << self.product_bits) - 1);
+        if flag_a {
+            v = (v << self.gap) & mask;
+        }
+        if flag_b {
+            v = (v << self.gap) & mask;
+        }
+        v
+    }
+
+    /// Physical cost: two mux stages.
+    pub fn cost(&self, lib: &GateLibrary) -> CostSummary {
+        let g = self.gate_counts();
+        CostSummary {
+            area_um2: g.area_um2(lib),
+            energy_pj: g.energy_pj(lib, 0.3),
+            delay_ps: 2.0 * lib.params(GateKind::Mux2).delay_ps,
+            leakage_nw: g.leakage_nw(lib),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn barrel_right_matches_shr() {
+        let sh = BarrelShifter::new(16, 15);
+        for v in [0u64, 1, 0xFFFF, 0xABCD] {
+            for amt in 0..16 {
+                assert_eq!(sh.simulate_right(v, amt), (v & 0xFFFF) >> amt);
+            }
+        }
+    }
+
+    #[test]
+    fn barrel_left_drops_overflow() {
+        let sh = BarrelShifter::new(8, 7);
+        assert_eq!(sh.simulate_left(0xFF, 4), 0xF0);
+        assert_eq!(sh.simulate_left(0x01, 7), 0x80);
+    }
+
+    #[test]
+    fn stage_count_is_log2() {
+        assert_eq!(BarrelShifter::new(8, 7).stages(), 3);
+        assert_eq!(BarrelShifter::new(8, 8).stages(), 4);
+        assert_eq!(BarrelShifter::new(24, 31).stages(), 5);
+    }
+
+    #[test]
+    fn flag_shifter_implements_eq10() {
+        // BBFP(4,2): product 8 bits, gap 2 -> shifts 0 / 2 / 4.
+        let fs = FlagShifter::new(8, 2);
+        assert_eq!(fs.simulate(9, false, false), 9);
+        assert_eq!(fs.simulate(9, true, false), 9 << 2);
+        assert_eq!(fs.simulate(9, false, true), 9 << 2);
+        assert_eq!(fs.simulate(9, true, true), 9 << 4);
+        assert_eq!(fs.widened_bits(), 12);
+    }
+
+    #[test]
+    fn flag_shifter_result_fits_widened_width() {
+        let fs = FlagShifter::new(8, 2);
+        let max_product = 0xFF;
+        assert!(fs.simulate(max_product, true, true) < 1 << 12);
+    }
+
+    #[test]
+    fn wider_product_means_bigger_router() {
+        let lib = GateLibrary::default();
+        let wide = FlagShifter::new(16, 2).cost(&lib).area_um2;
+        let narrow = FlagShifter::new(8, 2).cost(&lib).area_um2;
+        assert!(narrow < wide);
+    }
+}

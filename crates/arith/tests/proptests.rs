@@ -1,0 +1,98 @@
+//! Property-based equivalence tests: every structural circuit must agree
+//! with plain integer semantics on random inputs.
+
+use bbal_arith::{
+    ArrayMultiplier, BarrelShifter, CarryChain, Comparator, FlagShifter, LeadingOneDetector,
+    MaxTree, RestoringDivider, RippleCarryAdder, SparseAdder,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn ripple_adder_equivalence(a in 0u64..(1 << 20), b in 0u64..(1 << 20), cin: bool, w in 1u32..21) {
+        let adder = RippleCarryAdder::new(w);
+        let mask = (1u64 << w) - 1;
+        let (sum, cout) = adder.simulate(a, b, cin);
+        let exact = (a & mask) + (b & mask) + cin as u64;
+        prop_assert_eq!(sum, exact & mask);
+        prop_assert_eq!(cout, exact >> w != 0);
+    }
+
+    #[test]
+    fn carry_chain_equivalence(a in 0u64..(1 << 16), cin: bool, w in 1u32..17) {
+        let chain = CarryChain::new(w);
+        let mask = (1u64 << w) - 1;
+        let (sum, cout) = chain.simulate(a, cin);
+        let exact = (a & mask) + cin as u64;
+        prop_assert_eq!(sum, exact & mask);
+        prop_assert_eq!(cout, exact >> w != 0);
+    }
+
+    #[test]
+    fn sparse_adder_equivalence(a in 0u64..(1 << 16), b in 0u64..(1 << 8)) {
+        let sparse = SparseAdder::new(8, 8);
+        let dense = RippleCarryAdder::new(16);
+        prop_assert_eq!(sparse.simulate(a, b), dense.simulate(a, b, false));
+    }
+
+    #[test]
+    fn multiplier_equivalence(a in 0u64..(1 << 10), b in 0u64..(1 << 10), w in 1u32..11) {
+        let mult = ArrayMultiplier::new(w);
+        let mask = (1u64 << w) - 1;
+        prop_assert_eq!(mult.simulate(a, b), (a & mask) * (b & mask));
+    }
+
+    #[test]
+    fn barrel_shifter_equivalence(v in any::<u64>(), amt in 0u32..16, w in 16u32..32) {
+        let sh = BarrelShifter::new(w, 15);
+        let mask = (1u64 << w) - 1;
+        prop_assert_eq!(sh.simulate_right(v, amt), (v & mask) >> amt);
+        prop_assert_eq!(sh.simulate_left(v, amt), ((v & mask) << amt) & mask);
+    }
+
+    #[test]
+    fn flag_shifter_equivalence(p in 0u64..(1 << 12), fa: bool, fb: bool, gap in 1u32..5) {
+        let fs = FlagShifter::new(12, gap);
+        let shift = (fa as u32 + fb as u32) * gap;
+        prop_assert_eq!(fs.simulate(p, fa, fb), p << shift);
+    }
+
+    #[test]
+    fn divider_equivalence(n in 0u64..(1 << 12), d in 1u64..(1 << 12)) {
+        let div = RestoringDivider::new(12);
+        let (q, r) = div.simulate(n, d);
+        prop_assert_eq!(q, n / d);
+        prop_assert_eq!(r, n % d);
+        // Division invariant.
+        prop_assert_eq!(q * d + r, n);
+    }
+
+    #[test]
+    fn lod_equivalence(v in any::<u64>(), w in 1u32..63) {
+        let lod = LeadingOneDetector::new(w);
+        let mask = (1u64 << w) - 1;
+        let masked = v & mask;
+        let expected = if masked == 0 { None } else { Some(63 - masked.leading_zeros()) };
+        prop_assert_eq!(lod.simulate(v), expected);
+    }
+
+    #[test]
+    fn comparator_equivalence(a in any::<u64>(), b in any::<u64>(), w in 1u32..63) {
+        let c = Comparator::new(w);
+        let mask = (1u64 << w) - 1;
+        prop_assert_eq!(c.simulate(a, b), (a & mask) > (b & mask));
+    }
+
+    #[test]
+    fn max_tree_equivalence(vals in proptest::collection::vec(0u64..(1 << 16), 8)) {
+        let t = MaxTree::new(8, 16);
+        prop_assert_eq!(t.simulate(&vals), *vals.iter().max().unwrap());
+    }
+
+    #[test]
+    fn carry_chain_saving_positive_everywhere(dense in 2u32..24, chain in 1u32..16) {
+        let lib = bbal_arith::GateLibrary::default();
+        let sparse = SparseAdder::new(dense, chain);
+        prop_assert!(sparse.area_saving(&lib) > 0.0);
+    }
+}

@@ -1,0 +1,6 @@
+//! Reproduces the paper's fig1a (see `bbal_bench::experiments::fig1a`).
+
+fn main() -> std::io::Result<()> {
+    let mut out = std::io::stdout().lock();
+    bbal_bench::experiments::fig1a::run(&mut out)
+}

@@ -1,0 +1,6 @@
+//! Reproduces the paper's fig1b (see `bbal_bench::experiments::fig1b`).
+
+fn main() -> std::io::Result<()> {
+    let mut out = std::io::stdout().lock();
+    bbal_bench::experiments::fig1b::run(&mut out)
+}

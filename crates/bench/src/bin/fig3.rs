@@ -1,0 +1,6 @@
+//! Reproduces the paper's fig3 (see `bbal_bench::experiments::fig3`).
+
+fn main() -> std::io::Result<()> {
+    let mut out = std::io::stdout().lock();
+    bbal_bench::experiments::fig3::run(&mut out)
+}

@@ -1,0 +1,6 @@
+//! Reproduces the paper's fig4 (see `bbal_bench::experiments::fig4`).
+
+fn main() -> std::io::Result<()> {
+    let mut out = std::io::stdout().lock();
+    bbal_bench::experiments::fig4::run(&mut out)
+}

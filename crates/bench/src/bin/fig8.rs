@@ -1,0 +1,6 @@
+//! Reproduces the paper's fig8 (see `bbal_bench::experiments::fig8`).
+
+fn main() -> std::io::Result<()> {
+    let mut out = std::io::stdout().lock();
+    bbal_bench::experiments::fig8::run(&mut out)
+}

@@ -1,0 +1,6 @@
+//! Reproduces the paper's fig9 (see `bbal_bench::experiments::fig9`).
+
+fn main() -> std::io::Result<()> {
+    let mut out = std::io::stdout().lock();
+    bbal_bench::experiments::fig9::run(&mut out)
+}

@@ -1,0 +1,19 @@
+//! Runs every table/figure reproduction and writes each to
+//! `results/<name>.txt` as well as stdout.
+
+use std::fs;
+use std::io::Write;
+
+fn main() -> std::io::Result<()> {
+    fs::create_dir_all("results")?;
+    for (name, run) in bbal_bench::experiments::all() {
+        println!("==> {name}");
+        let mut buf: Vec<u8> = Vec::new();
+        run(&mut buf)?;
+        fs::write(format!("results/{name}.txt"), &buf)?;
+        std::io::stdout().write_all(&buf)?;
+        println!();
+    }
+    println!("all results written to results/");
+    Ok(())
+}

@@ -1,0 +1,6 @@
+//! Reproduces the paper's table1 (see `bbal_bench::experiments::table1`).
+
+fn main() -> std::io::Result<()> {
+    let mut out = std::io::stdout().lock();
+    bbal_bench::experiments::table1::run(&mut out)
+}

@@ -1,0 +1,6 @@
+//! Reproduces the paper's table2 (see `bbal_bench::experiments::table2`).
+
+fn main() -> std::io::Result<()> {
+    let mut out = std::io::stdout().lock();
+    bbal_bench::experiments::table2::run(&mut out)
+}

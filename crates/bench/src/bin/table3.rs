@@ -1,0 +1,6 @@
+//! Reproduces the paper's table3 (see `bbal_bench::experiments::table3`).
+
+fn main() -> std::io::Result<()> {
+    let mut out = std::io::stdout().lock();
+    bbal_bench::experiments::table3::run(&mut out)
+}

@@ -1,0 +1,6 @@
+//! Reproduces the paper's table4 (see `bbal_bench::experiments::table4`).
+
+fn main() -> std::io::Result<()> {
+    let mut out = std::io::stdout().lock();
+    bbal_bench::experiments::table4::run(&mut out)
+}

@@ -1,0 +1,6 @@
+//! Reproduces the paper's table5 (see `bbal_bench::experiments::table5`).
+
+fn main() -> std::io::Result<()> {
+    let mut out = std::io::stdout().lock();
+    bbal_bench::experiments::table5::run(&mut out)
+}

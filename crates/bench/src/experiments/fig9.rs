@@ -1,0 +1,84 @@
+//! Fig. 9: normalised energy breakdown (Static / DRAM / Buffer / Core)
+//! under identical PE count and buffer size, 11 methods (nonlinear unit
+//! excluded).
+//!
+//! Paper shape: BBFP at width 3 cuts ~13% of BFP4's energy (smaller PEs →
+//! less static+core energy); BBFP vs BFP at equal mantissa width costs at
+//! most ~5% more (slightly larger PEs, one extra flag bit of DRAM
+//! traffic).
+
+use crate::util::{normalize_by_max, print_table};
+use bbal_accel::{simulate, AcceleratorConfig, FormatSpec};
+use bbal_arith::GateLibrary;
+use bbal_llm::graph::{decoder_ops, paper_dims, Op};
+use std::io::{self, Write};
+
+/// Runs the experiment, printing the reproduced rows.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn run(w: &mut dyn Write) -> io::Result<()> {
+    writeln!(w, "# Fig 9: normalised energy breakdown, equal PE count and buffers\n")?;
+    let lib = GateLibrary::default();
+    // OPT-1.3B-scale decoder with 1 MiB buffers: a workload with
+    // realistic weight reuse so DRAM does not trivially dominate.
+    let dims = paper_dims("OPT-1.3B").expect("known model");
+    // Linear layers only (the paper excludes the nonlinear unit here).
+    let workload: Vec<Op> = decoder_ops(&dims, 256)
+        .into_iter()
+        .filter(|op| !op.is_nonlinear())
+        .collect();
+
+    let methods = [
+        "Oltron", "Olive", "BFP4", "BFP6", "BBFP(3,1)", "BBFP(3,2)", "BBFP(4,2)",
+        "BBFP(4,3)", "BBFP(6,3)", "BBFP(6,4)", "BBFP(6,5)",
+    ];
+
+    let mut names = Vec::new();
+    let mut components: Vec<[f64; 4]> = Vec::new();
+    for name in methods {
+        let spec = FormatSpec::by_name(name).expect("known method");
+        let cfg = AcceleratorConfig::with_format(spec, 16, 16).with_buffer_bytes(1024 * 1024);
+        let report = simulate(&cfg, &workload, &lib);
+        let e = report.energy;
+        names.push(name);
+        components.push([e.static_pj, e.dram_pj, e.buffer_pj, e.core_pj]);
+    }
+
+    let totals: Vec<f64> = components.iter().map(|c| c.iter().sum()).collect();
+    let norm = normalize_by_max(&totals);
+    let rows: Vec<Vec<String>> = names
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            let t = totals[i];
+            vec![
+                name.to_string(),
+                format!("{:.2}", norm[i]),
+                format!("{:.0}%", 100.0 * components[i][0] / t),
+                format!("{:.0}%", 100.0 * components[i][1] / t),
+                format!("{:.0}%", 100.0 * components[i][2] / t),
+                format!("{:.0}%", 100.0 * components[i][3] / t),
+            ]
+        })
+        .collect();
+    print_table(
+        w,
+        &["method", "norm energy", "static", "DRAM", "buffer", "core"],
+        &rows,
+    )?;
+
+    let find = |n: &str| methods.iter().position(|m| *m == n).expect("present");
+    writeln!(
+        w,
+        "\nBBFP(3,1) vs BFP4 energy: {:+.0}% (paper: -13%)",
+        (totals[find("BBFP(3,1)")] / totals[find("BFP4")] - 1.0) * 100.0
+    )?;
+    writeln!(
+        w,
+        "BBFP(6,3) vs BFP6 energy: {:+.0}% (paper: within +5%)",
+        (totals[find("BBFP(6,3)")] / totals[find("BFP6")] - 1.0) * 100.0
+    )?;
+    Ok(())
+}

@@ -1,0 +1,36 @@
+//! One module per paper table/figure; each exposes
+//! `run(w) -> io::Result<()>` printing the reproduced rows/series.
+
+pub mod fig1a;
+pub mod fig1b;
+pub mod fig3;
+pub mod fig4;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+
+use std::io::{self, Write};
+
+/// An experiment's entry point.
+pub type Experiment = fn(&mut dyn Write) -> io::Result<()>;
+
+/// Registry of every reproduction target, in paper order.
+pub fn all() -> Vec<(&'static str, Experiment)> {
+    vec![
+        ("fig1a", fig1a::run as Experiment),
+        ("fig1b", fig1b::run as Experiment),
+        ("fig3", fig3::run as Experiment),
+        ("fig4", fig4::run as Experiment),
+        ("table1", table1::run as Experiment),
+        ("table2", table2::run as Experiment),
+        ("table3", table3::run as Experiment),
+        ("table4", table4::run as Experiment),
+        ("table5", table5::run as Experiment),
+        ("fig8", fig8::run as Experiment),
+        ("fig9", fig9::run as Experiment),
+    ]
+}

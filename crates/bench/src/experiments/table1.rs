@@ -1,0 +1,70 @@
+//! Table I: MAC-unit area and memory efficiency across data formats.
+//!
+//! Paper values (TSMC 28nm, block 32): FP16 39599 / INT8 9257 / BFP8 9371
+//! / BFP6 5633 / BBFP(8,4) 9806 / BBFP(6,3) 5764 µm²; memory efficiencies
+//! 1× / 2× / 1.75× / 2.24× / 1.58× / 1.96×.
+
+use crate::util::print_table;
+use bbal_arith::{BlockMac, GateLibrary, MacKind};
+use bbal_core::{BbfpConfig, BfpConfig};
+use std::io::{self, Write};
+
+/// Paper reference areas for the shape comparison.
+const PAPER: [(&str, f64, f64, f64); 6] = [
+    ("FP16", 39599.0, 16.0, 1.0),
+    ("INT8", 9257.0, 8.0, 2.0),
+    ("BFP8", 9371.0, 9.16, 1.75),
+    ("BFP6", 5633.0, 7.16, 2.24),
+    ("BBFP(8,4)", 9806.0, 10.16, 1.58),
+    ("BBFP(6,3)", 5764.0, 8.16, 1.96),
+];
+
+/// Runs the experiment, printing the reproduced rows.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn run(w: &mut dyn Write) -> io::Result<()> {
+    writeln!(w, "# Table I: MAC unit memory efficiency and area (block size 32)\n")?;
+    let lib = GateLibrary::default();
+    let lineup = [
+        MacKind::Fp16,
+        MacKind::Int(8),
+        MacKind::Bfp(BfpConfig::new(8).expect("valid")),
+        MacKind::Bfp(BfpConfig::new(6).expect("valid")),
+        MacKind::Bbfp(BbfpConfig::new(8, 4).expect("valid")),
+        MacKind::Bbfp(BbfpConfig::new(6, 3).expect("valid")),
+    ];
+
+    let mut rows = Vec::new();
+    let int8_area = BlockMac::new(MacKind::Int(8), 32).cost(&lib).area_um2;
+    for (kind, paper) in lineup.iter().zip(&PAPER) {
+        let (name, area, eqw, eff) = BlockMac::new(*kind, 32).table1_row(&lib);
+        rows.push(vec![
+            name,
+            format!("{area:.0}"),
+            format!("{:.2}", area / int8_area),
+            format!("{:.0}", paper.1),
+            format!("{:.2}", paper.1 / PAPER[1].1),
+            format!("{eqw:.2}"),
+            format!("{eff:.2}x"),
+            format!("{:.2}x", paper.3),
+        ]);
+    }
+    print_table(
+        w,
+        &[
+            "datatype",
+            "area (um^2)",
+            "vs INT8",
+            "paper area",
+            "paper vs INT8",
+            "equiv bits",
+            "mem eff",
+            "paper mem eff",
+        ],
+        &rows,
+    )?;
+    writeln!(w, "\nShape check: FP16 >> INT8 ~= BFP8 > BBFP-premium-over-BFP of a few percent; BBFP(6,3) cheaper than BFP8 with more equivalent range. Memory efficiencies are exact (analytic).")?;
+    Ok(())
+}

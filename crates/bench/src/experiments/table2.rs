@@ -1,0 +1,46 @@
+//! Table II: perplexity of quantised models (12 models × 11 methods).
+//!
+//! Paper shape: FP16 is the anchor row; BFP6/BBFP(6,x) sit within a few
+//! percent of FP16; BFP4 degrades visibly (more on small models and on
+//! OPT); BBFP(4,2) beats BFP4; the outlier-aware baselines (Oltron,
+//! Olive) suffer on the outlier-heavy Llama profile, Olive being worst.
+
+use crate::util::print_table;
+use bbal_llm::{evaluate_ppl, zoo, EvalSet, TransformerModel};
+use bbal_quant::table2_methods;
+use std::io::{self, Write};
+
+/// Runs the experiment, printing the reproduced rows.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn run(w: &mut dyn Write) -> io::Result<()> {
+    writeln!(w, "# Table II: perplexity proxy on the synthetic zoo (lower is better)\n")?;
+    writeln!(w, "PPL proxy = paper FP16 anchor x exp(kl_scale x KL(teacher || student)); see DESIGN.md.\n")?;
+
+    let models = zoo::table2_models();
+    let methods = table2_methods();
+
+    let mut grid: Vec<Vec<String>> = methods
+        .iter()
+        .map(|m| vec![m.name.clone()])
+        .collect();
+
+    for spec in &models {
+        let model = TransformerModel::synthesize(spec);
+        let eval = EvalSet::generate(spec, 2, 24, 1234);
+        for (mi, method) in methods.iter().enumerate() {
+            let r = evaluate_ppl(&model, &method.hooks.as_ref(), &eval);
+            grid[mi].push(format!("{:.2}", r.ppl));
+        }
+    }
+
+    let mut headers: Vec<&str> = vec!["Method"];
+    let names: Vec<&str> = models.iter().map(|m| m.name).collect();
+    headers.extend(names.iter());
+    print_table(w, &headers, &grid)?;
+
+    writeln!(w, "\nShape check: BBFP(6,3)/(6,4) ~= FP16; BBFP(4,2) < BFP4; Olive worst; Oltron hurt more on Llama than OPT.")?;
+    Ok(())
+}

@@ -1,0 +1,12 @@
+//! # bbal-bench — the reproduction harness
+//!
+//! One binary per paper table/figure (`cargo run -p bbal-bench --release
+//! --bin table2`, etc.), a `reproduce_all` binary that regenerates every
+//! result into `results/`, and criterion benchmarks for the hot kernels
+//! and the design-choice ablations called out in `DESIGN.md`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;
+pub mod util;

@@ -1,0 +1,286 @@
+//! Bit-exact packed storage of block-format tensors.
+//!
+//! Table I's memory-efficiency column is realised by an actual memory
+//! layout: per block, the 5-bit shared exponent followed by `N` packed
+//! element payloads — `sign|mantissa` for BFP, `sign|flag|mantissa` for
+//! BBFP — with no padding between fields. This module implements that
+//! layout exactly, so a packed buffer's length matches
+//! [`FormatCost::total_bits`](crate::format::FormatCost::total_bits) and
+//! DRAM-traffic numbers in the simulator correspond to real bytes.
+
+use crate::bbfp::{BbfpBlock, BbfpElement};
+use crate::bfp::BfpBlock;
+use crate::error::FormatError;
+use crate::format::{BbfpConfig, BfpConfig, SHARED_EXPONENT_BITS};
+
+/// A little-endian bit writer.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    bit_len: usize,
+}
+
+impl BitWriter {
+    /// An empty writer.
+    pub fn new() -> BitWriter {
+        BitWriter::default()
+    }
+
+    /// Appends the low `bits` bits of `value` (LSB first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits > 32`.
+    pub fn push(&mut self, value: u32, bits: u32) {
+        assert!(bits <= 32);
+        for i in 0..bits {
+            let bit = (value >> i) & 1;
+            let byte_idx = self.bit_len / 8;
+            if byte_idx == self.bytes.len() {
+                self.bytes.push(0);
+            }
+            self.bytes[byte_idx] |= (bit as u8) << (self.bit_len % 8);
+            self.bit_len += 1;
+        }
+    }
+
+    /// Number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        self.bit_len
+    }
+
+    /// Finishes and returns the packed bytes (last byte zero-padded).
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// A little-endian bit reader over a byte slice.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// A reader starting at bit 0 of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> BitReader<'a> {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Reads `bits` bits (LSB first), or `None` past the end.
+    pub fn read(&mut self, bits: u32) -> Option<u32> {
+        if self.pos + bits as usize > self.bytes.len() * 8 {
+            return None;
+        }
+        let mut v = 0u32;
+        for i in 0..bits {
+            let bit = (self.bytes[self.pos / 8] >> (self.pos % 8)) & 1;
+            v |= (bit as u32) << i;
+            self.pos += 1;
+        }
+        Some(v)
+    }
+
+    /// Current bit position.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+impl BbfpBlock {
+    /// Packs the block into its storage layout: `5`-bit shared exponent,
+    /// then `sign|flag|mantissa` per element.
+    pub fn to_packed_bytes(&self) -> Vec<u8> {
+        let mut w = BitWriter::new();
+        w.push(self.shared_exponent() as u32, SHARED_EXPONENT_BITS);
+        let m = self.config().mantissa_bits() as u32;
+        for e in self.elements() {
+            w.push(e.sign as u32, 1);
+            w.push(e.flag as u32, 1);
+            w.push(e.mantissa as u32, m);
+        }
+        w.into_bytes()
+    }
+
+    /// Exact packed size in bits (matches `FormatCost::total_bits` for one
+    /// block).
+    pub fn packed_bits(&self) -> usize {
+        SHARED_EXPONENT_BITS as usize
+            + self.elements().len() * (2 + self.config().mantissa_bits() as usize)
+    }
+
+    /// Unpacks a block previously packed with
+    /// [`BbfpBlock::to_packed_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::LengthMismatch`] if the buffer is too short
+    /// for the configured block.
+    pub fn from_packed_bytes(bytes: &[u8], config: BbfpConfig) -> Result<BbfpBlock, FormatError> {
+        let mut r = BitReader::new(bytes);
+        let needed = SHARED_EXPONENT_BITS as usize
+            + config.block_size() * (2 + config.mantissa_bits() as usize);
+        if bytes.len() * 8 < needed {
+            return Err(FormatError::LengthMismatch {
+                got: bytes.len() * 8,
+                expected: needed,
+            });
+        }
+        let shared = r.read(SHARED_EXPONENT_BITS).expect("length checked") as i32;
+        let m = config.mantissa_bits() as u32;
+        let mut elements = Vec::with_capacity(config.block_size());
+        for _ in 0..config.block_size() {
+            let sign = r.read(1).expect("length checked") == 1;
+            let flag = r.read(1).expect("length checked") == 1;
+            let mantissa = r.read(m).expect("length checked") as u16;
+            elements.push(BbfpElement { sign, flag, mantissa });
+        }
+        Ok(BbfpBlock::from_raw_parts(config, shared, elements))
+    }
+}
+
+impl BfpBlock {
+    /// Packs the block into its storage layout: `5`-bit shared exponent,
+    /// then `sign|mantissa` per element.
+    pub fn to_packed_bytes(&self) -> Vec<u8> {
+        let mut w = BitWriter::new();
+        w.push(self.shared_exponent() as u32, SHARED_EXPONENT_BITS);
+        let m = self.config().mantissa_bits() as u32;
+        for i in 0..self.mantissas().len() {
+            w.push(self.signs()[i] as u32, 1);
+            w.push(self.mantissas()[i] as u32, m);
+        }
+        w.into_bytes()
+    }
+
+    /// Exact packed size in bits.
+    pub fn packed_bits(&self) -> usize {
+        SHARED_EXPONENT_BITS as usize
+            + self.mantissas().len() * (1 + self.config().mantissa_bits() as usize)
+    }
+
+    /// Unpacks a block previously packed with
+    /// [`BfpBlock::to_packed_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::LengthMismatch`] if the buffer is too short
+    /// for the configured block.
+    pub fn from_packed_bytes(bytes: &[u8], config: BfpConfig) -> Result<BfpBlock, FormatError> {
+        let mut r = BitReader::new(bytes);
+        let needed = SHARED_EXPONENT_BITS as usize
+            + config.block_size() * (1 + config.mantissa_bits() as usize);
+        if bytes.len() * 8 < needed {
+            return Err(FormatError::LengthMismatch {
+                got: bytes.len() * 8,
+                expected: needed,
+            });
+        }
+        let shared = r.read(SHARED_EXPONENT_BITS).expect("length checked") as i32;
+        let m = config.mantissa_bits() as u32;
+        let mut signs = Vec::with_capacity(config.block_size());
+        let mut mantissas = Vec::with_capacity(config.block_size());
+        for _ in 0..config.block_size() {
+            signs.push(r.read(1).expect("length checked") == 1);
+            mantissas.push(r.read(m).expect("length checked") as u16);
+        }
+        Ok(BfpBlock::from_raw_parts(config, shared, signs, mantissas))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> Vec<f32> {
+        (0..32)
+            .map(|i| {
+                let body = ((i * 41 % 97) as f32 - 48.0) * 0.02;
+                if i == 9 {
+                    body * 30.0
+                } else {
+                    body
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bit_writer_reader_round_trip() {
+        let mut w = BitWriter::new();
+        w.push(0b101, 3);
+        w.push(0xFFFF, 16);
+        w.push(0, 1);
+        w.push(0b11, 2);
+        assert_eq!(w.bit_len(), 22);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read(3), Some(0b101));
+        assert_eq!(r.read(16), Some(0xFFFF));
+        assert_eq!(r.read(1), Some(0));
+        assert_eq!(r.read(2), Some(0b11));
+        assert_eq!(r.position(), 22);
+    }
+
+    #[test]
+    fn reader_refuses_overrun() {
+        let bytes = [0xABu8];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read(8), Some(0xAB));
+        assert_eq!(r.read(1), None);
+    }
+
+    #[test]
+    fn bbfp_pack_round_trips() {
+        let cfg = BbfpConfig::new(4, 2).unwrap();
+        let block = BbfpBlock::from_f32_slice(&data(), cfg).unwrap();
+        let bytes = block.to_packed_bytes();
+        let back = BbfpBlock::from_packed_bytes(&bytes, cfg).unwrap();
+        assert_eq!(block, back);
+    }
+
+    #[test]
+    fn bfp_pack_round_trips() {
+        let cfg = BfpConfig::new(6).unwrap();
+        let block = BfpBlock::from_f32_slice(&data(), cfg).unwrap();
+        let bytes = block.to_packed_bytes();
+        let back = BfpBlock::from_packed_bytes(&bytes, cfg).unwrap();
+        assert_eq!(block, back);
+    }
+
+    #[test]
+    fn packed_size_matches_format_cost() {
+        let cfg = BbfpConfig::new(6, 3).unwrap();
+        let block = BbfpBlock::from_f32_slice(&data(), cfg).unwrap();
+        assert_eq!(block.packed_bits() as u64, cfg.cost().total_bits(32));
+        // 32*(6+2)+5 = 261 bits = 33 bytes.
+        assert_eq!(block.to_packed_bytes().len(), 33);
+
+        let bcfg = BfpConfig::new(6).unwrap();
+        let bblock = BfpBlock::from_f32_slice(&data(), bcfg).unwrap();
+        assert_eq!(bblock.packed_bits() as u64, bcfg.cost().total_bits(32));
+    }
+
+    #[test]
+    fn short_buffer_rejected() {
+        let cfg = BbfpConfig::new(4, 2).unwrap();
+        assert!(matches!(
+            BbfpBlock::from_packed_bytes(&[0u8; 4], cfg),
+            Err(FormatError::LengthMismatch { .. })
+        ));
+        let bcfg = BfpConfig::new(4).unwrap();
+        assert!(matches!(
+            BfpBlock::from_packed_bytes(&[0u8; 2], bcfg),
+            Err(FormatError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn packed_memory_density_beats_fp16() {
+        // 32 FP16 values = 64 bytes; BBFP(4,2) = 5 + 32*6 bits = 25 bytes.
+        let cfg = BbfpConfig::new(4, 2).unwrap();
+        let block = BbfpBlock::from_f32_slice(&data(), cfg).unwrap();
+        assert!(block.to_packed_bytes().len() * 2 < 64);
+    }
+}

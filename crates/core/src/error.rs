@@ -1,0 +1,68 @@
+//! Error types for format construction and block encoding.
+
+use std::fmt;
+
+/// Errors produced when constructing format configurations or encoding
+/// blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FormatError {
+    /// The mantissa width is outside the supported `1..=10` range.
+    ///
+    /// The upper limit comes from FP16's 11-bit significand: a block
+    /// mantissa wider than 10 bits cannot be produced by right-shifting an
+    /// 11-bit significand by at least one bit, which the paper's Eq. (4)
+    /// window layout requires.
+    MantissaWidth(u8),
+    /// The overlap width must satisfy `o < m`.
+    OverlapWidth {
+        /// Mantissa width `m` of the offending configuration.
+        mantissa_bits: u8,
+        /// Overlap width `o` of the offending configuration.
+        overlap_bits: u8,
+    },
+    /// Block size must be a positive power of two (hardware blocks are).
+    BlockSize(usize),
+    /// Input slice length does not match the configured block size.
+    LengthMismatch {
+        /// Number of elements supplied.
+        got: usize,
+        /// Block size expected by the configuration.
+        expected: usize,
+    },
+    /// A non-finite value (NaN or infinity) cannot be block-quantised.
+    NonFinite(usize),
+    /// Dot products require both operands to share one configuration.
+    ConfigMismatch,
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::MantissaWidth(m) => {
+                write!(f, "mantissa width {m} outside supported range 1..=10")
+            }
+            FormatError::OverlapWidth {
+                mantissa_bits,
+                overlap_bits,
+            } => write!(
+                f,
+                "overlap width {overlap_bits} must be smaller than mantissa width {mantissa_bits}"
+            ),
+            FormatError::BlockSize(n) => {
+                write!(f, "block size {n} is not a positive power of two")
+            }
+            FormatError::LengthMismatch { got, expected } => {
+                write!(f, "expected {expected} elements per block, got {got}")
+            }
+            FormatError::NonFinite(i) => {
+                write!(f, "non-finite value at index {i} cannot be block-quantised")
+            }
+            FormatError::ConfigMismatch => {
+                write!(f, "operands use different block format configurations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}

@@ -1,0 +1,304 @@
+//! Format configurations and storage-cost accounting.
+//!
+//! The paper writes configurations as `BBFP(m, o)` — an `m`-bit mantissa
+//! with `o` overlap bits — and `BFPm` for vanilla block floating point with
+//! an `m`-bit mantissa. In every configuration the shared exponent is 5 bits
+//! wide (§III-A: "In all configurations, the shared exponent bit-width is
+//! fixed at 5 bits"), matching binary16's exponent field.
+
+use crate::error::FormatError;
+
+/// Shared-exponent width fixed by the paper for all block formats.
+pub const SHARED_EXPONENT_BITS: u32 = 5;
+
+/// Default block size used throughout the paper's evaluation (Table I).
+pub const DEFAULT_BLOCK_SIZE: usize = 32;
+
+/// Configuration of a vanilla BFP format: `m`-bit sign-magnitude mantissas
+/// sharing one 5-bit maximum exponent per block.
+///
+/// # Examples
+///
+/// ```
+/// use bbal_core::BfpConfig;
+/// let bfp6 = BfpConfig::new(6).unwrap();
+/// assert!((bfp6.cost().equivalent_bit_width - 7.15625).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BfpConfig {
+    mantissa_bits: u8,
+    block_size: usize,
+}
+
+impl BfpConfig {
+    /// Creates a `BFPm` configuration with the default block size of 32.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::MantissaWidth`] unless `1 <= m <= 10`.
+    pub fn new(mantissa_bits: u8) -> Result<BfpConfig, FormatError> {
+        BfpConfig::with_block_size(mantissa_bits, DEFAULT_BLOCK_SIZE)
+    }
+
+    /// Creates a `BFPm` configuration with an explicit block size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::MantissaWidth`] unless `1 <= m <= 10`, and
+    /// [`FormatError::BlockSize`] unless the block size is a positive power
+    /// of two.
+    pub fn with_block_size(mantissa_bits: u8, block_size: usize) -> Result<BfpConfig, FormatError> {
+        if mantissa_bits == 0 || mantissa_bits > 10 {
+            return Err(FormatError::MantissaWidth(mantissa_bits));
+        }
+        if block_size == 0 || !block_size.is_power_of_two() {
+            return Err(FormatError::BlockSize(block_size));
+        }
+        Ok(BfpConfig {
+            mantissa_bits,
+            block_size,
+        })
+    }
+
+    /// Mantissa magnitude width `m` (sign stored separately).
+    #[inline]
+    pub fn mantissa_bits(self) -> u8 {
+        self.mantissa_bits
+    }
+
+    /// Number of elements sharing one exponent.
+    #[inline]
+    pub fn block_size(self) -> usize {
+        self.block_size
+    }
+
+    /// Storage cost of this configuration (Table I accounting).
+    pub fn cost(self) -> FormatCost {
+        FormatCost::new(
+            self.block_size,
+            // sign + magnitude per element
+            1 + self.mantissa_bits as u32,
+            SHARED_EXPONENT_BITS,
+        )
+    }
+}
+
+/// Configuration of the paper's BBFP format: `m`-bit mantissas, a 1-bit
+/// high/low flag per element, `o` overlap bits between the two mantissa
+/// windows, and a 5-bit shared exponent per block.
+///
+/// `BBFP(m, o)` requires `o < m`; the *window gap* `m − o` determines both
+/// the default shared-exponent offset (Eq. 9) and the flagged-element scale
+/// factor `f = 2^(m−o)` (Eq. 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BbfpConfig {
+    mantissa_bits: u8,
+    overlap_bits: u8,
+    block_size: usize,
+}
+
+impl BbfpConfig {
+    /// Creates a `BBFP(m, o)` configuration with the default block size 32.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::MantissaWidth`] unless `1 <= m <= 10` and
+    /// [`FormatError::OverlapWidth`] unless `o < m`.
+    pub fn new(mantissa_bits: u8, overlap_bits: u8) -> Result<BbfpConfig, FormatError> {
+        BbfpConfig::with_block_size(mantissa_bits, overlap_bits, DEFAULT_BLOCK_SIZE)
+    }
+
+    /// Creates a `BBFP(m, o)` configuration with an explicit block size.
+    ///
+    /// # Errors
+    ///
+    /// As [`BbfpConfig::new`], plus [`FormatError::BlockSize`] unless the
+    /// block size is a positive power of two.
+    pub fn with_block_size(
+        mantissa_bits: u8,
+        overlap_bits: u8,
+        block_size: usize,
+    ) -> Result<BbfpConfig, FormatError> {
+        if mantissa_bits == 0 || mantissa_bits > 10 {
+            return Err(FormatError::MantissaWidth(mantissa_bits));
+        }
+        if overlap_bits >= mantissa_bits {
+            return Err(FormatError::OverlapWidth {
+                mantissa_bits,
+                overlap_bits,
+            });
+        }
+        if block_size == 0 || !block_size.is_power_of_two() {
+            return Err(FormatError::BlockSize(block_size));
+        }
+        Ok(BbfpConfig {
+            mantissa_bits,
+            overlap_bits,
+            block_size,
+        })
+    }
+
+    /// Mantissa magnitude width `m`.
+    #[inline]
+    pub fn mantissa_bits(self) -> u8 {
+        self.mantissa_bits
+    }
+
+    /// Overlap width `o` between the high and low mantissa windows.
+    #[inline]
+    pub fn overlap_bits(self) -> u8 {
+        self.overlap_bits
+    }
+
+    /// Window gap `m − o`: the left-shift granted to flagged elements and
+    /// the default shared-exponent offset below the block maximum.
+    #[inline]
+    pub fn window_gap(self) -> u8 {
+        self.mantissa_bits - self.overlap_bits
+    }
+
+    /// Scale factor `f = 2^(m−o)` applied to flagged (high-window) mantissas
+    /// (paper Eq. 6).
+    #[inline]
+    pub fn flag_scale(self) -> u32 {
+        1u32 << self.window_gap()
+    }
+
+    /// Number of elements sharing one exponent.
+    #[inline]
+    pub fn block_size(self) -> usize {
+        self.block_size
+    }
+
+    /// Storage cost of this configuration (Table I accounting): sign + flag
+    /// + mantissa per element, shared exponent amortised over the block.
+    pub fn cost(self) -> FormatCost {
+        FormatCost::new(
+            self.block_size,
+            // sign + flag + magnitude per element
+            2 + self.mantissa_bits as u32,
+            SHARED_EXPONENT_BITS,
+        )
+    }
+}
+
+/// Storage cost of a block format, in the units used by the paper's
+/// Table I: *equivalent bit-width* (bits per element once the shared
+/// exponent is amortised) and *memory efficiency* relative to FP16.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FormatCost {
+    /// Bits stored per element, excluding the shared exponent.
+    pub payload_bits_per_element: u32,
+    /// Shared bits amortised across the block (exponent field).
+    pub shared_bits_per_block: u32,
+    /// Elements per block.
+    pub block_size: usize,
+    /// `payload + shared/block_size` — Table I "Equivalent Bit-Width".
+    pub equivalent_bit_width: f64,
+    /// `16 / equivalent_bit_width` — Table I "Mem Eff." (FP16 = 1×).
+    pub memory_efficiency: f64,
+}
+
+impl FormatCost {
+    /// Computes the cost of a format from its per-element and per-block bit
+    /// counts.
+    pub fn new(block_size: usize, payload_bits_per_element: u32, shared_bits_per_block: u32) -> FormatCost {
+        let equivalent =
+            payload_bits_per_element as f64 + shared_bits_per_block as f64 / block_size as f64;
+        FormatCost {
+            payload_bits_per_element,
+            shared_bits_per_block,
+            block_size,
+            equivalent_bit_width: equivalent,
+            memory_efficiency: 16.0 / equivalent,
+        }
+    }
+
+    /// Cost of scalar FP16 (the Table I baseline).
+    pub fn fp16() -> FormatCost {
+        FormatCost::new(1, 16, 0)
+    }
+
+    /// Cost of a scalar fixed-point format of the given total width
+    /// (e.g. INT8).
+    pub fn int(bits: u32) -> FormatCost {
+        FormatCost::new(1, bits, 0)
+    }
+
+    /// Total bits needed to store `n` elements in this format, including
+    /// shared exponents for each full block.
+    pub fn total_bits(&self, n: usize) -> u64 {
+        let blocks = n.div_ceil(self.block_size) as u64;
+        n as u64 * self.payload_bits_per_element as u64 + blocks * self.shared_bits_per_block as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_equivalent_bit_widths() {
+        // Paper Table I: BFP8 -> 9.16, BFP6 -> 7.16, BBFP(8,4) -> 10.16,
+        // BBFP(6,3) -> 8.16 at block size 32.
+        let close = |a: f64, b: f64| (a - b).abs() < 0.01;
+        assert!(close(BfpConfig::new(8).unwrap().cost().equivalent_bit_width, 9.16));
+        assert!(close(BfpConfig::new(6).unwrap().cost().equivalent_bit_width, 7.16));
+        assert!(close(
+            BbfpConfig::new(8, 4).unwrap().cost().equivalent_bit_width,
+            10.16
+        ));
+        assert!(close(
+            BbfpConfig::new(6, 3).unwrap().cost().equivalent_bit_width,
+            8.16
+        ));
+    }
+
+    #[test]
+    fn table1_memory_efficiency() {
+        let close = |a: f64, b: f64| (a - b).abs() < 0.01;
+        assert!(close(FormatCost::fp16().memory_efficiency, 1.0));
+        assert!(close(FormatCost::int(8).memory_efficiency, 2.0));
+        assert!(close(BfpConfig::new(8).unwrap().cost().memory_efficiency, 1.75));
+        assert!(close(BfpConfig::new(6).unwrap().cost().memory_efficiency, 2.24));
+        assert!(close(BbfpConfig::new(8, 4).unwrap().cost().memory_efficiency, 1.58));
+        assert!(close(BbfpConfig::new(6, 3).unwrap().cost().memory_efficiency, 1.96));
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(matches!(BfpConfig::new(0), Err(FormatError::MantissaWidth(0))));
+        assert!(matches!(BfpConfig::new(11), Err(FormatError::MantissaWidth(11))));
+        assert!(matches!(
+            BbfpConfig::new(4, 4),
+            Err(FormatError::OverlapWidth { .. })
+        ));
+        assert!(matches!(
+            BfpConfig::with_block_size(4, 3),
+            Err(FormatError::BlockSize(3))
+        ));
+        assert!(matches!(
+            BbfpConfig::with_block_size(4, 2, 0),
+            Err(FormatError::BlockSize(0))
+        ));
+    }
+
+    #[test]
+    fn window_gap_and_flag_scale() {
+        let c = BbfpConfig::new(4, 2).unwrap();
+        assert_eq!(c.window_gap(), 2);
+        assert_eq!(c.flag_scale(), 4);
+        let c = BbfpConfig::new(10, 5).unwrap();
+        assert_eq!(c.window_gap(), 5);
+        assert_eq!(c.flag_scale(), 32);
+    }
+
+    #[test]
+    fn total_bits_counts_block_exponents() {
+        let c = BfpConfig::new(4).unwrap().cost();
+        // 64 elements = 2 blocks: 64*(4+1) + 2*5.
+        assert_eq!(c.total_bits(64), 64 * 5 + 10);
+        // 33 elements still needs 2 exponents.
+        assert_eq!(c.total_bits(33), 33 * 5 + 10);
+    }
+}

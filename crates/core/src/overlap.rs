@@ -1,0 +1,176 @@
+//! Overlap-width selection — the paper's Algorithm 1.
+//!
+//! Wider overlap reduces truncation error for flagged (left-shifted)
+//! elements, but by Eq. 9 it also raises the shared exponent towards the
+//! block maximum, coarsening everything else — and it changes hardware
+//! cost. Algorithm 1 sweeps `o ∈ 0..m`, evaluates model perplexity and
+//! hardware overhead per candidate, max-normalises both and picks the
+//! candidate minimising `w·overhead + (1−w)·ppl`.
+//!
+//! The PPL and overhead evaluations are injected as closures so the search
+//! can be driven by the real evaluation stack (`bbal-llm` + `bbal-arith`)
+//! or by cheap proxies in tests.
+
+use crate::error::FormatError;
+
+/// Scores for one overlap-width candidate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverlapScore {
+    /// Candidate overlap width.
+    pub overlap: u8,
+    /// Raw perplexity returned by the evaluator.
+    pub ppl: f64,
+    /// Raw hardware overhead returned by the evaluator.
+    pub overhead: f64,
+    /// Perplexity after max-normalisation (Algorithm 1 line 7).
+    pub norm_ppl: f64,
+    /// Overhead after max-normalisation (Algorithm 1 line 8).
+    pub norm_overhead: f64,
+    /// `w · norm_overhead + (1 − w) · norm_ppl` (Algorithm 1 line 9).
+    pub score: f64,
+}
+
+/// Result of an Algorithm 1 sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverlapSearch {
+    /// The selected overlap width (Algorithm 1 line 11).
+    pub best: u8,
+    /// Per-candidate scores, in increasing overlap order.
+    pub scores: Vec<OverlapScore>,
+}
+
+/// Runs Algorithm 1: selects the overlap width for a `BBFP(m, ·)` family.
+///
+/// `overhead_weight` is the paper's `w`: 0 optimises purely for accuracy,
+/// 1 purely for hardware cost.
+///
+/// # Errors
+///
+/// Returns [`FormatError::MantissaWidth`] for an unsupported mantissa
+/// width. Panics are avoided: a `w` outside `[0, 1]` is clamped.
+///
+/// # Examples
+///
+/// ```
+/// use bbal_core::select_overlap_width;
+///
+/// // Toy evaluators: PPL improves with overlap until o = 3 then worsens;
+/// // overhead falls with overlap (narrower adders).
+/// let result = select_overlap_width(
+///     6,
+///     0.5,
+///     |o| 10.0 + (o as f64 - 3.0).powi(2),
+///     |o| 500.0 - 30.0 * o as f64,
+/// ).unwrap();
+/// assert!(result.best >= 2 && result.best <= 5);
+/// ```
+pub fn select_overlap_width<P, H>(
+    mantissa_bits: u8,
+    overhead_weight: f64,
+    mut ppl: P,
+    mut overhead: H,
+) -> Result<OverlapSearch, FormatError>
+where
+    P: FnMut(u8) -> f64,
+    H: FnMut(u8) -> f64,
+{
+    if mantissa_bits == 0 || mantissa_bits > 10 {
+        return Err(FormatError::MantissaWidth(mantissa_bits));
+    }
+    let w = overhead_weight.clamp(0.0, 1.0);
+
+    // Lines 2-5: evaluate every candidate.
+    let mut raw: Vec<(u8, f64, f64)> = Vec::with_capacity(mantissa_bits as usize);
+    for o in 0..mantissa_bits {
+        raw.push((o, ppl(o), overhead(o)));
+    }
+
+    // Lines 6-10: max-normalise and score.
+    let max_ppl = raw.iter().map(|r| r.1).fold(f64::MIN, f64::max).max(f64::MIN_POSITIVE);
+    let max_ovh = raw.iter().map(|r| r.2).fold(f64::MIN, f64::max).max(f64::MIN_POSITIVE);
+    let scores: Vec<OverlapScore> = raw
+        .into_iter()
+        .map(|(o, p, h)| {
+            let norm_ppl = p / max_ppl;
+            let norm_overhead = h / max_ovh;
+            OverlapScore {
+                overlap: o,
+                ppl: p,
+                overhead: h,
+                norm_ppl,
+                norm_overhead,
+                score: w * norm_overhead + (1.0 - w) * norm_ppl,
+            }
+        })
+        .collect();
+
+    // Line 11: argmin (first minimum on ties, i.e. the narrowest overlap).
+    let best = scores
+        .iter()
+        .min_by(|a, b| a.score.partial_cmp(&b.score).expect("scores are finite"))
+        .expect("at least one candidate")
+        .overlap;
+
+    Ok(OverlapSearch { best, scores })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_accuracy_weight_picks_ppl_minimum() {
+        let r = select_overlap_width(6, 0.0, |o| (o as f64 - 4.0).abs() + 1.0, |_| 1.0).unwrap();
+        assert_eq!(r.best, 4);
+    }
+
+    #[test]
+    fn pure_overhead_weight_picks_cheapest() {
+        let r = select_overlap_width(6, 1.0, |_| 1.0, |o| 100.0 - o as f64).unwrap();
+        assert_eq!(r.best, 5);
+    }
+
+    #[test]
+    fn sweeps_all_candidates() {
+        let mut seen = Vec::new();
+        let _ = select_overlap_width(
+            5,
+            0.5,
+            |o| {
+                seen.push(o);
+                1.0
+            },
+            |_| 1.0,
+        )
+        .unwrap();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn normalisation_matches_algorithm() {
+        let r = select_overlap_width(3, 0.5, |o| (o + 1) as f64, |o| (3 - o) as f64).unwrap();
+        // max ppl = 3, max overhead = 3.
+        let s0 = &r.scores[0];
+        assert!((s0.norm_ppl - 1.0 / 3.0).abs() < 1e-12);
+        assert!((s0.norm_overhead - 1.0).abs() < 1e-12);
+        assert!((s0.score - 0.5 * (1.0 / 3.0 + 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_mantissa_rejected() {
+        assert!(select_overlap_width(0, 0.5, |_| 1.0, |_| 1.0).is_err());
+        assert!(select_overlap_width(11, 0.5, |_| 1.0, |_| 1.0).is_err());
+    }
+
+    #[test]
+    fn weight_is_clamped() {
+        let r = select_overlap_width(4, 7.5, |_| 1.0, |o| 10.0 - o as f64).unwrap();
+        assert_eq!(r.best, 3); // behaves as w = 1
+    }
+
+    #[test]
+    fn ties_prefer_narrower_overlap() {
+        let r = select_overlap_width(4, 0.5, |_| 1.0, |_| 1.0).unwrap();
+        assert_eq!(r.best, 0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Shared-exponent selection policies (paper §III-C).
+//!
+//! BFP always aligns to the block maximum exponent. BBFP deliberately does
+//! not: Eq. (9) selects `E_shared = max(E) − (m − o)`, trading a bounded
+//! left-shift of the few largest elements (captured by the flag bit)
+//! against a finer quantisation step for everything else. Fig. 3 of the
+//! paper sweeps the offset — this module reproduces exactly that knob.
+
+use crate::format::BbfpConfig;
+
+/// Biased-exponent range storable in the 5-bit shared-exponent field.
+pub const SHARED_EXPONENT_MAX: i32 = 31;
+
+/// A shared-exponent selection strategy: `E_shared = max(E) − offset`,
+/// clamped to the storable 5-bit range.
+///
+/// The paper's names map as follows for `BBFP(m, o)`:
+///
+/// * `Max`   — BFP-style alignment, offset 0;
+/// * `Max−1` — offset `m − o − 1` (one above the paper default; "more likely
+///   to select larger values as the shared exponent, leading to more
+///   error");
+/// * `Max−2` — the paper default `m − o` (Eq. 9) when `m − o = 2`;
+/// * `Max−3` — offset `m − o + 1` ("significant error due to the left shift
+///   of the most significant bit, moving it out of the truncation range").
+///
+/// # Examples
+///
+/// ```
+/// use bbal_core::{BbfpConfig, ExponentPolicy};
+/// let cfg = BbfpConfig::new(4, 2).unwrap();
+/// assert_eq!(ExponentPolicy::paper_default(cfg).offset(), 2);
+/// assert_eq!(ExponentPolicy::Max.shared_exponent(20), 20);
+/// assert_eq!(ExponentPolicy::MaxMinus(3).shared_exponent(20), 17);
+/// // Clamped so the 5-bit field can store it:
+/// assert_eq!(ExponentPolicy::MaxMinus(3).shared_exponent(1), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExponentPolicy {
+    /// Align to the maximum exponent (vanilla BFP behaviour).
+    Max,
+    /// Align to `max(E) − k`.
+    MaxMinus(u8),
+}
+
+impl ExponentPolicy {
+    /// The paper's Eq. (9) policy for a configuration: offset `m − o`.
+    pub fn paper_default(config: BbfpConfig) -> ExponentPolicy {
+        ExponentPolicy::MaxMinus(config.window_gap())
+    }
+
+    /// The offset subtracted from the block maximum exponent.
+    pub fn offset(self) -> u8 {
+        match self {
+            ExponentPolicy::Max => 0,
+            ExponentPolicy::MaxMinus(k) => k,
+        }
+    }
+
+    /// Computes the shared exponent for a block whose maximum biased
+    /// exponent is `max_exponent`, clamping into the storable `0..=31`
+    /// range of the 5-bit field.
+    pub fn shared_exponent(self, max_exponent: i32) -> i32 {
+        (max_exponent - self.offset() as i32).clamp(0, SHARED_EXPONENT_MAX)
+    }
+}
+
+impl Default for ExponentPolicy {
+    fn default() -> Self {
+        ExponentPolicy::Max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_equals_window_gap() {
+        for (m, o) in [(3u8, 1u8), (4, 2), (4, 3), (6, 3), (6, 4), (10, 5)] {
+            let cfg = BbfpConfig::new(m, o).unwrap();
+            assert_eq!(
+                ExponentPolicy::paper_default(cfg).offset(),
+                m - o,
+                "BBFP({m},{o})"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_exponent_clamps_to_field_range() {
+        assert_eq!(ExponentPolicy::MaxMinus(5).shared_exponent(3), 0);
+        assert_eq!(ExponentPolicy::Max.shared_exponent(40), 31);
+        assert_eq!(ExponentPolicy::MaxMinus(2).shared_exponent(17), 15);
+    }
+
+    #[test]
+    fn max_is_offset_zero() {
+        assert_eq!(ExponentPolicy::Max.offset(), 0);
+        assert_eq!(ExponentPolicy::default(), ExponentPolicy::Max);
+    }
+}

@@ -1,0 +1,110 @@
+//! Integer rounding helpers shared by the block encoders.
+//!
+//! Block conversion shifts an 11-bit FP16 significand right by a data-
+//! dependent amount and keeps the top `m` bits (paper Eq. 4). The paper's
+//! error model (Eq. 8, after Kalliojarvi & Astola) assumes *round to
+//! nearest*; real hardware sometimes truncates to save an incrementer.
+//! Both modes are provided.
+
+/// How dropped mantissa bits are folded into the retained bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RoundingMode {
+    /// Round to nearest, ties to even — the mode assumed by the paper's
+    /// quantisation-error analysis and the default everywhere.
+    #[default]
+    NearestEven,
+    /// Drop the shifted-out bits (hardware truncation).
+    Truncate,
+}
+
+impl RoundingMode {
+    /// Shifts `value` right by `shift` bits, applying this rounding mode.
+    ///
+    /// `shift` may be any size; shifts of 64 or more return 0 (or 1 when a
+    /// value rounds up across the entire width, which cannot happen for the
+    /// 11-bit significands used here but is handled for safety).
+    #[inline]
+    pub fn shift_right(self, value: u64, shift: u32) -> u64 {
+        if shift == 0 {
+            return value;
+        }
+        if shift >= 64 {
+            return 0;
+        }
+        match self {
+            RoundingMode::Truncate => value >> shift,
+            RoundingMode::NearestEven => {
+                let kept = value >> shift;
+                let half = 1u64 << (shift - 1);
+                let rem = value & ((1u64 << shift) - 1);
+                match rem.cmp(&half) {
+                    std::cmp::Ordering::Less => kept,
+                    std::cmp::Ordering::Greater => kept + 1,
+                    std::cmp::Ordering::Equal => kept + (kept & 1),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncate_drops_bits() {
+        assert_eq!(RoundingMode::Truncate.shift_right(0b1011, 2), 0b10);
+        assert_eq!(RoundingMode::Truncate.shift_right(0b1111, 1), 0b111);
+    }
+
+    #[test]
+    fn nearest_even_rounds_half_to_even() {
+        let r = RoundingMode::NearestEven;
+        // 0b101 >> 1: remainder 1 == half, kept 0b10 (even) stays.
+        assert_eq!(r.shift_right(0b101, 1), 0b10);
+        // 0b111 >> 1: remainder 1 == half, kept 0b11 (odd) rounds up.
+        assert_eq!(r.shift_right(0b111, 1), 0b100);
+        // 0b110 >> 1 = 0b11 exactly.
+        assert_eq!(r.shift_right(0b110, 1), 0b11);
+        // Above half always rounds up: 0b1011 >> 2 (rem 3 > 2).
+        assert_eq!(r.shift_right(0b1011, 2), 0b11);
+    }
+
+    #[test]
+    fn zero_shift_is_identity() {
+        assert_eq!(RoundingMode::NearestEven.shift_right(1234, 0), 1234);
+        assert_eq!(RoundingMode::Truncate.shift_right(1234, 0), 1234);
+    }
+
+    #[test]
+    fn large_shift_saturates_to_zero() {
+        assert_eq!(RoundingMode::NearestEven.shift_right(u64::MAX, 64), 0);
+        assert_eq!(RoundingMode::Truncate.shift_right(u64::MAX, 100), 0);
+    }
+
+    #[test]
+    fn nearest_even_matches_float_rounding() {
+        // Cross-check against f64 rounding for a spread of values.
+        for v in 0u64..4096 {
+            for s in 1u32..8 {
+                let got = RoundingMode::NearestEven.shift_right(v, s);
+                let exact = v as f64 / (1u64 << s) as f64;
+                // f64 round-half-even:
+                let want = {
+                    let floor = exact.floor();
+                    let frac = exact - floor;
+                    if frac > 0.5 {
+                        floor + 1.0
+                    } else if frac < 0.5 {
+                        floor
+                    } else if (floor as u64) % 2 == 0 {
+                        floor
+                    } else {
+                        floor + 1.0
+                    }
+                };
+                assert_eq!(got, want as u64, "v={v} s={s}");
+            }
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! Decoder operator graphs at *paper-scale* dimensions.
+//!
+//! The cycle-level simulator (`bbal-accel`) does not need tensors — it
+//! needs operator shapes. This module emits the operator list of one
+//! decoder forward pass at the true dimensions of the paper's models
+//! (Llama-7B = 4096 hidden, 11008 FFN, 32 heads × 32 layers), which is
+//! what Fig. 1(b)'s runtime breakdown sweeps over sequence length.
+
+/// True dimensions of a paper model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PaperDims {
+    /// Hidden width.
+    pub hidden: usize,
+    /// FFN inner width.
+    pub ffn: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Decoder layers.
+    pub layers: usize,
+    /// Whether the FFN is gated (Llama) or plain (OPT).
+    pub gated_ffn: bool,
+}
+
+/// Looks up the published dimensions of a paper model by name.
+pub fn paper_dims(name: &str) -> Option<PaperDims> {
+    let d = match name {
+        "Llama-7B" | "Llama2-7B" => PaperDims { hidden: 4096, ffn: 11008, heads: 32, layers: 32, gated_ffn: true },
+        "Llama-13B" => PaperDims { hidden: 5120, ffn: 13824, heads: 40, layers: 40, gated_ffn: true },
+        "Llama-30B" => PaperDims { hidden: 6656, ffn: 17920, heads: 52, layers: 60, gated_ffn: true },
+        "Llama-65B" => PaperDims { hidden: 8192, ffn: 22016, heads: 64, layers: 80, gated_ffn: true },
+        "Llama3-8B" => PaperDims { hidden: 4096, ffn: 14336, heads: 32, layers: 32, gated_ffn: true },
+        "OPT-1.3B" => PaperDims { hidden: 2048, ffn: 8192, heads: 32, layers: 24, gated_ffn: false },
+        "OPT-2.7B" => PaperDims { hidden: 2560, ffn: 10240, heads: 32, layers: 32, gated_ffn: false },
+        "OPT-6.7B" => PaperDims { hidden: 4096, ffn: 16384, heads: 32, layers: 32, gated_ffn: false },
+        "OPT-13B" => PaperDims { hidden: 5120, ffn: 20480, heads: 40, layers: 40, gated_ffn: false },
+        "OPT-30B" => PaperDims { hidden: 7168, ffn: 28672, heads: 56, layers: 48, gated_ffn: false },
+        "OPT-66B" => PaperDims { hidden: 9216, ffn: 36864, heads: 72, layers: 64, gated_ffn: false },
+        _ => return None,
+    };
+    Some(d)
+}
+
+/// One operator in the decoder graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// A GEMM: `[m × k] · [k × n]`.
+    Gemm {
+        /// Which linear layer this is (for reporting).
+        name: GemmKind,
+        /// Output rows.
+        m: usize,
+        /// Contraction depth.
+        k: usize,
+        /// Output columns.
+        n: usize,
+    },
+    /// Row-wise softmax over an `rows × cols` score matrix.
+    Softmax {
+        /// Number of rows (sequence × heads).
+        rows: usize,
+        /// Row width (keys attended).
+        cols: usize,
+    },
+    /// Elementwise activation over `elems` values.
+    Activation {
+        /// SILU (gated) or GELU.
+        silu: bool,
+        /// Element count.
+        elems: usize,
+    },
+}
+
+/// The linear layers the paper names in Fig. 1(b) and Fig. 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GemmKind {
+    /// Query projection.
+    Query,
+    /// Key projection.
+    Key,
+    /// Value projection.
+    Value,
+    /// Attention score matmul (`q·kᵀ`).
+    AttnScore,
+    /// Attention context matmul (`probs·v`).
+    AttnContext,
+    /// Attention output projection.
+    Proj,
+    /// FFN up (FC1).
+    Fc1,
+    /// FFN gate (Llama only).
+    Gate,
+    /// FFN down (FC2).
+    Fc2,
+}
+
+impl Op {
+    /// Multiply-accumulate count of this operator.
+    pub fn macs(&self) -> u64 {
+        match *self {
+            Op::Gemm { m, k, n, .. } => m as u64 * k as u64 * n as u64,
+            // Softmax/activation are not MACs; they cost nonlinear-unit
+            // cycles instead.
+            Op::Softmax { .. } | Op::Activation { .. } => 0,
+        }
+    }
+
+    /// Number of scalar elements the nonlinear unit must process.
+    pub fn nonlinear_elems(&self) -> u64 {
+        match *self {
+            Op::Gemm { .. } => 0,
+            Op::Softmax { rows, cols } => rows as u64 * cols as u64,
+            Op::Activation { elems, .. } => elems as u64,
+        }
+    }
+
+    /// True for softmax/activation operators.
+    pub fn is_nonlinear(&self) -> bool {
+        !matches!(self, Op::Gemm { .. })
+    }
+}
+
+/// Emits the operator list of a full prefill pass over `seq_len` tokens.
+///
+/// # Panics
+///
+/// Panics if `seq_len` is zero.
+pub fn decoder_ops(dims: &PaperDims, seq_len: usize) -> Vec<Op> {
+    assert!(seq_len > 0);
+    let s = seq_len;
+    let h = dims.hidden;
+    let dh = h / dims.heads;
+    let mut ops = Vec::new();
+    for _ in 0..dims.layers {
+        ops.push(Op::Gemm { name: GemmKind::Query, m: s, k: h, n: h });
+        ops.push(Op::Gemm { name: GemmKind::Key, m: s, k: h, n: h });
+        ops.push(Op::Gemm { name: GemmKind::Value, m: s, k: h, n: h });
+        // Per-head score and context matmuls, emitted once with the head
+        // count folded into m.
+        ops.push(Op::Gemm { name: GemmKind::AttnScore, m: s * dims.heads, k: dh, n: s });
+        ops.push(Op::Softmax { rows: s * dims.heads, cols: s });
+        ops.push(Op::Gemm { name: GemmKind::AttnContext, m: s * dims.heads, k: s, n: dh });
+        ops.push(Op::Gemm { name: GemmKind::Proj, m: s, k: h, n: h });
+        if dims.gated_ffn {
+            ops.push(Op::Gemm { name: GemmKind::Gate, m: s, k: h, n: dims.ffn });
+            ops.push(Op::Activation { silu: true, elems: s * dims.ffn });
+            ops.push(Op::Gemm { name: GemmKind::Fc1, m: s, k: h, n: dims.ffn });
+        } else {
+            ops.push(Op::Gemm { name: GemmKind::Fc1, m: s, k: h, n: dims.ffn });
+            ops.push(Op::Activation { silu: false, elems: s * dims.ffn });
+        }
+        ops.push(Op::Gemm { name: GemmKind::Fc2, m: s, k: dims.ffn, n: h });
+    }
+    ops
+}
+
+/// Emits the operator list of one autoregressive *decode* step: a single
+/// query token attending to a KV cache of `kv_len` tokens. This is the
+/// regime where the linear work collapses to `O(h²)` per layer while the
+/// attention/softmax work stays `O(kv_len)` — the long-context serving
+/// case.
+///
+/// # Panics
+///
+/// Panics if `kv_len` is zero.
+pub fn decode_step_ops(dims: &PaperDims, kv_len: usize) -> Vec<Op> {
+    assert!(kv_len > 0);
+    let h = dims.hidden;
+    let dh = h / dims.heads;
+    let mut ops = Vec::new();
+    for _ in 0..dims.layers {
+        ops.push(Op::Gemm { name: GemmKind::Query, m: 1, k: h, n: h });
+        ops.push(Op::Gemm { name: GemmKind::Key, m: 1, k: h, n: h });
+        ops.push(Op::Gemm { name: GemmKind::Value, m: 1, k: h, n: h });
+        ops.push(Op::Gemm { name: GemmKind::AttnScore, m: dims.heads, k: dh, n: kv_len });
+        ops.push(Op::Softmax { rows: dims.heads, cols: kv_len });
+        ops.push(Op::Gemm { name: GemmKind::AttnContext, m: dims.heads, k: kv_len, n: dh });
+        ops.push(Op::Gemm { name: GemmKind::Proj, m: 1, k: h, n: h });
+        if dims.gated_ffn {
+            ops.push(Op::Gemm { name: GemmKind::Gate, m: 1, k: h, n: dims.ffn });
+            ops.push(Op::Activation { silu: true, elems: dims.ffn });
+            ops.push(Op::Gemm { name: GemmKind::Fc1, m: 1, k: h, n: dims.ffn });
+        } else {
+            ops.push(Op::Gemm { name: GemmKind::Fc1, m: 1, k: h, n: dims.ffn });
+            ops.push(Op::Activation { silu: false, elems: dims.ffn });
+        }
+        ops.push(Op::Gemm { name: GemmKind::Fc2, m: 1, k: dims.ffn, n: h });
+    }
+    ops
+}
+
+/// Total MACs of an operator list.
+pub fn total_macs(ops: &[Op]) -> u64 {
+    ops.iter().map(Op::macs).sum()
+}
+
+/// Total nonlinear elements of an operator list.
+pub fn total_nonlinear_elems(ops: &[Op]) -> u64 {
+    ops.iter().map(Op::nonlinear_elems).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_models_have_dims() {
+        assert!(paper_dims("Llama-7B").is_some());
+        assert!(paper_dims("OPT-66B").is_some());
+        assert!(paper_dims("GPT-5").is_none());
+    }
+
+    #[test]
+    fn llama7b_macs_match_analytic_count() {
+        let d = paper_dims("Llama-7B").unwrap();
+        let s = 128;
+        let ops = decoder_ops(&d, s);
+        // Per layer: 4 h*h GEMMs + 2 attention GEMMs + 3 FFN GEMMs.
+        let per_layer = 4 * s * d.hidden * d.hidden
+            + 2 * s * s * d.hidden
+            + 3 * s * d.hidden * d.ffn;
+        assert_eq!(total_macs(&ops), (d.layers * per_layer) as u64);
+    }
+
+    #[test]
+    fn nonlinear_share_grows_with_sequence_length() {
+        // The mechanism behind Fig. 1(b): softmax work is O(s^2) while
+        // linear work is O(s), so the nonlinear fraction rises with s.
+        let d = paper_dims("Llama-7B").unwrap();
+        let frac = |s: usize| -> f64 {
+            let ops = decoder_ops(&d, s);
+            let nl = total_nonlinear_elems(&ops) as f64;
+            let macs = total_macs(&ops) as f64;
+            nl / macs
+        };
+        assert!(frac(4096) > frac(1024));
+        assert!(frac(1024) > frac(128));
+    }
+
+    #[test]
+    fn gated_ffn_adds_gate_gemm() {
+        let llama = paper_dims("Llama-7B").unwrap();
+        let opt = paper_dims("OPT-6.7B").unwrap();
+        let lops = decoder_ops(&llama, 64);
+        let oops = decoder_ops(&opt, 64);
+        let count_gate = |ops: &[Op]| {
+            ops.iter()
+                .filter(|o| matches!(o, Op::Gemm { name: GemmKind::Gate, .. }))
+                .count()
+        };
+        assert_eq!(count_gate(&lops), llama.layers);
+        assert_eq!(count_gate(&oops), 0);
+    }
+
+    #[test]
+    fn decode_step_linear_work_is_constant_in_kv_len() {
+        let d = paper_dims("Llama-7B").unwrap();
+        let short = decode_step_ops(&d, 128);
+        let long = decode_step_ops(&d, 4096);
+        // GEMM MACs grow only through the attention matmuls (O(kv_len));
+        // the projection/FFN MACs are identical.
+        let proj_macs = |ops: &[Op]| -> u64 {
+            ops.iter()
+                .filter(|o| {
+                    matches!(
+                        o,
+                        Op::Gemm { name: GemmKind::Query, .. }
+                            | Op::Gemm { name: GemmKind::Fc1, .. }
+                            | Op::Gemm { name: GemmKind::Fc2, .. }
+                    )
+                })
+                .map(Op::macs)
+                .sum()
+        };
+        assert_eq!(proj_macs(&short), proj_macs(&long));
+        // But softmax work scales with the cache length.
+        assert_eq!(
+            total_nonlinear_elems(&long) / total_nonlinear_elems(&short).max(1) > 2,
+            true
+        );
+    }
+
+    #[test]
+    fn decode_step_nonlinear_share_exceeds_prefill_share() {
+        // Decode is the regime where the nonlinear bottleneck bites
+        // hardest: linear work is O(h^2), softmax is O(kv_len).
+        let d = paper_dims("Llama-7B").unwrap();
+        let decode = decode_step_ops(&d, 4096);
+        let prefill = decoder_ops(&d, 64);
+        let share = |ops: &[Op]| {
+            total_nonlinear_elems(ops) as f64 / total_macs(ops).max(1) as f64
+        };
+        assert!(share(&decode) > share(&prefill));
+    }
+
+    #[test]
+    fn softmax_elems_scale_quadratically() {
+        let d = paper_dims("Llama-7B").unwrap();
+        let nl = |s: usize| {
+            decoder_ops(&d, s)
+                .iter()
+                .filter(|o| matches!(o, Op::Softmax { .. }))
+                .map(|o| o.nonlinear_elems())
+                .sum::<u64>()
+        };
+        let r = nl(256) as f64 / nl(128) as f64;
+        assert!((3.9..4.1).contains(&r), "ratio {r}");
+    }
+}

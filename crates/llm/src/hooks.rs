@@ -1,0 +1,181 @@
+//! Inference hooks: the seam where quantisers (`bbal-quant`) and the
+//! LUT-based nonlinear unit (`bbal-nonlinear`) plug into the transformer.
+//!
+//! The paper evaluates two orthogonal interventions: quantising the
+//! *linear* layers (weights and activations through a block format before
+//! every GEMM) and quantising the *nonlinear* layers (softmax/SILU through
+//! the segmented-LUT unit). [`InferenceHooks`] exposes exactly those two
+//! seams, defaulting to exact FP32 behaviour.
+
+use crate::ops;
+
+/// Which activation function a feed-forward network uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Activation {
+    /// SILU/swish — Llama-family FFNs (gated).
+    Silu,
+    /// GELU — OPT-family FFNs.
+    Gelu,
+}
+
+/// Hook points applied during a forward pass.
+///
+/// All methods default to exact computation, so `&ExactHooks` reproduces
+/// the FP16/FP32 baselines. Implementors override a subset:
+///
+/// * a linear-layer quantiser overrides [`InferenceHooks::transform_weights`]
+///   and [`InferenceHooks::transform_activations`];
+/// * a nonlinear unit overrides [`InferenceHooks::softmax_row`] and
+///   [`InferenceHooks::activation`].
+pub trait InferenceHooks {
+    /// Transforms (e.g. quantise-dequantises) a weight matrix once at model
+    /// preparation time.
+    fn transform_weights(&self, weights: &mut [f32]) {
+        let _ = weights;
+    }
+
+    /// Transforms activations immediately before each linear layer.
+    fn transform_activations(&self, activations: &mut [f32]) {
+        let _ = activations;
+    }
+
+    /// Computes softmax over one attention row, in place.
+    fn softmax_row(&self, row: &mut [f32]) {
+        ops::softmax_in_place(row);
+    }
+
+    /// Applies the FFN activation function, in place.
+    fn activation(&self, xs: &mut [f32], kind: Activation) {
+        match kind {
+            Activation::Silu => ops::silu_in_place(xs),
+            Activation::Gelu => ops::gelu_in_place(xs),
+        }
+    }
+
+    /// A short name for reports (e.g. `"BBFP(4,2)"`).
+    fn name(&self) -> String {
+        "FP32".to_owned()
+    }
+}
+
+impl<T: InferenceHooks + ?Sized> InferenceHooks for &T {
+    fn transform_weights(&self, weights: &mut [f32]) {
+        (**self).transform_weights(weights);
+    }
+
+    fn transform_activations(&self, activations: &mut [f32]) {
+        (**self).transform_activations(activations);
+    }
+
+    fn softmax_row(&self, row: &mut [f32]) {
+        (**self).softmax_row(row);
+    }
+
+    fn activation(&self, xs: &mut [f32], kind: Activation) {
+        (**self).activation(xs, kind);
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
+/// The do-nothing hook set: exact FP32 inference.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExactHooks;
+
+impl InferenceHooks for ExactHooks {}
+
+/// Hooks that narrow weights and activations through IEEE binary16 — the
+/// paper's FP16 baseline row.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fp16Hooks;
+
+impl InferenceHooks for Fp16Hooks {
+    fn transform_weights(&self, weights: &mut [f32]) {
+        for w in weights {
+            *w = bbal_core::Fp16::from_f32_saturating(*w).to_f32();
+        }
+    }
+
+    fn transform_activations(&self, activations: &mut [f32]) {
+        for a in activations {
+            *a = bbal_core::Fp16::from_f32_saturating(*a).to_f32();
+        }
+    }
+
+    fn name(&self) -> String {
+        "FP16".to_owned()
+    }
+}
+
+/// Compose a linear-layer hook with a nonlinear hook (e.g. BBFP linear
+/// quantisation together with the LUT softmax).
+#[derive(Debug)]
+pub struct ComposedHooks<'a, L: ?Sized, N: ?Sized> {
+    /// Linear-layer hook (weights/activations).
+    pub linear: &'a L,
+    /// Nonlinear hook (softmax/activation).
+    pub nonlinear: &'a N,
+}
+
+impl<L, N> InferenceHooks for ComposedHooks<'_, L, N>
+where
+    L: InferenceHooks + ?Sized,
+    N: InferenceHooks + ?Sized,
+{
+    fn transform_weights(&self, weights: &mut [f32]) {
+        self.linear.transform_weights(weights);
+    }
+
+    fn transform_activations(&self, activations: &mut [f32]) {
+        self.linear.transform_activations(activations);
+    }
+
+    fn softmax_row(&self, row: &mut [f32]) {
+        self.nonlinear.softmax_row(row);
+    }
+
+    fn activation(&self, xs: &mut [f32], kind: Activation) {
+        self.nonlinear.activation(xs, kind);
+    }
+
+    fn name(&self) -> String {
+        format!("{}+{}", self.linear.name(), self.nonlinear.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_hooks_are_identity_on_linears() {
+        let mut w = vec![0.123f32, -4.56];
+        ExactHooks.transform_weights(&mut w);
+        assert_eq!(w, vec![0.123, -4.56]);
+    }
+
+    #[test]
+    fn fp16_hooks_round_to_binary16() {
+        let mut w = vec![1.0f32 + 2.0f32.powi(-12)];
+        Fp16Hooks.transform_weights(&mut w);
+        assert_eq!(w[0], 1.0);
+    }
+
+    #[test]
+    fn composed_hooks_route_to_parts() {
+        let composed = ComposedHooks { linear: &Fp16Hooks, nonlinear: &ExactHooks };
+        let mut w = vec![1.0f32 + 2.0f32.powi(-12)];
+        composed.transform_weights(&mut w);
+        assert_eq!(w[0], 1.0);
+        assert_eq!(composed.name(), "FP16+FP32");
+    }
+
+    #[test]
+    fn default_softmax_is_exact() {
+        let mut row = vec![0.0f32, 1.0];
+        ExactHooks.softmax_row(&mut row);
+        assert!((row.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,412 @@
+//! A from-scratch decoder-only transformer with synthetic weights.
+//!
+//! The model implements the standard decoder stack the paper evaluates:
+//! per-layer attention (QKV projection, scaled-dot-product with causal
+//! mask, softmax, output projection) and a feed-forward network (gated
+//! SILU for Llama-profile, GELU for OPT-profile), with RMSNorm/LayerNorm
+//! and a tied unembedding head. All quantisation enters through
+//! [`InferenceHooks`].
+//!
+//! Weights are synthesised from a [`ModelSpec`]'s [`OutlierProfile`]: a
+//! Gaussian body plus (a) *channel-structured* outliers — a few hidden
+//! channels whose writers are scaled up, reproducing the activation
+//! outliers of the paper's Fig. 1(a) — and (b) sparse unstructured weight
+//! outliers.
+
+use crate::hooks::InferenceHooks;
+use crate::ops;
+use crate::rng::Stream;
+use crate::tensor::Tensor;
+use crate::zoo::{Family, ModelSpec};
+
+/// The weight matrices of one decoder layer.
+#[derive(Debug, Clone)]
+pub struct LayerWeights {
+    /// Query projection, `hidden × hidden`.
+    pub wq: Tensor,
+    /// Key projection, `hidden × hidden`.
+    pub wk: Tensor,
+    /// Value projection, `hidden × hidden`.
+    pub wv: Tensor,
+    /// Attention output projection, `hidden × hidden`.
+    pub wo: Tensor,
+    /// FFN gate projection (`hidden × ffn`), Llama family only.
+    pub w_gate: Option<Tensor>,
+    /// FFN up projection, `hidden × ffn`.
+    pub w_up: Tensor,
+    /// FFN down projection, `ffn × hidden`.
+    pub w_down: Tensor,
+}
+
+impl LayerWeights {
+    /// Applies a transform to every linear weight matrix in the layer.
+    pub fn for_each_weight_mut(&mut self, f: &mut impl FnMut(&mut [f32])) {
+        f(self.wq.data_mut());
+        f(self.wk.data_mut());
+        f(self.wv.data_mut());
+        f(self.wo.data_mut());
+        if let Some(g) = self.w_gate.as_mut() {
+            f(g.data_mut());
+        }
+        f(self.w_up.data_mut());
+        f(self.w_down.data_mut());
+    }
+}
+
+/// A decoder-only transformer with synthetic weights.
+#[derive(Debug, Clone)]
+pub struct TransformerModel {
+    spec: ModelSpec,
+    embedding: Tensor,
+    layers: Vec<LayerWeights>,
+    unembedding: Tensor,
+    outlier_channels: Vec<usize>,
+}
+
+impl TransformerModel {
+    /// Synthesises a model from its specification (deterministic in
+    /// `spec.seed`).
+    pub fn synthesize(spec: &ModelSpec) -> TransformerModel {
+        let mut rng = Stream::new(spec.seed);
+        let h = spec.hidden;
+        let ffn = spec.ffn_width();
+        let p = spec.profile;
+
+        // Choose the outlier channels once per model: these hidden
+        // dimensions will carry 10-100x activations, as in Fig. 1(a).
+        let n_outlier = ((h as f64 * p.channel_rate).round() as usize).max(1);
+        let mut outlier_channels = Vec::with_capacity(n_outlier);
+        while outlier_channels.len() < n_outlier {
+            let c = rng.below(h);
+            if !outlier_channels.contains(&c) {
+                outlier_channels.push(c);
+            }
+        }
+
+        // 1/sqrt(fan_in) scaling: each sublayer's output is unit-scale
+        // relative to its (normalised) input, as in trained transformers —
+        // necessary for quantisation error to propagate realistically.
+        let gauss_with = |rows: usize, cols: usize, rng: &mut Stream, outliers: bool| -> Tensor {
+            let sigma = p.weight_sigma / (rows as f64).sqrt();
+            let mut t = Tensor::zeros(rows, cols);
+            for v in t.data_mut() {
+                let mut x = rng.gaussian() * sigma;
+                if outliers && rng.uniform() < p.weight_outlier_rate {
+                    x *= p.weight_outlier_scale;
+                }
+                *v = x as f32;
+            }
+            t
+        };
+        let gauss = |rows: usize, cols: usize, rng: &mut Stream| gauss_with(rows, cols, rng, true);
+        // Gained matrices (score/gate paths) skip unstructured outliers:
+        // the gain already models their trained structure, and stacking
+        // outliers on top would break the Fig. 1(a) tight-weight property.
+        let gauss_plain =
+            |rows: usize, cols: usize, rng: &mut Stream| gauss_with(rows, cols, rng, false);
+
+        // Scale the columns that *write into* outlier residual channels so
+        // the activations entering every subsequent linear layer carry
+        // channel-structured outliers.
+        let boost_columns = |t: &mut Tensor, channels: &[usize], scale: f64| {
+            for r in 0..t.rows() {
+                for &c in channels {
+                    let v = t.get(r, c) * scale as f32;
+                    t.set(r, c, v);
+                }
+            }
+        };
+
+        let mut embedding = gauss(spec.vocab, h, &mut rng);
+        boost_columns(&mut embedding, &outlier_channels, p.channel_scale);
+
+        // FFN-channel outliers: a few inner-FFN channels whose gate/up
+        // columns are boosted, so FFN pre-activations carry the same
+        // outlier structure as the residual stream (real LLMs do; this is
+        // what drives the shared exponent of the nonlinear unit's blocks).
+        let n_ffn_outlier = ((ffn as f64 * p.channel_rate).round() as usize).max(1);
+        let mut ffn_outlier_channels = Vec::with_capacity(n_ffn_outlier);
+        while ffn_outlier_channels.len() < n_ffn_outlier {
+            let c = rng.below(ffn);
+            if !ffn_outlier_channels.contains(&c) {
+                ffn_outlier_channels.push(c);
+            }
+        }
+
+        // Real LLMs produce attention logits spanning roughly ±10..±30 and
+        // FFN pre-activations of similar range — the ranges that make
+        // max-aligned nonlinear quantisation lossy (Table IV). Gain up the
+        // score path (function-changing: sharper attention, as in real
+        // models) and the FFN inner path (function-preserving: the down
+        // projection divides the gain back out).
+        const SCORE_GAIN: f64 = 4.0;
+        const FFN_GAIN: f64 = 2.0;
+
+        let mut layers = Vec::with_capacity(spec.layers);
+        for _ in 0..spec.layers {
+            let mut wq = gauss_plain(h, h, &mut rng);
+            let mut wk = gauss_plain(h, h, &mut rng);
+            wq.scale(SCORE_GAIN as f32);
+            wk.scale(SCORE_GAIN as f32);
+            let wv = gauss(h, h, &mut rng);
+            let mut wo = gauss(h, h, &mut rng);
+            boost_columns(&mut wo, &outlier_channels, p.channel_scale.sqrt());
+            let w_gate = match spec.family {
+                Family::Llama => {
+                    let mut g = gauss_plain(h, ffn, &mut rng);
+                    g.scale(FFN_GAIN as f32);
+                    boost_columns(&mut g, &ffn_outlier_channels, p.channel_scale);
+                    Some(g)
+                }
+                Family::Opt => None,
+            };
+            let mut w_up = gauss(h, ffn, &mut rng);
+            let mut w_down = gauss(ffn, h, &mut rng);
+            match spec.family {
+                // Llama: the gate carries the gain and the up projection
+                // divides it back out of the product, so sigmoid-LUT error
+                // propagates at its natural (undamped) scale.
+                Family::Llama => w_up.scale(1.0 / FFN_GAIN as f32),
+                // OPT: the single up projection carries the gain.
+                Family::Opt => {
+                    w_up.scale(FFN_GAIN as f32);
+                    boost_columns(&mut w_up, &ffn_outlier_channels, p.channel_scale);
+                    w_down.scale(1.0 / FFN_GAIN as f32);
+                }
+            }
+            boost_columns(&mut w_down, &outlier_channels, p.channel_scale.sqrt());
+            layers.push(LayerWeights {
+                wq,
+                wk,
+                wv,
+                wo,
+                w_gate,
+                w_up,
+                w_down,
+            });
+        }
+
+        let unembedding = gauss(h, spec.vocab, &mut rng);
+
+        TransformerModel {
+            spec: spec.clone(),
+            embedding,
+            layers,
+            unembedding,
+            outlier_channels,
+        }
+    }
+
+    /// The specification this model was synthesised from.
+    pub fn spec(&self) -> &ModelSpec {
+        &self.spec
+    }
+
+    /// The decoder layers (for inspection and statistics).
+    pub fn layers(&self) -> &[LayerWeights] {
+        &self.layers
+    }
+
+    /// Hidden channels designated as outlier carriers.
+    pub fn outlier_channels(&self) -> &[usize] {
+        &self.outlier_channels
+    }
+
+    /// Returns a clone whose linear weights have been passed through the
+    /// hook's weight transform (the PTQ step: quantise-dequantise every
+    /// weight matrix once). Embedding and unembedding stay full precision,
+    /// as is standard for W/A quantisation studies.
+    pub fn with_transformed_weights(&self, hooks: &impl InferenceHooks) -> TransformerModel {
+        let mut clone = self.clone();
+        for layer in &mut clone.layers {
+            layer.for_each_weight_mut(&mut |w| hooks.transform_weights(w));
+        }
+        clone
+    }
+
+    fn normalise(&self, x: &Tensor) -> Tensor {
+        let mut out = x.clone();
+        for r in 0..out.rows() {
+            match self.spec.family {
+                Family::Llama => ops::rmsnorm_in_place(out.row_mut(r)),
+                Family::Opt => ops::layernorm_in_place(out.row_mut(r)),
+            }
+        }
+        out
+    }
+
+    /// Runs the decoder over a token sequence, returning `[seq, vocab]`
+    /// logits. Activation transforms and nonlinear hooks are applied at
+    /// every layer; weight transforms are *not* (call
+    /// [`TransformerModel::with_transformed_weights`] first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is empty or contains an id outside the vocab.
+    pub fn forward(&self, tokens: &[usize], hooks: &impl InferenceHooks) -> Tensor {
+        assert!(!tokens.is_empty(), "empty token sequence");
+        let h = self.spec.hidden;
+        let seq = tokens.len();
+
+        // Embedding lookup.
+        let mut x = Tensor::zeros(seq, h);
+        for (i, &t) in tokens.iter().enumerate() {
+            assert!(t < self.spec.vocab, "token id {t} out of vocab");
+            x.row_mut(i).copy_from_slice(self.embedding.row(t));
+        }
+
+        let heads = self.spec.heads;
+        let dh = self.spec.head_dim();
+        let scale = 1.0 / (dh as f32).sqrt();
+
+        for layer in &self.layers {
+            // --- Attention block ---
+            let mut a = self.normalise(&x);
+            hooks.transform_activations(a.data_mut());
+            let q = a.matmul(&layer.wq);
+            let k = a.matmul(&layer.wk);
+            let v = a.matmul(&layer.wv);
+
+            let mut ctx = Tensor::zeros(seq, h);
+            for head in 0..heads {
+                let (c0, c1) = (head * dh, (head + 1) * dh);
+                let qh = q.column_slice(c0, c1);
+                let kh = k.column_slice(c0, c1);
+                let vh = v.column_slice(c0, c1);
+                let mut scores = qh.matmul_transposed(&kh);
+                scores.scale(scale);
+                // Causal mask + hooked softmax, row by row.
+                for i in 0..seq {
+                    let row = scores.row_mut(i);
+                    for s in row.iter_mut().skip(i + 1) {
+                        *s = f32::NEG_INFINITY;
+                    }
+                    hooks.softmax_row(&mut row[..=i]);
+                    for s in row.iter_mut().skip(i + 1) {
+                        *s = 0.0;
+                    }
+                }
+                let ctx_h = scores.matmul(&vh);
+                ctx.set_column_slice(c0, &ctx_h);
+            }
+            hooks.transform_activations(ctx.data_mut());
+            let attn_out = ctx.matmul(&layer.wo);
+            x.add_assign(&attn_out);
+
+            // --- FFN block ---
+            let mut f = self.normalise(&x);
+            hooks.transform_activations(f.data_mut());
+            let ffn_out = match (&layer.w_gate, self.spec.family) {
+                (Some(w_gate), _) => {
+                    let mut gate = f.matmul(w_gate);
+                    hooks.activation(gate.data_mut(), self.spec.activation());
+                    let up = f.matmul(&layer.w_up);
+                    gate.mul_assign_elementwise(&up);
+                    hooks.transform_activations(gate.data_mut());
+                    gate.matmul(&layer.w_down)
+                }
+                (None, _) => {
+                    let mut up = f.matmul(&layer.w_up);
+                    hooks.activation(up.data_mut(), self.spec.activation());
+                    hooks.transform_activations(up.data_mut());
+                    up.matmul(&layer.w_down)
+                }
+            };
+            x.add_assign(&ffn_out);
+        }
+
+        let final_norm = self.normalise(&x);
+        final_norm.matmul(&self.unembedding)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hooks::ExactHooks;
+    use crate::zoo::tiny_test_model;
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let spec = tiny_test_model();
+        let a = TransformerModel::synthesize(&spec);
+        let b = TransformerModel::synthesize(&spec);
+        assert_eq!(a.layers()[0].wq.data(), b.layers()[0].wq.data());
+    }
+
+    #[test]
+    fn forward_produces_finite_logits() {
+        let model = TransformerModel::synthesize(&tiny_test_model());
+        let logits = model.forward(&[1, 2, 3, 4], &ExactHooks);
+        assert_eq!(logits.rows(), 4);
+        assert_eq!(logits.cols(), 64);
+        assert!(logits.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn causality_holds() {
+        // Changing a later token must not affect earlier positions' logits.
+        let model = TransformerModel::synthesize(&tiny_test_model());
+        let l1 = model.forward(&[1, 2, 3, 4], &ExactHooks);
+        let l2 = model.forward(&[1, 2, 3, 63], &ExactHooks);
+        for c in 0..l1.cols() {
+            assert_eq!(l1.get(0, c), l2.get(0, c));
+            assert_eq!(l1.get(2, c), l2.get(2, c));
+        }
+        // ...but it does affect the last position.
+        let differs = (0..l1.cols()).any(|c| l1.get(3, c) != l2.get(3, c));
+        assert!(differs);
+    }
+
+    #[test]
+    fn outlier_channels_carry_large_activations() {
+        let spec = tiny_test_model();
+        let model = TransformerModel::synthesize(&spec);
+        // Check the embedding columns directly: outlier channels should
+        // have much larger RMS than the body.
+        let emb = &model.embedding;
+        let rms = |c: usize| -> f64 {
+            let mut s = 0.0;
+            for r in 0..emb.rows() {
+                s += (emb.get(r, c) as f64).powi(2);
+            }
+            (s / emb.rows() as f64).sqrt()
+        };
+        let outliers = model.outlier_channels().to_vec();
+        let outlier_rms: f64 =
+            outliers.iter().map(|&c| rms(c)).sum::<f64>() / outliers.len() as f64;
+        let body_rms: f64 = (0..emb.cols())
+            .filter(|c| !outliers.contains(c))
+            .map(rms)
+            .sum::<f64>()
+            / (emb.cols() - outliers.len()) as f64;
+        assert!(
+            outlier_rms > 5.0 * body_rms,
+            "outlier {outlier_rms} vs body {body_rms}"
+        );
+    }
+
+    #[test]
+    fn weight_transform_changes_weights_only_once_applied() {
+        struct Halve;
+        impl InferenceHooks for Halve {
+            fn transform_weights(&self, w: &mut [f32]) {
+                for v in w {
+                    *v *= 0.5;
+                }
+            }
+        }
+        let model = TransformerModel::synthesize(&tiny_test_model());
+        let transformed = model.with_transformed_weights(&Halve);
+        let orig = model.layers()[0].wq.get(0, 0);
+        let half = transformed.layers()[0].wq.get(0, 0);
+        assert_eq!(half, orig * 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocab")]
+    fn forward_rejects_bad_tokens() {
+        let model = TransformerModel::synthesize(&tiny_test_model());
+        let _ = model.forward(&[9999], &ExactHooks);
+    }
+}

@@ -1,0 +1,177 @@
+//! Reference (exact f32) implementations of the transformer's nonlinear
+//! operations — the FP32 baseline of the paper's Table IV, and the
+//! numerical ground truth the LUT-based unit is compared against.
+
+/// Numerically stable softmax over a slice, in place (max subtraction then
+/// exponentiation and normalisation).
+pub fn softmax_in_place(row: &mut [f32]) {
+    if row.is_empty() {
+        return;
+    }
+    let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+/// Log-softmax over a slice, returned as a new vector.
+pub fn log_softmax(row: &[f32]) -> Vec<f32> {
+    let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let log_sum: f32 = row.iter().map(|v| (v - max).exp()).sum::<f32>().ln();
+    row.iter().map(|v| v - max - log_sum).collect()
+}
+
+/// SILU (swish): `x · σ(x)`, in place.
+pub fn silu_in_place(xs: &mut [f32]) {
+    for x in xs {
+        *x *= sigmoid(*x);
+    }
+}
+
+/// GELU (tanh approximation), in place.
+pub fn gelu_in_place(xs: &mut [f32]) {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    for x in xs {
+        let t = C * (*x + 0.044_715 * *x * *x * *x);
+        *x = 0.5 * *x * (1.0 + t.tanh());
+    }
+}
+
+/// Logistic sigmoid.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// RMSNorm over a slice (Llama-family normalisation), in place, with unit
+/// gain.
+pub fn rmsnorm_in_place(xs: &mut [f32]) {
+    let n = xs.len() as f32;
+    let ms = xs.iter().map(|v| v * v).sum::<f32>() / n;
+    let inv = 1.0 / (ms + 1e-6).sqrt();
+    for v in xs {
+        *v *= inv;
+    }
+}
+
+/// LayerNorm over a slice (OPT-family normalisation), in place, with unit
+/// gain and zero bias.
+pub fn layernorm_in_place(xs: &mut [f32]) {
+    let n = xs.len() as f32;
+    let mean = xs.iter().sum::<f32>() / n;
+    let var = xs.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+    let inv = 1.0 / (var + 1e-6).sqrt();
+    for v in xs {
+        *v = (*v - mean) * inv;
+    }
+}
+
+/// Cross-entropy `−Σ p·log q` between a probability vector `p` and the
+/// distribution implied by `q_logits`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn cross_entropy(p: &[f32], q_logits: &[f32]) -> f64 {
+    assert_eq!(p.len(), q_logits.len());
+    let log_q = log_softmax(q_logits);
+    -p.iter()
+        .zip(&log_q)
+        .map(|(&pi, &lq)| if pi > 0.0 { pi as f64 * lq as f64 } else { 0.0 })
+        .sum::<f64>()
+}
+
+/// Shannon entropy of a probability vector, in nats.
+pub fn entropy(p: &[f32]) -> f64 {
+    -p.iter()
+        .map(|&pi| if pi > 0.0 { pi as f64 * (pi as f64).ln() } else { 0.0 })
+        .sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let mut row = vec![1.0, 2.0, 3.0];
+        softmax_in_place(&mut row);
+        let sum: f32 = row.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(row[2] > row[1] && row[1] > row[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let mut a = vec![1.0, 2.0, 3.0];
+        let mut b = vec![101.0, 102.0, 103.0];
+        softmax_in_place(&mut a);
+        softmax_in_place(&mut b);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_survives_large_magnitudes() {
+        let mut row = vec![1000.0, 999.0, -1000.0];
+        softmax_in_place(&mut row);
+        assert!(row.iter().all(|v| v.is_finite()));
+        assert!((row.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn silu_known_values() {
+        let mut xs = vec![0.0f32, 1.0, -1.0];
+        silu_in_place(&mut xs);
+        assert_eq!(xs[0], 0.0);
+        assert!((xs[1] - 0.731_058_6).abs() < 1e-5);
+        assert!((xs[2] + 0.268_941_4).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gelu_known_values() {
+        let mut xs = vec![0.0f32, 1.0, -1.0];
+        gelu_in_place(&mut xs);
+        assert_eq!(xs[0], 0.0);
+        assert!((xs[1] - 0.841_192).abs() < 1e-3);
+        assert!((xs[2] + 0.158_808).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rmsnorm_produces_unit_rms() {
+        let mut xs = vec![3.0f32, -4.0, 12.0, -5.0];
+        rmsnorm_in_place(&mut xs);
+        let rms = (xs.iter().map(|v| v * v).sum::<f32>() / 4.0).sqrt();
+        assert!((rms - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn layernorm_zero_mean_unit_var() {
+        let mut xs = vec![1.0f32, 2.0, 3.0, 4.0];
+        layernorm_in_place(&mut xs);
+        let mean: f32 = xs.iter().sum::<f32>() / 4.0;
+        let var: f32 = xs.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn cross_entropy_minimised_by_matching_distribution() {
+        let logits = vec![0.5f32, 1.5, -0.3];
+        let mut p = logits.clone();
+        softmax_in_place(&mut p);
+        let self_ce = cross_entropy(&p, &logits);
+        let other_ce = cross_entropy(&p, &[1.5, 0.5, -0.3]);
+        assert!(self_ce < other_ce);
+        // Self-CE equals entropy.
+        assert!((self_ce - entropy(&p)).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests for the transformer substrate: tensor algebra laws,
+//! nonlinear-op invariants, and model behavioural properties.
+
+use bbal_llm::{ops, ExactHooks, Tensor, TransformerModel};
+use proptest::prelude::*;
+
+fn small_f32() -> impl Strategy<Value = f32> {
+    -8.0f32..8.0
+}
+
+fn tensor(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(small_f32(), rows * cols)
+        .prop_map(move |v| Tensor::from_vec(rows, cols, v))
+}
+
+proptest! {
+    /// Matrix multiplication distributes over addition:
+    /// (A + B)·C == A·C + B·C (within f32 tolerance).
+    #[test]
+    fn matmul_distributes(a in tensor(3, 4), b in tensor(3, 4), c in tensor(4, 2)) {
+        let mut ab = a.clone();
+        ab.add_assign(&b);
+        let lhs = ab.matmul(&c);
+        let mut rhs = a.matmul(&c);
+        rhs.add_assign(&b.matmul(&c));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    /// Scaling commutes with matmul: (sA)·B == s(A·B).
+    #[test]
+    fn matmul_scale_commutes(a in tensor(2, 3), b in tensor(3, 2), s in -4.0f32..4.0) {
+        let mut sa = a.clone();
+        sa.scale(s);
+        let lhs = sa.matmul(&b);
+        let mut rhs = a.matmul(&b);
+        rhs.scale(s);
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-2, "{x} vs {y}");
+        }
+    }
+
+    /// matmul_transposed(A, B) == A · Bᵀ.
+    #[test]
+    fn matmul_transposed_agrees(a in tensor(3, 5), b in tensor(4, 5)) {
+        let direct = a.matmul_transposed(&b);
+        let mut bt = Tensor::zeros(5, 4);
+        for r in 0..4 {
+            for c in 0..5 {
+                bt.set(c, r, b.get(r, c));
+            }
+        }
+        let via = a.matmul(&bt);
+        for (x, y) in direct.data().iter().zip(via.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    /// Softmax output is a probability distribution, shift-invariant.
+    #[test]
+    fn softmax_properties(mut row in proptest::collection::vec(small_f32(), 1..32), shift in -5.0f32..5.0) {
+        let mut shifted: Vec<f32> = row.iter().map(|v| v + shift).collect();
+        ops::softmax_in_place(&mut row);
+        ops::softmax_in_place(&mut shifted);
+        let sum: f32 = row.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(row.iter().all(|&p| (0.0..=1.0 + 1e-6).contains(&p)));
+        for (a, b) in row.iter().zip(&shifted) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    /// log-softmax exponentiates back to softmax.
+    #[test]
+    fn log_softmax_consistent(row in proptest::collection::vec(small_f32(), 2..16)) {
+        let ls = ops::log_softmax(&row);
+        let mut sm = row.clone();
+        ops::softmax_in_place(&mut sm);
+        for (l, p) in ls.iter().zip(&sm) {
+            prop_assert!((l.exp() - p).abs() < 1e-4);
+        }
+    }
+
+    /// Cross-entropy of p against its own logits equals the entropy, and
+    /// any other logits give a larger value (Gibbs' inequality).
+    #[test]
+    fn gibbs_inequality(pairs in proptest::collection::vec((small_f32(), small_f32()), 2..12)) {
+        let (logits, other): (Vec<f32>, Vec<f32>) = pairs.into_iter().unzip();
+        let mut p = logits.clone();
+        ops::softmax_in_place(&mut p);
+        let self_ce = ops::cross_entropy(&p, &logits);
+        let other_ce = ops::cross_entropy(&p, &other);
+        prop_assert!(other_ce + 1e-5 >= self_ce, "{other_ce} < {self_ce}");
+        prop_assert!((self_ce - ops::entropy(&p)).abs() < 1e-4);
+    }
+
+    /// RMSNorm output always has unit RMS; LayerNorm zero mean.
+    #[test]
+    fn norm_invariants(mut xs in proptest::collection::vec(-100.0f32..100.0, 4..64)) {
+        prop_assume!(xs.iter().any(|v| v.abs() > 1e-3));
+        let mut ln = xs.clone();
+        ops::rmsnorm_in_place(&mut xs);
+        let rms = (xs.iter().map(|v| v * v).sum::<f32>() / xs.len() as f32).sqrt();
+        prop_assert!((rms - 1.0).abs() < 1e-2, "rms {rms}");
+        ops::layernorm_in_place(&mut ln);
+        let mean = ln.iter().sum::<f32>() / ln.len() as f32;
+        prop_assert!(mean.abs() < 1e-3, "mean {mean}");
+    }
+}
+
+#[test]
+fn model_forward_is_pure() {
+    // Two forwards of the same model and tokens give identical logits.
+    let spec = bbal_llm::zoo::tiny_test_model();
+    let model = TransformerModel::synthesize(&spec);
+    let a = model.forward(&[1, 2, 3], &ExactHooks);
+    let b = model.forward(&[1, 2, 3], &ExactHooks);
+    assert_eq!(a.data(), b.data());
+}

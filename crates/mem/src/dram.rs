@@ -1,0 +1,86 @@
+//! Off-chip DRAM channel model.
+//!
+//! The paper's energy breakdown (Fig. 9) charges a "Dram" component per
+//! byte moved, and the segmented-LUT scheme of the nonlinear unit trades
+//! on-chip SRAM for off-chip loads, so both energy-per-bit and transfer
+//! latency matter.
+
+/// A DRAM channel: bandwidth and energy per bit (LPDDR4-class defaults).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramChannel {
+    /// Peak bandwidth in bytes per cycle at the accelerator clock.
+    pub bytes_per_cycle: f64,
+    /// Transfer energy in pJ per bit (device + PHY + I/O).
+    pub energy_pj_per_bit: f64,
+    /// Fixed latency of a new burst, in cycles.
+    pub burst_latency_cycles: u64,
+}
+
+impl DramChannel {
+    /// LPDDR4-class channel at a 1 GHz accelerator clock: 12.8 GB/s,
+    /// ≈ 6 pJ/bit, ≈ 100 cycles initial latency.
+    pub fn lpddr4() -> DramChannel {
+        DramChannel {
+            bytes_per_cycle: 12.8,
+            energy_pj_per_bit: 6.0,
+            burst_latency_cycles: 100,
+        }
+    }
+
+    /// Cycles to transfer `bytes` in one burst.
+    pub fn transfer_cycles(&self, bytes: u64) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        self.burst_latency_cycles + (bytes as f64 / self.bytes_per_cycle).ceil() as u64
+    }
+
+    /// Energy to transfer `bytes`, in pJ.
+    pub fn transfer_energy_pj(&self, bytes: u64) -> f64 {
+        bytes as f64 * 8.0 * self.energy_pj_per_bit
+    }
+}
+
+impl Default for DramChannel {
+    fn default() -> Self {
+        DramChannel::lpddr4()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_transfer_is_free() {
+        let ch = DramChannel::lpddr4();
+        assert_eq!(ch.transfer_cycles(0), 0);
+        assert_eq!(ch.transfer_energy_pj(0), 0.0);
+    }
+
+    #[test]
+    fn latency_then_bandwidth() {
+        let ch = DramChannel::lpddr4();
+        // A single byte still pays the burst latency.
+        assert_eq!(ch.transfer_cycles(1), 101);
+        // A large transfer is bandwidth-bound.
+        let big = ch.transfer_cycles(128_000);
+        assert!(big > 10_000 - 100 && big < 10_200, "{big}");
+    }
+
+    #[test]
+    fn dram_bit_costs_far_more_than_sram_bit() {
+        // The premise of the paper's buffering strategy.
+        let ch = DramChannel::lpddr4();
+        let sram = crate::sram::SramMacro::new(64 * 1024, 128).unwrap();
+        let dram_per_bit = ch.energy_pj_per_bit;
+        let sram_per_bit = sram.read_energy_pj() / 128.0;
+        assert!(dram_per_bit > 10.0 * sram_per_bit);
+    }
+
+    #[test]
+    fn energy_linear_in_bytes() {
+        let ch = DramChannel::lpddr4();
+        assert!((ch.transfer_energy_pj(200) - 2.0 * ch.transfer_energy_pj(100)).abs() < 1e-9);
+    }
+}

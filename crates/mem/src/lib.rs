@@ -1,0 +1,29 @@
+//! # bbal-mem — analytical on-chip/off-chip memory models
+//!
+//! The BBAL paper uses CACTI 6.0 for the area and power of on-chip
+//! memories, and charges DRAM energy for off-chip traffic. This crate is
+//! the reproduction's substitute: closed-form 28nm-class models for SRAM
+//! macros (buffers, LUT files), a DRAM channel model, and the storage
+//! accounting for the segmented lookup tables of the nonlinear unit.
+//!
+//! The constants are representative of published 28nm CACTI runs; as with
+//! `bbal-arith`, the experiments depend on *ratios* (buffer vs DRAM vs core
+//! energy in Fig. 9), not on absolute picojoules.
+//!
+//! ```
+//! use bbal_mem::SramMacro;
+//!
+//! let buf = SramMacro::new(64 * 1024, 128).unwrap(); // 64 KiB, 128-bit port
+//! assert!(buf.area_um2() > 10_000.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod dram;
+pub mod lut;
+pub mod sram;
+
+pub use dram::DramChannel;
+pub use lut::{LutLayout, SegmentedLutStorage};
+pub use sram::{MemError, SramMacro};

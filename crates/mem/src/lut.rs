@@ -1,0 +1,165 @@
+//! Storage accounting for the exponent-segmented lookup tables
+//! (paper §IV-B).
+//!
+//! The nonlinear unit splits a function's value table into one sub-table
+//! per shared-exponent value (and sign), keeps the full set in external
+//! memory, and loads only the sub-table selected by the current block's
+//! shared exponent into a small on-chip LUT file. With 5 exponent bits the
+//! function splits into `2^5 × 2` sub-tables; each holds `2^address_bits`
+//! entries addressed *directly by the mantissa* — no address mapping logic.
+
+use crate::dram::DramChannel;
+use crate::sram::{MemError, SramMacro};
+
+/// Geometry of a segmented LUT for one function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LutLayout {
+    /// Address bits per sub-table (the paper uses 7 → 128 entries).
+    pub address_bits: u32,
+    /// Bits per stored entry (a BBFP element: sign + flag + mantissa).
+    pub entry_bits: u32,
+    /// Number of sub-tables actually materialised for this function
+    /// (the paper prunes: 18 for Softmax, 24 for SILU, out of 64 possible).
+    pub sub_tables: u32,
+}
+
+impl LutLayout {
+    /// Entries per sub-table.
+    pub fn entries_per_table(&self) -> u64 {
+        1u64 << self.address_bits
+    }
+
+    /// Bytes per sub-table.
+    pub fn bytes_per_table(&self) -> u64 {
+        (self.entries_per_table() * self.entry_bits as u64).div_ceil(8)
+    }
+
+    /// Total bytes across all materialised sub-tables (the external-memory
+    /// footprint).
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_per_table() * self.sub_tables as u64
+    }
+}
+
+/// The on-chip face of a segmented LUT: a double-buffered LUT file sized
+/// for one sub-table per bank, with loads charged to a DRAM channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentedLutStorage {
+    layout: LutLayout,
+    lut_file: SramMacro,
+    channel: DramChannel,
+}
+
+impl SegmentedLutStorage {
+    /// Builds the on-chip LUT file for a layout: two banks (double
+    /// buffering masks the load latency, §IV-B "Pipelined Design").
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MemError`] if the layout produces a degenerate macro.
+    pub fn new(layout: LutLayout, channel: DramChannel) -> Result<SegmentedLutStorage, MemError> {
+        let lut_file = SramMacro::new(layout.bytes_per_table() * 2, layout.entry_bits)?;
+        Ok(SegmentedLutStorage {
+            layout,
+            lut_file,
+            channel,
+        })
+    }
+
+    /// The layout this storage serves.
+    pub fn layout(&self) -> LutLayout {
+        self.layout
+    }
+
+    /// The on-chip macro (for area/leakage accounting).
+    pub fn lut_file(&self) -> &SramMacro {
+        &self.lut_file
+    }
+
+    /// Cycles to load one sub-table from external memory.
+    pub fn load_cycles(&self) -> u64 {
+        self.channel.transfer_cycles(self.layout.bytes_per_table())
+    }
+
+    /// Energy to load one sub-table (DRAM transfer + SRAM fill), pJ.
+    pub fn load_energy_pj(&self) -> f64 {
+        self.channel.transfer_energy_pj(self.layout.bytes_per_table())
+            + self.lut_file.stream_write_energy_pj(self.layout.bytes_per_table())
+    }
+
+    /// Energy of one lookup, pJ.
+    pub fn lookup_energy_pj(&self) -> f64 {
+        self.lut_file.read_energy_pj()
+    }
+
+    /// On-chip area saved versus a monolithic on-chip table holding every
+    /// sub-table (the paper's "reduce costly on-chip memory by utilizing
+    /// more affordable off-chip memory").
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MemError`] if the monolithic table is degenerate.
+    pub fn area_saving_um2(&self) -> Result<f64, MemError> {
+        let monolithic = SramMacro::new(self.layout.total_bytes(), self.layout.entry_bits)?;
+        Ok(monolithic.area_um2() - self.lut_file.area_um2())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn softmax_layout() -> LutLayout {
+        // Paper §V-A: BBFP(10,5) entries (sign+flag+10 mantissa = 12 bits),
+        // 7-bit addresses, 18 sub-tables for Softmax.
+        LutLayout {
+            address_bits: 7,
+            entry_bits: 12,
+            sub_tables: 18,
+        }
+    }
+
+    #[test]
+    fn softmax_footprint_matches_paper_config() {
+        let l = softmax_layout();
+        assert_eq!(l.entries_per_table(), 128);
+        assert_eq!(l.bytes_per_table(), 192);
+        assert_eq!(l.total_bytes(), 192 * 18);
+    }
+
+    #[test]
+    fn double_buffered_file_holds_two_tables() {
+        let s = SegmentedLutStorage::new(softmax_layout(), DramChannel::lpddr4()).unwrap();
+        assert_eq!(s.lut_file().capacity_bytes(), 384);
+    }
+
+    #[test]
+    fn segmented_scheme_saves_on_chip_area() {
+        let s = SegmentedLutStorage::new(softmax_layout(), DramChannel::lpddr4()).unwrap();
+        assert!(s.area_saving_um2().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn load_latency_maskable_by_block_work() {
+        // A sub-table load (192 bytes) should take on the order of 100+
+        // cycles — the pipeline must (and can) hide this behind the
+        // per-block compute, which processes hundreds of elements.
+        let s = SegmentedLutStorage::new(softmax_layout(), DramChannel::lpddr4()).unwrap();
+        let cycles = s.load_cycles();
+        assert!((100..400).contains(&cycles), "{cycles}");
+    }
+
+    #[test]
+    fn lookup_much_cheaper_than_load() {
+        let s = SegmentedLutStorage::new(softmax_layout(), DramChannel::lpddr4()).unwrap();
+        assert!(s.load_energy_pj() > 20.0 * s.lookup_energy_pj());
+    }
+
+    #[test]
+    fn silu_uses_more_subtables_than_softmax() {
+        // Paper: 18 sub-tables for Softmax, 24 for SILU.
+        let softmax = softmax_layout();
+        let silu = LutLayout { sub_tables: 24, ..softmax };
+        assert!(silu.total_bytes() > softmax.total_bytes());
+    }
+}

@@ -1,0 +1,174 @@
+//! SRAM macro model (CACTI-class, 28nm).
+//!
+//! Area = bit cells / array efficiency + per-port periphery; access energy
+//! grows with the square root of capacity (bitline/wordline length), which
+//! is the first-order behaviour CACTI reports; leakage is proportional to
+//! capacity.
+
+use std::fmt;
+
+/// 6T bit-cell area at 28nm (µm² per bit).
+const BITCELL_UM2: f64 = 0.12;
+/// Fraction of macro area occupied by the cell array.
+const ARRAY_EFFICIENCY: f64 = 0.65;
+/// Fixed periphery area per macro (decoders, sense amps), µm².
+const PERIPHERY_UM2: f64 = 600.0;
+/// Access energy: base plus sqrt-capacity term (pJ).
+const ACCESS_BASE_PJ: f64 = 0.8;
+const ACCESS_SQRT_PJ: f64 = 0.012;
+/// Energy per bit transferred on the port (pJ/bit).
+const PORT_PJ_PER_BIT: f64 = 0.018;
+/// Leakage per bit (nW) — 28nm 6T cells leak ~1-5 nW/bit at nominal
+/// voltage and temperature (≈1-3 mW per 64 KiB macro).
+const LEAK_NW_PER_BIT: f64 = 2.5;
+
+/// Errors from SRAM model construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemError {
+    /// Capacity must be positive.
+    ZeroCapacity,
+    /// Word width must be positive and no wider than the capacity.
+    BadWordWidth {
+        /// Requested word width in bits.
+        word_bits: u32,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::ZeroCapacity => write!(f, "SRAM capacity must be positive"),
+            MemError::BadWordWidth { word_bits } => {
+                write!(f, "invalid SRAM word width {word_bits}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// An on-chip SRAM macro (input/weight/output buffer, LUT file).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SramMacro {
+    capacity_bytes: u64,
+    word_bits: u32,
+}
+
+impl SramMacro {
+    /// Creates a macro of `capacity_bytes` with a `word_bits`-wide port.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] for a zero capacity or a word width of zero or
+    /// wider than the whole array.
+    pub fn new(capacity_bytes: u64, word_bits: u32) -> Result<SramMacro, MemError> {
+        if capacity_bytes == 0 {
+            return Err(MemError::ZeroCapacity);
+        }
+        if word_bits == 0 || word_bits as u64 > capacity_bytes * 8 {
+            return Err(MemError::BadWordWidth { word_bits });
+        }
+        Ok(SramMacro {
+            capacity_bytes,
+            word_bits,
+        })
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Port width in bits.
+    pub fn word_bits(&self) -> u32 {
+        self.word_bits
+    }
+
+    /// Macro area in µm².
+    pub fn area_um2(&self) -> f64 {
+        let bits = self.capacity_bytes as f64 * 8.0;
+        bits * BITCELL_UM2 / ARRAY_EFFICIENCY + PERIPHERY_UM2
+    }
+
+    /// Energy of one read access in pJ (decode + bitlines + port transfer).
+    pub fn read_energy_pj(&self) -> f64 {
+        let bits = self.capacity_bytes as f64 * 8.0;
+        ACCESS_BASE_PJ + ACCESS_SQRT_PJ * bits.sqrt() + PORT_PJ_PER_BIT * self.word_bits as f64
+    }
+
+    /// Energy of one write access in pJ (slightly above a read).
+    pub fn write_energy_pj(&self) -> f64 {
+        self.read_energy_pj() * 1.1
+    }
+
+    /// Leakage power in mW.
+    pub fn leakage_mw(&self) -> f64 {
+        self.capacity_bytes as f64 * 8.0 * LEAK_NW_PER_BIT / 1.0e6
+    }
+
+    /// Energy (pJ) to stream `bytes` through the port in word-sized
+    /// accesses (reads).
+    pub fn stream_read_energy_pj(&self, bytes: u64) -> f64 {
+        let accesses = (bytes * 8).div_ceil(self.word_bits as u64);
+        accesses as f64 * self.read_energy_pj()
+    }
+
+    /// Energy (pJ) to stream `bytes` through the port in word-sized
+    /// accesses (writes).
+    pub fn stream_write_energy_pj(&self, bytes: u64) -> f64 {
+        let accesses = (bytes * 8).div_ceil(self.word_bits as u64);
+        accesses as f64 * self.write_energy_pj()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_scales_with_capacity() {
+        let small = SramMacro::new(8 * 1024, 128).unwrap();
+        let large = SramMacro::new(64 * 1024, 128).unwrap();
+        let ratio = large.area_um2() / small.area_um2();
+        assert!((6.0..8.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn access_energy_sublinear_in_capacity() {
+        let small = SramMacro::new(8 * 1024, 128).unwrap();
+        let large = SramMacro::new(64 * 1024, 128).unwrap();
+        let ratio = large.read_energy_pj() / small.read_energy_pj();
+        assert!(ratio > 1.0 && ratio < 8.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn writes_cost_more_than_reads() {
+        let m = SramMacro::new(16 * 1024, 64).unwrap();
+        assert!(m.write_energy_pj() > m.read_energy_pj());
+    }
+
+    #[test]
+    fn streaming_rounds_up_to_word_accesses() {
+        let m = SramMacro::new(1024, 128).unwrap();
+        // 17 bytes = 136 bits = 2 accesses of 128 bits.
+        let two = m.stream_read_energy_pj(17);
+        assert!((two - 2.0 * m.read_energy_pj()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert_eq!(SramMacro::new(0, 64), Err(MemError::ZeroCapacity));
+        assert_eq!(
+            SramMacro::new(4, 64),
+            Err(MemError::BadWordWidth { word_bits: 64 })
+        );
+        assert!(SramMacro::new(8, 64).is_ok());
+    }
+
+    #[test]
+    fn wider_port_costs_more_per_access() {
+        let narrow = SramMacro::new(16 * 1024, 64).unwrap();
+        let wide = SramMacro::new(16 * 1024, 256).unwrap();
+        assert!(wide.read_energy_pj() > narrow.read_energy_pj());
+    }
+}

@@ -1,0 +1,40 @@
+//! # bbal-nonlinear — the segmented-LUT nonlinear computation unit
+//!
+//! Implements the paper's §IV-B contribution: a pipelined nonlinear unit
+//! computing softmax / SILU / GELU / sigmoid in BBFP(10,5) via
+//! exponent-segmented lookup tables, with the mantissa used directly as
+//! the LUT address.
+//!
+//! * [`lut`] — the segmented LUT: one sub-table per (sign, shared
+//!   exponent), lazily materialised, entries stored in the datapath's
+//!   element format.
+//! * [`unit`] — the pipelined unit: numerics (bit-faithful block
+//!   alignment), cycle model, and physical cost.
+//! * [`hooks`] — Table IV adapters (`Softmax only` / `SILU only` /
+//!   `Altogether`) plugging the unit into `bbal-llm`.
+//! * [`comparators`] — the Table V comparison designs (INT8
+//!   pseudo-softmax, 27-bit high-precision base-2 softmax).
+//!
+//! ```
+//! use bbal_nonlinear::{NonlinearUnit, NonlinearUnitConfig};
+//!
+//! let mut unit = NonlinearUnit::new(NonlinearUnitConfig::paper());
+//! let mut row = vec![1.0f32, 2.0, 3.0];
+//! unit.softmax_row(&mut row);
+//! assert!((row.iter().sum::<f32>() - 1.0).abs() < 1e-3);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod comparators;
+pub mod hooks;
+pub mod lut;
+pub mod pipeline;
+pub mod unit;
+
+pub use comparators::{ours_table5_row, HighPrecisionSoftmaxUnit, PseudoSoftmaxUnit, TableVRow};
+pub use hooks::{NonlinearScope, NonlinearUnitHooks};
+pub use lut::SegmentedLut;
+pub use pipeline::{idle_fraction, Opcode, Stage};
+pub use unit::{NonlinearUnit, NonlinearUnitConfig};

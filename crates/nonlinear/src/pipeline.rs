@@ -1,0 +1,204 @@
+//! The control unit's configurable dataflow (paper Fig. 6).
+//!
+//! The nonlinear unit's stages — Align Exponent, SUB, LUT File, Mul,
+//! Adder Tree, Div, Output Encoder — are connected through buffers, and
+//! the Control Unit reorders which stages a function's data flows
+//! through. The unit carries *redundant* units ("the vector multiplication
+//! module remains idle during softmax computation") precisely so one
+//! pipeline can serve Softmax, SILU, GELU and sigmoid. This module makes
+//! those schedules explicit: per-opcode stage orders, per-stage latency
+//! and occupancy, idle-unit accounting, and the per-opcode cycle model.
+
+use bbal_arith::GateLibrary;
+
+/// A pipeline stage of the nonlinear unit (Fig. 6's blocks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Stage {
+    /// Max reduction over the input vector (shared max unit).
+    Max,
+    /// FP subtraction (`x − max`).
+    Sub,
+    /// Block alignment into the element format.
+    AlignExponent,
+    /// Sub-table load + lookup by mantissa.
+    LutFile,
+    /// Vector multiplier bank.
+    Mul,
+    /// Accumulating adder tree.
+    AdderTree,
+    /// Full-precision divider.
+    Div,
+    /// Output encoder (block re-encode).
+    OutputEncoder,
+}
+
+impl Stage {
+    /// Every stage the unit physically contains.
+    pub const ALL: [Stage; 8] = [
+        Stage::Max,
+        Stage::Sub,
+        Stage::AlignExponent,
+        Stage::LutFile,
+        Stage::Mul,
+        Stage::AdderTree,
+        Stage::Div,
+        Stage::OutputEncoder,
+    ];
+
+    /// Nominal stage latency in cycles (each stage is buffered, so this
+    /// contributes to fill/drain, not to steady-state throughput).
+    pub fn latency_cycles(self) -> u64 {
+        match self {
+            Stage::Max => 1,
+            Stage::Sub => 1,
+            Stage::AlignExponent => 1,
+            Stage::LutFile => 1,
+            Stage::Mul => 1,
+            Stage::AdderTree => 2,
+            Stage::Div => 3,
+            Stage::OutputEncoder => 1,
+        }
+    }
+}
+
+/// The functions the unit computes (the Control Unit's opcodes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Opcode {
+    /// Row softmax.
+    Softmax,
+    /// SILU (`x·σ(x)`).
+    Silu,
+    /// GELU (`x·Φ(x)`).
+    Gelu,
+    /// Sigmoid (Eq. 15's `1/(1+e^(−x))` with a pre-composed table).
+    Sigmoid,
+}
+
+impl Opcode {
+    /// The stage order the Control Unit configures for this opcode
+    /// (paper Fig. 6: the numbers ①–⑥ for softmax; §IV-B for sigmoid).
+    pub fn schedule(self) -> Vec<Stage> {
+        match self {
+            Opcode::Softmax => vec![
+                Stage::Max,
+                Stage::Sub,
+                Stage::AlignExponent,
+                Stage::LutFile,
+                Stage::AdderTree,
+                Stage::Div,
+                Stage::OutputEncoder,
+            ],
+            Opcode::Silu | Opcode::Gelu => vec![
+                Stage::AlignExponent,
+                Stage::LutFile,
+                Stage::Mul,
+                Stage::OutputEncoder,
+            ],
+            Opcode::Sigmoid => vec![
+                Stage::AlignExponent,
+                Stage::LutFile,
+                Stage::OutputEncoder,
+            ],
+        }
+    }
+
+    /// The physically present stages this opcode leaves idle — the
+    /// redundancy the paper cites as an area/static-power cost of
+    /// compatibility.
+    pub fn idle_stages(self) -> Vec<Stage> {
+        let used = self.schedule();
+        Stage::ALL
+            .into_iter()
+            .filter(|s| !used.contains(s))
+            .collect()
+    }
+
+    /// Pipeline fill latency: the sum of scheduled stage latencies.
+    pub fn fill_cycles(self) -> u64 {
+        self.schedule().iter().map(|s| s.latency_cycles()).sum()
+    }
+
+    /// Cycles to process `elems` elements on a `lanes`-wide pipeline:
+    /// fill + one beat per lane-group (the schedule is fully pipelined
+    /// through the stage buffers).
+    pub fn cycles(self, elems: u64, lanes: u32) -> u64 {
+        if elems == 0 {
+            return 0;
+        }
+        self.fill_cycles() + elems.div_ceil(lanes as u64)
+    }
+}
+
+/// Fraction of the unit's stage area left idle by an opcode — the
+/// compatibility cost (uses the stage latency as an area proxy weighting
+/// unless a gate library is supplied elsewhere).
+pub fn idle_fraction(opcode: Opcode, _lib: &GateLibrary) -> f64 {
+    let idle: u64 = opcode.idle_stages().iter().map(|s| s.latency_cycles()).sum();
+    let total: u64 = Stage::ALL.iter().map(|s| s.latency_cycles()).sum();
+    idle as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_schedule_matches_fig6_order() {
+        let s = Opcode::Softmax.schedule();
+        assert_eq!(s.first(), Some(&Stage::Max));
+        assert_eq!(s.last(), Some(&Stage::OutputEncoder));
+        // Div strictly after the adder tree (normalisation needs the sum).
+        let div = s.iter().position(|x| *x == Stage::Div).unwrap();
+        let add = s.iter().position(|x| *x == Stage::AdderTree).unwrap();
+        assert!(div > add);
+        // Softmax leaves the multiplier idle (the paper's example of
+        // redundancy).
+        assert!(Opcode::Softmax.idle_stages().contains(&Stage::Mul));
+    }
+
+    #[test]
+    fn silu_uses_multiplier_not_divider() {
+        let s = Opcode::Silu.schedule();
+        assert!(s.contains(&Stage::Mul));
+        assert!(!s.contains(&Stage::Div));
+        assert!(Opcode::Silu.idle_stages().contains(&Stage::Div));
+    }
+
+    #[test]
+    fn sigmoid_is_pure_lookup() {
+        let s = Opcode::Sigmoid.schedule();
+        assert_eq!(
+            s,
+            vec![Stage::AlignExponent, Stage::LutFile, Stage::OutputEncoder]
+        );
+    }
+
+    #[test]
+    fn every_opcode_ends_at_the_output_encoder() {
+        for op in [Opcode::Softmax, Opcode::Silu, Opcode::Gelu, Opcode::Sigmoid] {
+            assert_eq!(op.schedule().last(), Some(&Stage::OutputEncoder), "{op:?}");
+        }
+    }
+
+    #[test]
+    fn cycles_amortise_fill_over_large_inputs() {
+        let small = Opcode::Softmax.cycles(16, 16);
+        let large = Opcode::Softmax.cycles(16_000, 16);
+        assert!(large < small + 1001, "{large} vs {small}");
+        assert_eq!(Opcode::Softmax.cycles(0, 16), 0);
+    }
+
+    #[test]
+    fn softmax_has_longer_fill_than_silu() {
+        assert!(Opcode::Softmax.fill_cycles() > Opcode::Silu.fill_cycles());
+    }
+
+    #[test]
+    fn idle_fraction_positive_for_all_opcodes() {
+        let lib = GateLibrary::default();
+        for op in [Opcode::Softmax, Opcode::Silu, Opcode::Gelu, Opcode::Sigmoid] {
+            let f = idle_fraction(op, &lib);
+            assert!(f > 0.0 && f < 1.0, "{op:?}: {f}");
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! BFP and BBFP quantisers as inference hooks — the thin adapters that
+//! carry the `bbal-core` formats into the transformer forward pass.
+
+use bbal_core::{
+    bbfp_quantize_slice_with, bfp_quantize_slice, BbfpConfig, BfpConfig, ExponentPolicy,
+    RoundingMode,
+};
+use bbal_llm::InferenceHooks;
+
+/// Vanilla BFP weight/activation quantiser.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BfpQuantizer {
+    /// Block format.
+    pub config: BfpConfig,
+    /// Rounding mode (the paper's analysis assumes round-to-nearest).
+    pub rounding: RoundingMode,
+}
+
+impl BfpQuantizer {
+    /// Creates a `BFPm` quantiser with block size 32 and RNE rounding.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`bbal_core::FormatError`] for invalid widths.
+    pub fn new(mantissa_bits: u8) -> Result<BfpQuantizer, bbal_core::FormatError> {
+        Ok(BfpQuantizer {
+            config: BfpConfig::new(mantissa_bits)?,
+            rounding: RoundingMode::NearestEven,
+        })
+    }
+
+    fn apply(&self, data: &mut [f32]) {
+        let src = data.to_vec();
+        bfp_quantize_slice(&src, self.config, self.rounding, data);
+    }
+}
+
+impl InferenceHooks for BfpQuantizer {
+    fn transform_weights(&self, weights: &mut [f32]) {
+        self.apply(weights);
+    }
+
+    fn transform_activations(&self, activations: &mut [f32]) {
+        self.apply(activations);
+    }
+
+    fn name(&self) -> String {
+        format!("BFP{}", self.config.mantissa_bits())
+    }
+}
+
+/// BBFP weight/activation quantiser.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BbfpQuantizer {
+    /// Block format.
+    pub config: BbfpConfig,
+    /// Shared-exponent policy (defaults to the paper's Eq. 9).
+    pub policy: ExponentPolicy,
+    /// Rounding mode.
+    pub rounding: RoundingMode,
+}
+
+impl BbfpQuantizer {
+    /// Creates a `BBFP(m, o)` quantiser with the paper-default policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`bbal_core::FormatError`] for invalid configurations.
+    pub fn new(mantissa_bits: u8, overlap_bits: u8) -> Result<BbfpQuantizer, bbal_core::FormatError> {
+        let config = BbfpConfig::new(mantissa_bits, overlap_bits)?;
+        Ok(BbfpQuantizer {
+            config,
+            policy: ExponentPolicy::paper_default(config),
+            rounding: RoundingMode::NearestEven,
+        })
+    }
+
+    /// Overrides the shared-exponent policy (the Fig. 3 sweep).
+    pub fn with_policy(mut self, policy: ExponentPolicy) -> BbfpQuantizer {
+        self.policy = policy;
+        self
+    }
+
+    fn apply(&self, data: &mut [f32]) {
+        let src = data.to_vec();
+        bbfp_quantize_slice_with(&src, self.config, self.policy, self.rounding, data);
+    }
+}
+
+impl InferenceHooks for BbfpQuantizer {
+    fn transform_weights(&self, weights: &mut [f32]) {
+        self.apply(weights);
+    }
+
+    fn transform_activations(&self, activations: &mut [f32]) {
+        self.apply(activations);
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "BBFP({},{})",
+            self.config.mantissa_bits(),
+            self.config.overlap_bits()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outlier_data(n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| {
+                let body = ((i * 37 % 101) as f32 - 50.0) * 0.005;
+                if i % 53 == 0 {
+                    body * 40.0
+                } else {
+                    body
+                }
+            })
+            .collect()
+    }
+
+    fn mse(a: &[f32], b: &[f32]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| ((x - y) as f64).powi(2)).sum::<f64>() / a.len() as f64
+    }
+
+    #[test]
+    fn bbfp_beats_bfp_at_equal_width() {
+        let data = outlier_data(2048);
+        let mut bfp = data.clone();
+        let mut bbfp = data.clone();
+        BfpQuantizer::new(4).unwrap().quantize_for_test(&mut bfp);
+        BbfpQuantizer::new(4, 2).unwrap().quantize_for_test(&mut bbfp);
+        assert!(mse(&data, &bbfp) < mse(&data, &bfp));
+    }
+
+    impl BfpQuantizer {
+        fn quantize_for_test(&self, data: &mut [f32]) {
+            self.apply(data);
+        }
+    }
+    impl BbfpQuantizer {
+        fn quantize_for_test(&self, data: &mut [f32]) {
+            self.apply(data);
+        }
+    }
+
+    #[test]
+    fn names_match_paper_rows() {
+        assert_eq!(BfpQuantizer::new(6).unwrap().name(), "BFP6");
+        assert_eq!(BbfpQuantizer::new(6, 3).unwrap().name(), "BBFP(6,3)");
+    }
+
+    #[test]
+    fn weights_and_activations_use_same_format() {
+        let q = BbfpQuantizer::new(4, 2).unwrap();
+        let data = outlier_data(256);
+        let mut w = data.clone();
+        let mut a = data.clone();
+        q.transform_weights(&mut w);
+        q.transform_activations(&mut a);
+        assert_eq!(w, a);
+    }
+
+    #[test]
+    fn invalid_configs_propagate_errors() {
+        assert!(BfpQuantizer::new(0).is_err());
+        assert!(BbfpQuantizer::new(4, 4).is_err());
+    }
+}

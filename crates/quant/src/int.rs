@@ -1,0 +1,105 @@
+//! Plain symmetric integer quantisation (the INT4/INT8 baselines of §II-A).
+
+use bbal_llm::InferenceHooks;
+
+/// Symmetric group-wise integer quantiser: each contiguous group shares a
+/// scale `max|v| / (2^(b−1) − 1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntQuantizer {
+    /// Total bit width (including sign), 2..=16.
+    pub bits: u8,
+    /// Contiguous group size sharing one scale.
+    pub group_size: usize,
+}
+
+impl IntQuantizer {
+    /// Creates an INT-`bits` quantiser with per-128-group scaling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside `2..=16`.
+    pub fn new(bits: u8) -> IntQuantizer {
+        assert!((2..=16).contains(&bits), "unsupported width {bits}");
+        IntQuantizer { bits, group_size: 128 }
+    }
+
+    /// Quantise-dequantise a slice in place.
+    pub fn quantize(&self, data: &mut [f32]) {
+        let qmax = ((1i32 << (self.bits - 1)) - 1) as f32;
+        for group in data.chunks_mut(self.group_size) {
+            let max = group.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+            if max == 0.0 {
+                continue;
+            }
+            let scale = max / qmax;
+            for v in group.iter_mut() {
+                *v = (*v / scale).round().clamp(-qmax, qmax) * scale;
+            }
+        }
+    }
+}
+
+impl InferenceHooks for IntQuantizer {
+    fn transform_weights(&self, weights: &mut [f32]) {
+        self.quantize(weights);
+    }
+
+    fn transform_activations(&self, activations: &mut [f32]) {
+        self.quantize(activations);
+    }
+
+    fn name(&self) -> String {
+        format!("INT{}", self.bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int8_is_accurate_on_uniform_data() {
+        let q = IntQuantizer::new(8);
+        let mut data: Vec<f32> = (0..128).map(|i| (i as f32 - 64.0) * 0.01).collect();
+        let orig = data.clone();
+        q.quantize(&mut data);
+        for (a, b) in orig.iter().zip(&data) {
+            assert!((a - b).abs() < 0.01, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn outlier_destroys_int4_body() {
+        // The Fig. 1(a) problem: one outlier blows up the shared scale.
+        let q = IntQuantizer::new(4);
+        let mut data = vec![0.01f32; 128];
+        data[0] = 10.0;
+        q.quantize(&mut data);
+        assert_eq!(data[1], 0.0, "body values collapse to zero");
+        assert!((data[0] - 10.0).abs() < 1.0, "outlier survives");
+    }
+
+    #[test]
+    fn zero_group_is_noop() {
+        let q = IntQuantizer::new(4);
+        let mut data = vec![0.0f32; 16];
+        q.quantize(&mut data);
+        assert!(data.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn values_clamp_to_representable_range() {
+        let q = IntQuantizer::new(4);
+        let mut data = vec![1.0f32; 128];
+        data[0] = -100.0;
+        q.quantize(&mut data);
+        // Scale = 100/7; 1.0 rounds to 0 (1.0/14.3 ≈ 0.07 → 0).
+        assert_eq!(data[1], 0.0);
+        assert!((data[0] + 100.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn hook_name_reports_width() {
+        assert_eq!(IntQuantizer::new(8).name(), "INT8");
+    }
+}

@@ -1,0 +1,189 @@
+//! Olive-style outlier-victim pair quantisation (Guo et al., ISCA 2023),
+//! re-implemented at the mechanism level for the Table II / Fig. 8
+//! comparison.
+//!
+//! Mechanism: values are quantised to low-bit integers against a *body*
+//! scale chosen to cover the non-outlier mass. A value beyond the body
+//! range is an **outlier**: it steals its pair partner's slot (the
+//! *victim*, which is pruned to zero) to store an extended exponent,
+//! letting the outlier be represented coarsely instead of clipping. When
+//! both partners are outliers, only one can be saved — the other clips to
+//! the body range. Victim pruning and outlier coarseness are exactly the
+//! error sources the paper's comparison exercises.
+
+use bbal_llm::InferenceHooks;
+
+/// Olive-style outlier-victim pair quantiser (4-bit body).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OliveQuantizer {
+    /// Body bit width (4 in the paper's comparison).
+    pub bits: u8,
+    /// Quantisation group size sharing one body scale.
+    pub group_size: usize,
+    /// Outlier threshold as a multiple of the group's median magnitude.
+    pub outlier_sigma: f32,
+}
+
+impl OliveQuantizer {
+    /// Creates the 4-bit configuration used in the paper's comparison.
+    pub fn new() -> OliveQuantizer {
+        OliveQuantizer {
+            bits: 4,
+            group_size: 64,
+            outlier_sigma: 8.0,
+        }
+    }
+
+    /// Quantise-dequantise a slice in place.
+    pub fn quantize(&self, data: &mut [f32]) {
+        let qmax = ((1i32 << (self.bits - 1)) - 1) as f32; // 7 for 4-bit
+        for group in data.chunks_mut(self.group_size) {
+            // Robust outlier threshold: a multiple of the median magnitude.
+            // Values above it are outliers; the body scale covers the rest.
+            let mut mags: Vec<f32> = group.iter().map(|v| v.abs()).collect();
+            mags.sort_by(|a, b| a.partial_cmp(b).expect("finite magnitudes"));
+            let median = mags[mags.len() / 2];
+            let threshold = (median * self.outlier_sigma).max(1e-30);
+            let body_max = mags
+                .iter()
+                .rev()
+                .find(|&&m| m <= threshold)
+                .copied()
+                .unwrap_or(threshold)
+                .max(1e-30);
+            let scale = body_max / qmax;
+
+            // Pairwise outlier-victim encoding.
+            for pair in group.chunks_mut(2) {
+                let is_outlier = |v: f32| v.abs() > body_max;
+                match pair {
+                    [a, b] => {
+                        let (oa, ob) = (is_outlier(*a), is_outlier(*b));
+                        if oa && ob {
+                            // Both outliers: save the larger, clip the other.
+                            if a.abs() >= b.abs() {
+                                *a = quantize_outlier(*a, scale, qmax);
+                                *b = b.signum() * body_max;
+                            } else {
+                                *b = quantize_outlier(*b, scale, qmax);
+                                *a = a.signum() * body_max;
+                            }
+                        } else if oa {
+                            *a = quantize_outlier(*a, scale, qmax);
+                            *b = 0.0; // victim pruned
+                        } else if ob {
+                            *b = quantize_outlier(*b, scale, qmax);
+                            *a = 0.0; // victim pruned
+                        } else {
+                            *a = quantize_body(*a, scale, qmax);
+                            *b = quantize_body(*b, scale, qmax);
+                        }
+                    }
+                    [a] => {
+                        *a = if is_outlier(*a) {
+                            a.signum() * body_max
+                        } else {
+                            quantize_body(*a, scale, qmax)
+                        };
+                    }
+                    _ => unreachable!("chunks of 2"),
+                }
+            }
+        }
+    }
+}
+
+impl Default for OliveQuantizer {
+    fn default() -> Self {
+        OliveQuantizer::new()
+    }
+}
+
+fn quantize_body(v: f32, scale: f32, qmax: f32) -> f32 {
+    (v / scale).round().clamp(-qmax, qmax) * scale
+}
+
+/// Outliers are stored as `mantissa × 2^k` with a 4-bit mantissa and the
+/// exponent `k` in the victim's slot: coarse but wide-range.
+fn quantize_outlier(v: f32, scale: f32, qmax: f32) -> f32 {
+    let units = (v / scale).abs();
+    // Smallest k with units/2^k <= qmax; cap k at what a 4-bit victim slot
+    // can express.
+    let k = (units / qmax).log2().ceil().max(0.0).min(15.0) as i32;
+    let step = scale * (1 << k) as f32;
+    (v / step).round().clamp(-qmax, qmax) * step
+}
+
+impl InferenceHooks for OliveQuantizer {
+    fn transform_weights(&self, weights: &mut [f32]) {
+        self.quantize(weights);
+    }
+
+    fn transform_activations(&self, activations: &mut [f32]) {
+        self.quantize(activations);
+    }
+
+    fn name(&self) -> String {
+        "Olive".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isolated_outlier_is_captured_and_victim_pruned() {
+        let q = OliveQuantizer::new();
+        let mut data = vec![0.1f32; 64];
+        data[10] = 50.0; // outlier; data[11] becomes its victim
+        q.quantize(&mut data);
+        assert!((data[10] - 50.0).abs() / 50.0 < 0.2, "outlier kept: {}", data[10]);
+        assert_eq!(data[11], 0.0, "victim pruned");
+        assert!((data[0] - 0.1).abs() < 0.05, "body survives");
+    }
+
+    #[test]
+    fn adjacent_outliers_lose_one() {
+        let q = OliveQuantizer::new();
+        let mut data = vec![0.1f32; 64];
+        data[10] = 50.0;
+        data[11] = 40.0; // same pair: can't both be saved
+        q.quantize(&mut data);
+        assert!((data[10] - 50.0).abs() / 50.0 < 0.2);
+        assert!(data[11] < 1.0, "second outlier clipped to body range: {}", data[11]);
+    }
+
+    #[test]
+    fn body_only_group_behaves_like_int4() {
+        let q = OliveQuantizer::new();
+        let mut data: Vec<f32> = (0..64).map(|i| (i as f32 - 32.0) * 0.01).collect();
+        let orig = data.clone();
+        q.quantize(&mut data);
+        let mse: f64 = orig
+            .iter()
+            .zip(&data)
+            .map(|(a, b)| ((a - b) as f64).powi(2))
+            .sum::<f64>()
+            / 64.0;
+        assert!(mse < 1e-3, "mse {mse}");
+    }
+
+    #[test]
+    fn victim_pruning_hurts_dense_signals() {
+        // When many moderate values sit next to outliers, Olive's pruning
+        // erases real signal — the failure mode behind its Table II rows.
+        let q = OliveQuantizer::new();
+        let mut data: Vec<f32> = (0..64)
+            .map(|i| if i % 8 == 0 { 20.0 } else { 1.0 })
+            .collect();
+        let orig = data.clone();
+        q.quantize(&mut data);
+        let pruned = data
+            .iter()
+            .zip(&orig)
+            .filter(|(now, was)| **now == 0.0 && **was != 0.0)
+            .count();
+        assert!(pruned >= 8, "pruned {pruned} victims");
+    }
+}

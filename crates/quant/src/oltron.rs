@@ -1,0 +1,166 @@
+//! Oltron-style outlier-aware quantisation (Xue et al., DAC 2024),
+//! re-implemented at the mechanism level.
+//!
+//! Mechanism: a *fixed hardware budget* of outlier slots per group holds
+//! the largest-magnitude values at higher precision (INT8 with their own
+//! scale); everything else is INT4 against a body scale computed after
+//! excluding the budgeted outliers. Inter/intra-layer adaptation shifts
+//! budget between layers, but the total is fixed — so a model with *more*
+//! outliers than the budget (the paper's Llama case) sees the excess
+//! clipped into the body range, while a model with fewer (OPT) is covered.
+
+use bbal_llm::InferenceHooks;
+
+/// Oltron-style dual-precision quantiser.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OltronQuantizer {
+    /// Body bit width (4 in the paper's comparison — 3-bit multipliers plus
+    /// sign in hardware).
+    pub body_bits: u8,
+    /// Outlier bit width (8).
+    pub outlier_bits: u8,
+    /// Group size sharing scales.
+    pub group_size: usize,
+    /// Outlier slots per group (the fixed budget).
+    pub outlier_budget: usize,
+}
+
+impl OltronQuantizer {
+    /// The configuration used in the paper's comparison: 4-bit body,
+    /// 8-bit outliers, 1 slot per 64-element group (≈1.6% — enough for
+    /// the OPT profile, not for the Llama profile).
+    pub fn new() -> OltronQuantizer {
+        OltronQuantizer {
+            body_bits: 4,
+            outlier_bits: 8,
+            group_size: 64,
+            outlier_budget: 1,
+        }
+    }
+
+    /// Quantise-dequantise a slice in place.
+    pub fn quantize(&self, data: &mut [f32]) {
+        let body_qmax = ((1i32 << (self.body_bits - 1)) - 1) as f32;
+        let out_qmax = ((1i32 << (self.outlier_bits - 1)) - 1) as f32;
+        for group in data.chunks_mut(self.group_size) {
+            // Find the `budget` largest magnitudes.
+            let mut order: Vec<usize> = (0..group.len()).collect();
+            order.sort_by(|&a, &b| {
+                group[b]
+                    .abs()
+                    .partial_cmp(&group[a].abs())
+                    .expect("finite values")
+            });
+            // Body scale excludes the budgeted slots...
+            let body_max = order[self.outlier_budget.min(order.len().saturating_sub(1))..]
+                .iter()
+                .map(|&i| group[i].abs())
+                .fold(0.0f32, f32::max)
+                .max(1e-30);
+            let body_scale = body_max / body_qmax;
+
+            // ...and a budgeted slot is only *used* for a value that
+            // actually exceeds the body range (the budget is a cap, not a
+            // quota).
+            let outlier_idx: Vec<usize> = order[..self.outlier_budget.min(order.len())]
+                .iter()
+                .copied()
+                .filter(|&i| group[i].abs() > body_max)
+                .collect();
+
+            // Outlier scale covers the single largest value.
+            let out_max = group[order[0]].abs().max(1e-30);
+            let out_scale = out_max / out_qmax;
+
+            for (i, v) in group.iter_mut().enumerate() {
+                if outlier_idx.contains(&i) {
+                    *v = (*v / out_scale).round().clamp(-out_qmax, out_qmax) * out_scale;
+                } else {
+                    // Excess outliers (beyond budget) clip into the body.
+                    *v = (*v / body_scale).round().clamp(-body_qmax, body_qmax) * body_scale;
+                }
+            }
+        }
+    }
+}
+
+impl Default for OltronQuantizer {
+    fn default() -> Self {
+        OltronQuantizer::new()
+    }
+}
+
+impl InferenceHooks for OltronQuantizer {
+    fn transform_weights(&self, weights: &mut [f32]) {
+        self.quantize(weights);
+    }
+
+    fn transform_activations(&self, activations: &mut [f32]) {
+        self.quantize(activations);
+    }
+
+    fn name(&self) -> String {
+        "Oltron".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budgeted_outliers_survive_at_high_precision() {
+        let q = OltronQuantizer::new();
+        let mut data = vec![0.1f32; 128];
+        data[5] = 30.0;
+        data[70] = -25.0;
+        q.quantize(&mut data);
+        assert!((data[5] - 30.0).abs() / 30.0 < 0.02);
+        assert!((data[70] + 25.0).abs() / 25.0 < 0.02);
+        // Body survives because the scale excluded the outliers.
+        assert!((data[0] - 0.1).abs() < 0.05);
+    }
+
+    #[test]
+    fn excess_outliers_destroy_the_body() {
+        // More outliers than budget: the excess outliers inflate the body
+        // scale, crushing the body — the paper's Llama failure mode
+        // ("outlier-aware quantisation methods, which capture a fixed
+        // proportion of outliers, perform poorly on the Llama").
+        let q = OltronQuantizer::new();
+        let mut data = vec![0.1f32; 128];
+        for i in 0..8 {
+            data[i * 16] = 30.0 + i as f32;
+        }
+        q.quantize(&mut data);
+        // A body value not adjacent to any outlier slot:
+        assert_eq!(data[1], 0.0, "body crushed by inflated scale");
+    }
+
+    #[test]
+    fn within_budget_body_is_clean() {
+        // With outliers within budget the body keeps full resolution —
+        // the paper's OPT success mode.
+        let q = OltronQuantizer::new();
+        let mut data = vec![0.1f32; 128];
+        data[0] = 30.0;
+        data[64] = -40.0;
+        q.quantize(&mut data);
+        assert!((data[1] - 0.1).abs() < 0.02, "body clean: {}", data[1]);
+    }
+
+    #[test]
+    fn body_resolution_unaffected_by_outliers() {
+        // Unlike plain INT4, the body scale ignores budgeted outliers.
+        let q = OltronQuantizer::new();
+        let mut with_outlier = vec![0.5f32; 128];
+        with_outlier[0] = 100.0;
+        q.quantize(&mut with_outlier);
+        assert!((with_outlier[1] - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn name_reports_method() {
+        assert_eq!(OltronQuantizer::new().name(), "Oltron");
+    }
+}

@@ -1,0 +1,104 @@
+//! The method lineups of the paper's tables, as ready-made hook sets.
+
+use crate::block::{BbfpQuantizer, BfpQuantizer};
+use crate::olive::OliveQuantizer;
+use crate::oltron::OltronQuantizer;
+use crate::omniquant::OmniQuantizer;
+use bbal_llm::{Fp16Hooks, InferenceHooks};
+
+/// A named quantisation method.
+pub struct Method {
+    /// Row/column label used by the paper.
+    pub name: String,
+    /// The hook set implementing it.
+    pub hooks: Box<dyn InferenceHooks>,
+}
+
+impl std::fmt::Debug for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Method").field("name", &self.name).finish()
+    }
+}
+
+fn method(hooks: impl InferenceHooks + 'static) -> Method {
+    Method {
+        name: hooks.name(),
+        hooks: Box::new(hooks),
+    }
+}
+
+/// The Table II row lineup: FP16 baseline, three sota baselines, two BFP
+/// widths and five BBFP configurations.
+pub fn table2_methods() -> Vec<Method> {
+    vec![
+        method(Fp16Hooks),
+        method(OltronQuantizer::new()),
+        method(OliveQuantizer::new()),
+        method(OmniQuantizer::new()),
+        method(BfpQuantizer::new(6).expect("valid")),
+        method(BfpQuantizer::new(4).expect("valid")),
+        method(BbfpQuantizer::new(3, 1).expect("valid")),
+        method(BbfpQuantizer::new(4, 2).expect("valid")),
+        method(BbfpQuantizer::new(4, 3).expect("valid")),
+        method(BbfpQuantizer::new(6, 3).expect("valid")),
+        method(BbfpQuantizer::new(6, 4).expect("valid")),
+    ]
+}
+
+/// The Fig. 8 / Fig. 9 method lineup (Table III columns): the same set as
+/// Table II minus FP16/OmniQuant, plus BBFP(3,2) and BBFP(6,5).
+pub fn fig8_methods() -> Vec<Method> {
+    vec![
+        method(OltronQuantizer::new()),
+        method(OliveQuantizer::new()),
+        method(BfpQuantizer::new(4).expect("valid")),
+        method(BfpQuantizer::new(6).expect("valid")),
+        method(BbfpQuantizer::new(3, 1).expect("valid")),
+        method(BbfpQuantizer::new(3, 2).expect("valid")),
+        method(BbfpQuantizer::new(4, 2).expect("valid")),
+        method(BbfpQuantizer::new(4, 3).expect("valid")),
+        method(BbfpQuantizer::new(6, 3).expect("valid")),
+        method(BbfpQuantizer::new(6, 4).expect("valid")),
+        method(BbfpQuantizer::new(6, 5).expect("valid")),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_lineup_matches_paper() {
+        let names: Vec<String> = table2_methods().iter().map(|m| m.name.clone()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "FP16",
+                "Oltron",
+                "Olive",
+                "OmniQuant",
+                "BFP6",
+                "BFP4",
+                "BBFP(3,1)",
+                "BBFP(4,2)",
+                "BBFP(4,3)",
+                "BBFP(6,3)",
+                "BBFP(6,4)",
+            ]
+        );
+    }
+
+    #[test]
+    fn fig8_lineup_has_eleven_methods() {
+        assert_eq!(fig8_methods().len(), 11);
+    }
+
+    #[test]
+    fn methods_are_usable_as_hooks() {
+        for m in table2_methods() {
+            let mut data = vec![0.5f32; 128];
+            m.hooks.transform_weights(&mut data);
+            assert!(data.iter().all(|v| v.is_finite()), "{}", m.name);
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! SmoothQuant-style quantisation (Xiao et al., ICML 2023), re-implemented
+//! at the mechanism level (cited by the paper's §II-A as a fixed-point
+//! PTQ method).
+//!
+//! Mechanism: activations are harder to quantise than weights (outliers),
+//! so a per-channel *smoothing factor* `s = (max|X|^α) / (max|W|^(1−α))`
+//! migrates quantisation difficulty from activations to weights:
+//! `X ← X/s`, `W ← s·W`. Our hook interface sees weights and activations
+//! as separate flat slices, so the migration is approximated per
+//! contiguous channel group with the canonical α = 0.5 and INT8 cores —
+//! the W8A8 configuration SmoothQuant targets.
+
+use bbal_llm::InferenceHooks;
+
+/// SmoothQuant-style W8A8 quantiser with difficulty migration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SmoothQuantizer {
+    /// Core integer width (8 in the published configuration).
+    pub bits: u8,
+    /// Migration strength α ∈ [0, 1] (0.5 published default).
+    pub alpha: f64,
+    /// Channel group size for the migration statistics.
+    pub group_size: usize,
+}
+
+impl SmoothQuantizer {
+    /// The published W8A8, α = 0.5 configuration.
+    pub fn new() -> SmoothQuantizer {
+        SmoothQuantizer {
+            bits: 8,
+            alpha: 0.5,
+            group_size: 64,
+        }
+    }
+
+    /// Smooths then int-quantises a slice: the smoothing factor flattens
+    /// each group towards the global scale before quantisation, then is
+    /// divided back out — emulating the X/s · sW cancellation.
+    fn quantize(&self, data: &mut [f32], migrate_out: bool) {
+        let qmax = ((1i32 << (self.bits - 1)) - 1) as f32;
+        // Global magnitude reference.
+        let global_max = data.iter().fold(0.0f32, |m, v| m.max(v.abs())).max(1e-30);
+        for group in data.chunks_mut(self.group_size) {
+            let group_max = group.iter().fold(0.0f32, |m, v| m.max(v.abs())).max(1e-30);
+            // Migration factor: pull this group's scale towards the global
+            // one (activations, migrate_out = true give difficulty away;
+            // weights absorb it with the inverse exponent).
+            let ratio = group_max / global_max;
+            let s = if migrate_out {
+                ratio.powf(self.alpha as f32)
+            } else {
+                ratio.powf(1.0 - self.alpha as f32)
+            }
+            .max(1e-6);
+            let eff_max = group_max / s;
+            let scale = eff_max / qmax;
+            for v in group.iter_mut() {
+                let smoothed = *v / s;
+                let q = (smoothed / scale).round().clamp(-qmax, qmax) * scale;
+                *v = q * s;
+            }
+        }
+    }
+}
+
+impl Default for SmoothQuantizer {
+    fn default() -> Self {
+        SmoothQuantizer::new()
+    }
+}
+
+impl InferenceHooks for SmoothQuantizer {
+    fn transform_weights(&self, weights: &mut [f32]) {
+        self.quantize(weights, false);
+    }
+
+    fn transform_activations(&self, activations: &mut [f32]) {
+        self.quantize(activations, true);
+    }
+
+    fn name(&self) -> String {
+        "SmoothQuant".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mse(a: &[f32], b: &[f32]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| ((x - y) as f64).powi(2)).sum::<f64>() / a.len() as f64
+    }
+
+    #[test]
+    fn w8a8_is_nearly_lossless_on_smooth_data() {
+        let data: Vec<f32> = (0..256).map(|i| ((i as f32) * 0.37).sin()).collect();
+        let mut q = data.clone();
+        SmoothQuantizer::new().quantize(&mut q, true);
+        assert!(mse(&data, &q) < 1e-4, "mse {}", mse(&data, &q));
+    }
+
+    #[test]
+    fn migration_softens_activation_outlier_damage() {
+        // A group with a big outlier: migration shrinks it before
+        // quantising, so the rest of the group keeps resolution relative
+        // to plain per-tensor INT8 with the same group span.
+        let mut data = vec![0.5f32; 256];
+        data[10] = 30.0;
+        let orig = data.clone();
+        SmoothQuantizer::new().quantize(&mut data, true);
+        // Outlier survives to within a few percent...
+        assert!((data[10] - 30.0).abs() / 30.0 < 0.05, "{}", data[10]);
+        // ...and the body is not erased (INT8 resolution holds a 60x span).
+        let alive = data.iter().zip(&orig).filter(|(now, _)| **now != 0.0).count();
+        assert!(alive > 250, "only {alive} values survive");
+    }
+
+    #[test]
+    fn weights_and_activations_use_conjugate_exponents() {
+        // With alpha = 0.5 the two sides use the same exponent; with
+        // alpha = 0.8 activations migrate more than weights.
+        let data: Vec<f32> = (0..128).map(|i| (i as f32 - 64.0) * 0.01).collect();
+        let q = SmoothQuantizer { alpha: 0.8, ..SmoothQuantizer::new() };
+        let mut a = data.clone();
+        let mut w = data.clone();
+        q.transform_activations(&mut a);
+        q.transform_weights(&mut w);
+        // Both remain finite reconstructions of the same input.
+        assert!(mse(&data, &a) < 1e-3);
+        assert!(mse(&data, &w) < 1e-3);
+    }
+
+    #[test]
+    fn name_reports_method() {
+        assert_eq!(SmoothQuantizer::new().name(), "SmoothQuant");
+    }
+}

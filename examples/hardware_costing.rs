@@ -1,0 +1,60 @@
+//! Exploring the hardware cost space (paper §IV-A): gate-level MAC and PE
+//! area across formats, the carry-chain saving, and what a fixed silicon
+//! budget buys in PEs per format — the Fig. 8 iso-area methodology.
+//!
+//! Run with: `cargo run --release --example hardware_costing`
+
+use bbal::accel::{array_for_budget, FormatSpec};
+use bbal::arith::{
+    BlockMac, GateLibrary, MacKind, PeKind, ProcessingElement, RippleCarryAdder, SparseAdder,
+};
+use bbal::core::{BbfpConfig, BfpConfig};
+
+fn main() {
+    let lib = GateLibrary::default();
+
+    println!("== The carry-chain sparse adder (paper Eqs. 13-14) ==");
+    for (dense, chain) in [(8u32, 4u32), (8, 8), (12, 6), (12, 12)] {
+        let sparse = SparseAdder::new(dense, chain);
+        let full = RippleCarryAdder::new(dense + chain);
+        println!(
+            "  {dense:>2}+{chain:<2} bits: sparse {:.1} um^2 vs dense {:.1} um^2 -> {:.1}% saved",
+            sparse.cost(&lib).area_um2,
+            full.cost(&lib).area_um2,
+            sparse.area_saving(&lib) * 100.0
+        );
+    }
+
+    println!("\n== Block MAC units (Table I) ==");
+    for kind in [
+        MacKind::Fp16,
+        MacKind::Int(8),
+        MacKind::Bfp(BfpConfig::new(6).expect("valid")),
+        MacKind::Bbfp(BbfpConfig::new(6, 3).expect("valid")),
+    ] {
+        let (name, area, eqw, eff) = BlockMac::new(kind, 32).table1_row(&lib);
+        println!("  {name:<10} {area:>7.0} um^2, {eqw:>5.2} bits/elem, {eff:.2}x mem eff");
+    }
+
+    println!("\n== Single PEs (Table III) ==");
+    for (name, area, norm) in ProcessingElement::table3_rows(&lib) {
+        println!("  {name:<10} {area:>6.1} um^2 (norm {norm:.2})");
+    }
+
+    println!("\n== What a 60,000 um^2 budget buys (Fig. 8) ==");
+    for (name, kind) in [
+        ("BBFP(3,1)", PeKind::Bbfp(3, 1)),
+        ("BFP4", PeKind::Bfp(4)),
+        ("BBFP(4,2)", PeKind::Bbfp(4, 2)),
+        ("BFP6", PeKind::Bfp(6)),
+        ("BBFP(6,3)", PeKind::Bbfp(6, 3)),
+    ] {
+        let spec = match kind {
+            PeKind::Bfp(m) => FormatSpec::bfp(m),
+            PeKind::Bbfp(m, o) => FormatSpec::bbfp(m, o),
+            _ => unreachable!("lineup is BFP/BBFP only"),
+        };
+        let (r, c) = array_for_budget(spec, 60_000.0, &lib);
+        println!("  {name:<10} -> {r:>2} x {c:<2} = {:>3} PEs", r * c);
+    }
+}

@@ -1,0 +1,48 @@
+//! Quantised decoder inference end to end: synthesise a Llama-profile
+//! model, run it under several quantisation schemes through the same
+//! forward pass, and report the perplexity proxy and the accelerator's
+//! simulated runtime — the workload from the paper's introduction.
+//!
+//! Run with: `cargo run --release --example llama_decoder`
+
+use bbal::accel::{simulate, AcceleratorConfig};
+use bbal::arith::GateLibrary;
+use bbal::llm::graph::{decoder_ops, paper_dims};
+use bbal::llm::{evaluate_ppl, zoo, EvalSet, Fp16Hooks, TransformerModel};
+use bbal::quant::{BbfpQuantizer, BfpQuantizer};
+
+fn main() {
+    let spec = zoo::llama_7b();
+    println!("model: {} stand-in ({} hidden x {} layers)\n", spec.name, spec.hidden, spec.layers);
+
+    let model = TransformerModel::synthesize(&spec);
+    let eval = EvalSet::generate(&spec, 2, 24, 42);
+
+    println!("{:<12} {:>8} {:>10}", "scheme", "PPL", "KL (nats)");
+    let fp16 = evaluate_ppl(&model, &Fp16Hooks, &eval);
+    println!("{:<12} {:>8.2} {:>10.5}", fp16.scheme, fp16.ppl, fp16.kl);
+    for (m, o) in [(6u8, 3u8), (4, 2), (3, 1)] {
+        let q = BbfpQuantizer::new(m, o).expect("valid config");
+        let r = evaluate_ppl(&model, &q, &eval);
+        println!("{:<12} {:>8.2} {:>10.5}", r.scheme, r.ppl, r.kl);
+    }
+    for m in [6u8, 4] {
+        let q = BfpQuantizer::new(m).expect("valid width");
+        let r = evaluate_ppl(&model, &q, &eval);
+        println!("{:<12} {:>8.2} {:>10.5}", r.scheme, r.ppl, r.kl);
+    }
+
+    // The same decoder on the BBAL accelerator, at true Llama-7B shapes.
+    let lib = GateLibrary::default();
+    let cfg = AcceleratorConfig::bbal_paper();
+    let dims = paper_dims("Llama-7B").expect("known model");
+    let report = simulate(&cfg, &decoder_ops(&dims, 512), &lib);
+    println!(
+        "\nBBAL 16x16 @1GHz, Llama-7B prefill of 512 tokens: {:.1} ms \
+         ({} GMACs, {:.1}% nonlinear, {:.1} mJ)",
+        report.runtime_ms(cfg.clock_ghz),
+        report.macs / 1_000_000_000,
+        100.0 * report.nonlinear_fraction(),
+        report.energy.total_pj() / 1.0e9,
+    );
+}

@@ -1,0 +1,65 @@
+//! Quickstart: encode LLM-like data into BBFP, compare against BFP, and
+//! run a bit-exact fixed-point dot product — the paper's §III in thirty
+//! lines.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use bbal::core::{bbfp_dot, BbfpBlock, BbfpConfig, BfpBlock, BfpConfig, FormatError};
+
+fn main() -> Result<(), FormatError> {
+    // A block shaped like an LLM activation tile: a small-valued body with
+    // one 40x outlier (paper Fig. 1(a)).
+    let mut activations = vec![0.0f32; 32];
+    for (i, a) in activations.iter_mut().enumerate() {
+        *a = ((i as f32 * 0.7).sin()) * 0.15;
+    }
+    activations[5] = 6.0;
+
+    // Vanilla BFP4: everything aligns to the outlier's exponent.
+    let bfp = BfpBlock::from_f32_slice(&activations, BfpConfig::new(4)?)?;
+    // BBFP(4,2): shared exponent sits max-(m-o) below; the outlier is
+    // flagged into the high window instead (paper Eq. 9).
+    let bbfp = BbfpBlock::from_f32_slice(&activations, BbfpConfig::new(4, 2)?)?;
+
+    let mse = |rec: &[f32]| -> f64 {
+        activations
+            .iter()
+            .zip(rec)
+            .map(|(a, b)| ((a - b) as f64).powi(2))
+            .sum::<f64>()
+            / 32.0
+    };
+    let bfp_rec = bfp.to_f32_vec();
+    let bbfp_rec = bbfp.to_f32_vec();
+
+    println!("original[5] (outlier) = {:.3}", activations[5]);
+    println!("  BFP4  -> {:.3}   BBFP(4,2) -> {:.3}", bfp_rec[5], bbfp_rec[5]);
+    println!("original[0] (body)    = {:.4}", activations[0]);
+    println!("  BFP4  -> {:.4}   BBFP(4,2) -> {:.4}", bfp_rec[0], bbfp_rec[0]);
+    println!("block MSE: BFP4 = {:.6}, BBFP(4,2) = {:.6}", mse(&bfp_rec), mse(&bbfp_rec));
+    println!(
+        "shared exponents: BFP = {}, BBFP = {} (flagged elements: {})",
+        bfp.shared_exponent(),
+        bbfp.shared_exponent(),
+        bbfp.flag_count()
+    );
+
+    // The dot product stays fixed-point (paper Eq. 7/10): multiply
+    // mantissas as integers, add the shared exponents once.
+    let weights = vec![0.05f32; 32];
+    let wb = BbfpBlock::from_f32_slice(&weights, BbfpConfig::new(4, 2)?)?;
+    let fixed = bbfp_dot(&bbfp, &wb)?;
+    let reference: f64 = bbfp_rec
+        .iter()
+        .zip(wb.to_f32_vec())
+        .map(|(a, b)| *a as f64 * b as f64)
+        .sum();
+    println!(
+        "fixed-point dot = {:.6} (acc {} x 2^{}), dequantised reference = {:.6}",
+        fixed.to_f64(),
+        fixed.acc,
+        fixed.scale_exponent,
+        reference
+    );
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! # BBAL — Bidirectional Block Floating Point Quantisation Accelerator
+//!
+//! A full-stack Rust reproduction of *"BBAL: A Bidirectional Block
+//! Floating Point-Based Quantisation Accelerator for Large Language
+//! Models"* (DAC 2025). This facade crate re-exports every layer of the
+//! stack; see the individual crates for the deep documentation:
+//!
+//! | Layer | Crate | Paper section |
+//! |---|---|---|
+//! | BBFP/BFP data formats | [`core`] (`bbal-core`) | §II-B, §III |
+//! | Gate-level arithmetic + area/power | [`arith`] (`bbal-arith`) | §IV-A, Tables I/III |
+//! | SRAM/DRAM/LUT memory models | [`mem`] (`bbal-mem`) | §V-A (CACTI) |
+//! | Transformer substrate + PPL proxy | [`llm`] (`bbal-llm`) | §V (WikiText2) |
+//! | Quantiser baselines | [`quant`] (`bbal-quant`) | Table II |
+//! | Segmented-LUT nonlinear unit | [`nonlinear`] (`bbal-nonlinear`) | §IV-B, Tables IV/V |
+//! | Accelerator + cycle simulator | [`accel`] (`bbal-accel`) | §IV-C, Figs 1(b)/8/9 |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bbal::core::{BbfpBlock, BbfpConfig};
+//!
+//! // One outlier next to a small-valued body: the BBFP flag bit keeps both.
+//! let cfg = BbfpConfig::new(4, 2)?;
+//! let mut data = vec![0.1f32; 32];
+//! data[7] = 6.5;
+//! let block = BbfpBlock::from_f32_slice(&data, cfg)?;
+//! let restored = block.to_f32_vec();
+//! assert!((restored[7] - 6.5).abs() / 6.5 < 0.1); // outlier captured
+//! assert!(restored[0] > 0.0); // body survives (vanilla BFP4 zeroes it)
+//! # Ok::<(), bbal::core::FormatError>(())
+//! ```
+//!
+//! ## Reproducing the paper
+//!
+//! Every table and figure has a dedicated binary in `bbal-bench`:
+//! `cargo run --release -p bbal-bench --bin reproduce_all` regenerates all
+//! of them into `results/`. `EXPERIMENTS.md` records paper-vs-measured.
+
+#![warn(missing_docs)]
+
+pub use bbal_accel as accel;
+pub use bbal_arith as arith;
+pub use bbal_core as core;
+pub use bbal_llm as llm;
+pub use bbal_mem as mem;
+pub use bbal_nonlinear as nonlinear;
+pub use bbal_quant as quant;

@@ -1,0 +1,31 @@
+//! Smoke test: every table/figure reproduction runs to completion and
+//! emits non-trivial output. (The full-fidelity runs live in
+//! `bbal-bench`'s binaries; these use the same entry points.)
+
+#[test]
+fn fast_experiments_produce_output() {
+    // The cheap, model-free experiments run in a test-friendly time.
+    for name in ["table1", "table3", "table5", "fig1b", "fig9"] {
+        let exp = bbal_bench::experiments::all()
+            .into_iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, f)| f)
+            .expect("experiment registered");
+        let mut buf: Vec<u8> = Vec::new();
+        exp(&mut buf).expect("experiment runs");
+        let text = String::from_utf8(buf).expect("utf8 output");
+        assert!(text.lines().count() > 5, "{name} output too short:\n{text}");
+        assert!(text.contains('#'), "{name} missing header");
+    }
+}
+
+#[test]
+fn experiment_registry_covers_all_paper_artifacts() {
+    let names: Vec<&str> = bbal_bench::experiments::all().iter().map(|(n, _)| *n).collect();
+    for expected in [
+        "fig1a", "fig1b", "fig3", "fig4", "table1", "table2", "table3", "table4", "table5",
+        "fig8", "fig9",
+    ] {
+        assert!(names.contains(&expected), "missing {expected}");
+    }
+}

@@ -7,7 +7,7 @@
 //! and a tied unembedding head. All quantisation enters through
 //! [`InferenceHooks`].
 //!
-//! Weights are synthesised from a [`ModelSpec`]'s [`OutlierProfile`]: a
+//! Weights are synthesised from a [`ModelSpec`]'s [`OutlierProfile`](crate::zoo::OutlierProfile): a
 //! Gaussian body plus (a) *channel-structured* outliers — a few hidden
 //! channels whose writers are scaled up, reproducing the activation
 //! outliers of the paper's Fig. 1(a) — and (b) sparse unstructured weight
@@ -155,7 +155,11 @@ impl TransformerModel {
                 Family::Llama => {
                     let mut g = gauss_plain(h, ffn, &mut rng);
                     g.scale(FFN_GAIN as f32);
-                    boost_columns(&mut g, &ffn_outlier_channels, p.channel_scale);
+                    // sqrt like the residual-channel boosts, with the FFN
+                    // gain divided back out of the boosted columns: the FFN
+                    // pre-activations still carry structured outliers, but
+                    // the weights themselves stay Fig. 1(a)-tight.
+                    boost_columns(&mut g, &ffn_outlier_channels, p.channel_scale.sqrt() / FFN_GAIN);
                     Some(g)
                 }
                 Family::Opt => None,
@@ -170,7 +174,7 @@ impl TransformerModel {
                 // OPT: the single up projection carries the gain.
                 Family::Opt => {
                     w_up.scale(FFN_GAIN as f32);
-                    boost_columns(&mut w_up, &ffn_outlier_channels, p.channel_scale);
+                    boost_columns(&mut w_up, &ffn_outlier_channels, p.channel_scale.sqrt() / FFN_GAIN);
                     w_down.scale(1.0 / FFN_GAIN as f32);
                 }
             }

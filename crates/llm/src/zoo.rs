@@ -50,7 +50,7 @@ impl OutlierProfile {
             channel_scale: 24.0,
             weight_sigma: 1.0,
             weight_outlier_rate: 0.001,
-            weight_outlier_scale: 8.0,
+            weight_outlier_scale: 5.0,
         }
     }
 
@@ -62,7 +62,7 @@ impl OutlierProfile {
             channel_scale: 14.0,
             weight_sigma: 1.0,
             weight_outlier_rate: 0.0005,
-            weight_outlier_scale: 6.0,
+            weight_outlier_scale: 4.0,
         }
     }
 }

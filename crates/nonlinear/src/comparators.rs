@@ -3,12 +3,12 @@
 //! library and memory models as our unit.
 //!
 //! * **Pseudo-softmax** (Cardarilli et al., Scientific Reports 2021,
-//!   ref [32]): an INT8, base-2 approximation — `2^(xi−max)` with a
+//!   ref \[32\]): an INT8, base-2 approximation — `2^(xi−max)` with a
 //!   power-of-two normaliser, so division becomes a shift. Tiny and fast,
 //!   but an *approximation* of softmax, with correspondingly limited
 //!   compatibility (softmax only).
 //! * **High-precision base-2 softmax** (Zhang et al., TCAS-I 2023,
-//!   ref [33]): 27-bit fixed-point decomposition `2^u = 2^i · 2^f` with
+//!   ref \[33\]): 27-bit fixed-point decomposition `2^u = 2^i · 2^f` with
 //!   polynomial correction, wide multipliers and a true divider —
 //!   accuracy-first, at heavy area/energy cost.
 
@@ -47,7 +47,7 @@ fn efficiency(throughput_gops: f64, cost: &CostSummary, clock_ghz: f64) -> f64 {
     throughput_gops / (area_mm2 * power_mw)
 }
 
-/// The INT8 pseudo-softmax unit of ref [32].
+/// The INT8 pseudo-softmax unit of ref \[32\].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PseudoSoftmaxUnit {
     /// Parallel lanes (the published design processes 10 elements).
@@ -118,7 +118,7 @@ impl PseudoSoftmaxUnit {
     }
 }
 
-/// The 27-bit high-precision base-2 softmax unit of ref [33].
+/// The 27-bit high-precision base-2 softmax unit of ref \[33\].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HighPrecisionSoftmaxUnit {
     /// Parallel lanes (the published design processes 8 elements).

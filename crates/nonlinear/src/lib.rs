@@ -8,7 +8,7 @@
 //! * [`lut`] — the segmented LUT: one sub-table per (sign, shared
 //!   exponent), lazily materialised, entries stored in the datapath's
 //!   element format.
-//! * [`unit`] — the pipelined unit: numerics (bit-faithful block
+//! * [`unit`](mod@unit) — the pipelined unit: numerics (bit-faithful block
 //!   alignment), cycle model, and physical cost.
 //! * [`hooks`] — Table IV adapters (`Softmax only` / `SILU only` /
 //!   `Altogether`) plugging the unit into `bbal-llm`.

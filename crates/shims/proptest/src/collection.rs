@@ -1,0 +1,79 @@
+//! Collection strategies: `vec(element, size)`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// A vector length specification: exact or a half-open range.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { lo: r.start, hi: r.end }
+    }
+}
+
+/// The strategy returned by [`vec`](fn@vec).
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = if self.size.hi - self.size.lo <= 1 {
+            self.size.lo
+        } else {
+            self.size.lo + rng.below(self.size.hi - self.size.lo)
+        };
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// A strategy for vectors whose elements come from `element` and whose
+/// length is `size` (a `usize` or a `Range<usize>`).
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_lengths() {
+        let mut rng = TestRng::new(5);
+        let s = vec(0u8..10, 32);
+        for _ in 0..50 {
+            assert_eq!(s.sample(&mut rng).len(), 32);
+        }
+    }
+
+    #[test]
+    fn ranged_lengths() {
+        let mut rng = TestRng::new(6);
+        let s = vec(0u8..10, 2..12);
+        let mut min = usize::MAX;
+        let mut max = 0;
+        for _ in 0..500 {
+            let l = s.sample(&mut rng).len();
+            min = min.min(l);
+            max = max.max(l);
+        }
+        assert!(min >= 2 && max < 12, "min {min} max {max}");
+        assert!(max > min);
+    }
+}

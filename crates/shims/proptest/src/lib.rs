@@ -1,0 +1,175 @@
+//! # proptest (offline shim)
+//!
+//! A self-contained, API-compatible stand-in for the subset of the real
+//! `proptest` crate this workspace's property tests use:
+//!
+//! * the [`Strategy`](strategy::Strategy) trait with `prop_map` / `prop_flat_map` / `boxed`,
+//! * range, tuple, [`Just`](strategy::Just) and [`any`](arbitrary::any)
+//!   strategies,
+//! * [`collection::vec`] for sized and range-sized vectors,
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assume!`],
+//!   [`prop_assert!`] and [`prop_assert_eq!`] macros.
+//!
+//! Compared with the real crate there is **no shrinking** — a failing
+//! case reports the sampled inputs via the assertion message only — and
+//! the default case count is 64 (set `PROPTEST_CASES` to override).
+//! Sampling is deterministic: each test derives its RNG seed from its
+//! own name, so failures reproduce exactly across runs.
+//!
+//! Swap the workspace `proptest` path dependency for the registry crate
+//! to get real shrinking — the test sources need no changes.
+
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// item becomes a `#[test]` that samples the strategies for a number of
+/// cases (see [`test_runner::cases`]) and runs the body on each sample.
+///
+/// Parameters may be `name in strategy`, `mut name in strategy`, or
+/// `name: Type` (shorthand for `name in any::<Type>()`).
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$attr:meta])* fn $name:ident($($params:tt)*) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let cases = $crate::test_runner::cases();
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                let mut rejects: u32 = 0;
+                let mut accepted: u32 = 0;
+                while accepted < cases {
+                    match $crate::__proptest_bind!(rng, ($($params)*) $body) {
+                        ::std::result::Result::Ok(()) => accepted += 1,
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject,
+                        ) => {
+                            rejects += 1;
+                            // Mirror the real crate: a property whose
+                            // assumptions reject nearly every sample is a
+                            // broken test, not a passing one.
+                            if rejects > cases.saturating_mul(16) {
+                                panic!(
+                                    "Too many global rejects: {} rejected cases \
+                                     with only {} of {} accepted",
+                                    rejects, accepted, cases
+                                );
+                            }
+                        }
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(msg),
+                        ) => {
+                            panic!(
+                                "proptest case {} of {} failed: {}",
+                                accepted + 1, cases, msg
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Internal: samples each parameter, then runs the body inside a closure
+/// returning `Result` so `prop_assume!`/`prop_assert!` can early-return.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident, () $body:block) => {{
+        #[allow(unused_mut)]
+        let mut __case = || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+            $body
+            ::std::result::Result::Ok(())
+        };
+        __case()
+    }};
+    ($rng:ident, (mut $name:ident in $strat:expr $(, $($rest:tt)*)?) $body:block) => {{
+        let mut $name = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng, ($($($rest)*)?) $body)
+    }};
+    ($rng:ident, ($name:ident in $strat:expr $(, $($rest:tt)*)?) $body:block) => {{
+        let $name = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng, ($($($rest)*)?) $body)
+    }};
+    ($rng:ident, (mut $name:ident : $ty:ty $(, $($rest:tt)*)?) $body:block) => {{
+        let mut $name =
+            $crate::strategy::Strategy::sample(&$crate::arbitrary::any::<$ty>(), &mut $rng);
+        $crate::__proptest_bind!($rng, ($($($rest)*)?) $body)
+    }};
+    ($rng:ident, ($name:ident : $ty:ty $(, $($rest:tt)*)?) $body:block) => {{
+        let $name =
+            $crate::strategy::Strategy::sample(&$crate::arbitrary::any::<$ty>(), &mut $rng);
+        $crate::__proptest_bind!($rng, ($($($rest)*)?) $body)
+    }};
+}
+
+/// Skips the current case when the condition is false (the case counts
+/// as rejected, not failed).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Fails the current case when the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case when the two values are unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __left = $left;
+        let __right = $right;
+        if !(__left == __right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: `{:?} == {:?}`", __left, __right),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let __left = $left;
+        let __right = $right;
+        if !(__left == __right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!(
+                    "{}: assertion failed: `{:?} == {:?}`",
+                    format!($($fmt)+),
+                    __left,
+                    __right
+                ),
+            ));
+        }
+    }};
+}
+
+/// Picks uniformly between the given strategies, which must all produce
+/// the same value type. (Weighted arms are not supported by the shim.)
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,97 @@
+//! The minimal test-runner state: a deterministic RNG, the per-test
+//! case count, and the case outcome type.
+
+/// Why a single sampled case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// A `prop_assume!` failed; the case is skipped, not failed.
+    Reject,
+    /// A `prop_assert!`-family assertion failed with this message.
+    Fail(String),
+}
+
+/// Number of accepted cases each property runs for. Defaults to 64;
+/// override with the `PROPTEST_CASES` environment variable (the same
+/// knob the real crate honours).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(64)
+}
+
+/// A SplitMix64 generator: tiny, full-period, and plenty uniform for
+/// test-case sampling.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator seeded from an explicit value.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// A generator seeded from a test's name, so every test samples a
+    /// distinct but reproducible stream.
+    pub fn for_test(name: &str) -> TestRng {
+        // FNV-1a over the name.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng::new(h)
+    }
+
+    /// The next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform index in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = TestRng::for_test("alpha");
+        let mut b = TestRng::for_test("alpha");
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn names_decorrelate() {
+        let mut a = TestRng::for_test("alpha");
+        let mut b = TestRng::for_test("beta");
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn below_in_bounds() {
+        let mut r = TestRng::new(3);
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+        }
+    }
+}

@@ -34,8 +34,8 @@ fn main() -> Result<(), FormatError> {
 
     println!("original[5] (outlier) = {:.3}", activations[5]);
     println!("  BFP4  -> {:.3}   BBFP(4,2) -> {:.3}", bfp_rec[5], bbfp_rec[5]);
-    println!("original[0] (body)    = {:.4}", activations[0]);
-    println!("  BFP4  -> {:.4}   BBFP(4,2) -> {:.4}", bfp_rec[0], bbfp_rec[0]);
+    println!("original[2] (body)    = {:.4}", activations[2]);
+    println!("  BFP4  -> {:.4}   BBFP(4,2) -> {:.4}", bfp_rec[2], bbfp_rec[2]);
     println!("block MSE: BFP4 = {:.6}, BBFP(4,2) = {:.6}", mse(&bfp_rec), mse(&bbfp_rec));
     println!(
         "shared exponents: BFP = {}, BBFP = {} (flagged elements: {})",

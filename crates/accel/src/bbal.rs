@@ -24,6 +24,43 @@ impl BbalGemm {
         BbalGemm { config }
     }
 
+    /// Encodes one contraction-dimension vector into the input encoder's
+    /// BBFP blocks (zero-padded to the block size) — the serving layout
+    /// the weight buffer holds tiles in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector contains non-finite values.
+    pub fn encode_row(&self, row: &[f32]) -> Vec<BbfpBlock> {
+        let bs = self.config.block_size();
+        let mut blocks = Vec::with_capacity(row.len().div_ceil(bs));
+        for k0 in (0..row.len()).step_by(bs) {
+            let end = (k0 + bs).min(row.len());
+            let mut stripe = vec![0.0f32; bs];
+            stripe[..end - k0].copy_from_slice(&row[k0..end]);
+            blocks.push(BbfpBlock::from_f32_slice(&stripe, self.config).expect("finite inputs"));
+        }
+        blocks
+    }
+
+    /// Fixed-point dot product of two encoded rows, accumulated in FP32
+    /// by the FP adder (paper Eq. 7/10).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows were encoded with different configurations or
+    /// block counts.
+    pub fn dot_encoded(&self, a: &[BbfpBlock], b: &[BbfpBlock]) -> f32 {
+        assert_eq!(a.len(), b.len(), "encoded row block-count mismatch");
+        let mut acc = 0.0f64;
+        for (ab, bb) in a.iter().zip(b) {
+            acc += bbfp_dot(ab, bb)
+                .expect("rows share the engine's config")
+                .to_f64();
+        }
+        acc as f32
+    }
+
     /// Computes `a · b` through the quantised datapath: every
     /// `block_size`-long stripe of the contraction dimension is encoded to
     /// BBFP, multiplied in fixed point, and accumulated in FP32 by the FP
@@ -58,22 +95,11 @@ impl BbalGemm {
 
         for i in 0..a.rows() {
             // Input encoder: encode the activation row stripes.
-            let mut a_blocks = Vec::with_capacity(k.div_ceil(bs));
-            for k0 in (0..k).step_by(bs) {
-                let end = (k0 + bs).min(k);
-                let mut stripe = vec![0.0f32; bs];
-                stripe[..end - k0].copy_from_slice(&a.row(i)[k0..end]);
-                a_blocks
-                    .push(BbfpBlock::from_f32_slice(&stripe, self.config).expect("finite inputs"));
-            }
-            for j in 0..n {
+            let a_blocks = self.encode_row(a.row(i));
+            for (j, bb) in b_blocks.iter().enumerate() {
                 // PE array: fixed-point block dot products; FP adder:
                 // accumulate the FP-encoded block results.
-                let mut acc = 0.0f64;
-                for (ab, bb) in a_blocks.iter().zip(&b_blocks[j]) {
-                    acc += bbfp_dot(ab, bb).expect("same config").to_f64();
-                }
-                out.set(i, j, acc as f32);
+                out.set(i, j, self.dot_encoded(&a_blocks, bb));
             }
         }
         out

@@ -1,10 +1,83 @@
 //! Accelerator configuration: PE array geometry, buffers, DRAM channel,
 //! nonlinear unit and the data-format specialisation (Fig. 7).
+//!
+//! Both [`FormatSpec`] and [`AcceleratorConfig`] derive from a
+//! [`SchemeSpec`], so one parsed scheme string specialises the whole
+//! accelerator:
+//!
+//! ```
+//! use bbal_accel::{AcceleratorConfig, FormatSpec};
+//! use bbal_core::SchemeSpec;
+//!
+//! let scheme: SchemeSpec = "bbfp:4,2".parse()?;
+//! let spec = FormatSpec::from_scheme(scheme)?;
+//! let cfg = AcceleratorConfig::for_scheme(scheme, 16, 16)?;
+//! assert_eq!(cfg.format, spec);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 use bbal_arith::{GateLibrary, PeKind, ProcessingElement};
-use bbal_core::{BbfpConfig, BfpConfig};
-use bbal_mem::{DramChannel, SramMacro};
+use bbal_core::{BbfpConfig, BfpConfig, FormatError, SchemeError, SchemeSpec};
+use bbal_mem::{DramChannel, MemError, SramMacro};
 use bbal_nonlinear::NonlinearUnitConfig;
+use std::fmt;
+
+/// Errors from accelerator configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// A PE array dimension was zero.
+    Geometry {
+        /// Requested rows.
+        pe_rows: usize,
+        /// Requested columns.
+        pe_cols: usize,
+    },
+    /// An SRAM buffer could not be constructed.
+    Buffer(MemError),
+    /// The scheme cannot specialise this accelerator.
+    Scheme(SchemeError),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Geometry { pe_rows, pe_cols } => {
+                write!(f, "degenerate PE array geometry {pe_rows}x{pe_cols}")
+            }
+            ConfigError::Buffer(e) => write!(f, "invalid buffer: {e}"),
+            ConfigError::Scheme(e) => write!(f, "invalid scheme: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConfigError::Buffer(e) => Some(e),
+            ConfigError::Scheme(e) => Some(e),
+            ConfigError::Geometry { .. } => None,
+        }
+    }
+}
+
+impl From<MemError> for ConfigError {
+    fn from(e: MemError) -> ConfigError {
+        ConfigError::Buffer(e)
+    }
+}
+
+impl From<SchemeError> for ConfigError {
+    fn from(e: SchemeError) -> ConfigError {
+        ConfigError::Scheme(e)
+    }
+}
+
+impl From<FormatError> for ConfigError {
+    fn from(e: FormatError) -> ConfigError {
+        ConfigError::Scheme(SchemeError::Format(e))
+    }
+}
 
 /// The data format an accelerator instance is specialised for: fixes the
 /// PE microarchitecture and the storage bits per element.
@@ -20,27 +93,37 @@ pub struct FormatSpec {
 
 impl FormatSpec {
     /// Specification for a BFP format.
-    pub fn bfp(mantissa_bits: u8) -> FormatSpec {
-        let cost = BfpConfig::new(mantissa_bits)
-            .expect("valid BFP width")
-            .cost();
-        FormatSpec {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FormatError`] for an invalid mantissa width.
+    pub fn bfp(mantissa_bits: u8) -> Result<FormatSpec, FormatError> {
+        let cost = BfpConfig::new(mantissa_bits)?.cost();
+        Ok(FormatSpec {
             pe: PeKind::Bfp(mantissa_bits),
             weight_bits: cost.equivalent_bit_width,
             activation_bits: cost.equivalent_bit_width,
-        }
+        })
     }
 
     /// Specification for a BBFP format.
-    pub fn bbfp(mantissa_bits: u8, overlap_bits: u8) -> FormatSpec {
-        let cost = BbfpConfig::new(mantissa_bits, overlap_bits)
-            .expect("valid BBFP config")
-            .cost();
-        FormatSpec {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FormatError`] for invalid widths.
+    pub fn bbfp(mantissa_bits: u8, overlap_bits: u8) -> Result<FormatSpec, FormatError> {
+        let cost = BbfpConfig::new(mantissa_bits, overlap_bits)?.cost();
+        Ok(FormatSpec {
             pe: PeKind::Bbfp(mantissa_bits, overlap_bits),
             weight_bits: cost.equivalent_bit_width,
             activation_bits: cost.equivalent_bit_width,
-        }
+        })
+    }
+
+    /// The paper's BBAL format: BBFP(4,2).
+    pub fn bbal_paper() -> FormatSpec {
+        // BBFP(4,2) is compile-time valid (see `SchemeSpec::BBAL_PAPER`).
+        FormatSpec::bbfp(4, 2).unwrap_or_else(|_| unreachable!("BBFP(4,2) is a valid format"))
     }
 
     /// Specification for the Oltron baseline: 4-bit body plus the
@@ -65,22 +148,33 @@ impl FormatSpec {
         }
     }
 
-    /// Looks a spec up by the method names used in the figures.
-    pub fn by_name(name: &str) -> Option<FormatSpec> {
-        match name {
-            "Oltron" => Some(FormatSpec::oltron()),
-            "Olive" => Some(FormatSpec::olive()),
-            "BFP4" => Some(FormatSpec::bfp(4)),
-            "BFP6" => Some(FormatSpec::bfp(6)),
-            "BBFP(3,1)" => Some(FormatSpec::bbfp(3, 1)),
-            "BBFP(3,2)" => Some(FormatSpec::bbfp(3, 2)),
-            "BBFP(4,2)" => Some(FormatSpec::bbfp(4, 2)),
-            "BBFP(4,3)" => Some(FormatSpec::bbfp(4, 3)),
-            "BBFP(6,3)" => Some(FormatSpec::bbfp(6, 3)),
-            "BBFP(6,4)" => Some(FormatSpec::bbfp(6, 4)),
-            "BBFP(6,5)" => Some(FormatSpec::bbfp(6, 5)),
-            _ => None,
+    /// Derives the hardware format for a scheme — the Fig. 8 mapping from
+    /// quantisation method to PE microarchitecture.
+    ///
+    /// # Errors
+    ///
+    /// [`SchemeError::NoHardwareMapping`] for schemes without a Fig. 8 PE
+    /// design (`fp32`, `fp16`, `int*`, `omniquant`), and the scheme's own
+    /// validation error for invalid widths.
+    pub fn from_scheme(scheme: SchemeSpec) -> Result<FormatSpec, SchemeError> {
+        scheme.validate()?;
+        match scheme {
+            SchemeSpec::Bfp(m) => Ok(FormatSpec::bfp(m)?),
+            SchemeSpec::Bbfp(m, o) => Ok(FormatSpec::bbfp(m, o)?),
+            SchemeSpec::Oltron => Ok(FormatSpec::oltron()),
+            SchemeSpec::Olive => Ok(FormatSpec::olive()),
+            other => Err(SchemeError::NoHardwareMapping(other)),
         }
+    }
+
+    /// Looks a spec up by the method names used in the figures.
+    #[deprecated(
+        since = "0.1.0",
+        note = "parse a `SchemeSpec` and use `from_scheme` instead"
+    )]
+    pub fn by_name(name: &str) -> Option<FormatSpec> {
+        let scheme: SchemeSpec = name.parse().ok()?;
+        FormatSpec::from_scheme(scheme).ok()
     }
 }
 
@@ -111,41 +205,65 @@ impl AcceleratorConfig {
     /// The paper's BBAL instance: a 16×16 BBFP(4,2) PE array with 64 KiB
     /// input/weight buffers and a 32 KiB output buffer at 1 GHz.
     pub fn bbal_paper() -> AcceleratorConfig {
-        AcceleratorConfig::with_format(FormatSpec::bbfp(4, 2), 16, 16)
+        // Every constant here is compile-time valid.
+        AcceleratorConfig::with_format(FormatSpec::bbal_paper(), 16, 16)
+            .unwrap_or_else(|_| unreachable!("the paper geometry is valid"))
     }
 
     /// An instance with a chosen format and PE array geometry, using the
     /// paper's buffer sizes.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a dimension is zero.
-    pub fn with_format(format: FormatSpec, pe_rows: usize, pe_cols: usize) -> AcceleratorConfig {
-        assert!(pe_rows > 0 && pe_cols > 0);
-        AcceleratorConfig {
+    /// [`ConfigError::Geometry`] if a dimension is zero.
+    pub fn with_format(
+        format: FormatSpec,
+        pe_rows: usize,
+        pe_cols: usize,
+    ) -> Result<AcceleratorConfig, ConfigError> {
+        if pe_rows == 0 || pe_cols == 0 {
+            return Err(ConfigError::Geometry { pe_rows, pe_cols });
+        }
+        Ok(AcceleratorConfig {
             format,
             pe_rows,
             pe_cols,
             clock_ghz: 1.0,
-            input_buffer: SramMacro::new(64 * 1024, 256).expect("valid macro"),
-            weight_buffer: SramMacro::new(64 * 1024, 256).expect("valid macro"),
-            output_buffer: SramMacro::new(32 * 1024, 256).expect("valid macro"),
+            input_buffer: SramMacro::new(64 * 1024, 256)?,
+            weight_buffer: SramMacro::new(64 * 1024, 256)?,
+            output_buffer: SramMacro::new(32 * 1024, 256)?,
             dram: DramChannel::lpddr4(),
             nonlinear: NonlinearUnitConfig::paper(),
-        }
+        })
+    }
+
+    /// An instance specialised for a scheme (see
+    /// [`FormatSpec::from_scheme`]) with the paper's buffer sizes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ConfigError::Scheme`] for schemes without a hardware
+    /// mapping and [`ConfigError::Geometry`] for a zero dimension.
+    pub fn for_scheme(
+        scheme: SchemeSpec,
+        pe_rows: usize,
+        pe_cols: usize,
+    ) -> Result<AcceleratorConfig, ConfigError> {
+        AcceleratorConfig::with_format(FormatSpec::from_scheme(scheme)?, pe_rows, pe_cols)
     }
 
     /// Replaces the input/weight buffers with macros of `bytes` capacity
     /// (output buffer scaled to half).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `bytes` is too small for the 256-bit port.
-    pub fn with_buffer_bytes(mut self, bytes: u64) -> AcceleratorConfig {
-        self.input_buffer = SramMacro::new(bytes, 256).expect("valid macro");
-        self.weight_buffer = SramMacro::new(bytes, 256).expect("valid macro");
-        self.output_buffer = SramMacro::new((bytes / 2).max(64), 256).expect("valid macro");
-        self
+    /// [`ConfigError::Buffer`] if `bytes` is too small for the 256-bit
+    /// port.
+    pub fn with_buffer_bytes(mut self, bytes: u64) -> Result<AcceleratorConfig, ConfigError> {
+        self.input_buffer = SramMacro::new(bytes, 256)?;
+        self.weight_buffer = SramMacro::new(bytes, 256)?;
+        self.output_buffer = SramMacro::new((bytes / 2).max(64), 256)?;
+        Ok(self)
     }
 
     /// Number of PEs.
@@ -198,28 +316,52 @@ mod tests {
 
     #[test]
     fn format_bits_match_core_costs() {
-        let bfp6 = FormatSpec::bfp(6);
+        let bfp6 = FormatSpec::bfp(6).unwrap();
         assert!((bfp6.weight_bits - 7.15625).abs() < 1e-9);
-        let bbfp42 = FormatSpec::bbfp(4, 2);
+        let bbfp42 = FormatSpec::bbfp(4, 2).unwrap();
         assert!((bbfp42.weight_bits - (4.0 + 2.0 + 5.0 / 32.0)).abs() < 1e-9);
     }
 
     #[test]
-    fn by_name_covers_fig8_lineup() {
+    fn from_scheme_covers_fig8_lineup() {
         for name in [
-            "Oltron", "Olive", "BFP4", "BFP6", "BBFP(3,1)", "BBFP(3,2)", "BBFP(4,2)",
-            "BBFP(4,3)", "BBFP(6,3)", "BBFP(6,4)", "BBFP(6,5)",
+            "Oltron",
+            "Olive",
+            "BFP4",
+            "BFP6",
+            "BBFP(3,1)",
+            "BBFP(3,2)",
+            "BBFP(4,2)",
+            "BBFP(4,3)",
+            "BBFP(6,3)",
+            "BBFP(6,4)",
+            "BBFP(6,5)",
         ] {
-            assert!(FormatSpec::by_name(name).is_some(), "{name}");
+            let scheme: SchemeSpec = name.parse().unwrap();
+            assert!(FormatSpec::from_scheme(scheme).is_ok(), "{name}");
         }
-        assert!(FormatSpec::by_name("FP64").is_none());
+        assert!(matches!(
+            FormatSpec::from_scheme(SchemeSpec::Fp16),
+            Err(SchemeError::NoHardwareMapping(SchemeSpec::Fp16))
+        ));
+        assert!(FormatSpec::from_scheme(SchemeSpec::Bbfp(9, 9)).is_err());
+    }
+
+    #[test]
+    fn degenerate_geometry_is_an_error() {
+        let spec = FormatSpec::bbal_paper();
+        assert!(matches!(
+            AcceleratorConfig::with_format(spec, 0, 16),
+            Err(ConfigError::Geometry { .. })
+        ));
+        assert!(AcceleratorConfig::for_scheme(SchemeSpec::Fp32, 16, 16).is_err());
     }
 
     #[test]
     fn pe_array_area_scales_with_count() {
         let lib = GateLibrary::default();
-        let small = AcceleratorConfig::with_format(FormatSpec::bbfp(4, 2), 8, 8);
-        let large = AcceleratorConfig::with_format(FormatSpec::bbfp(4, 2), 16, 16);
+        let small = AcceleratorConfig::with_format(FormatSpec::bbal_paper(), 8, 8).unwrap();
+        let large = AcceleratorConfig::with_format(FormatSpec::bbal_paper(), 16, 16).unwrap();
         let ratio = large.pe_array_area_um2(&lib) / small.pe_array_area_um2(&lib);
         assert!((3.9..4.1).contains(&ratio), "ratio {ratio}");
     }

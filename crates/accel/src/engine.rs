@@ -3,11 +3,84 @@
 //! through the hardware numerics end to end (Fig. 7's computation flow:
 //! PE array → FP encoder/adder → max unit → nonlinear unit → output
 //! encoder).
+//!
+//! For autoregressive serving the engine exposes [`KvState`]: the KV
+//! cache in the *serving layout* — K is held transposed and pre-encoded
+//! into BBFP blocks once per token (the weight buffer's weight-stationary
+//! view), so a decode step re-encodes only the new query row instead of
+//! re-materialising and re-encoding `kᵀ` from scratch on every call.
 
 use crate::bbal::BbalGemm;
-use bbal_core::BbfpConfig;
+use bbal_core::{BbfpBlock, BbfpConfig, SchemeError, SchemeSpec};
 use bbal_llm::Tensor;
 use bbal_nonlinear::{NonlinearUnit, NonlinearUnitConfig};
+
+/// The KV cache of one attention head in the engine's serving layout.
+///
+/// Each cached token holds its K row *pre-encoded* into the engine's
+/// BBFP blocks (K transposed into the weight buffer once, when the token
+/// is appended) and its V row in FP32 (context re-encodes per step — its
+/// blocks span the growing sequence dimension, so they cannot be cached).
+#[derive(Debug, Clone)]
+pub struct KvState {
+    config: BbfpConfig,
+    head_dim: usize,
+    k_blocks: Vec<Vec<BbfpBlock>>,
+    v_data: Vec<f32>,
+}
+
+impl KvState {
+    /// An empty cache for heads of width `head_dim`, encoding K rows with
+    /// `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `head_dim` is zero.
+    pub fn new(config: BbfpConfig, head_dim: usize) -> KvState {
+        assert!(head_dim > 0, "degenerate head width");
+        KvState {
+            config,
+            head_dim,
+            k_blocks: Vec::new(),
+            v_data: Vec::new(),
+        }
+    }
+
+    /// Number of cached tokens.
+    pub fn len(&self) -> usize {
+        self.k_blocks.len()
+    }
+
+    /// True if no token has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.k_blocks.is_empty()
+    }
+
+    /// Head width.
+    pub fn head_dim(&self) -> usize {
+        self.head_dim
+    }
+
+    /// Appends one token's key/value rows, encoding the key into the
+    /// weight buffer's block layout once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a row width disagrees with `head_dim` or the key row
+    /// contains non-finite values.
+    pub fn push(&mut self, k_row: &[f32], v_row: &[f32]) {
+        assert_eq!(k_row.len(), self.head_dim, "key row width mismatch");
+        assert_eq!(v_row.len(), self.head_dim, "value row width mismatch");
+        let gemm = BbalGemm::new(self.config);
+        self.k_blocks.push(gemm.encode_row(k_row));
+        self.v_data.extend_from_slice(v_row);
+    }
+
+    /// The cached values as a `[len, head_dim]` tensor.
+    fn v_tensor(&self) -> Tensor {
+        Tensor::from_vec(self.len(), self.head_dim, self.v_data.clone())
+    }
+}
 
 /// A functional BBAL engine: linear path + nonlinear unit.
 #[derive(Debug)]
@@ -20,9 +93,21 @@ impl BbalEngine {
     /// The paper's configuration: BBFP(4,2) linear path, BBFP(10,5)
     /// nonlinear unit.
     pub fn paper() -> BbalEngine {
-        BbalEngine {
-            gemm: BbalGemm::new(BbfpConfig::new(4, 2).expect("valid")),
-            nonlinear: NonlinearUnit::new(NonlinearUnitConfig::paper()),
+        BbalEngine::for_scheme(SchemeSpec::BBAL_PAPER)
+            .unwrap_or_else(|_| unreachable!("the paper scheme is valid"))
+    }
+
+    /// An engine whose linear path implements `scheme`, with the paper's
+    /// nonlinear unit.
+    ///
+    /// # Errors
+    ///
+    /// [`SchemeError::NoHardwareMapping`] unless the scheme is a BBFP
+    /// scheme (the functional datapath models the BBFP PE array).
+    pub fn for_scheme(scheme: SchemeSpec) -> Result<BbalEngine, SchemeError> {
+        match scheme.bbfp_config()? {
+            Some(config) => Ok(BbalEngine::new(config, NonlinearUnitConfig::paper())),
+            None => Err(SchemeError::NoHardwareMapping(scheme)),
         }
     }
 
@@ -32,6 +117,16 @@ impl BbalEngine {
             gemm: BbalGemm::new(linear),
             nonlinear: NonlinearUnit::new(nonlinear),
         }
+    }
+
+    /// The linear path's block format.
+    pub fn linear_config(&self) -> BbfpConfig {
+        self.gemm.config
+    }
+
+    /// An empty KV cache matching this engine's block format.
+    pub fn new_kv_state(&self, head_dim: usize) -> KvState {
+        KvState::new(self.gemm.config, head_dim)
     }
 
     /// Quantised GEMM through the PE array (see [`BbalGemm::matmul`]).
@@ -47,40 +142,139 @@ impl BbalEngine {
     ///
     /// # Panics
     ///
-    /// Panics if the operand shapes disagree.
+    /// Panics if the operand shapes disagree — the KV cache stores one
+    /// head width, so `v` must match `k`'s width — or if
+    /// `q.rows() != k.rows()` (use [`BbalEngine::cross_attention`] for
+    /// unaligned shapes).
     pub fn attention(&mut self, q: &Tensor, k: &Tensor, v: &Tensor) -> Tensor {
-        assert_eq!(q.cols(), k.cols(), "q/k head width mismatch");
-        assert_eq!(k.rows(), v.rows(), "k/v length mismatch");
-        let seq = q.rows();
-        let dh = q.cols();
-        let scale = 1.0 / (dh as f32).sqrt();
+        assert_eq!(
+            q.rows(),
+            k.rows(),
+            "causal attention needs aligned q/k; use cross_attention"
+        );
+        let kv = self.cache_kv(k, v);
+        self.attention_over(q, &kv, true)
+    }
 
-        // Scores = q · kᵀ on the PE array (kᵀ materialised — the weight
-        // buffer holds K transposed in the serving layout).
-        let mut kt = Tensor::zeros(dh, k.rows());
-        for r in 0..k.rows() {
-            for c in 0..dh {
-                kt.set(c, r, k.get(r, c));
+    /// Full (unmasked) attention of `q.rows()` queries over `k.rows()`
+    /// keys — the cross-attention shape, where the two lengths may
+    /// differ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q`/`k` widths or `k`/`v` lengths disagree.
+    pub fn cross_attention(&mut self, q: &Tensor, k: &Tensor, v: &Tensor) -> Tensor {
+        let kv = self.cache_kv(k, v);
+        self.attention_over(q, &kv, false)
+    }
+
+    /// One decode step: a single query row attending over the whole
+    /// cache. K arrives pre-encoded from the [`KvState`], so only the
+    /// query row goes through the input encoder.
+    ///
+    /// Returns a `[1, dh]` context row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache is empty or `q` is not `[1, head_dim]`.
+    pub fn decode_attention(&mut self, q: &Tensor, kv: &KvState) -> Tensor {
+        assert!(!kv.is_empty(), "decode over an empty KV cache");
+        assert_eq!(q.rows(), 1, "decode takes one query row");
+        self.attention_over(q, kv, false)
+    }
+
+    /// Attention with an arbitrary visibility mask: `mask(i, j)` decides
+    /// whether query row `i` may attend to key row `j`. A query row whose
+    /// mask admits no key at all produces a zero context row — the
+    /// fully-masked convention (a padding row contributes nothing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q`/`k` widths or `k`/`v` lengths disagree.
+    pub fn attention_masked(
+        &mut self,
+        q: &Tensor,
+        k: &Tensor,
+        v: &Tensor,
+        mask: impl Fn(usize, usize) -> bool,
+    ) -> Tensor {
+        let kv = self.cache_kv(k, v);
+        assert_eq!(q.cols(), kv.head_dim(), "q/k head width mismatch");
+        let scale = 1.0 / (q.cols() as f32).sqrt();
+        let len = kv.len();
+
+        let mut probs = Tensor::zeros(q.rows(), len);
+        for i in 0..q.rows() {
+            let visible: Vec<usize> = (0..len).filter(|&j| mask(i, j)).collect();
+            if visible.is_empty() {
+                continue; // fully masked: zero context row
+            }
+            // Gather the visible scores, softmax them through the
+            // nonlinear unit, scatter the probabilities back.
+            let q_blocks = self.gemm.encode_row(q.row(i));
+            let mut gathered: Vec<f32> = visible
+                .iter()
+                .map(|&j| self.gemm.dot_encoded(&q_blocks, &kv.k_blocks[j]) * scale)
+                .collect();
+            self.nonlinear.softmax_row(&mut gathered);
+            let row = probs.row_mut(i);
+            for (&j, p) in visible.iter().zip(gathered) {
+                row[j] = p;
             }
         }
-        let mut scores = self.matmul(q, &kt);
-        scores.scale(scale);
+        self.matmul(&probs, &kv.v_tensor())
+    }
 
-        // Causal softmax through the nonlinear unit, row by row.
-        for i in 0..seq {
-            let row = scores.row_mut(i);
-            for s in row.iter_mut().skip(i + 1) {
-                *s = f32::NEG_INFINITY;
+    /// Encodes `k`/`v` into a fresh KV cache (the serving layout).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k`/`v` shapes disagree.
+    pub fn cache_kv(&self, k: &Tensor, v: &Tensor) -> KvState {
+        assert_eq!(k.rows(), v.rows(), "k/v length mismatch");
+        assert_eq!(k.cols(), v.cols(), "k/v width mismatch");
+        let mut kv = self.new_kv_state(k.cols());
+        for r in 0..k.rows() {
+            kv.push(k.row(r), v.row(r));
+        }
+        kv
+    }
+
+    /// Attention of `q` over a cached KV state. With `causal`, query row
+    /// `i` sees cache entries `0..=i`; a row whose visible window is
+    /// empty produces a zero context row (the fully-masked convention).
+    fn attention_over(&mut self, q: &Tensor, kv: &KvState, causal: bool) -> Tensor {
+        assert_eq!(q.cols(), kv.head_dim(), "q/k head width mismatch");
+        let dh = q.cols();
+        let len = kv.len();
+        let scale = 1.0 / (dh as f32).sqrt();
+
+        // Scores = q · kᵀ on the PE array against the pre-encoded K
+        // (the weight buffer holds K transposed in the serving layout).
+        let mut probs = Tensor::zeros(q.rows(), len.max(1));
+        for i in 0..q.rows() {
+            let visible = if causal { (i + 1).min(len) } else { len };
+            if visible == 0 {
+                continue; // fully masked: zero context row
             }
-            // The max unit/subtraction operate on the finite prefix.
-            self.nonlinear.softmax_row(&mut row[..=i]);
-            for s in row.iter_mut().skip(i + 1) {
+            let q_blocks = self.gemm.encode_row(q.row(i));
+            let row = probs.row_mut(i);
+            for (j, kb) in kv.k_blocks.iter().take(visible).enumerate() {
+                row[j] = self.gemm.dot_encoded(&q_blocks, kb) * scale;
+            }
+            // Causal softmax through the nonlinear unit: the max unit and
+            // subtraction operate on the visible prefix only.
+            self.nonlinear.softmax_row(&mut row[..visible]);
+            for s in row.iter_mut().skip(visible) {
                 *s = 0.0;
             }
         }
 
+        if len == 0 {
+            return Tensor::zeros(q.rows(), dh);
+        }
         // Context = probs · v on the PE array.
-        self.matmul(&scores, v)
+        self.matmul(&probs, &kv.v_tensor())
     }
 }
 
@@ -173,5 +367,130 @@ mod tests {
                 v.get(0, c)
             );
         }
+    }
+
+    #[test]
+    fn decode_attention_matches_batch_attention_last_row() {
+        // Growing the cache token by token and decoding the last query
+        // must agree with the batch causal path's last row.
+        let (seq, dh) = (12, 32);
+        let q = tensor(seq, dh, 31);
+        let k = tensor(seq, dh, 37);
+        let v = tensor(seq, dh, 41);
+        let mut engine = BbalEngine::paper();
+        let batch = engine.attention(&q, &k, &v);
+
+        let mut kv = engine.new_kv_state(dh);
+        let mut last = Tensor::zeros(1, dh);
+        for t in 0..seq {
+            kv.push(k.row(t), v.row(t));
+            let q_row = Tensor::from_vec(1, dh, q.row(t).to_vec());
+            last = engine.decode_attention(&q_row, &kv);
+        }
+        for c in 0..dh {
+            assert!(
+                (last.get(0, c) - batch.get(seq - 1, c)).abs() < 1e-5,
+                "col {c}: {} vs {}",
+                last.get(0, c),
+                batch.get(seq - 1, c)
+            );
+        }
+    }
+
+    #[test]
+    fn single_token_attention_returns_its_own_value() {
+        // seq = 1: the causal softmax is over one element, so the output
+        // is v[0] through the quantised matmul.
+        let dh = 32;
+        let q = tensor(1, dh, 43);
+        let k = tensor(1, dh, 47);
+        let v = tensor(1, dh, 53);
+        let mut engine = BbalEngine::paper();
+        let out = engine.attention(&q, &k, &v);
+        assert_eq!(out.rows(), 1);
+        for c in 0..dh {
+            assert!(
+                (out.get(0, c) - v.get(0, c)).abs() < 0.2,
+                "col {c}: {} vs {}",
+                out.get(0, c),
+                v.get(0, c)
+            );
+        }
+    }
+
+    #[test]
+    fn fully_masked_row_produces_zero_context() {
+        // A padding query that may attend to nothing contributes nothing:
+        // its context row is exactly zero, and other rows are unaffected.
+        let (seq, dh) = (4, 32);
+        let q = tensor(seq, dh, 59);
+        let k = tensor(seq, dh, 61);
+        let v = tensor(seq, dh, 67);
+        let mut engine = BbalEngine::paper();
+        let masked = engine.attention_masked(&q, &k, &v, |i, _| i != 2);
+        assert!(masked.row(2).iter().all(|&x| x == 0.0), "row 2 not zeroed");
+        let unmasked = engine.attention_masked(&q, &k, &v, |_, _| true);
+        for r in [0usize, 1, 3] {
+            assert_eq!(masked.row(r), unmasked.row(r), "row {r} changed");
+        }
+    }
+
+    #[test]
+    fn causal_mask_via_attention_masked_matches_attention() {
+        let (seq, dh) = (5, 32);
+        let q = tensor(seq, dh, 71);
+        let k = tensor(seq, dh, 73);
+        let v = tensor(seq, dh, 79);
+        let mut engine = BbalEngine::paper();
+        let causal = engine.attention(&q, &k, &v);
+        let masked = engine.attention_masked(&q, &k, &v, |i, j| j <= i);
+        for (a, b) in causal.data().iter().zip(masked.data()) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn cross_attention_handles_unaligned_shapes() {
+        // q.rows() != k.rows(): three queries over a seven-entry memory,
+        // no mask — every row is a convex combination of all values.
+        let (m, n, dh) = (3, 7, 32);
+        let q = tensor(m, dh, 83);
+        let k = tensor(n, dh, 89);
+        let v = tensor(n, dh, 97);
+        let mut engine = BbalEngine::paper();
+        let out = engine.cross_attention(&q, &k, &v);
+        assert_eq!((out.rows(), out.cols()), (m, dh));
+
+        // Exact reference: unmasked softmax(q·kᵀ/√dh)·v.
+        let scale = 1.0 / (dh as f32).sqrt();
+        let mut scores = q.matmul_transposed(&k);
+        scores.scale(scale);
+        for i in 0..m {
+            ops::softmax_in_place(scores.row_mut(i));
+        }
+        let exact = scores.matmul(&v);
+        for (a, b) in out.data().iter().zip(exact.data()) {
+            assert!((a - b).abs() < 0.25, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "use cross_attention")]
+    fn causal_attention_rejects_unaligned_shapes() {
+        let mut engine = BbalEngine::paper();
+        let q = tensor(2, 32, 3);
+        let k = tensor(4, 32, 5);
+        let v = tensor(4, 32, 7);
+        let _ = engine.attention(&q, &k, &v);
+    }
+
+    #[test]
+    fn for_scheme_requires_a_bbfp_linear_path() {
+        assert!(BbalEngine::for_scheme(SchemeSpec::Bbfp(6, 3)).is_ok());
+        assert!(matches!(
+            BbalEngine::for_scheme(SchemeSpec::Fp16),
+            Err(SchemeError::NoHardwareMapping(SchemeSpec::Fp16))
+        ));
+        assert!(BbalEngine::for_scheme(SchemeSpec::Bbfp(9, 9)).is_err());
     }
 }

@@ -1,9 +1,10 @@
 //! Iso-area comparison support (Fig. 8): under a fixed PE-array area
 //! budget, cheaper PEs buy more parallelism.
 
-use crate::config::{AcceleratorConfig, FormatSpec};
+use crate::config::{AcceleratorConfig, ConfigError, FormatSpec};
 use crate::sim::{simulate, SimReport};
 use bbal_arith::{GateLibrary, ProcessingElement};
+use bbal_core::SchemeSpec;
 use bbal_llm::graph::Op;
 
 /// The PE array geometry affordable under an area budget: the largest
@@ -25,7 +26,9 @@ pub fn array_for_budget(format: FormatSpec, budget_um2: f64, lib: &GateLibrary) 
 /// One Fig. 8 data point: a method's throughput under the shared budget.
 #[derive(Debug, Clone, PartialEq)]
 pub struct IsoAreaPoint {
-    /// Method name.
+    /// The scheme this point belongs to.
+    pub scheme: SchemeSpec,
+    /// Method name (the scheme's paper name).
     pub name: String,
     /// PE array geometry under the budget.
     pub pe_rows: usize,
@@ -37,27 +40,34 @@ pub struct IsoAreaPoint {
     pub throughput_gmacs: f64,
 }
 
-/// Evaluates a method lineup under one area budget on a reference
+/// Evaluates a scheme lineup under one area budget on a reference
 /// workload.
+///
+/// # Errors
+///
+/// Propagates [`ConfigError::Scheme`] for schemes without a hardware
+/// mapping (e.g. `fp16`).
 pub fn iso_area_sweep(
-    methods: &[(&str, FormatSpec)],
+    schemes: &[SchemeSpec],
     budget_um2: f64,
     workload: &[Op],
     lib: &GateLibrary,
-) -> Vec<IsoAreaPoint> {
-    methods
+) -> Result<Vec<IsoAreaPoint>, ConfigError> {
+    schemes
         .iter()
-        .map(|(name, spec)| {
-            let (rows, cols) = array_for_budget(*spec, budget_um2, lib);
-            let cfg = AcceleratorConfig::with_format(*spec, rows, cols);
+        .map(|&scheme| {
+            let spec = FormatSpec::from_scheme(scheme)?;
+            let (rows, cols) = array_for_budget(spec, budget_um2, lib);
+            let cfg = AcceleratorConfig::with_format(spec, rows, cols)?;
             let report = simulate(&cfg, workload, lib);
-            IsoAreaPoint {
-                name: (*name).to_owned(),
+            Ok(IsoAreaPoint {
+                scheme,
+                name: scheme.paper_name(),
                 pe_rows: rows,
                 pe_cols: cols,
                 throughput_gmacs: report.throughput_gmacs(cfg.clock_ghz),
                 report,
-            }
+            })
         })
         .collect()
 }
@@ -69,8 +79,18 @@ mod tests {
 
     fn workload() -> Vec<Op> {
         vec![
-            Op::Gemm { name: GemmKind::Query, m: 512, k: 2048, n: 2048 },
-            Op::Gemm { name: GemmKind::Fc1, m: 512, k: 2048, n: 8192 },
+            Op::Gemm {
+                name: GemmKind::Query,
+                m: 512,
+                k: 2048,
+                n: 2048,
+            },
+            Op::Gemm {
+                name: GemmKind::Fc1,
+                m: 512,
+                k: 2048,
+                n: 8192,
+            },
         ]
     }
 
@@ -78,8 +98,8 @@ mod tests {
     fn cheaper_pes_get_bigger_arrays() {
         let lib = GateLibrary::default();
         let budget = 50_000.0;
-        let (r3, c3) = array_for_budget(FormatSpec::bbfp(3, 1), budget, &lib);
-        let (r6, c6) = array_for_budget(FormatSpec::bbfp(6, 3), budget, &lib);
+        let (r3, c3) = array_for_budget(FormatSpec::bbfp(3, 1).unwrap(), budget, &lib);
+        let (r6, c6) = array_for_budget(FormatSpec::bbfp(6, 3).unwrap(), budget, &lib);
         assert!(r3 * c3 > r6 * c6, "{} vs {}", r3 * c3, r6 * c6);
     }
 
@@ -88,11 +108,8 @@ mod tests {
         // Paper §V-B: "compared to BFP4, BBFP(3,1) and BBFP(3,2) achieve a
         // 40% throughput improvement".
         let lib = GateLibrary::default();
-        let methods = [
-            ("BFP4", FormatSpec::bfp(4)),
-            ("BBFP(3,1)", FormatSpec::bbfp(3, 1)),
-        ];
-        let points = iso_area_sweep(&methods, 60_000.0, &workload(), &lib);
+        let schemes = [SchemeSpec::Bfp(4), SchemeSpec::Bbfp(3, 1)];
+        let points = iso_area_sweep(&schemes, 60_000.0, &workload(), &lib).unwrap();
         let bfp4 = points[0].throughput_gmacs;
         let bbfp31 = points[1].throughput_gmacs;
         let gain = bbfp31 / bfp4 - 1.0;
@@ -108,19 +125,27 @@ mod tests {
         // Paper §V-B: "The BBFP with a width of 4 shows a 30% drop in
         // throughput compared to Oltron".
         let lib = GateLibrary::default();
-        let methods = [
-            ("Oltron", FormatSpec::oltron()),
-            ("BBFP(4,2)", FormatSpec::bbfp(4, 2)),
-        ];
-        let points = iso_area_sweep(&methods, 60_000.0, &workload(), &lib);
+        let schemes = [SchemeSpec::Oltron, SchemeSpec::Bbfp(4, 2)];
+        let points = iso_area_sweep(&schemes, 60_000.0, &workload(), &lib).unwrap();
         let drop = 1.0 - points[1].throughput_gmacs / points[0].throughput_gmacs;
         assert!((0.10..0.50).contains(&drop), "drop {:.0}%", drop * 100.0);
     }
 
     #[test]
+    fn sweep_rejects_unmappable_schemes() {
+        let lib = GateLibrary::default();
+        let err = iso_area_sweep(&[SchemeSpec::Fp16], 60_000.0, &workload(), &lib);
+        assert!(matches!(err, Err(ConfigError::Scheme(_))));
+    }
+
+    #[test]
     fn budget_is_respected() {
         let lib = GateLibrary::default();
-        for spec in [FormatSpec::bfp(4), FormatSpec::bbfp(6, 3), FormatSpec::oltron()] {
+        for spec in [
+            FormatSpec::bfp(4).unwrap(),
+            FormatSpec::bbfp(6, 3).unwrap(),
+            FormatSpec::oltron(),
+        ] {
             let budget = 40_000.0;
             let (r, c) = array_for_budget(spec, budget, &lib);
             let pe = ProcessingElement::with_exponent_adder(spec.pe)

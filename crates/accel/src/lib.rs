@@ -34,8 +34,8 @@ pub mod sim;
 pub mod systolic;
 
 pub use bbal::BbalGemm;
-pub use engine::BbalEngine;
-pub use config::{AcceleratorConfig, FormatSpec};
+pub use config::{AcceleratorConfig, ConfigError, FormatSpec};
+pub use engine::{BbalEngine, KvState};
 pub use isoarea::{array_for_budget, iso_area_sweep, IsoAreaPoint};
 pub use sim::{simulate, simulate_with, EnergyBreakdown, NonlinearTiming, SimReport};
 pub use systolic::{SystolicTile, TileRun};

@@ -191,7 +191,8 @@ pub fn simulate_with(
         static_pj: static_mw * 1.0e-3 * runtime_s * 1.0e12,
         dram_pj: cfg.dram.transfer_energy_pj(report.dram_bytes),
         buffer_pj: buffer_accesses as f64 * cfg.input_buffer.read_energy_pj(),
-        core_pj: report.macs as f64 / cfg.pe_count() as f64 * cfg.pe_energy_pj(lib)
+        core_pj: report.macs as f64 / cfg.pe_count() as f64
+            * cfg.pe_energy_pj(lib)
             * cfg.pe_count() as f64,
     };
     report
@@ -222,12 +223,24 @@ mod tests {
     fn utilisation_bounded_by_array_size() {
         let c = cfg();
         let lib = GateLibrary::default();
-        let ops = [Op::Gemm { name: GemmKind::Fc1, m: 256, k: 1024, n: 1024 }];
+        let ops = [Op::Gemm {
+            name: GemmKind::Fc1,
+            m: 256,
+            k: 1024,
+            n: 1024,
+        }];
         let report = simulate(&c, &ops, &lib);
         let ideal = report.macs / c.pe_count() as u64;
-        assert!(report.linear_cycles >= ideal, "cannot beat 100% utilisation");
+        assert!(
+            report.linear_cycles >= ideal,
+            "cannot beat 100% utilisation"
+        );
         // And the model should stay within 4x of ideal for a large GEMM.
-        assert!(report.linear_cycles < 4 * ideal, "{} vs {ideal}", report.linear_cycles);
+        assert!(
+            report.linear_cycles < 4 * ideal,
+            "{} vs {ideal}",
+            report.linear_cycles
+        );
     }
 
     #[test]
@@ -258,14 +271,19 @@ mod tests {
     #[test]
     fn narrower_formats_move_fewer_dram_bytes() {
         let lib = GateLibrary::default();
-        let ops = [Op::Gemm { name: GemmKind::Fc1, m: 256, k: 2048, n: 2048 }];
+        let ops = [Op::Gemm {
+            name: GemmKind::Fc1,
+            m: 256,
+            k: 2048,
+            n: 2048,
+        }];
         let narrow = simulate(
-            &AcceleratorConfig::with_format(FormatSpec::bbfp(3, 1), 16, 16),
+            &AcceleratorConfig::with_format(FormatSpec::bbfp(3, 1).unwrap(), 16, 16).unwrap(),
             &ops,
             &lib,
         );
         let wide = simulate(
-            &AcceleratorConfig::with_format(FormatSpec::bfp(6), 16, 16),
+            &AcceleratorConfig::with_format(FormatSpec::bfp(6).unwrap(), 16, 16).unwrap(),
             &ops,
             &lib,
         );
@@ -276,7 +294,12 @@ mod tests {
     fn runtime_report_is_consistent() {
         let c = cfg();
         let lib = GateLibrary::default();
-        let ops = [Op::Gemm { name: GemmKind::Query, m: 64, k: 512, n: 512 }];
+        let ops = [Op::Gemm {
+            name: GemmKind::Query,
+            m: 64,
+            k: 512,
+            n: 512,
+        }];
         let r = simulate(&c, &ops, &lib);
         assert_eq!(r.total_cycles(), r.linear_cycles);
         assert!(r.runtime_ms(1.0) > 0.0);

@@ -149,7 +149,9 @@ mod tests {
     }
 
     fn pattern(n: usize, seed: i64) -> Vec<i64> {
-        (0..n).map(|i| ((i as i64).wrapping_mul(seed) % 17) - 8).collect()
+        (0..n)
+            .map(|i| ((i as i64).wrapping_mul(seed) % 17) - 8)
+            .collect()
     }
 
     #[test]
@@ -190,7 +192,10 @@ mod tests {
         let exact = SystolicTile::new(r, c, &vec![1i64; r * c]).analytic_cycles(m);
         let model = (m + c) as u64; // per-tile steady-state charge
         let fill = r as u64; // charged once per GEMM
-        assert!(model + fill >= exact - 2, "model {model}+{fill} vs exact {exact}");
+        assert!(
+            model + fill >= exact - 2,
+            "model {model}+{fill} vs exact {exact}"
+        );
         assert!(model + fill <= exact + r as u64, "model too pessimistic");
     }
 

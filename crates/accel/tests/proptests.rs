@@ -52,7 +52,7 @@ proptest! {
     #[test]
     fn no_superunitary_utilisation(m in 8usize..64, k in 32usize..256, n in 32usize..256) {
         let lib = GateLibrary::default();
-        let cfg = AcceleratorConfig::with_format(FormatSpec::bbfp(4, 2), 8, 8);
+        let cfg = AcceleratorConfig::with_format(FormatSpec::bbfp(4, 2).unwrap(), 8, 8).unwrap();
         let ops = [Op::Gemm { name: GemmKind::Query, m, k, n }];
         let r = simulate(&cfg, &ops, &lib);
         prop_assert!(r.linear_cycles as u128 * cfg.pe_count() as u128 >= r.macs as u128);
@@ -71,7 +71,7 @@ proptest! {
         };
         let a = Tensor::from_vec(4, 32, (0..128).map(|_| next()).collect());
         let b = Tensor::from_vec(32, 4, (0..128).map(|_| next()).collect());
-        let gemm = BbalGemm::new(BbfpConfig::new(6, 3).expect("valid"));
+        let gemm = BbalGemm::new(BbfpConfig::new(6, 3).unwrap());
         let hw = gemm.matmul(&a, &b);
         let exact = a.matmul(&b);
         for (x, y) in hw.data().iter().zip(exact.data()) {

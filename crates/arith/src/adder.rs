@@ -105,7 +105,7 @@ impl CarryChain {
         for i in 0..self.width {
             let ai = (a >> i) & 1 == 1;
             let s = ai ^ carry; // Eq. 13
-            carry = ai & carry; // Eq. 14
+            carry &= ai; // Eq. 14
             if s {
                 sum |= 1 << i;
             }

@@ -76,8 +76,14 @@ impl CsaTree {
     pub fn new(inputs: u32, input_width: u32) -> CsaTree {
         assert!(inputs >= 3);
         assert!(input_width > 0);
-        assert!(input_width + 32 - inputs.leading_zeros() < 63, "result too wide");
-        CsaTree { inputs, input_width }
+        assert!(
+            input_width + 32 - inputs.leading_zeros() < 63,
+            "result too wide"
+        );
+        CsaTree {
+            inputs,
+            input_width,
+        }
     }
 
     /// Width of the final sum: input width plus `ceil(log2(inputs))`.
@@ -156,7 +162,9 @@ impl CsaTree {
             area_um2: g.area_um2(lib),
             energy_pj: g.energy_pj(lib, 0.3),
             delay_ps: row.cost(lib).delay_ps * self.depth() as f64
-                + RippleCarryAdder::new(self.result_width()).cost(lib).delay_ps,
+                + RippleCarryAdder::new(self.result_width())
+                    .cost(lib)
+                    .delay_ps,
             leakage_nw: g.leakage_nw(lib),
         }
     }
@@ -179,7 +187,12 @@ impl CsaTree {
             delay += c.delay_ps;
             adders = (adders / 2).max(1);
         }
-        CostSummary { area_um2: area, energy_pj: energy, delay_ps: delay, leakage_nw: leak }
+        CostSummary {
+            area_um2: area,
+            energy_pj: energy,
+            delay_ps: delay,
+            leakage_nw: leak,
+        }
     }
 }
 
@@ -190,7 +203,12 @@ mod tests {
     #[test]
     fn compressor_identity_holds() {
         let row = CarrySaveRow::new(12);
-        for (a, b, c) in [(0u64, 0u64, 0u64), (5, 9, 3), (4095, 4095, 4095), (17, 2048, 999)] {
+        for (a, b, c) in [
+            (0u64, 0u64, 0u64),
+            (5, 9, 3),
+            (4095, 4095, 4095),
+            (17, 2048, 999),
+        ] {
             let (s, cy) = row.compress(a, b, c);
             assert_eq!(s + (cy << 1), (a & 0xFFF) + (b & 0xFFF) + (c & 0xFFF));
         }
@@ -219,7 +237,12 @@ mod tests {
         let tree = CsaTree::new(32, 8);
         let csa = tree.cost(&lib);
         let cpa = tree.carry_propagate_equivalent(&lib);
-        assert!(csa.delay_ps < 0.7 * cpa.delay_ps, "{} vs {}", csa.delay_ps, cpa.delay_ps);
+        assert!(
+            csa.delay_ps < 0.7 * cpa.delay_ps,
+            "{} vs {}",
+            csa.delay_ps,
+            cpa.delay_ps
+        );
         // Area within ~2x either way.
         let ratio = csa.area_um2 / cpa.area_um2;
         assert!((0.5..2.0).contains(&ratio), "area ratio {ratio}");

@@ -152,8 +152,8 @@ impl MaxTree {
     pub fn cost(&self, lib: &GateLibrary) -> CostSummary {
         let g = self.gate_counts();
         let levels = 31 - self.lanes.leading_zeros();
-        let per_level = Comparator::new(self.width).cost(lib).delay_ps
-            + lib.params(GateKind::Mux2).delay_ps;
+        let per_level =
+            Comparator::new(self.width).cost(lib).delay_ps + lib.params(GateKind::Mux2).delay_ps;
         CostSummary {
             area_um2: g.area_um2(lib),
             energy_pj: g.energy_pj(lib, 0.2),

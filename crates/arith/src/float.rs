@@ -23,7 +23,9 @@ impl Fp16Multiplier {
         g += GateCounts::new().with(GateKind::Mux2, 11);
         g += GateCounts::half_adder() * 11;
         // Sign XOR and exception logic.
-        g += GateCounts::new().with(GateKind::Xor2, 1).with(GateKind::Or2, 4);
+        g += GateCounts::new()
+            .with(GateKind::Xor2, 1)
+            .with(GateKind::Or2, 4);
         g
     }
 
@@ -130,7 +132,9 @@ impl FpEncoder {
             area_um2: g.area_um2(lib),
             energy_pj: g.energy_pj(lib, 0.25),
             delay_ps: LeadingOneDetector::new(self.width).cost(lib).delay_ps
-                + BarrelShifter::new(self.width, self.width - 1).cost(lib).delay_ps,
+                + BarrelShifter::new(self.width, self.width - 1)
+                    .cost(lib)
+                    .delay_ps,
             leakage_nw: g.leakage_nw(lib),
         }
     }

@@ -65,16 +65,91 @@ impl GateLibrary {
     /// (9257 µm²). Only ratios between circuits matter to the experiments.
     pub fn tsmc28_class() -> GateLibrary {
         let mut params = BTreeMap::new();
-        params.insert(GateKind::Inv, GateParams { area_um2: 0.29, delay_ps: 9.0, energy_fj: 0.45, leakage_nw: 1.2 });
-        params.insert(GateKind::Nand2, GateParams { area_um2: 0.49, delay_ps: 14.0, energy_fj: 0.80, leakage_nw: 1.8 });
-        params.insert(GateKind::Nor2, GateParams { area_um2: 0.49, delay_ps: 16.0, energy_fj: 0.85, leakage_nw: 1.8 });
-        params.insert(GateKind::And2, GateParams { area_um2: 0.64, delay_ps: 20.0, energy_fj: 1.00, leakage_nw: 2.2 });
-        params.insert(GateKind::Or2, GateParams { area_um2: 0.64, delay_ps: 21.0, energy_fj: 1.05, leakage_nw: 2.2 });
-        params.insert(GateKind::Xor2, GateParams { area_um2: 1.17, delay_ps: 28.0, energy_fj: 1.90, leakage_nw: 3.4 });
-        params.insert(GateKind::Xnor2, GateParams { area_um2: 1.17, delay_ps: 28.0, energy_fj: 1.90, leakage_nw: 3.4 });
-        params.insert(GateKind::Mux2, GateParams { area_um2: 1.07, delay_ps: 24.0, energy_fj: 1.55, leakage_nw: 3.0 });
-        params.insert(GateKind::Dff, GateParams { area_um2: 2.34, delay_ps: 65.0, energy_fj: 3.10, leakage_nw: 5.6 });
-        GateLibrary { params, name: "tsmc28-class" }
+        params.insert(
+            GateKind::Inv,
+            GateParams {
+                area_um2: 0.29,
+                delay_ps: 9.0,
+                energy_fj: 0.45,
+                leakage_nw: 1.2,
+            },
+        );
+        params.insert(
+            GateKind::Nand2,
+            GateParams {
+                area_um2: 0.49,
+                delay_ps: 14.0,
+                energy_fj: 0.80,
+                leakage_nw: 1.8,
+            },
+        );
+        params.insert(
+            GateKind::Nor2,
+            GateParams {
+                area_um2: 0.49,
+                delay_ps: 16.0,
+                energy_fj: 0.85,
+                leakage_nw: 1.8,
+            },
+        );
+        params.insert(
+            GateKind::And2,
+            GateParams {
+                area_um2: 0.64,
+                delay_ps: 20.0,
+                energy_fj: 1.00,
+                leakage_nw: 2.2,
+            },
+        );
+        params.insert(
+            GateKind::Or2,
+            GateParams {
+                area_um2: 0.64,
+                delay_ps: 21.0,
+                energy_fj: 1.05,
+                leakage_nw: 2.2,
+            },
+        );
+        params.insert(
+            GateKind::Xor2,
+            GateParams {
+                area_um2: 1.17,
+                delay_ps: 28.0,
+                energy_fj: 1.90,
+                leakage_nw: 3.4,
+            },
+        );
+        params.insert(
+            GateKind::Xnor2,
+            GateParams {
+                area_um2: 1.17,
+                delay_ps: 28.0,
+                energy_fj: 1.90,
+                leakage_nw: 3.4,
+            },
+        );
+        params.insert(
+            GateKind::Mux2,
+            GateParams {
+                area_um2: 1.07,
+                delay_ps: 24.0,
+                energy_fj: 1.55,
+                leakage_nw: 3.0,
+            },
+        );
+        params.insert(
+            GateKind::Dff,
+            GateParams {
+                area_um2: 2.34,
+                delay_ps: 65.0,
+                energy_fj: 3.10,
+                leakage_nw: 5.6,
+            },
+        );
+        GateLibrary {
+            params,
+            name: "tsmc28-class",
+        }
     }
 
     /// Parameters of one gate kind.
@@ -143,24 +218,32 @@ impl GateCounts {
 
     /// The gate bag of a half adder: 1 XOR + 1 AND.
     pub fn half_adder() -> GateCounts {
-        GateCounts::new().with(GateKind::Xor2, 1).with(GateKind::And2, 1)
+        GateCounts::new()
+            .with(GateKind::Xor2, 1)
+            .with(GateKind::And2, 1)
     }
 
     /// The gate bag of one carry-chain cell (paper Eqs. 13–14):
     /// `S = Ci ⊕ ai`, `Cout = Ci·ai` — one XOR and one AND, saving one AND
     /// and one XOR plus the OR against a full adder.
     pub fn carry_chain_cell() -> GateCounts {
-        GateCounts::new().with(GateKind::Xor2, 1).with(GateKind::And2, 1)
+        GateCounts::new()
+            .with(GateKind::Xor2, 1)
+            .with(GateKind::And2, 1)
     }
 
     /// Total cell area in µm².
     pub fn area_um2(&self, lib: &GateLibrary) -> f64 {
-        self.iter().map(|(k, n)| lib.params(k).area_um2 * n as f64).sum()
+        self.iter()
+            .map(|(k, n)| lib.params(k).area_um2 * n as f64)
+            .sum()
     }
 
     /// Total leakage power in nW.
     pub fn leakage_nw(&self, lib: &GateLibrary) -> f64 {
-        self.iter().map(|(k, n)| lib.params(k).leakage_nw * n as f64).sum()
+        self.iter()
+            .map(|(k, n)| lib.params(k).leakage_nw * n as f64)
+            .sum()
     }
 
     /// Dynamic energy per operation in pJ, assuming each gate toggles with
@@ -280,7 +363,9 @@ mod tests {
     #[test]
     fn gate_count_arithmetic() {
         let a = GateCounts::new().with(GateKind::And2, 3);
-        let b = GateCounts::new().with(GateKind::And2, 2).with(GateKind::Xor2, 1);
+        let b = GateCounts::new()
+            .with(GateKind::And2, 2)
+            .with(GateKind::Xor2, 1);
         let c = a + b;
         assert_eq!(c.count(GateKind::And2), 5);
         assert_eq!(c.count(GateKind::Xor2), 1);
@@ -314,7 +399,12 @@ mod tests {
 
     #[test]
     fn cost_summary_products() {
-        let c = CostSummary { area_um2: 100.0, energy_pj: 2.0, delay_ps: 500.0, leakage_nw: 10.0 };
+        let c = CostSummary {
+            area_um2: 100.0,
+            energy_pj: 2.0,
+            delay_ps: 500.0,
+            leakage_nw: 10.0,
+        };
         assert!((c.adp() - 50.0).abs() < 1e-12);
         assert!((c.edp() - 1.0).abs() < 1e-12);
     }

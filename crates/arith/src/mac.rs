@@ -11,7 +11,7 @@ use crate::float::{Fp16Multiplier, FpAccumulator, FpEncoder};
 use crate::gates::{CostSummary, GateCounts, GateKind, GateLibrary};
 use crate::multiplier::ArrayMultiplier;
 use crate::shifter::FlagShifter;
-use bbal_core::{BbfpConfig, BfpConfig, FormatCost};
+use bbal_core::{BbfpConfig, BfpConfig, FormatCost, SchemeError, SchemeSpec};
 
 /// Guard bits a lane accumulator carries above the product width to absorb
 /// block-length accumulation (32 terms → 5 bits).
@@ -31,6 +31,25 @@ pub enum MacKind {
 }
 
 impl MacKind {
+    /// Derives the MAC specialisation for a quantisation scheme (the
+    /// Table I mapping).
+    ///
+    /// # Errors
+    ///
+    /// [`SchemeError::NoHardwareMapping`] for schemes without a Table I
+    /// MAC design (`fp32`, the outlier baselines, `omniquant`), and the
+    /// scheme's own validation error for invalid widths.
+    pub fn from_scheme(scheme: SchemeSpec) -> Result<MacKind, SchemeError> {
+        scheme.validate()?;
+        match scheme {
+            SchemeSpec::Fp16 => Ok(MacKind::Fp16),
+            SchemeSpec::Int(bits) => Ok(MacKind::Int(bits)),
+            SchemeSpec::Bfp(m) => Ok(MacKind::Bfp(BfpConfig::new(m)?)),
+            SchemeSpec::Bbfp(m, o) => Ok(MacKind::Bbfp(BbfpConfig::new(m, o)?)),
+            other => Err(SchemeError::NoHardwareMapping(other)),
+        }
+    }
+
     /// Storage cost of the operand format (Table I's right-hand columns).
     pub fn format_cost(&self) -> FormatCost {
         match self {

@@ -12,7 +12,6 @@ use crate::adder::{CarryChain, RippleCarryAdder};
 use crate::gates::{CostSummary, GateCounts, GateKind, GateLibrary};
 use crate::multiplier::ArrayMultiplier;
 use crate::shifter::FlagShifter;
-use bbal_core::BbfpConfig;
 
 /// Guard bits each PE's partial-sum path carries above the product width.
 pub const PE_GUARD_BITS: u32 = 4;
@@ -74,12 +73,18 @@ pub struct ProcessingElement {
 impl ProcessingElement {
     /// Creates a type-① PE (with shared-exponent adder).
     pub fn with_exponent_adder(kind: PeKind) -> ProcessingElement {
-        ProcessingElement { kind, exponent_adder: true }
+        ProcessingElement {
+            kind,
+            exponent_adder: true,
+        }
     }
 
     /// Creates a type-② PE (exponent bypass only).
     pub fn with_exponent_bypass(kind: PeKind) -> ProcessingElement {
-        ProcessingElement { kind, exponent_adder: false }
+        ProcessingElement {
+            kind,
+            exponent_adder: false,
+        }
     }
 
     /// Structural gate bag.
@@ -117,9 +122,10 @@ impl ProcessingElement {
                 g
             }
             PeKind::Bbfp(m, o) => {
-                let cfg = BbfpConfig::new(m, o).expect("valid BBFP config");
+                // The window gap is m − o (BbfpConfig::window_gap), computed
+                // directly so a cost query never panics on the widths.
+                let gap = m.saturating_sub(o) as u32;
                 let m = m as u32;
-                let gap = cfg.window_gap() as u32;
                 let mut g = ArrayMultiplier::new(m).gate_counts();
                 g += FlagShifter::new(2 * m, gap).gate_counts();
                 g += RippleCarryAdder::new(2 * m).gate_counts();
@@ -212,7 +218,9 @@ mod tests {
     use super::*;
 
     fn area(kind: PeKind) -> f64 {
-        ProcessingElement::with_exponent_adder(kind).cost(&GateLibrary::default()).area_um2
+        ProcessingElement::with_exponent_adder(kind)
+            .cost(&GateLibrary::default())
+            .area_um2
     }
 
     #[test]
@@ -253,8 +261,12 @@ mod tests {
     fn exponent_bypass_is_cheaper_than_adder() {
         let lib = GateLibrary::default();
         let k = PeKind::Bbfp(4, 2);
-        let with = ProcessingElement::with_exponent_adder(k).cost(&lib).area_um2;
-        let without = ProcessingElement::with_exponent_bypass(k).cost(&lib).area_um2;
+        let with = ProcessingElement::with_exponent_adder(k)
+            .cost(&lib)
+            .area_um2;
+        let without = ProcessingElement::with_exponent_bypass(k)
+            .cost(&lib)
+            .area_um2;
         assert!(without < with);
     }
 

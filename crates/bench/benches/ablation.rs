@@ -56,7 +56,7 @@ fn bench_carry_chain(c: &mut Criterion) {
 
 /// Shared-exponent policy sweep (the Fig. 3 knob) on the encode path.
 fn bench_policy(c: &mut Criterion) {
-    let cfg = BbfpConfig::new(4, 2).expect("valid");
+    let cfg = BbfpConfig::new(4, 2).unwrap();
     let xs = data(4096);
     let mut out = vec![0.0f32; 4096];
     let mut group = c.benchmark_group("exponent_policy");
@@ -77,7 +77,7 @@ fn bench_overlap(c: &mut Criterion) {
     let mut out = vec![0.0f32; 4096];
     let mut group = c.benchmark_group("overlap_width");
     for o in [0u8, 2, 4, 5] {
-        let cfg = BbfpConfig::new(6, o).expect("valid");
+        let cfg = BbfpConfig::new(6, o).unwrap();
         group.bench_with_input(BenchmarkId::new("bbfp6", o), &cfg, |b, cfg| {
             b.iter(|| {
                 bbfp_quantize_slice_with(

@@ -2,7 +2,7 @@
 //! block encoding, block dot products, the functional BBAL GEMM, the
 //! segmented-LUT nonlinear unit, and the cycle simulator.
 
-use bbal_accel::{simulate, AcceleratorConfig, BbalGemm};
+use bbal_accel::{simulate, AcceleratorConfig, BbalEngine, BbalGemm};
 use bbal_arith::GateLibrary;
 use bbal_core::{
     bbfp_dot, bbfp_quantize_slice, bfp_quantize_slice, BbfpBlock, BbfpConfig, BfpConfig,
@@ -33,15 +33,15 @@ fn bench_block_encode(c: &mut Criterion) {
     let mut out = vec![0.0f32; 4096];
     group.throughput(Throughput::Elements(4096));
     group.bench_function("bbfp_4_2", |b| {
-        let cfg = BbfpConfig::new(4, 2).expect("valid");
+        let cfg = BbfpConfig::new(4, 2).unwrap();
         b.iter(|| bbfp_quantize_slice(&data, cfg, RoundingMode::NearestEven, &mut out));
     });
     group.bench_function("bbfp_6_3", |b| {
-        let cfg = BbfpConfig::new(6, 3).expect("valid");
+        let cfg = BbfpConfig::new(6, 3).unwrap();
         b.iter(|| bbfp_quantize_slice(&data, cfg, RoundingMode::NearestEven, &mut out));
     });
     group.bench_function("bfp_4", |b| {
-        let cfg = BfpConfig::new(4).expect("valid");
+        let cfg = BfpConfig::new(4).unwrap();
         b.iter(|| bfp_quantize_slice(&data, cfg, RoundingMode::NearestEven, &mut out));
     });
     group.finish();
@@ -49,7 +49,7 @@ fn bench_block_encode(c: &mut Criterion) {
 
 fn bench_block_dot(c: &mut Criterion) {
     let mut group = c.benchmark_group("block_dot");
-    let cfg = BbfpConfig::new(4, 2).expect("valid");
+    let cfg = BbfpConfig::new(4, 2).unwrap();
     let a = BbfpBlock::from_f32_slice(&test_data(32), cfg).expect("finite");
     let b = BbfpBlock::from_f32_slice(&test_data(32)[..32], cfg).expect("finite");
     group.throughput(Throughput::Elements(32));
@@ -62,7 +62,7 @@ fn bench_block_dot(c: &mut Criterion) {
 fn bench_bbal_gemm(c: &mut Criterion) {
     let mut group = c.benchmark_group("bbal_gemm");
     group.sample_size(10);
-    let gemm = BbalGemm::new(BbfpConfig::new(4, 2).expect("valid"));
+    let gemm = BbalGemm::new(BbfpConfig::new(4, 2).unwrap());
     let a = Tensor::from_vec(16, 128, test_data(16 * 128));
     let b = Tensor::from_vec(128, 16, test_data(128 * 16));
     group.throughput(Throughput::Elements((16 * 128 * 16) as u64));
@@ -105,6 +105,31 @@ fn bench_nonlinear_unit(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_decode_attention(c: &mut Criterion) {
+    // The satellite measurement for the KV-state redesign: one decode
+    // step over a long cache, (a) re-encoding K from scratch every call
+    // (the old `attention` path, which materialised kᵀ per call) vs
+    // (b) attending against the pre-encoded `KvState` serving layout.
+    let (kv_len, dh) = (256usize, 64usize);
+    let q = Tensor::from_vec(1, dh, test_data(dh));
+    let k = Tensor::from_vec(kv_len, dh, test_data(kv_len * dh));
+    let v = Tensor::from_vec(kv_len, dh, test_data(kv_len * dh));
+
+    let mut group = c.benchmark_group("decode_attention");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(kv_len as u64));
+    group.bench_function("reencode_kv_per_step", |b| {
+        let mut engine = BbalEngine::paper();
+        b.iter(|| engine.cross_attention(&q, &k, &v));
+    });
+    group.bench_function("cached_kv_state", |b| {
+        let mut engine = BbalEngine::paper();
+        let cache = engine.cache_kv(&k, &v);
+        b.iter(|| engine.decode_attention(&q, &cache));
+    });
+    group.finish();
+}
+
 fn bench_cycle_sim(c: &mut Criterion) {
     let mut group = c.benchmark_group("cycle_sim");
     let lib = GateLibrary::default();
@@ -129,6 +154,6 @@ fn configured() -> Criterion {
 criterion_group! {
     name = benches;
     config = configured();
-    targets = bench_block_encode, bench_block_dot, bench_bbal_gemm, bench_nonlinear_unit, bench_cycle_sim
+    targets = bench_block_encode, bench_block_dot, bench_bbal_gemm, bench_nonlinear_unit, bench_decode_attention, bench_cycle_sim
 }
 criterion_main!(benches);

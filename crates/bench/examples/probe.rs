@@ -6,23 +6,49 @@ fn main() {
     let eval = EvalSet::generate(&spec, 2, 24, 77);
 
     // Probe score/ffn ranges via a recording softmax hook
-    struct Probe { max_in: std::cell::Cell<f32>, silu_max: std::cell::Cell<f32> }
+    struct Probe {
+        max_in: std::cell::Cell<f32>,
+        silu_max: std::cell::Cell<f32>,
+    }
     impl InferenceHooks for Probe {
         fn softmax_row(&self, row: &mut [f32]) {
-            for v in row.iter() { if v.is_finite() { self.max_in.set(self.max_in.get().max(v.abs())); } }
+            for v in row.iter() {
+                if v.is_finite() {
+                    self.max_in.set(self.max_in.get().max(v.abs()));
+                }
+            }
             bbal_llm::ops::softmax_in_place(row);
         }
         fn activation(&self, xs: &mut [f32], kind: Activation) {
-            for v in xs.iter() { self.silu_max.set(self.silu_max.get().max(v.abs())); }
-            match kind { Activation::Silu => ops::silu_in_place(xs), Activation::Gelu => ops::gelu_in_place(xs) }
+            for v in xs.iter() {
+                self.silu_max.set(self.silu_max.get().max(v.abs()));
+            }
+            match kind {
+                Activation::Silu => ops::silu_in_place(xs),
+                Activation::Gelu => ops::gelu_in_place(xs),
+            }
         }
     }
-    let p = Probe { max_in: Default::default(), silu_max: Default::default() };
+    let p = Probe {
+        max_in: Default::default(),
+        silu_max: Default::default(),
+    };
     let _ = model.forward(&eval.sequences[0], &p);
-    println!("max |score| = {}, max |silu in| = {}", p.max_in.get(), p.silu_max.get());
+    println!(
+        "max |score| = {}, max |silu in| = {}",
+        p.max_in.get(),
+        p.silu_max.get()
+    );
 
-    for (name, cfg) in [("BBFP(10,5)", NonlinearUnitConfig::paper()), ("BFP10", NonlinearUnitConfig::bfp10())] {
-        for scope in [NonlinearScope::SoftmaxOnly, NonlinearScope::ActivationOnly, NonlinearScope::Altogether] {
+    for (name, cfg) in [
+        ("BBFP(10,5)", NonlinearUnitConfig::paper()),
+        ("BFP10", NonlinearUnitConfig::bfp10()),
+    ] {
+        for scope in [
+            NonlinearScope::SoftmaxOnly,
+            NonlinearScope::ActivationOnly,
+            NonlinearScope::Altogether,
+        ] {
             let hooks = NonlinearUnitHooks::new(cfg, scope);
             let r = evaluate_ppl(&model, &hooks, &eval);
             println!("{name} {:?}: kl={:.6} ppl={:.3}", scope, r.kl, r.ppl);
@@ -32,9 +58,21 @@ fn main() {
     let mut unit_bfp = NonlinearUnit::new(NonlinearUnitConfig::bfp10());
     let mut unit_bbfp = NonlinearUnit::new(NonlinearUnitConfig::paper());
     let row: Vec<f32> = (0..24).map(|i| (i as f32 * 1.3) % 17.0 - 8.0).collect();
-    let mut exact = row.clone(); bbal_llm::ops::softmax_in_place(&mut exact);
-    let mut a = row.clone(); unit_bbfp.softmax_row(&mut a);
-    let mut b = row.clone(); unit_bfp.softmax_row(&mut b);
-    let err = |x: &[f32]| x.iter().zip(&exact).map(|(u,v)| (u-v).abs()).fold(0f32, f32::max);
-    println!("softmax max err over row +-8: bbfp={:.4} bfp={:.4}", err(&a), err(&b));
+    let mut exact = row.clone();
+    bbal_llm::ops::softmax_in_place(&mut exact);
+    let mut a = row.clone();
+    unit_bbfp.softmax_row(&mut a);
+    let mut b = row.clone();
+    unit_bfp.softmax_row(&mut b);
+    let err = |x: &[f32]| {
+        x.iter()
+            .zip(&exact)
+            .map(|(u, v)| (u - v).abs())
+            .fold(0f32, f32::max)
+    };
+    println!(
+        "softmax max err over row +-8: bbfp={:.4} bfp={:.4}",
+        err(&a),
+        err(&b)
+    );
 }

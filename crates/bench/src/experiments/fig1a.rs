@@ -14,7 +14,10 @@ use std::io::{self, Write};
 ///
 /// Propagates I/O errors from the writer.
 pub fn run(w: &mut dyn Write) -> io::Result<()> {
-    writeln!(w, "# Fig 1(a): weight/activation distribution, OPT-6.7B stand-in\n")?;
+    writeln!(
+        w,
+        "# Fig 1(a): weight/activation distribution, OPT-6.7B stand-in\n"
+    )?;
     let spec = zoo::opt_6_7b();
     let model = TransformerModel::synthesize(&spec);
     let eval = EvalSet::generate(&spec, 2, 32, 11);
@@ -27,8 +30,16 @@ pub fn run(w: &mut dyn Write) -> io::Result<()> {
 
     let wm = moments(&weights);
     let am = moments(&activations);
-    writeln!(w, "weights:     mean|v| = {:.4}, max|v| = {:.3}, outlier ratio = {:.1}x", wm.mean_abs, wm.max_abs, wm.outlier_ratio)?;
-    writeln!(w, "activations: mean|v| = {:.4}, max|v| = {:.3}, outlier ratio = {:.1}x", am.mean_abs, am.max_abs, am.outlier_ratio)?;
+    writeln!(
+        w,
+        "weights:     mean|v| = {:.4}, max|v| = {:.3}, outlier ratio = {:.1}x",
+        wm.mean_abs, wm.max_abs, wm.outlier_ratio
+    )?;
+    writeln!(
+        w,
+        "activations: mean|v| = {:.4}, max|v| = {:.3}, outlier ratio = {:.1}x",
+        am.mean_abs, am.max_abs, am.outlier_ratio
+    )?;
     writeln!(w)?;
 
     let bins = 16;
@@ -40,11 +51,23 @@ pub fn run(w: &mut dyn Write) -> io::Result<()> {
         let lo = hi * b as f32 / bins as f32;
         let wp = 100.0 * wh.counts[b] as f64 / wh.total() as f64;
         let ap = 100.0 * ah.counts[b] as f64 / ah.total() as f64;
-        writeln!(w, "{lo:>5.1}..{:>5.1}  {wp:>9.4}%  {ap:>9.4}%", lo + hi / bins as f32)?;
+        writeln!(
+            w,
+            "{lo:>5.1}..{:>5.1}  {wp:>9.4}%  {ap:>9.4}%",
+            lo + hi / bins as f32
+        )?;
     }
     writeln!(w)?;
-    writeln!(w, "activation tail >= 4.0: {:.4}% (paper: visible 10-100x outlier tail)", 100.0 * ah.tail_fraction(4.0))?;
-    writeln!(w, "weight tail    >= 4.0: {:.4}% (paper: essentially none)", 100.0 * wh.tail_fraction(4.0))?;
+    writeln!(
+        w,
+        "activation tail >= 4.0: {:.4}% (paper: visible 10-100x outlier tail)",
+        100.0 * ah.tail_fraction(4.0)
+    )?;
+    writeln!(
+        w,
+        "weight tail    >= 4.0: {:.4}% (paper: essentially none)",
+        100.0 * wh.tail_fraction(4.0)
+    )?;
     writeln!(w, "\nShape check: activations carry a heavy outlier tail that plain INT cannot capture; weights do not.")?;
     Ok(())
 }

@@ -22,11 +22,16 @@ use std::io::{self, Write};
 ///
 /// Propagates I/O errors from the writer.
 pub fn run(w: &mut dyn Write) -> io::Result<()> {
-    writeln!(w, "# Fig 1(b): linear vs nonlinear decoder runtime, Llama-7B\n")?;
+    writeln!(
+        w,
+        "# Fig 1(b): linear vs nonlinear decoder runtime, Llama-7B\n"
+    )?;
     let lib = GateLibrary::default();
     let cfg = AcceleratorConfig::bbal_paper();
     let dims = paper_dims("Llama-7B").expect("known model");
-    let baseline = NonlinearTiming::ScalarFp32 { cycles_per_elem: 8.0 };
+    let baseline = NonlinearTiming::ScalarFp32 {
+        cycles_per_elem: 8.0,
+    };
 
     let mut rows = Vec::new();
     let mut base_ratio = None;
@@ -62,7 +67,10 @@ pub fn run(w: &mut dyn Write) -> io::Result<()> {
     // The paper's legend groups: "QKV+Matmul+Up+Down+Gate" per-kind
     // breakdown at one representative sequence length.
     let report = simulate_with(&cfg, &decoder_ops(&dims, 1024), &lib, baseline);
-    writeln!(w, "\nlinear cycle breakdown at seq 1024 (the paper's legend groups):")?;
+    writeln!(
+        w,
+        "\nlinear cycle breakdown at seq 1024 (the paper's legend groups):"
+    )?;
     let total = report.linear_cycles.max(1);
     for (kind, cycles) in &report.gemm_cycles {
         writeln!(

@@ -6,10 +6,9 @@
 //! small values; `Max−3` (offset 3) left-shifts the MSB out of the window
 //! and is catastrophic; BFP4 sits above `Max−2`.
 
-use crate::util::print_table;
+use crate::util::{print_table, to_io};
 use bbal_core::{
-    bbfp_quantize_slice_with, bfp_quantize_slice, BbfpConfig, BfpConfig, ExponentPolicy,
-    RoundingMode,
+    bbfp_quantize_slice_with, bfp_quantize_slice, ExponentPolicy, RoundingMode, SchemeSpec,
 };
 use bbal_llm::stats::collect_activations_by_layer;
 use bbal_llm::{zoo, EvalSet, TransformerModel};
@@ -29,14 +28,23 @@ fn mse(a: &[f32], b: &[f32]) -> f64 {
 ///
 /// Propagates I/O errors from the writer.
 pub fn run(w: &mut dyn Write) -> io::Result<()> {
-    writeln!(w, "# Fig 3: shared-exponent policy vs activation MSE, BBFP(4,2), OPT-6.7B stand-in\n")?;
+    writeln!(
+        w,
+        "# Fig 3: shared-exponent policy vs activation MSE, BBFP(4,2), OPT-6.7B stand-in\n"
+    )?;
     let spec = zoo::opt_6_7b();
     let model = TransformerModel::synthesize(&spec);
     let eval = EvalSet::generate(&spec, 1, 32, 3);
     let grouped = collect_activations_by_layer(&model, &eval.sequences[0]);
 
-    let cfg = BbfpConfig::new(4, 2).expect("valid");
-    let bfp = BfpConfig::new(4).expect("valid");
+    let cfg = SchemeSpec::Bbfp(4, 2)
+        .bbfp_config()
+        .map_err(to_io)?
+        .expect("bbfp scheme has a bbfp config");
+    let bfp = SchemeSpec::Bfp(4)
+        .bfp_config()
+        .map_err(to_io)?
+        .expect("bfp scheme has a bfp config");
     let policies = [
         ("Max-1", ExponentPolicy::MaxMinus(1)),
         ("Max-2 (Eq.9)", ExponentPolicy::MaxMinus(2)),

@@ -7,11 +7,11 @@
 //! accuracy-best and efficiency-best candidates differ, and the weighted
 //! score picks between them.
 
-use crate::util::print_table;
+use crate::util::{print_table, to_io};
 use bbal_arith::{BlockMac, GateLibrary, MacKind};
-use bbal_core::{select_overlap_width, BbfpConfig};
-use bbal_llm::{evaluate_ppl, zoo, EvalSet, TransformerModel};
-use bbal_quant::BbfpQuantizer;
+use bbal_core::{select_overlap_width, SchemeSpec};
+use bbal_llm::{zoo, TransformerModel};
+use bbal_session::SessionBuilder;
 use std::io::{self, Write};
 
 /// Runs the experiment, printing the reproduced series.
@@ -20,23 +20,30 @@ use std::io::{self, Write};
 ///
 /// Propagates I/O errors from the writer.
 pub fn run(w: &mut dyn Write) -> io::Result<()> {
-    writeln!(w, "# Fig 4: overlap-width selection (Algorithm 1) for BBFP(6,o), Llama-7B stand-in\n")?;
+    writeln!(
+        w,
+        "# Fig 4: overlap-width selection (Algorithm 1) for BBFP(6,o), Llama-7B stand-in\n"
+    )?;
     let lib = GateLibrary::default();
-    let spec = zoo::llama_7b();
-    let model = TransformerModel::synthesize(&spec);
-    let eval = EvalSet::generate(&spec, 2, 24, 17);
+    let model = TransformerModel::synthesize(&zoo::llama_7b());
 
     // Evaluate each candidate once; Algorithm 1 then reads the cache.
     let mut ppl_cache = Vec::new();
     let mut overhead_cache = Vec::new();
     for o in 0..6u8 {
-        let q = BbfpQuantizer::new(6, o).expect("valid");
-        ppl_cache.push(evaluate_ppl(&model, &q, &eval).ppl);
-        let mac = BlockMac::new(
-            MacKind::Bbfp(BbfpConfig::new(6, o).expect("valid")),
-            32,
-        );
-        overhead_cache.push(mac.cost(&lib).area_um2);
+        let scheme = SchemeSpec::Bbfp(6, o);
+        let session = SessionBuilder::new()
+            .with_model(model.clone())
+            .scheme_spec(scheme)
+            .eval_set(2, 24, 17)
+            .build()
+            .map_err(to_io)?;
+        ppl_cache.push(session.evaluate().ppl);
+        let cfg = scheme
+            .bbfp_config()
+            .map_err(to_io)?
+            .expect("bbfp scheme has a bbfp config");
+        overhead_cache.push(BlockMac::new(MacKind::Bbfp(cfg), 32).cost(&lib).area_um2);
     }
 
     let result = select_overlap_width(
@@ -45,7 +52,7 @@ pub fn run(w: &mut dyn Write) -> io::Result<()> {
         |o| ppl_cache[o as usize],
         |o| overhead_cache[o as usize],
     )
-    .expect("valid mantissa width");
+    .map_err(to_io)?;
 
     let rows: Vec<Vec<String>> = result
         .scores
@@ -63,18 +70,35 @@ pub fn run(w: &mut dyn Write) -> io::Result<()> {
         .collect();
     print_table(
         w,
-        &["config", "PPL", "overhead (um^2)", "norm PPL", "norm overhead", "score (w=0.5)"],
+        &[
+            "config",
+            "PPL",
+            "overhead (um^2)",
+            "norm PPL",
+            "norm overhead",
+            "score (w=0.5)",
+        ],
         &rows,
     )?;
     writeln!(w, "\nAlgorithm 1 selection (w=0.5): o = {}", result.best)?;
 
     // The paper's two extremes.
-    let acc_best = select_overlap_width(6, 0.0, |o| ppl_cache[o as usize], |o| overhead_cache[o as usize])
-        .expect("valid")
-        .best;
-    let eff_best = select_overlap_width(6, 1.0, |o| ppl_cache[o as usize], |o| overhead_cache[o as usize])
-        .expect("valid")
-        .best;
+    let acc_best = select_overlap_width(
+        6,
+        0.0,
+        |o| ppl_cache[o as usize],
+        |o| overhead_cache[o as usize],
+    )
+    .map_err(to_io)?
+    .best;
+    let eff_best = select_overlap_width(
+        6,
+        1.0,
+        |o| ppl_cache[o as usize],
+        |o| overhead_cache[o as usize],
+    )
+    .map_err(to_io)?
+    .best;
     writeln!(w, "accuracy-best (w=0):   o = {acc_best}")?;
     writeln!(w, "efficiency-best (w=1): o = {eff_best}")?;
     writeln!(w, "\nShape check: overhead falls with overlap; PPL has an interior optimum; the two extremes differ.")?;

@@ -8,12 +8,13 @@
 //! ~30% lower PPL; BBFP(6,3) is the accuracy ceiling at the lowest
 //! throughput.
 
-use crate::util::{normalize_by_max, print_table};
-use bbal_accel::{iso_area_sweep, FormatSpec};
+use crate::util::{normalize_by_max, print_table, to_io};
+use bbal_accel::iso_area_sweep;
 use bbal_arith::GateLibrary;
 use bbal_llm::graph::{decoder_ops, paper_dims};
-use bbal_llm::{evaluate_ppl, zoo, EvalSet, TransformerModel};
-use bbal_quant::fig8_methods;
+use bbal_llm::{zoo, TransformerModel};
+use bbal_quant::FIG8_SCHEMES;
+use bbal_session::SessionBuilder;
 use std::io::{self, Write};
 
 /// Runs the experiment, printing the reproduced rows.
@@ -28,38 +29,40 @@ pub fn run(w: &mut dyn Write) -> io::Result<()> {
     // Accuracy: average PPL proxy over two models per family.
     let llama_specs: Vec<_> = zoo::table2_models()
         .into_iter()
-        .filter(|m| matches!(m.family, zoo::Family::Llama) && (m.name == "Llama-7B" || m.name == "Llama-13B"))
+        .filter(|m| {
+            matches!(m.family, zoo::Family::Llama)
+                && (m.name == "Llama-7B" || m.name == "Llama-13B")
+        })
         .collect();
     let opt_specs: Vec<_> = zoo::table2_models()
         .into_iter()
-        .filter(|m| matches!(m.family, zoo::Family::Opt) && (m.name == "OPT-6.7B" || m.name == "OPT-13B"))
+        .filter(|m| {
+            matches!(m.family, zoo::Family::Opt) && (m.name == "OPT-6.7B" || m.name == "OPT-13B")
+        })
         .collect();
 
-    let methods = fig8_methods();
-    let mut llama_ppl = vec![0.0f64; methods.len()];
-    let mut opt_ppl = vec![0.0f64; methods.len()];
+    let mut llama_ppl = vec![0.0f64; FIG8_SCHEMES.len()];
+    let mut opt_ppl = vec![0.0f64; FIG8_SCHEMES.len()];
     for (bucket, specs) in [(&mut llama_ppl, &llama_specs), (&mut opt_ppl, &opt_specs)] {
         for spec in specs.iter() {
+            // One synthesis per model, shared by all per-scheme sessions.
             let model = TransformerModel::synthesize(spec);
-            let eval = EvalSet::generate(spec, 2, 24, 888);
-            for (mi, method) in methods.iter().enumerate() {
-                bucket[mi] += evaluate_ppl(&model, &method.hooks.as_ref(), &eval).ppl
-                    / specs.len() as f64;
+            for (mi, &scheme) in FIG8_SCHEMES.iter().enumerate() {
+                let session = SessionBuilder::new()
+                    .with_model(model.clone())
+                    .scheme_spec(scheme)
+                    .eval_set(2, 24, 888)
+                    .build()
+                    .map_err(to_io)?;
+                bucket[mi] += session.evaluate().ppl / specs.len() as f64;
             }
         }
     }
 
     // Throughput: iso-area sweep on a Llama-7B prefill workload.
-    let specs: Vec<(&str, FormatSpec)> = methods
-        .iter()
-        .map(|m| {
-            let spec = FormatSpec::by_name(&m.name).expect("fig8 methods have specs");
-            (m.name.as_str(), spec)
-        })
-        .collect();
     let dims = paper_dims("Llama-7B").expect("known model");
     let workload = decoder_ops(&dims, 256);
-    let points = iso_area_sweep(&specs, 60_000.0, &workload, &lib);
+    let points = iso_area_sweep(FIG8_SCHEMES, 60_000.0, &workload, &lib).map_err(to_io)?;
 
     let throughputs: Vec<f64> = points.iter().map(|p| p.throughput_gmacs).collect();
     let tp_norm = normalize_by_max(&throughputs);
@@ -98,9 +101,18 @@ pub fn run(w: &mut dyn Write) -> io::Result<()> {
     )?;
 
     // The paper's headline deltas.
-    let find = |name: &str| points.iter().position(|p| p.name == name).expect("method present");
-    let (bfp4, bbfp31, oltron, bbfp42) =
-        (find("BFP4"), find("BBFP(3,1)"), find("Oltron"), find("BBFP(4,2)"));
+    let find = |name: &str| {
+        points
+            .iter()
+            .position(|p| p.name == name)
+            .expect("method present")
+    };
+    let (bfp4, bbfp31, oltron, bbfp42) = (
+        find("BFP4"),
+        find("BBFP(3,1)"),
+        find("Oltron"),
+        find("BBFP(4,2)"),
+    );
     writeln!(
         w,
         "\nBBFP(3,1) vs BFP4 throughput: +{:.0}% (paper: +40%)",

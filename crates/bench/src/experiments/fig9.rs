@@ -7,10 +7,11 @@
 //! most ~5% more (slightly larger PEs, one extra flag bit of DRAM
 //! traffic).
 
-use crate::util::{normalize_by_max, print_table};
-use bbal_accel::{simulate, AcceleratorConfig, FormatSpec};
+use crate::util::{normalize_by_max, print_table, to_io};
+use bbal_accel::{simulate, AcceleratorConfig};
 use bbal_arith::GateLibrary;
 use bbal_llm::graph::{decoder_ops, paper_dims, Op};
+use bbal_quant::FIG8_SCHEMES;
 use std::io::{self, Write};
 
 /// Runs the experiment, printing the reproduced rows.
@@ -19,7 +20,10 @@ use std::io::{self, Write};
 ///
 /// Propagates I/O errors from the writer.
 pub fn run(w: &mut dyn Write) -> io::Result<()> {
-    writeln!(w, "# Fig 9: normalised energy breakdown, equal PE count and buffers\n")?;
+    writeln!(
+        w,
+        "# Fig 9: normalised energy breakdown, equal PE count and buffers\n"
+    )?;
     let lib = GateLibrary::default();
     // OPT-1.3B-scale decoder with 1 MiB buffers: a workload with
     // realistic weight reuse so DRAM does not trivially dominate.
@@ -30,19 +34,15 @@ pub fn run(w: &mut dyn Write) -> io::Result<()> {
         .filter(|op| !op.is_nonlinear())
         .collect();
 
-    let methods = [
-        "Oltron", "Olive", "BFP4", "BFP6", "BBFP(3,1)", "BBFP(3,2)", "BBFP(4,2)",
-        "BBFP(4,3)", "BBFP(6,3)", "BBFP(6,4)", "BBFP(6,5)",
-    ];
-
     let mut names = Vec::new();
     let mut components: Vec<[f64; 4]> = Vec::new();
-    for name in methods {
-        let spec = FormatSpec::by_name(name).expect("known method");
-        let cfg = AcceleratorConfig::with_format(spec, 16, 16).with_buffer_bytes(1024 * 1024);
+    for &scheme in FIG8_SCHEMES {
+        let cfg = AcceleratorConfig::for_scheme(scheme, 16, 16)
+            .and_then(|c| c.with_buffer_bytes(1024 * 1024))
+            .map_err(to_io)?;
         let report = simulate(&cfg, &workload, &lib);
         let e = report.energy;
-        names.push(name);
+        names.push(scheme.paper_name());
         components.push([e.static_pj, e.dram_pj, e.buffer_pj, e.core_pj]);
     }
 
@@ -69,7 +69,7 @@ pub fn run(w: &mut dyn Write) -> io::Result<()> {
         &rows,
     )?;
 
-    let find = |n: &str| methods.iter().position(|m| *m == n).expect("present");
+    let find = |n: &str| names.iter().position(|m| m == n).expect("present");
     writeln!(
         w,
         "\nBBFP(3,1) vs BFP4 energy: {:+.0}% (paper: -13%)",

@@ -4,9 +4,9 @@
 //! / BFP6 5633 / BBFP(8,4) 9806 / BBFP(6,3) 5764 µm²; memory efficiencies
 //! 1× / 2× / 1.75× / 2.24× / 1.58× / 1.96×.
 
-use crate::util::print_table;
+use crate::util::{print_table, to_io};
 use bbal_arith::{BlockMac, GateLibrary, MacKind};
-use bbal_core::{BbfpConfig, BfpConfig};
+use bbal_core::SchemeSpec;
 use std::io::{self, Write};
 
 /// Paper reference areas for the shape comparison.
@@ -25,16 +25,24 @@ const PAPER: [(&str, f64, f64, f64); 6] = [
 ///
 /// Propagates I/O errors from the writer.
 pub fn run(w: &mut dyn Write) -> io::Result<()> {
-    writeln!(w, "# Table I: MAC unit memory efficiency and area (block size 32)\n")?;
+    writeln!(
+        w,
+        "# Table I: MAC unit memory efficiency and area (block size 32)\n"
+    )?;
     let lib = GateLibrary::default();
-    let lineup = [
-        MacKind::Fp16,
-        MacKind::Int(8),
-        MacKind::Bfp(BfpConfig::new(8).expect("valid")),
-        MacKind::Bfp(BfpConfig::new(6).expect("valid")),
-        MacKind::Bbfp(BbfpConfig::new(8, 4).expect("valid")),
-        MacKind::Bbfp(BbfpConfig::new(6, 3).expect("valid")),
+    let schemes = [
+        SchemeSpec::Fp16,
+        SchemeSpec::Int(8),
+        SchemeSpec::Bfp(8),
+        SchemeSpec::Bfp(6),
+        SchemeSpec::Bbfp(8, 4),
+        SchemeSpec::Bbfp(6, 3),
     ];
+    let lineup: Vec<MacKind> = schemes
+        .iter()
+        .map(|&s| MacKind::from_scheme(s))
+        .collect::<Result<_, _>>()
+        .map_err(to_io)?;
 
     let mut rows = Vec::new();
     let int8_area = BlockMac::new(MacKind::Int(8), 32).cost(&lib).area_um2;

@@ -5,9 +5,10 @@
 //! OPT); BBFP(4,2) beats BFP4; the outlier-aware baselines (Oltron,
 //! Olive) suffer on the outlier-heavy Llama profile, Olive being worst.
 
-use crate::util::print_table;
-use bbal_llm::{evaluate_ppl, zoo, EvalSet, TransformerModel};
-use bbal_quant::table2_methods;
+use crate::util::{print_table, to_io};
+use bbal_llm::{zoo, TransformerModel};
+use bbal_quant::TABLE2_SCHEMES;
+use bbal_session::SessionBuilder;
 use std::io::{self, Write};
 
 /// Runs the experiment, printing the reproduced rows.
@@ -16,23 +17,33 @@ use std::io::{self, Write};
 ///
 /// Propagates I/O errors from the writer.
 pub fn run(w: &mut dyn Write) -> io::Result<()> {
-    writeln!(w, "# Table II: perplexity proxy on the synthetic zoo (lower is better)\n")?;
-    writeln!(w, "PPL proxy = paper FP16 anchor x exp(kl_scale x KL(teacher || student)); see DESIGN.md.\n")?;
+    writeln!(
+        w,
+        "# Table II: perplexity proxy on the synthetic zoo (lower is better)\n"
+    )?;
+    writeln!(
+        w,
+        "PPL proxy = paper FP16 anchor x exp(kl_scale x KL(teacher || student)); see DESIGN.md.\n"
+    )?;
 
     let models = zoo::table2_models();
-    let methods = table2_methods();
 
-    let mut grid: Vec<Vec<String>> = methods
+    let mut grid: Vec<Vec<String>> = TABLE2_SCHEMES
         .iter()
-        .map(|m| vec![m.name.clone()])
+        .map(|s| vec![s.paper_name()])
         .collect();
 
     for spec in &models {
+        // Synthesise each model once; every per-scheme session shares it.
         let model = TransformerModel::synthesize(spec);
-        let eval = EvalSet::generate(spec, 2, 24, 1234);
-        for (mi, method) in methods.iter().enumerate() {
-            let r = evaluate_ppl(&model, &method.hooks.as_ref(), &eval);
-            grid[mi].push(format!("{:.2}", r.ppl));
+        for (mi, &scheme) in TABLE2_SCHEMES.iter().enumerate() {
+            let session = SessionBuilder::new()
+                .with_model(model.clone())
+                .scheme_spec(scheme)
+                .eval_set(2, 24, 1234)
+                .build()
+                .map_err(to_io)?;
+            grid[mi].push(format!("{:.2}", session.evaluate().ppl));
         }
     }
 

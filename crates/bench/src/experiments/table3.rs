@@ -34,7 +34,10 @@ const PAPER_NORM: [(&str, f64); 11] = [
 ///
 /// Propagates I/O errors from the writer.
 pub fn run(w: &mut dyn Write) -> io::Result<()> {
-    writeln!(w, "# Table III: PE area by quantisation strategy (normalised to BBFP(6,3))\n")?;
+    writeln!(
+        w,
+        "# Table III: PE area by quantisation strategy (normalised to BBFP(6,3))\n"
+    )?;
     let lib = GateLibrary::default();
     let rows_data = ProcessingElement::table3_rows(&lib);
 
@@ -54,7 +57,11 @@ pub fn run(w: &mut dyn Write) -> io::Result<()> {
             ]
         })
         .collect();
-    print_table(w, &["strategy", "area (um^2)", "norm (ours)", "norm (paper)"], &rows)?;
+    print_table(
+        w,
+        &["strategy", "area (um^2)", "norm (ours)", "norm (paper)"],
+        &rows,
+    )?;
     writeln!(w, "\nShape check: ordering matches the paper's normalised row: BBFP(3,2) < BBFP(3,1) ~= Oltron < BFP4 < BBFP(4,3) < BBFP(4,2) < Olive < BFP6 < BBFP(6,5) < BBFP(6,4) < BBFP(6,3).")?;
     Ok(())
 }

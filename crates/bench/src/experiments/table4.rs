@@ -16,7 +16,10 @@ use std::io::{self, Write};
 ///
 /// Propagates I/O errors from the writer.
 pub fn run(w: &mut dyn Write) -> io::Result<()> {
-    writeln!(w, "# Table IV: PPL proxy with quantised nonlinear units (Llama family)\n")?;
+    writeln!(
+        w,
+        "# Table IV: PPL proxy with quantised nonlinear units (Llama family)\n"
+    )?;
     let models = zoo::table4_models();
     let scopes = [
         NonlinearScope::SoftmaxOnly,
@@ -56,6 +59,9 @@ pub fn run(w: &mut dyn Write) -> io::Result<()> {
     let names: Vec<&str> = models.iter().map(|m| m.name).collect();
     headers.extend(names.iter());
     print_table(w, &headers, &rows)?;
-    writeln!(w, "\nShape check: BBFP(10,5) rows stay close to FP32; BFP10 rows are several times worse.")?;
+    writeln!(
+        w,
+        "\nShape check: BBFP(10,5) rows stay close to FP32; BFP10 rows are several times worse."
+    )?;
     Ok(())
 }

@@ -20,10 +20,13 @@ use std::io::{self, Write};
 ///
 /// Propagates I/O errors from the writer.
 pub fn run(w: &mut dyn Write) -> io::Result<()> {
-    writeln!(w, "# Table V: nonlinear unit comparison (ADP/EDP lower better, Eff higher better)\n")?;
+    writeln!(
+        w,
+        "# Table V: nonlinear unit comparison (ADP/EDP lower better, Eff higher better)\n"
+    )?;
     let lib = GateLibrary::default();
     let unit = NonlinearUnit::new(NonlinearUnitConfig::paper());
-    let rows_data = vec![
+    let rows_data = [
         PseudoSoftmaxUnit::paper().table5_row(&lib),
         HighPrecisionSoftmaxUnit::paper().table5_row(&lib),
         ours_table5_row(&unit, &lib),
@@ -47,7 +50,9 @@ pub fn run(w: &mut dyn Write) -> io::Result<()> {
         .collect();
     print_table(
         w,
-        &["method", "num", "format", "ADP", "EDP", "Eff", "ours/Eff", "compat"],
+        &[
+            "method", "num", "format", "ADP", "EDP", "Eff", "ours/Eff", "compat",
+        ],
         &rows,
     )?;
     writeln!(w, "\nPaper reference: [32] ADP 4.33 EDP 79.58 Eff 85.98; [33] ADP 299.13 EDP 18691 Eff 3.31; Ours ADP 32.64 EDP 1040 Eff 98.03 (~30x over [33]).")?;

@@ -8,11 +8,7 @@ use std::io::{self, Write};
 /// # Errors
 ///
 /// Propagates I/O errors from the writer.
-pub fn print_table(
-    w: &mut dyn Write,
-    headers: &[&str],
-    rows: &[Vec<String>],
-) -> io::Result<()> {
+pub fn print_table(w: &mut dyn Write, headers: &[&str], rows: &[Vec<String>]) -> io::Result<()> {
     let cols = headers.len();
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
     for row in rows {
@@ -30,7 +26,10 @@ pub fn print_table(
         }
         writeln!(w, "{}", line.trim_end())
     };
-    print_row(w, &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>())?;
+    print_row(
+        w,
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    )?;
     let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
     writeln!(w, "{}", "-".repeat(total))?;
     for row in rows {
@@ -56,6 +55,12 @@ pub fn fmt3(v: f64) -> String {
 /// Formats a float with two decimals.
 pub fn fmt2(v: f64) -> String {
     format!("{v:.2}")
+}
+
+/// Adapts a stack error (scheme/config/session) to `io::Error` so the
+/// experiment entry points can `?`-propagate it.
+pub fn to_io(e: impl std::error::Error + Send + Sync + 'static) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidInput, e)
 }
 
 #[cfg(test)]

@@ -64,7 +64,10 @@ fn exponent_pmf(
     use std::collections::BTreeMap;
     let mut counts: BTreeMap<i32, (u64, u64, u64)> = BTreeMap::new(); // blocks, elems, flagged
     for chunk in values.chunks(block_size) {
-        let fp16: Vec<Fp16> = chunk.iter().map(|&v| Fp16::from_f32_saturating(v)).collect();
+        let fp16: Vec<Fp16> = chunk
+            .iter()
+            .map(|&v| Fp16::from_f32_saturating(v))
+            .collect();
         let max_e = crate::bfp::max_exponent(&fp16);
         let shared = policy.shared_exponent(max_e);
         let entry = counts.entry(shared).or_insert((0, 0, 0));
@@ -132,8 +135,8 @@ pub fn mse(original: &[f32], reconstructed: &[f32]) -> f64 {
 ///
 /// Panics if the slices have different lengths or are empty.
 pub fn sqnr_db(original: &[f32], reconstructed: &[f32]) -> f64 {
-    let signal: f64 = original.iter().map(|a| (*a as f64).powi(2)).sum::<f64>()
-        / original.len() as f64;
+    let signal: f64 =
+        original.iter().map(|a| (*a as f64).powi(2)).sum::<f64>() / original.len() as f64;
     let noise = mse(original, reconstructed);
     if noise == 0.0 {
         f64::INFINITY

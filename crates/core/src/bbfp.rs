@@ -125,7 +125,10 @@ impl BbfpBlock {
     ///
     /// As [`BbfpBlock::from_fp16_slice`].
     pub fn from_f32_slice(values: &[f32], config: BbfpConfig) -> Result<BbfpBlock, FormatError> {
-        let fp16: Vec<Fp16> = values.iter().map(|&v| Fp16::from_f32_saturating(v)).collect();
+        let fp16: Vec<Fp16> = values
+            .iter()
+            .map(|&v| Fp16::from_f32_saturating(v))
+            .collect();
         BbfpBlock::from_fp16_slice(&fp16, config)
     }
 
@@ -188,17 +191,14 @@ impl BbfpBlock {
 
     /// Decodes the whole block.
     pub fn to_f32_vec(&self) -> Vec<f32> {
-        (0..self.elements.len()).map(|i| self.element_to_f32(i)).collect()
+        (0..self.elements.len())
+            .map(|i| self.element_to_f32(i))
+            .collect()
     }
 }
 
 /// Encodes a single FP16 value against a given shared exponent.
-fn encode_element(
-    v: Fp16,
-    config: BbfpConfig,
-    shared: i32,
-    rounding: RoundingMode,
-) -> BbfpElement {
+fn encode_element(v: Fp16, config: BbfpConfig, shared: i32, rounding: RoundingMode) -> BbfpElement {
     let m = config.mantissa_bits() as i32;
     let o = config.overlap_bits() as i32;
     let max_mantissa = (1u64 << m) - 1;
@@ -283,7 +283,10 @@ pub fn bbfp_quantize_slice_with(
     assert_eq!(values.len(), out.len(), "output buffer length mismatch");
     let n = config.block_size();
     for (chunk, out_chunk) in values.chunks(n).zip(out.chunks_mut(n)) {
-        let fp16: Vec<Fp16> = chunk.iter().map(|&v| Fp16::from_f32_saturating(v)).collect();
+        let fp16: Vec<Fp16> = chunk
+            .iter()
+            .map(|&v| Fp16::from_f32_saturating(v))
+            .collect();
         let shared = policy.shared_exponent(max_exponent(&fp16));
         let scale = exp2i(shared - 14 - config.mantissa_bits() as i32);
         let flag_scale = config.flag_scale();
@@ -447,7 +450,10 @@ mod tests {
         let cfg = BbfpConfig::new(4, 2).unwrap();
         assert!(matches!(
             BbfpBlock::from_f32_slice(&[1.0; 8], cfg),
-            Err(FormatError::LengthMismatch { got: 8, expected: 32 })
+            Err(FormatError::LengthMismatch {
+                got: 8,
+                expected: 32
+            })
         ));
         let mut data = vec![1.0f32; 32];
         data[9] = f32::INFINITY;
@@ -475,7 +481,11 @@ mod tests {
                 // FP16 narrowing itself contributes error; bound loosely.
                 let fp16 = Fp16::from_f32_saturating(orig).to_f32();
                 let back = block.element_to_f32(i);
-                let f = if el.flag { cfg.flag_scale() as f64 } else { 1.0 };
+                let f = if el.flag {
+                    cfg.flag_scale() as f64
+                } else {
+                    1.0
+                };
                 let sat = el.mantissa as u32 == (1u32 << cfg.mantissa_bits()) - 1;
                 if !sat {
                     assert!(

@@ -100,7 +100,10 @@ impl BfpBlock {
     ///
     /// As [`BfpBlock::from_fp16_slice`].
     pub fn from_f32_slice(values: &[f32], config: BfpConfig) -> Result<BfpBlock, FormatError> {
-        let fp16: Vec<Fp16> = values.iter().map(|&v| Fp16::from_f32_saturating(v)).collect();
+        let fp16: Vec<Fp16> = values
+            .iter()
+            .map(|&v| Fp16::from_f32_saturating(v))
+            .collect();
         BfpBlock::from_fp16_slice(&fp16, config)
     }
 
@@ -166,7 +169,9 @@ impl BfpBlock {
 
     /// Decodes the whole block.
     pub fn to_f32_vec(&self) -> Vec<f32> {
-        (0..self.mantissas.len()).map(|i| self.element_to_f32(i)).collect()
+        (0..self.mantissas.len())
+            .map(|i| self.element_to_f32(i))
+            .collect()
     }
 }
 
@@ -201,19 +206,29 @@ pub(crate) fn exp2i(e: i32) -> f32 {
 /// # Panics
 ///
 /// Panics if `out.len() != values.len()`.
-pub fn bfp_quantize_slice(values: &[f32], config: BfpConfig, rounding: RoundingMode, out: &mut [f32]) {
+pub fn bfp_quantize_slice(
+    values: &[f32],
+    config: BfpConfig,
+    rounding: RoundingMode,
+    out: &mut [f32],
+) {
     assert_eq!(values.len(), out.len(), "output buffer length mismatch");
     let n = config.block_size();
     let m = config.mantissa_bits() as u32;
     let max_mantissa = (1u64 << m) - 1;
     for (chunk, out_chunk) in values.chunks(n).zip(out.chunks_mut(n)) {
-        let fp16: Vec<Fp16> = chunk.iter().map(|&v| Fp16::from_f32_saturating(v)).collect();
+        let fp16: Vec<Fp16> = chunk
+            .iter()
+            .map(|&v| Fp16::from_f32_saturating(v))
+            .collect();
         let shared = max_exponent(&fp16);
         let scale = exp2i(shared - 14 - m as i32);
         for (v, o) in fp16.iter().zip(out_chunk.iter_mut()) {
             let (sig, exp) = v.significand();
             let shift = (SIGNIFICAND_BITS - m) as i32 + (shared - exp);
-            let q = rounding.shift_right(sig as u64, shift as u32).min(max_mantissa);
+            let q = rounding
+                .shift_right(sig as u64, shift as u32)
+                .min(max_mantissa);
             let mag = q as f32 * scale;
             *o = if v.is_sign_negative() { -mag } else { mag };
         }
@@ -278,7 +293,9 @@ mod tests {
     #[test]
     fn signs_preserved() {
         let cfg = BfpConfig::new(6).unwrap();
-        let data: Vec<f32> = (0..32).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let data: Vec<f32> = (0..32)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let block = BfpBlock::from_f32_slice(&data, cfg).unwrap();
         let back = block.to_f32_vec();
         for (a, b) in data.iter().zip(&back) {
@@ -291,7 +308,10 @@ mod tests {
         let cfg = BfpConfig::new(6).unwrap();
         assert!(matches!(
             BfpBlock::from_f32_slice(&[1.0; 16], cfg),
-            Err(FormatError::LengthMismatch { got: 16, expected: 32 })
+            Err(FormatError::LengthMismatch {
+                got: 16,
+                expected: 32
+            })
         ));
         let mut data = vec![1.0f32; 32];
         data[5] = f32::NAN;

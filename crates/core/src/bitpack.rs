@@ -134,7 +134,11 @@ impl BbfpBlock {
             let sign = r.read(1).expect("length checked") == 1;
             let flag = r.read(1).expect("length checked") == 1;
             let mantissa = r.read(m).expect("length checked") as u16;
-            elements.push(BbfpElement { sign, flag, mantissa });
+            elements.push(BbfpElement {
+                sign,
+                flag,
+                mantissa,
+            });
         }
         Ok(BbfpBlock::from_raw_parts(config, shared, elements))
     }

@@ -195,9 +195,21 @@ mod tests {
     fn product_format_matches_eq10() {
         // Eq. 10 for BBFP(4,2): shifts 0 / 2 / 4 depending on the flags.
         let cfg = BbfpConfig::new(4, 2).unwrap();
-        let p00 = BbfpProduct { sign: false, flag_code: 0, mantissa: 9 };
-        let p01 = BbfpProduct { sign: false, flag_code: 1, mantissa: 9 };
-        let p11 = BbfpProduct { sign: false, flag_code: 2, mantissa: 9 };
+        let p00 = BbfpProduct {
+            sign: false,
+            flag_code: 0,
+            mantissa: 9,
+        };
+        let p01 = BbfpProduct {
+            sign: false,
+            flag_code: 1,
+            mantissa: 9,
+        };
+        let p11 = BbfpProduct {
+            sign: false,
+            flag_code: 2,
+            mantissa: 9,
+        };
         assert_eq!(p00.widened(cfg), 9);
         assert_eq!(p01.widened(cfg), 9 << 2);
         assert_eq!(p11.widened(cfg), 9 << 4);
@@ -223,11 +235,17 @@ mod tests {
         let a = data(32, 7, false);
         let ba4 = BbfpBlock::from_f32_slice(&a, BbfpConfig::new(4, 2).unwrap()).unwrap();
         let ba6 = BbfpBlock::from_f32_slice(&a, BbfpConfig::new(6, 3).unwrap()).unwrap();
-        assert!(matches!(bbfp_dot(&ba4, &ba6), Err(FormatError::ConfigMismatch)));
+        assert!(matches!(
+            bbfp_dot(&ba4, &ba6),
+            Err(FormatError::ConfigMismatch)
+        ));
 
         let bf4 = BfpBlock::from_f32_slice(&a, BfpConfig::new(4).unwrap()).unwrap();
         let bf6 = BfpBlock::from_f32_slice(&a, BfpConfig::new(6).unwrap()).unwrap();
-        assert!(matches!(bfp_dot(&bf4, &bf6), Err(FormatError::ConfigMismatch)));
+        assert!(matches!(
+            bfp_dot(&bf4, &bf6),
+            Err(FormatError::ConfigMismatch)
+        ));
     }
 
     #[test]

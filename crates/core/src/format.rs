@@ -202,7 +202,11 @@ pub struct FormatCost {
 impl FormatCost {
     /// Computes the cost of a format from its per-element and per-block bit
     /// counts.
-    pub fn new(block_size: usize, payload_bits_per_element: u32, shared_bits_per_block: u32) -> FormatCost {
+    pub fn new(
+        block_size: usize,
+        payload_bits_per_element: u32,
+        shared_bits_per_block: u32,
+    ) -> FormatCost {
         let equivalent =
             payload_bits_per_element as f64 + shared_bits_per_block as f64 / block_size as f64;
         FormatCost {
@@ -242,8 +246,14 @@ mod tests {
         // Paper Table I: BFP8 -> 9.16, BFP6 -> 7.16, BBFP(8,4) -> 10.16,
         // BBFP(6,3) -> 8.16 at block size 32.
         let close = |a: f64, b: f64| (a - b).abs() < 0.01;
-        assert!(close(BfpConfig::new(8).unwrap().cost().equivalent_bit_width, 9.16));
-        assert!(close(BfpConfig::new(6).unwrap().cost().equivalent_bit_width, 7.16));
+        assert!(close(
+            BfpConfig::new(8).unwrap().cost().equivalent_bit_width,
+            9.16
+        ));
+        assert!(close(
+            BfpConfig::new(6).unwrap().cost().equivalent_bit_width,
+            7.16
+        ));
         assert!(close(
             BbfpConfig::new(8, 4).unwrap().cost().equivalent_bit_width,
             10.16
@@ -259,16 +269,34 @@ mod tests {
         let close = |a: f64, b: f64| (a - b).abs() < 0.01;
         assert!(close(FormatCost::fp16().memory_efficiency, 1.0));
         assert!(close(FormatCost::int(8).memory_efficiency, 2.0));
-        assert!(close(BfpConfig::new(8).unwrap().cost().memory_efficiency, 1.75));
-        assert!(close(BfpConfig::new(6).unwrap().cost().memory_efficiency, 2.24));
-        assert!(close(BbfpConfig::new(8, 4).unwrap().cost().memory_efficiency, 1.58));
-        assert!(close(BbfpConfig::new(6, 3).unwrap().cost().memory_efficiency, 1.96));
+        assert!(close(
+            BfpConfig::new(8).unwrap().cost().memory_efficiency,
+            1.75
+        ));
+        assert!(close(
+            BfpConfig::new(6).unwrap().cost().memory_efficiency,
+            2.24
+        ));
+        assert!(close(
+            BbfpConfig::new(8, 4).unwrap().cost().memory_efficiency,
+            1.58
+        ));
+        assert!(close(
+            BbfpConfig::new(6, 3).unwrap().cost().memory_efficiency,
+            1.96
+        ));
     }
 
     #[test]
     fn invalid_configs_rejected() {
-        assert!(matches!(BfpConfig::new(0), Err(FormatError::MantissaWidth(0))));
-        assert!(matches!(BfpConfig::new(11), Err(FormatError::MantissaWidth(11))));
+        assert!(matches!(
+            BfpConfig::new(0),
+            Err(FormatError::MantissaWidth(0))
+        ));
+        assert!(matches!(
+            BfpConfig::new(11),
+            Err(FormatError::MantissaWidth(11))
+        ));
         assert!(matches!(
             BbfpConfig::new(4, 4),
             Err(FormatError::OverlapWidth { .. })

@@ -187,7 +187,7 @@ impl Fp16 {
     /// True for ±∞.
     #[inline]
     pub const fn is_infinite(self) -> bool {
-        self.0 & 0x7FFF == EXP_MASK as u16
+        self.0 & 0x7FFF == EXP_MASK
     }
 
     /// True for NaN.
@@ -244,6 +244,7 @@ impl Fp16 {
     /// Computed exactly in `f64` (whose 53-bit significand holds any sum
     /// of two binary16 values exactly) and rounded once — bit-identical
     /// to a hardware FP16 adder.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, rhs: Fp16) -> Fp16 {
         Fp16::from_f32(((self.to_f32() as f64) + (rhs.to_f32() as f64)) as f32)
     }
@@ -252,16 +253,19 @@ impl Fp16 {
     ///
     /// The 22-bit exact product fits `f32`'s significand, so one `f32`
     /// rounding plus the narrowing rounding is the hardware behaviour.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, rhs: Fp16) -> Fp16 {
         Fp16::from_f32(((self.to_f32() as f64) * (rhs.to_f32() as f64)) as f32)
     }
 
     /// Correctly rounded FP16 division.
+    #[allow(clippy::should_implement_trait)]
     pub fn div(self, rhs: Fp16) -> Fp16 {
         Fp16::from_f32(((self.to_f32() as f64) / (rhs.to_f32() as f64)) as f32)
     }
 
     /// Negation (sign-bit flip; exact).
+    #[allow(clippy::should_implement_trait)]
     pub fn neg(self) -> Fp16 {
         Fp16(self.0 ^ SIGN_MASK)
     }
@@ -324,10 +328,7 @@ mod tests {
     fn overflow_behaviour() {
         assert!(Fp16::from_f32(1.0e6).is_infinite());
         assert_eq!(Fp16::from_f32_saturating(1.0e6), Fp16::MAX);
-        assert_eq!(
-            Fp16::from_f32_saturating(-1.0e6).to_f32(),
-            -65504.0
-        );
+        assert_eq!(Fp16::from_f32_saturating(-1.0e6).to_f32(), -65504.0);
         // 65520 is the rounding boundary: rounds to inf.
         assert!(Fp16::from_f32(65520.0).is_infinite());
         assert_eq!(Fp16::from_f32(65519.0).to_bits(), 0x7BFF);
@@ -349,8 +350,8 @@ mod tests {
         for bits in [0x3C00u16, 0x0400, 0x0001, 0x7BFF, 0x0000, 0xBC00, 0x03FF] {
             let v = Fp16::from_bits(bits);
             let (m, e) = v.significand();
-            let rebuilt = m as f32 * 2.0f32.powi(e - 25)
-                * if v.is_sign_negative() { -1.0 } else { 1.0 };
+            let rebuilt =
+                m as f32 * 2.0f32.powi(e - 25) * if v.is_sign_negative() { -1.0 } else { 1.0 };
             assert_eq!(rebuilt, v.to_f32(), "bits {bits:#06x}");
         }
     }
@@ -417,7 +418,12 @@ mod tests {
 
     #[test]
     fn multiplication_commutes_on_sample() {
-        for (a, b) in [(1.5f32, -2.25f32), (0.125, 8.0), (3.0, 0.333), (-7.5, -0.06)] {
+        for (a, b) in [
+            (1.5f32, -2.25f32),
+            (0.125, 8.0),
+            (3.0, 0.333),
+            (-7.5, -0.06),
+        ] {
             let (x, y) = (Fp16::from_f32(a), Fp16::from_f32(b));
             assert_eq!(x.mul(y), y.mul(x));
         }

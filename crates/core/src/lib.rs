@@ -48,6 +48,7 @@ pub mod fp16;
 pub mod overlap;
 pub mod policy;
 pub mod rounding;
+pub mod scheme;
 
 pub use bbfp::{bbfp_quantize_slice, bbfp_quantize_slice_with, BbfpBlock, BbfpElement};
 pub use bfp::{bfp_quantize_slice, BfpBlock};
@@ -58,3 +59,4 @@ pub use fp16::Fp16;
 pub use overlap::{select_overlap_width, OverlapScore, OverlapSearch};
 pub use policy::ExponentPolicy;
 pub use rounding::RoundingMode;
+pub use scheme::{SchemeError, SchemeSpec};

@@ -86,8 +86,16 @@ where
     }
 
     // Lines 6-10: max-normalise and score.
-    let max_ppl = raw.iter().map(|r| r.1).fold(f64::MIN, f64::max).max(f64::MIN_POSITIVE);
-    let max_ovh = raw.iter().map(|r| r.2).fold(f64::MIN, f64::max).max(f64::MIN_POSITIVE);
+    let max_ppl = raw
+        .iter()
+        .map(|r| r.1)
+        .fold(f64::MIN, f64::max)
+        .max(f64::MIN_POSITIVE);
+    let max_ovh = raw
+        .iter()
+        .map(|r| r.2)
+        .fold(f64::MIN, f64::max)
+        .max(f64::MIN_POSITIVE);
     let scores: Vec<OverlapScore> = raw
         .into_iter()
         .map(|(o, p, h)| {

@@ -35,9 +35,10 @@ pub const SHARED_EXPONENT_MAX: i32 = 31;
 /// // Clamped so the 5-bit field can store it:
 /// assert_eq!(ExponentPolicy::MaxMinus(3).shared_exponent(1), 0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum ExponentPolicy {
     /// Align to the maximum exponent (vanilla BFP behaviour).
+    #[default]
     Max,
     /// Align to `max(E) − k`.
     MaxMinus(u8),
@@ -62,12 +63,6 @@ impl ExponentPolicy {
     /// range of the 5-bit field.
     pub fn shared_exponent(self, max_exponent: i32) -> i32 {
         (max_exponent - self.offset() as i32).clamp(0, SHARED_EXPONENT_MAX)
-    }
-}
-
-impl Default for ExponentPolicy {
-    fn default() -> Self {
-        ExponentPolicy::Max
     }
 }
 

@@ -93,14 +93,10 @@ mod tests {
                 let want = {
                     let floor = exact.floor();
                     let frac = exact - floor;
-                    if frac > 0.5 {
+                    if frac > 0.5 || (frac == 0.5 && !(floor as u64).is_multiple_of(2)) {
                         floor + 1.0
-                    } else if frac < 0.5 {
-                        floor
-                    } else if (floor as u64) % 2 == 0 {
-                        floor
                     } else {
-                        floor + 1.0
+                        floor
                     }
                 };
                 assert_eq!(got, want as u64, "v={v} s={s}");

@@ -79,7 +79,10 @@ fn eq4_overlap_preserves_three_bits() {
     let b1 = BbfpBlock::from_f32_slice(&fine, cfg).unwrap();
     let err0 = (b2.element_to_f32(1) - 6.5).abs();
     let err2 = (b1.element_to_f32(1) - 6.5).abs();
-    assert!(err2 <= err0, "overlap bits reduce flagged truncation: {err2} vs {err0}");
+    assert!(
+        err2 <= err0,
+        "overlap bits reduce flagged truncation: {err2} vs {err0}"
+    );
 }
 
 #[test]
@@ -123,7 +126,11 @@ fn all_fp16_values_survive_their_own_block() {
             }
             let back = block.element_to_f32(0);
             let step = 2.0f64.powi(block.scale_exponent())
-                * if el.flag { cfg.flag_scale() as f64 } else { 1.0 };
+                * if el.flag {
+                    cfg.flag_scale() as f64
+                } else {
+                    1.0
+                };
             assert!(
                 ((back - v) as f64).abs() <= step * 0.5 + 1e-12,
                 "BBFP({m},{o}) bits {bits:#06x}: {v} -> {back}"

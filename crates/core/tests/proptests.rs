@@ -141,7 +141,7 @@ proptest! {
     /// BFP at equal mantissa width.
     #[test]
     fn max_policy_equals_bfp(data in block32(), m in 1u8..=10) {
-        let o = if m > 1 { m - 1 } else { 0 };
+        let o = m.saturating_sub(1);
         prop_assume!(o < m);
         let bbfp_cfg = BbfpConfig::new(m, o).unwrap();
         let bfp_cfg = BfpConfig::new(m).unwrap();
@@ -174,4 +174,63 @@ proptest! {
             prop_assert!(a.abs() <= b.abs() + 1e-12);
         }
     }
+}
+
+// --- SchemeSpec round-tripping -------------------------------------------
+
+use bbal_core::{SchemeError, SchemeSpec};
+
+fn scheme() -> impl Strategy<Value = SchemeSpec> {
+    prop_oneof![
+        Just(SchemeSpec::Fp32),
+        Just(SchemeSpec::Fp16),
+        Just(SchemeSpec::Olive),
+        Just(SchemeSpec::Oltron),
+        Just(SchemeSpec::OmniQuant),
+        (2u8..=16).prop_map(SchemeSpec::Int),
+        (1u8..=10).prop_map(SchemeSpec::Bfp),
+        (1u8..=10)
+            .prop_flat_map(|m| (Just(m), 0..m))
+            .prop_map(|(m, o)| SchemeSpec::Bbfp(m, o)),
+    ]
+}
+
+proptest! {
+    /// `parse(display(s)) == s` over every valid scheme — the canonical
+    /// string form is a lossless serialisation.
+    #[test]
+    fn scheme_spec_round_trips(s in scheme()) {
+        prop_assert_eq!(s.to_string().parse::<SchemeSpec>().unwrap(), s);
+    }
+
+    /// The paper display names parse back to the same scheme too.
+    #[test]
+    fn scheme_paper_names_round_trip(s in scheme()) {
+        prop_assert_eq!(s.paper_name().parse::<SchemeSpec>().unwrap(), s);
+    }
+
+    /// Every scheme the generator produces validates, and its derived
+    /// block configurations (when applicable) echo its widths.
+    #[test]
+    fn generated_schemes_are_valid(s in scheme()) {
+        prop_assert!(s.is_valid());
+        s.validate().unwrap();
+        if let SchemeSpec::Bbfp(m, o) = s {
+            let cfg = s.bbfp_config().unwrap().unwrap();
+            prop_assert_eq!((cfg.mantissa_bits(), cfg.overlap_bits()), (m, o));
+        }
+    }
+}
+
+#[test]
+fn malformed_scheme_strings_are_typed_errors() {
+    assert_eq!("".parse::<SchemeSpec>(), Err(SchemeError::Empty));
+    assert!(matches!(
+        "bfp".parse::<SchemeSpec>(),
+        Err(SchemeError::BadParams { scheme: "bfp", .. })
+    ));
+    assert!(matches!(
+        "bbfp:9,9".parse::<SchemeSpec>(),
+        Err(SchemeError::Format(_))
+    ));
 }

@@ -24,17 +24,83 @@ pub struct PaperDims {
 /// Looks up the published dimensions of a paper model by name.
 pub fn paper_dims(name: &str) -> Option<PaperDims> {
     let d = match name {
-        "Llama-7B" | "Llama2-7B" => PaperDims { hidden: 4096, ffn: 11008, heads: 32, layers: 32, gated_ffn: true },
-        "Llama-13B" => PaperDims { hidden: 5120, ffn: 13824, heads: 40, layers: 40, gated_ffn: true },
-        "Llama-30B" => PaperDims { hidden: 6656, ffn: 17920, heads: 52, layers: 60, gated_ffn: true },
-        "Llama-65B" => PaperDims { hidden: 8192, ffn: 22016, heads: 64, layers: 80, gated_ffn: true },
-        "Llama3-8B" => PaperDims { hidden: 4096, ffn: 14336, heads: 32, layers: 32, gated_ffn: true },
-        "OPT-1.3B" => PaperDims { hidden: 2048, ffn: 8192, heads: 32, layers: 24, gated_ffn: false },
-        "OPT-2.7B" => PaperDims { hidden: 2560, ffn: 10240, heads: 32, layers: 32, gated_ffn: false },
-        "OPT-6.7B" => PaperDims { hidden: 4096, ffn: 16384, heads: 32, layers: 32, gated_ffn: false },
-        "OPT-13B" => PaperDims { hidden: 5120, ffn: 20480, heads: 40, layers: 40, gated_ffn: false },
-        "OPT-30B" => PaperDims { hidden: 7168, ffn: 28672, heads: 56, layers: 48, gated_ffn: false },
-        "OPT-66B" => PaperDims { hidden: 9216, ffn: 36864, heads: 72, layers: 64, gated_ffn: false },
+        "Llama-7B" | "Llama2-7B" => PaperDims {
+            hidden: 4096,
+            ffn: 11008,
+            heads: 32,
+            layers: 32,
+            gated_ffn: true,
+        },
+        "Llama-13B" => PaperDims {
+            hidden: 5120,
+            ffn: 13824,
+            heads: 40,
+            layers: 40,
+            gated_ffn: true,
+        },
+        "Llama-30B" => PaperDims {
+            hidden: 6656,
+            ffn: 17920,
+            heads: 52,
+            layers: 60,
+            gated_ffn: true,
+        },
+        "Llama-65B" => PaperDims {
+            hidden: 8192,
+            ffn: 22016,
+            heads: 64,
+            layers: 80,
+            gated_ffn: true,
+        },
+        "Llama3-8B" => PaperDims {
+            hidden: 4096,
+            ffn: 14336,
+            heads: 32,
+            layers: 32,
+            gated_ffn: true,
+        },
+        "OPT-1.3B" => PaperDims {
+            hidden: 2048,
+            ffn: 8192,
+            heads: 32,
+            layers: 24,
+            gated_ffn: false,
+        },
+        "OPT-2.7B" => PaperDims {
+            hidden: 2560,
+            ffn: 10240,
+            heads: 32,
+            layers: 32,
+            gated_ffn: false,
+        },
+        "OPT-6.7B" => PaperDims {
+            hidden: 4096,
+            ffn: 16384,
+            heads: 32,
+            layers: 32,
+            gated_ffn: false,
+        },
+        "OPT-13B" => PaperDims {
+            hidden: 5120,
+            ffn: 20480,
+            heads: 40,
+            layers: 40,
+            gated_ffn: false,
+        },
+        "OPT-30B" => PaperDims {
+            hidden: 7168,
+            ffn: 28672,
+            heads: 56,
+            layers: 48,
+            gated_ffn: false,
+        },
+        "OPT-66B" => PaperDims {
+            hidden: 9216,
+            ffn: 36864,
+            heads: 72,
+            layers: 64,
+            gated_ffn: false,
+        },
         _ => return None,
     };
     Some(d)
@@ -131,24 +197,83 @@ pub fn decoder_ops(dims: &PaperDims, seq_len: usize) -> Vec<Op> {
     let dh = h / dims.heads;
     let mut ops = Vec::new();
     for _ in 0..dims.layers {
-        ops.push(Op::Gemm { name: GemmKind::Query, m: s, k: h, n: h });
-        ops.push(Op::Gemm { name: GemmKind::Key, m: s, k: h, n: h });
-        ops.push(Op::Gemm { name: GemmKind::Value, m: s, k: h, n: h });
+        ops.push(Op::Gemm {
+            name: GemmKind::Query,
+            m: s,
+            k: h,
+            n: h,
+        });
+        ops.push(Op::Gemm {
+            name: GemmKind::Key,
+            m: s,
+            k: h,
+            n: h,
+        });
+        ops.push(Op::Gemm {
+            name: GemmKind::Value,
+            m: s,
+            k: h,
+            n: h,
+        });
         // Per-head score and context matmuls, emitted once with the head
         // count folded into m.
-        ops.push(Op::Gemm { name: GemmKind::AttnScore, m: s * dims.heads, k: dh, n: s });
-        ops.push(Op::Softmax { rows: s * dims.heads, cols: s });
-        ops.push(Op::Gemm { name: GemmKind::AttnContext, m: s * dims.heads, k: s, n: dh });
-        ops.push(Op::Gemm { name: GemmKind::Proj, m: s, k: h, n: h });
+        ops.push(Op::Gemm {
+            name: GemmKind::AttnScore,
+            m: s * dims.heads,
+            k: dh,
+            n: s,
+        });
+        ops.push(Op::Softmax {
+            rows: s * dims.heads,
+            cols: s,
+        });
+        ops.push(Op::Gemm {
+            name: GemmKind::AttnContext,
+            m: s * dims.heads,
+            k: s,
+            n: dh,
+        });
+        ops.push(Op::Gemm {
+            name: GemmKind::Proj,
+            m: s,
+            k: h,
+            n: h,
+        });
         if dims.gated_ffn {
-            ops.push(Op::Gemm { name: GemmKind::Gate, m: s, k: h, n: dims.ffn });
-            ops.push(Op::Activation { silu: true, elems: s * dims.ffn });
-            ops.push(Op::Gemm { name: GemmKind::Fc1, m: s, k: h, n: dims.ffn });
+            ops.push(Op::Gemm {
+                name: GemmKind::Gate,
+                m: s,
+                k: h,
+                n: dims.ffn,
+            });
+            ops.push(Op::Activation {
+                silu: true,
+                elems: s * dims.ffn,
+            });
+            ops.push(Op::Gemm {
+                name: GemmKind::Fc1,
+                m: s,
+                k: h,
+                n: dims.ffn,
+            });
         } else {
-            ops.push(Op::Gemm { name: GemmKind::Fc1, m: s, k: h, n: dims.ffn });
-            ops.push(Op::Activation { silu: false, elems: s * dims.ffn });
+            ops.push(Op::Gemm {
+                name: GemmKind::Fc1,
+                m: s,
+                k: h,
+                n: dims.ffn,
+            });
+            ops.push(Op::Activation {
+                silu: false,
+                elems: s * dims.ffn,
+            });
         }
-        ops.push(Op::Gemm { name: GemmKind::Fc2, m: s, k: dims.ffn, n: h });
+        ops.push(Op::Gemm {
+            name: GemmKind::Fc2,
+            m: s,
+            k: dims.ffn,
+            n: h,
+        });
     }
     ops
 }
@@ -168,22 +293,81 @@ pub fn decode_step_ops(dims: &PaperDims, kv_len: usize) -> Vec<Op> {
     let dh = h / dims.heads;
     let mut ops = Vec::new();
     for _ in 0..dims.layers {
-        ops.push(Op::Gemm { name: GemmKind::Query, m: 1, k: h, n: h });
-        ops.push(Op::Gemm { name: GemmKind::Key, m: 1, k: h, n: h });
-        ops.push(Op::Gemm { name: GemmKind::Value, m: 1, k: h, n: h });
-        ops.push(Op::Gemm { name: GemmKind::AttnScore, m: dims.heads, k: dh, n: kv_len });
-        ops.push(Op::Softmax { rows: dims.heads, cols: kv_len });
-        ops.push(Op::Gemm { name: GemmKind::AttnContext, m: dims.heads, k: kv_len, n: dh });
-        ops.push(Op::Gemm { name: GemmKind::Proj, m: 1, k: h, n: h });
+        ops.push(Op::Gemm {
+            name: GemmKind::Query,
+            m: 1,
+            k: h,
+            n: h,
+        });
+        ops.push(Op::Gemm {
+            name: GemmKind::Key,
+            m: 1,
+            k: h,
+            n: h,
+        });
+        ops.push(Op::Gemm {
+            name: GemmKind::Value,
+            m: 1,
+            k: h,
+            n: h,
+        });
+        ops.push(Op::Gemm {
+            name: GemmKind::AttnScore,
+            m: dims.heads,
+            k: dh,
+            n: kv_len,
+        });
+        ops.push(Op::Softmax {
+            rows: dims.heads,
+            cols: kv_len,
+        });
+        ops.push(Op::Gemm {
+            name: GemmKind::AttnContext,
+            m: dims.heads,
+            k: kv_len,
+            n: dh,
+        });
+        ops.push(Op::Gemm {
+            name: GemmKind::Proj,
+            m: 1,
+            k: h,
+            n: h,
+        });
         if dims.gated_ffn {
-            ops.push(Op::Gemm { name: GemmKind::Gate, m: 1, k: h, n: dims.ffn });
-            ops.push(Op::Activation { silu: true, elems: dims.ffn });
-            ops.push(Op::Gemm { name: GemmKind::Fc1, m: 1, k: h, n: dims.ffn });
+            ops.push(Op::Gemm {
+                name: GemmKind::Gate,
+                m: 1,
+                k: h,
+                n: dims.ffn,
+            });
+            ops.push(Op::Activation {
+                silu: true,
+                elems: dims.ffn,
+            });
+            ops.push(Op::Gemm {
+                name: GemmKind::Fc1,
+                m: 1,
+                k: h,
+                n: dims.ffn,
+            });
         } else {
-            ops.push(Op::Gemm { name: GemmKind::Fc1, m: 1, k: h, n: dims.ffn });
-            ops.push(Op::Activation { silu: false, elems: dims.ffn });
+            ops.push(Op::Gemm {
+                name: GemmKind::Fc1,
+                m: 1,
+                k: h,
+                n: dims.ffn,
+            });
+            ops.push(Op::Activation {
+                silu: false,
+                elems: dims.ffn,
+            });
         }
-        ops.push(Op::Gemm { name: GemmKind::Fc2, m: 1, k: dims.ffn, n: h });
+        ops.push(Op::Gemm {
+            name: GemmKind::Fc2,
+            m: 1,
+            k: dims.ffn,
+            n: h,
+        });
     }
     ops
 }
@@ -215,9 +399,8 @@ mod tests {
         let s = 128;
         let ops = decoder_ops(&d, s);
         // Per layer: 4 h*h GEMMs + 2 attention GEMMs + 3 FFN GEMMs.
-        let per_layer = 4 * s * d.hidden * d.hidden
-            + 2 * s * s * d.hidden
-            + 3 * s * d.hidden * d.ffn;
+        let per_layer =
+            4 * s * d.hidden * d.hidden + 2 * s * s * d.hidden + 3 * s * d.hidden * d.ffn;
         assert_eq!(total_macs(&ops), (d.layers * per_layer) as u64);
     }
 
@@ -244,7 +427,15 @@ mod tests {
         let oops = decoder_ops(&opt, 64);
         let count_gate = |ops: &[Op]| {
             ops.iter()
-                .filter(|o| matches!(o, Op::Gemm { name: GemmKind::Gate, .. }))
+                .filter(|o| {
+                    matches!(
+                        o,
+                        Op::Gemm {
+                            name: GemmKind::Gate,
+                            ..
+                        }
+                    )
+                })
                 .count()
         };
         assert_eq!(count_gate(&lops), llama.layers);
@@ -263,9 +454,16 @@ mod tests {
                 .filter(|o| {
                     matches!(
                         o,
-                        Op::Gemm { name: GemmKind::Query, .. }
-                            | Op::Gemm { name: GemmKind::Fc1, .. }
-                            | Op::Gemm { name: GemmKind::Fc2, .. }
+                        Op::Gemm {
+                            name: GemmKind::Query,
+                            ..
+                        } | Op::Gemm {
+                            name: GemmKind::Fc1,
+                            ..
+                        } | Op::Gemm {
+                            name: GemmKind::Fc2,
+                            ..
+                        }
                     )
                 })
                 .map(Op::macs)
@@ -273,10 +471,7 @@ mod tests {
         };
         assert_eq!(proj_macs(&short), proj_macs(&long));
         // But softmax work scales with the cache length.
-        assert_eq!(
-            total_nonlinear_elems(&long) / total_nonlinear_elems(&short).max(1) > 2,
-            true
-        );
+        assert!(total_nonlinear_elems(&long) / total_nonlinear_elems(&short).max(1) > 2);
     }
 
     #[test]
@@ -286,9 +481,7 @@ mod tests {
         let d = paper_dims("Llama-7B").unwrap();
         let decode = decode_step_ops(&d, 4096);
         let prefill = decoder_ops(&d, 64);
-        let share = |ops: &[Op]| {
-            total_nonlinear_elems(ops) as f64 / total_macs(ops).max(1) as f64
-        };
+        let share = |ops: &[Op]| total_nonlinear_elems(ops) as f64 / total_macs(ops).max(1) as f64;
         assert!(share(&decode) > share(&prefill));
     }
 

@@ -165,7 +165,10 @@ mod tests {
 
     #[test]
     fn composed_hooks_route_to_parts() {
-        let composed = ComposedHooks { linear: &Fp16Hooks, nonlinear: &ExactHooks };
+        let composed = ComposedHooks {
+            linear: &Fp16Hooks,
+            nonlinear: &ExactHooks,
+        };
         let mut w = vec![1.0f32 + 2.0f32.powi(-12)];
         composed.transform_weights(&mut w);
         assert_eq!(w[0], 1.0);

@@ -37,6 +37,6 @@ pub mod zoo;
 
 pub use eval::{evaluate_ppl, EvalSet, PplResult};
 pub use hooks::{Activation, ComposedHooks, ExactHooks, Fp16Hooks, InferenceHooks};
-pub use model::{LayerWeights, TransformerModel};
+pub use model::{KvCache, LayerWeights, TransformerModel};
 pub use tensor::Tensor;
 pub use zoo::{Family, ModelSpec, OutlierProfile};

@@ -53,6 +53,54 @@ impl LayerWeights {
     }
 }
 
+/// Per-layer key/value rows cached during autoregressive decoding.
+#[derive(Debug, Clone, Default)]
+struct LayerKv {
+    /// Cached keys, `[len × hidden]` row-major.
+    k: Vec<f32>,
+    /// Cached values, `[len × hidden]` row-major.
+    v: Vec<f32>,
+}
+
+/// Owned KV-cache state for [`TransformerModel::prefill`] and
+/// [`TransformerModel::decode_step`].
+///
+/// Holds every layer's key/value rows for the tokens processed so far.
+/// Create one with [`TransformerModel::kv_cache`]; a cache is bound to
+/// the model geometry it was created for.
+#[derive(Debug, Clone)]
+pub struct KvCache {
+    hidden: usize,
+    layers: Vec<LayerKv>,
+    len: usize,
+}
+
+impl KvCache {
+    /// Number of cached tokens.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True before any token has been processed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Discards all cached tokens (start of a new sequence).
+    pub fn clear(&mut self) {
+        for l in &mut self.layers {
+            l.k.clear();
+            l.v.clear();
+        }
+        self.len = 0;
+    }
+
+    fn push_layer_row(&mut self, layer: usize, k_row: &[f32], v_row: &[f32]) {
+        self.layers[layer].k.extend_from_slice(k_row);
+        self.layers[layer].v.extend_from_slice(v_row);
+    }
+}
+
 /// A decoder-only transformer with synthetic weights.
 #[derive(Debug, Clone)]
 pub struct TransformerModel {
@@ -159,7 +207,11 @@ impl TransformerModel {
                     // gain divided back out of the boosted columns: the FFN
                     // pre-activations still carry structured outliers, but
                     // the weights themselves stay Fig. 1(a)-tight.
-                    boost_columns(&mut g, &ffn_outlier_channels, p.channel_scale.sqrt() / FFN_GAIN);
+                    boost_columns(
+                        &mut g,
+                        &ffn_outlier_channels,
+                        p.channel_scale.sqrt() / FFN_GAIN,
+                    );
                     Some(g)
                 }
                 Family::Opt => None,
@@ -174,7 +226,11 @@ impl TransformerModel {
                 // OPT: the single up projection carries the gain.
                 Family::Opt => {
                     w_up.scale(FFN_GAIN as f32);
-                    boost_columns(&mut w_up, &ffn_outlier_channels, p.channel_scale.sqrt() / FFN_GAIN);
+                    boost_columns(
+                        &mut w_up,
+                        &ffn_outlier_channels,
+                        p.channel_scale.sqrt() / FFN_GAIN,
+                    );
                     w_down.scale(1.0 / FFN_GAIN as f32);
                 }
             }
@@ -239,6 +295,41 @@ impl TransformerModel {
         out
     }
 
+    /// An empty KV cache sized for this model's geometry.
+    pub fn kv_cache(&self) -> KvCache {
+        KvCache {
+            hidden: self.spec.hidden,
+            layers: vec![LayerKv::default(); self.spec.layers],
+            len: 0,
+        }
+    }
+
+    /// Runs the decoder over a prompt, filling `cache` with every layer's
+    /// key/value rows and returning the full `[seq, vocab]` logits —
+    /// the prefill phase of autoregressive serving. Subsequent tokens go
+    /// through [`TransformerModel::decode_step`].
+    ///
+    /// Produces bit-identical logits to [`TransformerModel::forward`] on
+    /// the same tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache is non-empty, was built for a different
+    /// geometry, or `tokens` is invalid (see
+    /// [`TransformerModel::forward`]).
+    pub fn prefill(
+        &self,
+        tokens: &[usize],
+        hooks: &impl InferenceHooks,
+        cache: &mut KvCache,
+    ) -> Tensor {
+        assert!(cache.is_empty(), "prefill needs an empty cache");
+        self.check_cache(cache);
+        let logits = self.forward_with(tokens, hooks, Some(cache));
+        cache.len = tokens.len();
+        logits
+    }
+
     /// Runs the decoder over a token sequence, returning `[seq, vocab]`
     /// logits. Activation transforms and nonlinear hooks are applied at
     /// every layer; weight transforms are *not* (call
@@ -248,6 +339,27 @@ impl TransformerModel {
     ///
     /// Panics if `tokens` is empty or contains an id outside the vocab.
     pub fn forward(&self, tokens: &[usize], hooks: &impl InferenceHooks) -> Tensor {
+        self.forward_with(tokens, hooks, None)
+    }
+
+    fn check_cache(&self, cache: &KvCache) {
+        assert_eq!(
+            cache.hidden, self.spec.hidden,
+            "cache hidden width mismatch"
+        );
+        assert_eq!(
+            cache.layers.len(),
+            self.spec.layers,
+            "cache layer count mismatch"
+        );
+    }
+
+    fn forward_with(
+        &self,
+        tokens: &[usize],
+        hooks: &impl InferenceHooks,
+        mut cache: Option<&mut KvCache>,
+    ) -> Tensor {
         assert!(!tokens.is_empty(), "empty token sequence");
         let h = self.spec.hidden;
         let seq = tokens.len();
@@ -263,13 +375,18 @@ impl TransformerModel {
         let dh = self.spec.head_dim();
         let scale = 1.0 / (dh as f32).sqrt();
 
-        for layer in &self.layers {
+        for (li, layer) in self.layers.iter().enumerate() {
             // --- Attention block ---
             let mut a = self.normalise(&x);
             hooks.transform_activations(a.data_mut());
             let q = a.matmul(&layer.wq);
             let k = a.matmul(&layer.wk);
             let v = a.matmul(&layer.wv);
+            if let Some(cache) = cache.as_deref_mut() {
+                for r in 0..seq {
+                    cache.push_layer_row(li, k.row(r), v.row(r));
+                }
+            }
 
             let mut ctx = Tensor::zeros(seq, h);
             for head in 0..heads {
@@ -321,6 +438,103 @@ impl TransformerModel {
 
         let final_norm = self.normalise(&x);
         final_norm.matmul(&self.unembedding)
+    }
+
+    /// One autoregressive decode step: processes `token` against the
+    /// cached keys/values, appends its own KV rows, and returns the
+    /// next-token logits (`vocab` long).
+    ///
+    /// The per-token work is `O(hidden² + len·hidden)` — the full
+    /// re-forward this replaces is `O(len·hidden² + len²·hidden)`. For
+    /// hooks whose activation transform is block-local (FP16, INT, BFP,
+    /// BBFP with the default 32-wide blocks), the logits are
+    /// bit-identical to re-running [`TransformerModel::forward`] over the
+    /// whole sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache was built for a different geometry or the
+    /// token is out of vocab.
+    pub fn decode_step(
+        &self,
+        token: usize,
+        hooks: &impl InferenceHooks,
+        cache: &mut KvCache,
+    ) -> Vec<f32> {
+        self.check_cache(cache);
+        assert!(token < self.spec.vocab, "token id {token} out of vocab");
+        let h = self.spec.hidden;
+        let heads = self.spec.heads;
+        let dh = self.spec.head_dim();
+        let scale = 1.0 / (dh as f32).sqrt();
+        let len = cache.len + 1; // includes the new token
+
+        let mut x = Tensor::zeros(1, h);
+        x.row_mut(0).copy_from_slice(self.embedding.row(token));
+
+        for (li, layer) in self.layers.iter().enumerate() {
+            // --- Attention block ---
+            let mut a = self.normalise(&x);
+            hooks.transform_activations(a.data_mut());
+            let q = a.matmul(&layer.wq);
+            let k = a.matmul(&layer.wk);
+            let v = a.matmul(&layer.wv);
+            cache.push_layer_row(li, k.row(0), v.row(0));
+
+            let lk = &cache.layers[li];
+            let mut ctx = Tensor::zeros(1, h);
+            for head in 0..heads {
+                let c0 = head * dh;
+                // Scores of the new query over the whole cache (the
+                // causal mask admits everything up to and including the
+                // new token).
+                let mut scores = vec![0.0f32; len];
+                for (j, s) in scores.iter_mut().enumerate() {
+                    let k_row = &lk.k[j * h + c0..j * h + c0 + dh];
+                    let mut acc = 0.0f32;
+                    for (qv, kv) in q.row(0)[c0..c0 + dh].iter().zip(k_row) {
+                        acc += qv * kv;
+                    }
+                    *s = acc * scale;
+                }
+                hooks.softmax_row(&mut scores);
+                let ctx_row = ctx.row_mut(0);
+                for (j, p) in scores.iter().enumerate() {
+                    let v_row = &lk.v[j * h + c0..j * h + c0 + dh];
+                    for (d, vv) in v_row.iter().enumerate() {
+                        ctx_row[c0 + d] += p * vv;
+                    }
+                }
+            }
+            hooks.transform_activations(ctx.data_mut());
+            let attn_out = ctx.matmul(&layer.wo);
+            x.add_assign(&attn_out);
+
+            // --- FFN block ---
+            let mut f = self.normalise(&x);
+            hooks.transform_activations(f.data_mut());
+            let ffn_out = match (&layer.w_gate, self.spec.family) {
+                (Some(w_gate), _) => {
+                    let mut gate = f.matmul(w_gate);
+                    hooks.activation(gate.data_mut(), self.spec.activation());
+                    let up = f.matmul(&layer.w_up);
+                    gate.mul_assign_elementwise(&up);
+                    hooks.transform_activations(gate.data_mut());
+                    gate.matmul(&layer.w_down)
+                }
+                (None, _) => {
+                    let mut up = f.matmul(&layer.w_up);
+                    hooks.activation(up.data_mut(), self.spec.activation());
+                    hooks.transform_activations(up.data_mut());
+                    up.matmul(&layer.w_down)
+                }
+            };
+            x.add_assign(&ffn_out);
+        }
+        cache.len = len;
+
+        let final_norm = self.normalise(&x);
+        final_norm.matmul(&self.unembedding).row(0).to_vec()
     }
 }
 
@@ -412,5 +626,66 @@ mod tests {
     fn forward_rejects_bad_tokens() {
         let model = TransformerModel::synthesize(&tiny_test_model());
         let _ = model.forward(&[9999], &ExactHooks);
+    }
+
+    #[test]
+    fn prefill_matches_forward_exactly() {
+        let model = TransformerModel::synthesize(&tiny_test_model());
+        let tokens = [1usize, 5, 9, 2];
+        let mut cache = model.kv_cache();
+        let prefilled = model.prefill(&tokens, &ExactHooks, &mut cache);
+        let forward = model.forward(&tokens, &ExactHooks);
+        assert_eq!(prefilled.data(), forward.data());
+        assert_eq!(cache.len(), tokens.len());
+    }
+
+    #[test]
+    fn decode_step_matches_full_forward() {
+        // Prefill + incremental decode must reproduce the re-forward
+        // logits bit for bit (same accumulation order everywhere).
+        let model = TransformerModel::synthesize(&tiny_test_model());
+        let mut cache = model.kv_cache();
+        let prompt = [3usize, 7, 1];
+        model.prefill(&prompt, &ExactHooks, &mut cache);
+
+        let mut seq = prompt.to_vec();
+        for &t in &[4usize, 8, 2] {
+            let step = model.decode_step(t, &ExactHooks, &mut cache);
+            seq.push(t);
+            let full = model.forward(&seq, &ExactHooks);
+            assert_eq!(step.as_slice(), full.row(seq.len() - 1), "token {t}");
+        }
+        assert_eq!(cache.len(), seq.len());
+    }
+
+    #[test]
+    fn decode_from_empty_cache_matches_single_token_forward() {
+        let model = TransformerModel::synthesize(&tiny_test_model());
+        let mut cache = model.kv_cache();
+        let step = model.decode_step(6, &ExactHooks, &mut cache);
+        let full = model.forward(&[6], &ExactHooks);
+        assert_eq!(step.as_slice(), full.row(0));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn cache_clear_restarts_a_sequence() {
+        let model = TransformerModel::synthesize(&tiny_test_model());
+        let mut cache = model.kv_cache();
+        model.prefill(&[1, 2], &ExactHooks, &mut cache);
+        cache.clear();
+        assert!(cache.is_empty());
+        let step = model.decode_step(9, &ExactHooks, &mut cache);
+        let full = model.forward(&[9], &ExactHooks);
+        assert_eq!(step.as_slice(), full.row(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty cache")]
+    fn prefill_rejects_a_used_cache() {
+        let model = TransformerModel::synthesize(&tiny_test_model());
+        let mut cache = model.kv_cache();
+        model.prefill(&[1], &ExactHooks, &mut cache);
+        model.prefill(&[2], &ExactHooks, &mut cache);
     }
 }

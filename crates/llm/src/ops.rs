@@ -91,7 +91,13 @@ pub fn cross_entropy(p: &[f32], q_logits: &[f32]) -> f64 {
 /// Shannon entropy of a probability vector, in nats.
 pub fn entropy(p: &[f32]) -> f64 {
     -p.iter()
-        .map(|&pi| if pi > 0.0 { pi as f64 * (pi as f64).ln() } else { 0.0 })
+        .map(|&pi| {
+            if pi > 0.0 {
+                pi as f64 * (pi as f64).ln()
+            } else {
+                0.0
+            }
+        })
         .sum::<f64>()
 }
 

@@ -69,7 +69,11 @@ pub fn moments(values: &[f32]) -> Moments {
     Moments {
         mean_abs,
         max_abs,
-        outlier_ratio: if mean_abs > 0.0 { max_abs / mean_abs } else { 0.0 },
+        outlier_ratio: if mean_abs > 0.0 {
+            max_abs / mean_abs
+        } else {
+            0.0
+        },
     }
 }
 
@@ -133,10 +137,8 @@ pub fn collect_activations_by_layer(
     let recorder = RecordingHooks::new();
     let _ = model.forward(tokens, &recorder);
     let segments = recorder.into_segments();
-    let mut grouped: Vec<(&'static str, Vec<f32>)> = FIG3_LAYER_LABELS
-        .iter()
-        .map(|&l| (l, Vec::new()))
-        .collect();
+    let mut grouped: Vec<(&'static str, Vec<f32>)> =
+        FIG3_LAYER_LABELS.iter().map(|&l| (l, Vec::new())).collect();
     for (i, seg) in segments.into_iter().enumerate() {
         grouped[i % 4].1.extend(seg);
     }

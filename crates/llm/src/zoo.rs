@@ -188,12 +188,29 @@ pub fn table4_models() -> Vec<ModelSpec> {
 
 /// The OPT-6.7B stand-in used by Fig. 1(a) and Fig. 3.
 pub fn opt_6_7b() -> ModelSpec {
-    table2_models().into_iter().find(|m| m.name == "OPT-6.7B").expect("zoo contains OPT-6.7B")
+    table2_models()
+        .into_iter()
+        .find(|m| m.name == "OPT-6.7B")
+        .expect("zoo contains OPT-6.7B")
 }
 
 /// The Llama-7B stand-in used by Fig. 1(b).
 pub fn llama_7b() -> ModelSpec {
-    table2_models().into_iter().find(|m| m.name == "Llama-7B").expect("zoo contains Llama-7B")
+    table2_models()
+        .into_iter()
+        .find(|m| m.name == "Llama-7B")
+        .expect("zoo contains Llama-7B")
+}
+
+/// Looks a model spec up by its paper name (`"Llama-7B"`, `"OPT-13B"`,
+/// `"Tiny"`, …), preferring the Table II lineup, then Table IV, then the
+/// tiny test model.
+pub fn find(name: &str) -> Option<ModelSpec> {
+    table2_models()
+        .into_iter()
+        .chain(table4_models())
+        .find(|m| m.name == name)
+        .or_else(|| (name == "Tiny").then(tiny_test_model))
 }
 
 /// A deliberately tiny spec for unit tests.
@@ -211,7 +228,10 @@ mod tests {
     fn zoo_matches_paper_lineup() {
         let models = table2_models();
         assert_eq!(models.len(), 12);
-        assert_eq!(models.iter().filter(|m| m.family == Family::Llama).count(), 6);
+        assert_eq!(
+            models.iter().filter(|m| m.family == Family::Llama).count(),
+            6
+        );
         assert_eq!(models.iter().filter(|m| m.family == Family::Opt).count(), 6);
     }
 

@@ -83,8 +83,11 @@ impl SegmentedLutStorage {
 
     /// Energy to load one sub-table (DRAM transfer + SRAM fill), pJ.
     pub fn load_energy_pj(&self) -> f64 {
-        self.channel.transfer_energy_pj(self.layout.bytes_per_table())
-            + self.lut_file.stream_write_energy_pj(self.layout.bytes_per_table())
+        self.channel
+            .transfer_energy_pj(self.layout.bytes_per_table())
+            + self
+                .lut_file
+                .stream_write_energy_pj(self.layout.bytes_per_table())
     }
 
     /// Energy of one lookup, pJ.
@@ -159,7 +162,10 @@ mod tests {
     fn silu_uses_more_subtables_than_softmax() {
         // Paper: 18 sub-tables for Softmax, 24 for SILU.
         let softmax = softmax_layout();
-        let silu = LutLayout { sub_tables: 24, ..softmax };
+        let silu = LutLayout {
+            sub_tables: 24,
+            ..softmax
+        };
         assert!(silu.total_bytes() > softmax.total_bytes());
     }
 }

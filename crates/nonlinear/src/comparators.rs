@@ -248,9 +248,24 @@ mod tests {
         let high = HighPrecisionSoftmaxUnit::paper().table5_row(&lib);
         let ours = ours_table5_row(&NonlinearUnit::new(NonlinearUnitConfig::paper()), &lib);
 
-        assert!(ours.adp > pseudo.adp, "ADP: ours {} vs [32] {}", ours.adp, pseudo.adp);
-        assert!(ours.edp > pseudo.edp, "EDP: ours {} vs [32] {}", ours.edp, pseudo.edp);
-        assert!(ours.adp < high.adp, "ADP: ours {} vs [33] {}", ours.adp, high.adp);
+        assert!(
+            ours.adp > pseudo.adp,
+            "ADP: ours {} vs [32] {}",
+            ours.adp,
+            pseudo.adp
+        );
+        assert!(
+            ours.edp > pseudo.edp,
+            "EDP: ours {} vs [32] {}",
+            ours.edp,
+            pseudo.edp
+        );
+        assert!(
+            ours.adp < high.adp,
+            "ADP: ours {} vs [33] {}",
+            ours.adp,
+            high.adp
+        );
         let eff_ratio = ours.efficiency / high.efficiency;
         assert!(
             (5.0..200.0).contains(&eff_ratio),
@@ -263,6 +278,9 @@ mod tests {
         let lib = GateLibrary::default();
         let ours = ours_table5_row(&NonlinearUnit::new(NonlinearUnitConfig::paper()), &lib);
         assert_eq!(ours.compatibility, "SILU and so on");
-        assert_eq!(PseudoSoftmaxUnit::paper().table5_row(&lib).compatibility, "-");
+        assert_eq!(
+            PseudoSoftmaxUnit::paper().table5_row(&lib).compatibility,
+            "-"
+        );
     }
 }

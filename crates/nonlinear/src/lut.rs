@@ -106,9 +106,12 @@ impl SegmentedLut {
         let hi = (addr & ((1 << mant_bits) - 1)) as u64;
         // Cell centre: top bits + half a cell.
         let mantissa = (hi << shift) as f64 + (1u64 << shift) as f64 / 2.0;
-        let scale =
-            ((shared_exponent - 14 - self.config.mantissa_bits() as i32) as f64).exp2();
-        let f = if flag { self.config.flag_scale() as f64 } else { 1.0 };
+        let scale = ((shared_exponent - 14 - self.config.mantissa_bits() as i32) as f64).exp2();
+        let f = if flag {
+            self.config.flag_scale() as f64
+        } else {
+            1.0
+        };
         let mag = mantissa * f * scale;
         if sign {
             -mag
@@ -170,11 +173,7 @@ mod tests {
     use super::*;
 
     fn exp_lut() -> SegmentedLut {
-        SegmentedLut::new(
-            |x| x.exp(),
-            BbfpConfig::new(10, 5).expect("valid"),
-            7,
-        )
+        SegmentedLut::new(|x| x.exp(), BbfpConfig::new(10, 5).unwrap(), 7)
     }
 
     #[test]
@@ -237,6 +236,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "address wider")]
     fn address_cannot_exceed_payload_bits() {
-        let _ = SegmentedLut::new(|x| x, BbfpConfig::new(4, 2).expect("valid"), 7);
+        let _ = SegmentedLut::new(|x| x, BbfpConfig::new(4, 2).unwrap(), 7);
     }
 }

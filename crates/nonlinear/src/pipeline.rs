@@ -94,11 +94,7 @@ impl Opcode {
                 Stage::Mul,
                 Stage::OutputEncoder,
             ],
-            Opcode::Sigmoid => vec![
-                Stage::AlignExponent,
-                Stage::LutFile,
-                Stage::OutputEncoder,
-            ],
+            Opcode::Sigmoid => vec![Stage::AlignExponent, Stage::LutFile, Stage::OutputEncoder],
         }
     }
 
@@ -133,7 +129,11 @@ impl Opcode {
 /// compatibility cost (uses the stage latency as an area proxy weighting
 /// unless a gate library is supplied elsewhere).
 pub fn idle_fraction(opcode: Opcode, _lib: &GateLibrary) -> f64 {
-    let idle: u64 = opcode.idle_stages().iter().map(|s| s.latency_cycles()).sum();
+    let idle: u64 = opcode
+        .idle_stages()
+        .iter()
+        .map(|s| s.latency_cycles())
+        .sum();
     let total: u64 = Stage::ALL.iter().map(|s| s.latency_cycles()).sum();
     idle as f64 / total as f64
 }

@@ -138,7 +138,9 @@ impl NonlinearUnit {
             self.config.format.overlap_bits(),
             xs.len().next_power_of_two().max(1),
         )
-        .expect("valid format");
+        .unwrap_or_else(|_| {
+            unreachable!("widths validated at construction; block size is a positive power of two")
+        });
         let mut padded = xs.to_vec();
         padded.resize(cfg.block_size(), 0.0);
         let mut out = vec![0.0f32; cfg.block_size()];
@@ -272,7 +274,10 @@ mod tests {
     use bbal_llm::ops;
 
     fn max_abs_err(a: &[f32], b: &[f32]) -> f32 {
-        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f32::max)
     }
 
     #[test]
@@ -283,7 +288,11 @@ mod tests {
         ops::softmax_in_place(&mut exact);
         unit.softmax_row(&mut row);
         assert!((row.iter().sum::<f32>() - 1.0).abs() < 1e-3);
-        assert!(max_abs_err(&row, &exact) < 0.02, "err {}", max_abs_err(&row, &exact));
+        assert!(
+            max_abs_err(&row, &exact) < 0.02,
+            "err {}",
+            max_abs_err(&row, &exact)
+        );
     }
 
     #[test]
@@ -311,10 +320,7 @@ mod tests {
             bbfp_err += max_abs_err(&a, &exact);
             bfp_err += max_abs_err(&b, &exact);
         }
-        assert!(
-            bfp_err > 3.0 * bbfp_err,
-            "bfp {bfp_err} vs bbfp {bbfp_err}"
-        );
+        assert!(bfp_err > 3.0 * bbfp_err, "bfp {bfp_err} vs bbfp {bbfp_err}");
     }
 
     #[test]

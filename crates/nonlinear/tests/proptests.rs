@@ -61,7 +61,7 @@ proptest! {
     fn exp_lut_relative_error_bounded(xs in proptest::collection::vec(-20.0f32..0.0, 4..32)) {
         let mut lut = SegmentedLut::new(
             |x| x.exp(),
-            BbfpConfig::new(10, 5).expect("valid"),
+            BbfpConfig::new(10, 5).unwrap(),
             7,
         );
         let ys = lut.apply_block(&xs);

@@ -66,7 +66,10 @@ impl BbfpQuantizer {
     /// # Errors
     ///
     /// Propagates [`bbal_core::FormatError`] for invalid configurations.
-    pub fn new(mantissa_bits: u8, overlap_bits: u8) -> Result<BbfpQuantizer, bbal_core::FormatError> {
+    pub fn new(
+        mantissa_bits: u8,
+        overlap_bits: u8,
+    ) -> Result<BbfpQuantizer, bbal_core::FormatError> {
         let config = BbfpConfig::new(mantissa_bits, overlap_bits)?;
         Ok(BbfpQuantizer {
             config,
@@ -123,7 +126,11 @@ mod tests {
     }
 
     fn mse(a: &[f32], b: &[f32]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| ((x - y) as f64).powi(2)).sum::<f64>() / a.len() as f64
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| ((x - y) as f64).powi(2))
+            .sum::<f64>()
+            / a.len() as f64
     }
 
     #[test]
@@ -132,7 +139,9 @@ mod tests {
         let mut bfp = data.clone();
         let mut bbfp = data.clone();
         BfpQuantizer::new(4).unwrap().quantize_for_test(&mut bfp);
-        BbfpQuantizer::new(4, 2).unwrap().quantize_for_test(&mut bbfp);
+        BbfpQuantizer::new(4, 2)
+            .unwrap()
+            .quantize_for_test(&mut bbfp);
         assert!(mse(&data, &bbfp) < mse(&data, &bfp));
     }
 

@@ -20,7 +20,10 @@ impl IntQuantizer {
     /// Panics if `bits` is outside `2..=16`.
     pub fn new(bits: u8) -> IntQuantizer {
         assert!((2..=16).contains(&bits), "unsupported width {bits}");
-        IntQuantizer { bits, group_size: 128 }
+        IntQuantizer {
+            bits,
+            group_size: 128,
+        }
     }
 
     /// Quantise-dequantise a slice in place.

@@ -11,7 +11,9 @@
 //! * [`oltron`] — fixed-budget dual-precision outlier quantisation
 //!   (Oltron, DAC 2024);
 //! * [`omniquant`] — learned-clipping quantisation (OmniQuant, 2023);
-//! * [`registry`] — the exact method lineups of Table II and Fig. 8.
+//! * [`registry`] — the exact method lineups of Table II and Fig. 8 as
+//!   [`bbal_core::SchemeSpec`] data ([`TABLE2_SCHEMES`], [`FIG8_SCHEMES`]),
+//!   with [`hooks_for`] deriving the hook set for any scheme.
 //!
 //! The three sota baselines are *mechanism-level* re-implementations (the
 //! originals are closed or GPU-bound): each reproduces what its method
@@ -46,5 +48,7 @@ pub use int::IntQuantizer;
 pub use olive::OliveQuantizer;
 pub use oltron::OltronQuantizer;
 pub use omniquant::OmniQuantizer;
-pub use registry::{fig8_methods, table2_methods, Method};
+#[allow(deprecated)]
+pub use registry::{fig8_methods, table2_methods};
+pub use registry::{hooks_for, methods, Method, FIG8_SCHEMES, TABLE2_SCHEMES};
 pub use smooth::SmoothQuantizer;

@@ -109,7 +109,7 @@ fn quantize_outlier(v: f32, scale: f32, qmax: f32) -> f32 {
     let units = (v / scale).abs();
     // Smallest k with units/2^k <= qmax; cap k at what a 4-bit victim slot
     // can express.
-    let k = (units / qmax).log2().ceil().max(0.0).min(15.0) as i32;
+    let k = (units / qmax).log2().ceil().clamp(0.0, 15.0) as i32;
     let step = scale * (1 << k) as f32;
     (v / step).round().clamp(-qmax, qmax) * step
 }
@@ -138,7 +138,11 @@ mod tests {
         let mut data = vec![0.1f32; 64];
         data[10] = 50.0; // outlier; data[11] becomes its victim
         q.quantize(&mut data);
-        assert!((data[10] - 50.0).abs() / 50.0 < 0.2, "outlier kept: {}", data[10]);
+        assert!(
+            (data[10] - 50.0).abs() / 50.0 < 0.2,
+            "outlier kept: {}",
+            data[10]
+        );
         assert_eq!(data[11], 0.0, "victim pruned");
         assert!((data[0] - 0.1).abs() < 0.05, "body survives");
     }
@@ -151,7 +155,11 @@ mod tests {
         data[11] = 40.0; // same pair: can't both be saved
         q.quantize(&mut data);
         assert!((data[10] - 50.0).abs() / 50.0 < 0.2);
-        assert!(data[11] < 1.0, "second outlier clipped to body range: {}", data[11]);
+        assert!(
+            data[11] < 1.0,
+            "second outlier clipped to body range: {}",
+            data[11]
+        );
     }
 
     #[test]

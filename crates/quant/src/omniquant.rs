@@ -92,7 +92,11 @@ mod tests {
     use super::*;
 
     fn mse(a: &[f32], b: &[f32]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| ((x - y) as f64).powi(2)).sum::<f64>() / a.len() as f64
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| ((x - y) as f64).powi(2))
+            .sum::<f64>()
+            / a.len() as f64
     }
 
     #[test]
@@ -100,7 +104,13 @@ mod tests {
         // One outlier poisons only its own (small) group instead of a
         // whole 128-wide INT4 group.
         let data: Vec<f32> = (0..128)
-            .map(|i| if i == 7 { 50.0 } else { ((i % 13) as f32 - 6.0) * 0.1 })
+            .map(|i| {
+                if i == 7 {
+                    50.0
+                } else {
+                    ((i % 13) as f32 - 6.0) * 0.1
+                }
+            })
             .collect();
         let mut omni = data.clone();
         OmniQuantizer::new().quantize(&mut omni);
@@ -117,7 +127,9 @@ mod tests {
         for seed in 0..8u32 {
             let data: Vec<f32> = (0..32u32)
                 .map(|i| {
-                    let h = i.wrapping_mul(2654435761).wrapping_add(seed.wrapping_mul(97));
+                    let h = i
+                        .wrapping_mul(2654435761)
+                        .wrapping_add(seed.wrapping_mul(97));
                     ((h >> 7) % 1000) as f32 * 0.01 - 5.0
                 })
                 .collect();

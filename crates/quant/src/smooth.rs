@@ -88,7 +88,11 @@ mod tests {
     use super::*;
 
     fn mse(a: &[f32], b: &[f32]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| ((x - y) as f64).powi(2)).sum::<f64>() / a.len() as f64
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| ((x - y) as f64).powi(2))
+            .sum::<f64>()
+            / a.len() as f64
     }
 
     #[test]
@@ -111,7 +115,11 @@ mod tests {
         // Outlier survives to within a few percent...
         assert!((data[10] - 30.0).abs() / 30.0 < 0.05, "{}", data[10]);
         // ...and the body is not erased (INT8 resolution holds a 60x span).
-        let alive = data.iter().zip(&orig).filter(|(now, _)| **now != 0.0).count();
+        let alive = data
+            .iter()
+            .zip(&orig)
+            .filter(|(now, _)| **now != 0.0)
+            .count();
         assert!(alive > 250, "only {alive} values survive");
     }
 
@@ -120,7 +128,10 @@ mod tests {
         // With alpha = 0.5 the two sides use the same exponent; with
         // alpha = 0.8 activations migrate more than weights.
         let data: Vec<f32> = (0..128).map(|i| (i as f32 - 64.0) * 0.01).collect();
-        let q = SmoothQuantizer { alpha: 0.8, ..SmoothQuantizer::new() };
+        let q = SmoothQuantizer {
+            alpha: 0.8,
+            ..SmoothQuantizer::new()
+        };
         let mut a = data.clone();
         let mut w = data.clone();
         q.transform_activations(&mut a);

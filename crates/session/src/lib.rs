@@ -1,0 +1,761 @@
+//! # bbal-session — one builder from quantiser string to serving run
+//!
+//! The stack below this crate is deliberately layered: formats
+//! (`bbal-core`), quantiser hooks (`bbal-quant`), the transformer
+//! substrate (`bbal-llm`), the nonlinear unit (`bbal-nonlinear`) and the
+//! accelerator model (`bbal-accel`). Running one end-to-end experiment
+//! used to mean wiring four of those crates together by hand. A
+//! [`Session`] is that wiring done once: a [`SessionBuilder`] composes a
+//! model spec, a [`SchemeSpec`], the PE-array geometry and the nonlinear
+//! unit configuration, and the resulting session exposes the whole
+//! serving lifecycle:
+//!
+//! * [`Session::prepare`] — quantise the weights once (the PTQ step);
+//! * [`Session::prefill`] / [`Session::decode_step`] /
+//!   [`Session::generate`] — autoregressive serving with owned KV-cache
+//!   state;
+//! * [`Session::evaluate`] — the perplexity proxy (Table II);
+//! * [`Session::simulate_prefill`] / [`Session::simulate_decode`] —
+//!   cycle/energy reports from the accelerator simulator (Figs. 1(b)/9);
+//! * [`Session::engine`] — the bit-faithful hardware datapath for BBFP
+//!   schemes (Fig. 7).
+//!
+//! ```
+//! use bbal_session::SessionBuilder;
+//!
+//! let mut session = SessionBuilder::new()
+//!     .model("Tiny")
+//!     .scheme("bbfp:4,2")
+//!     .build()?;
+//!
+//! // Serving: prefill a prompt, then decode with the owned KV cache.
+//! session.prefill(&[1, 2, 3])?;
+//! let logits = session.decode_step(4)?;
+//! assert_eq!(logits.len(), session.model_spec().vocab);
+//!
+//! // Accuracy and hardware cost from the same object.
+//! let ppl = session.evaluate();
+//! assert!(ppl.ppl.is_finite());
+//! let sim = session.simulate_prefill(64)?;
+//! assert!(sim.total_cycles() > 0);
+//! # Ok::<(), bbal_session::SessionError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use bbal_accel::{
+    simulate_with, AcceleratorConfig, BbalEngine, ConfigError, NonlinearTiming, SimReport,
+};
+use bbal_arith::GateLibrary;
+use bbal_core::{SchemeError, SchemeSpec};
+use bbal_llm::graph::{decode_step_ops, decoder_ops, paper_dims, PaperDims};
+use bbal_llm::{
+    evaluate_ppl, zoo, EvalSet, InferenceHooks, KvCache, ModelSpec, PplResult, TransformerModel,
+};
+use bbal_nonlinear::NonlinearUnitConfig;
+use bbal_quant::hooks_for;
+use std::fmt;
+
+/// Errors from building or driving a [`Session`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SessionError {
+    /// The quantisation scheme string/spec is invalid or unmappable.
+    Scheme(SchemeError),
+    /// The accelerator configuration is invalid.
+    Config(ConfigError),
+    /// The model name is not in the zoo.
+    UnknownModel(String),
+    /// `prefill` was called with no tokens.
+    EmptyPrompt,
+    /// The accelerator clock must be a positive, finite GHz value.
+    InvalidClock(f64),
+    /// A token id is outside the model's vocabulary.
+    TokenOutOfVocab {
+        /// The offending token id.
+        token: usize,
+        /// The model's vocabulary size.
+        vocab: usize,
+    },
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Scheme(e) => write!(f, "invalid scheme: {e}"),
+            SessionError::Config(e) => write!(f, "invalid accelerator configuration: {e}"),
+            SessionError::UnknownModel(name) => {
+                write!(f, "unknown model {name:?} (see bbal_llm::zoo)")
+            }
+            SessionError::EmptyPrompt => write!(f, "prefill needs at least one token"),
+            SessionError::InvalidClock(ghz) => {
+                write!(f, "clock must be a positive finite GHz value, got {ghz}")
+            }
+            SessionError::TokenOutOfVocab { token, vocab } => {
+                write!(f, "token id {token} outside vocabulary of {vocab}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SessionError::Scheme(e) => Some(e),
+            SessionError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SchemeError> for SessionError {
+    fn from(e: SchemeError) -> SessionError {
+        SessionError::Scheme(e)
+    }
+}
+
+impl From<ConfigError> for SessionError {
+    fn from(e: ConfigError) -> SessionError {
+        match e {
+            // Flatten scheme problems to the scheme error, wherever in
+            // the stack they surfaced.
+            ConfigError::Scheme(e) => SessionError::Scheme(e),
+            other => SessionError::Config(other),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum ModelChoice {
+    Name(String),
+    Spec(ModelSpec),
+    Built(TransformerModel),
+}
+
+#[derive(Debug, Clone)]
+enum SchemeChoice {
+    Text(String),
+    Spec(SchemeSpec),
+}
+
+/// Builder for a [`Session`]: model × scheme × accelerator geometry ×
+/// nonlinear configuration, with the paper's defaults throughout.
+///
+/// Defaults: `Llama-7B` stand-in, `bbfp:4,2`, a 16×16 PE array at 1 GHz
+/// with the paper's buffers, the BBFP(10,5) nonlinear unit, and a
+/// 2×24-token evaluation set with seed 1234.
+#[derive(Debug, Clone)]
+pub struct SessionBuilder {
+    model: ModelChoice,
+    scheme: SchemeChoice,
+    pe_rows: usize,
+    pe_cols: usize,
+    clock_ghz: f64,
+    buffer_bytes: Option<u64>,
+    nonlinear: NonlinearUnitConfig,
+    eval_sequences: usize,
+    eval_seq_len: usize,
+    eval_seed: u64,
+}
+
+impl Default for SessionBuilder {
+    fn default() -> SessionBuilder {
+        SessionBuilder::new()
+    }
+}
+
+impl SessionBuilder {
+    /// A builder with the paper's defaults.
+    pub fn new() -> SessionBuilder {
+        SessionBuilder {
+            model: ModelChoice::Name("Llama-7B".to_owned()),
+            scheme: SchemeChoice::Spec(SchemeSpec::BBAL_PAPER),
+            pe_rows: 16,
+            pe_cols: 16,
+            clock_ghz: 1.0,
+            buffer_bytes: None,
+            nonlinear: NonlinearUnitConfig::paper(),
+            eval_sequences: 2,
+            eval_seq_len: 24,
+            eval_seed: 1234,
+        }
+    }
+
+    /// Selects a model by its paper name (`"Llama-7B"`, `"OPT-13B"`, …;
+    /// resolved against the zoo at [`SessionBuilder::build`] time).
+    pub fn model(mut self, name: &str) -> SessionBuilder {
+        self.model = ModelChoice::Name(name.to_owned());
+        self
+    }
+
+    /// Selects a model by explicit specification.
+    pub fn model_spec(mut self, spec: ModelSpec) -> SessionBuilder {
+        self.model = ModelChoice::Spec(spec);
+        self
+    }
+
+    /// Uses an already-synthesised model instead of synthesising from a
+    /// spec — lets sweeps share one set of reference weights across many
+    /// per-scheme sessions.
+    pub fn with_model(mut self, model: TransformerModel) -> SessionBuilder {
+        self.model = ModelChoice::Built(model);
+        self
+    }
+
+    /// Selects the quantisation scheme from a string (`"bbfp:4,2"`,
+    /// `"fp16"`, `"oltron"`, …; parsed at [`SessionBuilder::build`]
+    /// time).
+    pub fn scheme(mut self, scheme: &str) -> SessionBuilder {
+        self.scheme = SchemeChoice::Text(scheme.to_owned());
+        self
+    }
+
+    /// Selects the quantisation scheme from a parsed spec.
+    pub fn scheme_spec(mut self, scheme: SchemeSpec) -> SessionBuilder {
+        self.scheme = SchemeChoice::Spec(scheme);
+        self
+    }
+
+    /// Sets the PE array geometry (default 16×16).
+    pub fn pe_array(mut self, rows: usize, cols: usize) -> SessionBuilder {
+        self.pe_rows = rows;
+        self.pe_cols = cols;
+        self
+    }
+
+    /// Sets the accelerator clock in GHz (default 1.0).
+    pub fn clock_ghz(mut self, ghz: f64) -> SessionBuilder {
+        self.clock_ghz = ghz;
+        self
+    }
+
+    /// Overrides the input/weight buffer capacity in bytes (the output
+    /// buffer scales to half).
+    pub fn buffer_bytes(mut self, bytes: u64) -> SessionBuilder {
+        self.buffer_bytes = Some(bytes);
+        self
+    }
+
+    /// Overrides the nonlinear unit configuration (default BBFP(10,5)).
+    pub fn nonlinear(mut self, config: NonlinearUnitConfig) -> SessionBuilder {
+        self.nonlinear = config;
+        self
+    }
+
+    /// Overrides the evaluation set: `sequences` streams of `seq_len`
+    /// tokens generated from `seed`.
+    pub fn eval_set(mut self, sequences: usize, seq_len: usize, seed: u64) -> SessionBuilder {
+        self.eval_sequences = sequences;
+        self.eval_seq_len = seq_len;
+        self.eval_seed = seed;
+        self
+    }
+
+    /// Resolves every choice and assembles the session: parses/validates
+    /// the scheme, looks the model up, derives the hook set and
+    /// synthesises the reference weights.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Scheme`] for an invalid scheme,
+    /// [`SessionError::UnknownModel`] for an unknown model name,
+    /// [`SessionError::Config`] for a degenerate PE geometry, and
+    /// [`SessionError::InvalidClock`] for a non-positive clock.
+    pub fn build(self) -> Result<Session, SessionError> {
+        let scheme = match &self.scheme {
+            SchemeChoice::Text(s) => s.parse::<SchemeSpec>()?,
+            SchemeChoice::Spec(s) => {
+                s.validate()?;
+                *s
+            }
+        };
+        let reference = match self.model {
+            ModelChoice::Name(ref name) => {
+                let spec =
+                    zoo::find(name).ok_or_else(|| SessionError::UnknownModel(name.clone()))?;
+                TransformerModel::synthesize(&spec)
+            }
+            ModelChoice::Spec(ref spec) => TransformerModel::synthesize(spec),
+            ModelChoice::Built(model) => model,
+        };
+        let spec = reference.spec().clone();
+        if self.pe_rows == 0 || self.pe_cols == 0 {
+            return Err(ConfigError::Geometry {
+                pe_rows: self.pe_rows,
+                pe_cols: self.pe_cols,
+            }
+            .into());
+        }
+        if !(self.clock_ghz.is_finite() && self.clock_ghz > 0.0) {
+            return Err(SessionError::InvalidClock(self.clock_ghz));
+        }
+        let hooks = hooks_for(scheme)?;
+        let kv = reference.kv_cache();
+        Ok(Session {
+            scheme,
+            spec,
+            hooks,
+            reference,
+            prepared: None,
+            kv,
+            pe_rows: self.pe_rows,
+            pe_cols: self.pe_cols,
+            clock_ghz: self.clock_ghz,
+            buffer_bytes: self.buffer_bytes,
+            nonlinear: self.nonlinear,
+            eval_sequences: self.eval_sequences,
+            eval_seq_len: self.eval_seq_len,
+            eval_seed: self.eval_seed,
+            lib: GateLibrary::default(),
+        })
+    }
+}
+
+/// An end-to-end run: one model under one quantisation scheme on one
+/// accelerator instance, with owned serving state.
+///
+/// Built by [`SessionBuilder`]; see the crate docs for the lifecycle.
+pub struct Session {
+    scheme: SchemeSpec,
+    spec: ModelSpec,
+    hooks: Box<dyn InferenceHooks>,
+    reference: TransformerModel,
+    prepared: Option<TransformerModel>,
+    kv: KvCache,
+    pe_rows: usize,
+    pe_cols: usize,
+    clock_ghz: f64,
+    buffer_bytes: Option<u64>,
+    nonlinear: NonlinearUnitConfig,
+    eval_sequences: usize,
+    eval_seq_len: usize,
+    eval_seed: u64,
+    lib: GateLibrary,
+}
+
+impl fmt::Debug for Session {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Session")
+            .field("scheme", &self.scheme)
+            .field("model", &self.spec.name)
+            .field("pe_array", &(self.pe_rows, self.pe_cols))
+            .field("kv_len", &self.kv.len())
+            .field("prepared", &self.prepared.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Session {
+    /// The session's quantisation scheme.
+    pub fn scheme(&self) -> SchemeSpec {
+        self.scheme
+    }
+
+    /// The session's model specification.
+    pub fn model_spec(&self) -> &ModelSpec {
+        &self.spec
+    }
+
+    /// The session's hook set (scheme-derived).
+    pub fn hooks(&self) -> &dyn InferenceHooks {
+        self.hooks.as_ref()
+    }
+
+    /// Number of tokens currently in the KV cache.
+    pub fn kv_len(&self) -> usize {
+        self.kv.len()
+    }
+
+    /// Quantises the weights once (the PTQ step). Idempotent; called
+    /// automatically by the serving entry points.
+    pub fn prepare(&mut self) -> &TransformerModel {
+        if self.prepared.is_none() {
+            self.prepared = Some(
+                self.reference
+                    .with_transformed_weights(&self.hooks.as_ref()),
+            );
+        }
+        self.prepared.as_ref().expect("prepared just above")
+    }
+
+    fn check_tokens(&self, tokens: &[usize]) -> Result<(), SessionError> {
+        match tokens.iter().find(|&&t| t >= self.spec.vocab) {
+            Some(&token) => Err(SessionError::TokenOutOfVocab {
+                token,
+                vocab: self.spec.vocab,
+            }),
+            None => Ok(()),
+        }
+    }
+
+    /// Discards the KV cache, starting a fresh sequence.
+    pub fn reset(&mut self) {
+        self.kv.clear();
+    }
+
+    /// Prefills the KV cache with a prompt (discarding any previous
+    /// sequence) and returns the `[seq, vocab]` logits.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::EmptyPrompt`] or
+    /// [`SessionError::TokenOutOfVocab`].
+    pub fn prefill(&mut self, tokens: &[usize]) -> Result<bbal_llm::Tensor, SessionError> {
+        if tokens.is_empty() {
+            return Err(SessionError::EmptyPrompt);
+        }
+        self.check_tokens(tokens)?;
+        self.prepare();
+        self.kv.clear();
+        let model = self.prepared.as_ref().expect("prepared above");
+        Ok(model.prefill(tokens, &self.hooks.as_ref(), &mut self.kv))
+    }
+
+    /// Decodes one token against the cached sequence, appending its KV
+    /// rows, and returns the next-token logits.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::TokenOutOfVocab`].
+    pub fn decode_step(&mut self, token: usize) -> Result<Vec<f32>, SessionError> {
+        self.check_tokens(&[token])?;
+        self.prepare();
+        let model = self.prepared.as_ref().expect("prepared above");
+        Ok(model.decode_step(token, &self.hooks.as_ref(), &mut self.kv))
+    }
+
+    /// Greedy generation: prefills `prompt`, then decodes `n` tokens by
+    /// argmax, returning the generated ids.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the prefill/decode errors.
+    pub fn generate(&mut self, prompt: &[usize], n: usize) -> Result<Vec<usize>, SessionError> {
+        let logits = self.prefill(prompt)?;
+        let mut out = Vec::with_capacity(n);
+        let mut next = argmax(logits.row(logits.rows() - 1));
+        for _ in 0..n {
+            out.push(next);
+            let row = self.decode_step(next)?;
+            next = argmax(&row);
+        }
+        Ok(out)
+    }
+
+    /// Runs the perplexity proxy (Table II) for this session's scheme on
+    /// its model, over the builder-configured evaluation set.
+    pub fn evaluate(&self) -> PplResult {
+        let eval = EvalSet::generate(
+            &self.spec,
+            self.eval_sequences,
+            self.eval_seq_len,
+            self.eval_seed,
+        );
+        evaluate_ppl(&self.reference, &self.hooks.as_ref(), &eval)
+    }
+
+    /// The accelerator instance this session simulates on.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Scheme`] if the scheme has no hardware mapping
+    /// (e.g. `fp16`, `omniquant`).
+    pub fn accelerator_config(&self) -> Result<AcceleratorConfig, SessionError> {
+        let mut cfg = AcceleratorConfig::for_scheme(self.scheme, self.pe_rows, self.pe_cols)?;
+        cfg.clock_ghz = self.clock_ghz;
+        cfg.nonlinear = self.nonlinear;
+        if let Some(bytes) = self.buffer_bytes {
+            cfg = cfg.with_buffer_bytes(bytes)?;
+        }
+        Ok(cfg)
+    }
+
+    /// The decoder dimensions the simulator runs at: the paper model's
+    /// published dimensions when known, otherwise the synthetic
+    /// stand-in's own geometry.
+    pub fn simulated_dims(&self) -> PaperDims {
+        paper_dims(self.spec.name).unwrap_or(PaperDims {
+            hidden: self.spec.hidden,
+            ffn: self.spec.ffn_width(),
+            heads: self.spec.heads,
+            layers: self.spec.layers,
+            gated_ffn: matches!(self.spec.family, zoo::Family::Llama),
+        })
+    }
+
+    /// Simulates a prefill pass over `seq_len` tokens (cycle/energy
+    /// report, Fig. 1(b) regime).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Session::accelerator_config`] errors.
+    pub fn simulate_prefill(&self, seq_len: usize) -> Result<SimReport, SessionError> {
+        self.simulate_prefill_with(seq_len, NonlinearTiming::BbalUnit)
+    }
+
+    /// Simulates a prefill pass with an explicit nonlinear timing model
+    /// (the Fig. 1(b) FP32-baseline comparison).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Session::accelerator_config`] errors.
+    pub fn simulate_prefill_with(
+        &self,
+        seq_len: usize,
+        timing: NonlinearTiming,
+    ) -> Result<SimReport, SessionError> {
+        let cfg = self.accelerator_config()?;
+        let ops = decoder_ops(&self.simulated_dims(), seq_len);
+        Ok(simulate_with(&cfg, &ops, &self.lib, timing))
+    }
+
+    /// Simulates one decode step against a KV cache of `kv_len` tokens —
+    /// the long-context serving regime.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Session::accelerator_config`] errors.
+    pub fn simulate_decode(&self, kv_len: usize) -> Result<SimReport, SessionError> {
+        self.simulate_decode_with(kv_len, NonlinearTiming::BbalUnit)
+    }
+
+    /// Simulates one decode step with an explicit nonlinear timing model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Session::accelerator_config`] errors.
+    pub fn simulate_decode_with(
+        &self,
+        kv_len: usize,
+        timing: NonlinearTiming,
+    ) -> Result<SimReport, SessionError> {
+        let cfg = self.accelerator_config()?;
+        let ops = decode_step_ops(&self.simulated_dims(), kv_len);
+        Ok(simulate_with(&cfg, &ops, &self.lib, timing))
+    }
+
+    /// The bit-faithful hardware datapath (PE array + nonlinear unit)
+    /// for this session's scheme.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Scheme`] unless the scheme is a BBFP scheme.
+    pub fn engine(&self) -> Result<BbalEngine, SessionError> {
+        let cfg = self
+            .scheme
+            .bbfp_config()?
+            .ok_or(SchemeError::NoHardwareMapping(self.scheme))?;
+        Ok(BbalEngine::new(cfg, self.nonlinear))
+    }
+}
+
+fn argmax(row: &[f32]) -> usize {
+    let mut best = 0;
+    for (i, v) in row.iter().enumerate() {
+        if *v > row[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbal_llm::ExactHooks;
+
+    fn tiny(scheme: &str) -> Session {
+        SessionBuilder::new()
+            .model("Tiny")
+            .scheme(scheme)
+            .build()
+            .expect("tiny session builds")
+    }
+
+    #[test]
+    fn builder_defaults_build() {
+        let s = SessionBuilder::new().build().unwrap();
+        assert_eq!(s.scheme(), SchemeSpec::Bbfp(4, 2));
+        assert_eq!(s.model_spec().name, "Llama-7B");
+    }
+
+    #[test]
+    fn builder_errors_are_typed() {
+        assert!(matches!(
+            SessionBuilder::new().scheme("bbfp:9,9").build(),
+            Err(SessionError::Scheme(_))
+        ));
+        assert!(matches!(
+            SessionBuilder::new().model("GPT-5").build(),
+            Err(SessionError::UnknownModel(_))
+        ));
+        assert!(matches!(
+            SessionBuilder::new().pe_array(0, 16).build(),
+            Err(SessionError::Config(ConfigError::Geometry { .. }))
+        ));
+        assert!(matches!(
+            SessionBuilder::new()
+                .scheme_spec(SchemeSpec::Bfp(11))
+                .build(),
+            Err(SessionError::Scheme(_))
+        ));
+        assert!(matches!(
+            SessionBuilder::new().clock_ghz(0.0).build(),
+            Err(SessionError::InvalidClock(_))
+        ));
+        assert!(matches!(
+            SessionBuilder::new().clock_ghz(f64::NAN).build(),
+            Err(SessionError::InvalidClock(_))
+        ));
+    }
+
+    #[test]
+    fn with_model_shares_reference_weights_across_schemes() {
+        // A sweep can synthesise once and hand the same weights to every
+        // per-scheme session.
+        let model = TransformerModel::synthesize(&zoo::tiny_test_model());
+        let a = SessionBuilder::new()
+            .with_model(model.clone())
+            .scheme("bbfp:4,2")
+            .eval_set(2, 12, 99)
+            .build()
+            .unwrap();
+        let b = SessionBuilder::new()
+            .model("Tiny")
+            .scheme("bbfp:4,2")
+            .eval_set(2, 12, 99)
+            .build()
+            .unwrap();
+        assert_eq!(a.evaluate(), b.evaluate());
+        assert_eq!(a.model_spec().name, "Tiny");
+    }
+
+    #[test]
+    fn serving_lifecycle_matches_model_path() {
+        // Session prefill/decode must agree with driving the model and
+        // hooks by hand.
+        let mut session = tiny("bbfp:4,2");
+        let prompt = [1usize, 2, 3];
+        let s_logits = session.prefill(&prompt).unwrap();
+        let step = session.decode_step(4).unwrap();
+        assert_eq!(session.kv_len(), 4);
+
+        let spec = zoo::tiny_test_model();
+        let reference = TransformerModel::synthesize(&spec);
+        let hooks = hooks_for(SchemeSpec::Bbfp(4, 2)).unwrap();
+        let prepared = reference.with_transformed_weights(&hooks.as_ref());
+        let mut cache = prepared.kv_cache();
+        let m_logits = prepared.prefill(&prompt, &hooks.as_ref(), &mut cache);
+        assert_eq!(s_logits.data(), m_logits.data());
+        let m_step = prepared.decode_step(4, &hooks.as_ref(), &mut cache);
+        assert_eq!(step, m_step);
+    }
+
+    #[test]
+    fn prefill_resets_previous_sequence() {
+        let mut session = tiny("fp16");
+        session.prefill(&[1, 2, 3, 4]).unwrap();
+        session.prefill(&[5]).unwrap();
+        assert_eq!(session.kv_len(), 1);
+        session.reset();
+        assert_eq!(session.kv_len(), 0);
+    }
+
+    #[test]
+    fn serving_errors_are_typed() {
+        let mut session = tiny("fp16");
+        assert!(matches!(
+            session.prefill(&[]),
+            Err(SessionError::EmptyPrompt)
+        ));
+        assert!(matches!(
+            session.prefill(&[9999]),
+            Err(SessionError::TokenOutOfVocab { token: 9999, .. })
+        ));
+        assert!(matches!(
+            session.decode_step(9999),
+            Err(SessionError::TokenOutOfVocab { .. })
+        ));
+    }
+
+    #[test]
+    fn generate_produces_in_vocab_tokens() {
+        let mut session = tiny("bbfp:4,2");
+        let out = session.generate(&[1, 2], 5).unwrap();
+        assert_eq!(out.len(), 5);
+        assert!(out.iter().all(|&t| t < session.model_spec().vocab));
+        assert_eq!(session.kv_len(), 2 + 5);
+    }
+
+    #[test]
+    fn evaluate_matches_free_function_path() {
+        let session = tiny("bfp4");
+        let got = session.evaluate();
+        let spec = zoo::tiny_test_model();
+        let reference = TransformerModel::synthesize(&spec);
+        let eval = EvalSet::generate(&spec, 2, 24, 1234);
+        let hooks = hooks_for(SchemeSpec::Bfp(4)).unwrap();
+        let expected = evaluate_ppl(&reference, &hooks.as_ref(), &eval);
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn fp32_session_reproduces_the_anchor() {
+        let session = tiny("fp32");
+        let r = session.evaluate();
+        assert!((r.ppl - session.model_spec().anchor_ppl).abs() < 1e-4);
+        // And matches ExactHooks driven by hand.
+        let spec = zoo::tiny_test_model();
+        let reference = TransformerModel::synthesize(&spec);
+        let eval = EvalSet::generate(&spec, 2, 24, 1234);
+        assert_eq!(r, evaluate_ppl(&reference, &ExactHooks, &eval));
+    }
+
+    #[test]
+    fn simulation_requires_a_hardware_mapping() {
+        let session = tiny("bbfp:4,2");
+        let report = session.simulate_prefill(32).unwrap();
+        assert!(report.total_cycles() > 0 && report.macs > 0);
+        let decode = session.simulate_decode(128).unwrap();
+        assert!(decode.total_cycles() > 0);
+
+        let fp16 = tiny("fp16");
+        assert!(matches!(
+            fp16.simulate_prefill(32),
+            Err(SessionError::Scheme(SchemeError::NoHardwareMapping(_)))
+        ));
+    }
+
+    #[test]
+    fn builder_knobs_reach_the_accelerator() {
+        let session = SessionBuilder::new()
+            .model("Tiny")
+            .scheme("bbfp:6,3")
+            .pe_array(8, 8)
+            .clock_ghz(0.5)
+            .buffer_bytes(128 * 1024)
+            .build()
+            .unwrap();
+        let cfg = session.accelerator_config().unwrap();
+        assert_eq!((cfg.pe_rows, cfg.pe_cols), (8, 8));
+        assert_eq!(cfg.clock_ghz, 0.5);
+        assert_eq!(cfg.input_buffer.capacity_bytes(), 128 * 1024);
+    }
+
+    #[test]
+    fn engine_is_available_for_bbfp_schemes() {
+        let session = tiny("bbfp:4,2");
+        let engine = session.engine().unwrap();
+        assert_eq!(engine.linear_config().mantissa_bits(), 4);
+        assert!(tiny("oltron").engine().is_err());
+    }
+
+    #[test]
+    fn prepare_is_idempotent() {
+        let mut session = tiny("bbfp:3,1");
+        let a = session.prepare().layers()[0].wq.get(0, 0);
+        let b = session.prepare().layers()[0].wq.get(0, 0);
+        assert_eq!(a, b);
+    }
+}

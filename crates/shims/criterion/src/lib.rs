@@ -51,7 +51,9 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// An id rendered as `name/parameter`.
     pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
-        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
     }
 }
 
@@ -104,8 +106,9 @@ impl Bencher {
 
         // Split the measurement budget into `sample_size` samples.
         let budget = self.measurement_time.as_secs_f64();
-        let iters_per_sample =
-            ((budget / self.sample_size as f64) / per_iter.max(1e-9)).ceil().max(1.0) as u64;
+        let iters_per_sample = ((budget / self.sample_size as f64) / per_iter.max(1e-9))
+            .ceil()
+            .max(1.0) as u64;
         let mut samples = Vec::with_capacity(self.sample_size);
         for _ in 0..self.sample_size {
             let t0 = Instant::now();
@@ -138,8 +141,9 @@ impl Bencher {
         let per_iter = warm_spent.as_secs_f64() / warm_iters.max(1) as f64;
 
         let budget = self.measurement_time.as_secs_f64();
-        let iters_per_sample =
-            ((budget / self.sample_size as f64) / per_iter.max(1e-9)).ceil().max(1.0) as u64;
+        let iters_per_sample = ((budget / self.sample_size as f64) / per_iter.max(1e-9))
+            .ceil()
+            .max(1.0) as u64;
         let mut samples = Vec::with_capacity(self.sample_size);
         for _ in 0..self.sample_size {
             let mut spent = Duration::ZERO;

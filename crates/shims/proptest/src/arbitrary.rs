@@ -52,7 +52,9 @@ mod tests {
     fn any_u64_covers_high_bits() {
         let mut rng = TestRng::new(9);
         let strat = any::<u64>();
-        let high = (0..256).filter(|_| strat.sample(&mut rng) >> 63 == 1).count();
+        let high = (0..256)
+            .filter(|_| strat.sample(&mut rng) >> 63 == 1)
+            .count();
         assert!(high > 64 && high < 192, "high {high}");
     }
 

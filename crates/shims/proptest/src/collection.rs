@@ -20,7 +20,10 @@ impl From<usize> for SizeRange {
 impl From<Range<usize>> for SizeRange {
     fn from(r: Range<usize>) -> SizeRange {
         assert!(r.start < r.end, "empty size range");
-        SizeRange { lo: r.start, hi: r.end }
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
     }
 }
 
@@ -46,7 +49,10 @@ impl<S: Strategy> Strategy for VecStrategy<S> {
 /// A strategy for vectors whose elements come from `element` and whose
 /// length is `size` (a `usize` or a `Range<usize>`).
 pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-    VecStrategy { element, size: size.into() }
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
 }
 
 #[cfg(test)]

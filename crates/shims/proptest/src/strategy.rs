@@ -108,7 +108,9 @@ pub struct Union<T> {
 
 impl<T> std::fmt::Debug for Union<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Union").field("arms", &self.arms.len()).finish()
+        f.debug_struct("Union")
+            .field("arms", &self.arms.len())
+            .finish()
     }
 }
 
@@ -253,7 +255,11 @@ mod tests {
     #[test]
     fn union_uses_every_arm() {
         let mut rng = TestRng::new(4);
-        let u = Union::new(vec![Just(1u8).boxed(), Just(2u8).boxed(), Just(3u8).boxed()]);
+        let u = Union::new(vec![
+            Just(1u8).boxed(),
+            Just(2u8).boxed(),
+            Just(3u8).boxed(),
+        ]);
         let mut seen = [false; 4];
         for _ in 0..300 {
             seen[u.sample(&mut rng) as usize] = true;

@@ -122,7 +122,10 @@ mod tests {
     impl RngCore for Counter {
         fn next_u64(&mut self) -> u64 {
             // A weak LCG; only used to exercise the derivation layer.
-            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             self.0
         }
     }

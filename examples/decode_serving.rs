@@ -2,32 +2,38 @@
 //! bites hardest. In autoregressive decode the linear work per token is
 //! constant (`O(h²)` per layer) while softmax work grows with the KV
 //! cache — exactly the trend the paper's Fig. 1(b) motivates, pushed to
-//! its sharpest form. This example sweeps KV length and compares a
-//! scalar-FP32 nonlinear baseline against BBAL's segmented-LUT unit, then
-//! runs a hardware-numerics attention step over a long cache.
+//! its sharpest form. This example sweeps KV length through the session's
+//! simulator, comparing a scalar-FP32 nonlinear baseline against BBAL's
+//! segmented-LUT unit, then decodes real tokens through the session's
+//! KV-cached serving path and the engine's pre-encoded `KvState`.
 //!
 //! Run with: `cargo run --release --example decode_serving`
 
-use bbal::accel::{simulate_with, AcceleratorConfig, BbalEngine, NonlinearTiming};
-use bbal::arith::GateLibrary;
-use bbal::llm::graph::{decode_step_ops, paper_dims};
+use bbal::accel::NonlinearTiming;
 use bbal::llm::Tensor;
+use bbal::{SessionBuilder, SessionError};
 
-fn main() {
-    let lib = GateLibrary::default();
-    let cfg = AcceleratorConfig::bbal_paper();
-    let dims = paper_dims("Llama-7B").expect("known model");
+fn main() -> Result<(), SessionError> {
+    let mut session = SessionBuilder::new()
+        .model("Llama-7B")
+        .scheme("bbfp:4,2")
+        .build()?;
 
     println!("Llama-7B decode step (one token) vs KV-cache length:\n");
     println!(
         "{:>8} {:>14} {:>18} {:>16}",
         "kv len", "linear (us)", "FP32 nonlin (us)", "BBAL nonlin (us)"
     );
+    let clock_ghz = session.accelerator_config()?.clock_ghz;
     for kv in [512usize, 1024, 2048, 4096, 8192] {
-        let ops = decode_step_ops(&dims, kv);
-        let fp32 = simulate_with(&cfg, &ops, &lib, NonlinearTiming::ScalarFp32 { cycles_per_elem: 8.0 });
-        let bbal = simulate_with(&cfg, &ops, &lib, NonlinearTiming::BbalUnit);
-        let us = |c: u64| c as f64 / (cfg.clock_ghz * 1.0e3);
+        let fp32 = session.simulate_decode_with(
+            kv,
+            NonlinearTiming::ScalarFp32 {
+                cycles_per_elem: 8.0,
+            },
+        )?;
+        let bbal = session.simulate_decode_with(kv, NonlinearTiming::BbalUnit)?;
+        let us = |c: u64| c as f64 / (clock_ghz * 1.0e3);
         println!(
             "{:>8} {:>14.1} {:>18.1} {:>16.1}",
             kv,
@@ -37,23 +43,38 @@ fn main() {
         );
     }
 
-    // One decode attention step through the full hardware numerics.
-    let (kv, dh) = (256usize, 64usize);
-    let mut engine = BbalEngine::paper();
-    let q = Tensor::from_vec(1, dh, (0..dh).map(|i| ((i as f32) * 0.3).sin()).collect());
-    let k = Tensor::from_vec(kv, dh, (0..kv * dh).map(|i| ((i as f32) * 0.017).cos() * 0.5).collect());
-    let v = Tensor::from_vec(kv, dh, (0..kv * dh).map(|i| ((i as f32) * 0.011).sin() * 0.5).collect());
+    // Token-level serving through the session: generate() prefills the
+    // prompt, then greedy-decodes against the owned KV cache.
+    let continuation = session.generate(&[3, 14, 15, 92, 65], 8)?;
+    println!("\ngreedy continuation of a 5-token prompt: {continuation:?}");
+    println!("KV cache now holds {} tokens", session.kv_len());
 
-    // Single-query attention = row 0 attends over the whole cache; embed
-    // the query as the last row of a (kv x dh) causal block for the
-    // engine's causal path, then read the last row.
-    let mut q_block = k.clone();
-    q_block.row_mut(kv - 1).copy_from_slice(q.row(0));
-    let out = engine.attention(&q_block, &k, &v);
-    let last = out.row(kv - 1);
+    // One decode attention step through the full hardware numerics: the
+    // engine's KvState keeps K pre-encoded (transposed into the weight
+    // buffer once), so each step encodes only the new query row.
+    let (kv_len, dh) = (256usize, 64usize);
+    let mut engine = session.engine()?;
+    let q = Tensor::from_vec(1, dh, (0..dh).map(|i| ((i as f32) * 0.3).sin()).collect());
+    let k = Tensor::from_vec(
+        kv_len,
+        dh,
+        (0..kv_len * dh)
+            .map(|i| ((i as f32) * 0.017).cos() * 0.5)
+            .collect(),
+    );
+    let v = Tensor::from_vec(
+        kv_len,
+        dh,
+        (0..kv_len * dh)
+            .map(|i| ((i as f32) * 0.011).sin() * 0.5)
+            .collect(),
+    );
+    let cache = engine.cache_kv(&k, &v);
+    let out = engine.decode_attention(&q, &cache);
     println!(
-        "\nquantised decode attention over a {kv}-token cache: out[0..4] = {:?}",
-        &last[..4]
+        "\nquantised decode attention over a {kv_len}-token cache: out[0..4] = {:?}",
+        &out.row(0)[..4]
     );
     println!("(scores on the BBFP(4,2) PE array, softmax through the BBFP(10,5) LUT unit)");
+    Ok(())
 }

@@ -1,16 +1,17 @@
 //! Exploring the hardware cost space (paper §IV-A): gate-level MAC and PE
 //! area across formats, the carry-chain saving, and what a fixed silicon
-//! budget buys in PEs per format — the Fig. 8 iso-area methodology.
+//! budget buys in PEs per format — the Fig. 8 iso-area methodology. Every
+//! hardware artefact derives from a parsed [`SchemeSpec`].
 //!
 //! Run with: `cargo run --release --example hardware_costing`
 
 use bbal::accel::{array_for_budget, FormatSpec};
 use bbal::arith::{
-    BlockMac, GateLibrary, MacKind, PeKind, ProcessingElement, RippleCarryAdder, SparseAdder,
+    BlockMac, GateLibrary, MacKind, ProcessingElement, RippleCarryAdder, SparseAdder,
 };
-use bbal::core::{BbfpConfig, BfpConfig};
+use bbal::SchemeSpec;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lib = GateLibrary::default();
 
     println!("== The carry-chain sparse adder (paper Eqs. 13-14) ==");
@@ -26,12 +27,8 @@ fn main() {
     }
 
     println!("\n== Block MAC units (Table I) ==");
-    for kind in [
-        MacKind::Fp16,
-        MacKind::Int(8),
-        MacKind::Bfp(BfpConfig::new(6).expect("valid")),
-        MacKind::Bbfp(BbfpConfig::new(6, 3).expect("valid")),
-    ] {
+    for scheme in ["fp16", "int8", "bfp6", "bbfp:6,3"] {
+        let kind = MacKind::from_scheme(scheme.parse::<SchemeSpec>()?)?;
         let (name, area, eqw, eff) = BlockMac::new(kind, 32).table1_row(&lib);
         println!("  {name:<10} {area:>7.0} um^2, {eqw:>5.2} bits/elem, {eff:.2}x mem eff");
     }
@@ -42,19 +39,15 @@ fn main() {
     }
 
     println!("\n== What a 60,000 um^2 budget buys (Fig. 8) ==");
-    for (name, kind) in [
-        ("BBFP(3,1)", PeKind::Bbfp(3, 1)),
-        ("BFP4", PeKind::Bfp(4)),
-        ("BBFP(4,2)", PeKind::Bbfp(4, 2)),
-        ("BFP6", PeKind::Bfp(6)),
-        ("BBFP(6,3)", PeKind::Bbfp(6, 3)),
-    ] {
-        let spec = match kind {
-            PeKind::Bfp(m) => FormatSpec::bfp(m),
-            PeKind::Bbfp(m, o) => FormatSpec::bbfp(m, o),
-            _ => unreachable!("lineup is BFP/BBFP only"),
-        };
-        let (r, c) = array_for_budget(spec, 60_000.0, &lib);
-        println!("  {name:<10} -> {r:>2} x {c:<2} = {:>3} PEs", r * c);
+    for scheme in ["bbfp:3,1", "bfp4", "bbfp:4,2", "bfp6", "bbfp:6,3"] {
+        let spec: SchemeSpec = scheme.parse()?;
+        let format = FormatSpec::from_scheme(spec)?;
+        let (r, c) = array_for_budget(format, 60_000.0, &lib);
+        println!(
+            "  {:<10} -> {r:>2} x {c:<2} = {:>3} PEs",
+            spec.paper_name(),
+            r * c
+        );
     }
+    Ok(())
 }

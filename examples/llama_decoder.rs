@@ -1,42 +1,35 @@
-//! Quantised decoder inference end to end: synthesise a Llama-profile
+//! Quantised decoder inference end to end: one `SessionBuilder` call per
+//! scheme replaces the old four-crate wiring — synthesise a Llama-profile
 //! model, run it under several quantisation schemes through the same
 //! forward pass, and report the perplexity proxy and the accelerator's
 //! simulated runtime — the workload from the paper's introduction.
 //!
 //! Run with: `cargo run --release --example llama_decoder`
 
-use bbal::accel::{simulate, AcceleratorConfig};
-use bbal::arith::GateLibrary;
-use bbal::llm::graph::{decoder_ops, paper_dims};
-use bbal::llm::{evaluate_ppl, zoo, EvalSet, Fp16Hooks, TransformerModel};
-use bbal::quant::{BbfpQuantizer, BfpQuantizer};
+use bbal::{SessionBuilder, SessionError};
 
-fn main() {
-    let spec = zoo::llama_7b();
-    println!("model: {} stand-in ({} hidden x {} layers)\n", spec.name, spec.hidden, spec.layers);
+fn main() -> Result<(), SessionError> {
+    let schemes = ["fp16", "bbfp:6,3", "bbfp:4,2", "bbfp:3,1", "bfp6", "bfp4"];
 
-    let model = TransformerModel::synthesize(&spec);
-    let eval = EvalSet::generate(&spec, 2, 24, 42);
-
+    println!("model: Llama-7B stand-in\n");
     println!("{:<12} {:>8} {:>10}", "scheme", "PPL", "KL (nats)");
-    let fp16 = evaluate_ppl(&model, &Fp16Hooks, &eval);
-    println!("{:<12} {:>8.2} {:>10.5}", fp16.scheme, fp16.ppl, fp16.kl);
-    for (m, o) in [(6u8, 3u8), (4, 2), (3, 1)] {
-        let q = BbfpQuantizer::new(m, o).expect("valid config");
-        let r = evaluate_ppl(&model, &q, &eval);
-        println!("{:<12} {:>8.2} {:>10.5}", r.scheme, r.ppl, r.kl);
-    }
-    for m in [6u8, 4] {
-        let q = BfpQuantizer::new(m).expect("valid width");
-        let r = evaluate_ppl(&model, &q, &eval);
+    for scheme in schemes {
+        let session = SessionBuilder::new()
+            .model("Llama-7B")
+            .scheme(scheme)
+            .eval_set(2, 24, 42)
+            .build()?;
+        let r = session.evaluate();
         println!("{:<12} {:>8.2} {:>10.5}", r.scheme, r.ppl, r.kl);
     }
 
     // The same decoder on the BBAL accelerator, at true Llama-7B shapes.
-    let lib = GateLibrary::default();
-    let cfg = AcceleratorConfig::bbal_paper();
-    let dims = paper_dims("Llama-7B").expect("known model");
-    let report = simulate(&cfg, &decoder_ops(&dims, 512), &lib);
+    let session = SessionBuilder::new()
+        .model("Llama-7B")
+        .scheme("bbfp:4,2")
+        .build()?;
+    let report = session.simulate_prefill(512)?;
+    let cfg = session.accelerator_config()?;
     println!(
         "\nBBAL 16x16 @1GHz, Llama-7B prefill of 512 tokens: {:.1} ms \
          ({} GMACs, {:.1}% nonlinear, {:.1} mJ)",
@@ -45,4 +38,5 @@ fn main() {
         100.0 * report.nonlinear_fraction(),
         report.energy.total_pj() / 1.0e9,
     );
+    Ok(())
 }

@@ -4,18 +4,35 @@
 //!
 //! Run with: `cargo run --release --example nonlinear_softmax`
 
+use bbal::core::ExponentPolicy;
 use bbal::llm::ops;
 use bbal::nonlinear::{NonlinearUnit, NonlinearUnitConfig};
+use bbal::SchemeSpec;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Attention-score-like rows: wide dynamic range, winners near the max.
     let row: Vec<f32> = (0..32).map(|i| ((i * 29) % 83) as f32 * -0.45).collect();
 
     let mut exact = row.clone();
     ops::softmax_in_place(&mut exact);
 
-    let mut bbfp_unit = NonlinearUnit::new(NonlinearUnitConfig::paper());
-    let mut bfp_unit = NonlinearUnit::new(NonlinearUnitConfig::bfp10());
+    // The unit's datapath format comes from a scheme string; the BFP10
+    // comparison row is the same widths under maximum alignment.
+    let format = "bbfp:10,5"
+        .parse::<SchemeSpec>()?
+        .bbfp_config()?
+        .expect("bbfp scheme");
+    let bbfp_cfg = NonlinearUnitConfig {
+        format,
+        policy: ExponentPolicy::paper_default(format),
+        ..NonlinearUnitConfig::paper()
+    };
+    let bfp_cfg = NonlinearUnitConfig {
+        policy: ExponentPolicy::Max,
+        ..bbfp_cfg
+    };
+    let mut bbfp_unit = NonlinearUnit::new(bbfp_cfg);
+    let mut bfp_unit = NonlinearUnit::new(bfp_cfg);
 
     let mut bbfp_row = row.clone();
     bbfp_unit.softmax_row(&mut bbfp_row);
@@ -29,7 +46,10 @@ fn main() {
             .fold(0.0f32, f32::max)
     };
     println!("softmax over a 32-wide score row:");
-    println!("  BBFP(10,5) LUT unit max |err| = {:.5}", max_err(&bbfp_row));
+    println!(
+        "  BBFP(10,5) LUT unit max |err| = {:.5}",
+        max_err(&bbfp_row)
+    );
     println!("  BFP10      LUT unit max |err| = {:.5}", max_err(&bfp_row));
     println!("  (max-alignment crushes the near-zero inputs that win the softmax)");
 
@@ -55,4 +75,5 @@ fn main() {
         cost.edp(),
         bbfp_unit.config().lanes,
     );
+    Ok(())
 }

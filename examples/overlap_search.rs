@@ -1,28 +1,32 @@
 //! Algorithm 1 in action: pick the overlap width for a BBFP(6,o) family
 //! by trading model accuracy against MAC-unit area, for several overhead
-//! weights `w` (the paper's Fig. 4 knob).
+//! weights `w` (the paper's Fig. 4 knob). Each candidate is one session.
 //!
 //! Run with: `cargo run --release --example overlap_search`
 
 use bbal::arith::{BlockMac, GateLibrary, MacKind};
-use bbal::core::{select_overlap_width, BbfpConfig};
-use bbal::llm::{evaluate_ppl, zoo, EvalSet, TransformerModel};
-use bbal::quant::BbfpQuantizer;
+use bbal::core::select_overlap_width;
+use bbal::{SchemeSpec, SessionBuilder};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lib = GateLibrary::default();
-    let spec = zoo::llama_7b();
-    let model = TransformerModel::synthesize(&spec);
-    let eval = EvalSet::generate(&spec, 2, 24, 7);
 
     // Evaluate each candidate once (Algorithm 1 lines 2-5).
     let mut ppl = Vec::new();
     let mut overhead = Vec::new();
     for o in 0..6u8 {
-        let q = BbfpQuantizer::new(6, o).expect("valid config");
-        ppl.push(evaluate_ppl(&model, &q, &eval).ppl);
-        let cfg = BbfpConfig::new(6, o).expect("valid config");
-        overhead.push(BlockMac::new(MacKind::Bbfp(cfg), 32).cost(&lib).area_um2);
+        let scheme = SchemeSpec::Bbfp(6, o);
+        let session = SessionBuilder::new()
+            .model("Llama-7B")
+            .scheme_spec(scheme)
+            .eval_set(2, 24, 7)
+            .build()?;
+        ppl.push(session.evaluate().ppl);
+        overhead.push(
+            BlockMac::new(MacKind::from_scheme(scheme)?, 32)
+                .cost(&lib)
+                .area_um2,
+        );
         println!(
             "BBFP(6,{o}): PPL = {:.3}, MAC area = {:.0} um^2",
             ppl[o as usize], overhead[o as usize]
@@ -31,8 +35,8 @@ fn main() {
 
     println!("\nw (overhead weight) -> selected overlap");
     for w in [0.0, 0.25, 0.5, 0.75, 1.0] {
-        let result = select_overlap_width(6, w, |o| ppl[o as usize], |o| overhead[o as usize])
-            .expect("valid mantissa width");
+        let result = select_overlap_width(6, w, |o| ppl[o as usize], |o| overhead[o as usize])?;
         println!("  w = {w:.2} -> o = {}", result.best);
     }
+    Ok(())
 }

@@ -1,12 +1,14 @@
 //! Quickstart: encode LLM-like data into BBFP, compare against BFP, and
 //! run a bit-exact fixed-point dot product — the paper's §III in thirty
-//! lines.
+//! lines. The formats are named by their [`SchemeSpec`] strings, the same
+//! identifiers `SessionBuilder` takes.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use bbal::core::{bbfp_dot, BbfpBlock, BbfpConfig, BfpBlock, BfpConfig, FormatError};
+use bbal::core::{bbfp_dot, BbfpBlock, BfpBlock};
+use bbal::SchemeSpec;
 
-fn main() -> Result<(), FormatError> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A block shaped like an LLM activation tile: a small-valued body with
     // one 40x outlier (paper Fig. 1(a)).
     let mut activations = vec![0.0f32; 32];
@@ -15,11 +17,21 @@ fn main() -> Result<(), FormatError> {
     }
     activations[5] = 6.0;
 
+    // The two formats under comparison, by scheme string.
+    let bfp_cfg = "bfp4"
+        .parse::<SchemeSpec>()?
+        .bfp_config()?
+        .expect("bfp scheme");
+    let bbfp_cfg = "bbfp:4,2"
+        .parse::<SchemeSpec>()?
+        .bbfp_config()?
+        .expect("bbfp scheme");
+
     // Vanilla BFP4: everything aligns to the outlier's exponent.
-    let bfp = BfpBlock::from_f32_slice(&activations, BfpConfig::new(4)?)?;
+    let bfp = BfpBlock::from_f32_slice(&activations, bfp_cfg)?;
     // BBFP(4,2): shared exponent sits max-(m-o) below; the outlier is
     // flagged into the high window instead (paper Eq. 9).
-    let bbfp = BbfpBlock::from_f32_slice(&activations, BbfpConfig::new(4, 2)?)?;
+    let bbfp = BbfpBlock::from_f32_slice(&activations, bbfp_cfg)?;
 
     let mse = |rec: &[f32]| -> f64 {
         activations
@@ -33,10 +45,20 @@ fn main() -> Result<(), FormatError> {
     let bbfp_rec = bbfp.to_f32_vec();
 
     println!("original[5] (outlier) = {:.3}", activations[5]);
-    println!("  BFP4  -> {:.3}   BBFP(4,2) -> {:.3}", bfp_rec[5], bbfp_rec[5]);
+    println!(
+        "  BFP4  -> {:.3}   BBFP(4,2) -> {:.3}",
+        bfp_rec[5], bbfp_rec[5]
+    );
     println!("original[2] (body)    = {:.4}", activations[2]);
-    println!("  BFP4  -> {:.4}   BBFP(4,2) -> {:.4}", bfp_rec[2], bbfp_rec[2]);
-    println!("block MSE: BFP4 = {:.6}, BBFP(4,2) = {:.6}", mse(&bfp_rec), mse(&bbfp_rec));
+    println!(
+        "  BFP4  -> {:.4}   BBFP(4,2) -> {:.4}",
+        bfp_rec[2], bbfp_rec[2]
+    );
+    println!(
+        "block MSE: BFP4 = {:.6}, BBFP(4,2) = {:.6}",
+        mse(&bfp_rec),
+        mse(&bbfp_rec)
+    );
     println!(
         "shared exponents: BFP = {}, BBFP = {} (flagged elements: {})",
         bfp.shared_exponent(),
@@ -47,7 +69,7 @@ fn main() -> Result<(), FormatError> {
     // The dot product stays fixed-point (paper Eq. 7/10): multiply
     // mantissas as integers, add the shared exponents once.
     let weights = vec![0.05f32; 32];
-    let wb = BbfpBlock::from_f32_slice(&weights, BbfpConfig::new(4, 2)?)?;
+    let wb = BbfpBlock::from_f32_slice(&weights, bbfp_cfg)?;
     let fixed = bbfp_dot(&bbfp, &wb)?;
     let reference: f64 = bbfp_rec
         .iter()

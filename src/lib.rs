@@ -7,15 +7,45 @@
 //!
 //! | Layer | Crate | Paper section |
 //! |---|---|---|
-//! | BBFP/BFP data formats | [`core`] (`bbal-core`) | §II-B, §III |
+//! | BBFP/BFP data formats, [`SchemeSpec`] | [`core`] (`bbal-core`) | §II-B, §III |
 //! | Gate-level arithmetic + area/power | [`arith`] (`bbal-arith`) | §IV-A, Tables I/III |
 //! | SRAM/DRAM/LUT memory models | [`mem`] (`bbal-mem`) | §V-A (CACTI) |
 //! | Transformer substrate + PPL proxy | [`llm`] (`bbal-llm`) | §V (WikiText2) |
-//! | Quantiser baselines | [`quant`] (`bbal-quant`) | Table II |
+//! | Quantiser baselines + lineups | [`quant`] (`bbal-quant`) | Table II |
 //! | Segmented-LUT nonlinear unit | [`nonlinear`] (`bbal-nonlinear`) | §IV-B, Tables IV/V |
 //! | Accelerator + cycle simulator | [`accel`] (`bbal-accel`) | §IV-C, Figs 1(b)/8/9 |
+//! | [`Session`]/[`SessionBuilder`] facade | [`session`] (`bbal-session`) | end-to-end (Fig. 7) |
 //!
 //! ## Quickstart
+//!
+//! One builder goes from a quantiser string to a simulated serving run:
+//!
+//! ```
+//! use bbal::{SessionBuilder, SchemeSpec};
+//!
+//! let mut session = SessionBuilder::new()
+//!     .model("Tiny")          // zoo name; "Llama-7B", "OPT-13B", ...
+//!     .scheme("bbfp:4,2")     // parsed + validated, no panicking paths
+//!     .build()?;
+//!
+//! assert_eq!(session.scheme(), SchemeSpec::Bbfp(4, 2));
+//!
+//! // Serving: quantise weights once, prefill a prompt, decode tokens
+//! // with the owned KV cache.
+//! session.prefill(&[1, 2, 3])?;
+//! let logits = session.decode_step(4)?;
+//! assert_eq!(logits.len(), session.model_spec().vocab);
+//!
+//! // Accuracy (Table II proxy) and hardware cost (Fig. 1(b)/9) from
+//! // the same object.
+//! let ppl = session.evaluate();
+//! assert!(ppl.ppl >= session.model_spec().anchor_ppl * 0.99);
+//! let sim = session.simulate_prefill(64)?;
+//! assert!(sim.total_cycles() > 0);
+//! # Ok::<(), bbal::SessionError>(())
+//! ```
+//!
+//! The format layer remains directly accessible for bit-level work:
 //!
 //! ```
 //! use bbal::core::{BbfpBlock, BbfpConfig};
@@ -46,3 +76,7 @@ pub use bbal_llm as llm;
 pub use bbal_mem as mem;
 pub use bbal_nonlinear as nonlinear;
 pub use bbal_quant as quant;
+pub use bbal_session as session;
+
+pub use bbal_core::{SchemeError, SchemeSpec};
+pub use bbal_session::{Session, SessionBuilder, SessionError};

@@ -1,15 +1,14 @@
 //! The paper's headline quantitative claims, asserted end to end against
 //! the reproduction stack (shape, not absolute numbers — see DESIGN.md).
 
-use bbal::accel::{iso_area_sweep, FormatSpec};
-use bbal::arith::{
-    BlockMac, GateLibrary, MacKind, PeKind, ProcessingElement, SparseAdder,
-};
+use bbal::accel::iso_area_sweep;
+use bbal::arith::{BlockMac, GateLibrary, MacKind, PeKind, ProcessingElement, SparseAdder};
 use bbal::core::{BbfpConfig, BfpConfig};
 use bbal::llm::graph::{decoder_ops, paper_dims, Op};
 use bbal::nonlinear::{
     ours_table5_row, HighPrecisionSoftmaxUnit, NonlinearUnit, NonlinearUnitConfig,
 };
+use bbal::SchemeSpec;
 
 #[test]
 fn claim_carry_chain_saves_about_15_percent() {
@@ -36,7 +35,11 @@ fn claim_bbfp63_dominates_bfp8() {
 fn claim_table3_pe_ordering() {
     // Table III's normalised ordering, end to end through the facade.
     let lib = GateLibrary::default();
-    let area = |k: PeKind| ProcessingElement::with_exponent_adder(k).cost(&lib).area_um2;
+    let area = |k: PeKind| {
+        ProcessingElement::with_exponent_adder(k)
+            .cost(&lib)
+            .area_um2
+    };
     assert!(area(PeKind::Bbfp(3, 2)) < area(PeKind::Bbfp(3, 1)));
     assert!(area(PeKind::Oltron) < area(PeKind::Bfp(4)));
     assert!(area(PeKind::Bfp(4)) < area(PeKind::Bbfp(4, 2)));
@@ -52,16 +55,22 @@ fn claim_fig8_throughput_shape() {
     let lib = GateLibrary::default();
     let dims = paper_dims("Llama-7B").unwrap();
     let workload: Vec<Op> = decoder_ops(&dims, 128);
-    let methods = [
-        ("BFP4", FormatSpec::bfp(4)),
-        ("BBFP(3,1)", FormatSpec::bbfp(3, 1)),
-        ("Oltron", FormatSpec::oltron()),
-        ("BBFP(4,2)", FormatSpec::bbfp(4, 2)),
+    let schemes = [
+        SchemeSpec::Bfp(4),
+        SchemeSpec::Bbfp(3, 1),
+        SchemeSpec::Oltron,
+        SchemeSpec::Bbfp(4, 2),
     ];
-    let pts = iso_area_sweep(&methods, 60_000.0, &workload, &lib);
+    let pts = iso_area_sweep(&schemes, 60_000.0, &workload, &lib).unwrap();
     let tp = |n: &str| pts.iter().find(|p| p.name == n).unwrap().throughput_gmacs;
-    assert!(tp("BBFP(3,1)") > 1.1 * tp("BFP4"), "3-bit BBFP should outrun BFP4");
-    assert!(tp("BBFP(4,2)") < 0.9 * tp("Oltron"), "4-bit BBFP trades throughput");
+    assert!(
+        tp("BBFP(3,1)") > 1.1 * tp("BFP4"),
+        "3-bit BBFP should outrun BFP4"
+    );
+    assert!(
+        tp("BBFP(4,2)") < 0.9 * tp("Oltron"),
+        "4-bit BBFP trades throughput"
+    );
 }
 
 #[test]
@@ -84,16 +93,16 @@ fn claim_bfp10_softmax_blowup() {
     let mut total_bbfp = 0.0f32;
     let mut total_bfp = 0.0f32;
     for r in 0..8 {
-        let row: Vec<f32> = (0..48).map(|i| ((i * 13 + r * 11) % 89) as f32 * -0.5).collect();
+        let row: Vec<f32> = (0..48)
+            .map(|i| ((i * 13 + r * 11) % 89) as f32 * -0.5)
+            .collect();
         let mut exact = row.clone();
         bbal::llm::ops::softmax_in_place(&mut exact);
         let mut a = row.clone();
         bbfp.softmax_row(&mut a);
         let mut b = row.clone();
         bfp.softmax_row(&mut b);
-        let err = |g: &[f32]| -> f32 {
-            g.iter().zip(&exact).map(|(x, y)| (x - y).abs()).sum()
-        };
+        let err = |g: &[f32]| -> f32 { g.iter().zip(&exact).map(|(x, y)| (x - y).abs()).sum() };
         total_bbfp += err(&a);
         total_bfp += err(&b);
     }
@@ -107,8 +116,20 @@ fn claim_bfp10_softmax_blowup() {
 fn claim_memory_efficiencies_match_table1_exactly() {
     // These are analytic, so they must match the paper to two decimals.
     let close = |a: f64, b: f64| (a - b).abs() < 0.005;
-    assert!(close(BfpConfig::new(8).unwrap().cost().memory_efficiency, 1.747));
-    assert!(close(BfpConfig::new(6).unwrap().cost().memory_efficiency, 2.236));
-    assert!(close(BbfpConfig::new(8, 4).unwrap().cost().memory_efficiency, 1.575));
-    assert!(close(BbfpConfig::new(6, 3).unwrap().cost().memory_efficiency, 1.962));
+    assert!(close(
+        BfpConfig::new(8).unwrap().cost().memory_efficiency,
+        1.747
+    ));
+    assert!(close(
+        BfpConfig::new(6).unwrap().cost().memory_efficiency,
+        2.236
+    ));
+    assert!(close(
+        BbfpConfig::new(8, 4).unwrap().cost().memory_efficiency,
+        1.575
+    ));
+    assert!(close(
+        BbfpConfig::new(6, 3).unwrap().cost().memory_efficiency,
+        1.962
+    ));
 }

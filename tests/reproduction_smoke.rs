@@ -21,10 +21,13 @@ fn fast_experiments_produce_output() {
 
 #[test]
 fn experiment_registry_covers_all_paper_artifacts() {
-    let names: Vec<&str> = bbal_bench::experiments::all().iter().map(|(n, _)| *n).collect();
+    let names: Vec<&str> = bbal_bench::experiments::all()
+        .iter()
+        .map(|(n, _)| *n)
+        .collect();
     for expected in [
-        "fig1a", "fig1b", "fig3", "fig4", "table1", "table2", "table3", "table4", "table5",
-        "fig8", "fig9",
+        "fig1a", "fig1b", "fig3", "fig4", "table1", "table2", "table3", "table4", "table5", "fig8",
+        "fig9",
     ] {
         assert!(names.contains(&expected), "missing {expected}");
     }

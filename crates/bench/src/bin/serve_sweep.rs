@@ -1,0 +1,6 @@
+//! Runs the serving sweep (see `bbal_bench::experiments::serve_sweep`).
+
+fn main() -> std::io::Result<()> {
+    let mut out = std::io::stdout().lock();
+    bbal_bench::experiments::serve_sweep::run(&mut out)
+}

@@ -7,6 +7,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig8;
 pub mod fig9;
+pub mod serve_sweep;
 pub mod table1;
 pub mod table2;
 pub mod table3;
@@ -32,5 +33,6 @@ pub fn all() -> Vec<(&'static str, Experiment)> {
         ("table5", table5::run as Experiment),
         ("fig8", fig8::run as Experiment),
         ("fig9", fig9::run as Experiment),
+        ("serve_sweep", serve_sweep::run as Experiment),
     ]
 }

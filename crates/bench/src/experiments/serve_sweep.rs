@@ -1,0 +1,157 @@
+//! Serving sweep (beyond the paper): aggregate throughput and latency of
+//! the `bbal-serve` continuous-batching runtime versus the batch budget,
+//! on a fixed multi-user trace.
+//!
+//! The paper's Tables IV/V report the accelerator one request at a time;
+//! this sweep shows what the same accelerator does under heavy traffic.
+//! Every batch budget serves the *same* trace, so per-request outputs
+//! must be bit-identical across the sweep — the "identical" column
+//! asserts it against the sequential (batch 1) baseline.
+
+use crate::util::{fmt2, print_table, to_io};
+use bbal_core::SchemeSpec;
+use bbal_serve::{GenerateRequest, ServeConfig, ServeReport, ServeRuntime};
+use bbal_session::SessionBuilder;
+use std::io::{self, Write};
+
+const MODEL: &str = "Llama-7B";
+const REQUESTS: usize = 24;
+const MAX_NEW: usize = 16;
+const ARRIVAL_SPACING: u64 = 5_000_000;
+const BATCHES: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// A deterministic multi-user trace: varying prompt lengths, staggered
+/// arrivals, schemes assigned round-robin from `schemes`.
+fn trace(schemes: &[SchemeSpec]) -> Vec<GenerateRequest> {
+    (0..REQUESTS)
+        .map(|i| {
+            let len = 8 + (i * 5) % 16;
+            let prompt: Vec<usize> = (0..len).map(|t| (13 * i + 7 * t + 3) % 256).collect();
+            GenerateRequest::new(prompt, MAX_NEW)
+                .scheme(schemes[i % schemes.len()])
+                .arriving_at(i as u64 * ARRIVAL_SPACING)
+        })
+        .collect()
+}
+
+fn serve(schemes: &[SchemeSpec], batch: usize) -> io::Result<ServeReport> {
+    let template = SessionBuilder::new().model(MODEL).scheme("bbfp:4,2");
+    let config = ServeConfig {
+        max_batch: batch,
+        prefill_chunk: 16,
+        workers: 2,
+    };
+    let mut runtime = ServeRuntime::new(template, config).map_err(to_io)?;
+    runtime.serve(&trace(schemes)).map_err(to_io)
+}
+
+/// Runs the sweep and prints the scheme × batch-size table.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer and serving errors as
+/// `InvalidInput`.
+pub fn run(w: &mut dyn Write) -> io::Result<()> {
+    writeln!(
+        w,
+        "Serving sweep (beyond the paper): continuous batching on the {MODEL} stand-in"
+    )?;
+    writeln!(
+        w,
+        "trace: {REQUESTS} requests, prompts 8..24 tokens, {MAX_NEW} new tokens each,"
+    )?;
+    writeln!(
+        w,
+        "arrivals every {ARRIVAL_SPACING} cycles; 16x16 PE array @ 1 GHz, prefill chunk 16\n"
+    )?;
+
+    let lineups: [(&str, Vec<SchemeSpec>); 3] = [
+        ("bbfp:4,2", vec![SchemeSpec::BBAL_PAPER]),
+        ("bfp4", vec![SchemeSpec::Bfp(4)]),
+        (
+            "mixed",
+            vec![
+                SchemeSpec::BBAL_PAPER,
+                SchemeSpec::Bfp(4),
+                SchemeSpec::Oltron,
+            ],
+        ),
+    ];
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut bbal_batch8_speedup = 0.0;
+    let mut all_identical = true;
+    for (label, schemes) in &lineups {
+        let mut baseline: Option<ServeReport> = None;
+        for batch in BATCHES {
+            let report = serve(schemes, batch)?;
+            let base = baseline.get_or_insert_with(|| report.clone());
+            let identical = base
+                .requests
+                .iter()
+                .zip(&report.requests)
+                .all(|(a, b)| a.tokens == b.tokens);
+            all_identical &= identical;
+            let speedup = report.sim_tokens_per_s() / base.sim_tokens_per_s();
+            if *label == "bbfp:4,2" && batch == 8 {
+                bbal_batch8_speedup = speedup;
+            }
+            rows.push(vec![
+                (*label).to_owned(),
+                batch.to_string(),
+                fmt2(report.sim_tokens_per_s()),
+                format!("{speedup:.2}x"),
+                fmt2(report.mean_ttft_ms()),
+                fmt2(report.mean_tpot_ms()),
+                fmt2(report.mean_batch_occupancy()),
+                format!("{:.1}", report.total_cycles as f64 / 1.0e9),
+                if identical { "yes" } else { "NO" }.to_owned(),
+            ]);
+        }
+    }
+
+    print_table(
+        w,
+        &[
+            "scheme",
+            "batch",
+            "tok/s (sim)",
+            "speedup",
+            "TTFT ms",
+            "TPOT ms",
+            "occupancy",
+            "Gcycles",
+            "identical",
+        ],
+        &rows,
+    )?;
+    writeln!(w)?;
+    writeln!(
+        w,
+        "bbfp:4,2 @ batch 8: {bbal_batch8_speedup:.2}x aggregate tokens/s vs sequential"
+    )?;
+    writeln!(
+        w,
+        "per-request outputs bit-identical to sequential across the sweep: {}",
+        if all_identical { "yes" } else { "NO" }
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch8_doubles_throughput_with_identical_outputs() {
+        // The PR's acceptance gate, on the BBAL scheme.
+        let schemes = [SchemeSpec::BBAL_PAPER];
+        let seq = serve(&schemes, 1).unwrap();
+        let batched = serve(&schemes, 8).unwrap();
+        for (a, b) in seq.requests.iter().zip(&batched.requests) {
+            assert_eq!(a.tokens, b.tokens, "request {} diverged", a.id);
+        }
+        let speedup = batched.sim_tokens_per_s() / seq.sim_tokens_per_s();
+        assert!(speedup >= 2.0, "batch-8 speedup only {speedup:.2}x");
+    }
+}

@@ -34,7 +34,7 @@
 //! assert!(mse < 0.05);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod analysis;

@@ -57,7 +57,7 @@ const MAX_MANTISSA_BITS: u8 = 10;
 /// `const` data; use [`SchemeSpec::validate`] (or just parse from a
 /// string, which validates) before deriving configurations from
 /// runtime-constructed values.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum SchemeSpec {
     /// Exact `f32` — the "no quantisation" reference row.
     Fp32,
@@ -285,6 +285,24 @@ fn parse_width(scheme: &'static str, s: &str) -> Result<u8, SchemeError> {
 impl FromStr for SchemeSpec {
     type Err = SchemeError;
 
+    /// Parses a scheme identifier string.
+    ///
+    /// Accepted forms: `"fp32"`, `"fp16"`, `"int8"`, `"bfp4"`,
+    /// `"bbfp:4,2"` (also `"bbfp(4,2)"` / `"bbfp4,2"`), `"olive"`,
+    /// `"oltron"`, `"omniquant"`. Parsing validates the width
+    /// parameters and round-trips through [`fmt::Display`]:
+    ///
+    /// ```
+    /// use bbal_core::{SchemeSpec, SchemeError};
+    ///
+    /// let scheme: SchemeSpec = "bbfp:4,2".parse()?;
+    /// assert_eq!(scheme, SchemeSpec::Bbfp(4, 2));
+    /// assert_eq!(scheme.to_string().parse::<SchemeSpec>()?, scheme);
+    ///
+    /// // Invalid widths are typed errors, not panics.
+    /// assert!("bbfp:4,7".parse::<SchemeSpec>().is_err());
+    /// # Ok::<(), SchemeError>(())
+    /// ```
     fn from_str(s: &str) -> Result<SchemeSpec, SchemeError> {
         let trimmed = s.trim();
         if trimmed.is_empty() {

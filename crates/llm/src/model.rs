@@ -324,22 +324,7 @@ impl TransformerModel {
         cache: &mut KvCache,
     ) -> Tensor {
         assert!(cache.is_empty(), "prefill needs an empty cache");
-        self.check_cache(cache);
-        let logits = self.forward_with(tokens, hooks, Some(cache));
-        cache.len = tokens.len();
-        logits
-    }
-
-    /// Runs the decoder over a token sequence, returning `[seq, vocab]`
-    /// logits. Activation transforms and nonlinear hooks are applied at
-    /// every layer; weight transforms are *not* (call
-    /// [`TransformerModel::with_transformed_weights`] first).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `tokens` is empty or contains an id outside the vocab.
-    pub fn forward(&self, tokens: &[usize], hooks: &impl InferenceHooks) -> Tensor {
-        self.forward_with(tokens, hooks, None)
+        self.prefill_chunk(tokens, hooks, cache)
     }
 
     fn check_cache(&self, cache: &KvCache) {
@@ -354,12 +339,15 @@ impl TransformerModel {
         );
     }
 
-    fn forward_with(
-        &self,
-        tokens: &[usize],
-        hooks: &impl InferenceHooks,
-        mut cache: Option<&mut KvCache>,
-    ) -> Tensor {
+    /// Runs the decoder over a token sequence, returning `[seq, vocab]`
+    /// logits. Activation transforms and nonlinear hooks are applied at
+    /// every layer; weight transforms are *not* (call
+    /// [`TransformerModel::with_transformed_weights`] first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is empty or contains an id outside the vocab.
+    pub fn forward(&self, tokens: &[usize], hooks: &impl InferenceHooks) -> Tensor {
         assert!(!tokens.is_empty(), "empty token sequence");
         let h = self.spec.hidden;
         let seq = tokens.len();
@@ -375,18 +363,13 @@ impl TransformerModel {
         let dh = self.spec.head_dim();
         let scale = 1.0 / (dh as f32).sqrt();
 
-        for (li, layer) in self.layers.iter().enumerate() {
+        for layer in &self.layers {
             // --- Attention block ---
             let mut a = self.normalise(&x);
             hooks.transform_activations(a.data_mut());
             let q = a.matmul(&layer.wq);
             let k = a.matmul(&layer.wk);
             let v = a.matmul(&layer.wv);
-            if let Some(cache) = cache.as_deref_mut() {
-                for r in 0..seq {
-                    cache.push_layer_row(li, k.row(r), v.row(r));
-                }
-            }
 
             let mut ctx = Tensor::zeros(seq, h);
             for head in 0..heads {
@@ -440,37 +423,47 @@ impl TransformerModel {
         final_norm.matmul(&self.unembedding)
     }
 
-    /// One autoregressive decode step: processes `token` against the
-    /// cached keys/values, appends its own KV rows, and returns the
-    /// next-token logits (`vocab` long).
+    /// Processes a *chunk* of tokens against a (possibly non-empty) KV
+    /// cache, appending their KV rows and returning the chunk's
+    /// `[chunk, vocab]` logits — the chunked-prefill primitive of
+    /// continuous batching: the `O(hidden²)` projections and the FFN run
+    /// as one batched GEMM over the chunk, while each row attends
+    /// causally over the cache (`past + i + 1` keys for chunk row `i`).
     ///
-    /// The per-token work is `O(hidden² + len·hidden)` — the full
-    /// re-forward this replaces is `O(len·hidden² + len²·hidden)`. For
-    /// hooks whose activation transform is block-local (FP16, INT, BFP,
-    /// BBFP with the default 32-wide blocks), the logits are
-    /// bit-identical to re-running [`TransformerModel::forward`] over the
-    /// whole sequence.
+    /// This is the one decoder implementation behind the whole serving
+    /// path: [`TransformerModel::prefill`] is the empty-cache case and
+    /// [`TransformerModel::decode_step`] the single-token case. Because
+    /// every linear operator is row-independent and the attention dot
+    /// products accumulate in the same order as
+    /// [`TransformerModel::forward`]'s score matmuls, the logits are
+    /// bit-identical to re-running `forward` over the whole sequence for
+    /// hooks whose activation transform is block-local — so any chunking
+    /// of a prompt yields the same tokens.
     ///
     /// # Panics
     ///
-    /// Panics if the cache was built for a different geometry or the
-    /// token is out of vocab.
-    pub fn decode_step(
+    /// Panics if the cache was built for a different geometry, `tokens`
+    /// is empty, or a token is out of vocab.
+    pub fn prefill_chunk(
         &self,
-        token: usize,
+        tokens: &[usize],
         hooks: &impl InferenceHooks,
         cache: &mut KvCache,
-    ) -> Vec<f32> {
+    ) -> Tensor {
         self.check_cache(cache);
-        assert!(token < self.spec.vocab, "token id {token} out of vocab");
+        assert!(!tokens.is_empty(), "empty token sequence");
         let h = self.spec.hidden;
+        let new = tokens.len();
+        let past = cache.len;
         let heads = self.spec.heads;
         let dh = self.spec.head_dim();
         let scale = 1.0 / (dh as f32).sqrt();
-        let len = cache.len + 1; // includes the new token
 
-        let mut x = Tensor::zeros(1, h);
-        x.row_mut(0).copy_from_slice(self.embedding.row(token));
+        let mut x = Tensor::zeros(new, h);
+        for (i, &t) in tokens.iter().enumerate() {
+            assert!(t < self.spec.vocab, "token id {t} out of vocab");
+            x.row_mut(i).copy_from_slice(self.embedding.row(t));
+        }
 
         for (li, layer) in self.layers.iter().enumerate() {
             // --- Attention block ---
@@ -479,30 +472,34 @@ impl TransformerModel {
             let q = a.matmul(&layer.wq);
             let k = a.matmul(&layer.wk);
             let v = a.matmul(&layer.wv);
-            cache.push_layer_row(li, k.row(0), v.row(0));
+            for r in 0..new {
+                cache.push_layer_row(li, k.row(r), v.row(r));
+            }
 
             let lk = &cache.layers[li];
-            let mut ctx = Tensor::zeros(1, h);
+            let mut ctx = Tensor::zeros(new, h);
             for head in 0..heads {
                 let c0 = head * dh;
-                // Scores of the new query over the whole cache (the
-                // causal mask admits everything up to and including the
-                // new token).
-                let mut scores = vec![0.0f32; len];
-                for (j, s) in scores.iter_mut().enumerate() {
-                    let k_row = &lk.k[j * h + c0..j * h + c0 + dh];
-                    let mut acc = 0.0f32;
-                    for (qv, kv) in q.row(0)[c0..c0 + dh].iter().zip(k_row) {
-                        acc += qv * kv;
+                for i in 0..new {
+                    // Row i attends over the cache up to and including
+                    // itself — same dot-loop order as decode_step.
+                    let span = past + i + 1;
+                    let mut scores = vec![0.0f32; span];
+                    for (j, s) in scores.iter_mut().enumerate() {
+                        let k_row = &lk.k[j * h + c0..j * h + c0 + dh];
+                        let mut acc = 0.0f32;
+                        for (qv, kv) in q.row(i)[c0..c0 + dh].iter().zip(k_row) {
+                            acc += qv * kv;
+                        }
+                        *s = acc * scale;
                     }
-                    *s = acc * scale;
-                }
-                hooks.softmax_row(&mut scores);
-                let ctx_row = ctx.row_mut(0);
-                for (j, p) in scores.iter().enumerate() {
-                    let v_row = &lk.v[j * h + c0..j * h + c0 + dh];
-                    for (d, vv) in v_row.iter().enumerate() {
-                        ctx_row[c0 + d] += p * vv;
+                    hooks.softmax_row(&mut scores);
+                    let ctx_row = ctx.row_mut(i);
+                    for (j, p) in scores.iter().enumerate() {
+                        let v_row = &lk.v[j * h + c0..j * h + c0 + dh];
+                        for (d, vv) in v_row.iter().enumerate() {
+                            ctx_row[c0 + d] += p * vv;
+                        }
                     }
                 }
             }
@@ -531,10 +528,34 @@ impl TransformerModel {
             };
             x.add_assign(&ffn_out);
         }
-        cache.len = len;
+        cache.len = past + new;
 
         let final_norm = self.normalise(&x);
-        final_norm.matmul(&self.unembedding).row(0).to_vec()
+        final_norm.matmul(&self.unembedding)
+    }
+
+    /// One autoregressive decode step: processes `token` against the
+    /// cached keys/values, appends its own KV rows, and returns the
+    /// next-token logits (`vocab` long).
+    ///
+    /// The per-token work is `O(hidden² + len·hidden)` — the full
+    /// re-forward this replaces is `O(len·hidden² + len²·hidden)`. For
+    /// hooks whose activation transform is block-local (FP16, INT, BFP,
+    /// BBFP with the default 32-wide blocks), the logits are
+    /// bit-identical to re-running [`TransformerModel::forward`] over the
+    /// whole sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache was built for a different geometry or the
+    /// token is out of vocab.
+    pub fn decode_step(
+        &self,
+        token: usize,
+        hooks: &impl InferenceHooks,
+        cache: &mut KvCache,
+    ) -> Vec<f32> {
+        self.prefill_chunk(&[token], hooks, cache).row(0).to_vec()
     }
 }
 
@@ -678,6 +699,56 @@ mod tests {
         let step = model.decode_step(9, &ExactHooks, &mut cache);
         let full = model.forward(&[9], &ExactHooks);
         assert_eq!(step.as_slice(), full.row(0));
+    }
+
+    #[test]
+    fn prefill_chunk_matches_token_by_token_decode() {
+        // The batched chunk primitive must be bit-identical to feeding
+        // the same tokens through decode_step one at a time.
+        let model = TransformerModel::synthesize(&tiny_test_model());
+        let mut chunked = model.kv_cache();
+        model.prefill(&[2, 4], &ExactHooks, &mut chunked);
+        let chunk = [6usize, 8, 10];
+        let logits = model.prefill_chunk(&chunk, &ExactHooks, &mut chunked);
+        assert_eq!(logits.rows(), 3);
+        assert_eq!(chunked.len(), 5);
+
+        let mut stepped = model.kv_cache();
+        model.prefill(&[2, 4], &ExactHooks, &mut stepped);
+        for (i, &t) in chunk.iter().enumerate() {
+            let step = model.decode_step(t, &ExactHooks, &mut stepped);
+            assert_eq!(logits.row(i), step.as_slice(), "chunk row {i}");
+        }
+    }
+
+    #[test]
+    fn chunked_serving_matches_forward_under_quantising_hooks() {
+        // The serving path (prefill + chunks + decode steps) must agree
+        // with a full re-forward bit for bit under a non-trivial hook
+        // set, not just ExactHooks.
+        use crate::hooks::Fp16Hooks;
+        let model = TransformerModel::synthesize(&tiny_test_model());
+        let seq = [3usize, 7, 1, 4, 8, 2, 6];
+        let mut cache = model.kv_cache();
+        model.prefill(&seq[..2], &Fp16Hooks, &mut cache);
+        model.prefill_chunk(&seq[2..5], &Fp16Hooks, &mut cache);
+        let last = model.decode_step(seq[5], &Fp16Hooks, &mut cache);
+        let step = model.decode_step(seq[6], &Fp16Hooks, &mut cache);
+        let full = model.forward(&seq, &Fp16Hooks);
+        assert_eq!(last.as_slice(), full.row(5));
+        assert_eq!(step.as_slice(), full.row(6));
+        assert_eq!(cache.len(), seq.len());
+    }
+
+    #[test]
+    fn prefill_chunk_from_empty_cache_matches_forward() {
+        let model = TransformerModel::synthesize(&tiny_test_model());
+        let tokens = [1usize, 5, 9, 2];
+        let mut cache = model.kv_cache();
+        let chunk = model.prefill_chunk(&tokens, &ExactHooks, &mut cache);
+        let full = model.forward(&tokens, &ExactHooks);
+        assert_eq!(chunk.data(), full.data());
+        assert_eq!(cache.len(), tokens.len());
     }
 
     #[test]

@@ -72,11 +72,14 @@ const _: () = {
 
 /// Derives the [`InferenceHooks`] implementation for a scheme.
 ///
+/// The box is `Send` so a session owning it can move across worker
+/// threads (the `bbal-serve` runtime relies on this).
+///
 /// # Errors
 ///
 /// Propagates the scheme's [`SchemeError`] if its width parameters are
 /// invalid (every parsed `SchemeSpec` is already valid).
-pub fn hooks_for(scheme: SchemeSpec) -> Result<Box<dyn InferenceHooks>, SchemeError> {
+pub fn hooks_for(scheme: SchemeSpec) -> Result<Box<dyn InferenceHooks + Send>, SchemeError> {
     scheme.validate()?;
     Ok(match scheme {
         SchemeSpec::Fp32 => Box::new(ExactHooks),
@@ -97,7 +100,7 @@ pub struct Method {
     /// Row/column label used by the paper.
     pub name: String,
     /// The hook set implementing it.
-    pub hooks: Box<dyn InferenceHooks>,
+    pub hooks: Box<dyn InferenceHooks + Send>,
 }
 
 impl std::fmt::Debug for Method {

@@ -1,0 +1,227 @@
+//! The batched-tick cost model: fusing one scheduler tick's work into
+//! an operator list for the cycle simulator.
+//!
+//! Continuous batching on a weight-stationary accelerator works because
+//! the *linear* layers of every co-scheduled request share weights: one
+//! tick's token rows — prefill chunks and single decode tokens alike —
+//! concatenate into one `[m_total × k]` activation matrix per
+//! projection/FFN GEMM, so the weight tiles stream from DRAM once per
+//! tick instead of once per request (ORCA-style selective batching).
+//! Attention cannot fuse that way: its operands are per-request KV
+//! state, so score/softmax/context are emitted per request.
+
+use bbal_llm::graph::{GemmKind, Op, PaperDims};
+
+/// One request's unit of work inside a scheduler tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TickWork {
+    /// A prefill chunk: `new` prompt tokens entering a sequence that
+    /// already has `past` tokens of KV state.
+    Prefill {
+        /// Tokens processed this tick.
+        new: usize,
+        /// Tokens already in the KV cache.
+        past: usize,
+    },
+    /// One decode step attending over `kv_len` tokens (the cached
+    /// context *including* the new token).
+    Decode {
+        /// Attention span of the step.
+        kv_len: usize,
+    },
+}
+
+impl TickWork {
+    /// Token rows this work item contributes to the fused linear GEMMs.
+    pub fn rows(&self) -> usize {
+        match *self {
+            TickWork::Prefill { new, .. } => new,
+            TickWork::Decode { .. } => 1,
+        }
+    }
+
+    /// Attention span: keys attended by this item's last token.
+    fn attn_span(&self) -> usize {
+        match *self {
+            TickWork::Prefill { new, past } => past + new,
+            TickWork::Decode { kv_len } => kv_len,
+        }
+    }
+}
+
+/// Emits the fused operator list of one scheduler tick over `items`.
+///
+/// Projection and FFN GEMMs carry the summed token rows of every item;
+/// attention operators (score, softmax, context) are emitted per item.
+/// For a single item the list is identical to the single-request op
+/// lists (`decoder_ops` for a whole-prompt prefill, `decode_step_ops`
+/// for a decode step), so sequential serving costs exactly what the
+/// single-session simulator reports.
+///
+/// # Panics
+///
+/// Panics if `items` is empty or any item has zero rows/span.
+pub fn tick_ops(dims: &PaperDims, items: &[TickWork]) -> Vec<Op> {
+    assert!(!items.is_empty(), "a tick needs at least one work item");
+    for item in items {
+        assert!(item.rows() > 0 && item.attn_span() > 0, "degenerate item");
+    }
+    let m_total: usize = items.iter().map(TickWork::rows).sum();
+    let h = dims.hidden;
+    let dh = h / dims.heads;
+    let mut ops = Vec::new();
+    for _ in 0..dims.layers {
+        for name in [GemmKind::Query, GemmKind::Key, GemmKind::Value] {
+            ops.push(Op::Gemm {
+                name,
+                m: m_total,
+                k: h,
+                n: h,
+            });
+        }
+        for item in items {
+            let span = item.attn_span();
+            let rows = item.rows() * dims.heads;
+            ops.push(Op::Gemm {
+                name: GemmKind::AttnScore,
+                m: rows,
+                k: dh,
+                n: span,
+            });
+            ops.push(Op::Softmax { rows, cols: span });
+            ops.push(Op::Gemm {
+                name: GemmKind::AttnContext,
+                m: rows,
+                k: span,
+                n: dh,
+            });
+        }
+        ops.push(Op::Gemm {
+            name: GemmKind::Proj,
+            m: m_total,
+            k: h,
+            n: h,
+        });
+        if dims.gated_ffn {
+            ops.push(Op::Gemm {
+                name: GemmKind::Gate,
+                m: m_total,
+                k: h,
+                n: dims.ffn,
+            });
+            ops.push(Op::Activation {
+                silu: true,
+                elems: m_total * dims.ffn,
+            });
+            ops.push(Op::Gemm {
+                name: GemmKind::Fc1,
+                m: m_total,
+                k: h,
+                n: dims.ffn,
+            });
+        } else {
+            ops.push(Op::Gemm {
+                name: GemmKind::Fc1,
+                m: m_total,
+                k: h,
+                n: dims.ffn,
+            });
+            ops.push(Op::Activation {
+                silu: false,
+                elems: m_total * dims.ffn,
+            });
+        }
+        ops.push(Op::Gemm {
+            name: GemmKind::Fc2,
+            m: m_total,
+            k: dims.ffn,
+            n: h,
+        });
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbal_accel::{simulate, AcceleratorConfig};
+    use bbal_arith::GateLibrary;
+    use bbal_llm::graph::{decode_step_ops, decoder_ops, paper_dims};
+
+    fn dims() -> PaperDims {
+        paper_dims("Llama-7B").unwrap()
+    }
+
+    #[test]
+    fn single_decode_matches_decode_step_ops() {
+        let d = dims();
+        assert_eq!(
+            tick_ops(&d, &[TickWork::Decode { kv_len: 777 }]),
+            decode_step_ops(&d, 777)
+        );
+    }
+
+    #[test]
+    fn single_whole_prompt_prefill_matches_decoder_ops() {
+        let d = dims();
+        assert_eq!(
+            tick_ops(&d, &[TickWork::Prefill { new: 96, past: 0 }]),
+            decoder_ops(&d, 96)
+        );
+    }
+
+    #[test]
+    fn opt_dims_emit_ungated_ffn() {
+        let d = paper_dims("OPT-6.7B").unwrap();
+        assert_eq!(
+            tick_ops(&d, &[TickWork::Decode { kv_len: 64 }]),
+            decode_step_ops(&d, 64)
+        );
+    }
+
+    #[test]
+    fn fused_batch_preserves_total_work() {
+        // Batching reshapes the linear GEMMs but must not change the
+        // MAC count or the nonlinear element count.
+        let d = dims();
+        let items = [
+            TickWork::Decode { kv_len: 100 },
+            TickWork::Decode { kv_len: 200 },
+            TickWork::Prefill { new: 16, past: 8 },
+        ];
+        let fused = tick_ops(&d, &items);
+        let separate: Vec<Op> = items
+            .iter()
+            .flat_map(|i| tick_ops(&d, std::slice::from_ref(i)))
+            .collect();
+        let macs = |ops: &[Op]| ops.iter().map(Op::macs).sum::<u64>();
+        let nl = |ops: &[Op]| ops.iter().map(Op::nonlinear_elems).sum::<u64>();
+        assert_eq!(macs(&fused), macs(&separate));
+        assert_eq!(nl(&fused), nl(&separate));
+    }
+
+    #[test]
+    fn batched_decode_is_cheaper_than_sequential_decode() {
+        // The continuous-batching dividend: 8 decode steps fused into
+        // one tick cost far less than 8 sequential single-token ticks,
+        // because the weight tiles stream from DRAM once.
+        let d = dims();
+        let cfg = AcceleratorConfig::bbal_paper();
+        let lib = GateLibrary::default();
+        let one = simulate(
+            &cfg,
+            &tick_ops(&d, &[TickWork::Decode { kv_len: 512 }]),
+            &lib,
+        );
+        let items = [TickWork::Decode { kv_len: 512 }; 8];
+        let eight = simulate(&cfg, &tick_ops(&d, &items), &lib);
+        let speedup = 8.0 * one.total_cycles() as f64 / eight.total_cycles() as f64;
+        assert!(speedup >= 2.0, "batched speedup only {speedup:.2}x");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one work item")]
+    fn empty_tick_is_rejected() {
+        let _ = tick_ops(&dims(), &[]);
+    }
+}

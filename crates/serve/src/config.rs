@@ -1,0 +1,125 @@
+//! Scheduler configuration.
+
+use crate::ServeError;
+
+/// Knobs of the continuous-batching scheduler.
+///
+/// * `max_batch` — the batch budget: how many requests may be active
+///   (holding a pooled session, advancing every tick) at once. `1`
+///   degenerates to sequential single-session serving — the baseline
+///   the `serve_sweep` experiment compares against.
+/// * `prefill_chunk` — how many prompt tokens one request may advance
+///   per tick. Chunking keeps a long prompt from monopolising the
+///   accelerator: decode steps of other requests interleave between
+///   chunks, which is what bounds TTFT under mixed traffic.
+/// * `workers` — worker threads executing the per-request tensor math.
+///   Parallelism changes wall-clock time only; generated tokens and
+///   simulated cycle counts are identical for any worker count.
+///
+/// ```
+/// use bbal_serve::ServeConfig;
+///
+/// let config = ServeConfig::default();
+/// assert_eq!((config.max_batch, config.prefill_chunk), (8, 32));
+/// config.validate()?;
+///
+/// // The sequential baseline: one request at a time, same chunking.
+/// let sequential = ServeConfig::sequential();
+/// assert_eq!(sequential.max_batch, 1);
+///
+/// // Knobs are validated, not trusted.
+/// let broken = ServeConfig { max_batch: 0, ..ServeConfig::default() };
+/// assert!(broken.validate().is_err());
+/// # Ok::<(), bbal_serve::ServeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Batch budget: maximum concurrently active requests.
+    pub max_batch: usize,
+    /// Maximum prompt tokens a request advances per scheduler tick.
+    pub prefill_chunk: usize,
+    /// Worker threads driving session math in parallel.
+    pub workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            max_batch: 8,
+            prefill_chunk: 32,
+            workers: 2,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The sequential single-session baseline: batch budget 1, one
+    /// worker, default chunking.
+    pub fn sequential() -> ServeConfig {
+        ServeConfig {
+            max_batch: 1,
+            workers: 1,
+            ..ServeConfig::default()
+        }
+    }
+
+    /// Returns a copy with a different batch budget — the `serve_sweep`
+    /// sweep axis.
+    pub fn with_max_batch(mut self, max_batch: usize) -> ServeConfig {
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Checks every knob is non-zero.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Config`] naming the offending field.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        for (field, value) in [
+            ("max_batch", self.max_batch),
+            ("prefill_chunk", self.prefill_chunk),
+            ("workers", self.workers),
+        ] {
+            if value == 0 {
+                return Err(ServeError::Config { field, value });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        ServeConfig::default().validate().unwrap();
+        ServeConfig::sequential().validate().unwrap();
+    }
+
+    #[test]
+    fn zero_knobs_are_rejected_by_name() {
+        let err = ServeConfig {
+            prefill_chunk: 0,
+            ..ServeConfig::default()
+        }
+        .validate()
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::Config {
+                field: "prefill_chunk",
+                value: 0
+            }
+        );
+    }
+
+    #[test]
+    fn with_max_batch_sets_only_the_budget() {
+        let c = ServeConfig::default().with_max_batch(16);
+        assert_eq!(c.max_batch, 16);
+        assert_eq!(c.prefill_chunk, ServeConfig::default().prefill_chunk);
+    }
+}

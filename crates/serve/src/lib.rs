@@ -1,0 +1,143 @@
+//! # bbal-serve — continuous-batching serving on the simulated accelerator
+//!
+//! `bbal-session` gives one request at a time: build a
+//! [`Session`](bbal_session::Session), prefill, decode. A production accelerator never runs like that — it
+//! owns a *queue* of requests and decides, cycle by cycle, how to
+//! interleave prefill and decode work across all of them. This crate is
+//! that layer: the first subsystem above the single-session API.
+//!
+//! * [`GenerateRequest`] — a prompt, a token budget, a quantisation
+//!   scheme and an arrival time (in accelerator cycles);
+//! * [`ServeConfig`] — the scheduler knobs: batch budget, prefill chunk
+//!   size, worker threads;
+//! * [`ServeRuntime`] — owns a [`SessionPool`] and a request queue, and
+//!   steps a *continuous-batching* scheduler loop: each tick admits
+//!   arrivals, tops the active batch up to the budget, advances every
+//!   active request by one unit of work (a prefill chunk or a decode
+//!   step), and executes those units on worker threads in parallel;
+//! * [`ServeReport`] — what came out: per-request tokens and
+//!   TTFT/TPOT/latency, aggregate throughput, batch-occupancy and
+//!   queue-depth traces, in both wall-clock and simulated-hardware time.
+//!
+//! ## The cost model
+//!
+//! Every scheduler tick is costed against the same cycle-level simulator
+//! the figure reproductions use (`bbal_accel::simulate_with`), at the
+//! *paper-scale* decoder dimensions of the served model. Requests in the
+//! same tick share the accelerator the way continuous batching shares it
+//! on real hardware (ORCA-style selective batching): token rows from all
+//! requests fuse into one batched GEMM for the weight-stationary
+//! projections and FFN layers — the weights stream from DRAM once per
+//! tick instead of once per request — while attention, whose operands
+//! are per-request KV state, is costed per request. This is exactly why
+//! batched decode throughput scales: single-request decode is bound by
+//! streaming the weights for one token of work.
+//!
+//! ## Determinism
+//!
+//! Generation is greedy and every request runs on its own session, so
+//! the tokens a request gets depend only on the request itself — not on
+//! worker count or batch composition. The same trace served with 1 or N
+//! workers, batched or sequential, yields bit-identical per-request
+//! outputs (schemes whose activation statistics are not block-local are
+//! additionally pinned by the configured prefill chunk size).
+//!
+//! ```
+//! use bbal_serve::{GenerateRequest, ServeConfig, ServeRuntime};
+//! use bbal_session::SessionBuilder;
+//!
+//! let template = SessionBuilder::new().model("Tiny").scheme("bbfp:4,2");
+//! let mut runtime = ServeRuntime::new(template, ServeConfig::default())?;
+//!
+//! let trace = vec![
+//!     GenerateRequest::new(vec![1, 2, 3], 4),
+//!     GenerateRequest::new(vec![9, 8], 4).arriving_at(50_000),
+//! ];
+//! let report = runtime.serve(&trace)?;
+//! assert_eq!(report.requests.len(), 2);
+//! assert!(report.requests.iter().all(|r| r.tokens.len() == 4));
+//! assert!(report.sim_tokens_per_s() > 0.0);
+//! # Ok::<(), bbal_serve::ServeError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod batch;
+mod config;
+mod pool;
+mod report;
+mod request;
+mod runtime;
+
+pub use batch::{tick_ops, TickWork};
+pub use config::ServeConfig;
+pub use pool::SessionPool;
+pub use report::{RequestReport, ServeReport, TickTrace};
+pub use request::GenerateRequest;
+pub use runtime::ServeRuntime;
+
+use bbal_session::SessionError;
+use std::fmt;
+
+/// Errors from configuring or running the serving runtime.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// A [`ServeConfig`] knob has an invalid value.
+    Config {
+        /// The offending knob.
+        field: &'static str,
+        /// Its value.
+        value: usize,
+    },
+    /// A request in the trace is invalid (empty prompt, out-of-vocab
+    /// token, zero token budget).
+    Request {
+        /// Index of the request in the submitted trace.
+        index: usize,
+        /// What is wrong with it.
+        problem: String,
+    },
+    /// Building a pooled session or its accelerator model failed (e.g. a
+    /// scheme with no hardware mapping cannot be cycle-costed).
+    Session(SessionError),
+    /// A work unit panicked inside the session tensor math. The worker
+    /// thread survives, but the panicking request's session is lost.
+    UnitPanicked,
+    /// A worker thread disappeared mid-run (its channel closed).
+    WorkerLost,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Config { field, value } => {
+                write!(f, "invalid serve configuration: {field} = {value}")
+            }
+            ServeError::Request { index, problem } => {
+                write!(f, "invalid request #{index}: {problem}")
+            }
+            ServeError::Session(e) => write!(f, "session error: {e}"),
+            ServeError::UnitPanicked => {
+                write!(f, "a work unit panicked mid-run (its session was lost)")
+            }
+            ServeError::WorkerLost => write!(f, "a worker thread disappeared mid-run"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Session(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SessionError> for ServeError {
+    fn from(e: SessionError) -> ServeError {
+        ServeError::Session(e)
+    }
+}

@@ -1,0 +1,132 @@
+//! Session pooling: reuse prepared sessions across requests.
+//!
+//! Building a session costs a weight synthesis (shared via
+//! [`SessionBuilder::resolve_model`]) and a PTQ pass
+//! ([`Session::prepare`], per scheme). Neither depends on the request, so
+//! the pool pays them once per scheme and then recycles sessions:
+//! [`Session::reset`] guarantees a released session is bit-identical to
+//! a freshly built one.
+
+use bbal_core::SchemeSpec;
+use bbal_session::{Session, SessionBuilder, SessionError};
+use std::collections::BTreeMap;
+
+/// A pool of reusable [`Session`]s, one set per quantisation scheme,
+/// all sharing one reference model.
+#[derive(Debug)]
+pub struct SessionPool {
+    template: SessionBuilder,
+    idle: BTreeMap<SchemeSpec, Vec<Session>>,
+    built: usize,
+    reused: usize,
+}
+
+impl SessionPool {
+    /// A pool building sessions from `template` (clone it per scheme).
+    /// Pass a template that has been through
+    /// [`SessionBuilder::resolve_model`] so pooled sessions share
+    /// reference weights instead of re-synthesising them.
+    pub fn new(template: SessionBuilder) -> SessionPool {
+        SessionPool {
+            template,
+            idle: BTreeMap::new(),
+            built: 0,
+            reused: 0,
+        }
+    }
+
+    /// Hands out a session for `scheme`: an idle pooled one when
+    /// available, otherwise a freshly built (and prepared) one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SessionError`] from building a session for an
+    /// invalid scheme.
+    pub fn acquire(&mut self, scheme: SchemeSpec) -> Result<Session, SessionError> {
+        if let Some(session) = self.idle.get_mut(&scheme).and_then(Vec::pop) {
+            self.reused += 1;
+            return Ok(session);
+        }
+        let mut session = self.template.clone().scheme_spec(scheme).build()?;
+        // Pay the PTQ pass now, once: recycled sessions skip it entirely.
+        session.prepare();
+        self.built += 1;
+        Ok(session)
+    }
+
+    /// Returns a session to the pool, resetting its per-request state.
+    pub fn release(&mut self, mut session: Session) {
+        session.reset();
+        self.idle.entry(session.scheme()).or_default().push(session);
+    }
+
+    /// Sessions built from scratch so far.
+    pub fn built(&self) -> usize {
+        self.built
+    }
+
+    /// Acquisitions served by recycling an idle session.
+    pub fn reused(&self) -> usize {
+        self.reused
+    }
+
+    /// Idle sessions currently pooled.
+    pub fn idle_count(&self) -> usize {
+        self.idle.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> SessionPool {
+        SessionPool::new(
+            SessionBuilder::new()
+                .model("Tiny")
+                .resolve_model()
+                .expect("Tiny is in the zoo"),
+        )
+    }
+
+    #[test]
+    fn acquire_release_acquire_reuses() {
+        let mut p = pool();
+        let s = p.acquire(SchemeSpec::Bbfp(4, 2)).unwrap();
+        assert_eq!((p.built(), p.reused()), (1, 0));
+        p.release(s);
+        assert_eq!(p.idle_count(), 1);
+        let _s = p.acquire(SchemeSpec::Bbfp(4, 2)).unwrap();
+        assert_eq!((p.built(), p.reused()), (1, 1));
+        assert_eq!(p.idle_count(), 0);
+    }
+
+    #[test]
+    fn schemes_are_pooled_separately() {
+        let mut p = pool();
+        let a = p.acquire(SchemeSpec::Bbfp(4, 2)).unwrap();
+        p.release(a);
+        let b = p.acquire(SchemeSpec::Bfp(4)).unwrap();
+        assert_eq!((p.built(), p.reused()), (2, 0));
+        assert_eq!(b.scheme(), SchemeSpec::Bfp(4));
+    }
+
+    #[test]
+    fn released_sessions_come_back_reset() {
+        let mut p = pool();
+        let mut s = p.acquire(SchemeSpec::Bbfp(4, 2)).unwrap();
+        s.prefill_chunk(&[1, 2, 3]).unwrap();
+        p.release(s);
+        let s = p.acquire(SchemeSpec::Bbfp(4, 2)).unwrap();
+        assert_eq!(s.kv_len(), 0);
+    }
+
+    #[test]
+    fn invalid_schemes_error_typed() {
+        let mut p = pool();
+        assert!(matches!(
+            p.acquire(SchemeSpec::Bbfp(9, 9)),
+            Err(SessionError::Scheme(_))
+        ));
+    }
+}

@@ -1,0 +1,261 @@
+//! What a serving run produces: per-request outcomes, scheduler traces,
+//! and aggregate throughput in simulated and wall-clock time.
+
+use bbal_core::SchemeSpec;
+
+/// Outcome of one served request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestReport {
+    /// Index of the request in the submitted trace.
+    pub id: usize,
+    /// Scheme it was served under.
+    pub scheme: SchemeSpec,
+    /// Prompt length in tokens.
+    pub prompt_len: usize,
+    /// The generated tokens (greedy; `max_new_tokens` of them).
+    pub tokens: Vec<usize>,
+    /// Arrival time on the simulated clock, cycles.
+    pub arrival_cycles: u64,
+    /// Absolute simulated time the first token was produced.
+    pub first_token_cycles: u64,
+    /// Absolute simulated time the last token was produced.
+    pub finish_cycles: u64,
+}
+
+impl RequestReport {
+    /// Time to first token: queueing delay plus prefill, cycles.
+    pub fn ttft_cycles(&self) -> u64 {
+        self.first_token_cycles.saturating_sub(self.arrival_cycles)
+    }
+
+    /// Mean time per output token after the first, cycles (0 for a
+    /// single-token request).
+    pub fn tpot_cycles(&self) -> f64 {
+        if self.tokens.len() < 2 {
+            0.0
+        } else {
+            self.finish_cycles.saturating_sub(self.first_token_cycles) as f64
+                / (self.tokens.len() - 1) as f64
+        }
+    }
+
+    /// End-to-end latency (arrival to last token), cycles.
+    pub fn latency_cycles(&self) -> u64 {
+        self.finish_cycles.saturating_sub(self.arrival_cycles)
+    }
+}
+
+/// One scheduler tick's trace entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TickTrace {
+    /// Simulated time the tick started at, cycles.
+    pub start_cycles: u64,
+    /// Simulated cost of the tick, cycles.
+    pub tick_cycles: u64,
+    /// Requests active in the batch this tick.
+    pub active: usize,
+    /// Requests arrived but waiting for a batch slot.
+    pub queued: usize,
+    /// Prompt tokens advanced this tick (prefill work).
+    pub prefill_tokens: usize,
+    /// Decode steps executed this tick.
+    pub decode_steps: usize,
+}
+
+/// Report of a whole serving run.
+///
+/// Equality deliberately ignores [`ServeReport::wall_ms`] (host
+/// wall-clock, different every run), so `assert_eq!(run_a, run_b)`
+/// checks exactly the crate's determinism guarantee: same requests,
+/// same ticks, same simulated timeline.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Per-request outcomes, in trace order.
+    pub requests: Vec<RequestReport>,
+    /// Per-tick scheduler trace (batch occupancy, queue depth, work mix).
+    pub ticks: Vec<TickTrace>,
+    /// Total simulated time of the run, cycles.
+    pub total_cycles: u64,
+    /// Accelerator clock the cycle counts are relative to, GHz.
+    pub clock_ghz: f64,
+    /// Total simulated accelerator energy, pJ.
+    pub energy_pj: f64,
+    /// Wall-clock time of the run (the tensor math on the host), ms.
+    pub wall_ms: f64,
+    /// Sessions the pool built from scratch.
+    pub sessions_built: usize,
+    /// Acquisitions served by recycling a pooled session.
+    pub sessions_reused: usize,
+}
+
+impl PartialEq for ServeReport {
+    fn eq(&self, other: &ServeReport) -> bool {
+        self.requests == other.requests
+            && self.ticks == other.ticks
+            && self.total_cycles == other.total_cycles
+            && self.clock_ghz == other.clock_ghz
+            && self.energy_pj == other.energy_pj
+            && self.sessions_built == other.sessions_built
+            && self.sessions_reused == other.sessions_reused
+    }
+}
+
+impl ServeReport {
+    /// Converts a cycle count to milliseconds at the report's clock.
+    pub fn cycles_to_ms(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.clock_ghz * 1.0e6)
+    }
+
+    /// Total generated tokens across all requests.
+    pub fn generated_tokens(&self) -> usize {
+        self.requests.iter().map(|r| r.tokens.len()).sum()
+    }
+
+    /// Aggregate throughput on the simulated accelerator, tokens/s.
+    pub fn sim_tokens_per_s(&self) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            self.generated_tokens() as f64 * self.clock_ghz * 1.0e9 / self.total_cycles as f64
+        }
+    }
+
+    /// Host-side throughput of the tensor math, tokens/s (varies with
+    /// worker count and machine; the simulated number is the result).
+    pub fn wall_tokens_per_s(&self) -> f64 {
+        if self.wall_ms <= 0.0 {
+            0.0
+        } else {
+            self.generated_tokens() as f64 * 1.0e3 / self.wall_ms
+        }
+    }
+
+    /// Mean time to first token, ms.
+    pub fn mean_ttft_ms(&self) -> f64 {
+        self.mean_over_requests(|r| self.cycles_to_ms(r.ttft_cycles()))
+    }
+
+    /// Worst time to first token, ms.
+    pub fn max_ttft_ms(&self) -> f64 {
+        self.requests
+            .iter()
+            .map(|r| self.cycles_to_ms(r.ttft_cycles()))
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean time per output token, ms.
+    pub fn mean_tpot_ms(&self) -> f64 {
+        self.mean_over_requests(|r| r.tpot_cycles() / (self.clock_ghz * 1.0e6))
+    }
+
+    /// Mean end-to-end request latency, ms.
+    pub fn mean_latency_ms(&self) -> f64 {
+        self.mean_over_requests(|r| self.cycles_to_ms(r.latency_cycles()))
+    }
+
+    /// Cycle-weighted mean batch occupancy (active requests per tick).
+    pub fn mean_batch_occupancy(&self) -> f64 {
+        let weighted: f64 = self
+            .ticks
+            .iter()
+            .map(|t| t.active as f64 * t.tick_cycles as f64)
+            .sum();
+        let cycles: f64 = self.ticks.iter().map(|t| t.tick_cycles as f64).sum();
+        if cycles == 0.0 {
+            0.0
+        } else {
+            weighted / cycles
+        }
+    }
+
+    /// Deepest the waiting queue got across the run.
+    pub fn max_queue_depth(&self) -> usize {
+        self.ticks.iter().map(|t| t.queued).max().unwrap_or(0)
+    }
+
+    fn mean_over_requests(&self, f: impl Fn(&RequestReport) -> f64) -> f64 {
+        if self.requests.is_empty() {
+            return 0.0;
+        }
+        self.requests.iter().map(f).sum::<f64>() / self.requests.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> ServeReport {
+        ServeReport {
+            requests: vec![
+                RequestReport {
+                    id: 0,
+                    scheme: SchemeSpec::BBAL_PAPER,
+                    prompt_len: 4,
+                    tokens: vec![1, 2, 3],
+                    arrival_cycles: 0,
+                    first_token_cycles: 1_000_000,
+                    finish_cycles: 3_000_000,
+                },
+                RequestReport {
+                    id: 1,
+                    scheme: SchemeSpec::BBAL_PAPER,
+                    prompt_len: 2,
+                    tokens: vec![7],
+                    arrival_cycles: 500_000,
+                    first_token_cycles: 2_000_000,
+                    finish_cycles: 2_000_000,
+                },
+            ],
+            ticks: vec![
+                TickTrace {
+                    start_cycles: 0,
+                    tick_cycles: 1_000_000,
+                    active: 1,
+                    queued: 1,
+                    prefill_tokens: 4,
+                    decode_steps: 0,
+                },
+                TickTrace {
+                    start_cycles: 1_000_000,
+                    tick_cycles: 2_000_000,
+                    active: 2,
+                    queued: 0,
+                    prefill_tokens: 2,
+                    decode_steps: 2,
+                },
+            ],
+            total_cycles: 3_000_000,
+            clock_ghz: 1.0,
+            energy_pj: 42.0,
+            wall_ms: 8.0,
+            sessions_built: 2,
+            sessions_reused: 0,
+        }
+    }
+
+    #[test]
+    fn per_request_metrics() {
+        let r = report();
+        assert_eq!(r.requests[0].ttft_cycles(), 1_000_000);
+        assert_eq!(r.requests[0].tpot_cycles(), 1_000_000.0);
+        assert_eq!(r.requests[0].latency_cycles(), 3_000_000);
+        // Single-token request: TPOT degenerates to zero.
+        assert_eq!(r.requests[1].tpot_cycles(), 0.0);
+        assert_eq!(r.requests[1].ttft_cycles(), 1_500_000);
+    }
+
+    #[test]
+    fn aggregate_metrics() {
+        let r = report();
+        assert_eq!(r.generated_tokens(), 4);
+        // 4 tokens over 3M cycles at 1 GHz = 3 ms.
+        let tps = r.sim_tokens_per_s();
+        assert!((tps - 4.0 / 3.0e-3).abs() / tps < 1e-9);
+        assert_eq!(r.wall_tokens_per_s(), 500.0);
+        assert_eq!(r.max_queue_depth(), 1);
+        // Occupancy: (1*1M + 2*2M) / 3M.
+        assert!((r.mean_batch_occupancy() - 5.0 / 3.0).abs() < 1e-9);
+        assert_eq!(r.cycles_to_ms(1_000_000), 1.0);
+    }
+}

@@ -1,0 +1,74 @@
+//! The unit of admitted work: one generation request.
+
+use bbal_core::SchemeSpec;
+
+/// One generation request: a prompt, a token budget, the quantisation
+/// scheme to serve it under, and its arrival time on the simulated
+/// clock.
+///
+/// Requests with different schemes can share a trace; the runtime pools
+/// one session per scheme and costs each tick's per-scheme sub-batch on
+/// that scheme's accelerator instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenerateRequest {
+    /// Prompt token ids.
+    pub prompt: Vec<usize>,
+    /// How many tokens to generate (greedy argmax decoding).
+    pub max_new_tokens: usize,
+    /// Quantisation scheme to serve the request under. Must have a
+    /// hardware mapping (BFP/BBFP/Olive/Oltron) so ticks can be
+    /// cycle-costed.
+    pub scheme: SchemeSpec,
+    /// Arrival time in accelerator cycles on the simulated clock
+    /// (0 = present from the start).
+    pub arrival_cycles: u64,
+}
+
+impl GenerateRequest {
+    /// A request for `max_new_tokens` greedy tokens after `prompt`,
+    /// arriving at time zero under the paper's BBFP(4,2) scheme.
+    pub fn new(prompt: Vec<usize>, max_new_tokens: usize) -> GenerateRequest {
+        GenerateRequest {
+            prompt,
+            max_new_tokens,
+            scheme: SchemeSpec::BBAL_PAPER,
+            arrival_cycles: 0,
+        }
+    }
+
+    /// Sets the quantisation scheme.
+    pub fn scheme(mut self, scheme: SchemeSpec) -> GenerateRequest {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Sets the arrival time in simulated cycles.
+    pub fn arriving_at(mut self, arrival_cycles: u64) -> GenerateRequest {
+        self.arrival_cycles = arrival_cycles;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_style_setters_compose() {
+        let r = GenerateRequest::new(vec![1, 2], 8)
+            .scheme(SchemeSpec::Bfp(4))
+            .arriving_at(123);
+        assert_eq!(r.prompt, vec![1, 2]);
+        assert_eq!(r.max_new_tokens, 8);
+        assert_eq!(r.scheme, SchemeSpec::Bfp(4));
+        assert_eq!(r.arrival_cycles, 123);
+    }
+
+    #[test]
+    fn default_scheme_is_the_paper_scheme() {
+        assert_eq!(
+            GenerateRequest::new(vec![1], 1).scheme,
+            SchemeSpec::BBAL_PAPER
+        );
+    }
+}

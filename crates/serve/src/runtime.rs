@@ -1,0 +1,626 @@
+//! The continuous-batching scheduler loop and its worker threads.
+//!
+//! One *tick* of the loop:
+//!
+//! 1. admit every request whose arrival time has passed into the queue;
+//! 2. top the active batch up to the budget (FCFS), acquiring a pooled
+//!    session per admitted request;
+//! 3. give every active request one unit of work — the next prefill
+//!    chunk of its prompt, or one decode step — and fan the units out to
+//!    the worker threads (each unit runs on the request's own session,
+//!    which travels to the worker and back through channels);
+//! 4. cost the tick on the accelerator cycle model: the fused op list of
+//!    all units (see [`crate::tick_ops`]), grouped by scheme, through
+//!    `bbal_accel::simulate_with`, while the workers grind the math;
+//! 5. collect the results, advance the simulated clock by the tick cost,
+//!    record first-token/finish times, and release the sessions of
+//!    completed requests back to the pool.
+//!
+//! The scheduler decides batch composition *before* dispatching and
+//! matches results by request id, so worker count affects wall-clock
+//! time only — never the tokens or the simulated timeline.
+
+use crate::batch::{tick_ops, TickWork};
+use crate::config::ServeConfig;
+use crate::pool::SessionPool;
+use crate::report::{RequestReport, ServeReport, TickTrace};
+use crate::request::GenerateRequest;
+use crate::ServeError;
+use bbal_accel::{simulate_with, AcceleratorConfig, FormatSpec, NonlinearTiming};
+use bbal_arith::GateLibrary;
+use bbal_core::SchemeSpec;
+use bbal_llm::graph::PaperDims;
+use bbal_session::{argmax, Session, SessionBuilder};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Instant;
+
+/// A unit of per-request work executed on a worker thread.
+enum Work {
+    /// Feed these prompt tokens (a chunk) into the session.
+    Prefill(Vec<usize>),
+    /// Decode one token against the session's KV cache.
+    Decode(usize),
+}
+
+struct Job {
+    id: usize,
+    session: Session,
+    work: Work,
+    /// Whether the argmax of the resulting logits becomes a generated
+    /// token (true for decode steps and for the final prefill chunk).
+    emit: bool,
+}
+
+struct Done {
+    id: usize,
+    /// `None` when the unit panicked and took its session with it.
+    session: Option<Session>,
+    emit: bool,
+    result: Result<usize, ServeError>,
+}
+
+fn worker_loop(jobs: Arc<Mutex<mpsc::Receiver<Job>>>, done: mpsc::Sender<Done>) {
+    loop {
+        // Workers race on one shared queue; a closed channel (scheduler
+        // finished or bailed) ends the thread.
+        let job = {
+            let guard = match jobs.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            guard.recv()
+        };
+        let Ok(Job {
+            id,
+            mut session,
+            work,
+            emit,
+        }) = job
+        else {
+            return;
+        };
+        // A panic inside the tensor math must not strand the scheduler
+        // waiting for a completion that will never come: catch it and
+        // report the unit as failed (the session is lost with the panic).
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let result = match work {
+                Work::Prefill(tokens) => session.prefill_chunk(&tokens).map(|l| argmax(&l)),
+                Work::Decode(token) => session.decode_step(token).map(|l| argmax(&l)),
+            };
+            (session, result)
+        }));
+        let (session, result) = match outcome {
+            Ok((session, result)) => (Some(session), result.map_err(ServeError::Session)),
+            Err(_) => (None, Err(ServeError::UnitPanicked)),
+        };
+        if done
+            .send(Done {
+                id,
+                session,
+                emit,
+                result,
+            })
+            .is_err()
+        {
+            return;
+        }
+    }
+}
+
+/// Scheduler-side state of one request.
+struct ReqState {
+    arrival: u64,
+    prompt: Vec<usize>,
+    max_new: usize,
+    scheme: SchemeSpec,
+    /// Prompt tokens handed to the session so far.
+    fed: usize,
+    tokens: Vec<usize>,
+    first_token_at: u64,
+    finish_at: u64,
+    session: Option<Session>,
+}
+
+/// The continuous-batching serving runtime: a session pool, a request
+/// queue, and the scheduler loop. See the crate docs for an example.
+#[derive(Debug)]
+pub struct ServeRuntime {
+    pool: SessionPool,
+    config: ServeConfig,
+    dims: PaperDims,
+    vocab: usize,
+    clock_ghz: f64,
+    lib: GateLibrary,
+}
+
+impl ServeRuntime {
+    /// Builds a runtime serving `template`'s model on `template`'s
+    /// accelerator geometry. The template's scheme is only a default —
+    /// each request carries its own.
+    ///
+    /// Resolves the model once so every pooled session shares one set of
+    /// reference weights.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Config`] for invalid scheduler knobs and
+    /// [`ServeError::Session`] for an unknown model or invalid template.
+    pub fn new(template: SessionBuilder, config: ServeConfig) -> Result<ServeRuntime, ServeError> {
+        config.validate()?;
+        let template = template.resolve_model()?;
+        // One probe session pins the model geometry and the clock; it
+        // goes straight into the pool rather than being thrown away.
+        let mut probe = template.clone().build()?;
+        // The pool's invariant is that idle sessions have already paid
+        // the PTQ pass; uphold it for the probe too.
+        probe.prepare();
+        let dims = probe.simulated_dims();
+        let vocab = probe.model_spec().vocab;
+        let clock_ghz = probe.clock_ghz();
+        let mut pool = SessionPool::new(template);
+        pool.release(probe);
+        Ok(ServeRuntime {
+            pool,
+            config,
+            dims,
+            vocab,
+            clock_ghz,
+            lib: GateLibrary::default(),
+        })
+    }
+
+    /// The session pool (for inspection).
+    pub fn pool(&self) -> &SessionPool {
+        &self.pool
+    }
+
+    /// The scheduler configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Serves a trace of requests to completion and reports per-request
+    /// and aggregate metrics. The trace is processed in arrival order
+    /// (ties broken by position); the report lists requests in trace
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Request`] for an invalid request (empty prompt,
+    /// zero budget, out-of-vocab token, or a scheme with no hardware
+    /// mapping to cycle-cost), [`ServeError::Session`] for session
+    /// build/run failures, [`ServeError::WorkerLost`] if a worker thread
+    /// dies. On error, sessions of in-flight requests are recovered into
+    /// the pool; the runtime stays usable.
+    pub fn serve(&mut self, requests: &[GenerateRequest]) -> Result<ServeReport, ServeError> {
+        for (index, r) in requests.iter().enumerate() {
+            let problem = if r.prompt.is_empty() {
+                Some("empty prompt".to_owned())
+            } else if r.max_new_tokens == 0 {
+                Some("zero max_new_tokens".to_owned())
+            } else if let Err(e) = FormatSpec::from_scheme(r.scheme) {
+                // Reject before any work starts: a request that cannot be
+                // cycle-costed would otherwise error mid-run with other
+                // requests already in flight.
+                Some(format!("scheme {} cannot be served: {e}", r.scheme))
+            } else {
+                r.prompt
+                    .iter()
+                    .find(|&&t| t >= self.vocab)
+                    .map(|t| format!("token id {t} outside vocabulary of {}", self.vocab))
+            };
+            if let Some(problem) = problem {
+                return Err(ServeError::Request { index, problem });
+            }
+        }
+
+        let (job_tx, job_rx) = mpsc::channel::<Job>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let (done_tx, done_rx) = mpsc::channel::<Done>();
+        let workers: Vec<_> = (0..self.config.workers)
+            .map(|_| {
+                let jobs = Arc::clone(&job_rx);
+                let done = done_tx.clone();
+                thread::spawn(move || worker_loop(jobs, done))
+            })
+            .collect();
+        drop(done_tx);
+
+        let result = self.schedule(requests, &job_tx, &done_rx);
+
+        // Close the job channel so idle workers exit, then reap them.
+        drop(job_tx);
+        for w in workers {
+            let _ = w.join();
+        }
+        // If an error unwound the loop with units still in flight, their
+        // completions are sitting in the channel — recover the sessions.
+        while let Ok(done) = done_rx.try_recv() {
+            if let Some(session) = done.session {
+                self.pool.release(session);
+            }
+        }
+        result
+    }
+
+    /// The scheduler loop proper; factored out so `serve` can always
+    /// shut the workers down, success or error.
+    fn schedule(
+        &mut self,
+        requests: &[GenerateRequest],
+        job_tx: &mpsc::Sender<Job>,
+        done_rx: &mpsc::Receiver<Done>,
+    ) -> Result<ServeReport, ServeError> {
+        let started = Instant::now();
+        let (built_before, reused_before) = (self.pool.built(), self.pool.reused());
+        let mut states: Vec<ReqState> = requests
+            .iter()
+            .map(|r| ReqState {
+                arrival: r.arrival_cycles,
+                prompt: r.prompt.clone(),
+                max_new: r.max_new_tokens,
+                scheme: r.scheme,
+                fed: 0,
+                tokens: Vec::with_capacity(r.max_new_tokens),
+                first_token_at: 0,
+                finish_at: 0,
+                session: None,
+            })
+            .collect();
+
+        let result = self.run_loop(&mut states, job_tx, done_rx);
+        if result.is_err() {
+            // Don't let an error leak the active requests' sessions —
+            // they are expensive (a PTQ pass each) and request-agnostic.
+            for st in &mut states {
+                if let Some(session) = st.session.take() {
+                    self.pool.release(session);
+                }
+            }
+        }
+        let (ticks, now, energy_pj) = result?;
+
+        Ok(ServeReport {
+            requests: states
+                .iter()
+                .enumerate()
+                .map(|(id, st)| RequestReport {
+                    id,
+                    scheme: st.scheme,
+                    prompt_len: st.prompt.len(),
+                    tokens: st.tokens.clone(),
+                    arrival_cycles: st.arrival,
+                    first_token_cycles: st.first_token_at,
+                    finish_cycles: st.finish_at,
+                })
+                .collect(),
+            ticks,
+            total_cycles: now,
+            clock_ghz: self.clock_ghz,
+            energy_pj,
+            wall_ms: started.elapsed().as_secs_f64() * 1.0e3,
+            sessions_built: self.pool.built() - built_before,
+            sessions_reused: self.pool.reused() - reused_before,
+        })
+    }
+
+    /// Runs the tick loop to completion, returning the trace, the final
+    /// simulated time and the accumulated energy.
+    fn run_loop(
+        &mut self,
+        states: &mut [ReqState],
+        job_tx: &mpsc::Sender<Job>,
+        done_rx: &mpsc::Receiver<Done>,
+    ) -> Result<(Vec<TickTrace>, u64, f64), ServeError> {
+        // Arrival order, stable in trace position.
+        let mut order: Vec<usize> = (0..states.len()).collect();
+        order.sort_by_key(|&i| (states[i].arrival, i));
+        let mut pending: VecDeque<usize> = order.into();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        let mut active: Vec<usize> = Vec::new();
+        let mut accel_cfgs: BTreeMap<SchemeSpec, AcceleratorConfig> = BTreeMap::new();
+        let mut ticks: Vec<TickTrace> = Vec::new();
+        let mut now: u64 = 0;
+        let mut energy_pj = 0.0;
+
+        loop {
+            while pending.front().is_some_and(|&id| states[id].arrival <= now) {
+                queue.push_back(pending.pop_front().expect("front exists"));
+            }
+            while active.len() < self.config.max_batch {
+                let Some(&id) = queue.front() else { break };
+                let scheme = states[id].scheme;
+                let session = self.pool.acquire(scheme)?;
+                if let std::collections::btree_map::Entry::Vacant(e) = accel_cfgs.entry(scheme) {
+                    e.insert(session.accelerator_config()?);
+                }
+                states[id].session = Some(session);
+                queue.pop_front();
+                active.push(id);
+            }
+            if active.is_empty() {
+                match pending.front() {
+                    // Idle until the next arrival.
+                    Some(&id) => {
+                        now = now.max(states[id].arrival);
+                        continue;
+                    }
+                    None => break,
+                }
+            }
+
+            // Dispatch one unit of work per active request.
+            let mut items: BTreeMap<SchemeSpec, Vec<TickWork>> = BTreeMap::new();
+            let mut prefill_tokens = 0usize;
+            let mut decode_steps = 0usize;
+            for &id in &active {
+                let st = &mut states[id];
+                let (work, tick_work, emit) = if st.fed < st.prompt.len() {
+                    let chunk = self.config.prefill_chunk.min(st.prompt.len() - st.fed);
+                    let tokens = st.prompt[st.fed..st.fed + chunk].to_vec();
+                    let past = st.fed;
+                    st.fed += chunk;
+                    prefill_tokens += chunk;
+                    (
+                        Work::Prefill(tokens),
+                        TickWork::Prefill { new: chunk, past },
+                        st.fed == st.prompt.len(),
+                    )
+                } else {
+                    let last = *st.tokens.last().expect("decode follows the first token");
+                    decode_steps += 1;
+                    (
+                        Work::Decode(last),
+                        TickWork::Decode {
+                            kv_len: st.prompt.len() + st.tokens.len(),
+                        },
+                        true,
+                    )
+                };
+                items.entry(st.scheme).or_default().push(tick_work);
+                let session = st.session.take().expect("active request owns a session");
+                job_tx
+                    .send(Job {
+                        id,
+                        session,
+                        work,
+                        emit,
+                    })
+                    .map_err(|_| ServeError::WorkerLost)?;
+            }
+            let dispatched = active.len();
+
+            // Cost the tick while the workers compute: per-scheme fused
+            // op lists on that scheme's accelerator instance, run
+            // back-to-back on the one simulated accelerator.
+            let mut tick_cycles = 0u64;
+            for (scheme, group) in &items {
+                let cfg = accel_cfgs.get(scheme).expect("inserted at activation");
+                let report = simulate_with(
+                    cfg,
+                    &tick_ops(&self.dims, group),
+                    &self.lib,
+                    NonlinearTiming::BbalUnit,
+                );
+                tick_cycles += report.total_cycles();
+                energy_pj += report.energy.total_pj();
+            }
+            let tick_end = now.saturating_add(tick_cycles);
+
+            // Collect every dispatched unit; order of completion does
+            // not matter, results are matched by id.
+            let mut completed: Vec<usize> = Vec::new();
+            for _ in 0..dispatched {
+                let done = done_rx.recv().map_err(|_| ServeError::WorkerLost)?;
+                let st = &mut states[done.id];
+                st.session = done.session;
+                let token = done.result?;
+                if done.emit {
+                    st.tokens.push(token);
+                    if st.tokens.len() == 1 {
+                        st.first_token_at = tick_end;
+                    }
+                    if st.tokens.len() == st.max_new {
+                        st.finish_at = tick_end;
+                        completed.push(done.id);
+                    }
+                }
+            }
+            for id in completed {
+                let session = states[id].session.take().expect("returned by the worker");
+                self.pool.release(session);
+                active.retain(|&a| a != id);
+            }
+
+            ticks.push(TickTrace {
+                start_cycles: now,
+                tick_cycles,
+                active: dispatched,
+                queued: queue.len(),
+                prefill_tokens,
+                decode_steps,
+            });
+            now = tick_end;
+        }
+
+        Ok((ticks, now, energy_pj))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn runtime(config: ServeConfig) -> ServeRuntime {
+        ServeRuntime::new(
+            SessionBuilder::new().model("Tiny").scheme("bbfp:4,2"),
+            config,
+        )
+        .expect("runtime builds")
+    }
+
+    fn trace() -> Vec<GenerateRequest> {
+        (0..6)
+            .map(|i| GenerateRequest::new(vec![1 + i, 2, 3 + i], 4).arriving_at(i as u64 * 10_000))
+            .collect()
+    }
+
+    #[test]
+    fn serve_produces_the_session_generate_tokens() {
+        // The whole scheduling apparatus must not change what each
+        // request would get from a lone session.
+        let mut rt = runtime(ServeConfig::default());
+        let report = rt.serve(&trace()).unwrap();
+        for (r, req) in report.requests.iter().zip(trace()) {
+            let mut lone = SessionBuilder::new()
+                .model("Tiny")
+                .scheme_spec(req.scheme)
+                .build()
+                .unwrap();
+            let expected = lone.generate(&req.prompt, req.max_new_tokens).unwrap();
+            assert_eq!(r.tokens, expected, "request {}", r.id);
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_outputs_or_timeline() {
+        let reports: Vec<ServeReport> = [1usize, 4]
+            .into_iter()
+            .map(|workers| {
+                let mut rt = runtime(ServeConfig {
+                    workers,
+                    ..ServeConfig::default()
+                });
+                rt.serve(&trace()).unwrap()
+            })
+            .collect();
+        assert_eq!(reports[0].requests, reports[1].requests);
+        assert_eq!(reports[0].ticks, reports[1].ticks);
+        assert_eq!(reports[0].total_cycles, reports[1].total_cycles);
+    }
+
+    #[test]
+    fn batched_beats_sequential_throughput() {
+        let all_at_once: Vec<GenerateRequest> = (0..8)
+            .map(|i| GenerateRequest::new(vec![1 + i, 5, 9], 8))
+            .collect();
+        let seq = runtime(ServeConfig::sequential())
+            .serve(&all_at_once)
+            .unwrap();
+        let batched = runtime(ServeConfig::default().with_max_batch(8))
+            .serve(&all_at_once)
+            .unwrap();
+        for (s, b) in seq.requests.iter().zip(&batched.requests) {
+            assert_eq!(s.tokens, b.tokens, "request {} outputs must match", s.id);
+        }
+        let speedup = batched.sim_tokens_per_s() / seq.sim_tokens_per_s();
+        assert!(speedup >= 2.0, "speedup only {speedup:.2}x");
+    }
+
+    #[test]
+    fn queue_depth_and_occupancy_reflect_the_budget() {
+        let all_at_once: Vec<GenerateRequest> = (0..6)
+            .map(|i| GenerateRequest::new(vec![1 + i, 2], 3))
+            .collect();
+        let mut rt = runtime(ServeConfig {
+            max_batch: 2,
+            ..ServeConfig::default()
+        });
+        let report = rt.serve(&all_at_once).unwrap();
+        assert!(report.ticks.iter().all(|t| t.active <= 2));
+        assert_eq!(report.max_queue_depth(), 4);
+        assert!(report.mean_batch_occupancy() > 1.0);
+    }
+
+    #[test]
+    fn sessions_are_pooled_across_requests() {
+        let mut rt = runtime(ServeConfig::sequential());
+        let report = rt.serve(&trace()).unwrap();
+        // One probe + at most one per concurrent slot; the rest reuse.
+        assert!(
+            report.sessions_built <= 2,
+            "built {}",
+            report.sessions_built
+        );
+        assert!(report.sessions_reused >= 5);
+    }
+
+    #[test]
+    fn mixed_schemes_serve_together() {
+        let reqs = vec![
+            GenerateRequest::new(vec![1, 2, 3], 3),
+            GenerateRequest::new(vec![4, 5], 3).scheme(SchemeSpec::Bfp(4)),
+            GenerateRequest::new(vec![6], 3).scheme(SchemeSpec::Oltron),
+        ];
+        let mut rt = runtime(ServeConfig::default());
+        let report = rt.serve(&reqs).unwrap();
+        assert_eq!(report.requests.len(), 3);
+        for (r, req) in report.requests.iter().zip(&reqs) {
+            assert_eq!(r.scheme, req.scheme);
+            assert_eq!(r.tokens.len(), 3);
+        }
+    }
+
+    #[test]
+    fn unmappable_schemes_are_rejected_up_front() {
+        // fp16 has no Fig. 8 PE design, so ticks cannot be cycle-costed:
+        // the trace is rejected before any session does work.
+        let reqs = vec![
+            GenerateRequest::new(vec![1], 2),
+            GenerateRequest::new(vec![1], 2).scheme(SchemeSpec::Fp16),
+        ];
+        let mut rt = runtime(ServeConfig::default());
+        assert!(matches!(
+            rt.serve(&reqs),
+            Err(ServeError::Request { index: 1, .. })
+        ));
+        // The runtime stays usable after the rejection.
+        assert_eq!(rt.serve(&trace()).unwrap().requests.len(), 6);
+    }
+
+    #[test]
+    fn invalid_requests_are_rejected_with_their_index() {
+        let mut rt = runtime(ServeConfig::default());
+        let empty = vec![GenerateRequest::new(vec![], 2)];
+        assert!(matches!(
+            rt.serve(&empty),
+            Err(ServeError::Request { index: 0, .. })
+        ));
+        let zero = vec![
+            GenerateRequest::new(vec![1], 2),
+            GenerateRequest::new(vec![1], 0),
+        ];
+        assert!(matches!(
+            rt.serve(&zero),
+            Err(ServeError::Request { index: 1, .. })
+        ));
+        let oov = vec![GenerateRequest::new(vec![usize::MAX], 2)];
+        assert!(matches!(
+            rt.serve(&oov),
+            Err(ServeError::Request { index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn late_arrivals_wait_for_their_time() {
+        let reqs = vec![
+            GenerateRequest::new(vec![1, 2], 2),
+            GenerateRequest::new(vec![3, 4], 2).arriving_at(u64::MAX / 2),
+        ];
+        let mut rt = runtime(ServeConfig::default());
+        let report = rt.serve(&reqs).unwrap();
+        assert!(report.requests[1].first_token_cycles > u64::MAX / 2);
+        assert!(report.total_cycles > u64::MAX / 2);
+    }
+
+    #[test]
+    fn empty_trace_is_a_no_op() {
+        let mut rt = runtime(ServeConfig::default());
+        let report = rt.serve(&[]).unwrap();
+        assert!(report.requests.is_empty() && report.ticks.is_empty());
+        assert_eq!(report.total_cycles, 0);
+    }
+}

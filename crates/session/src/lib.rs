@@ -41,7 +41,7 @@
 //! # Ok::<(), bbal_session::SessionError>(())
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 use bbal_accel::{
@@ -145,6 +145,21 @@ enum SchemeChoice {
 /// Defaults: `Llama-7B` stand-in, `bbfp:4,2`, a 16×16 PE array at 1 GHz
 /// with the paper's buffers, the BBFP(10,5) nonlinear unit, and a
 /// 2×24-token evaluation set with seed 1234.
+///
+/// ```
+/// use bbal_session::SessionBuilder;
+///
+/// let mut session = SessionBuilder::new()
+///     .model("Tiny")
+///     .scheme("bbfp:4,2")
+///     .pe_array(16, 16)
+///     .clock_ghz(1.0)
+///     .build()?;
+///
+/// let tokens = session.generate(&[1, 2, 3], 4)?;
+/// assert_eq!(tokens.len(), 4);
+/// # Ok::<(), bbal_session::SessionError>(())
+/// ```
 #[derive(Debug, Clone)]
 pub struct SessionBuilder {
     model: ModelChoice,
@@ -252,6 +267,29 @@ impl SessionBuilder {
         self
     }
 
+    /// Resolves the model choice *now* (name lookup + weight synthesis)
+    /// and stores the built model, so every later [`SessionBuilder::build`]
+    /// on clones of this builder shares the same reference weights instead
+    /// of re-synthesising them — what a session pool wants when it builds
+    /// one session per scheme over a single model.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::UnknownModel`] if a model name is not in the zoo.
+    pub fn resolve_model(mut self) -> Result<SessionBuilder, SessionError> {
+        let model = match self.model {
+            ModelChoice::Name(ref name) => {
+                let spec =
+                    zoo::find(name).ok_or_else(|| SessionError::UnknownModel(name.clone()))?;
+                TransformerModel::synthesize(&spec)
+            }
+            ModelChoice::Spec(ref spec) => TransformerModel::synthesize(spec),
+            ModelChoice::Built(model) => model,
+        };
+        self.model = ModelChoice::Built(model);
+        Ok(self)
+    }
+
     /// Resolves every choice and assembles the session: parses/validates
     /// the scheme, looks the model up, derives the hook set and
     /// synthesises the reference weights.
@@ -319,7 +357,7 @@ impl SessionBuilder {
 pub struct Session {
     scheme: SchemeSpec,
     spec: ModelSpec,
-    hooks: Box<dyn InferenceHooks>,
+    hooks: Box<dyn InferenceHooks + Send>,
     reference: TransformerModel,
     prepared: Option<TransformerModel>,
     kv: KvCache,
@@ -367,6 +405,12 @@ impl Session {
         self.kv.len()
     }
 
+    /// The configured accelerator clock in GHz (available whether or not
+    /// the scheme has a hardware mapping).
+    pub fn clock_ghz(&self) -> f64 {
+        self.clock_ghz
+    }
+
     /// Quantises the weights once (the PTQ step). Idempotent; called
     /// automatically by the serving entry points.
     pub fn prepare(&mut self) -> &TransformerModel {
@@ -389,7 +433,13 @@ impl Session {
         }
     }
 
-    /// Discards the KV cache, starting a fresh sequence.
+    /// Discards all per-request state, returning the session to the state
+    /// of a freshly built one (the prepared weights are request-independent
+    /// and are kept).
+    ///
+    /// A pooled session that is `reset` between requests produces
+    /// bit-identical outputs to rebuilding the session from scratch —
+    /// `bbal-serve` relies on this to reuse sessions across requests.
     pub fn reset(&mut self) {
         self.kv.clear();
     }
@@ -410,6 +460,39 @@ impl Session {
         self.kv.clear();
         let model = self.prepared.as_ref().expect("prepared above");
         Ok(model.prefill(tokens, &self.hooks.as_ref(), &mut self.kv))
+    }
+
+    /// Feeds a slice of prompt tokens *without* discarding the cached
+    /// sequence — the chunked-prefill entry point used by continuous
+    /// batching (`bbal-serve`), where a long prompt is admitted a chunk
+    /// per scheduler tick so decode steps of other requests can
+    /// interleave.
+    ///
+    /// Returns the next-token logits after the last token of the chunk.
+    /// Every chunk is processed in one batched pass
+    /// ([`bbal_llm::TransformerModel::prefill_chunk`]): projections and
+    /// FFN GEMMs run over the whole chunk while each row attends
+    /// causally over the cache. For hooks whose activation transform is
+    /// block-local (FP16/FP32 and the BFP/BBFP schemes, whose 32-wide
+    /// blocks divide the hidden width), the result is bit-identical to
+    /// prefilling the whole prompt at once, regardless of how it is
+    /// chunked. Schemes with tensor-global activation statistics (e.g.
+    /// `int8`'s per-slice scale) depend on the chunking, but remain
+    /// deterministic for a fixed chunk size.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::EmptyPrompt`] or
+    /// [`SessionError::TokenOutOfVocab`].
+    pub fn prefill_chunk(&mut self, tokens: &[usize]) -> Result<Vec<f32>, SessionError> {
+        if tokens.is_empty() {
+            return Err(SessionError::EmptyPrompt);
+        }
+        self.check_tokens(tokens)?;
+        self.prepare();
+        let model = self.prepared.as_ref().expect("prepared above");
+        let logits = model.prefill_chunk(tokens, &self.hooks.as_ref(), &mut self.kv);
+        Ok(logits.row(logits.rows() - 1).to_vec())
     }
 
     /// Decodes one token against the cached sequence, appending its KV
@@ -550,7 +633,11 @@ impl Session {
     }
 }
 
-fn argmax(row: &[f32]) -> usize {
+/// Greedy sampling over one logits row: the first index of the strict
+/// maximum. This is the sampler [`Session::generate`] uses; external
+/// serving loops (e.g. `bbal-serve`) must call the same function so
+/// their outputs stay bit-identical to `generate`.
+pub fn argmax(row: &[f32]) -> usize {
     let mut best = 0;
     for (i, v) in row.iter().enumerate() {
         if *v > row[best] {
@@ -749,6 +836,59 @@ mod tests {
         let engine = session.engine().unwrap();
         assert_eq!(engine.linear_config().mantissa_bits(), 4);
         assert!(tiny("oltron").engine().is_err());
+    }
+
+    #[test]
+    fn prefill_chunk_matches_one_shot_prefill() {
+        // Chunked prefill (the continuous-batching path) must agree with
+        // prefilling the whole prompt at once, for any chunking.
+        let prompt = [1usize, 2, 3, 4, 5, 6, 7];
+        for scheme in ["bbfp:4,2", "bfp4", "fp16", "fp32"] {
+            let mut whole = tiny(scheme);
+            let expected = whole.prefill(&prompt).unwrap();
+            let expected_last = expected.row(expected.rows() - 1).to_vec();
+
+            for split in [1usize, 3, 5] {
+                let mut chunked = tiny(scheme);
+                chunked.prefill_chunk(&prompt[..split]).unwrap();
+                let last = chunked.prefill_chunk(&prompt[split..]).unwrap();
+                assert_eq!(last, expected_last, "scheme {scheme} split {split}");
+                assert_eq!(chunked.kv_len(), prompt.len());
+            }
+        }
+    }
+
+    #[test]
+    fn reset_session_is_bit_identical_to_fresh_build() {
+        // The serve pool reuses sessions across requests: a used-then-reset
+        // session must behave exactly like a freshly built one, on every
+        // serving entry point (prefill_chunk is the pool's path).
+        let mut fresh = tiny("bbfp:4,2");
+        let fresh_logits = fresh.prefill_chunk(&[5, 6]).unwrap();
+        let fresh_tokens = {
+            let mut s = tiny("bbfp:4,2");
+            s.generate(&[9, 8, 7], 6).unwrap()
+        };
+
+        let mut reused = tiny("bbfp:4,2");
+        // Dirty the session with a first request...
+        reused.generate(&[2, 4, 6, 8], 5).unwrap();
+        assert!(reused.kv_len() > 0);
+        // ...release it back to the pool...
+        reused.reset();
+        assert_eq!(reused.kv_len(), 0);
+        // ...and serve two more requests: outputs match a fresh session
+        // bit for bit.
+        assert_eq!(reused.prefill_chunk(&[5, 6]).unwrap(), fresh_logits);
+        reused.reset();
+        assert_eq!(reused.generate(&[9, 8, 7], 6).unwrap(), fresh_tokens);
+    }
+
+    #[test]
+    fn sessions_are_send() {
+        // The serve runtime moves sessions into worker threads.
+        fn assert_send<T: Send>() {}
+        assert_send::<Session>();
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! | Segmented-LUT nonlinear unit | [`nonlinear`] (`bbal-nonlinear`) | §IV-B, Tables IV/V |
 //! | Accelerator + cycle simulator | [`accel`] (`bbal-accel`) | §IV-C, Figs 1(b)/8/9 |
 //! | [`Session`]/[`SessionBuilder`] facade | [`session`] (`bbal-session`) | end-to-end (Fig. 7) |
+//! | Continuous-batching serving runtime | [`serve`] (`bbal-serve`) | beyond the paper |
 //!
 //! ## Quickstart
 //!
@@ -61,6 +62,24 @@
 //! # Ok::<(), bbal::core::FormatError>(())
 //! ```
 //!
+//! Above the single session sits the continuous-batching serving
+//! runtime — a request queue, a session pool and a scheduler whose every
+//! tick is costed on the accelerator cycle model:
+//!
+//! ```
+//! use bbal::serve::{GenerateRequest, ServeConfig, ServeRuntime};
+//! use bbal::SessionBuilder;
+//!
+//! let template = SessionBuilder::new().model("Tiny").scheme("bbfp:4,2");
+//! let mut runtime = ServeRuntime::new(template, ServeConfig::default())?;
+//! let report = runtime.serve(&[
+//!     GenerateRequest::new(vec![1, 2, 3], 4),
+//!     GenerateRequest::new(vec![9, 8], 4).arriving_at(50_000),
+//! ])?;
+//! assert!(report.sim_tokens_per_s() > 0.0);
+//! # Ok::<(), bbal::serve::ServeError>(())
+//! ```
+//!
 //! ## Reproducing the paper
 //!
 //! Every table and figure has a dedicated binary in `bbal-bench`:
@@ -76,6 +95,7 @@ pub use bbal_llm as llm;
 pub use bbal_mem as mem;
 pub use bbal_nonlinear as nonlinear;
 pub use bbal_quant as quant;
+pub use bbal_serve as serve;
 pub use bbal_session as session;
 
 pub use bbal_core::{SchemeError, SchemeSpec};

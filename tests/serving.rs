@@ -1,0 +1,144 @@
+//! End-to-end serving-runtime guarantees, driven through the facade:
+//! scheduling must change timelines, never outputs.
+
+use bbal::serve::{GenerateRequest, ServeConfig, ServeReport, ServeRuntime};
+use bbal::{SchemeSpec, SessionBuilder};
+
+fn serve(config: ServeConfig, requests: &[GenerateRequest]) -> ServeReport {
+    let template = SessionBuilder::new().model("Tiny").scheme("bbfp:4,2");
+    ServeRuntime::new(template, config)
+        .expect("runtime builds")
+        .serve(requests)
+        .expect("trace serves")
+}
+
+fn mixed_trace() -> Vec<GenerateRequest> {
+    (0..10usize)
+        .map(|i| {
+            let prompt: Vec<usize> = (0..3 + (i * 3) % 9).map(|t| (5 * i + t) % 64).collect();
+            let scheme = match i % 3 {
+                0 => SchemeSpec::BBAL_PAPER,
+                1 => SchemeSpec::Bfp(4),
+                _ => SchemeSpec::Bbfp(6, 3),
+            };
+            GenerateRequest::new(prompt, 5)
+                .scheme(scheme)
+                .arriving_at(i as u64 * 1_000)
+        })
+        .collect()
+}
+
+#[test]
+fn one_worker_and_many_workers_generate_identical_tokens() {
+    // The ISSUE-3 determinism requirement: scheduling may parallelise,
+    // outputs may not change. The whole report (tokens *and* simulated
+    // timeline) must be identical for any worker count.
+    let trace = mixed_trace();
+    let base = serve(
+        ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        },
+        &trace,
+    );
+    for workers in [2usize, 3, 8] {
+        let parallel = serve(
+            ServeConfig {
+                workers,
+                ..ServeConfig::default()
+            },
+            &trace,
+        );
+        assert_eq!(base.requests, parallel.requests, "{workers} workers");
+        assert_eq!(base.ticks, parallel.ticks, "{workers} workers");
+    }
+}
+
+#[test]
+fn continuous_batching_matches_sequential_and_lone_sessions() {
+    // Batched serving must produce, per request, exactly the tokens a
+    // dedicated single session would: the pooled/chunked/interleaved
+    // path is an optimisation, not a different model.
+    let trace = mixed_trace();
+    let sequential = serve(ServeConfig::sequential(), &trace);
+    let batched = serve(ServeConfig::default().with_max_batch(4), &trace);
+    for ((req, s), b) in trace
+        .iter()
+        .zip(&sequential.requests)
+        .zip(&batched.requests)
+    {
+        assert_eq!(s.tokens, b.tokens);
+        let mut lone = SessionBuilder::new()
+            .model("Tiny")
+            .scheme_spec(req.scheme)
+            .build()
+            .unwrap();
+        let expected = lone.generate(&req.prompt, req.max_new_tokens).unwrap();
+        assert_eq!(s.tokens, expected, "request {} vs lone session", s.id);
+    }
+}
+
+#[test]
+fn pooled_sessions_are_reused_not_rebuilt() {
+    let trace = mixed_trace();
+    let report = serve(ServeConfig::sequential(), &trace);
+    // 3 schemes in the trace (+ the probe session): every later request
+    // must recycle a pooled session.
+    assert!(
+        report.sessions_built <= 4,
+        "built {}",
+        report.sessions_built
+    );
+    assert!(report.sessions_reused >= trace.len() - 3);
+}
+
+#[test]
+fn timeline_is_causal_and_complete() {
+    let trace = mixed_trace();
+    let report = serve(ServeConfig::default(), &trace);
+    for r in &report.requests {
+        assert_eq!(r.tokens.len(), 5);
+        assert!(r.first_token_cycles > r.arrival_cycles);
+        assert!(r.finish_cycles >= r.first_token_cycles);
+        assert!(r.finish_cycles <= report.total_cycles);
+    }
+    // Ticks tile the busy part of the timeline without overlap.
+    for pair in report.ticks.windows(2) {
+        assert!(pair[1].start_cycles >= pair[0].start_cycles + pair[0].tick_cycles);
+    }
+    assert!(report.energy_pj > 0.0);
+    assert!(report.sim_tokens_per_s() > 0.0);
+}
+
+#[test]
+fn batching_pays_at_paper_scale() {
+    // At paper-scale decoder dimensions (the Llama-7B stand-in simulates
+    // at 4096 hidden x 32 layers), fusing decode steps across requests
+    // must at least double aggregate throughput at batch 8 — the
+    // acceptance bar of ISSUE 3.
+    let trace: Vec<GenerateRequest> = (0..8usize)
+        .map(|i| GenerateRequest::new(vec![(i * 17) % 256, 5, 9], 6))
+        .collect();
+    let run = |batch: usize| {
+        let template = SessionBuilder::new().model("Llama-7B").scheme("bbfp:4,2");
+        ServeRuntime::new(
+            template,
+            ServeConfig {
+                max_batch: batch,
+                prefill_chunk: 16,
+                workers: 2,
+            },
+        )
+        .unwrap()
+        .serve(&trace)
+        .unwrap()
+    };
+    let sequential = run(1);
+    let batched = run(8);
+    for (s, b) in sequential.requests.iter().zip(&batched.requests) {
+        assert_eq!(s.tokens, b.tokens);
+    }
+    let speedup = batched.sim_tokens_per_s() / sequential.sim_tokens_per_s();
+    assert!(speedup >= 2.0, "batch-8 speedup only {speedup:.2}x");
+    assert!(batched.mean_batch_occupancy() > 4.0);
+}

@@ -1,16 +1,22 @@
 //! Serving sweep (beyond the paper): aggregate throughput and latency of
-//! the `bbal-serve` continuous-batching runtime versus the batch budget,
-//! on a fixed multi-user trace.
+//! the `bbal-serve` continuous-batching runtime versus the batch budget
+//! and the admission policy, on a fixed multi-user trace.
 //!
 //! The paper's Tables IV/V report the accelerator one request at a time;
 //! this sweep shows what the same accelerator does under heavy traffic.
-//! Every batch budget serves the *same* trace, so per-request outputs
-//! must be bit-identical across the sweep — the "identical" column
-//! asserts it against the sequential (batch 1) baseline.
+//! Every batch budget and policy serves the *same* trace, so per-request
+//! outputs must be bit-identical across the sweep — the "identical"
+//! column asserts it against the sequential (batch 1) FCFS baseline.
+//!
+//! The mixed lineup runs twice: under FCFS admission, where round-robin
+//! schemes shred the batch into narrow per-scheme GEMMs, and under
+//! scheme-affinity admission, which fills slots with requests that fuse
+//! with the running batch (the `rows/GEMM` column shows the mechanism
+//! directly).
 
 use crate::util::{fmt2, print_table, to_io};
 use bbal_core::SchemeSpec;
-use bbal_serve::{GenerateRequest, ServeConfig, ServeReport, ServeRuntime};
+use bbal_serve::{AdmissionPolicy, GenerateRequest, ServeConfig, ServeReport, ServeRuntime};
 use bbal_session::SessionBuilder;
 use std::io::{self, Write};
 
@@ -19,6 +25,13 @@ const REQUESTS: usize = 24;
 const MAX_NEW: usize = 16;
 const ARRIVAL_SPACING: u64 = 5_000_000;
 const BATCHES: [usize; 5] = [1, 2, 4, 8, 16];
+/// Aging bound of the scheme-affinity rows: a queued request may be
+/// passed over at most this many slot-available ticks before it takes
+/// absolute priority.
+const MAX_WAIT_TICKS: u64 = 16;
+const AFFINITY: AdmissionPolicy = AdmissionPolicy::SchemeAffinity {
+    max_wait_ticks: MAX_WAIT_TICKS,
+};
 
 /// A deterministic multi-user trace: varying prompt lengths, staggered
 /// arrivals, schemes assigned round-robin from `schemes`.
@@ -34,12 +47,17 @@ fn trace(schemes: &[SchemeSpec]) -> Vec<GenerateRequest> {
         .collect()
 }
 
-fn serve(schemes: &[SchemeSpec], batch: usize) -> io::Result<ServeReport> {
+fn serve(
+    schemes: &[SchemeSpec],
+    batch: usize,
+    admission: AdmissionPolicy,
+) -> io::Result<ServeReport> {
     let template = SessionBuilder::new().model(MODEL).scheme("bbfp:4,2");
     let config = ServeConfig {
         max_batch: batch,
         prefill_chunk: 16,
         workers: 2,
+        admission,
     };
     let mut runtime = ServeRuntime::new(template, config).map_err(to_io)?;
     runtime.serve(&trace(schemes)).map_err(to_io)
@@ -62,12 +80,24 @@ pub fn run(w: &mut dyn Write) -> io::Result<()> {
     )?;
     writeln!(
         w,
-        "arrivals every {ARRIVAL_SPACING} cycles; 16x16 PE array @ 1 GHz, prefill chunk 16\n"
+        "arrivals every {ARRIVAL_SPACING} cycles; 16x16 PE array @ 1 GHz, prefill chunk 16"
+    )?;
+    writeln!(
+        w,
+        "affinity = scheme-affinity admission, max_wait_ticks {MAX_WAIT_TICKS}\n"
     )?;
 
-    let lineups: [(&str, Vec<SchemeSpec>); 3] = [
-        ("bbfp:4,2", vec![SchemeSpec::BBAL_PAPER]),
-        ("bfp4", vec![SchemeSpec::Bfp(4)]),
+    let lineups: [(&str, Vec<SchemeSpec>, Vec<AdmissionPolicy>); 3] = [
+        (
+            "bbfp:4,2",
+            vec![SchemeSpec::BBAL_PAPER],
+            vec![AdmissionPolicy::Fcfs],
+        ),
+        (
+            "bfp4",
+            vec![SchemeSpec::Bfp(4)],
+            vec![AdmissionPolicy::Fcfs],
+        ),
         (
             "mixed",
             vec![
@@ -75,38 +105,50 @@ pub fn run(w: &mut dyn Write) -> io::Result<()> {
                 SchemeSpec::Bfp(4),
                 SchemeSpec::Oltron,
             ],
+            vec![AdmissionPolicy::Fcfs, AFFINITY],
         ),
     ];
 
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut bbal_batch8_speedup = 0.0;
+    let mut mixed_batch8 = [0.0f64; 2]; // [fcfs, affinity]
     let mut all_identical = true;
-    for (label, schemes) in &lineups {
+    for (label, schemes, policies) in &lineups {
         let mut baseline: Option<ServeReport> = None;
-        for batch in BATCHES {
-            let report = serve(schemes, batch)?;
-            let base = baseline.get_or_insert_with(|| report.clone());
-            let identical = base
-                .requests
-                .iter()
-                .zip(&report.requests)
-                .all(|(a, b)| a.tokens == b.tokens);
-            all_identical &= identical;
-            let speedup = report.sim_tokens_per_s() / base.sim_tokens_per_s();
-            if *label == "bbfp:4,2" && batch == 8 {
-                bbal_batch8_speedup = speedup;
+        for &policy in policies {
+            for batch in BATCHES {
+                let report = serve(schemes, batch, policy)?;
+                // The speedup/identity baseline for every policy is the
+                // same sequential FCFS run.
+                let base = baseline.get_or_insert_with(|| report.clone());
+                let identical = base
+                    .requests
+                    .iter()
+                    .zip(&report.requests)
+                    .all(|(a, b)| a.tokens == b.tokens);
+                all_identical &= identical;
+                let speedup = report.sim_tokens_per_s() / base.sim_tokens_per_s();
+                if *label == "bbfp:4,2" && batch == 8 {
+                    bbal_batch8_speedup = speedup;
+                }
+                if *label == "mixed" && batch == 8 {
+                    mixed_batch8[usize::from(policy != AdmissionPolicy::Fcfs)] = speedup;
+                }
+                rows.push(vec![
+                    (*label).to_owned(),
+                    policy.label().to_owned(),
+                    batch.to_string(),
+                    fmt2(report.sim_tokens_per_s()),
+                    format!("{speedup:.2}x"),
+                    fmt2(report.mean_ttft_ms()),
+                    fmt2(report.mean_tpot_ms()),
+                    fmt2(report.mean_batch_occupancy()),
+                    fmt2(report.mean_fused_rows_per_gemm()),
+                    report.scheme_switches().to_string(),
+                    format!("{:.1}", report.total_cycles as f64 / 1.0e9),
+                    if identical { "yes" } else { "NO" }.to_owned(),
+                ]);
             }
-            rows.push(vec![
-                (*label).to_owned(),
-                batch.to_string(),
-                fmt2(report.sim_tokens_per_s()),
-                format!("{speedup:.2}x"),
-                fmt2(report.mean_ttft_ms()),
-                fmt2(report.mean_tpot_ms()),
-                fmt2(report.mean_batch_occupancy()),
-                format!("{:.1}", report.total_cycles as f64 / 1.0e9),
-                if identical { "yes" } else { "NO" }.to_owned(),
-            ]);
         }
     }
 
@@ -114,12 +156,15 @@ pub fn run(w: &mut dyn Write) -> io::Result<()> {
         w,
         &[
             "scheme",
+            "policy",
             "batch",
             "tok/s (sim)",
             "speedup",
             "TTFT ms",
             "TPOT ms",
             "occupancy",
+            "rows/GEMM",
+            "switches",
             "Gcycles",
             "identical",
         ],
@@ -129,6 +174,11 @@ pub fn run(w: &mut dyn Write) -> io::Result<()> {
     writeln!(
         w,
         "bbfp:4,2 @ batch 8: {bbal_batch8_speedup:.2}x aggregate tokens/s vs sequential"
+    )?;
+    writeln!(
+        w,
+        "mixed @ batch 8: {:.2}x under fcfs, {:.2}x under scheme-affinity admission",
+        mixed_batch8[0], mixed_batch8[1]
     )?;
     writeln!(
         w,
@@ -144,14 +194,45 @@ mod tests {
 
     #[test]
     fn batch8_doubles_throughput_with_identical_outputs() {
-        // The PR's acceptance gate, on the BBAL scheme.
+        // The ISSUE-3 acceptance gate, on the BBAL scheme.
         let schemes = [SchemeSpec::BBAL_PAPER];
-        let seq = serve(&schemes, 1).unwrap();
-        let batched = serve(&schemes, 8).unwrap();
+        let seq = serve(&schemes, 1, AdmissionPolicy::Fcfs).unwrap();
+        let batched = serve(&schemes, 8, AdmissionPolicy::Fcfs).unwrap();
         for (a, b) in seq.requests.iter().zip(&batched.requests) {
             assert_eq!(a.tokens, b.tokens, "request {} diverged", a.id);
         }
         let speedup = batched.sim_tokens_per_s() / seq.sim_tokens_per_s();
         assert!(speedup >= 2.0, "batch-8 speedup only {speedup:.2}x");
+    }
+
+    #[test]
+    fn affinity_recovers_mixed_traffic_throughput() {
+        // The ISSUE-4 acceptance gate: scheme-affinity admission lifts
+        // the 3-scheme round-robin trace at batch 8 from ~2.2x to at
+        // least 3.5x sequential — with outputs still bit-identical.
+        let schemes = [
+            SchemeSpec::BBAL_PAPER,
+            SchemeSpec::Bfp(4),
+            SchemeSpec::Oltron,
+        ];
+        let seq = serve(&schemes, 1, AdmissionPolicy::Fcfs).unwrap();
+        let affinity = serve(&schemes, 8, AFFINITY).unwrap();
+        for (a, b) in seq.requests.iter().zip(&affinity.requests) {
+            assert_eq!(a.tokens, b.tokens, "request {} diverged", a.id);
+        }
+        let speedup = affinity.sim_tokens_per_s() / seq.sim_tokens_per_s();
+        assert!(
+            speedup >= 3.5,
+            "affinity batch-8 speedup only {speedup:.2}x"
+        );
+        // Aging kept everyone inside the starvation bound.
+        for r in &affinity.requests {
+            assert!(
+                r.passed_over_ticks <= MAX_WAIT_TICKS + r.id as u64,
+                "request {} passed over {} times",
+                r.id,
+                r.passed_over_ticks
+            );
+        }
     }
 }

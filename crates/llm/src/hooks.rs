@@ -18,6 +18,37 @@ pub enum Activation {
     Gelu,
 }
 
+/// How far the statistics of [`InferenceHooks::transform_activations`]
+/// reach across the buffer it is handed.
+///
+/// Chunked prefill hands the transform a `[rows × width]` activation
+/// buffer whose row count depends on the chunking. The transform is
+/// *chunk-invariant* — bit-identical results for any chunking — exactly
+/// when its statistics never couple values from different token rows:
+///
+/// * [`StatsSpan::Elementwise`] transforms are always chunk-invariant;
+/// * [`StatsSpan::Blocks`] transforms are chunk-invariant iff the group
+///   length divides every activation row width of the model (groups are
+///   carved from the buffer's origin, so they stay inside a row exactly
+///   when rows are whole multiples of the group);
+/// * [`StatsSpan::Global`] transforms are never chunk-invariant.
+///
+/// Serving layers use this to decide whether a prompt may be prefilled
+/// in chunks or must be fed whole (see
+/// `bbal_session::Session::chunk_invariant_prefill`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StatsSpan {
+    /// Each element is transformed independently (FP16 narrowing, exact
+    /// FP32).
+    Elementwise,
+    /// Statistics are shared within fixed contiguous groups of this many
+    /// elements, counted from the start of the buffer (block floating
+    /// point, group-wise integer scales).
+    Blocks(usize),
+    /// Statistics span the entire buffer (e.g. a tensor-global maximum).
+    Global,
+}
+
 /// Hook points applied during a forward pass.
 ///
 /// All methods default to exact computation, so `&ExactHooks` reproduces
@@ -37,6 +68,14 @@ pub trait InferenceHooks {
     /// Transforms activations immediately before each linear layer.
     fn transform_activations(&self, activations: &mut [f32]) {
         let _ = activations;
+    }
+
+    /// The statistical span of [`InferenceHooks::transform_activations`]
+    /// (see [`StatsSpan`]). Implementors whose transform shares scales or
+    /// other statistics across elements must override this; the default
+    /// declares an element-wise transform.
+    fn activation_stats_span(&self) -> StatsSpan {
+        StatsSpan::Elementwise
     }
 
     /// Computes softmax over one attention row, in place.
@@ -65,6 +104,10 @@ impl<T: InferenceHooks + ?Sized> InferenceHooks for &T {
 
     fn transform_activations(&self, activations: &mut [f32]) {
         (**self).transform_activations(activations);
+    }
+
+    fn activation_stats_span(&self) -> StatsSpan {
+        (**self).activation_stats_span()
     }
 
     fn softmax_row(&self, row: &mut [f32]) {
@@ -130,6 +173,10 @@ where
 
     fn transform_activations(&self, activations: &mut [f32]) {
         self.linear.transform_activations(activations);
+    }
+
+    fn activation_stats_span(&self) -> StatsSpan {
+        self.linear.activation_stats_span()
     }
 
     fn softmax_row(&self, row: &mut [f32]) {

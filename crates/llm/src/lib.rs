@@ -36,7 +36,7 @@ pub mod tensor;
 pub mod zoo;
 
 pub use eval::{evaluate_ppl, EvalSet, PplResult};
-pub use hooks::{Activation, ComposedHooks, ExactHooks, Fp16Hooks, InferenceHooks};
+pub use hooks::{Activation, ComposedHooks, ExactHooks, Fp16Hooks, InferenceHooks, StatsSpan};
 pub use model::{KvCache, LayerWeights, TransformerModel};
 pub use tensor::Tensor;
 pub use zoo::{Family, ModelSpec, OutlierProfile};

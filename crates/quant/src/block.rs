@@ -5,7 +5,7 @@ use bbal_core::{
     bbfp_quantize_slice_with, bfp_quantize_slice, BbfpConfig, BfpConfig, ExponentPolicy,
     RoundingMode,
 };
-use bbal_llm::InferenceHooks;
+use bbal_llm::{InferenceHooks, StatsSpan};
 
 /// Vanilla BFP weight/activation quantiser.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -42,6 +42,10 @@ impl InferenceHooks for BfpQuantizer {
 
     fn transform_activations(&self, activations: &mut [f32]) {
         self.apply(activations);
+    }
+
+    fn activation_stats_span(&self) -> StatsSpan {
+        StatsSpan::Blocks(self.config.block_size())
     }
 
     fn name(&self) -> String {
@@ -97,6 +101,10 @@ impl InferenceHooks for BbfpQuantizer {
 
     fn transform_activations(&self, activations: &mut [f32]) {
         self.apply(activations);
+    }
+
+    fn activation_stats_span(&self) -> StatsSpan {
+        StatsSpan::Blocks(self.config.block_size())
     }
 
     fn name(&self) -> String {

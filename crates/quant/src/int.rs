@@ -1,6 +1,6 @@
 //! Plain symmetric integer quantisation (the INT4/INT8 baselines of §II-A).
 
-use bbal_llm::InferenceHooks;
+use bbal_llm::{InferenceHooks, StatsSpan};
 
 /// Symmetric group-wise integer quantiser: each contiguous group shares a
 /// scale `max|v| / (2^(b−1) − 1)`.
@@ -49,6 +49,10 @@ impl InferenceHooks for IntQuantizer {
 
     fn transform_activations(&self, activations: &mut [f32]) {
         self.quantize(activations);
+    }
+
+    fn activation_stats_span(&self) -> StatsSpan {
+        StatsSpan::Blocks(self.group_size)
     }
 
     fn name(&self) -> String {

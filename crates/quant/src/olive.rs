@@ -11,7 +11,7 @@
 //! the body range. Victim pruning and outlier coarseness are exactly the
 //! error sources the paper's comparison exercises.
 
-use bbal_llm::InferenceHooks;
+use bbal_llm::{InferenceHooks, StatsSpan};
 
 /// Olive-style outlier-victim pair quantiser (4-bit body).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -121,6 +121,10 @@ impl InferenceHooks for OliveQuantizer {
 
     fn transform_activations(&self, activations: &mut [f32]) {
         self.quantize(activations);
+    }
+
+    fn activation_stats_span(&self) -> StatsSpan {
+        StatsSpan::Blocks(self.group_size)
     }
 
     fn name(&self) -> String {

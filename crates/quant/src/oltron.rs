@@ -9,7 +9,7 @@
 //! outliers than the budget (the paper's Llama case) sees the excess
 //! clipped into the body range, while a model with fewer (OPT) is covered.
 
-use bbal_llm::InferenceHooks;
+use bbal_llm::{InferenceHooks, StatsSpan};
 
 /// Oltron-style dual-precision quantiser.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,6 +97,10 @@ impl InferenceHooks for OltronQuantizer {
 
     fn transform_activations(&self, activations: &mut [f32]) {
         self.quantize(activations);
+    }
+
+    fn activation_stats_span(&self) -> StatsSpan {
+        StatsSpan::Blocks(self.group_size)
     }
 
     fn name(&self) -> String {

@@ -9,7 +9,7 @@
 //! threshold (grid search for the per-group scale ratio minimising
 //! reconstruction MSE, which never does worse than plain max-scaling).
 
-use bbal_llm::InferenceHooks;
+use bbal_llm::{InferenceHooks, StatsSpan};
 
 /// OmniQuant-style clipped integer quantiser with per-group MSE-optimal
 /// clip search.
@@ -80,6 +80,10 @@ impl InferenceHooks for OmniQuantizer {
 
     fn transform_activations(&self, activations: &mut [f32]) {
         self.quantize(activations);
+    }
+
+    fn activation_stats_span(&self) -> StatsSpan {
+        StatsSpan::Blocks(self.group_size)
     }
 
     fn name(&self) -> String {

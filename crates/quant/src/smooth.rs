@@ -10,7 +10,7 @@
 //! contiguous channel group with the canonical α = 0.5 and INT8 cores —
 //! the W8A8 configuration SmoothQuant targets.
 
-use bbal_llm::InferenceHooks;
+use bbal_llm::{InferenceHooks, StatsSpan};
 
 /// SmoothQuant-style W8A8 quantiser with difficulty migration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -76,6 +76,11 @@ impl InferenceHooks for SmoothQuantizer {
 
     fn transform_activations(&self, activations: &mut [f32]) {
         self.quantize(activations, true);
+    }
+
+    fn activation_stats_span(&self) -> StatsSpan {
+        // The migration factor references a buffer-global maximum.
+        StatsSpan::Global
     }
 
     fn name(&self) -> String {

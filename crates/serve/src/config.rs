@@ -1,5 +1,6 @@
 //! Scheduler configuration.
 
+use crate::policy::AdmissionPolicy;
 use crate::ServeError;
 
 /// Knobs of the continuous-batching scheduler.
@@ -15,6 +16,10 @@ use crate::ServeError;
 /// * `workers` — worker threads executing the per-request tensor math.
 ///   Parallelism changes wall-clock time only; generated tokens and
 ///   simulated cycle counts are identical for any worker count.
+/// * `admission` — which queued requests take the free batch slots each
+///   tick (see [`AdmissionPolicy`]). The default, FCFS, ignores schemes;
+///   `SchemeAffinity` fills slots with requests that fuse with the
+///   running batch, which is what mixed-scheme throughput needs.
 ///
 /// ```
 /// use bbal_serve::ServeConfig;
@@ -40,6 +45,8 @@ pub struct ServeConfig {
     pub prefill_chunk: usize,
     /// Worker threads driving session math in parallel.
     pub workers: usize,
+    /// Admission policy: who gets the free batch slots each tick.
+    pub admission: AdmissionPolicy,
 }
 
 impl Default for ServeConfig {
@@ -48,6 +55,7 @@ impl Default for ServeConfig {
             max_batch: 8,
             prefill_chunk: 32,
             workers: 2,
+            admission: AdmissionPolicy::Fcfs,
         }
     }
 }
@@ -70,7 +78,16 @@ impl ServeConfig {
         self
     }
 
-    /// Checks every knob is non-zero.
+    /// Returns a copy with a different admission policy — the
+    /// `serve_sweep` policy axis.
+    pub fn with_admission(mut self, admission: AdmissionPolicy) -> ServeConfig {
+        self.admission = admission;
+        self
+    }
+
+    /// Checks every knob is non-zero (including the aging bound of a
+    /// scheme-affinity policy — `max_wait_ticks` of 0 would admit every
+    /// request as overdue, which is FCFS spelled confusingly).
     ///
     /// # Errors
     ///
@@ -84,6 +101,12 @@ impl ServeConfig {
             if value == 0 {
                 return Err(ServeError::Config { field, value });
             }
+        }
+        if let AdmissionPolicy::SchemeAffinity { max_wait_ticks: 0 } = self.admission {
+            return Err(ServeError::Config {
+                field: "max_wait_ticks",
+                value: 0,
+            });
         }
         Ok(())
     }
@@ -121,5 +144,23 @@ mod tests {
         let c = ServeConfig::default().with_max_batch(16);
         assert_eq!(c.max_batch, 16);
         assert_eq!(c.prefill_chunk, ServeConfig::default().prefill_chunk);
+        assert_eq!(c.admission, AdmissionPolicy::Fcfs);
+    }
+
+    #[test]
+    fn zero_aging_bound_is_rejected() {
+        let c = ServeConfig::default()
+            .with_admission(AdmissionPolicy::SchemeAffinity { max_wait_ticks: 0 });
+        assert_eq!(
+            c.validate().unwrap_err(),
+            ServeError::Config {
+                field: "max_wait_ticks",
+                value: 0
+            }
+        );
+        ServeConfig::default()
+            .with_admission(AdmissionPolicy::SchemeAffinity { max_wait_ticks: 1 })
+            .validate()
+            .unwrap();
     }
 }

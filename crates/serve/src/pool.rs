@@ -54,6 +54,38 @@ impl SessionPool {
         Ok(session)
     }
 
+    /// Ensures at least one idle session exists for every scheme in
+    /// `schemes`, building (and paying the PTQ pass of) the missing ones
+    /// now. Returns how many sessions were built.
+    ///
+    /// A scheme-affinity scheduler switches the whole batch between
+    /// schemes mid-run; pre-warming moves those builds to before the
+    /// run, so a phase switch recycles a prepared session instead of
+    /// stalling the wall clock on weight quantisation. (The simulated
+    /// timeline is unaffected either way — PTQ is host-side work.)
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SessionError`] from building a session; sessions
+    /// built before the failing one stay pooled.
+    pub fn prewarm(
+        &mut self,
+        schemes: impl IntoIterator<Item = SchemeSpec>,
+    ) -> Result<usize, SessionError> {
+        let mut built = 0;
+        for scheme in schemes {
+            if self.idle.get(&scheme).is_some_and(|v| !v.is_empty()) {
+                continue;
+            }
+            let mut session = self.template.clone().scheme_spec(scheme).build()?;
+            session.prepare();
+            self.built += 1;
+            built += 1;
+            self.release(session);
+        }
+        Ok(built)
+    }
+
     /// Returns a session to the pool, resetting its per-request state.
     pub fn release(&mut self, mut session: Session) {
         session.reset();
@@ -119,6 +151,36 @@ mod tests {
         p.release(s);
         let s = p.acquire(SchemeSpec::Bbfp(4, 2)).unwrap();
         assert_eq!(s.kv_len(), 0);
+    }
+
+    #[test]
+    fn prewarm_builds_only_missing_schemes() {
+        let mut p = pool();
+        let s = p.acquire(SchemeSpec::Bbfp(4, 2)).unwrap();
+        p.release(s);
+        let built = p
+            .prewarm([
+                SchemeSpec::Bbfp(4, 2), // already idle
+                SchemeSpec::Bfp(4),
+                SchemeSpec::Oltron,
+                SchemeSpec::Bfp(4), // duplicate: now idle
+            ])
+            .unwrap();
+        assert_eq!(built, 2);
+        assert_eq!(p.idle_count(), 3);
+        // The pre-warmed sessions are real acquisitions later.
+        let _ = p.acquire(SchemeSpec::Oltron).unwrap();
+        assert_eq!(p.reused(), 1);
+    }
+
+    #[test]
+    fn prewarm_propagates_build_errors() {
+        let mut p = pool();
+        assert!(p
+            .prewarm([SchemeSpec::Bfp(4), SchemeSpec::Bbfp(9, 9)])
+            .is_err());
+        // The valid scheme before the failure is still pooled.
+        assert_eq!(p.idle_count(), 1);
     }
 
     #[test]

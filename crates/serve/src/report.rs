@@ -16,6 +16,18 @@ pub struct RequestReport {
     pub tokens: Vec<usize>,
     /// Arrival time on the simulated clock, cycles.
     pub arrival_cycles: u64,
+    /// Absolute simulated time the request was admitted to the batch
+    /// (given a session and a slot).
+    pub admitted_cycles: u64,
+    /// Scheduler top-ups that passed this request over: they left a
+    /// batch slot unfilled, or admitted a request queued behind this
+    /// one, while this one stayed queued. Always 0 under
+    /// [`AdmissionPolicy::Fcfs`](crate::AdmissionPolicy::Fcfs) (FCFS
+    /// admits strictly in queue order until the batch is full); under
+    /// `SchemeAffinity` this is the aging counter the `max_wait_ticks`
+    /// starvation bound applies to. Waiting for a full batch does not
+    /// count.
+    pub passed_over_ticks: u64,
     /// Absolute simulated time the first token was produced.
     pub first_token_cycles: u64,
     /// Absolute simulated time the last token was produced.
@@ -46,7 +58,7 @@ impl RequestReport {
 }
 
 /// One scheduler tick's trace entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TickTrace {
     /// Simulated time the tick started at, cycles.
     pub start_cycles: u64,
@@ -54,12 +66,37 @@ pub struct TickTrace {
     pub tick_cycles: u64,
     /// Requests active in the batch this tick.
     pub active: usize,
-    /// Requests arrived but waiting for a batch slot.
+    /// Requests waiting for a batch slot at the *end* of the tick:
+    /// arrivals that landed inside the tick are counted (they queue
+    /// until the next tick's top-up).
     pub queued: usize,
     /// Prompt tokens advanced this tick (prefill work).
     pub prefill_tokens: usize,
     /// Decode steps executed this tick.
     pub decode_steps: usize,
+    /// Distinct schemes active this tick, sorted. Linear GEMM rows only
+    /// fuse within a scheme, so each entry is one per-scheme op list on
+    /// the simulated accelerator; fewer schemes per tick means wider
+    /// fused GEMMs.
+    pub schemes: Vec<SchemeSpec>,
+}
+
+/// One scheme's slice of a serving run (see
+/// [`ServeReport::scheme_breakdown`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemeStats {
+    /// The scheme.
+    pub scheme: SchemeSpec,
+    /// Requests served under it.
+    pub requests: usize,
+    /// Tokens generated for them.
+    pub tokens: usize,
+    /// Their share of aggregate simulated throughput, tokens/s.
+    pub tokens_per_s: f64,
+    /// Mean time to first token, ms.
+    pub mean_ttft_ms: f64,
+    /// Mean time per output token, ms (single-token requests excluded).
+    pub mean_tpot_ms: f64,
 }
 
 /// Report of a whole serving run.
@@ -143,9 +180,28 @@ impl ServeReport {
             .fold(0.0, f64::max)
     }
 
-    /// Mean time per output token, ms.
+    /// Mean time per output token, ms, over the requests that *have* an
+    /// inter-token interval. Single-token requests are excluded — their
+    /// [`RequestReport::tpot_cycles`] degenerates to 0, which would drag
+    /// the mean below every actual inter-token gap. 0.0 if no request
+    /// produced a second token.
     pub fn mean_tpot_ms(&self) -> f64 {
-        self.mean_over_requests(|r| r.tpot_cycles() / (self.clock_ghz * 1.0e6))
+        self.tpot_mean_over(self.requests.iter())
+    }
+
+    /// The singleton-excluding TPOT mean over any slice of the requests
+    /// (shared by [`ServeReport::mean_tpot_ms`] and
+    /// [`ServeReport::scheme_breakdown`] so the rule cannot drift).
+    fn tpot_mean_over<'a>(&self, requests: impl Iterator<Item = &'a RequestReport>) -> f64 {
+        let multi: Vec<f64> = requests
+            .filter(|r| r.tokens.len() >= 2)
+            .map(|r| r.tpot_cycles() / (self.clock_ghz * 1.0e6))
+            .collect();
+        if multi.is_empty() {
+            0.0
+        } else {
+            multi.iter().sum::<f64>() / multi.len() as f64
+        }
     }
 
     /// Mean end-to-end request latency, ms.
@@ -173,6 +229,80 @@ impl ServeReport {
         self.ticks.iter().map(|t| t.queued).max().unwrap_or(0)
     }
 
+    /// How often the set of active schemes changed between consecutive
+    /// ticks. Every switch re-shapes the per-scheme op lists; a
+    /// scheme-affinity admission policy exists to keep this low.
+    pub fn scheme_switches(&self) -> usize {
+        self.ticks
+            .windows(2)
+            .filter(|w| w[0].schemes != w[1].schemes)
+            .count()
+    }
+
+    /// Mean token rows per fused linear GEMM: each tick contributes its
+    /// total rows (prefill tokens + decode steps) divided by its number
+    /// of per-scheme groups, weighted by the tick's simulated cycles.
+    /// This is the direct measure of the batching dividend: a pure
+    /// sequential decode tick carries 1 row (prefill ticks carry up to
+    /// `prefill_chunk`), and mixed-scheme FCFS traffic sits well below
+    /// a single-scheme batch of the same budget.
+    pub fn mean_fused_rows_per_gemm(&self) -> f64 {
+        let mut rows_weighted = 0.0;
+        let mut cycles = 0.0;
+        for t in &self.ticks {
+            if t.schemes.is_empty() {
+                continue;
+            }
+            let rows = (t.prefill_tokens + t.decode_steps) as f64 / t.schemes.len() as f64;
+            rows_weighted += rows * t.tick_cycles as f64;
+            cycles += t.tick_cycles as f64;
+        }
+        if cycles == 0.0 {
+            0.0
+        } else {
+            rows_weighted / cycles
+        }
+    }
+
+    /// Per-scheme outcome breakdown, sorted by scheme: how each slice of
+    /// the traffic fared. Throughput is each scheme's share of the
+    /// aggregate (its tokens over the whole run's span).
+    pub fn scheme_breakdown(&self) -> Vec<SchemeStats> {
+        let mut schemes: Vec<SchemeSpec> = self.requests.iter().map(|r| r.scheme).collect();
+        schemes.sort_unstable();
+        schemes.dedup();
+        schemes
+            .into_iter()
+            .map(|scheme| {
+                let reqs: Vec<&RequestReport> = self
+                    .requests
+                    .iter()
+                    .filter(|r| r.scheme == scheme)
+                    .collect();
+                let tokens: usize = reqs.iter().map(|r| r.tokens.len()).sum();
+                let tokens_per_s = if self.total_cycles == 0 {
+                    0.0
+                } else {
+                    tokens as f64 * self.clock_ghz * 1.0e9 / self.total_cycles as f64
+                };
+                let mean_ttft_ms = reqs
+                    .iter()
+                    .map(|r| self.cycles_to_ms(r.ttft_cycles()))
+                    .sum::<f64>()
+                    / reqs.len() as f64;
+                let mean_tpot_ms = self.tpot_mean_over(reqs.iter().copied());
+                SchemeStats {
+                    scheme,
+                    requests: reqs.len(),
+                    tokens,
+                    tokens_per_s,
+                    mean_ttft_ms,
+                    mean_tpot_ms,
+                }
+            })
+            .collect()
+    }
+
     fn mean_over_requests(&self, f: impl Fn(&RequestReport) -> f64) -> f64 {
         if self.requests.is_empty() {
             return 0.0;
@@ -194,15 +324,19 @@ mod tests {
                     prompt_len: 4,
                     tokens: vec![1, 2, 3],
                     arrival_cycles: 0,
+                    admitted_cycles: 0,
+                    passed_over_ticks: 0,
                     first_token_cycles: 1_000_000,
                     finish_cycles: 3_000_000,
                 },
                 RequestReport {
                     id: 1,
-                    scheme: SchemeSpec::BBAL_PAPER,
+                    scheme: SchemeSpec::Bfp(4),
                     prompt_len: 2,
                     tokens: vec![7],
                     arrival_cycles: 500_000,
+                    admitted_cycles: 1_000_000,
+                    passed_over_ticks: 0,
                     first_token_cycles: 2_000_000,
                     finish_cycles: 2_000_000,
                 },
@@ -215,6 +349,7 @@ mod tests {
                     queued: 1,
                     prefill_tokens: 4,
                     decode_steps: 0,
+                    schemes: vec![SchemeSpec::BBAL_PAPER],
                 },
                 TickTrace {
                     start_cycles: 1_000_000,
@@ -223,6 +358,7 @@ mod tests {
                     queued: 0,
                     prefill_tokens: 2,
                     decode_steps: 2,
+                    schemes: vec![SchemeSpec::BBAL_PAPER, SchemeSpec::Bfp(4)],
                 },
             ],
             total_cycles: 3_000_000,
@@ -243,6 +379,50 @@ mod tests {
         // Single-token request: TPOT degenerates to zero.
         assert_eq!(r.requests[1].tpot_cycles(), 0.0);
         assert_eq!(r.requests[1].ttft_cycles(), 1_500_000);
+    }
+
+    #[test]
+    fn tpot_mean_excludes_single_token_requests() {
+        // Request 1 generated a single token: it has no inter-token
+        // interval, so the mean must come from request 0 alone
+        // (1M cycles/token at 1 GHz = 1 ms), not be dragged to 0.5 ms by
+        // a hard 0.0 for the singleton.
+        let r = report();
+        assert!((r.mean_tpot_ms() - 1.0).abs() < 1e-12);
+        // A report of only single-token requests has no defined TPOT.
+        let mut singles = report();
+        singles.requests.retain(|q| q.tokens.len() < 2);
+        assert_eq!(singles.mean_tpot_ms(), 0.0);
+    }
+
+    #[test]
+    fn scheme_breakdown_splits_the_traffic() {
+        let r = report();
+        let by_scheme = r.scheme_breakdown();
+        assert_eq!(by_scheme.len(), 2);
+        let bbal = &by_scheme[1];
+        assert_eq!(bbal.scheme, SchemeSpec::BBAL_PAPER);
+        assert_eq!((bbal.requests, bbal.tokens), (1, 3));
+        assert!((bbal.mean_tpot_ms - 1.0).abs() < 1e-12);
+        let bfp = &by_scheme[0];
+        assert_eq!(bfp.scheme, SchemeSpec::Bfp(4));
+        assert_eq!((bfp.requests, bfp.tokens), (1, 1));
+        // Singleton slice: no TPOT, but TTFT is defined.
+        assert_eq!(bfp.mean_tpot_ms, 0.0);
+        assert!((bfp.mean_ttft_ms - 1.5).abs() < 1e-12);
+        // Shares sum to the aggregate throughput.
+        let share_sum: f64 = by_scheme.iter().map(|s| s.tokens_per_s).sum();
+        assert!((share_sum - r.sim_tokens_per_s()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scheme_switches_and_fusion_follow_the_tick_trace() {
+        let r = report();
+        // Tick 1 runs {bbal}, tick 2 runs {bbal, bfp4}: one switch.
+        assert_eq!(r.scheme_switches(), 1);
+        // Tick 1: 4 rows / 1 scheme over 1M cycles; tick 2: 4 rows / 2
+        // schemes over 2M cycles -> (4*1 + 2*2) / 3.
+        assert!((r.mean_fused_rows_per_gemm() - 8.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]

@@ -3,8 +3,10 @@
 //! One *tick* of the loop:
 //!
 //! 1. admit every request whose arrival time has passed into the queue;
-//! 2. top the active batch up to the budget (FCFS), acquiring a pooled
-//!    session per admitted request;
+//! 2. top the active batch up to the budget — *which* queued requests
+//!    take the free slots is delegated to the configured
+//!    [`AdmissionPolicy`] (FCFS, or scheme-affinity so linear GEMMs
+//!    fuse) — acquiring a pooled session per admitted request;
 //! 3. give every active request one unit of work — the next prefill
 //!    chunk of its prompt, or one decode step — and fan the units out to
 //!    the worker threads (each unit runs on the request's own session,
@@ -22,6 +24,7 @@
 
 use crate::batch::{tick_ops, TickWork};
 use crate::config::ServeConfig;
+use crate::policy::{AdmissionPolicy, QueuedEntry};
 use crate::pool::SessionPool;
 use crate::report::{RequestReport, ServeReport, TickTrace};
 use crate::request::GenerateRequest;
@@ -31,7 +34,7 @@ use bbal_arith::GateLibrary;
 use bbal_core::SchemeSpec;
 use bbal_llm::graph::PaperDims;
 use bbal_session::{argmax, Session, SessionBuilder};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread;
@@ -119,6 +122,14 @@ struct ReqState {
     /// Prompt tokens handed to the session so far.
     fed: usize,
     tokens: Vec<usize>,
+    /// Whether chunked prefill is bit-identical to whole-prompt prefill
+    /// for this request's session (set at admission). When false, the
+    /// whole prompt is fed as one chunk so the tokens match a lone
+    /// `Session::generate` exactly.
+    chunk_invariant: bool,
+    /// Ticks spent queued while a batch slot was free (aging counter).
+    passed_over: u64,
+    admitted_at: u64,
     first_token_at: u64,
     finish_at: u64,
     session: Option<Session>,
@@ -265,11 +276,24 @@ impl ServeRuntime {
                 scheme: r.scheme,
                 fed: 0,
                 tokens: Vec::with_capacity(r.max_new_tokens),
+                chunk_invariant: true,
+                passed_over: 0,
+                admitted_at: 0,
                 first_token_at: 0,
                 finish_at: 0,
                 session: None,
             })
             .collect();
+
+        // Scheme-affinity switches the whole batch between schemes
+        // mid-run: pre-warm one session per scheme in the trace so a
+        // phase switch recycles a prepared session instead of paying a
+        // PTQ pass mid-run. (FCFS keeps the lazy path — and with it
+        // bit-identical session accounting to the pre-policy scheduler.)
+        if !matches!(self.config.admission, AdmissionPolicy::Fcfs) {
+            let schemes: BTreeSet<SchemeSpec> = requests.iter().map(|r| r.scheme).collect();
+            self.pool.prewarm(schemes)?;
+        }
 
         let result = self.run_loop(&mut states, job_tx, done_rx);
         if result.is_err() {
@@ -293,6 +317,8 @@ impl ServeRuntime {
                     prompt_len: st.prompt.len(),
                     tokens: st.tokens.clone(),
                     arrival_cycles: st.arrival,
+                    admitted_cycles: st.admitted_at,
+                    passed_over_ticks: st.passed_over,
                     first_token_cycles: st.first_token_at,
                     finish_cycles: st.finish_at,
                 })
@@ -330,16 +356,57 @@ impl ServeRuntime {
             while pending.front().is_some_and(|&id| states[id].arrival <= now) {
                 queue.push_back(pending.pop_front().expect("front exists"));
             }
-            while active.len() < self.config.max_batch {
-                let Some(&id) = queue.front() else { break };
-                let scheme = states[id].scheme;
-                let session = self.pool.acquire(scheme)?;
-                if let std::collections::btree_map::Entry::Vacant(e) = accel_cfgs.entry(scheme) {
-                    e.insert(session.accelerator_config()?);
+            // Top-up: the admission policy picks which queued requests
+            // take the free slots.
+            let slots = self.config.max_batch - active.len();
+            if slots > 0 && !queue.is_empty() {
+                let active_schemes: BTreeSet<SchemeSpec> =
+                    active.iter().map(|&id| states[id].scheme).collect();
+                let entries: Vec<QueuedEntry> = queue
+                    .iter()
+                    .map(|&id| QueuedEntry {
+                        id,
+                        scheme: states[id].scheme,
+                        passed_over: states[id].passed_over,
+                    })
+                    .collect();
+                let admitted = self
+                    .config
+                    .admission
+                    .admit(&entries, &active_schemes, slots);
+                // A remaining request was *passed over* if the policy
+                // either left a slot unfilled or gave one to a request
+                // queued behind it: age it. (Under FCFS neither happens —
+                // admissions are a queue prefix and stop only when the
+                // batch is full or the queue is empty.)
+                let leftover = slots - admitted.len();
+                let last_taken_pos = entries
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| admitted.contains(&e.id))
+                    .map(|(pos, _)| pos)
+                    .max();
+                for (pos, e) in entries.iter().enumerate() {
+                    if admitted.contains(&e.id) {
+                        continue;
+                    }
+                    if leftover > 0 || last_taken_pos.is_some_and(|last| pos < last) {
+                        states[e.id].passed_over += 1;
+                    }
                 }
-                states[id].session = Some(session);
-                queue.pop_front();
-                active.push(id);
+                for id in admitted {
+                    let scheme = states[id].scheme;
+                    let session = self.pool.acquire(scheme)?;
+                    if let std::collections::btree_map::Entry::Vacant(e) = accel_cfgs.entry(scheme)
+                    {
+                        e.insert(session.accelerator_config()?);
+                    }
+                    states[id].chunk_invariant = session.chunk_invariant_prefill();
+                    states[id].session = Some(session);
+                    states[id].admitted_at = now;
+                    queue.retain(|&q| q != id);
+                    active.push(id);
+                }
             }
             if active.is_empty() {
                 match pending.front() {
@@ -359,7 +426,14 @@ impl ServeRuntime {
             for &id in &active {
                 let st = &mut states[id];
                 let (work, tick_work, emit) = if st.fed < st.prompt.len() {
-                    let chunk = self.config.prefill_chunk.min(st.prompt.len() - st.fed);
+                    // A scheme whose activation statistics are not
+                    // chunk-invariant must see its whole prompt at once
+                    // to produce the tokens a lone session would.
+                    let chunk = if st.chunk_invariant {
+                        self.config.prefill_chunk.min(st.prompt.len() - st.fed)
+                    } else {
+                        st.prompt.len() - st.fed
+                    };
                     let tokens = st.prompt[st.fed..st.fed + chunk].to_vec();
                     let past = st.fed;
                     st.fed += chunk;
@@ -396,6 +470,7 @@ impl ServeRuntime {
             // Cost the tick while the workers compute: per-scheme fused
             // op lists on that scheme's accelerator instance, run
             // back-to-back on the one simulated accelerator.
+            let tick_schemes: Vec<SchemeSpec> = items.keys().copied().collect();
             let mut tick_cycles = 0u64;
             for (scheme, group) in &items {
                 let cfg = accel_cfgs.get(scheme).expect("inserted at activation");
@@ -435,6 +510,17 @@ impl ServeRuntime {
                 active.retain(|&a| a != id);
             }
 
+            // Requests that arrived *during* the tick have been waiting
+            // since their arrival instant: count them into the recorded
+            // queue depth (they are admissible at the next top-up, which
+            // runs at `tick_end`).
+            while pending
+                .front()
+                .is_some_and(|&id| states[id].arrival <= tick_end)
+            {
+                queue.push_back(pending.pop_front().expect("front exists"));
+            }
+
             ticks.push(TickTrace {
                 start_cycles: now,
                 tick_cycles,
@@ -442,6 +528,7 @@ impl ServeRuntime {
                 queued: queue.len(),
                 prefill_tokens,
                 decode_steps,
+                schemes: tick_schemes,
             });
             now = tick_end;
         }
@@ -614,6 +701,160 @@ mod tests {
         let report = rt.serve(&reqs).unwrap();
         assert!(report.requests[1].first_token_cycles > u64::MAX / 2);
         assert!(report.total_cycles > u64::MAX / 2);
+    }
+
+    #[test]
+    fn fcfs_reproduces_the_pr3_timeline() {
+        // The admission-policy refactor must leave FCFS scheduling
+        // bit-identical to the pre-policy scheduler. Golden values
+        // captured from the PR-3 build on this exact trace (Tiny model,
+        // default config, 10 mixed-scheme requests arriving every 1000
+        // cycles).
+        let reqs: Vec<GenerateRequest> = (0..10usize)
+            .map(|i| {
+                let prompt: Vec<usize> = (0..3 + (i * 3) % 9).map(|t| (5 * i + t) % 64).collect();
+                let scheme = match i % 3 {
+                    0 => SchemeSpec::BBAL_PAPER,
+                    1 => SchemeSpec::Bfp(4),
+                    _ => SchemeSpec::Bbfp(6, 3),
+                };
+                GenerateRequest::new(prompt, 5)
+                    .scheme(scheme)
+                    .arriving_at(i as u64 * 1_000)
+            })
+            .collect();
+        let mut rt = runtime(ServeConfig::default());
+        let report = rt.serve(&reqs).unwrap();
+        assert_eq!(report.total_cycles, 148_700);
+        assert_eq!(report.ticks.len(), 11);
+        assert_eq!(report.energy_pj, 68_107_382.675_945_22);
+        let timeline: Vec<(u64, u64)> = report
+            .requests
+            .iter()
+            .map(|r| (r.first_token_cycles, r.finish_cycles))
+            .collect();
+        assert_eq!(
+            timeline,
+            vec![
+                (4_900, 79_101),
+                (24_596, 97_823),
+                (24_596, 97_823),
+                (24_596, 97_823),
+                (24_596, 97_823),
+                (44_827, 113_702),
+                (44_827, 113_702),
+                (44_827, 113_702),
+                (97_823, 144_158),
+                (113_702, 148_700),
+            ]
+        );
+        assert_eq!(report.requests[0].tokens, vec![62, 19, 17, 62, 42]);
+        // FCFS never holds a free slot back from a queued request.
+        assert!(report.requests.iter().all(|r| r.passed_over_ticks == 0));
+    }
+
+    #[test]
+    fn queued_depth_counts_mid_tick_arrivals() {
+        // Two requests arrive a few cycles into the first (long-prefill)
+        // tick: they wait for its whole duration, so the recorded queue
+        // depth of that tick must include them — the PR-3 scheduler
+        // counted them only from the next tick, under-reporting bursty
+        // traffic.
+        let long_prompt: Vec<usize> = (0..32).map(|t| (t * 3 + 1) % 64).collect();
+        let reqs = vec![
+            GenerateRequest::new(long_prompt, 2),
+            GenerateRequest::new(vec![1, 2], 2).arriving_at(1),
+            GenerateRequest::new(vec![3, 4], 2).arriving_at(2),
+        ];
+        let mut rt = runtime(ServeConfig {
+            max_batch: 1,
+            ..ServeConfig::default()
+        });
+        let report = rt.serve(&reqs).unwrap();
+        assert!(report.ticks[0].tick_cycles > 2, "prefill tick is long");
+        assert_eq!(report.ticks[0].queued, 2);
+        assert_eq!(report.max_queue_depth(), 2);
+    }
+
+    #[test]
+    fn affinity_bounds_queue_wait_by_the_aging_bound() {
+        // One bfp4 request among five bbfp:4,2 requests, batch budget 2:
+        // affinity keeps passing the odd one over in favour of fusable
+        // peers, until the aging bound forces it in. The bound is exact
+        // here — no other request ever goes overdue.
+        let reqs: Vec<GenerateRequest> = (0..6usize)
+            .map(|i| {
+                let scheme = if i == 1 {
+                    SchemeSpec::Bfp(4)
+                } else {
+                    SchemeSpec::BBAL_PAPER
+                };
+                GenerateRequest::new(vec![1 + i, 3, 5], 2 + 2 * i).scheme(scheme)
+            })
+            .collect();
+        let serve_with = |max_wait_ticks: u64| {
+            let mut rt = runtime(ServeConfig {
+                max_batch: 2,
+                admission: AdmissionPolicy::SchemeAffinity { max_wait_ticks },
+                ..ServeConfig::default()
+            });
+            rt.serve(&reqs).unwrap()
+        };
+        let bounded = serve_with(2);
+        assert!(
+            bounded.requests[1].passed_over_ticks <= 2,
+            "passed over {} times under a bound of 2",
+            bounded.requests[1].passed_over_ticks
+        );
+        // With an effectively infinite bound the same request waits
+        // longer — proof the policy really was deprioritising it.
+        let unbounded = serve_with(u64::MAX);
+        assert!(unbounded.requests[1].passed_over_ticks > 2);
+        // Admission order never changes anyone's tokens.
+        for (a, b) in bounded.requests.iter().zip(&unbounded.requests) {
+            assert_eq!(a.tokens, b.tokens);
+        }
+    }
+
+    #[test]
+    fn worker_panic_recovers_sessions_and_runtime() {
+        let mut rt = runtime(ServeConfig {
+            max_batch: 3,
+            ..ServeConfig::default()
+        });
+        // A poison session: right scheme and vocabulary (so every
+        // scheduler- and session-level check passes), but a head count
+        // that does not divide the hidden width — the first unit of work
+        // panics on the head-dimension assert deep in the tensor math.
+        let mut poison_spec = bbal_llm::zoo::tiny_test_model();
+        poison_spec.name = "Tiny-poison";
+        poison_spec.heads = 5;
+        let poison = SessionBuilder::new()
+            .model_spec(poison_spec)
+            .scheme("bbfp:4,2")
+            .build()
+            .unwrap();
+        rt.pool.release(poison);
+        let idle_before = rt.pool().idle_count();
+
+        // The pool hands sessions out LIFO, so request 0 draws the
+        // poison; requests 1 and 2 run on healthy sessions in the same
+        // tick.
+        let reqs: Vec<GenerateRequest> = (0..3usize)
+            .map(|i| GenerateRequest::new(vec![50, 2 + i], 3))
+            .collect();
+        let err = rt.serve(&reqs).unwrap_err();
+
+        assert_eq!(err, ServeError::UnitPanicked);
+        // The panicking unit's session died with it, but both healthy
+        // in-flight sessions were recovered into the pool.
+        assert_eq!(rt.pool().idle_count(), idle_before);
+
+        // The scheduler did not deadlock and the runtime stays usable:
+        // a follow-up trace serves normally on the recycled sessions.
+        let report = rt.serve(&trace()).unwrap();
+        assert_eq!(report.requests.len(), 6);
+        assert!(report.requests.iter().all(|r| r.tokens.len() == 4));
     }
 
     #[test]

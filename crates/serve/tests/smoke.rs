@@ -1,0 +1,131 @@
+//! Fast scheduler smoke: the report invariants every serving run must
+//! uphold, on the Tiny model, under both admission policies and mixed
+//! schemes. This is the CI job that catches scheduler regressions
+//! without paying for the full `serve_sweep` (which runs the Llama-7B
+//! stand-in fifteen-plus times).
+
+use bbal_core::SchemeSpec;
+use bbal_serve::{AdmissionPolicy, GenerateRequest, ServeConfig, ServeReport, ServeRuntime};
+use bbal_session::SessionBuilder;
+
+const MAX_WAIT_TICKS: u64 = 3;
+
+/// Mixed 3-scheme traffic with staggered arrivals, varying prompt and
+/// budget lengths — including a single-token request (id 4), which the
+/// TPOT mean must not count.
+fn trace() -> Vec<GenerateRequest> {
+    (0..9usize)
+        .map(|i| {
+            let prompt: Vec<usize> = (0..2 + (i * 5) % 11)
+                .map(|t| (7 * i + 3 * t) % 64)
+                .collect();
+            let scheme = match i % 3 {
+                0 => SchemeSpec::BBAL_PAPER,
+                1 => SchemeSpec::Bfp(4),
+                _ => SchemeSpec::Oltron,
+            };
+            let max_new = if i == 4 { 1 } else { 3 + i % 4 };
+            GenerateRequest::new(prompt, max_new)
+                .scheme(scheme)
+                .arriving_at(i as u64 * 2_000)
+        })
+        .collect()
+}
+
+fn serve(admission: AdmissionPolicy) -> ServeReport {
+    let template = SessionBuilder::new().model("Tiny").scheme("bbfp:4,2");
+    let config = ServeConfig {
+        max_batch: 3,
+        prefill_chunk: 4,
+        workers: 2,
+        admission,
+    };
+    ServeRuntime::new(template, config)
+        .expect("runtime builds")
+        .serve(&trace())
+        .expect("trace serves")
+}
+
+fn check_invariants(report: &ServeReport, policy: AdmissionPolicy) {
+    let trace = trace();
+    assert_eq!(report.requests.len(), trace.len());
+    for (r, req) in report.requests.iter().zip(&trace) {
+        // Every request ran to its budget, in vocabulary.
+        assert_eq!(r.tokens.len(), req.max_new_tokens, "request {}", r.id);
+        assert!(r.tokens.iter().all(|&t| t < 64));
+        // Causal per-request timeline.
+        assert!(r.admitted_cycles >= r.arrival_cycles);
+        assert!(r.first_token_cycles > r.admitted_cycles);
+        assert!(r.finish_cycles >= r.first_token_cycles);
+        assert!(r.finish_cycles <= report.total_cycles);
+        // Aging bound: passed over at most max_wait_ticks times, plus
+        // one slot-conflict per earlier-queued overdue request.
+        let bound = match policy {
+            AdmissionPolicy::Fcfs => 0,
+            AdmissionPolicy::SchemeAffinity { max_wait_ticks } => max_wait_ticks + r.id as u64,
+            _ => unreachable!("smoke covers both shipped policies"),
+        };
+        assert!(
+            r.passed_over_ticks <= bound,
+            "request {} passed over {} times (bound {bound})",
+            r.id,
+            r.passed_over_ticks
+        );
+    }
+    // Ticks tile the timeline without overlap and respect the budget.
+    for pair in report.ticks.windows(2) {
+        assert!(pair[1].start_cycles >= pair[0].start_cycles + pair[0].tick_cycles);
+    }
+    for t in &report.ticks {
+        assert!(t.active >= 1 && t.active <= 3);
+        assert!(!t.schemes.is_empty() && t.schemes.len() <= 3);
+        assert!(t.prefill_tokens + t.decode_steps >= t.active);
+    }
+    // The TPOT mean ignores the single-token request: it can never sit
+    // below the smallest real inter-token interval.
+    let min_real_tpot = report
+        .requests
+        .iter()
+        .filter(|r| r.tokens.len() >= 2)
+        .map(|r| r.tpot_cycles() / (report.clock_ghz * 1.0e6))
+        .fold(f64::INFINITY, f64::min);
+    assert!(report.mean_tpot_ms() >= min_real_tpot);
+    // Per-scheme shares add up to the aggregate.
+    let breakdown = report.scheme_breakdown();
+    assert_eq!(breakdown.len(), 3);
+    let share_sum: f64 = breakdown.iter().map(|s| s.tokens_per_s).sum();
+    assert!((share_sum - report.sim_tokens_per_s()).abs() < 1e-9);
+    assert!(report.energy_pj > 0.0);
+    assert!(report.sim_tokens_per_s() > 0.0);
+    assert!(report.mean_batch_occupancy() > 0.0);
+}
+
+#[test]
+fn fcfs_report_invariants_hold() {
+    let report = serve(AdmissionPolicy::Fcfs);
+    check_invariants(&report, AdmissionPolicy::Fcfs);
+    // Determinism: a fresh runtime over the same trace reproduces the
+    // report bit for bit (ServeReport equality ignores wall-clock).
+    assert_eq!(report, serve(AdmissionPolicy::Fcfs));
+}
+
+#[test]
+fn affinity_report_invariants_hold() {
+    let policy = AdmissionPolicy::SchemeAffinity {
+        max_wait_ticks: MAX_WAIT_TICKS,
+    };
+    let report = serve(policy);
+    check_invariants(&report, policy);
+    assert_eq!(report, serve(policy));
+}
+
+#[test]
+fn policies_agree_on_outputs() {
+    let fcfs = serve(AdmissionPolicy::Fcfs);
+    let affinity = serve(AdmissionPolicy::SchemeAffinity {
+        max_wait_ticks: MAX_WAIT_TICKS,
+    });
+    for (a, b) in fcfs.requests.iter().zip(&affinity.requests) {
+        assert_eq!(a.tokens, b.tokens, "request {}", a.id);
+    }
+}

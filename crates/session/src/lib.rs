@@ -472,13 +472,14 @@ impl Session {
     /// Every chunk is processed in one batched pass
     /// ([`bbal_llm::TransformerModel::prefill_chunk`]): projections and
     /// FFN GEMMs run over the whole chunk while each row attends
-    /// causally over the cache. For hooks whose activation transform is
-    /// block-local (FP16/FP32 and the BFP/BBFP schemes, whose 32-wide
-    /// blocks divide the hidden width), the result is bit-identical to
-    /// prefilling the whole prompt at once, regardless of how it is
-    /// chunked. Schemes with tensor-global activation statistics (e.g.
-    /// `int8`'s per-slice scale) depend on the chunking, but remain
-    /// deterministic for a fixed chunk size.
+    /// causally over the cache. When
+    /// [`Session::chunk_invariant_prefill`] is true the result is
+    /// bit-identical to prefilling the whole prompt at once, regardless
+    /// of how it is chunked; otherwise the chunking changes where the
+    /// scheme's activation-statistics groups fall and different
+    /// chunkings produce (deterministically) different logits — a
+    /// scheduler that must match whole-prompt outputs has to feed such a
+    /// session its prompt in one chunk (`bbal-serve` does).
     ///
     /// # Errors
     ///
@@ -493,6 +494,34 @@ impl Session {
         let model = self.prepared.as_ref().expect("prepared above");
         let logits = model.prefill_chunk(tokens, &self.hooks.as_ref(), &mut self.kv);
         Ok(logits.row(logits.rows() - 1).to_vec())
+    }
+
+    /// True when [`Session::prefill_chunk`] is *chunk-invariant*: any
+    /// chunking of a prompt produces logits bit-identical to prefilling
+    /// it whole.
+    ///
+    /// The chunking decides how many token rows share one activation
+    /// buffer, so a transform whose statistics couple values across rows
+    /// sees different groupings under different chunkings. Invariance
+    /// therefore holds exactly when the scheme's
+    /// [`activation_stats_span`](InferenceHooks::activation_stats_span)
+    /// never crosses a token row: element-wise transforms always
+    /// qualify; group-wise transforms qualify iff the group length
+    /// divides every activation row width of this model (the hidden
+    /// width and the FFN inner width); buffer-global transforms never
+    /// do. E.g. `olive`'s 64-wide groups are chunk-invariant on a
+    /// 4096-hidden model but not on a 96-hidden one.
+    pub fn chunk_invariant_prefill(&self) -> bool {
+        match self.hooks.activation_stats_span() {
+            bbal_llm::StatsSpan::Elementwise => true,
+            bbal_llm::StatsSpan::Blocks(group) => {
+                group > 0
+                    && [self.spec.hidden, self.spec.ffn_width()]
+                        .iter()
+                        .all(|w| w % group == 0)
+            }
+            bbal_llm::StatsSpan::Global => false,
+        }
     }
 
     /// Decodes one token against the cached sequence, appending its KV

@@ -2,35 +2,39 @@
 //! simulated BBAL accelerator.
 //!
 //! A burst of requests with staggered arrivals and mixed quantisation
-//! schemes goes through the `bbal-serve` scheduler twice — sequentially
-//! (batch budget 1, the single-session baseline) and with continuous
-//! batching — showing where the throughput of a serving accelerator
-//! actually comes from: token rows of co-scheduled requests share the
-//! weight-stationary GEMMs, so the weights stream from DRAM once per
-//! tick instead of once per request. Outputs are bit-identical either
-//! way; only the timeline changes.
+//! schemes goes through the `bbal-serve` scheduler three times —
+//! sequentially (batch budget 1, the single-session baseline), with
+//! FCFS continuous batching, and with scheme-affinity admission. The
+//! comparison shows where serving throughput actually comes from: token
+//! rows of co-scheduled requests share the weight-stationary GEMMs *per
+//! scheme*, so FCFS admission shreds a mixed batch into narrow
+//! per-scheme GEMMs while affinity admission keeps the batch fusable
+//! (watch the rows/GEMM column). Outputs are bit-identical in all three
+//! runs; only the timeline changes.
 //!
 //! Run with: `cargo run --release --example serving`
 
-use bbal::serve::{GenerateRequest, ServeConfig, ServeError, ServeReport, ServeRuntime};
+use bbal::serve::{
+    AdmissionPolicy, GenerateRequest, ServeConfig, ServeError, ServeReport, ServeRuntime,
+};
 use bbal::{SchemeSpec, SessionBuilder};
 
 fn trace() -> Vec<GenerateRequest> {
-    // 16 users: most on the paper's BBFP(4,2), a few on BFP4; prompts of
-    // 6..21 tokens, 12 generated tokens each, arriving in a burst.
-    (0..16u64)
+    // 18 users round-robin across three schemes; prompts of 6..21
+    // tokens, 12 generated tokens each, arriving in a burst.
+    (0..18u64)
         .map(|i| {
             let prompt: Vec<usize> = (0..6 + (i as usize * 7) % 16)
                 .map(|t| (3 + 11 * t + i as usize) % 256)
                 .collect();
-            let scheme = if i % 5 == 4 {
-                SchemeSpec::Bfp(4)
-            } else {
-                SchemeSpec::BBAL_PAPER
+            let scheme = match i % 3 {
+                0 => SchemeSpec::BBAL_PAPER,
+                1 => SchemeSpec::Bfp(4),
+                _ => SchemeSpec::Oltron,
             };
             GenerateRequest::new(prompt, 12)
                 .scheme(scheme)
-                .arriving_at(i * 30_000_000) // one arrival every 30 ms of sim time
+                .arriving_at(i * 10_000_000)
         })
         .collect()
 }
@@ -41,79 +45,79 @@ fn run(config: ServeConfig) -> Result<ServeReport, ServeError> {
 }
 
 fn main() -> Result<(), ServeError> {
-    let sequential = run(ServeConfig::sequential())?;
-    let batched = run(ServeConfig {
+    let batched = ServeConfig {
         max_batch: 8,
         prefill_chunk: 16,
         workers: 4,
-    })?;
+        ..ServeConfig::default()
+    };
+    let sequential = run(ServeConfig::sequential())?;
+    let fcfs = run(batched)?;
+    let affinity =
+        run(batched.with_admission(AdmissionPolicy::SchemeAffinity { max_wait_ticks: 16 }))?;
 
-    println!("16 requests, staggered arrivals, BBFP(4,2) + BFP4 mix\n");
-    println!("{:<22} {:>12} {:>12}", "", "sequential", "batch 8");
-    let row = |name: &str, a: f64, b: f64| println!("{name:<22} {a:>12.2} {b:>12.2}");
-    row(
-        "tokens/s (simulated)",
-        sequential.sim_tokens_per_s(),
-        batched.sim_tokens_per_s(),
-    );
-    row(
-        "mean TTFT (ms)",
-        sequential.mean_ttft_ms(),
-        batched.mean_ttft_ms(),
-    );
-    row(
-        "mean TPOT (ms)",
-        sequential.mean_tpot_ms(),
-        batched.mean_tpot_ms(),
-    );
-    row(
-        "mean latency (ms)",
-        sequential.mean_latency_ms(),
-        batched.mean_latency_ms(),
-    );
-    row(
-        "batch occupancy",
-        sequential.mean_batch_occupancy(),
-        batched.mean_batch_occupancy(),
-    );
-    row(
-        "max queue depth",
-        sequential.max_queue_depth() as f64,
-        batched.max_queue_depth() as f64,
-    );
+    println!("18 requests, staggered arrivals, bbfp:4,2 / bfp4 / oltron round-robin\n");
     println!(
-        "\nspeedup at batch 8: {:.2}x aggregate tokens/s",
-        batched.sim_tokens_per_s() / sequential.sim_tokens_per_s()
+        "{:<22} {:>12} {:>12} {:>12}",
+        "", "sequential", "fcfs @8", "affinity @8"
+    );
+    let row = |name: &str, f: &dyn Fn(&ServeReport) -> f64| {
+        println!(
+            "{name:<22} {:>12.2} {:>12.2} {:>12.2}",
+            f(&sequential),
+            f(&fcfs),
+            f(&affinity)
+        )
+    };
+    row("tokens/s (simulated)", &ServeReport::sim_tokens_per_s);
+    row("mean TTFT (ms)", &ServeReport::mean_ttft_ms);
+    row("mean TPOT (ms)", &ServeReport::mean_tpot_ms);
+    row("mean latency (ms)", &ServeReport::mean_latency_ms);
+    row("batch occupancy", &ServeReport::mean_batch_occupancy);
+    row(
+        "rows per fused GEMM",
+        &ServeReport::mean_fused_rows_per_gemm,
+    );
+    row("scheme switches", &|r| r.scheme_switches() as f64);
+    row("max queue depth", &|r| r.max_queue_depth() as f64);
+
+    println!(
+        "\nspeedup at batch 8: {:.2}x fcfs, {:.2}x scheme-affinity",
+        fcfs.sim_tokens_per_s() / sequential.sim_tokens_per_s(),
+        affinity.sim_tokens_per_s() / sequential.sim_tokens_per_s()
     );
 
-    let identical = sequential
-        .requests
-        .iter()
-        .zip(&batched.requests)
-        .all(|(s, b)| s.tokens == b.tokens);
-    println!("outputs bit-identical to sequential: {identical}");
-    assert!(identical, "scheduling must never change outputs");
+    let identical = |a: &ServeReport, b: &ServeReport| {
+        a.requests
+            .iter()
+            .zip(&b.requests)
+            .all(|(x, y)| x.tokens == y.tokens)
+    };
+    let all_identical = identical(&sequential, &fcfs) && identical(&sequential, &affinity);
+    println!("outputs bit-identical across all three runs: {all_identical}");
+    assert!(all_identical, "scheduling must never change outputs");
 
     println!(
         "\nsessions: {} built, {} reuses (pool across {} requests)",
-        batched.sessions_built,
-        batched.sessions_reused,
-        batched.requests.len()
+        affinity.sessions_built,
+        affinity.sessions_reused,
+        affinity.requests.len()
     );
-    println!("\nfirst requests under batching:");
+
+    println!("\nper-scheme breakdown under scheme-affinity admission:");
     println!(
-        "{:>4} {:>9} {:>8} {:>10} {:>10}  tokens",
-        "id", "scheme", "prompt", "TTFT ms", "lat ms"
+        "{:>9} {:>5} {:>7} {:>10} {:>10} {:>10}",
+        "scheme", "reqs", "tokens", "tok/s", "TTFT ms", "TPOT ms"
     );
-    for r in batched.requests.iter().take(6) {
+    for s in affinity.scheme_breakdown() {
         println!(
-            "{:>4} {:>9} {:>8} {:>10.2} {:>10.2}  {:?}",
-            r.id,
-            r.scheme.to_string(),
-            r.prompt_len,
-            batched.cycles_to_ms(r.ttft_cycles()),
-            batched.cycles_to_ms(r.latency_cycles()),
-            &r.tokens[..4.min(r.tokens.len())],
+            "{:>9} {:>5} {:>7} {:>10.2} {:>10.2} {:>10.2}",
+            s.scheme.to_string(),
+            s.requests,
+            s.tokens,
+            s.tokens_per_s,
+            s.mean_ttft_ms,
+            s.mean_tpot_ms
         );
     }
     Ok(())

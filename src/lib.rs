@@ -63,20 +63,26 @@
 //! ```
 //!
 //! Above the single session sits the continuous-batching serving
-//! runtime — a request queue, a session pool and a scheduler whose every
-//! tick is costed on the accelerator cycle model:
+//! runtime — a request queue, a session pool, a pluggable admission
+//! policy (FCFS, or scheme-affinity so mixed-scheme traffic still fuses
+//! its GEMMs) and a scheduler whose every tick is costed on the
+//! accelerator cycle model:
 //!
 //! ```
-//! use bbal::serve::{GenerateRequest, ServeConfig, ServeRuntime};
-//! use bbal::SessionBuilder;
+//! use bbal::serve::{AdmissionPolicy, GenerateRequest, ServeConfig, ServeRuntime};
+//! use bbal::{SchemeSpec, SessionBuilder};
 //!
 //! let template = SessionBuilder::new().model("Tiny").scheme("bbfp:4,2");
-//! let mut runtime = ServeRuntime::new(template, ServeConfig::default())?;
+//! let config = ServeConfig::default()
+//!     .with_admission(AdmissionPolicy::SchemeAffinity { max_wait_ticks: 8 });
+//! let mut runtime = ServeRuntime::new(template, config)?;
 //! let report = runtime.serve(&[
 //!     GenerateRequest::new(vec![1, 2, 3], 4),
-//!     GenerateRequest::new(vec![9, 8], 4).arriving_at(50_000),
+//!     GenerateRequest::new(vec![9, 8], 4).scheme(SchemeSpec::Bfp(4)),
+//!     GenerateRequest::new(vec![7], 4).arriving_at(50_000),
 //! ])?;
 //! assert!(report.sim_tokens_per_s() > 0.0);
+//! assert_eq!(report.scheme_breakdown().len(), 2);
 //! # Ok::<(), bbal::serve::ServeError>(())
 //! ```
 //!

@@ -1,7 +1,9 @@
 //! End-to-end serving-runtime guarantees, driven through the facade:
 //! scheduling must change timelines, never outputs.
 
-use bbal::serve::{GenerateRequest, ServeConfig, ServeReport, ServeRuntime};
+use bbal::serve::{
+    AdmissionPolicy, GenerateRequest, ServeConfig, ServeError, ServeReport, ServeRuntime,
+};
 use bbal::{SchemeSpec, SessionBuilder};
 
 fn serve(config: ServeConfig, requests: &[GenerateRequest]) -> ServeReport {
@@ -127,6 +129,7 @@ fn batching_pays_at_paper_scale() {
                 max_batch: batch,
                 prefill_chunk: 16,
                 workers: 2,
+                ..ServeConfig::default()
             },
         )
         .unwrap()
@@ -141,4 +144,97 @@ fn batching_pays_at_paper_scale() {
     let speedup = batched.sim_tokens_per_s() / sequential.sim_tokens_per_s();
     assert!(speedup >= 2.0, "batch-8 speedup only {speedup:.2}x");
     assert!(batched.mean_batch_occupancy() > 4.0);
+}
+
+#[test]
+fn every_table2_scheme_serves_like_a_lone_session_or_is_rejected() {
+    // The PR-4 determinism bug: schemes whose activation-statistics
+    // groups straddle token rows produced different tokens under chunked
+    // prefill than a lone `Session::generate`. A 96-wide hidden makes
+    // olive/oltron's 64-wide groups straddle (96 is not a multiple of
+    // 64), and a 5-token prefill chunk keeps the flattened buffers
+    // misaligned between chunkings — exactly the regime the scheduler
+    // must neutralise by feeding such schemes their whole prompt at
+    // once. Every servable Table II scheme must match its lone session;
+    // the rest must be rejected up front, not fail mid-run.
+    let mut spec = bbal::llm::zoo::tiny_test_model();
+    spec.name = "Tiny-96";
+    spec.hidden = 96;
+    let template = SessionBuilder::new()
+        .model_spec(spec.clone())
+        .scheme("bbfp:4,2");
+    let mut rt = ServeRuntime::new(
+        template,
+        ServeConfig {
+            max_batch: 4,
+            prefill_chunk: 5,
+            workers: 2,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+
+    let long_prompt: Vec<usize> = (0..23).map(|t| (t * 7 + 3) % 60).collect();
+    let mut served = 0;
+    for &scheme in bbal::quant::TABLE2_SCHEMES {
+        let reqs = vec![
+            GenerateRequest::new(long_prompt.clone(), 4).scheme(scheme),
+            GenerateRequest::new(vec![1, 2, 3], 4).scheme(scheme),
+        ];
+        match rt.serve(&reqs) {
+            Ok(report) => {
+                served += 1;
+                for (r, req) in report.requests.iter().zip(&reqs) {
+                    let mut lone = SessionBuilder::new()
+                        .model_spec(spec.clone())
+                        .scheme_spec(scheme)
+                        .build()
+                        .unwrap();
+                    let expected = lone.generate(&req.prompt, req.max_new_tokens).unwrap();
+                    assert_eq!(r.tokens, expected, "{scheme} request {} diverged", r.id);
+                }
+            }
+            Err(ServeError::Request { index: 0, .. }) => {
+                // No hardware mapping (fp16, omniquant): rejected before
+                // any session did work, and the runtime stays usable.
+            }
+            Err(e) => panic!("{scheme}: unexpected serve error {e}"),
+        }
+    }
+    // The lineup's BFP/BBFP/Olive/Oltron schemes all went through.
+    assert_eq!(served, 9, "expected 9 of 11 Table II schemes servable");
+}
+
+#[test]
+fn affinity_fuses_wider_and_starves_no_one() {
+    let trace = mixed_trace();
+    let fcfs = serve(ServeConfig::default(), &trace);
+    let affinity = serve(
+        ServeConfig::default()
+            .with_admission(AdmissionPolicy::SchemeAffinity { max_wait_ticks: 4 }),
+        &trace,
+    );
+    // Admission order never changes what a request generates.
+    for (a, b) in fcfs.requests.iter().zip(&affinity.requests) {
+        assert_eq!(a.tokens, b.tokens, "request {}", a.id);
+    }
+    // The policy's effect is visible in the fusion metrics.
+    assert!(
+        affinity.mean_fused_rows_per_gemm() >= fcfs.mean_fused_rows_per_gemm(),
+        "affinity fuses {} rows/GEMM, fcfs {}",
+        affinity.mean_fused_rows_per_gemm(),
+        fcfs.mean_fused_rows_per_gemm()
+    );
+    // FCFS never passes a request over; affinity is bounded by aging.
+    assert!(fcfs.requests.iter().all(|r| r.passed_over_ticks == 0));
+    for r in &affinity.requests {
+        assert!(
+            r.passed_over_ticks <= 4 + r.id as u64,
+            "request {} passed over {} times (bound 4 + FCFS conflicts)",
+            r.id,
+            r.passed_over_ticks
+        );
+        assert!(r.admitted_cycles >= r.arrival_cycles);
+        assert!(r.first_token_cycles > r.admitted_cycles);
+    }
 }

@@ -15,50 +15,91 @@ use bbal_core::{BbfpBlock, BbfpConfig, SchemeError, SchemeSpec};
 use bbal_llm::Tensor;
 use bbal_nonlinear::{NonlinearUnit, NonlinearUnitConfig};
 
+/// Default tokens per [`KvState`] page, matching the default page
+/// granularity of the model-level arena (`bbal_llm::DEFAULT_PAGE_TOKENS`).
+pub const KV_STATE_PAGE_TOKENS: usize = 16;
+
+/// One fixed-size page of the engine-level KV cache: up to
+/// `page_tokens` pre-encoded K rows and FP32 V rows.
+#[derive(Debug, Clone, Default)]
+struct KvStatePage {
+    k_blocks: Vec<Vec<BbfpBlock>>,
+    v_data: Vec<f32>,
+}
+
 /// The KV cache of one attention head in the engine's serving layout.
 ///
 /// Each cached token holds its K row *pre-encoded* into the engine's
 /// BBFP blocks (K transposed into the weight buffer once, when the token
 /// is appended) and its V row in FP32 (context re-encodes per step — its
 /// blocks span the growing sequence dimension, so they cannot be cached).
+///
+/// Storage is *paged*, mirroring the model-level
+/// `bbal_llm::KvCache`: tokens land in fixed-size pages of
+/// [`KvState::page_tokens`] rows, so the weight buffer's serving view
+/// grows in page-sized steps a memory-budgeted scheduler can count.
+/// The paging is layout only — attention results are bit-identical for
+/// any page size.
 #[derive(Debug, Clone)]
 pub struct KvState {
     config: BbfpConfig,
     head_dim: usize,
-    k_blocks: Vec<Vec<BbfpBlock>>,
-    v_data: Vec<f32>,
+    page_tokens: usize,
+    pages: Vec<KvStatePage>,
+    len: usize,
 }
 
 impl KvState {
     /// An empty cache for heads of width `head_dim`, encoding K rows with
-    /// `config`.
+    /// `config`, at the default page granularity.
     ///
     /// # Panics
     ///
     /// Panics if `head_dim` is zero.
     pub fn new(config: BbfpConfig, head_dim: usize) -> KvState {
+        KvState::with_page_tokens(config, head_dim, KV_STATE_PAGE_TOKENS)
+    }
+
+    /// An empty cache with an explicit page granularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `head_dim` or `page_tokens` is zero.
+    pub fn with_page_tokens(config: BbfpConfig, head_dim: usize, page_tokens: usize) -> KvState {
         assert!(head_dim > 0, "degenerate head width");
+        assert!(page_tokens > 0, "zero-token pages");
         KvState {
             config,
             head_dim,
-            k_blocks: Vec::new(),
-            v_data: Vec::new(),
+            page_tokens,
+            pages: Vec::new(),
+            len: 0,
         }
     }
 
     /// Number of cached tokens.
     pub fn len(&self) -> usize {
-        self.k_blocks.len()
+        self.len
     }
 
     /// True if no token has been cached yet.
     pub fn is_empty(&self) -> bool {
-        self.k_blocks.is_empty()
+        self.len == 0
     }
 
     /// Head width.
     pub fn head_dim(&self) -> usize {
         self.head_dim
+    }
+
+    /// Tokens per page.
+    pub fn page_tokens(&self) -> usize {
+        self.page_tokens
+    }
+
+    /// Pages currently backing the cache.
+    pub fn pages_in_use(&self) -> usize {
+        self.pages.len()
     }
 
     /// Appends one token's key/value rows, encoding the key into the
@@ -72,13 +113,31 @@ impl KvState {
         assert_eq!(k_row.len(), self.head_dim, "key row width mismatch");
         assert_eq!(v_row.len(), self.head_dim, "value row width mismatch");
         let gemm = BbalGemm::new(self.config);
-        self.k_blocks.push(gemm.encode_row(k_row));
-        self.v_data.extend_from_slice(v_row);
+        if self
+            .pages
+            .last()
+            .is_none_or(|p| p.k_blocks.len() >= self.page_tokens)
+        {
+            self.pages.push(KvStatePage::default());
+        }
+        let page = self.pages.last_mut().expect("page ensured above");
+        page.k_blocks.push(gemm.encode_row(k_row));
+        page.v_data.extend_from_slice(v_row);
+        self.len += 1;
+    }
+
+    /// The pre-encoded K blocks of token `j`.
+    fn k_row_blocks(&self, j: usize) -> &[BbfpBlock] {
+        &self.pages[j / self.page_tokens].k_blocks[j % self.page_tokens]
     }
 
     /// The cached values as a `[len, head_dim]` tensor.
     fn v_tensor(&self) -> Tensor {
-        Tensor::from_vec(self.len(), self.head_dim, self.v_data.clone())
+        let mut data = Vec::with_capacity(self.len * self.head_dim);
+        for page in &self.pages {
+            data.extend_from_slice(&page.v_data);
+        }
+        Tensor::from_vec(self.len, self.head_dim, data)
     }
 }
 
@@ -214,7 +273,7 @@ impl BbalEngine {
             let q_blocks = self.gemm.encode_row(q.row(i));
             let mut gathered: Vec<f32> = visible
                 .iter()
-                .map(|&j| self.gemm.dot_encoded(&q_blocks, &kv.k_blocks[j]) * scale)
+                .map(|&j| self.gemm.dot_encoded(&q_blocks, kv.k_row_blocks(j)) * scale)
                 .collect();
             self.nonlinear.softmax_row(&mut gathered);
             let row = probs.row_mut(i);
@@ -259,8 +318,8 @@ impl BbalEngine {
             }
             let q_blocks = self.gemm.encode_row(q.row(i));
             let row = probs.row_mut(i);
-            for (j, kb) in kv.k_blocks.iter().take(visible).enumerate() {
-                row[j] = self.gemm.dot_encoded(&q_blocks, kb) * scale;
+            for (j, s) in row.iter_mut().enumerate().take(visible) {
+                *s = self.gemm.dot_encoded(&q_blocks, kv.k_row_blocks(j)) * scale;
             }
             // Causal softmax through the nonlinear unit: the max unit and
             // subtraction operate on the visible prefix only.
@@ -482,6 +541,36 @@ mod tests {
         let k = tensor(4, 32, 5);
         let v = tensor(4, 32, 7);
         let _ = engine.attention(&q, &k, &v);
+    }
+
+    #[test]
+    fn kv_state_page_size_never_changes_attention() {
+        // The paged serving layout is storage only: decode through
+        // caches of every page granularity agrees bit for bit.
+        let (seq, dh) = (19, 32);
+        let q = tensor(seq, dh, 101);
+        let k = tensor(seq, dh, 103);
+        let v = tensor(seq, dh, 107);
+        let mut engine = BbalEngine::paper();
+        let reference = {
+            let mut kv = engine.new_kv_state(dh);
+            for t in 0..seq {
+                kv.push(k.row(t), v.row(t));
+            }
+            let q_row = Tensor::from_vec(1, dh, q.row(seq - 1).to_vec());
+            engine.decode_attention(&q_row, &kv)
+        };
+        for page_tokens in [1usize, 4, 16, 64] {
+            let mut kv = KvState::with_page_tokens(engine.linear_config(), dh, page_tokens);
+            for t in 0..seq {
+                kv.push(k.row(t), v.row(t));
+            }
+            assert_eq!(kv.len(), seq);
+            assert_eq!(kv.pages_in_use(), seq.div_ceil(page_tokens));
+            let q_row = Tensor::from_vec(1, dh, q.row(seq - 1).to_vec());
+            let out = engine.decode_attention(&q_row, &kv);
+            assert_eq!(out.data(), reference.data(), "page_tokens {page_tokens}");
+        }
     }
 
     #[test]

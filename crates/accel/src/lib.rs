@@ -35,7 +35,7 @@ pub mod systolic;
 
 pub use bbal::BbalGemm;
 pub use config::{AcceleratorConfig, ConfigError, FormatSpec};
-pub use engine::{BbalEngine, KvState};
+pub use engine::{BbalEngine, KvState, KV_STATE_PAGE_TOKENS};
 pub use isoarea::{array_for_budget, iso_area_sweep, IsoAreaPoint};
 pub use sim::{simulate, simulate_with, EnergyBreakdown, NonlinearTiming, SimReport};
 pub use systolic::{SystolicTile, TileRun};

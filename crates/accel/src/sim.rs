@@ -26,12 +26,29 @@ pub struct EnergyBreakdown {
     pub buffer_pj: f64,
     /// PE-array switching energy, pJ.
     pub core_pj: f64,
+    /// DRAM energy of KV-cache traffic, pJ. The operator-level
+    /// simulator leaves this at 0 (its per-GEMM DRAM estimate already
+    /// streams attention operands generically); the serving runtime
+    /// (`bbal-serve`) fills it from `bbal_mem::KvTraffic` when folding
+    /// tick energies into its run-level `ServeReport::energy`
+    /// breakdown, charging the scheme-dependent KV bytes every tick's
+    /// prefill chunks and decode steps move.
+    pub kv_dram_pj: f64,
 }
 
 impl EnergyBreakdown {
     /// Total energy in pJ.
     pub fn total_pj(&self) -> f64 {
-        self.static_pj + self.dram_pj + self.buffer_pj + self.core_pj
+        self.static_pj + self.dram_pj + self.buffer_pj + self.core_pj + self.kv_dram_pj
+    }
+
+    /// Folds another breakdown into this one, component-wise.
+    pub fn accumulate(&mut self, other: &EnergyBreakdown) {
+        self.static_pj += other.static_pj;
+        self.dram_pj += other.dram_pj;
+        self.buffer_pj += other.buffer_pj;
+        self.core_pj += other.core_pj;
+        self.kv_dram_pj += other.kv_dram_pj;
     }
 }
 
@@ -194,6 +211,7 @@ pub fn simulate_with(
         core_pj: report.macs as f64 / cfg.pe_count() as f64
             * cfg.pe_energy_pj(lib)
             * cfg.pe_count() as f64,
+        kv_dram_pj: 0.0,
     };
     report
 }

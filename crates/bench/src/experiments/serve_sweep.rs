@@ -1,6 +1,7 @@
 //! Serving sweep (beyond the paper): aggregate throughput and latency of
-//! the `bbal-serve` continuous-batching runtime versus the batch budget
-//! and the admission policy, on a fixed multi-user trace.
+//! the `bbal-serve` continuous-batching runtime versus the batch budget,
+//! the admission policy, and the KV memory budget, on a fixed
+//! multi-user trace.
 //!
 //! The paper's Tables IV/V report the accelerator one request at a time;
 //! this sweep shows what the same accelerator does under heavy traffic.
@@ -13,6 +14,16 @@
 //! scheme-affinity admission, which fills slots with requests that fuse
 //! with the running batch (the `rows/GEMM` column shows the mechanism
 //! directly).
+//!
+//! The memory-pressure section re-serves the mixed batch-8 affinity
+//! configuration under tightening `kv_budget_pages`: the scheduler must
+//! admit by worst-case prefill pages and preempt-and-replay when decode
+//! growth exhausts the arena, completing every request bit-identically
+//! at a throughput cost the `preempt` column explains.
+//!
+//! Besides the human-readable table (written to `results/serve_sweep.txt`
+//! by `reproduce_all`), the sweep emits `results/serve_sweep.json` so
+//! the perf trajectory is machine-diffable across PRs.
 
 use crate::util::{fmt2, print_table, to_io};
 use bbal_core::SchemeSpec;
@@ -33,6 +44,13 @@ const AFFINITY: AdmissionPolicy = AdmissionPolicy::SchemeAffinity {
     max_wait_ticks: MAX_WAIT_TICKS,
 };
 
+/// The mixed 3-scheme lineup of the policy and memory sweeps.
+const MIXED: [SchemeSpec; 3] = [
+    SchemeSpec::BBAL_PAPER,
+    SchemeSpec::Bfp(4),
+    SchemeSpec::Oltron,
+];
+
 /// A deterministic multi-user trace: varying prompt lengths, staggered
 /// arrivals, schemes assigned round-robin from `schemes`.
 fn trace(schemes: &[SchemeSpec]) -> Vec<GenerateRequest> {
@@ -51,6 +69,7 @@ fn serve(
     schemes: &[SchemeSpec],
     batch: usize,
     admission: AdmissionPolicy,
+    kv_budget_pages: Option<usize>,
 ) -> io::Result<ServeReport> {
     let template = SessionBuilder::new().model(MODEL).scheme("bbfp:4,2");
     let config = ServeConfig {
@@ -58,12 +77,78 @@ fn serve(
         prefill_chunk: 16,
         workers: 2,
         admission,
+        kv_budget_pages,
+        ..ServeConfig::default()
     };
     let mut runtime = ServeRuntime::new(template, config).map_err(to_io)?;
     runtime.serve(&trace(schemes)).map_err(to_io)
 }
 
-/// Runs the sweep and prints the scheme × batch-size table.
+fn identical_outputs(base: &ServeReport, report: &ServeReport) -> bool {
+    base.requests
+        .iter()
+        .zip(&report.requests)
+        .all(|(a, b)| a.tokens == b.tokens)
+}
+
+/// One sweep configuration's machine-readable record.
+struct JsonRow {
+    lineup: &'static str,
+    policy: &'static str,
+    batch: usize,
+    kv_budget_pages: Option<usize>,
+    report: ServeReport,
+    speedup: f64,
+    /// What `speedup` is measured against: the lineup's sequential
+    /// FCFS run for the batch axis, the unbounded run for the memory
+    /// axis. Recorded so JSON consumers never compare speedups across
+    /// incommensurable baselines.
+    speedup_baseline: &'static str,
+    identical: bool,
+}
+
+impl JsonRow {
+    fn to_json(&self) -> String {
+        let r = &self.report;
+        format!(
+            "{{\"lineup\":\"{}\",\"policy\":\"{}\",\"batch\":{},\"kv_budget_pages\":{},\
+             \"tokens_per_s\":{:.3},\"speedup\":{:.4},\"speedup_baseline\":\"{}\",\
+             \"mean_ttft_ms\":{:.4},\
+             \"mean_tpot_ms\":{:.4},\"mean_latency_ms\":{:.4},\"occupancy\":{:.4},\
+             \"rows_per_gemm\":{:.4},\"scheme_switches\":{},\"total_cycles\":{},\
+             \"energy_pj\":{:.3},\"kv_dram_energy_pj\":{:.3},\"kv_bytes_moved\":{},\
+             \"kv_page_tokens\":{},\"peak_kv_pages\":{},\"preemptions\":{},\
+             \"rejected\":{},\"generated_tokens\":{},\"identical\":{}}}",
+            self.lineup,
+            self.policy,
+            self.batch,
+            self.kv_budget_pages
+                .map_or("null".to_owned(), |p| p.to_string()),
+            r.sim_tokens_per_s(),
+            self.speedup,
+            self.speedup_baseline,
+            r.mean_ttft_ms(),
+            r.mean_tpot_ms(),
+            r.mean_latency_ms(),
+            r.mean_batch_occupancy(),
+            r.mean_fused_rows_per_gemm(),
+            r.scheme_switches(),
+            r.total_cycles,
+            r.energy_pj,
+            r.kv_dram_energy_pj,
+            r.kv_bytes_moved(),
+            r.kv_page_tokens,
+            r.peak_kv_pages,
+            r.preemptions,
+            r.rejected().count(),
+            r.generated_tokens(),
+            self.identical,
+        )
+    }
+}
+
+/// Runs the sweep and prints the scheme × batch-size table plus the
+/// memory-pressure table; also writes `results/serve_sweep.json`.
 ///
 /// # Errors
 ///
@@ -87,7 +172,7 @@ pub fn run(w: &mut dyn Write) -> io::Result<()> {
         "affinity = scheme-affinity admission, max_wait_ticks {MAX_WAIT_TICKS}\n"
     )?;
 
-    let lineups: [(&str, Vec<SchemeSpec>, Vec<AdmissionPolicy>); 3] = [
+    let lineups: [(&'static str, Vec<SchemeSpec>, Vec<AdmissionPolicy>); 3] = [
         (
             "bbfp:4,2",
             vec![SchemeSpec::BBAL_PAPER],
@@ -100,32 +185,33 @@ pub fn run(w: &mut dyn Write) -> io::Result<()> {
         ),
         (
             "mixed",
-            vec![
-                SchemeSpec::BBAL_PAPER,
-                SchemeSpec::Bfp(4),
-                SchemeSpec::Oltron,
-            ],
+            MIXED.to_vec(),
             vec![AdmissionPolicy::Fcfs, AFFINITY],
         ),
     ];
 
     let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut json_rows: Vec<JsonRow> = Vec::new();
     let mut bbal_batch8_speedup = 0.0;
-    let mut mixed_batch8 = [0.0f64; 2]; // [fcfs, affinity]
+    // Mixed-lineup batch-8 speedups, indexed [fcfs, affinity].
+    let mut mixed_batch8 = [0.0f64; 2];
+    // The mixed batch-8 affinity run doubles as the memory sweep's
+    // unbounded reference (reports are deterministic, so it need not be
+    // re-served).
+    let mut mixed_affinity8: Option<ServeReport> = None;
     let mut all_identical = true;
     for (label, schemes, policies) in &lineups {
         let mut baseline: Option<ServeReport> = None;
         for &policy in policies {
             for batch in BATCHES {
-                let report = serve(schemes, batch, policy)?;
+                let report = serve(schemes, batch, policy, None)?;
+                if *label == "mixed" && policy == AFFINITY && batch == 8 {
+                    mixed_affinity8 = Some(report.clone());
+                }
                 // The speedup/identity baseline for every policy is the
                 // same sequential FCFS run.
                 let base = baseline.get_or_insert_with(|| report.clone());
-                let identical = base
-                    .requests
-                    .iter()
-                    .zip(&report.requests)
-                    .all(|(a, b)| a.tokens == b.tokens);
+                let identical = identical_outputs(base, &report);
                 all_identical &= identical;
                 let speedup = report.sim_tokens_per_s() / base.sim_tokens_per_s();
                 if *label == "bbfp:4,2" && batch == 8 {
@@ -148,6 +234,16 @@ pub fn run(w: &mut dyn Write) -> io::Result<()> {
                     format!("{:.1}", report.total_cycles as f64 / 1.0e9),
                     if identical { "yes" } else { "NO" }.to_owned(),
                 ]);
+                json_rows.push(JsonRow {
+                    lineup: label,
+                    policy: policy.label(),
+                    batch,
+                    kv_budget_pages: None,
+                    report,
+                    speedup,
+                    speedup_baseline: "sequential",
+                    identical,
+                });
             }
         }
     }
@@ -185,6 +281,106 @@ pub fn run(w: &mut dyn Write) -> io::Result<()> {
         "per-request outputs bit-identical to sequential across the sweep: {}",
         if all_identical { "yes" } else { "NO" }
     )?;
+
+    // --- Memory-pressure sweep -------------------------------------
+    // The mixed batch-8 affinity configuration again, under tightening
+    // KV budgets. The unbounded run's peak pages set the scale; tight
+    // budgets force admission gating and preempt-and-replay, which
+    // must never change a single output token.
+    writeln!(w)?;
+    writeln!(
+        w,
+        "Memory-pressure sweep: mixed lineup, batch 8, affinity admission,"
+    )?;
+    let unbounded = mixed_affinity8.expect("the main sweep serves mixed/affinity/batch 8");
+    let peak = unbounded.peak_kv_pages;
+    writeln!(
+        w,
+        "kv pages of {} tokens; unbounded run peaks at {peak} pages\n",
+        unbounded.kv_page_tokens
+    )?;
+    let budgets: Vec<Option<usize>> = vec![
+        None,
+        Some(peak),
+        Some((peak / 2).max(1)),
+        Some((peak / 4).max(1)),
+    ];
+    let mut mem_rows: Vec<Vec<String>> = Vec::new();
+    let mut pressured_identical = true;
+    let mut half_budget_preemptions = 0u64;
+    for budget in budgets {
+        let report = match budget {
+            None => unbounded.clone(),
+            Some(_) => serve(&MIXED, 8, AFFINITY, budget)?,
+        };
+        let identical = identical_outputs(&unbounded, &report);
+        pressured_identical &= identical;
+        let speedup = report.sim_tokens_per_s() / unbounded.sim_tokens_per_s();
+        if budget == Some((peak / 2).max(1)) {
+            half_budget_preemptions = report.preemptions;
+        }
+        mem_rows.push(vec![
+            budget.map_or("unbounded".to_owned(), |b| b.to_string()),
+            fmt2(report.sim_tokens_per_s()),
+            format!("{speedup:.2}x"),
+            report.peak_kv_pages.to_string(),
+            report.preemptions.to_string(),
+            fmt2(report.mean_ttft_ms()),
+            format!("{:.1}", report.kv_bytes_moved() as f64 / 1.0e6),
+            format!("{:.1}", report.kv_dram_energy_pj / 1.0e6),
+            if identical { "yes" } else { "NO" }.to_owned(),
+        ]);
+        // The unbounded configuration is already in the JSON record
+        // from the main sweep (with the sequential baseline); only the
+        // budgeted rows are new.
+        if budget.is_some() {
+            json_rows.push(JsonRow {
+                lineup: "mixed",
+                policy: AFFINITY.label(),
+                batch: 8,
+                kv_budget_pages: budget,
+                report,
+                speedup,
+                speedup_baseline: "unbounded",
+                identical,
+            });
+        }
+    }
+    print_table(
+        w,
+        &[
+            "kv budget",
+            "tok/s (sim)",
+            "vs unbound",
+            "peak pages",
+            "preempt",
+            "TTFT ms",
+            "KV MB",
+            "KV uJ",
+            "identical",
+        ],
+        &mem_rows,
+    )?;
+    writeln!(w)?;
+    writeln!(
+        w,
+        "half-peak budget: {half_budget_preemptions} preemptions, outputs bit-identical: {}",
+        if pressured_identical { "yes" } else { "NO" }
+    )?;
+
+    // --- Machine-diffable record ------------------------------------
+    let json = format!(
+        "{{\n  \"model\": \"{MODEL}\",\n  \"requests\": {REQUESTS},\n  \
+         \"max_new_tokens\": {MAX_NEW},\n  \"configs\": [\n    {}\n  ]\n}}\n",
+        json_rows
+            .iter()
+            .map(JsonRow::to_json)
+            .collect::<Vec<_>>()
+            .join(",\n    ")
+    );
+    std::fs::create_dir_all("results")?;
+    std::fs::write("results/serve_sweep.json", json)?;
+    writeln!(w, "machine-readable record: results/serve_sweep.json")?;
     Ok(())
 }
 
@@ -196,8 +392,8 @@ mod tests {
     fn batch8_doubles_throughput_with_identical_outputs() {
         // The ISSUE-3 acceptance gate, on the BBAL scheme.
         let schemes = [SchemeSpec::BBAL_PAPER];
-        let seq = serve(&schemes, 1, AdmissionPolicy::Fcfs).unwrap();
-        let batched = serve(&schemes, 8, AdmissionPolicy::Fcfs).unwrap();
+        let seq = serve(&schemes, 1, AdmissionPolicy::Fcfs, None).unwrap();
+        let batched = serve(&schemes, 8, AdmissionPolicy::Fcfs, None).unwrap();
         for (a, b) in seq.requests.iter().zip(&batched.requests) {
             assert_eq!(a.tokens, b.tokens, "request {} diverged", a.id);
         }
@@ -210,13 +406,8 @@ mod tests {
         // The ISSUE-4 acceptance gate: scheme-affinity admission lifts
         // the 3-scheme round-robin trace at batch 8 from ~2.2x to at
         // least 3.5x sequential — with outputs still bit-identical.
-        let schemes = [
-            SchemeSpec::BBAL_PAPER,
-            SchemeSpec::Bfp(4),
-            SchemeSpec::Oltron,
-        ];
-        let seq = serve(&schemes, 1, AdmissionPolicy::Fcfs).unwrap();
-        let affinity = serve(&schemes, 8, AFFINITY).unwrap();
+        let seq = serve(&MIXED, 1, AdmissionPolicy::Fcfs, None).unwrap();
+        let affinity = serve(&MIXED, 8, AFFINITY, None).unwrap();
         for (a, b) in seq.requests.iter().zip(&affinity.requests) {
             assert_eq!(a.tokens, b.tokens, "request {} diverged", a.id);
         }
@@ -234,5 +425,34 @@ mod tests {
                 r.passed_over_ticks
             );
         }
+    }
+
+    #[test]
+    fn half_peak_kv_budget_preempts_but_stays_bit_identical() {
+        // The ISSUE-5 acceptance gate: with the KV budget at ~half the
+        // unconstrained peak, the mixed batch-8 trace completes every
+        // request via preemption with outputs bit-identical to the
+        // unconstrained run, and reports the memory activity.
+        let unbounded = serve(&MIXED, 8, AFFINITY, None).unwrap();
+        assert!(unbounded.peak_kv_pages > 0);
+        assert_eq!(unbounded.preemptions, 0);
+        assert!(unbounded.kv_dram_energy_pj > 0.0);
+        let budget = (unbounded.peak_kv_pages / 2).max(1);
+        let tight = serve(&MIXED, 8, AFFINITY, Some(budget)).unwrap();
+        for (a, b) in unbounded.requests.iter().zip(&tight.requests) {
+            assert_eq!(a.tokens, b.tokens, "request {} diverged", a.id);
+        }
+        assert!(
+            tight.preemptions > 0,
+            "half-peak budget should force preemptions"
+        );
+        assert!(
+            tight.peak_kv_pages <= budget,
+            "peak {} exceeded the budget {budget}",
+            tight.peak_kv_pages
+        );
+        assert!(tight.kv_bytes_moved() > 0);
+        assert!(tight.kv_dram_energy_pj > 0.0);
+        assert!(tight.rejected().count() == 0);
     }
 }

@@ -1,0 +1,297 @@
+//! The paged KV-cache arena.
+//!
+//! Decode on real deployments is memory-bound: the KV cache, not the
+//! MACs, is what fills the accelerator's DRAM budget (LlamaF,
+//! arXiv:2409.11424). A serving runtime therefore needs KV storage it
+//! can *budget*: fixed-size pages allocated from a shared pool, so the
+//! scheduler can ask "does this request's prefill fit?" and "how many
+//! pages would this tick grow?" before committing work — the vLLM
+//! PagedAttention storage discipline, applied to this reproduction's
+//! caches.
+//!
+//! A [`KvArena`] is that pool: a thread-safe handle (cheap to clone,
+//! shared across every session of a serving runtime) that hands out
+//! page buffers of [`page_tokens`](KvArena::page_tokens) rows and
+//! enforces an optional budget in pages. [`KvCache`](crate::KvCache)
+//! draws its per-layer storage from an arena; a lone cache defaults to
+//! its own unbounded arena, so nothing changes for single-session use.
+//!
+//! Pages are handed out by *ownership transfer*: the arena keeps only
+//! the free-list and the accounting, while the cache that allocated a
+//! page writes to it without further locking. Releasing a cache (or
+//! clearing it) returns its buffers to the free-list, so page storage
+//! is recycled across requests instead of reallocated.
+
+use std::fmt;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Default page granularity of a lone cache's private arena: small
+/// enough that short sequences waste little, large enough that page
+/// bookkeeping is negligible against the attention math.
+pub const DEFAULT_PAGE_TOKENS: usize = 16;
+
+/// The arena has no free page left (its budget is exhausted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArenaFull {
+    /// The arena's budget, in pages.
+    pub budget_pages: usize,
+}
+
+impl fmt::Display for ArenaFull {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "KV arena budget of {} pages exhausted",
+            self.budget_pages
+        )
+    }
+}
+
+impl std::error::Error for ArenaFull {}
+
+/// One page of KV storage: up to `page_tokens` key rows and value rows
+/// of one decoder layer, row-major. The row width is whatever the
+/// owning cache pushes (the model's hidden width); the arena only
+/// recycles the backing buffers.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PageBuf {
+    /// Key rows, `[rows × hidden]`.
+    pub k: Vec<f32>,
+    /// Value rows, `[rows × hidden]`.
+    pub v: Vec<f32>,
+}
+
+#[derive(Debug)]
+struct ArenaInner {
+    page_tokens: usize,
+    budget_pages: Option<usize>,
+    allocated: usize,
+    peak: usize,
+    free: Vec<PageBuf>,
+}
+
+/// A shared pool of fixed-size KV pages with an optional budget.
+///
+/// Cloning the handle shares the pool: every
+/// [`KvCache`](crate::KvCache) created
+/// [in the same arena](crate::TransformerModel::kv_cache_in) draws
+/// from, and is limited by, the same budget.
+///
+/// ```
+/// use bbal_llm::KvArena;
+///
+/// let arena = KvArena::with_budget(4, 64);
+/// assert_eq!(arena.page_tokens(), 4);
+/// assert_eq!(arena.budget_pages(), Some(64));
+/// assert_eq!(arena.pages_in_use(), 0);
+/// // 10 tokens over 3 layers at 4 tokens/page: 3 pages per layer.
+/// assert_eq!(arena.pages_for_tokens(10, 3), 9);
+/// ```
+#[derive(Clone)]
+pub struct KvArena {
+    inner: Arc<Mutex<ArenaInner>>,
+}
+
+impl fmt::Debug for KvArena {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let g = self.lock();
+        f.debug_struct("KvArena")
+            .field("page_tokens", &g.page_tokens)
+            .field("budget_pages", &g.budget_pages)
+            .field("allocated", &g.allocated)
+            .field("peak", &g.peak)
+            .finish()
+    }
+}
+
+impl KvArena {
+    /// An arena with no page budget (allocation never fails).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_tokens` is zero.
+    pub fn unbounded(page_tokens: usize) -> KvArena {
+        KvArena::build(page_tokens, None)
+    }
+
+    /// An arena limited to `budget_pages` pages across every cache that
+    /// draws from it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_tokens` or `budget_pages` is zero.
+    pub fn with_budget(page_tokens: usize, budget_pages: usize) -> KvArena {
+        assert!(budget_pages > 0, "zero-page budget");
+        KvArena::build(page_tokens, Some(budget_pages))
+    }
+
+    fn build(page_tokens: usize, budget_pages: Option<usize>) -> KvArena {
+        assert!(page_tokens > 0, "zero-token pages");
+        KvArena {
+            inner: Arc::new(Mutex::new(ArenaInner {
+                page_tokens,
+                budget_pages,
+                allocated: 0,
+                peak: 0,
+                free: Vec::new(),
+            })),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, ArenaInner> {
+        // A panic inside the tensor math (the serve runtime catches
+        // worker panics) must not wedge every other session's cache.
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Tokens per page.
+    pub fn page_tokens(&self) -> usize {
+        self.lock().page_tokens
+    }
+
+    /// The budget in pages, or `None` for an unbounded arena.
+    pub fn budget_pages(&self) -> Option<usize> {
+        self.lock().budget_pages
+    }
+
+    /// Pages currently held by caches drawing from this arena.
+    pub fn pages_in_use(&self) -> usize {
+        self.lock().allocated
+    }
+
+    /// Pages still allocatable before the budget is hit
+    /// (`usize::MAX` for an unbounded arena).
+    pub fn free_pages(&self) -> usize {
+        let g = self.lock();
+        match g.budget_pages {
+            Some(b) => b.saturating_sub(g.allocated),
+            None => usize::MAX,
+        }
+    }
+
+    /// High-water mark of [`KvArena::pages_in_use`] over the arena's
+    /// lifetime.
+    pub fn peak_pages(&self) -> usize {
+        self.lock().peak
+    }
+
+    /// Pages a cache of `layers` decoder layers holding `tokens` tokens
+    /// occupies: `layers × ⌈tokens / page_tokens⌉`. This is the exact
+    /// arithmetic [`KvCache`](crate::KvCache) allocates by, so a
+    /// scheduler can plan admissions and preemptions without touching
+    /// the arena.
+    pub fn pages_for_tokens(&self, tokens: usize, layers: usize) -> usize {
+        layers * tokens.div_ceil(self.lock().page_tokens)
+    }
+
+    /// Takes one page out of the arena (recycled when available).
+    ///
+    /// # Errors
+    ///
+    /// [`ArenaFull`] when the budget is exhausted.
+    pub(crate) fn alloc(&self) -> Result<PageBuf, ArenaFull> {
+        let mut g = self.lock();
+        if let Some(budget) = g.budget_pages {
+            if g.allocated >= budget {
+                return Err(ArenaFull {
+                    budget_pages: budget,
+                });
+            }
+        }
+        g.allocated += 1;
+        g.peak = g.peak.max(g.allocated);
+        Ok(g.free.pop().unwrap_or_default())
+    }
+
+    /// Returns a page to the free-list.
+    pub(crate) fn release(&self, mut page: PageBuf) {
+        page.k.clear();
+        page.v.clear();
+        let mut g = self.lock();
+        debug_assert!(g.allocated > 0, "releasing into an empty arena");
+        g.allocated = g.allocated.saturating_sub(1);
+        g.free.push(page);
+    }
+}
+
+impl Default for KvArena {
+    /// An unbounded arena at [`DEFAULT_PAGE_TOKENS`] granularity.
+    fn default() -> KvArena {
+        KvArena::unbounded(DEFAULT_PAGE_TOKENS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_is_enforced_and_released_pages_recycle() {
+        let arena = KvArena::with_budget(8, 2);
+        let a = arena.alloc().unwrap();
+        let b = arena.alloc().unwrap();
+        assert_eq!(arena.pages_in_use(), 2);
+        assert_eq!(arena.free_pages(), 0);
+        assert_eq!(arena.alloc().unwrap_err(), ArenaFull { budget_pages: 2 });
+        arena.release(a);
+        assert_eq!(arena.pages_in_use(), 1);
+        let c = arena.alloc().unwrap();
+        assert_eq!(arena.peak_pages(), 2);
+        arena.release(b);
+        arena.release(c);
+        assert_eq!(arena.pages_in_use(), 0);
+    }
+
+    #[test]
+    fn released_buffers_come_back_empty() {
+        let arena = KvArena::unbounded(4);
+        let mut page = arena.alloc().unwrap();
+        page.k.extend_from_slice(&[1.0, 2.0]);
+        page.v.extend_from_slice(&[3.0]);
+        arena.release(page);
+        let recycled = arena.alloc().unwrap();
+        assert!(recycled.k.is_empty() && recycled.v.is_empty());
+    }
+
+    #[test]
+    fn pages_for_tokens_rounds_up_per_layer() {
+        let arena = KvArena::unbounded(16);
+        assert_eq!(arena.pages_for_tokens(0, 3), 0);
+        assert_eq!(arena.pages_for_tokens(1, 3), 3);
+        assert_eq!(arena.pages_for_tokens(16, 3), 3);
+        assert_eq!(arena.pages_for_tokens(17, 3), 6);
+    }
+
+    #[test]
+    fn clones_share_the_budget() {
+        let arena = KvArena::with_budget(4, 1);
+        let other = arena.clone();
+        let page = other.alloc().unwrap();
+        assert!(arena.alloc().is_err());
+        other.release(page);
+        assert!(arena.alloc().is_ok());
+    }
+
+    #[test]
+    fn unbounded_reports_max_free() {
+        let arena = KvArena::default();
+        assert_eq!(arena.free_pages(), usize::MAX);
+        assert_eq!(arena.budget_pages(), None);
+        assert_eq!(arena.page_tokens(), DEFAULT_PAGE_TOKENS);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-token pages")]
+    fn zero_page_tokens_is_rejected() {
+        let _ = KvArena::unbounded(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-page budget")]
+    fn zero_budget_is_rejected() {
+        let _ = KvArena::with_budget(4, 0);
+    }
+}

@@ -28,6 +28,7 @@
 pub mod eval;
 pub mod graph;
 pub mod hooks;
+pub mod kv;
 pub mod model;
 pub mod ops;
 pub mod rng;
@@ -37,6 +38,7 @@ pub mod zoo;
 
 pub use eval::{evaluate_ppl, EvalSet, PplResult};
 pub use hooks::{Activation, ComposedHooks, ExactHooks, Fp16Hooks, InferenceHooks, StatsSpan};
+pub use kv::{ArenaFull, KvArena, DEFAULT_PAGE_TOKENS};
 pub use model::{KvCache, LayerWeights, TransformerModel};
 pub use tensor::Tensor;
 pub use zoo::{Family, ModelSpec, OutlierProfile};

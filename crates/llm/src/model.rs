@@ -14,6 +14,7 @@
 //! outliers.
 
 use crate::hooks::InferenceHooks;
+use crate::kv::{KvArena, PageBuf};
 use crate::ops;
 use crate::rng::Stream;
 use crate::tensor::Tensor;
@@ -53,24 +54,65 @@ impl LayerWeights {
     }
 }
 
-/// Per-layer key/value rows cached during autoregressive decoding.
-#[derive(Debug, Clone, Default)]
+/// Per-layer key/value rows cached during autoregressive decoding, as a
+/// sequence of fixed-size pages drawn from a [`KvArena`].
+#[derive(Debug, Default)]
 struct LayerKv {
-    /// Cached keys, `[len × hidden]` row-major.
-    k: Vec<f32>,
-    /// Cached values, `[len × hidden]` row-major.
-    v: Vec<f32>,
+    /// Pages in token order: page `p` holds rows
+    /// `p·page_tokens .. (p+1)·page_tokens` of this layer.
+    pages: Vec<PageBuf>,
+}
+
+impl LayerKv {
+    /// Columns `c0..c0+width` of token `j`'s cached key row.
+    #[inline]
+    fn k_row(
+        &self,
+        j: usize,
+        page_tokens: usize,
+        hidden: usize,
+        c0: usize,
+        width: usize,
+    ) -> &[f32] {
+        let off = (j % page_tokens) * hidden + c0;
+        &self.pages[j / page_tokens].k[off..off + width]
+    }
+
+    /// Columns `c0..c0+width` of token `j`'s cached value row.
+    #[inline]
+    fn v_row(
+        &self,
+        j: usize,
+        page_tokens: usize,
+        hidden: usize,
+        c0: usize,
+        width: usize,
+    ) -> &[f32] {
+        let off = (j % page_tokens) * hidden + c0;
+        &self.pages[j / page_tokens].v[off..off + width]
+    }
 }
 
 /// Owned KV-cache state for [`TransformerModel::prefill`] and
 /// [`TransformerModel::decode_step`].
 ///
-/// Holds every layer's key/value rows for the tokens processed so far.
-/// Create one with [`TransformerModel::kv_cache`]; a cache is bound to
-/// the model geometry it was created for.
-#[derive(Debug, Clone)]
+/// Holds every layer's key/value rows for the tokens processed so far,
+/// in fixed-size *pages* allocated from a [`KvArena`]: a page table per
+/// layer maps token blocks to page buffers, so the storage a sequence
+/// occupies is `layers × ⌈len / page_tokens⌉` pages and a serving
+/// runtime can budget the pool (see `bbal-serve`). The paging is purely
+/// a storage layout — prefill/decode logits are bit-identical for any
+/// page size.
+///
+/// Create one with [`TransformerModel::kv_cache`] (private unbounded
+/// arena) or [`TransformerModel::kv_cache_in`] (shared arena); a cache
+/// is bound to the model geometry it was created for. Dropping or
+/// [clearing](KvCache::clear) the cache returns its pages to the arena.
+#[derive(Debug)]
 pub struct KvCache {
     hidden: usize,
+    page_tokens: usize,
+    arena: KvArena,
     layers: Vec<LayerKv>,
     len: usize,
 }
@@ -86,18 +128,84 @@ impl KvCache {
         self.len == 0
     }
 
-    /// Discards all cached tokens (start of a new sequence).
+    /// Tokens per page (fixed by the arena the cache draws from).
+    pub fn page_tokens(&self) -> usize {
+        self.page_tokens
+    }
+
+    /// Pages currently held by this cache across all layers.
+    pub fn pages_in_use(&self) -> usize {
+        self.layers.iter().map(|l| l.pages.len()).sum()
+    }
+
+    /// The arena this cache allocates from.
+    pub fn arena(&self) -> &KvArena {
+        &self.arena
+    }
+
+    /// Discards all cached tokens (start of a new sequence), returning
+    /// every page to the arena.
     pub fn clear(&mut self) {
         for l in &mut self.layers {
-            l.k.clear();
-            l.v.clear();
+            for page in l.pages.drain(..) {
+                self.arena.release(page);
+            }
         }
         self.len = 0;
     }
 
     fn push_layer_row(&mut self, layer: usize, k_row: &[f32], v_row: &[f32]) {
-        self.layers[layer].k.extend_from_slice(k_row);
-        self.layers[layer].v.extend_from_slice(v_row);
+        let capacity = self.page_tokens * self.hidden;
+        let lk = &mut self.layers[layer];
+        if lk.pages.last().is_none_or(|p| p.k.len() >= capacity) {
+            // The scheduler reserves pages before dispatching work, and
+            // a lone session's private arena is unbounded — running out
+            // here means the caller's accounting is wrong.
+            let page = self
+                .arena
+                .alloc()
+                .unwrap_or_else(|e| panic!("KV cache page allocation failed: {e}"));
+            lk.pages.push(page);
+        }
+        let page = lk.pages.last_mut().expect("page ensured above");
+        page.k.extend_from_slice(k_row);
+        page.v.extend_from_slice(v_row);
+    }
+}
+
+impl Clone for KvCache {
+    /// Clones the cached rows into fresh pages from the *same* arena
+    /// (the clone counts against the arena's budget).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arena's budget cannot cover the clone.
+    fn clone(&self) -> KvCache {
+        let mut clone = KvCache {
+            hidden: self.hidden,
+            page_tokens: self.page_tokens,
+            arena: self.arena.clone(),
+            layers: (0..self.layers.len()).map(|_| LayerKv::default()).collect(),
+            len: self.len,
+        };
+        for (li, layer) in self.layers.iter().enumerate() {
+            for src in &layer.pages {
+                let mut page = clone
+                    .arena
+                    .alloc()
+                    .unwrap_or_else(|e| panic!("KV cache clone failed: {e}"));
+                page.k.extend_from_slice(&src.k);
+                page.v.extend_from_slice(&src.v);
+                clone.layers[li].pages.push(page);
+            }
+        }
+        clone
+    }
+}
+
+impl Drop for KvCache {
+    fn drop(&mut self) {
+        self.clear();
     }
 }
 
@@ -295,11 +403,21 @@ impl TransformerModel {
         out
     }
 
-    /// An empty KV cache sized for this model's geometry.
+    /// An empty KV cache sized for this model's geometry, backed by its
+    /// own unbounded [`KvArena`] (the single-session default).
     pub fn kv_cache(&self) -> KvCache {
+        self.kv_cache_in(&KvArena::default())
+    }
+
+    /// An empty KV cache drawing its pages from `arena` — the serving
+    /// configuration, where every request's cache shares (and is
+    /// bounded by) one arena.
+    pub fn kv_cache_in(&self, arena: &KvArena) -> KvCache {
         KvCache {
             hidden: self.spec.hidden,
-            layers: vec![LayerKv::default(); self.spec.layers],
+            page_tokens: arena.page_tokens(),
+            arena: arena.clone(),
+            layers: (0..self.spec.layers).map(|_| LayerKv::default()).collect(),
             len: 0,
         }
     }
@@ -476,17 +594,21 @@ impl TransformerModel {
                 cache.push_layer_row(li, k.row(r), v.row(r));
             }
 
+            let pt = cache.page_tokens;
             let lk = &cache.layers[li];
             let mut ctx = Tensor::zeros(new, h);
             for head in 0..heads {
                 let c0 = head * dh;
                 for i in 0..new {
                     // Row i attends over the cache up to and including
-                    // itself — same dot-loop order as decode_step.
+                    // itself — same dot-loop order as decode_step. The
+                    // page table resolves token j to its page; the dot
+                    // products accumulate in the same order as the
+                    // contiguous layout, so paging never changes a bit.
                     let span = past + i + 1;
                     let mut scores = vec![0.0f32; span];
                     for (j, s) in scores.iter_mut().enumerate() {
-                        let k_row = &lk.k[j * h + c0..j * h + c0 + dh];
+                        let k_row = lk.k_row(j, pt, h, c0, dh);
                         let mut acc = 0.0f32;
                         for (qv, kv) in q.row(i)[c0..c0 + dh].iter().zip(k_row) {
                             acc += qv * kv;
@@ -496,7 +618,7 @@ impl TransformerModel {
                     hooks.softmax_row(&mut scores);
                     let ctx_row = ctx.row_mut(i);
                     for (j, p) in scores.iter().enumerate() {
-                        let v_row = &lk.v[j * h + c0..j * h + c0 + dh];
+                        let v_row = lk.v_row(j, pt, h, c0, dh);
                         for (d, vv) in v_row.iter().enumerate() {
                             ctx_row[c0 + d] += p * vv;
                         }
@@ -563,6 +685,7 @@ impl TransformerModel {
 mod tests {
     use super::*;
     use crate::hooks::ExactHooks;
+    use crate::kv::KvArena;
     use crate::zoo::tiny_test_model;
 
     #[test]
@@ -749,6 +872,80 @@ mod tests {
         let full = model.forward(&tokens, &ExactHooks);
         assert_eq!(chunk.data(), full.data());
         assert_eq!(cache.len(), tokens.len());
+    }
+
+    #[test]
+    fn page_size_never_changes_logits() {
+        // The paged layout is storage only: prefill + decode through
+        // arenas of every page granularity must agree bit for bit with
+        // the cache-free forward pass.
+        let model = TransformerModel::synthesize(&tiny_test_model());
+        let prompt = [3usize, 7, 1, 9, 2];
+        let decode = [4usize, 8, 2];
+        let mut seq = prompt.to_vec();
+        seq.extend_from_slice(&decode);
+        let full = model.forward(&seq, &ExactHooks);
+
+        for page_tokens in [1usize, 4, 16, 64] {
+            let arena = KvArena::unbounded(page_tokens);
+            let mut cache = model.kv_cache_in(&arena);
+            let prefilled = model.prefill(&prompt, &ExactHooks, &mut cache);
+            for r in 0..prompt.len() {
+                assert_eq!(prefilled.row(r), full.row(r), "pt {page_tokens} row {r}");
+            }
+            for (i, &t) in decode.iter().enumerate() {
+                let step = model.decode_step(t, &ExactHooks, &mut cache);
+                assert_eq!(
+                    step.as_slice(),
+                    full.row(prompt.len() + i),
+                    "pt {page_tokens} decode {i}"
+                );
+            }
+            assert_eq!(
+                cache.pages_in_use(),
+                arena.pages_for_tokens(seq.len(), model.spec().layers),
+                "pt {page_tokens} page accounting"
+            );
+        }
+    }
+
+    #[test]
+    fn cache_pages_return_to_the_arena() {
+        let model = TransformerModel::synthesize(&tiny_test_model());
+        let arena = KvArena::unbounded(2);
+        let mut cache = model.kv_cache_in(&arena);
+        model.prefill(&[1, 2, 3], &ExactHooks, &mut cache);
+        assert_eq!(arena.pages_in_use(), cache.pages_in_use());
+        assert_eq!(arena.pages_in_use(), 2); // 1 layer, ⌈3/2⌉ pages
+        cache.clear();
+        assert_eq!(arena.pages_in_use(), 0);
+        model.prefill(&[4], &ExactHooks, &mut cache);
+        drop(cache);
+        assert_eq!(arena.pages_in_use(), 0);
+        assert_eq!(arena.peak_pages(), 2);
+    }
+
+    #[test]
+    fn cloned_cache_counts_against_the_shared_budget() {
+        let model = TransformerModel::synthesize(&tiny_test_model());
+        let arena = KvArena::with_budget(4, 4);
+        let mut cache = model.kv_cache_in(&arena);
+        model.prefill(&[5, 6, 7], &ExactHooks, &mut cache);
+        let clone = cache.clone();
+        assert_eq!(arena.pages_in_use(), 2);
+        let step_a = model.decode_step(9, &ExactHooks, &mut cache);
+        let mut clone = clone;
+        let step_b = model.decode_step(9, &ExactHooks, &mut clone);
+        assert_eq!(step_a, step_b);
+    }
+
+    #[test]
+    #[should_panic(expected = "KV arena budget")]
+    fn exhausted_arena_panics_with_a_clear_message() {
+        let model = TransformerModel::synthesize(&tiny_test_model());
+        let arena = KvArena::with_budget(1, 2);
+        let mut cache = model.kv_cache_in(&arena);
+        model.prefill(&[1, 2, 3], &ExactHooks, &mut cache);
     }
 
     #[test]

@@ -84,6 +84,12 @@ pub struct ModelSpec {
     pub heads: usize,
     /// Vocabulary size of the synthetic stand-in.
     pub vocab: usize,
+    /// Context window: the most tokens (prompt + generated) one
+    /// sequence may hold. Exceeding it is a typed error at the session
+    /// layer ([`ContextOverflow`](../../bbal_session/enum.SessionError.html))
+    /// and a rejected request at the serving layer — never a silent
+    /// unbounded KV growth.
+    pub max_seq: usize,
     /// Outlier profile used for weight/activation synthesis.
     pub profile: OutlierProfile,
     /// The paper's FP16 (Table II) or FP32 (Table IV) perplexity anchor.
@@ -151,6 +157,7 @@ fn spec(
         layers,
         heads: 4,
         vocab: 256,
+        max_seq: 2048,
         profile,
         anchor_ppl,
         kl_scale,
@@ -213,10 +220,12 @@ pub fn find(name: &str) -> Option<ModelSpec> {
         .or_else(|| (name == "Tiny").then(tiny_test_model))
 }
 
-/// A deliberately tiny spec for unit tests.
+/// A deliberately tiny spec for unit tests (64-token context window, so
+/// overflow paths are reachable with test-sized prompts).
 pub fn tiny_test_model() -> ModelSpec {
     let mut s = spec("Tiny", Family::Llama, 1.0, 64, 1, 10.0, 424242);
     s.vocab = 64;
+    s.max_seq = 64;
     s
 }
 
@@ -266,7 +275,9 @@ mod tests {
             assert_eq!(m.hidden % m.heads, 0, "{}", m.name);
             assert_eq!(m.ffn_width() % 32, 0, "{}", m.name);
             assert!(m.layers >= 2, "{}", m.name);
+            assert!(m.max_seq >= 2048, "{}", m.name);
         }
+        assert_eq!(tiny_test_model().max_seq, 64);
     }
 
     #[test]

@@ -1,0 +1,212 @@
+//! KV-cache footprint and DRAM-traffic accounting.
+//!
+//! The BBAL energy story (Fig. 9) is dominated by memory traffic, and
+//! in autoregressive serving the traffic that grows with context length
+//! is the KV cache: every decode step streams the whole cached K and V
+//! for its sequence past the PE array and writes one new row per
+//! layer. This module gives the serving layer the two numbers it needs
+//! to budget and charge that traffic:
+//!
+//! * [`KvFootprint`] — bytes per cached token for a model geometry
+//!   under a quantisation scheme (the per-element storage bits derive
+//!   from the scheme's mantissa/exponent/overlap widths, exactly like
+//!   the accelerator's `FormatSpec`; schemes without a block storage
+//!   cost fall back to FP16);
+//! * [`KvTraffic`] — a read/write byte accumulator that converts to
+//!   DRAM energy through a [`DramChannel`].
+//!
+//! ```
+//! use bbal_core::SchemeSpec;
+//! use bbal_mem::{DramChannel, KvFootprint, KvTraffic};
+//!
+//! let fp = KvFootprint::for_scheme(SchemeSpec::BBAL_PAPER, 4096, 32);
+//! assert!(fp.bytes_per_token() > 0.0);
+//!
+//! let mut traffic = KvTraffic::default();
+//! traffic.record_decode(&fp, 512);       // one step over a 512-token cache
+//! assert!(traffic.total_bytes() > 0);
+//! assert!(traffic.energy_pj(&DramChannel::lpddr4()) > 0.0);
+//! ```
+
+use crate::dram::DramChannel;
+use bbal_core::SchemeSpec;
+
+/// Storage bits per cached KV element under `scheme`.
+///
+/// BFP/BBFP schemes amortise their shared exponent (and overlap bits)
+/// over the 32-element block, matching `bbal_core`'s
+/// `FormatCost::equivalent_bit_width`; Olive/Oltron carry their pair
+/// marker / outlier side-band; INT carries its bit width. Schemes with
+/// no block storage model (FP16, OmniQuant's learned clipping — and
+/// any invalid width combination) fall back to FP16's 16 bits, the
+/// paper's baseline KV precision.
+pub fn kv_bits_per_element(scheme: SchemeSpec) -> f64 {
+    const FP16_FALLBACK: f64 = 16.0;
+    match scheme {
+        SchemeSpec::Fp32 => 32.0,
+        SchemeSpec::Int(bits) => f64::from(bits),
+        SchemeSpec::Bfp(_) => scheme
+            .bfp_config()
+            .ok()
+            .flatten()
+            .map_or(FP16_FALLBACK, |c| c.cost().equivalent_bit_width),
+        SchemeSpec::Bbfp(_, _) => scheme
+            .bbfp_config()
+            .ok()
+            .flatten()
+            .map_or(FP16_FALLBACK, |c| c.cost().equivalent_bit_width),
+        // 4-bit pairs + 1-bit pair marker, outliers reusing victim bits.
+        SchemeSpec::Olive => 5.5,
+        // 4-bit body + zero flag + 3×8-bit outlier slots per 128 elems.
+        SchemeSpec::Oltron => 5.0 + (3.0 * 8.0) / 128.0,
+        SchemeSpec::Fp16 | SchemeSpec::OmniQuant => FP16_FALLBACK,
+    }
+}
+
+/// The KV-cache footprint of one model geometry under one scheme.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KvFootprint {
+    /// Storage bits per cached element (see [`kv_bits_per_element`]).
+    pub bits_per_element: f64,
+    /// Hidden width (one K row and one V row per layer are this wide).
+    pub hidden: usize,
+    /// Decoder layers.
+    pub layers: usize,
+}
+
+impl KvFootprint {
+    /// Footprint for `scheme` on a `hidden × layers` decoder.
+    pub fn for_scheme(scheme: SchemeSpec, hidden: usize, layers: usize) -> KvFootprint {
+        KvFootprint {
+            bits_per_element: kv_bits_per_element(scheme),
+            hidden,
+            layers,
+        }
+    }
+
+    /// Bytes one cached token occupies: a K row and a V row per layer.
+    pub fn bytes_per_token(&self) -> f64 {
+        2.0 * (self.hidden * self.layers) as f64 * self.bits_per_element / 8.0
+    }
+
+    /// Bytes a whole cached sequence of `tokens` occupies.
+    pub fn bytes_for_tokens(&self, tokens: usize) -> u64 {
+        (tokens as f64 * self.bytes_per_token()).ceil() as u64
+    }
+}
+
+/// Accumulated KV DRAM traffic of a serving run: bytes written when
+/// tokens are appended, bytes read when attention streams the cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KvTraffic {
+    /// Bytes read from the cache (attention streaming K and V).
+    pub read_bytes: u64,
+    /// Bytes written to the cache (new K/V rows).
+    pub write_bytes: u64,
+}
+
+impl KvTraffic {
+    /// Charges one decode step: writes one token, reads the whole
+    /// `kv_len`-token cache (K and V of every layer).
+    pub fn record_decode(&mut self, fp: &KvFootprint, kv_len: usize) {
+        self.write_bytes += fp.bytes_for_tokens(1);
+        self.read_bytes += fp.bytes_for_tokens(kv_len);
+    }
+
+    /// Charges one prefill chunk of `new` tokens entering a cache of
+    /// `past` tokens: writes `new` tokens; chunk row `i` reads the
+    /// `past + i + 1` tokens it attends over.
+    pub fn record_prefill(&mut self, fp: &KvFootprint, new: usize, past: usize) {
+        self.write_bytes += fp.bytes_for_tokens(new);
+        // Σ_{i=0}^{new-1} (past + i + 1) = new·past + new·(new+1)/2.
+        let token_reads = new * past + new * (new + 1) / 2;
+        self.read_bytes += fp.bytes_for_tokens(token_reads);
+    }
+
+    /// Total bytes moved.
+    pub fn total_bytes(&self) -> u64 {
+        self.read_bytes + self.write_bytes
+    }
+
+    /// DRAM energy of the accumulated traffic over `channel`, pJ.
+    pub fn energy_pj(&self, channel: &DramChannel) -> f64 {
+        channel.transfer_energy_pj(self.total_bytes())
+    }
+
+    /// Folds another accumulator into this one.
+    pub fn merge(&mut self, other: &KvTraffic) {
+        self.read_bytes += other.read_bytes;
+        self.write_bytes += other.write_bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn narrower_schemes_store_smaller_kv() {
+        let fp16 = kv_bits_per_element(SchemeSpec::Fp16);
+        let bbal = kv_bits_per_element(SchemeSpec::BBAL_PAPER);
+        let bfp4 = kv_bits_per_element(SchemeSpec::Bfp(4));
+        assert_eq!(fp16, 16.0);
+        assert!(bbal < fp16 / 2.0, "BBFP(4,2) stores {bbal} bits/elem");
+        assert!(bfp4 < bbal, "BFP4 has no overlap bits");
+    }
+
+    #[test]
+    fn block_bits_match_the_accelerator_format_costs() {
+        // Same numbers FormatSpec derives in bbal-accel (Table I).
+        assert!((kv_bits_per_element(SchemeSpec::Bfp(6)) - 7.15625).abs() < 1e-9);
+        assert!(
+            (kv_bits_per_element(SchemeSpec::BBAL_PAPER) - (4.0 + 2.0 + 5.0 / 32.0)).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn unmapped_schemes_fall_back_to_fp16() {
+        assert_eq!(kv_bits_per_element(SchemeSpec::OmniQuant), 16.0);
+        // Invalid widths cannot panic the accounting path.
+        assert_eq!(kv_bits_per_element(SchemeSpec::Bbfp(9, 9)), 16.0);
+    }
+
+    #[test]
+    fn footprint_scales_with_geometry() {
+        let small = KvFootprint::for_scheme(SchemeSpec::Fp16, 64, 1);
+        let large = KvFootprint::for_scheme(SchemeSpec::Fp16, 128, 2);
+        assert_eq!(small.bytes_per_token(), 2.0 * 64.0 * 2.0);
+        assert_eq!(large.bytes_per_token(), 4.0 * small.bytes_per_token());
+        assert_eq!(small.bytes_for_tokens(10), 2560);
+    }
+
+    #[test]
+    fn prefill_reads_sum_the_causal_spans() {
+        let fp = KvFootprint::for_scheme(SchemeSpec::Fp32, 1, 1);
+        // bytes_per_token = 2 * 1 * 1 * 32/8 = 8.
+        let mut chunked = KvTraffic::default();
+        chunked.record_prefill(&fp, 3, 2); // spans 3+4+5 = 12 token-reads
+        assert_eq!(chunked.read_bytes, 12 * 8);
+        assert_eq!(chunked.write_bytes, 3 * 8);
+
+        // A chunked prefill reads/writes the same as the equivalent
+        // decode steps.
+        let mut stepped = KvTraffic::default();
+        for kv_len in [3usize, 4, 5] {
+            stepped.record_decode(&fp, kv_len);
+        }
+        assert_eq!(stepped, chunked);
+    }
+
+    #[test]
+    fn merge_accumulates_and_energy_is_linear() {
+        let fp = KvFootprint::for_scheme(SchemeSpec::Fp16, 8, 2);
+        let mut a = KvTraffic::default();
+        a.record_decode(&fp, 100);
+        let mut b = KvTraffic::default();
+        b.record_decode(&fp, 100);
+        b.merge(&a);
+        assert_eq!(b.total_bytes(), 2 * a.total_bytes());
+        let ch = DramChannel::lpddr4();
+        assert!((b.energy_pj(&ch) - 2.0 * a.energy_pj(&ch)).abs() < 1e-9);
+    }
+}

@@ -10,6 +10,11 @@
 //! `bbal-arith`, the experiments depend on *ratios* (buffer vs DRAM vs core
 //! energy in Fig. 9), not on absolute picojoules.
 //!
+//! For serving workloads the crate also accounts the KV cache — the
+//! off-chip traffic that grows with context length — via [`KvFootprint`]
+//! (per-scheme bytes/token) and [`KvTraffic`] (read/write bytes → DRAM
+//! energy); see [`kv`].
+//!
 //! ```
 //! use bbal_mem::SramMacro;
 //!
@@ -21,9 +26,11 @@
 #![warn(missing_debug_implementations)]
 
 pub mod dram;
+pub mod kv;
 pub mod lut;
 pub mod sram;
 
 pub use dram::DramChannel;
+pub use kv::{kv_bits_per_element, KvFootprint, KvTraffic};
 pub use lut::{LutLayout, SegmentedLutStorage};
 pub use sram::{MemError, SramMacro};

@@ -20,17 +20,32 @@ use crate::ServeError;
 ///   tick (see [`AdmissionPolicy`]). The default, FCFS, ignores schemes;
 ///   `SchemeAffinity` fills slots with requests that fuse with the
 ///   running batch, which is what mixed-scheme throughput needs.
+/// * `kv_page_tokens` / `kv_budget_pages` — the KV memory axis: every
+///   pooled session's KV cache draws fixed-size pages of
+///   `kv_page_tokens` rows from one shared arena, and `kv_budget_pages`
+///   caps how many pages that arena may hand out (`None` = unbounded).
+///   Under a budget the scheduler admits only requests whose worst-case
+///   prefill fits and *preempts* the youngest request (evicting its
+///   pages, replaying it later, outputs bit-identical) when decode
+///   growth would exhaust the arena mid-run.
 ///
 /// ```
 /// use bbal_serve::ServeConfig;
 ///
 /// let config = ServeConfig::default();
 /// assert_eq!((config.max_batch, config.prefill_chunk), (8, 32));
+/// assert_eq!(config.kv_budget_pages, None);
 /// config.validate()?;
 ///
 /// // The sequential baseline: one request at a time, same chunking.
 /// let sequential = ServeConfig::sequential();
 /// assert_eq!(sequential.max_batch, 1);
+///
+/// // A memory-budgeted runtime: 64 pages of 16 tokens, shared by the
+/// // whole batch.
+/// let tight = ServeConfig::default().with_kv_budget(64);
+/// assert_eq!(tight.kv_budget_pages, Some(64));
+/// tight.validate()?;
 ///
 /// // Knobs are validated, not trusted.
 /// let broken = ServeConfig { max_batch: 0, ..ServeConfig::default() };
@@ -47,6 +62,11 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Admission policy: who gets the free batch slots each tick.
     pub admission: AdmissionPolicy,
+    /// Tokens per KV page (the shared arena's granularity).
+    pub kv_page_tokens: usize,
+    /// KV arena budget in pages, across every active request (`None` =
+    /// unbounded — the pre-budget behaviour).
+    pub kv_budget_pages: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -56,6 +76,8 @@ impl Default for ServeConfig {
             prefill_chunk: 32,
             workers: 2,
             admission: AdmissionPolicy::Fcfs,
+            kv_page_tokens: bbal_llm::DEFAULT_PAGE_TOKENS,
+            kv_budget_pages: None,
         }
     }
 }
@@ -85,9 +107,23 @@ impl ServeConfig {
         self
     }
 
+    /// Returns a copy with a KV arena budget of `pages` — the
+    /// `serve_sweep` memory-pressure axis.
+    pub fn with_kv_budget(mut self, pages: usize) -> ServeConfig {
+        self.kv_budget_pages = Some(pages);
+        self
+    }
+
+    /// Returns a copy with a different KV page granularity.
+    pub fn with_kv_page_tokens(mut self, tokens: usize) -> ServeConfig {
+        self.kv_page_tokens = tokens;
+        self
+    }
+
     /// Checks every knob is non-zero (including the aging bound of a
     /// scheme-affinity policy — `max_wait_ticks` of 0 would admit every
-    /// request as overdue, which is FCFS spelled confusingly).
+    /// request as overdue, which is FCFS spelled confusingly — and a
+    /// KV budget of 0 pages, which could never hold any request).
     ///
     /// # Errors
     ///
@@ -97,10 +133,17 @@ impl ServeConfig {
             ("max_batch", self.max_batch),
             ("prefill_chunk", self.prefill_chunk),
             ("workers", self.workers),
+            ("kv_page_tokens", self.kv_page_tokens),
         ] {
             if value == 0 {
                 return Err(ServeError::Config { field, value });
             }
+        }
+        if self.kv_budget_pages == Some(0) {
+            return Err(ServeError::Config {
+                field: "kv_budget_pages",
+                value: 0,
+            });
         }
         if let AdmissionPolicy::SchemeAffinity { max_wait_ticks: 0 } = self.admission {
             return Err(ServeError::Config {
@@ -145,6 +188,34 @@ mod tests {
         assert_eq!(c.max_batch, 16);
         assert_eq!(c.prefill_chunk, ServeConfig::default().prefill_chunk);
         assert_eq!(c.admission, AdmissionPolicy::Fcfs);
+    }
+
+    #[test]
+    fn kv_knobs_are_validated() {
+        let c = ServeConfig::default().with_kv_budget(0);
+        assert_eq!(
+            c.validate().unwrap_err(),
+            ServeError::Config {
+                field: "kv_budget_pages",
+                value: 0
+            }
+        );
+        let c = ServeConfig {
+            kv_page_tokens: 0,
+            ..ServeConfig::default()
+        };
+        assert_eq!(
+            c.validate().unwrap_err(),
+            ServeError::Config {
+                field: "kv_page_tokens",
+                value: 0
+            }
+        );
+        ServeConfig::default()
+            .with_kv_budget(1)
+            .with_kv_page_tokens(4)
+            .validate()
+            .unwrap();
     }
 
     #[test]

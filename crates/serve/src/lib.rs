@@ -21,8 +21,23 @@
 //!   active request by one unit of work (a prefill chunk or a decode
 //!   step), and executes those units on worker threads in parallel;
 //! * [`ServeReport`] — what came out: per-request tokens and
-//!   TTFT/TPOT/latency, aggregate throughput, batch-occupancy and
-//!   queue-depth traces, in both wall-clock and simulated-hardware time.
+//!   TTFT/TPOT/latency, aggregate throughput, batch-occupancy,
+//!   queue-depth and KV pages-in-use traces, preemption counts and KV
+//!   DRAM energy, in both wall-clock and simulated-hardware time.
+//!
+//! ## KV memory budget
+//!
+//! Every pooled session's KV cache draws fixed-size pages from one
+//! shared [`bbal_llm::KvArena`]; [`ServeConfig::kv_budget_pages`] caps
+//! the pool. Under a budget the scheduler (1) rejects — in the report,
+//! not as an error — requests that could never complete (context window
+//! overflow, or a worst-case footprint above the whole budget), (2)
+//! admits only requests whose worst-case prefill pages fit the arena's
+//! free space, and (3) *preempts* the youngest active request when
+//! decode growth would exhaust the arena mid-run: its pages are evicted,
+//! the request re-queued, and its feed sequence replayed on
+//! re-admission. Greedy decoding is deterministic, so preemption changes
+//! timelines and recompute cost, never tokens.
 //!
 //! ## The cost model
 //!

@@ -26,6 +26,10 @@ pub struct QueuedEntry {
     /// request queued behind this one, while this one stayed queued.
     /// (Merely waiting for a full batch does not count.)
     pub passed_over: u64,
+    /// Worst-case KV pages the request's prefill will occupy (its whole
+    /// feed sequence, paged). Admission only takes a request whose
+    /// worst-case prefill fits in the arena's free pages.
+    pub pages: usize,
 }
 
 /// How the scheduler picks queued requests for free batch slots.
@@ -36,17 +40,20 @@ pub struct QueuedEntry {
 /// use std::collections::BTreeSet;
 ///
 /// let queued = [
-///     QueuedEntry { id: 0, scheme: SchemeSpec::Bfp(4), passed_over: 0 },
-///     QueuedEntry { id: 1, scheme: SchemeSpec::BBAL_PAPER, passed_over: 0 },
-///     QueuedEntry { id: 2, scheme: SchemeSpec::Bfp(4), passed_over: 0 },
+///     QueuedEntry { id: 0, scheme: SchemeSpec::Bfp(4), passed_over: 0, pages: 2 },
+///     QueuedEntry { id: 1, scheme: SchemeSpec::BBAL_PAPER, passed_over: 0, pages: 2 },
+///     QueuedEntry { id: 2, scheme: SchemeSpec::Bfp(4), passed_over: 0, pages: 2 },
 /// ];
 /// let active: BTreeSet<_> = [SchemeSpec::Bfp(4)].into();
 ///
 /// // FCFS fills slots in queue order regardless of scheme...
-/// assert_eq!(AdmissionPolicy::Fcfs.admit(&queued, &active, 2), vec![0, 1]);
+/// assert_eq!(AdmissionPolicy::Fcfs.admit(&queued, &active, 2, usize::MAX), vec![0, 1]);
 /// // ...affinity picks the requests that will fuse with the active batch.
 /// let affinity = AdmissionPolicy::SchemeAffinity { max_wait_ticks: 8 };
-/// assert_eq!(affinity.admit(&queued, &active, 2), vec![0, 2]);
+/// assert_eq!(affinity.admit(&queued, &active, 2, usize::MAX), vec![0, 2]);
+/// // Either way, a request only gets a slot if its worst-case prefill
+/// // fits in the arena's free pages.
+/// assert_eq!(AdmissionPolicy::Fcfs.admit(&queued, &active, 2, 3), vec![0]);
 /// ```
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 #[non_exhaustive]
@@ -77,33 +84,62 @@ impl AdmissionPolicy {
     /// Picks up to `slots` requests from `queued` (given in FCFS queue
     /// order) to admit this tick, returning their ids in admission
     /// order. `active_schemes` are the schemes of the requests already
-    /// holding batch slots.
+    /// holding batch slots; `free_pages` is how many KV pages the arena
+    /// can still hand out (`usize::MAX` for an unbounded arena) — every
+    /// admission deducts the entry's worst-case prefill
+    /// [`pages`](QueuedEntry::pages) from it, and a request that does
+    /// not fit is never admitted.
     ///
-    /// `Fcfs` returns the first `slots` entries. `SchemeAffinity` admits
-    /// overdue entries (`passed_over >= max_wait_ticks`) first in queue
-    /// order, then entries whose scheme is already active — in the
-    /// running batch or among this call's admissions; when nothing is
-    /// active it seeds from the front of the queue — and leaves
-    /// non-matching entries queued even if slots remain.
+    /// `Fcfs` admits a queue prefix: it stops at the first entry that
+    /// does not fit (head-of-line blocking preserves FCFS order, and
+    /// the blocked request is guaranteed memory as soon as it frees).
+    /// `SchemeAffinity` admits overdue entries
+    /// (`passed_over >= max_wait_ticks`) first in queue order, then
+    /// entries whose scheme is already active — in the running batch or
+    /// among this call's admissions; when nothing is active it seeds
+    /// from the front of the queue — and leaves non-matching entries
+    /// queued even if slots remain. A non-fitting *overdue* entry stops
+    /// all further admission (the memory is held open for it); a
+    /// non-fitting preferred entry is merely skipped.
     pub fn admit(
         &self,
         queued: &[QueuedEntry],
         active_schemes: &BTreeSet<SchemeSpec>,
         slots: usize,
+        free_pages: usize,
     ) -> Vec<usize> {
+        let mut free = free_pages;
         match *self {
-            AdmissionPolicy::Fcfs => queued.iter().take(slots).map(|e| e.id).collect(),
+            AdmissionPolicy::Fcfs => {
+                let mut admitted: Vec<usize> = Vec::new();
+                for e in queued.iter().take(slots) {
+                    if e.pages > free {
+                        break;
+                    }
+                    free -= e.pages;
+                    admitted.push(e.id);
+                }
+                admitted
+            }
             AdmissionPolicy::SchemeAffinity { max_wait_ticks } => {
                 let mut admitted: Vec<usize> = Vec::new();
                 let mut preferred = active_schemes.clone();
                 // Overdue requests first, FCFS among themselves: this is
                 // the starvation bound. Their schemes join the preferred
-                // set so same-scheme peers can ride along.
+                // set so same-scheme peers can ride along. An overdue
+                // request that does not fit in memory blocks everything
+                // behind it — the free pages are reserved for it, or it
+                // would starve on memory the way aging prevents it
+                // starving on slots.
                 for e in queued {
                     if admitted.len() == slots {
                         return admitted;
                     }
                     if e.passed_over >= max_wait_ticks {
+                        if e.pages > free {
+                            return admitted;
+                        }
+                        free -= e.pages;
                         admitted.push(e.id);
                         preferred.insert(e.scheme);
                     }
@@ -121,7 +157,9 @@ impl AdmissionPolicy {
                     if admitted.len() == slots {
                         break;
                     }
-                    if preferred.contains(&e.scheme) && !admitted.contains(&e.id) {
+                    if preferred.contains(&e.scheme) && !admitted.contains(&e.id) && e.pages <= free
+                    {
+                        free -= e.pages;
                         admitted.push(e.id);
                     }
                 }
@@ -144,23 +182,48 @@ mod tests {
     use super::*;
 
     fn entry(id: usize, scheme: SchemeSpec, passed_over: u64) -> QueuedEntry {
+        sized(id, scheme, passed_over, 1)
+    }
+
+    fn sized(id: usize, scheme: SchemeSpec, passed_over: u64, pages: usize) -> QueuedEntry {
         QueuedEntry {
             id,
             scheme,
             passed_over,
+            pages,
         }
     }
 
     const A: SchemeSpec = SchemeSpec::BBAL_PAPER;
     const B: SchemeSpec = SchemeSpec::Bfp(4);
     const C: SchemeSpec = SchemeSpec::Oltron;
+    const UNBOUNDED: usize = usize::MAX;
 
     #[test]
     fn fcfs_takes_the_front_of_the_queue() {
         let q = [entry(3, A, 0), entry(5, B, 9), entry(7, C, 0)];
         let active = BTreeSet::new();
-        assert_eq!(AdmissionPolicy::Fcfs.admit(&q, &active, 2), vec![3, 5]);
-        assert_eq!(AdmissionPolicy::Fcfs.admit(&q, &active, 9), vec![3, 5, 7]);
+        assert_eq!(
+            AdmissionPolicy::Fcfs.admit(&q, &active, 2, UNBOUNDED),
+            vec![3, 5]
+        );
+        assert_eq!(
+            AdmissionPolicy::Fcfs.admit(&q, &active, 9, UNBOUNDED),
+            vec![3, 5, 7]
+        );
+    }
+
+    #[test]
+    fn fcfs_blocks_at_the_first_request_that_does_not_fit() {
+        // Memory gating preserves FCFS order: the big request at the
+        // head of the line is not jumped by the small one behind it.
+        let q = [sized(0, A, 0, 2), sized(1, A, 0, 8), sized(2, A, 0, 1)];
+        let active = BTreeSet::new();
+        assert_eq!(AdmissionPolicy::Fcfs.admit(&q, &active, 3, 4), vec![0]);
+        assert_eq!(
+            AdmissionPolicy::Fcfs.admit(&q, &active, 3, 11),
+            vec![0, 1, 2]
+        );
     }
 
     #[test]
@@ -170,7 +233,21 @@ mod tests {
         let active: BTreeSet<_> = [A].into();
         // Only the A request fuses; the B requests stay queued even
         // though a slot remains.
-        assert_eq!(p.admit(&q, &active, 3), vec![1]);
+        assert_eq!(p.admit(&q, &active, 3, UNBOUNDED), vec![1]);
+    }
+
+    #[test]
+    fn affinity_skips_non_fitting_peers_but_reserves_for_overdue() {
+        let p = AdmissionPolicy::SchemeAffinity { max_wait_ticks: 4 };
+        let active: BTreeSet<_> = [A].into();
+        // A preferred entry that does not fit is skipped; a later
+        // fitting peer still gets the slot.
+        let q = [sized(0, A, 0, 9), sized(1, A, 0, 2)];
+        assert_eq!(p.admit(&q, &active, 2, 4), vec![1]);
+        // A non-fitting *overdue* entry stops admission entirely: the
+        // free pages are held for it.
+        let q = [sized(0, B, 4, 9), sized(1, A, 0, 2)];
+        assert!(p.admit(&q, &active, 2, 4).is_empty());
     }
 
     #[test]
@@ -179,7 +256,7 @@ mod tests {
         let q = [entry(0, B, 0), entry(1, A, 0), entry(2, B, 0)];
         let active = BTreeSet::new();
         // Front scheme B becomes the seed, and both B's are taken.
-        assert_eq!(p.admit(&q, &active, 2), vec![0, 2]);
+        assert_eq!(p.admit(&q, &active, 2, UNBOUNDED), vec![0, 2]);
     }
 
     #[test]
@@ -189,16 +266,16 @@ mod tests {
         let active: BTreeSet<_> = [A].into();
         // The overdue B jumps the A's; its scheme then counts as active,
         // and the remaining slot goes FCFS among preferred schemes.
-        assert_eq!(p.admit(&q, &active, 2), vec![1, 0]);
+        assert_eq!(p.admit(&q, &active, 2, UNBOUNDED), vec![1, 0]);
         let q2 = [entry(0, B, 0), entry(1, B, 3), entry(2, A, 0)];
-        assert_eq!(p.admit(&q2, &active, 2), vec![1, 0]);
+        assert_eq!(p.admit(&q2, &active, 2, UNBOUNDED), vec![1, 0]);
     }
 
     #[test]
     fn admit_never_exceeds_the_slots() {
         let p = AdmissionPolicy::SchemeAffinity { max_wait_ticks: 1 };
         let q: Vec<QueuedEntry> = (0..10).map(|i| entry(i, A, 5)).collect();
-        assert_eq!(p.admit(&q, &BTreeSet::new(), 3), vec![0, 1, 2]);
-        assert!(p.admit(&q, &BTreeSet::new(), 0).is_empty());
+        assert_eq!(p.admit(&q, &BTreeSet::new(), 3, UNBOUNDED), vec![0, 1, 2]);
+        assert!(p.admit(&q, &BTreeSet::new(), 0, UNBOUNDED).is_empty());
     }
 }

@@ -1,6 +1,7 @@
 //! What a serving run produces: per-request outcomes, scheduler traces,
 //! and aggregate throughput in simulated and wall-clock time.
 
+use bbal_accel::EnergyBreakdown;
 use bbal_core::SchemeSpec;
 
 /// Outcome of one served request.
@@ -16,8 +17,9 @@ pub struct RequestReport {
     pub tokens: Vec<usize>,
     /// Arrival time on the simulated clock, cycles.
     pub arrival_cycles: u64,
-    /// Absolute simulated time the request was admitted to the batch
-    /// (given a session and a slot).
+    /// Absolute simulated time the request was *first* admitted to the
+    /// batch (given a session and a slot). Re-admissions after a
+    /// preemption do not move it.
     pub admitted_cycles: u64,
     /// Scheduler top-ups that passed this request over: they left a
     /// batch slot unfilled, or admitted a request queued behind this
@@ -25,13 +27,24 @@ pub struct RequestReport {
     /// [`AdmissionPolicy::Fcfs`](crate::AdmissionPolicy::Fcfs) (FCFS
     /// admits strictly in queue order until the batch is full); under
     /// `SchemeAffinity` this is the aging counter the `max_wait_ticks`
-    /// starvation bound applies to. Waiting for a full batch does not
-    /// count.
+    /// starvation bound applies to. Waiting on capacity — a full batch,
+    /// or a KV arena without room for this request's worst-case
+    /// prefill — does not count.
     pub passed_over_ticks: u64,
     /// Absolute simulated time the first token was produced.
     pub first_token_cycles: u64,
     /// Absolute simulated time the last token was produced.
     pub finish_cycles: u64,
+    /// Times this request was preempted: its KV pages evicted to
+    /// relieve arena pressure, the request re-queued and later replayed
+    /// (outputs are bit-identical either way; preemption costs
+    /// recompute cycles, not correctness).
+    pub preemptions: u64,
+    /// `Some(reason)` when the request was rejected up front (context
+    /// window exceeded, or a worst-case KV footprint no budget of this
+    /// size could ever hold) and never scheduled. Rejected requests
+    /// generate no tokens and are excluded from latency aggregates.
+    pub rejected: Option<String>,
 }
 
 impl RequestReport {
@@ -79,6 +92,9 @@ pub struct TickTrace {
     /// the simulated accelerator; fewer schemes per tick means wider
     /// fused GEMMs.
     pub schemes: Vec<SchemeSpec>,
+    /// KV pages held by the active requests at the end of the tick —
+    /// the pages-in-use trace a memory budget is judged against.
+    pub kv_pages: usize,
 }
 
 /// One scheme's slice of a serving run (see
@@ -117,12 +133,38 @@ pub struct ServeReport {
     pub clock_ghz: f64,
     /// Total simulated accelerator energy, pJ.
     pub energy_pj: f64,
+    /// Component-wise energy breakdown summed over every tick's
+    /// per-scheme simulation, with
+    /// [`kv_dram_pj`](bbal_accel::EnergyBreakdown::kv_dram_pj) filled
+    /// from the KV traffic accounting — so
+    /// `energy.total_pj() == total_energy_pj()` while
+    /// [`ServeReport::energy_pj`] keeps the accelerator-only scalar.
+    pub energy: EnergyBreakdown,
     /// Wall-clock time of the run (the tensor math on the host), ms.
     pub wall_ms: f64,
     /// Sessions the pool built from scratch.
     pub sessions_built: usize,
     /// Acquisitions served by recycling a pooled session.
     pub sessions_reused: usize,
+    /// Tokens per KV page of the run's arena.
+    pub kv_page_tokens: usize,
+    /// The arena budget the run was served under (`None` = unbounded).
+    pub kv_budget_pages: Option<usize>,
+    /// Most KV pages in use at any tick end.
+    pub peak_kv_pages: usize,
+    /// Total preemptions across all requests.
+    pub preemptions: u64,
+    /// KV bytes read from DRAM (attention streaming cached K/V at the
+    /// simulated paper-scale dimensions).
+    pub kv_read_bytes: u64,
+    /// KV bytes written to DRAM (new K/V rows).
+    pub kv_write_bytes: u64,
+    /// DRAM energy of the KV traffic, pJ. Reported alongside
+    /// [`ServeReport::energy_pj`] (which keeps the operator-level
+    /// simulator's estimate, whose per-GEMM DRAM model already streams
+    /// attention operands generically); [`ServeReport::total_energy_pj`]
+    /// is the sum.
+    pub kv_dram_energy_pj: f64,
 }
 
 impl PartialEq for ServeReport {
@@ -134,6 +176,14 @@ impl PartialEq for ServeReport {
             && self.energy_pj == other.energy_pj
             && self.sessions_built == other.sessions_built
             && self.sessions_reused == other.sessions_reused
+            && self.kv_page_tokens == other.kv_page_tokens
+            && self.kv_budget_pages == other.kv_budget_pages
+            && self.peak_kv_pages == other.peak_kv_pages
+            && self.preemptions == other.preemptions
+            && self.kv_read_bytes == other.kv_read_bytes
+            && self.kv_write_bytes == other.kv_write_bytes
+            && self.kv_dram_energy_pj == other.kv_dram_energy_pj
+            && self.energy == other.energy
     }
 }
 
@@ -141,6 +191,28 @@ impl ServeReport {
     /// Converts a cycle count to milliseconds at the report's clock.
     pub fn cycles_to_ms(&self, cycles: u64) -> f64 {
         cycles as f64 / (self.clock_ghz * 1.0e6)
+    }
+
+    /// The requests that were actually scheduled (not rejected up
+    /// front). Latency/throughput aggregates run over these.
+    pub fn served(&self) -> impl Iterator<Item = &RequestReport> {
+        self.requests.iter().filter(|r| r.rejected.is_none())
+    }
+
+    /// The requests rejected up front (context window / impossible KV
+    /// footprint), with their reasons.
+    pub fn rejected(&self) -> impl Iterator<Item = &RequestReport> {
+        self.requests.iter().filter(|r| r.rejected.is_some())
+    }
+
+    /// Total KV bytes moved over the DRAM channel (reads + writes).
+    pub fn kv_bytes_moved(&self) -> u64 {
+        self.kv_read_bytes + self.kv_write_bytes
+    }
+
+    /// Accelerator energy plus KV DRAM energy, pJ.
+    pub fn total_energy_pj(&self) -> f64 {
+        self.energy_pj + self.kv_dram_energy_pj
     }
 
     /// Total generated tokens across all requests.
@@ -174,8 +246,7 @@ impl ServeReport {
 
     /// Worst time to first token, ms.
     pub fn max_ttft_ms(&self) -> f64 {
-        self.requests
-            .iter()
+        self.served()
             .map(|r| self.cycles_to_ms(r.ttft_cycles()))
             .fold(0.0, f64::max)
     }
@@ -192,6 +263,7 @@ impl ServeReport {
     /// The singleton-excluding TPOT mean over any slice of the requests
     /// (shared by [`ServeReport::mean_tpot_ms`] and
     /// [`ServeReport::scheme_breakdown`] so the rule cannot drift).
+    /// Rejected requests have no tokens, so they never contribute.
     fn tpot_mean_over<'a>(&self, requests: impl Iterator<Item = &'a RequestReport>) -> f64 {
         let multi: Vec<f64> = requests
             .filter(|r| r.tokens.len() >= 2)
@@ -266,19 +338,17 @@ impl ServeReport {
 
     /// Per-scheme outcome breakdown, sorted by scheme: how each slice of
     /// the traffic fared. Throughput is each scheme's share of the
-    /// aggregate (its tokens over the whole run's span).
+    /// aggregate (its tokens over the whole run's span). Rejected
+    /// requests are excluded.
     pub fn scheme_breakdown(&self) -> Vec<SchemeStats> {
-        let mut schemes: Vec<SchemeSpec> = self.requests.iter().map(|r| r.scheme).collect();
+        let mut schemes: Vec<SchemeSpec> = self.served().map(|r| r.scheme).collect();
         schemes.sort_unstable();
         schemes.dedup();
         schemes
             .into_iter()
             .map(|scheme| {
-                let reqs: Vec<&RequestReport> = self
-                    .requests
-                    .iter()
-                    .filter(|r| r.scheme == scheme)
-                    .collect();
+                let reqs: Vec<&RequestReport> =
+                    self.served().filter(|r| r.scheme == scheme).collect();
                 let tokens: usize = reqs.iter().map(|r| r.tokens.len()).sum();
                 let tokens_per_s = if self.total_cycles == 0 {
                     0.0
@@ -304,10 +374,11 @@ impl ServeReport {
     }
 
     fn mean_over_requests(&self, f: impl Fn(&RequestReport) -> f64) -> f64 {
-        if self.requests.is_empty() {
+        let served: Vec<&RequestReport> = self.served().collect();
+        if served.is_empty() {
             return 0.0;
         }
-        self.requests.iter().map(f).sum::<f64>() / self.requests.len() as f64
+        served.iter().map(|r| f(r)).sum::<f64>() / served.len() as f64
     }
 }
 
@@ -328,6 +399,8 @@ mod tests {
                     passed_over_ticks: 0,
                     first_token_cycles: 1_000_000,
                     finish_cycles: 3_000_000,
+                    preemptions: 0,
+                    rejected: None,
                 },
                 RequestReport {
                     id: 1,
@@ -339,6 +412,8 @@ mod tests {
                     passed_over_ticks: 0,
                     first_token_cycles: 2_000_000,
                     finish_cycles: 2_000_000,
+                    preemptions: 0,
+                    rejected: None,
                 },
             ],
             ticks: vec![
@@ -350,6 +425,7 @@ mod tests {
                     prefill_tokens: 4,
                     decode_steps: 0,
                     schemes: vec![SchemeSpec::BBAL_PAPER],
+                    kv_pages: 1,
                 },
                 TickTrace {
                     start_cycles: 1_000_000,
@@ -359,14 +435,29 @@ mod tests {
                     prefill_tokens: 2,
                     decode_steps: 2,
                     schemes: vec![SchemeSpec::BBAL_PAPER, SchemeSpec::Bfp(4)],
+                    kv_pages: 2,
                 },
             ],
             total_cycles: 3_000_000,
             clock_ghz: 1.0,
             energy_pj: 42.0,
+            energy: EnergyBreakdown {
+                static_pj: 2.0,
+                dram_pj: 20.0,
+                buffer_pj: 10.0,
+                core_pj: 10.0,
+                kv_dram_pj: 6.0,
+            },
             wall_ms: 8.0,
             sessions_built: 2,
             sessions_reused: 0,
+            kv_page_tokens: 16,
+            kv_budget_pages: None,
+            peak_kv_pages: 2,
+            preemptions: 0,
+            kv_read_bytes: 96,
+            kv_write_bytes: 32,
+            kv_dram_energy_pj: 6.0,
         }
     }
 
@@ -423,6 +514,46 @@ mod tests {
         // Tick 1: 4 rows / 1 scheme over 1M cycles; tick 2: 4 rows / 2
         // schemes over 2M cycles -> (4*1 + 2*2) / 3.
         assert!((r.mean_fused_rows_per_gemm() - 8.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejected_requests_are_excluded_from_aggregates() {
+        let mut r = report();
+        let clean_ttft = r.mean_ttft_ms();
+        let clean_breakdown = r.scheme_breakdown().len();
+        r.requests.push(RequestReport {
+            id: 2,
+            scheme: SchemeSpec::Oltron,
+            prompt_len: 9_999,
+            tokens: vec![],
+            arrival_cycles: 0,
+            admitted_cycles: 0,
+            passed_over_ticks: 0,
+            first_token_cycles: 0,
+            finish_cycles: 0,
+            preemptions: 0,
+            rejected: Some("context window exceeded".to_owned()),
+        });
+        assert_eq!(r.served().count(), 2);
+        assert_eq!(r.rejected().count(), 1);
+        // A rejected request (zero timestamps, zero tokens) must not
+        // drag the means or grow the breakdown.
+        assert_eq!(r.mean_ttft_ms(), clean_ttft);
+        assert_eq!(r.scheme_breakdown().len(), clean_breakdown);
+        assert_eq!(r.generated_tokens(), 4);
+    }
+
+    #[test]
+    fn kv_accounting_totals() {
+        let r = report();
+        assert_eq!(r.kv_bytes_moved(), 128);
+        assert_eq!(r.total_energy_pj(), 48.0);
+        // The component breakdown carries the KV fold and agrees with
+        // the scalar totals.
+        assert_eq!(r.energy.kv_dram_pj, r.kv_dram_energy_pj);
+        assert_eq!(r.energy.total_pj(), r.total_energy_pj());
+        assert_eq!(r.peak_kv_pages, 2);
+        assert_eq!(r.ticks.iter().map(|t| t.kv_pages).max().unwrap(), 2);
     }
 
     #[test]

@@ -29,10 +29,12 @@ use crate::pool::SessionPool;
 use crate::report::{RequestReport, ServeReport, TickTrace};
 use crate::request::GenerateRequest;
 use crate::ServeError;
-use bbal_accel::{simulate_with, AcceleratorConfig, FormatSpec, NonlinearTiming};
+use bbal_accel::{simulate_with, AcceleratorConfig, EnergyBreakdown, FormatSpec, NonlinearTiming};
 use bbal_arith::GateLibrary;
 use bbal_core::SchemeSpec;
 use bbal_llm::graph::PaperDims;
+use bbal_llm::KvArena;
+use bbal_mem::{KvFootprint, KvTraffic};
 use bbal_session::{argmax, Session, SessionBuilder};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::mpsc;
@@ -119,9 +121,14 @@ struct ReqState {
     prompt: Vec<usize>,
     max_new: usize,
     scheme: SchemeSpec,
-    /// Prompt tokens handed to the session so far.
+    /// Feed-sequence tokens handed to the session so far (prompt, plus
+    /// already-generated tokens when replaying after a preemption).
     fed: usize,
     tokens: Vec<usize>,
+    /// Tokens currently in the session's KV cache — the scheduler's
+    /// mirror of `session.kv_len()`, kept exact so page planning never
+    /// has to query the arena.
+    cached: usize,
     /// Whether chunked prefill is bit-identical to whole-prompt prefill
     /// for this request's session (set at admission). When false, the
     /// whole prompt is fed as one chunk so the tokens match a lone
@@ -129,10 +136,61 @@ struct ReqState {
     chunk_invariant: bool,
     /// Ticks spent queued while a batch slot was free (aging counter).
     passed_over: u64,
+    /// Times this request's pages were evicted to relieve arena
+    /// pressure (it re-queued and replayed).
+    preemptions: u64,
     admitted_at: u64,
     first_token_at: u64,
     finish_at: u64,
+    /// Up-front rejection reason (context window / impossible KV
+    /// footprint); a rejected request is never scheduled.
+    rejected: Option<String>,
     session: Option<Session>,
+}
+
+impl ReqState {
+    /// The tokens this request must feed before it can decode its next
+    /// token: the prompt, then — when replaying after a preemption —
+    /// every generated token except the last (which the next decode
+    /// step feeds). Greedy decoding is deterministic, so replaying the
+    /// feed sequence reconstructs the evicted KV state bit for bit.
+    fn feed_len(&self) -> usize {
+        self.prompt.len() + self.tokens.len().saturating_sub(1)
+    }
+
+    /// Token at feed position `pos`.
+    fn feed_token(&self, pos: usize) -> usize {
+        if pos < self.prompt.len() {
+            self.prompt[pos]
+        } else {
+            self.tokens[pos - self.prompt.len()]
+        }
+    }
+
+    /// How many feed tokens the next work unit advances (0 = the
+    /// request is past its feed sequence and decodes instead). Mirrors
+    /// the dispatch logic; used for page planning before dispatch.
+    fn next_chunk(&self, prefill_chunk: usize) -> usize {
+        let feed_len = self.feed_len();
+        if self.fed >= feed_len {
+            return 0;
+        }
+        let limit = if self.chunk_invariant {
+            // Any chunking is bit-identical: replayed generated tokens
+            // ride in ordinary prefill chunks.
+            prefill_chunk
+        } else if self.fed < self.prompt.len() {
+            // A scheme whose activation statistics are not
+            // chunk-invariant must see its whole prompt at once to
+            // produce the tokens a lone session would.
+            self.prompt.len() - self.fed
+        } else {
+            // ...and its replayed tokens one at a time, exactly like
+            // the decode steps that first produced them.
+            1
+        };
+        limit.min(feed_len - self.fed)
+    }
 }
 
 /// The continuous-batching serving runtime: a session pool, a request
@@ -143,6 +201,12 @@ pub struct ServeRuntime {
     config: ServeConfig,
     dims: PaperDims,
     vocab: usize,
+    max_seq: usize,
+    /// Decoder layers of the *served* model (page accounting runs on
+    /// the real caches; KV byte/energy accounting runs on `dims`, the
+    /// simulated paper-scale geometry, like the tick cost model).
+    model_layers: usize,
+    arena: KvArena,
     clock_ghz: f64,
     lib: GateLibrary,
 }
@@ -161,7 +225,13 @@ impl ServeRuntime {
     /// [`ServeError::Session`] for an unknown model or invalid template.
     pub fn new(template: SessionBuilder, config: ServeConfig) -> Result<ServeRuntime, ServeError> {
         config.validate()?;
-        let template = template.resolve_model()?;
+        // One shared paged arena: every pooled session's KV cache draws
+        // from (and is bounded by) it.
+        let arena = match config.kv_budget_pages {
+            Some(pages) => KvArena::with_budget(config.kv_page_tokens, pages),
+            None => KvArena::unbounded(config.kv_page_tokens),
+        };
+        let template = template.resolve_model()?.kv_arena(arena.clone());
         // One probe session pins the model geometry and the clock; it
         // goes straight into the pool rather than being thrown away.
         let mut probe = template.clone().build()?;
@@ -170,6 +240,8 @@ impl ServeRuntime {
         probe.prepare();
         let dims = probe.simulated_dims();
         let vocab = probe.model_spec().vocab;
+        let max_seq = probe.model_spec().max_seq;
+        let model_layers = probe.model_spec().layers;
         let clock_ghz = probe.clock_ghz();
         let mut pool = SessionPool::new(template);
         pool.release(probe);
@@ -178,6 +250,9 @@ impl ServeRuntime {
             config,
             dims,
             vocab,
+            max_seq,
+            model_layers,
+            arena,
             clock_ghz,
             lib: GateLibrary::default(),
         })
@@ -191,6 +266,17 @@ impl ServeRuntime {
     /// The scheduler configuration.
     pub fn config(&self) -> &ServeConfig {
         &self.config
+    }
+
+    /// The shared KV arena (for inspection).
+    pub fn kv_arena(&self) -> &KvArena {
+        &self.arena
+    }
+
+    /// Pages a sequence of `tokens` tokens occupies in the served
+    /// model's caches: one page table per decoder layer.
+    fn pages_for(&self, tokens: usize) -> usize {
+        self.model_layers * tokens.div_ceil(self.config.kv_page_tokens)
     }
 
     /// Serves a trace of requests to completion and reports per-request
@@ -269,19 +355,53 @@ impl ServeRuntime {
         let (built_before, reused_before) = (self.pool.built(), self.pool.reused());
         let mut states: Vec<ReqState> = requests
             .iter()
-            .map(|r| ReqState {
-                arrival: r.arrival_cycles,
-                prompt: r.prompt.clone(),
-                max_new: r.max_new_tokens,
-                scheme: r.scheme,
-                fed: 0,
-                tokens: Vec::with_capacity(r.max_new_tokens),
-                chunk_invariant: true,
-                passed_over: 0,
-                admitted_at: 0,
-                first_token_at: 0,
-                finish_at: 0,
-                session: None,
+            .map(|r| {
+                // Up-front rejections are reported, not errored: the
+                // rest of the trace still serves. A request rejected
+                // here could never complete — its sequence overflows
+                // the context window, or no scheduling order could fit
+                // its worst-case KV footprint in the arena. (The latter
+                // is also what guarantees preemption converges: any
+                // admitted request can always finish alone.)
+                let needed = r.prompt.len() + r.max_new_tokens;
+                let worst_pages = self.pages_for(needed);
+                let rejected = if needed > self.max_seq {
+                    Some(format!(
+                        "prompt of {} + {} new tokens exceeds the context window of {}",
+                        r.prompt.len(),
+                        r.max_new_tokens,
+                        self.max_seq
+                    ))
+                } else if self
+                    .config
+                    .kv_budget_pages
+                    .is_some_and(|budget| worst_pages > budget)
+                {
+                    Some(format!(
+                        "worst-case KV footprint of {worst_pages} pages exceeds the \
+                         arena budget of {} pages",
+                        self.config.kv_budget_pages.expect("checked above")
+                    ))
+                } else {
+                    None
+                };
+                ReqState {
+                    arrival: r.arrival_cycles,
+                    prompt: r.prompt.clone(),
+                    max_new: r.max_new_tokens,
+                    scheme: r.scheme,
+                    fed: 0,
+                    tokens: Vec::with_capacity(r.max_new_tokens),
+                    cached: 0,
+                    chunk_invariant: true,
+                    passed_over: 0,
+                    preemptions: 0,
+                    admitted_at: 0,
+                    first_token_at: 0,
+                    finish_at: 0,
+                    rejected,
+                    session: None,
+                }
             })
             .collect();
 
@@ -305,7 +425,7 @@ impl ServeRuntime {
                 }
             }
         }
-        let (ticks, now, energy_pj) = result?;
+        let outcome = result?;
 
         Ok(ServeReport {
             requests: states
@@ -321,77 +441,120 @@ impl ServeRuntime {
                     passed_over_ticks: st.passed_over,
                     first_token_cycles: st.first_token_at,
                     finish_cycles: st.finish_at,
+                    preemptions: st.preemptions,
+                    rejected: st.rejected.clone(),
                 })
                 .collect(),
-            ticks,
-            total_cycles: now,
+            ticks: outcome.ticks,
+            total_cycles: outcome.now,
             clock_ghz: self.clock_ghz,
-            energy_pj,
+            energy_pj: outcome.energy_pj,
+            energy: outcome.energy,
             wall_ms: started.elapsed().as_secs_f64() * 1.0e3,
             sessions_built: self.pool.built() - built_before,
             sessions_reused: self.pool.reused() - reused_before,
+            kv_page_tokens: self.config.kv_page_tokens,
+            kv_budget_pages: self.config.kv_budget_pages,
+            peak_kv_pages: outcome.peak_kv_pages,
+            preemptions: states.iter().map(|st| st.preemptions).sum(),
+            kv_read_bytes: outcome.kv_traffic.read_bytes,
+            kv_write_bytes: outcome.kv_traffic.write_bytes,
+            kv_dram_energy_pj: outcome.kv_dram_energy_pj,
         })
     }
 
     /// Runs the tick loop to completion, returning the trace, the final
-    /// simulated time and the accumulated energy.
+    /// simulated time and the accumulated energy/traffic accounting.
     fn run_loop(
         &mut self,
         states: &mut [ReqState],
         job_tx: &mpsc::Sender<Job>,
         done_rx: &mpsc::Receiver<Done>,
-    ) -> Result<(Vec<TickTrace>, u64, f64), ServeError> {
-        // Arrival order, stable in trace position.
-        let mut order: Vec<usize> = (0..states.len()).collect();
+    ) -> Result<LoopOutcome, ServeError> {
+        // Arrival order, stable in trace position; rejected requests
+        // are reported but never scheduled.
+        let mut order: Vec<usize> = (0..states.len())
+            .filter(|&i| states[i].rejected.is_none())
+            .collect();
         order.sort_by_key(|&i| (states[i].arrival, i));
         let mut pending: VecDeque<usize> = order.into();
         let mut queue: VecDeque<usize> = VecDeque::new();
         let mut active: Vec<usize> = Vec::new();
         let mut accel_cfgs: BTreeMap<SchemeSpec, AcceleratorConfig> = BTreeMap::new();
+        let mut kv_footprints: BTreeMap<SchemeSpec, KvFootprint> = BTreeMap::new();
         let mut ticks: Vec<TickTrace> = Vec::new();
         let mut now: u64 = 0;
         let mut energy_pj = 0.0;
+        let mut energy = EnergyBreakdown::default();
+        let mut kv_traffic = KvTraffic::default();
+        let mut kv_dram_energy_pj = 0.0;
+        let mut peak_kv_pages = 0usize;
 
         loop {
             while pending.front().is_some_and(|&id| states[id].arrival <= now) {
                 queue.push_back(pending.pop_front().expect("front exists"));
             }
             // Top-up: the admission policy picks which queued requests
-            // take the free slots.
+            // take the free slots — and, under a KV budget, only
+            // requests whose worst-case prefill pages fit in what the
+            // active batch has left free.
             let slots = self.config.max_batch - active.len();
             if slots > 0 && !queue.is_empty() {
                 let active_schemes: BTreeSet<SchemeSpec> =
                     active.iter().map(|&id| states[id].scheme).collect();
+                let used_pages: usize = active
+                    .iter()
+                    .map(|&id| self.pages_for(states[id].cached))
+                    .sum();
+                let free_pages = match self.config.kv_budget_pages {
+                    Some(budget) => budget.saturating_sub(used_pages),
+                    None => usize::MAX,
+                };
                 let entries: Vec<QueuedEntry> = queue
                     .iter()
                     .map(|&id| QueuedEntry {
                         id,
                         scheme: states[id].scheme,
                         passed_over: states[id].passed_over,
+                        pages: self.pages_for(states[id].feed_len()),
                     })
                     .collect();
-                let admitted = self
-                    .config
-                    .admission
-                    .admit(&entries, &active_schemes, slots);
+                let admitted =
+                    self.config
+                        .admission
+                        .admit(&entries, &active_schemes, slots, free_pages);
                 // A remaining request was *passed over* if the policy
-                // either left a slot unfilled or gave one to a request
-                // queued behind it: age it. (Under FCFS neither happens —
-                // admissions are a queue prefix and stop only when the
-                // batch is full or the queue is empty.)
-                let leftover = slots - admitted.len();
-                let last_taken_pos = entries
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, e)| admitted.contains(&e.id))
-                    .map(|(pos, _)| pos)
-                    .max();
-                for (pos, e) in entries.iter().enumerate() {
-                    if admitted.contains(&e.id) {
-                        continue;
-                    }
-                    if leftover > 0 || last_taken_pos.is_some_and(|last| pos < last) {
-                        states[e.id].passed_over += 1;
+                // either held a slot it could have taken open or gave
+                // one to a request queued behind it: age it. Under FCFS
+                // neither happens — admissions are a queue prefix and
+                // stop only on capacity (batch slots or, under a KV
+                // budget, memory), which the report field documents as
+                // not counting — so `passed_over_ticks` stays 0 there.
+                // An entry whose worst-case pages exceed what the arena
+                // has left is blocked by memory, not preference, and is
+                // not aged either.
+                if !matches!(self.config.admission, AdmissionPolicy::Fcfs) {
+                    let leftover = slots - admitted.len();
+                    let free_after = free_pages.saturating_sub(
+                        entries
+                            .iter()
+                            .filter(|e| admitted.contains(&e.id))
+                            .map(|e| e.pages)
+                            .sum(),
+                    );
+                    let last_taken_pos = entries
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, e)| admitted.contains(&e.id))
+                        .map(|(pos, _)| pos)
+                        .max();
+                    for (pos, e) in entries.iter().enumerate() {
+                        if admitted.contains(&e.id) || e.pages > free_after {
+                            continue;
+                        }
+                        if leftover > 0 || last_taken_pos.is_some_and(|last| pos < last) {
+                            states[e.id].passed_over += 1;
+                        }
                     }
                 }
                 for id in admitted {
@@ -401,9 +564,17 @@ impl ServeRuntime {
                     {
                         e.insert(session.accelerator_config()?);
                     }
+                    kv_footprints.entry(scheme).or_insert_with(|| {
+                        KvFootprint::for_scheme(scheme, self.dims.hidden, self.dims.layers)
+                    });
                     states[id].chunk_invariant = session.chunk_invariant_prefill();
                     states[id].session = Some(session);
-                    states[id].admitted_at = now;
+                    // First admission only: a re-admission after a
+                    // preemption must not move the recorded admission
+                    // time (preemptions always follow it).
+                    if states[id].preemptions == 0 {
+                        states[id].admitted_at = now;
+                    }
                     queue.retain(|&q| q != id);
                     active.push(id);
                 }
@@ -419,32 +590,81 @@ impl ServeRuntime {
                 }
             }
 
-            // Dispatch one unit of work per active request.
+            // Preempt-and-requeue: if this tick's planned KV growth
+            // would exhaust the arena, evict the *youngest* active
+            // request's pages (release its session; greedy decoding is
+            // deterministic, so replaying its feed sequence later
+            // reconstructs the state bit for bit) and re-queue it at
+            // the front. The up-front footprint rejection guarantees
+            // the oldest request always fits alone, so this converges.
+            if let Some(budget) = self.config.kv_budget_pages {
+                loop {
+                    let used: usize = active
+                        .iter()
+                        .map(|&id| self.pages_for(states[id].cached))
+                        .sum();
+                    let growth: usize = active
+                        .iter()
+                        .map(|&id| {
+                            let st = &states[id];
+                            let next = match st.next_chunk(self.config.prefill_chunk) {
+                                0 => st.cached + 1, // decode step
+                                chunk => st.cached + chunk,
+                            };
+                            self.pages_for(next) - self.pages_for(st.cached)
+                        })
+                        .sum();
+                    if used + growth <= budget || active.len() <= 1 {
+                        break;
+                    }
+                    let victim = *active
+                        .iter()
+                        .max_by_key(|&&id| (states[id].admitted_at, id))
+                        .expect("active is non-empty");
+                    let st = &mut states[victim];
+                    let session = st.session.take().expect("active request owns a session");
+                    // Releasing resets the session, which returns its
+                    // pages to the arena.
+                    self.pool.release(session);
+                    st.fed = 0;
+                    st.cached = 0;
+                    st.preemptions += 1;
+                    active.retain(|&a| a != victim);
+                    queue.push_front(victim);
+                }
+            }
+
+            // Dispatch one unit of work per active request: the next
+            // chunk of its feed sequence (prompt, or prompt + generated
+            // tokens when replaying after a preemption), or one decode
+            // step.
             let mut items: BTreeMap<SchemeSpec, Vec<TickWork>> = BTreeMap::new();
             let mut prefill_tokens = 0usize;
             let mut decode_steps = 0usize;
             for &id in &active {
                 let st = &mut states[id];
-                let (work, tick_work, emit) = if st.fed < st.prompt.len() {
-                    // A scheme whose activation statistics are not
-                    // chunk-invariant must see its whole prompt at once
-                    // to produce the tokens a lone session would.
-                    let chunk = if st.chunk_invariant {
-                        self.config.prefill_chunk.min(st.prompt.len() - st.fed)
-                    } else {
-                        st.prompt.len() - st.fed
-                    };
-                    let tokens = st.prompt[st.fed..st.fed + chunk].to_vec();
+                let chunk = st.next_chunk(self.config.prefill_chunk);
+                let (work, tick_work, emit) = if chunk > 0 {
+                    let tokens: Vec<usize> =
+                        (st.fed..st.fed + chunk).map(|p| st.feed_token(p)).collect();
                     let past = st.fed;
                     st.fed += chunk;
+                    st.cached += chunk;
                     prefill_tokens += chunk;
+                    // Only a *fresh* prefill emits its last chunk's
+                    // argmax as the first token; a replay regenerates
+                    // state for tokens it already emitted.
                     (
                         Work::Prefill(tokens),
                         TickWork::Prefill { new: chunk, past },
-                        st.fed == st.prompt.len(),
+                        st.fed == st.feed_len() && st.tokens.is_empty(),
                     )
                 } else {
                     let last = *st.tokens.last().expect("decode follows the first token");
+                    // The decode step consumes the next feed-sequence
+                    // position (the last generated token).
+                    st.fed += 1;
+                    st.cached += 1;
                     decode_steps += 1;
                     (
                         Work::Decode(last),
@@ -466,6 +686,13 @@ impl ServeRuntime {
                     .map_err(|_| ServeError::WorkerLost)?;
             }
             let dispatched = active.len();
+            // Pages held once every dispatched unit lands — the
+            // pages-in-use trace point of this tick.
+            let tick_kv_pages: usize = active
+                .iter()
+                .map(|&id| self.pages_for(states[id].cached))
+                .sum();
+            peak_kv_pages = peak_kv_pages.max(tick_kv_pages);
 
             // Cost the tick while the workers compute: per-scheme fused
             // op lists on that scheme's accelerator instance, run
@@ -482,6 +709,25 @@ impl ServeRuntime {
                 );
                 tick_cycles += report.total_cycles();
                 energy_pj += report.energy.total_pj();
+                energy.accumulate(&report.energy);
+                // Charge the KV traffic of this scheme's work at its
+                // per-scheme footprint: prefill writes its chunk and
+                // reads each row's causal span; decode writes one token
+                // and streams the whole cache.
+                let fp = kv_footprints.get(scheme).expect("inserted at activation");
+                let mut group_traffic = KvTraffic::default();
+                for item in group {
+                    match *item {
+                        TickWork::Prefill { new, past } => {
+                            group_traffic.record_prefill(fp, new, past)
+                        }
+                        TickWork::Decode { kv_len } => group_traffic.record_decode(fp, kv_len),
+                    }
+                }
+                let group_kv_pj = group_traffic.energy_pj(&cfg.dram);
+                kv_dram_energy_pj += group_kv_pj;
+                energy.kv_dram_pj += group_kv_pj;
+                kv_traffic.merge(&group_traffic);
             }
             let tick_end = now.saturating_add(tick_cycles);
 
@@ -529,12 +775,32 @@ impl ServeRuntime {
                 prefill_tokens,
                 decode_steps,
                 schemes: tick_schemes,
+                kv_pages: tick_kv_pages,
             });
             now = tick_end;
         }
 
-        Ok((ticks, now, energy_pj))
+        Ok(LoopOutcome {
+            ticks,
+            now,
+            energy_pj,
+            energy,
+            kv_traffic,
+            kv_dram_energy_pj,
+            peak_kv_pages,
+        })
     }
+}
+
+/// What one completed scheduler loop hands back to `schedule`.
+struct LoopOutcome {
+    ticks: Vec<TickTrace>,
+    now: u64,
+    energy_pj: f64,
+    energy: EnergyBreakdown,
+    kv_traffic: KvTraffic,
+    kv_dram_energy_pj: f64,
+    peak_kv_pages: usize,
 }
 
 #[cfg(test)]

@@ -39,6 +39,7 @@ fn serve(admission: AdmissionPolicy) -> ServeReport {
         prefill_chunk: 4,
         workers: 2,
         admission,
+        ..ServeConfig::default()
     };
     ServeRuntime::new(template, config)
         .expect("runtime builds")

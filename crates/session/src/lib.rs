@@ -51,7 +51,8 @@ use bbal_arith::GateLibrary;
 use bbal_core::{SchemeError, SchemeSpec};
 use bbal_llm::graph::{decode_step_ops, decoder_ops, paper_dims, PaperDims};
 use bbal_llm::{
-    evaluate_ppl, zoo, EvalSet, InferenceHooks, KvCache, ModelSpec, PplResult, TransformerModel,
+    evaluate_ppl, zoo, EvalSet, InferenceHooks, KvArena, KvCache, ModelSpec, PplResult,
+    TransformerModel,
 };
 use bbal_nonlinear::NonlinearUnitConfig;
 use bbal_quant::hooks_for;
@@ -78,6 +79,15 @@ pub enum SessionError {
         /// The model's vocabulary size.
         vocab: usize,
     },
+    /// The sequence (prompt plus generated/decoded tokens) would exceed
+    /// the model's context window
+    /// ([`ModelSpec::max_seq`](bbal_llm::ModelSpec)).
+    ContextOverflow {
+        /// Tokens the operation would put in the KV cache.
+        needed: usize,
+        /// The model's context window.
+        max_seq: usize,
+    },
 }
 
 impl fmt::Display for SessionError {
@@ -94,6 +104,12 @@ impl fmt::Display for SessionError {
             }
             SessionError::TokenOutOfVocab { token, vocab } => {
                 write!(f, "token id {token} outside vocabulary of {vocab}")
+            }
+            SessionError::ContextOverflow { needed, max_seq } => {
+                write!(
+                    f,
+                    "sequence of {needed} tokens exceeds the model's context window of {max_seq}"
+                )
             }
         }
     }
@@ -172,6 +188,7 @@ pub struct SessionBuilder {
     eval_sequences: usize,
     eval_seq_len: usize,
     eval_seed: u64,
+    kv_arena: Option<KvArena>,
 }
 
 impl Default for SessionBuilder {
@@ -194,6 +211,7 @@ impl SessionBuilder {
             eval_sequences: 2,
             eval_seq_len: 24,
             eval_seed: 1234,
+            kv_arena: None,
         }
     }
 
@@ -267,6 +285,15 @@ impl SessionBuilder {
         self
     }
 
+    /// Draws the session's KV cache from a shared [`KvArena`] instead
+    /// of a private unbounded one — how a serving runtime
+    /// (`bbal-serve`) makes every pooled session's KV storage count
+    /// against one page budget.
+    pub fn kv_arena(mut self, arena: KvArena) -> SessionBuilder {
+        self.kv_arena = Some(arena);
+        self
+    }
+
     /// Resolves the model choice *now* (name lookup + weight synthesis)
     /// and stores the built model, so every later [`SessionBuilder::build`]
     /// on clones of this builder shares the same reference weights instead
@@ -329,7 +356,10 @@ impl SessionBuilder {
             return Err(SessionError::InvalidClock(self.clock_ghz));
         }
         let hooks = hooks_for(scheme)?;
-        let kv = reference.kv_cache();
+        let kv = match &self.kv_arena {
+            Some(arena) => reference.kv_cache_in(arena),
+            None => reference.kv_cache(),
+        };
         Ok(Session {
             scheme,
             spec,
@@ -405,6 +435,33 @@ impl Session {
         self.kv.len()
     }
 
+    /// Pages the session's KV cache currently holds in its arena.
+    pub fn kv_pages(&self) -> usize {
+        self.kv.pages_in_use()
+    }
+
+    /// The arena the session's KV cache draws pages from.
+    pub fn kv_arena(&self) -> &KvArena {
+        self.kv.arena()
+    }
+
+    /// The model's context window (most tokens one sequence may hold).
+    pub fn max_seq(&self) -> usize {
+        self.spec.max_seq
+    }
+
+    /// Rejects an operation that would grow the cached sequence to
+    /// `needed` tokens past the model's context window.
+    fn check_context(&self, needed: usize) -> Result<(), SessionError> {
+        if needed > self.spec.max_seq {
+            return Err(SessionError::ContextOverflow {
+                needed,
+                max_seq: self.spec.max_seq,
+            });
+        }
+        Ok(())
+    }
+
     /// The configured accelerator clock in GHz (available whether or not
     /// the scheme has a hardware mapping).
     pub fn clock_ghz(&self) -> f64 {
@@ -449,13 +506,15 @@ impl Session {
     ///
     /// # Errors
     ///
-    /// [`SessionError::EmptyPrompt`] or
-    /// [`SessionError::TokenOutOfVocab`].
+    /// [`SessionError::EmptyPrompt`],
+    /// [`SessionError::TokenOutOfVocab`] or
+    /// [`SessionError::ContextOverflow`].
     pub fn prefill(&mut self, tokens: &[usize]) -> Result<bbal_llm::Tensor, SessionError> {
         if tokens.is_empty() {
             return Err(SessionError::EmptyPrompt);
         }
         self.check_tokens(tokens)?;
+        self.check_context(tokens.len())?;
         self.prepare();
         self.kv.clear();
         let model = self.prepared.as_ref().expect("prepared above");
@@ -483,13 +542,15 @@ impl Session {
     ///
     /// # Errors
     ///
-    /// [`SessionError::EmptyPrompt`] or
-    /// [`SessionError::TokenOutOfVocab`].
+    /// [`SessionError::EmptyPrompt`],
+    /// [`SessionError::TokenOutOfVocab`] or
+    /// [`SessionError::ContextOverflow`].
     pub fn prefill_chunk(&mut self, tokens: &[usize]) -> Result<Vec<f32>, SessionError> {
         if tokens.is_empty() {
             return Err(SessionError::EmptyPrompt);
         }
         self.check_tokens(tokens)?;
+        self.check_context(self.kv.len() + tokens.len())?;
         self.prepare();
         let model = self.prepared.as_ref().expect("prepared above");
         let logits = model.prefill_chunk(tokens, &self.hooks.as_ref(), &mut self.kv);
@@ -529,9 +590,11 @@ impl Session {
     ///
     /// # Errors
     ///
-    /// [`SessionError::TokenOutOfVocab`].
+    /// [`SessionError::TokenOutOfVocab`] or
+    /// [`SessionError::ContextOverflow`].
     pub fn decode_step(&mut self, token: usize) -> Result<Vec<f32>, SessionError> {
         self.check_tokens(&[token])?;
+        self.check_context(self.kv.len() + 1)?;
         self.prepare();
         let model = self.prepared.as_ref().expect("prepared above");
         Ok(model.decode_step(token, &self.hooks.as_ref(), &mut self.kv))
@@ -542,8 +605,11 @@ impl Session {
     ///
     /// # Errors
     ///
-    /// Propagates the prefill/decode errors.
+    /// Propagates the prefill/decode errors;
+    /// [`SessionError::ContextOverflow`] *before any work* if
+    /// `prompt.len() + n` exceeds the model's context window.
     pub fn generate(&mut self, prompt: &[usize], n: usize) -> Result<Vec<usize>, SessionError> {
+        self.check_context(prompt.len() + n)?;
         let logits = self.prefill(prompt)?;
         let mut out = Vec::with_capacity(n);
         let mut next = argmax(logits.row(logits.rows() - 1));
@@ -911,6 +977,66 @@ mod tests {
         assert_eq!(reused.prefill_chunk(&[5, 6]).unwrap(), fresh_logits);
         reused.reset();
         assert_eq!(reused.generate(&[9, 8, 7], 6).unwrap(), fresh_tokens);
+    }
+
+    #[test]
+    fn context_overflow_is_a_typed_error_not_a_panic() {
+        // Tiny's window is 64 tokens.
+        let mut session = tiny("bbfp:4,2");
+        assert_eq!(session.max_seq(), 64);
+        let long: Vec<usize> = (0..65).map(|t| t % 64).collect();
+        assert!(matches!(
+            session.prefill(&long),
+            Err(SessionError::ContextOverflow {
+                needed: 65,
+                max_seq: 64
+            })
+        ));
+        // generate checks prompt + budget up front, before any work.
+        assert!(matches!(
+            session.generate(&[1, 2, 3], 62),
+            Err(SessionError::ContextOverflow {
+                needed: 65,
+                max_seq: 64
+            })
+        ));
+        assert_eq!(session.kv_len(), 0, "no partial work on rejection");
+        // Decode growth hits the same wall one token at a time.
+        let fit: Vec<usize> = (0..63).map(|t| t % 64).collect();
+        session.prefill(&fit).unwrap();
+        session.decode_step(1).unwrap();
+        assert!(matches!(
+            session.decode_step(2),
+            Err(SessionError::ContextOverflow { .. })
+        ));
+        // The session stays usable after the typed error.
+        session.reset();
+        assert_eq!(session.generate(&[5, 6], 3).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn shared_arena_reaches_the_session_cache() {
+        use bbal_llm::KvArena;
+        let arena = KvArena::with_budget(4, 64);
+        let mut session = SessionBuilder::new()
+            .model("Tiny")
+            .scheme("bbfp:4,2")
+            .kv_arena(arena.clone())
+            .build()
+            .unwrap();
+        assert_eq!(session.kv_pages(), 0);
+        session.prefill(&[1, 2, 3, 4, 5]).unwrap();
+        // 1 layer, ⌈5/4⌉ = 2 pages, visible through the shared handle.
+        assert_eq!(session.kv_pages(), 2);
+        assert_eq!(arena.pages_in_use(), 2);
+        assert_eq!(session.kv_arena().budget_pages(), Some(64));
+        // The arena-backed session generates the same tokens as a
+        // default (private unbounded arena) session.
+        session.reset();
+        assert_eq!(arena.pages_in_use(), 0);
+        let shared = session.generate(&[9, 8, 7], 6).unwrap();
+        let private = tiny("bbfp:4,2").generate(&[9, 8, 7], 6).unwrap();
+        assert_eq!(shared, private);
     }
 
     #[test]

@@ -21,6 +21,13 @@
 //! growth exhausts the arena, completing every request bit-identically
 //! at a throughput cost the `preempt` column explains.
 //!
+//! The shared-system-prompt section serves a trace whose requests all
+//! open with the same 64-token system prompt, once with the prefix
+//! cache (the default) and once cold: followers adopt the published
+//! prefix pages instead of re-running prefill, so the warm run reports
+//! a page-reuse ratio > 0 and a collapsed TTFT at bit-identical
+//! outputs.
+//!
 //! Besides the human-readable table (written to `results/serve_sweep.txt`
 //! by `reproduce_all`), the sweep emits `results/serve_sweep.json` so
 //! the perf trajectory is machine-diffable across PRs.
@@ -50,6 +57,41 @@ const MIXED: [SchemeSpec; 3] = [
     SchemeSpec::Bfp(4),
     SchemeSpec::Oltron,
 ];
+
+/// System-prompt length of the shared-prefix scenario, in tokens: four
+/// full 16-token KV pages that every follower can adopt.
+const SHARED_PREFIX: usize = 64;
+
+/// A shared-system-prompt trace: every request opens with the same
+/// `SHARED_PREFIX`-token system prompt and appends a distinct 8-token
+/// user suffix, so only the prefix blocks are shareable.
+fn shared_trace() -> Vec<GenerateRequest> {
+    let system: Vec<usize> = (0..SHARED_PREFIX).map(|t| (3 * t + 5) % 256).collect();
+    (0..REQUESTS)
+        .map(|i| {
+            let mut prompt = system.clone();
+            prompt.extend((0..8).map(|t| (17 * i + 7 * t + 11) % 256));
+            GenerateRequest::new(prompt, MAX_NEW)
+                .scheme(SchemeSpec::BBAL_PAPER)
+                .arriving_at(i as u64 * ARRIVAL_SPACING)
+        })
+        .collect()
+}
+
+/// Serves the shared-system-prompt trace at batch 8 under FCFS, with
+/// the prefix cache on (`warm`) or off.
+fn serve_shared(warm: bool) -> io::Result<ServeReport> {
+    let template = SessionBuilder::new().model(MODEL).scheme("bbfp:4,2");
+    let config = ServeConfig {
+        max_batch: 8,
+        prefill_chunk: 16,
+        workers: 2,
+        ..ServeConfig::default()
+    }
+    .with_kv_prefix_cache(warm);
+    let mut runtime = ServeRuntime::new(template, config).map_err(to_io)?;
+    runtime.serve(&shared_trace()).map_err(to_io)
+}
 
 /// A deterministic multi-user trace: varying prompt lengths, staggered
 /// arrivals, schemes assigned round-robin from `schemes`.
@@ -101,9 +143,13 @@ struct JsonRow {
     speedup: f64,
     /// What `speedup` is measured against: the lineup's sequential
     /// FCFS run for the batch axis, the unbounded run for the memory
-    /// axis. Recorded so JSON consumers never compare speedups across
-    /// incommensurable baselines.
+    /// axis, the cold-cache run for the shared-prompt axis. Recorded so
+    /// JSON consumers never compare speedups across incommensurable
+    /// baselines.
     speedup_baseline: &'static str,
+    /// Whether the run served with the prefix cache enabled (the
+    /// serving default); only the shared-prompt scenario turns it off.
+    prefix_cache: bool,
     identical: bool,
 }
 
@@ -117,7 +163,9 @@ impl JsonRow {
              \"mean_tpot_ms\":{:.4},\"mean_latency_ms\":{:.4},\"occupancy\":{:.4},\
              \"rows_per_gemm\":{:.4},\"scheme_switches\":{},\"total_cycles\":{},\
              \"energy_pj\":{:.3},\"kv_dram_energy_pj\":{:.3},\"kv_bytes_moved\":{},\
-             \"kv_page_tokens\":{},\"peak_kv_pages\":{},\"preemptions\":{},\
+             \"kv_page_tokens\":{},\"peak_kv_pages\":{},\"peak_logical_kv_pages\":{},\
+             \"preemptions\":{},\"prefix_cache\":{},\"prefix_reuse_ratio\":{:.4},\
+             \"shared_prefix_tokens\":{},\
              \"rejected\":{},\"generated_tokens\":{},\"identical\":{}}}",
             self.lineup,
             self.policy,
@@ -139,7 +187,11 @@ impl JsonRow {
             r.kv_bytes_moved(),
             r.kv_page_tokens,
             r.peak_kv_pages,
+            r.peak_logical_kv_pages,
             r.preemptions,
+            self.prefix_cache,
+            r.kv_page_reuse_ratio(),
+            r.shared_prefix_tokens(),
             r.rejected().count(),
             r.generated_tokens(),
             self.identical,
@@ -242,6 +294,7 @@ pub fn run(w: &mut dyn Write) -> io::Result<()> {
                     report,
                     speedup,
                     speedup_baseline: "sequential",
+                    prefix_cache: true,
                     identical,
                 });
             }
@@ -342,6 +395,7 @@ pub fn run(w: &mut dyn Write) -> io::Result<()> {
                 report,
                 speedup,
                 speedup_baseline: "unbounded",
+                prefix_cache: true,
                 identical,
             });
         }
@@ -367,6 +421,84 @@ pub fn run(w: &mut dyn Write) -> io::Result<()> {
         "half-peak budget: {half_budget_preemptions} preemptions, outputs bit-identical: {}",
         if pressured_identical { "yes" } else { "NO" }
     )?;
+
+    // --- Shared-system-prompt scenario ------------------------------
+    // Every request opens with the same 64-token system prompt; the
+    // prefix cache lets followers adopt the leader's published prefix
+    // pages instead of re-running prefill over them. Warm (the default)
+    // vs cold isolates what the cache buys: page reuse, TTFT collapse,
+    // identical tokens.
+    writeln!(w)?;
+    writeln!(
+        w,
+        "Shared-system-prompt scenario: {REQUESTS} requests, {SHARED_PREFIX}-token shared"
+    )?;
+    writeln!(
+        w,
+        "system prompt + distinct 8-token suffixes, bbfp:4,2, batch 8, fcfs\n"
+    )?;
+    let warm = serve_shared(true)?;
+    let cold = serve_shared(false)?;
+    let shared_identical = identical_outputs(&cold, &warm);
+    let warm_speedup = warm.sim_tokens_per_s() / cold.sim_tokens_per_s();
+    let mut shared_rows: Vec<Vec<String>> = Vec::new();
+    for (label, report, identical) in [("warm", &warm, shared_identical), ("cold", &cold, true)] {
+        shared_rows.push(vec![
+            (*label).to_owned(),
+            fmt2(report.sim_tokens_per_s()),
+            fmt2(report.mean_ttft_ms()),
+            format!("{:.3}", report.kv_page_reuse_ratio()),
+            report.shared_prefix_tokens().to_string(),
+            report.peak_kv_pages.to_string(),
+            report.peak_logical_kv_pages.to_string(),
+            if identical { "yes" } else { "NO" }.to_owned(),
+        ]);
+    }
+    print_table(
+        w,
+        &[
+            "cache",
+            "tok/s (sim)",
+            "TTFT ms",
+            "reuse",
+            "shared tok",
+            "peak pages",
+            "peak logical",
+            "identical",
+        ],
+        &shared_rows,
+    )?;
+    writeln!(w)?;
+    writeln!(
+        w,
+        "prefix cache: {:.3} page-reuse ratio, TTFT {} -> {} ms ({:.2}x tokens/s vs cold)",
+        warm.kv_page_reuse_ratio(),
+        fmt2(cold.mean_ttft_ms()),
+        fmt2(warm.mean_ttft_ms()),
+        warm_speedup
+    )?;
+    json_rows.push(JsonRow {
+        lineup: "shared-prompt",
+        policy: "fcfs",
+        batch: 8,
+        kv_budget_pages: None,
+        report: warm,
+        speedup: warm_speedup,
+        speedup_baseline: "cold-cache",
+        prefix_cache: true,
+        identical: shared_identical,
+    });
+    json_rows.push(JsonRow {
+        lineup: "shared-prompt",
+        policy: "fcfs",
+        batch: 8,
+        kv_budget_pages: None,
+        report: cold,
+        speedup: 1.0,
+        speedup_baseline: "cold-cache",
+        prefix_cache: false,
+        identical: true,
+    });
 
     // --- Machine-diffable record ------------------------------------
     let json = format!(
@@ -454,5 +586,33 @@ mod tests {
         assert!(tight.kv_bytes_moved() > 0);
         assert!(tight.kv_dram_energy_pj > 0.0);
         assert!(tight.rejected().count() == 0);
+    }
+
+    #[test]
+    fn shared_prompt_scenario_reuses_pages_and_collapses_ttft() {
+        // The ISSUE-6 acceptance gate: on the shared-system-prompt
+        // trace the warm run reports a page-reuse ratio > 0 and a
+        // lower TTFT than the cold-cache run, with every output token
+        // bit-identical.
+        let warm = serve_shared(true).unwrap();
+        let cold = serve_shared(false).unwrap();
+        for (a, b) in cold.requests.iter().zip(&warm.requests) {
+            assert_eq!(a.tokens, b.tokens, "request {} diverged", a.id);
+        }
+        assert!(
+            warm.kv_page_reuse_ratio() > 0.0,
+            "warm run must reuse prefix pages"
+        );
+        assert!(warm.shared_prefix_tokens() > 0);
+        assert_eq!(cold.kv_page_reuse_ratio(), 0.0);
+        assert_eq!(cold.shared_prefix_tokens(), 0);
+        assert!(
+            warm.mean_ttft_ms() < cold.mean_ttft_ms(),
+            "warm TTFT {} >= cold {}",
+            warm.mean_ttft_ms(),
+            cold.mean_ttft_ms()
+        );
+        assert!(warm.peak_logical_kv_pages >= warm.peak_kv_pages);
+        assert_eq!(cold.peak_logical_kv_pages, cold.peak_kv_pages);
     }
 }

@@ -1,4 +1,4 @@
-//! The paged KV-cache arena.
+//! The paged KV-cache arena, with copy-on-write prefix caching.
 //!
 //! Decode on real deployments is memory-bound: the KV cache, not the
 //! MACs, is what fills the accelerator's DRAM budget (LlamaF,
@@ -16,12 +16,41 @@
 //! draws its per-layer storage from an arena; a lone cache defaults to
 //! its own unbounded arena, so nothing changes for single-session use.
 //!
-//! Pages are handed out by *ownership transfer*: the arena keeps only
-//! the free-list and the accounting, while the cache that allocated a
-//! page writes to it without further locking. Releasing a cache (or
-//! clearing it) returns its buffers to the free-list, so page storage
-//! is recycled across requests instead of reallocated.
+//! ## Page sharing and the prefix index
+//!
+//! Pages are handed out as refcounted handles. A freshly allocated page
+//! has one holder, so the owning cache writes to it without further
+//! locking; *full* pages never change again (caches are append-only),
+//! which makes them safe to share. Two mechanisms share them:
+//!
+//! * **Prefix caching.** The arena keeps an index from hashed
+//!   token-prefix blocks (one block = `page_tokens` tokens, keyed under
+//!   a caller-supplied *class* that names the model + quantisation
+//!   scheme that produced the rows) to the full pages holding those
+//!   rows. A cache that is about to prefill a prompt can *adopt* the
+//!   longest indexed prefix — the shared pages are attached by
+//!   refcount, no KV rows are recomputed or rewritten — and a cache
+//!   that has finished a prompt can *publish* its full prefix pages for
+//!   later requests. Index keys store the exact prefix tokens alongside
+//!   the hash, so a hash collision degrades to a miss, never to wrong
+//!   rows.
+//! * **Copy-on-write clones.** [`KvCache::clone`](crate::KvCache)
+//!   shares all pages with the original. Appending to a shared
+//!   *partial* tail page first copies it into a private page
+//!   (copy-on-write); full pages stay shared forever.
+//!
+//! The budget counts **unique** pages: a page shared by ten caches
+//! costs one page of arena space. [`KvArena::pages_in_use`] reports
+//! unique pages (what the budget is judged against) and
+//! [`KvArena::logical_pages_in_use`] the per-holder view (what the
+//! caches would cost without sharing); the gap is the sharing win.
+//!
+//! Index entries whose pages no cache references any more are
+//! *reclaimable*: they are evicted least-recently-used, either on
+//! demand ([`KvArena::ensure_free`]) or automatically when an
+//! allocation would otherwise exhaust the budget.
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::{Arc, Mutex, MutexGuard};
 
@@ -30,7 +59,8 @@ use std::sync::{Arc, Mutex, MutexGuard};
 /// bookkeeping is negligible against the attention math.
 pub const DEFAULT_PAGE_TOKENS: usize = 16;
 
-/// The arena has no free page left (its budget is exhausted).
+/// The arena has no free page left (its budget is exhausted and no
+/// reclaimable prefix-cache entry remains).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ArenaFull {
     /// The arena's budget, in pages.
@@ -61,21 +91,136 @@ pub(crate) struct PageBuf {
     pub v: Vec<f32>,
 }
 
+/// A refcounted handle to one page. Shared pages are immutable (they
+/// are always full); a sole holder appends through `Arc::get_mut`.
+pub(crate) type PageRef = Arc<PageBuf>;
+
+/// FNV-1a over the class and the exact prefix tokens: the hashed key of
+/// a prefix-index block.
+fn prefix_hash(class: u64, prefix: &[usize]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for chunk in class.to_le_bytes() {
+        h ^= u64::from(chunk);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    for &t in prefix {
+        h ^= t as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// One indexed prefix block: the full pages (one per decoder layer)
+/// holding rows `[len-page_tokens, len)` of a prompt prefix.
+#[derive(Debug)]
+struct PrefixEntry {
+    /// The exact prefix tokens the pages were computed from — the
+    /// collision guard behind the hashed map key.
+    prefix: Vec<usize>,
+    /// One full page per layer.
+    pages: Vec<PageRef>,
+    /// LRU stamp: the arena clock at the last adoption or publication.
+    last_used: u64,
+}
+
+impl PrefixEntry {
+    /// No cache holds these pages any more; evicting frees real space.
+    fn reclaimable(&self) -> bool {
+        self.pages.iter().all(|p| Arc::strong_count(p) == 1)
+    }
+}
+
+/// Prefix-cache activity counters (see [`KvArena::prefix_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefixStats {
+    /// Prefix blocks currently indexed.
+    pub entries: usize,
+    /// Blocks adopted by caches (each adopted block counts once).
+    pub hits: u64,
+    /// Adoption attempts that found no cached block at all.
+    pub misses: u64,
+    /// Blocks inserted into the index.
+    pub insertions: u64,
+    /// Blocks evicted (LRU) to reclaim space.
+    pub evictions: u64,
+}
+
+/// What [`KvArena::probe_prefix`] found resident for a prompt: the
+/// basis of shared-aware admission accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefixProbe {
+    /// Prompt tokens covered by resident indexed blocks (a multiple of
+    /// [`KvArena::page_tokens`]).
+    pub tokens: usize,
+    /// Total pages those blocks span (`blocks × layers`).
+    pub pages: usize,
+    /// Of those, pages some cache already holds a reference to — pages
+    /// a new adopter gets *for free* against the budget, because they
+    /// are pinned by another request either way.
+    pub held_pages: usize,
+}
+
 #[derive(Debug)]
 struct ArenaInner {
     page_tokens: usize,
     budget_pages: Option<usize>,
-    allocated: usize,
-    peak: usize,
+    /// Unique pages out of the free-list (shared pages count once).
+    unique: usize,
+    peak_unique: usize,
+    /// Page handles held by caches (shared pages count once per
+    /// holder). Excludes the prefix index's own references.
+    logical: usize,
+    peak_logical: usize,
     free: Vec<PageBuf>,
+    /// (class, prefix hash) → indexed block.
+    index: BTreeMap<(u64, u64), PrefixEntry>,
+    /// LRU clock, bumped once per adoption/publication.
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    insertions: u64,
+    evictions: u64,
 }
 
-/// A shared pool of fixed-size KV pages with an optional budget.
+impl ArenaInner {
+    /// Evicts the least-recently-used reclaimable index entry; `false`
+    /// when nothing is reclaimable. Ties (same stamp) break on the map
+    /// key, so eviction order is deterministic.
+    fn evict_one(&mut self) -> bool {
+        let Some(key) = self
+            .index
+            .iter()
+            .filter(|(_, e)| e.reclaimable())
+            .min_by_key(|(k, e)| (e.last_used, **k))
+            .map(|(k, _)| *k)
+        else {
+            return false;
+        };
+        let entry = self.index.remove(&key).expect("victim key was just found");
+        for page in entry.pages {
+            // `reclaimable` held under this same lock, and every clone
+            // of an index page is made under the lock too, so unwrap
+            // cannot race; stay defensive anyway.
+            if let Ok(mut buf) = Arc::try_unwrap(page) {
+                buf.k.clear();
+                buf.v.clear();
+                self.unique = self.unique.saturating_sub(1);
+                self.free.push(buf);
+            }
+        }
+        self.evictions += 1;
+        true
+    }
+}
+
+/// A shared pool of fixed-size KV pages with an optional budget and a
+/// copy-on-write prefix cache.
 ///
 /// Cloning the handle shares the pool: every
 /// [`KvCache`](crate::KvCache) created
 /// [in the same arena](crate::TransformerModel::kv_cache_in) draws
-/// from, and is limited by, the same budget.
+/// from, and is limited by, the same budget — and can share prefix
+/// pages with every other cache in the arena.
 ///
 /// ```
 /// use bbal_llm::KvArena;
@@ -98,8 +243,10 @@ impl fmt::Debug for KvArena {
         f.debug_struct("KvArena")
             .field("page_tokens", &g.page_tokens)
             .field("budget_pages", &g.budget_pages)
-            .field("allocated", &g.allocated)
-            .field("peak", &g.peak)
+            .field("unique", &g.unique)
+            .field("logical", &g.logical)
+            .field("peak_unique", &g.peak_unique)
+            .field("indexed_prefixes", &g.index.len())
             .finish()
     }
 }
@@ -131,9 +278,17 @@ impl KvArena {
             inner: Arc::new(Mutex::new(ArenaInner {
                 page_tokens,
                 budget_pages,
-                allocated: 0,
-                peak: 0,
+                unique: 0,
+                peak_unique: 0,
+                logical: 0,
+                peak_logical: 0,
                 free: Vec::new(),
+                index: BTreeMap::new(),
+                clock: 0,
+                hits: 0,
+                misses: 0,
+                insertions: 0,
+                evictions: 0,
             })),
         }
     }
@@ -157,25 +312,41 @@ impl KvArena {
         self.lock().budget_pages
     }
 
-    /// Pages currently held by caches drawing from this arena.
+    /// Unique pages currently out of the free-list — what the budget is
+    /// judged against. A page shared by many caches (or retained only
+    /// by the prefix index) counts once.
     pub fn pages_in_use(&self) -> usize {
-        self.lock().allocated
+        self.lock().unique
     }
 
-    /// Pages still allocatable before the budget is hit
-    /// (`usize::MAX` for an unbounded arena).
+    /// Page handles held by caches: what the same caches would occupy
+    /// without sharing. `logical − unique` pages is the space sharing
+    /// saved. Prefix-index retention does not count as a holder.
+    pub fn logical_pages_in_use(&self) -> usize {
+        self.lock().logical
+    }
+
+    /// Pages still allocatable before the budget is hit, *without*
+    /// evicting anything (`usize::MAX` for an unbounded arena).
     pub fn free_pages(&self) -> usize {
         let g = self.lock();
         match g.budget_pages {
-            Some(b) => b.saturating_sub(g.allocated),
+            Some(b) => b.saturating_sub(g.unique),
             None => usize::MAX,
         }
     }
 
-    /// High-water mark of [`KvArena::pages_in_use`] over the arena's
-    /// lifetime.
+    /// High-water mark of [`KvArena::pages_in_use`] (unique pages) over
+    /// the arena's lifetime.
     pub fn peak_pages(&self) -> usize {
-        self.lock().peak
+        self.lock().peak_unique
+    }
+
+    /// High-water mark of [`KvArena::logical_pages_in_use`]: the peak
+    /// the reports would have shown if shared pages were double-counted
+    /// per holder.
+    pub fn peak_logical_pages(&self) -> usize {
+        self.lock().peak_logical
     }
 
     /// Pages a cache of `layers` decoder layers holding `tokens` tokens
@@ -187,33 +358,201 @@ impl KvArena {
         layers * tokens.div_ceil(self.lock().page_tokens)
     }
 
-    /// Takes one page out of the arena (recycled when available).
+    /// Pages held *only* by the prefix index: evicting them frees real
+    /// budget space without touching any active cache.
+    pub fn reclaimable_pages(&self) -> usize {
+        let g = self.lock();
+        g.index
+            .values()
+            .flat_map(|e| &e.pages)
+            .filter(|p| Arc::strong_count(p) == 1)
+            .count()
+    }
+
+    /// Prefix-cache activity counters.
+    pub fn prefix_stats(&self) -> PrefixStats {
+        let g = self.lock();
+        PrefixStats {
+            entries: g.index.len(),
+            hits: g.hits,
+            misses: g.misses,
+            insertions: g.insertions,
+            evictions: g.evictions,
+        }
+    }
+
+    /// Read-only probe: how much of `tokens` (capped at `max_tokens`)
+    /// is resident in the prefix index under `class` for a
+    /// `layers`-layer cache, and how many of those pages other caches
+    /// already hold. Does not touch LRU state or stats — schedulers
+    /// call this to plan admission before committing to an adoption.
+    pub fn probe_prefix(
+        &self,
+        class: u64,
+        tokens: &[usize],
+        max_tokens: usize,
+        layers: usize,
+    ) -> PrefixProbe {
+        let g = self.lock();
+        let pt = g.page_tokens;
+        let mut probe = PrefixProbe::default();
+        for b in 1..=tokens.len().min(max_tokens) / pt {
+            let prefix = &tokens[..b * pt];
+            let Some(entry) = g.index.get(&(class, prefix_hash(class, prefix))) else {
+                break;
+            };
+            if entry.prefix != prefix || entry.pages.len() != layers {
+                break;
+            }
+            probe.tokens += pt;
+            probe.pages += layers;
+            probe.held_pages += entry
+                .pages
+                .iter()
+                .filter(|p| Arc::strong_count(p) > 1)
+                .count();
+        }
+        probe
+    }
+
+    /// Evicts least-recently-used reclaimable prefix entries until at
+    /// least `pages` pages are allocatable without further eviction (or
+    /// nothing reclaimable remains). Returns the entries evicted. A
+    /// scheduler calls this before dispatching a tick's allocations so
+    /// worker threads never have to evict (eviction order stays
+    /// deterministic). No-op on an unbounded arena.
+    pub fn ensure_free(&self, pages: usize) -> usize {
+        let mut g = self.lock();
+        let Some(budget) = g.budget_pages else {
+            return 0;
+        };
+        let mut evicted = 0;
+        while budget.saturating_sub(g.unique) < pages && g.evict_one() {
+            evicted += 1;
+        }
+        evicted
+    }
+
+    /// Adopts the longest indexed prefix of `tokens` under `class` for
+    /// a `layers`-layer cache, capped at `max_tokens` tokens: bumps the
+    /// blocks' refcounts and returns them outermost-first (each inner
+    /// vector holds one page per layer). Returns an empty vector on a
+    /// cold prefix.
+    pub(crate) fn adopt_prefix(
+        &self,
+        class: u64,
+        tokens: &[usize],
+        max_tokens: usize,
+        layers: usize,
+    ) -> Vec<Vec<PageRef>> {
+        let mut g = self.lock();
+        let pt = g.page_tokens;
+        let tick = g.clock;
+        g.clock += 1;
+        let mut blocks: Vec<Vec<PageRef>> = Vec::new();
+        for b in 1..=tokens.len().min(max_tokens) / pt {
+            let prefix = &tokens[..b * pt];
+            let key = (class, prefix_hash(class, prefix));
+            let Some(entry) = g.index.get_mut(&key) else {
+                break;
+            };
+            if entry.prefix != prefix || entry.pages.len() != layers {
+                break;
+            }
+            entry.last_used = tick;
+            blocks.push(entry.pages.clone());
+        }
+        if blocks.is_empty() {
+            g.misses += 1;
+        } else {
+            g.hits += blocks.len() as u64;
+        }
+        g.logical += blocks.len() * layers;
+        g.peak_logical = g.peak_logical.max(g.logical);
+        blocks
+    }
+
+    /// Publishes one full prefix block: `pages` (one full page per
+    /// layer) hold the KV rows of the last `page_tokens` tokens of
+    /// `prefix`. First publication of a prefix wins; re-publishing is a
+    /// no-op. The index holds plain references — publishing allocates
+    /// nothing and the pages stay shared with the publishing cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prefix` is not a whole number of pages.
+    pub(crate) fn publish_prefix(&self, class: u64, prefix: &[usize], pages: Vec<PageRef>) {
+        let mut g = self.lock();
+        assert!(
+            !prefix.is_empty() && prefix.len().is_multiple_of(g.page_tokens),
+            "published prefix must cover whole pages"
+        );
+        let key = (class, prefix_hash(class, prefix));
+        if g.index.contains_key(&key) {
+            return;
+        }
+        let tick = g.clock;
+        g.clock += 1;
+        g.index.insert(
+            key,
+            PrefixEntry {
+                prefix: prefix.to_vec(),
+                pages,
+                last_used: tick,
+            },
+        );
+        g.insertions += 1;
+    }
+
+    /// Takes one page out of the arena (recycled when available). When
+    /// the budget is exhausted, reclaimable prefix entries are evicted
+    /// LRU-first before giving up.
     ///
     /// # Errors
     ///
-    /// [`ArenaFull`] when the budget is exhausted.
+    /// [`ArenaFull`] when the budget is exhausted and nothing is
+    /// reclaimable.
     pub(crate) fn alloc(&self) -> Result<PageBuf, ArenaFull> {
         let mut g = self.lock();
         if let Some(budget) = g.budget_pages {
-            if g.allocated >= budget {
+            while g.unique >= budget && g.evict_one() {}
+            if g.unique >= budget {
                 return Err(ArenaFull {
                     budget_pages: budget,
                 });
             }
         }
-        g.allocated += 1;
-        g.peak = g.peak.max(g.allocated);
+        g.unique += 1;
+        g.peak_unique = g.peak_unique.max(g.unique);
+        g.logical += 1;
+        g.peak_logical = g.peak_logical.max(g.logical);
         Ok(g.free.pop().unwrap_or_default())
     }
 
-    /// Returns a page to the free-list.
-    pub(crate) fn release(&self, mut page: PageBuf) {
-        page.k.clear();
-        page.v.clear();
+    /// Registers `handles` additional cache-held references to already
+    /// allocated pages (a copy-on-write cache clone): logical pages
+    /// grow, unique pages do not.
+    pub(crate) fn share(&self, handles: usize) {
         let mut g = self.lock();
-        debug_assert!(g.allocated > 0, "releasing into an empty arena");
-        g.allocated = g.allocated.saturating_sub(1);
-        g.free.push(page);
+        g.logical += handles;
+        g.peak_logical = g.peak_logical.max(g.logical);
+    }
+
+    /// Drops one cache-held page reference. The page returns to the
+    /// free-list only when this was the last reference anywhere
+    /// (including the prefix index); otherwise only the holder count
+    /// drops.
+    pub(crate) fn release_ref(&self, page: PageRef) {
+        let mut g = self.lock();
+        debug_assert!(g.logical > 0, "releasing into an empty arena");
+        g.logical = g.logical.saturating_sub(1);
+        if let Ok(mut buf) = Arc::try_unwrap(page) {
+            buf.k.clear();
+            buf.v.clear();
+            debug_assert!(g.unique > 0, "freeing an untracked page");
+            g.unique = g.unique.saturating_sub(1);
+            g.free.push(buf);
+        }
     }
 }
 
@@ -228,21 +567,38 @@ impl Default for KvArena {
 mod tests {
     use super::*;
 
+    /// Allocates one page and wraps it in the handle a cache would hold.
+    fn alloc_ref(arena: &KvArena) -> Result<PageRef, ArenaFull> {
+        arena.alloc().map(Arc::new)
+    }
+
+    /// Publishes a one-layer block for `prefix`, allocating a fresh full
+    /// page for it, and returns the cache-held handle.
+    fn publish_block(arena: &KvArena, class: u64, prefix: &[usize]) -> PageRef {
+        let mut page = arena.alloc().expect("arena has room");
+        page.k.extend(prefix.iter().map(|&t| t as f32));
+        page.v.extend(prefix.iter().map(|&t| -(t as f32)));
+        let page = Arc::new(page);
+        arena.publish_prefix(class, prefix, vec![page.clone()]);
+        page
+    }
+
     #[test]
     fn budget_is_enforced_and_released_pages_recycle() {
         let arena = KvArena::with_budget(8, 2);
-        let a = arena.alloc().unwrap();
-        let b = arena.alloc().unwrap();
+        let a = alloc_ref(&arena).unwrap();
+        let b = alloc_ref(&arena).unwrap();
         assert_eq!(arena.pages_in_use(), 2);
         assert_eq!(arena.free_pages(), 0);
         assert_eq!(arena.alloc().unwrap_err(), ArenaFull { budget_pages: 2 });
-        arena.release(a);
+        arena.release_ref(a);
         assert_eq!(arena.pages_in_use(), 1);
-        let c = arena.alloc().unwrap();
+        let c = alloc_ref(&arena).unwrap();
         assert_eq!(arena.peak_pages(), 2);
-        arena.release(b);
-        arena.release(c);
+        arena.release_ref(b);
+        arena.release_ref(c);
         assert_eq!(arena.pages_in_use(), 0);
+        assert_eq!(arena.logical_pages_in_use(), 0);
     }
 
     #[test]
@@ -251,7 +607,7 @@ mod tests {
         let mut page = arena.alloc().unwrap();
         page.k.extend_from_slice(&[1.0, 2.0]);
         page.v.extend_from_slice(&[3.0]);
-        arena.release(page);
+        arena.release_ref(Arc::new(page));
         let recycled = arena.alloc().unwrap();
         assert!(recycled.k.is_empty() && recycled.v.is_empty());
     }
@@ -269,9 +625,9 @@ mod tests {
     fn clones_share_the_budget() {
         let arena = KvArena::with_budget(4, 1);
         let other = arena.clone();
-        let page = other.alloc().unwrap();
+        let page = alloc_ref(&other).unwrap();
         assert!(arena.alloc().is_err());
-        other.release(page);
+        other.release_ref(page);
         assert!(arena.alloc().is_ok());
     }
 
@@ -281,6 +637,176 @@ mod tests {
         assert_eq!(arena.free_pages(), usize::MAX);
         assert_eq!(arena.budget_pages(), None);
         assert_eq!(arena.page_tokens(), DEFAULT_PAGE_TOKENS);
+    }
+
+    #[test]
+    fn shared_handles_count_unique_once_and_logical_per_holder() {
+        let arena = KvArena::unbounded(4);
+        let a = alloc_ref(&arena).unwrap();
+        let b = a.clone();
+        arena.share(1);
+        assert_eq!(arena.pages_in_use(), 1);
+        assert_eq!(arena.logical_pages_in_use(), 2);
+        assert_eq!(arena.peak_logical_pages(), 2);
+        arena.release_ref(a);
+        // The other holder keeps the page allocated.
+        assert_eq!(arena.pages_in_use(), 1);
+        assert_eq!(arena.logical_pages_in_use(), 1);
+        arena.release_ref(b);
+        assert_eq!(arena.pages_in_use(), 0);
+        assert_eq!(arena.peak_pages(), 1);
+        assert_eq!(arena.peak_logical_pages(), 2);
+    }
+
+    #[test]
+    fn publish_then_adopt_shares_pages_without_allocating() {
+        let arena = KvArena::unbounded(2);
+        let prefix = [3usize, 1];
+        let page = publish_block(&arena, 7, &prefix);
+        assert_eq!(arena.prefix_stats().insertions, 1);
+        assert_eq!(arena.pages_in_use(), 1);
+
+        let blocks = arena.adopt_prefix(7, &[3, 1, 9, 9], 4, 1);
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0][0].k, page.k);
+        assert!(Arc::ptr_eq(&blocks[0][0], &page));
+        // Adoption allocated nothing: one unique page, two holders.
+        assert_eq!(arena.pages_in_use(), 1);
+        assert_eq!(arena.logical_pages_in_use(), 2);
+        assert_eq!(arena.prefix_stats().hits, 1);
+
+        // A different class or a different prefix misses.
+        assert!(arena.adopt_prefix(8, &[3, 1], 2, 1).is_empty());
+        assert!(arena.adopt_prefix(7, &[3, 2], 2, 1).is_empty());
+        // Fewer tokens than a block, or a cap below a block: miss.
+        assert!(arena.adopt_prefix(7, &[3], 1, 1).is_empty());
+        assert!(arena.adopt_prefix(7, &[3, 1], 1, 1).is_empty());
+        assert_eq!(arena.prefix_stats().misses, 4);
+    }
+
+    #[test]
+    fn adoption_stops_at_the_first_missing_block() {
+        let arena = KvArena::unbounded(2);
+        let _b1 = publish_block(&arena, 1, &[5, 6]);
+        let _b3 = publish_block(&arena, 1, &[5, 6, 7, 8, 9, 10]);
+        // Blocks 1 and 3 are indexed but 2 is not: only block 1 adopts.
+        let blocks = arena.adopt_prefix(1, &[5, 6, 7, 8, 9, 10], 6, 1);
+        assert_eq!(blocks.len(), 1);
+
+        // Once block 2 is published the full run adopts, orphan healed.
+        let _b2 = publish_block(&arena, 1, &[5, 6, 7, 8]);
+        let blocks = arena.adopt_prefix(1, &[5, 6, 7, 8, 9, 10], 6, 1);
+        assert_eq!(blocks.len(), 3);
+    }
+
+    #[test]
+    fn republishing_is_a_no_op() {
+        let arena = KvArena::unbounded(2);
+        let first = publish_block(&arena, 1, &[1, 2]);
+        let second = publish_block(&arena, 1, &[1, 2]);
+        assert_eq!(arena.prefix_stats().insertions, 1);
+        assert_eq!(arena.pages_in_use(), 2);
+        // The adopted page is the first publication's.
+        let blocks = arena.adopt_prefix(1, &[1, 2], 2, 1);
+        assert!(Arc::ptr_eq(&blocks[0][0], &first));
+        assert!(!Arc::ptr_eq(&blocks[0][0], &second));
+    }
+
+    #[test]
+    fn probe_reports_residency_and_held_pages_without_side_effects() {
+        let arena = KvArena::unbounded(2);
+        let held = publish_block(&arena, 1, &[1, 2]);
+        let released = publish_block(&arena, 1, &[1, 2, 3, 4]);
+        arena.release_ref(released);
+        assert_eq!(arena.reclaimable_pages(), 1);
+
+        let probe = arena.probe_prefix(1, &[1, 2, 3, 4, 5], 5, 1);
+        assert_eq!(probe.tokens, 4);
+        assert_eq!(probe.pages, 2);
+        assert_eq!(probe.held_pages, 1); // block 1 is still held by `held`
+        assert_eq!(arena.probe_prefix(1, &[1, 2, 3, 4], 2, 1).tokens, 2);
+        assert_eq!(arena.probe_prefix(2, &[1, 2], 2, 1), PrefixProbe::default());
+        // Probing never counts as a hit or a miss.
+        assert_eq!(
+            (arena.prefix_stats().hits, arena.prefix_stats().misses),
+            (0, 0)
+        );
+        drop(held);
+    }
+
+    #[test]
+    fn lru_eviction_reclaims_only_unreferenced_entries() {
+        let arena = KvArena::with_budget(2, 3);
+        let held = publish_block(&arena, 1, &[1, 2]); // oldest, but held
+        let cold = publish_block(&arena, 1, &[3, 4]);
+        arena.release_ref(cold);
+        let warm = publish_block(&arena, 1, &[5, 6]);
+        arena.release_ref(warm);
+        // Refresh [5, 6] so [3, 4] is the LRU reclaimable entry.
+        let adopted = arena.adopt_prefix(1, &[5, 6], 2, 1);
+        for block in adopted {
+            for page in block {
+                arena.release_ref(page);
+            }
+        }
+        assert_eq!(arena.pages_in_use(), 3);
+        assert_eq!(arena.reclaimable_pages(), 2);
+
+        // The budget is full: the next alloc must evict exactly [3, 4].
+        let page = alloc_ref(&arena).unwrap();
+        assert_eq!(arena.prefix_stats().evictions, 1);
+        assert!(arena.adopt_prefix(1, &[3, 4], 2, 1).is_empty());
+        assert_eq!(arena.adopt_prefix(1, &[5, 6], 2, 1).len(), 1);
+        // The held entry was never evictable, even though it is older.
+        assert_eq!(arena.adopt_prefix(1, &[1, 2], 2, 1).len(), 1);
+        drop((held, page));
+    }
+
+    #[test]
+    fn alloc_fails_only_when_nothing_is_reclaimable() {
+        let arena = KvArena::with_budget(2, 2);
+        let a = publish_block(&arena, 1, &[1, 2]);
+        let b = publish_block(&arena, 1, &[3, 4]);
+        assert_eq!(arena.free_pages(), 0);
+        // Both entries are held by caches: nothing to evict.
+        assert!(arena.alloc().is_err());
+        arena.release_ref(a);
+        // Now one entry is reclaimable and alloc succeeds by evicting it.
+        let c = alloc_ref(&arena).unwrap();
+        assert_eq!(arena.prefix_stats().evictions, 1);
+        drop((b, c));
+    }
+
+    #[test]
+    fn ensure_free_evicts_up_front_and_reports_honestly() {
+        let arena = KvArena::with_budget(2, 4);
+        for prefix in [[1usize, 2], [3, 4], [5, 6]] {
+            let p = publish_block(&arena, 1, &prefix);
+            arena.release_ref(p);
+        }
+        assert_eq!(arena.free_pages(), 1);
+        assert_eq!(arena.ensure_free(1), 0); // already free
+        assert_eq!(arena.ensure_free(3), 2); // evicts the two oldest
+        assert_eq!(arena.free_pages(), 3);
+        // Asking for more than the budget can ever give evicts all and
+        // stops.
+        assert_eq!(arena.ensure_free(100), 1);
+        assert_eq!(arena.free_pages(), 4);
+        assert_eq!(arena.ensure_free(100), 0);
+        // Unbounded arenas never evict on ensure_free.
+        let unbounded = KvArena::unbounded(2);
+        let p = publish_block(&unbounded, 1, &[1, 2]);
+        unbounded.release_ref(p);
+        assert_eq!(unbounded.ensure_free(usize::MAX), 0);
+        assert_eq!(unbounded.prefix_stats().entries, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole pages")]
+    fn publishing_a_partial_block_is_rejected() {
+        let arena = KvArena::unbounded(4);
+        let page = alloc_ref(&arena).unwrap();
+        arena.publish_prefix(1, &[1, 2, 3], vec![page]);
     }
 
     #[test]

@@ -14,11 +14,12 @@
 //! outliers.
 
 use crate::hooks::InferenceHooks;
-use crate::kv::{KvArena, PageBuf};
+use crate::kv::{KvArena, PageRef};
 use crate::ops;
 use crate::rng::Stream;
 use crate::tensor::Tensor;
 use crate::zoo::{Family, ModelSpec};
+use std::sync::Arc;
 
 /// The weight matrices of one decoder layer.
 #[derive(Debug, Clone)]
@@ -59,8 +60,10 @@ impl LayerWeights {
 #[derive(Debug, Default)]
 struct LayerKv {
     /// Pages in token order: page `p` holds rows
-    /// `p·page_tokens .. (p+1)·page_tokens` of this layer.
-    pages: Vec<PageBuf>,
+    /// `p·page_tokens .. (p+1)·page_tokens` of this layer. Pages may be
+    /// shared with other caches (adopted prefixes, copy-on-write
+    /// clones); only the uniquely-owned tail page is ever appended to.
+    pages: Vec<PageRef>,
 }
 
 impl LayerKv {
@@ -143,15 +146,68 @@ impl KvCache {
         &self.arena
     }
 
-    /// Discards all cached tokens (start of a new sequence), returning
-    /// every page to the arena.
+    /// Discards all cached tokens (start of a new sequence), dropping
+    /// this cache's reference on every page. Private pages return to
+    /// the arena; shared pages stay with their other holders (or with
+    /// the arena's prefix index).
     pub fn clear(&mut self) {
         for l in &mut self.layers {
             for page in l.pages.drain(..) {
-                self.arena.release(page);
+                self.arena.release_ref(page);
             }
         }
         self.len = 0;
+    }
+
+    /// Adopts the longest cached token prefix of `tokens` from the
+    /// arena's prefix index under namespace `class`, capped at
+    /// `max_tokens` tokens. The shared full pages are attached by
+    /// refcount — no KV rows are recomputed or copied — and the cache
+    /// length advances past them, so the next
+    /// [`prefill_chunk`](TransformerModel::prefill_chunk) starts at the
+    /// first uncached token. Returns the tokens adopted (a multiple of
+    /// [`page_tokens`](KvCache::page_tokens); `0` on a cold prefix).
+    ///
+    /// `class` must name everything the cached rows depend on — the
+    /// model and the quantisation scheme that produced them (see
+    /// `bbal-session`'s prefix-class helper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache is not empty: a prefix replaces the start of
+    /// a sequence, never the middle.
+    pub fn adopt_prefix(&mut self, class: u64, tokens: &[usize], max_tokens: usize) -> usize {
+        assert!(self.is_empty(), "adopt_prefix requires an empty cache");
+        let blocks = self
+            .arena
+            .adopt_prefix(class, tokens, max_tokens, self.layers.len());
+        self.len = blocks.len() * self.page_tokens;
+        for block in blocks {
+            for (lk, page) in self.layers.iter_mut().zip(block) {
+                lk.pages.push(page);
+            }
+        }
+        self.len
+    }
+
+    /// Publishes this cache's full prefix pages into the arena's prefix
+    /// index under namespace `class`, so later caches can
+    /// [adopt](KvCache::adopt_prefix) them. Every whole-page block of
+    /// `tokens` whose rows this cache holds is offered; blocks already
+    /// indexed are skipped (first publication wins). Publishing
+    /// allocates nothing — the index shares the pages by refcount.
+    ///
+    /// The caller asserts that the cache's first `tokens.len()` rows
+    /// were computed from exactly `tokens` (under the model + scheme
+    /// `class` names): publishing anything else would poison later
+    /// adopters.
+    pub fn publish_prefix(&self, class: u64, tokens: &[usize]) {
+        let blocks = tokens.len().min(self.len) / self.page_tokens;
+        for b in 0..blocks {
+            let pages: Vec<PageRef> = self.layers.iter().map(|l| l.pages[b].clone()).collect();
+            self.arena
+                .publish_prefix(class, &tokens[..(b + 1) * self.page_tokens], pages);
+        }
     }
 
     fn push_layer_row(&mut self, layer: usize, k_row: &[f32], v_row: &[f32]) {
@@ -165,41 +221,55 @@ impl KvCache {
                 .arena
                 .alloc()
                 .unwrap_or_else(|e| panic!("KV cache page allocation failed: {e}"));
-            lk.pages.push(page);
+            lk.pages.push(Arc::new(page));
+        } else if Arc::get_mut(lk.pages.last_mut().expect("tail checked above")).is_none() {
+            // Copy-on-write: the partial tail page is shared (this cache
+            // or a clone of it). Appending must not be visible to the
+            // other holders, so copy the rows into a private page and
+            // drop our reference on the shared one.
+            let tail = lk.pages.last().expect("tail checked above");
+            let mut copy = self
+                .arena
+                .alloc()
+                .unwrap_or_else(|e| panic!("KV cache copy-on-write failed: {e}"));
+            copy.k.extend_from_slice(&tail.k);
+            copy.v.extend_from_slice(&tail.v);
+            let shared = std::mem::replace(
+                lk.pages.last_mut().expect("tail checked above"),
+                Arc::new(copy),
+            );
+            self.arena.release_ref(shared);
         }
-        let page = lk.pages.last_mut().expect("page ensured above");
+        let page = Arc::get_mut(lk.pages.last_mut().expect("page ensured above"))
+            .expect("tail page is uniquely owned after copy-on-write");
         page.k.extend_from_slice(k_row);
         page.v.extend_from_slice(v_row);
     }
 }
 
 impl Clone for KvCache {
-    /// Clones the cached rows into fresh pages from the *same* arena
-    /// (the clone counts against the arena's budget).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the arena's budget cannot cover the clone.
+    /// Clones the cache by *sharing* every page with the original
+    /// (copy-on-write): no rows are copied and no new pages are
+    /// allocated — the arena's unique page count is unchanged while its
+    /// logical count grows by the clone's handles. Whichever copy
+    /// appends to a shared partial tail page first pays for a private
+    /// copy of that one page; full pages stay shared forever.
     fn clone(&self) -> KvCache {
-        let mut clone = KvCache {
+        let layers: Vec<LayerKv> = self
+            .layers
+            .iter()
+            .map(|l| LayerKv {
+                pages: l.pages.clone(),
+            })
+            .collect();
+        self.arena.share(layers.iter().map(|l| l.pages.len()).sum());
+        KvCache {
             hidden: self.hidden,
             page_tokens: self.page_tokens,
             arena: self.arena.clone(),
-            layers: (0..self.layers.len()).map(|_| LayerKv::default()).collect(),
+            layers,
             len: self.len,
-        };
-        for (li, layer) in self.layers.iter().enumerate() {
-            for src in &layer.pages {
-                let mut page = clone
-                    .arena
-                    .alloc()
-                    .unwrap_or_else(|e| panic!("KV cache clone failed: {e}"));
-                page.k.extend_from_slice(&src.k);
-                page.v.extend_from_slice(&src.v);
-                clone.layers[li].pages.push(page);
-            }
         }
-        clone
     }
 }
 
@@ -926,17 +996,71 @@ mod tests {
     }
 
     #[test]
-    fn cloned_cache_counts_against_the_shared_budget() {
+    fn cloned_cache_shares_pages_and_copies_on_write() {
         let model = TransformerModel::synthesize(&tiny_test_model());
         let arena = KvArena::with_budget(4, 4);
         let mut cache = model.kv_cache_in(&arena);
         model.prefill(&[5, 6, 7], &ExactHooks, &mut cache);
         let clone = cache.clone();
-        assert_eq!(arena.pages_in_use(), 2);
+        // The clone shares the single page: one unique page against the
+        // budget, two logical holders.
+        assert_eq!(arena.pages_in_use(), 1);
+        assert_eq!(arena.logical_pages_in_use(), 2);
+        // Appending to the shared partial tail copies it on write, so
+        // the copies diverge safely and still agree bit for bit.
         let step_a = model.decode_step(9, &ExactHooks, &mut cache);
+        assert_eq!(arena.pages_in_use(), 2);
         let mut clone = clone;
         let step_b = model.decode_step(9, &ExactHooks, &mut clone);
+        // The clone's tail became uniquely owned after the original's
+        // copy-on-write: it appends in place, no third page.
+        assert_eq!(arena.pages_in_use(), 2);
         assert_eq!(step_a, step_b);
+        // Diverging decodes stay independent.
+        let step_a2 = model.decode_step(1, &ExactHooks, &mut cache);
+        let step_b2 = model.decode_step(1, &ExactHooks, &mut clone);
+        assert_eq!(step_a2, step_b2);
+        drop(cache);
+        drop(clone);
+        assert_eq!(arena.pages_in_use(), 0);
+        assert_eq!(arena.logical_pages_in_use(), 0);
+    }
+
+    #[test]
+    fn adopted_prefix_pages_reproduce_cold_logits_bit_for_bit() {
+        let model = TransformerModel::synthesize(&tiny_test_model());
+        let arena = KvArena::unbounded(2);
+        let class = 42u64;
+        let prompt_a = [3usize, 7, 1, 9, 2];
+        let prompt_b = [3usize, 7, 1, 9, 8, 5]; // shares 2 full blocks
+
+        let mut first = model.kv_cache_in(&arena);
+        model.prefill(&prompt_a, &ExactHooks, &mut first);
+        first.publish_prefix(class, &prompt_a);
+        // 2 full blocks of 2 tokens were published (the 5th row sits in
+        // a partial page); publication allocated nothing.
+        assert_eq!(arena.prefix_stats().insertions, 2);
+        assert_eq!(arena.pages_in_use(), first.pages_in_use());
+
+        let mut warm = model.kv_cache_in(&arena);
+        let adopted = warm.adopt_prefix(class, &prompt_b, prompt_b.len() - 1);
+        assert_eq!(adopted, 4);
+        assert_eq!(warm.len(), 4);
+        let warm_tail = model.prefill_chunk(&prompt_b[adopted..], &ExactHooks, &mut warm);
+        let warm_step = model.decode_step(6, &ExactHooks, &mut warm);
+
+        let cold_full = model.forward(&[3, 7, 1, 9, 8, 5, 6], &ExactHooks);
+        assert_eq!(warm_tail.row(1), cold_full.row(5));
+        assert_eq!(warm_step.as_slice(), cold_full.row(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty cache")]
+    fn adopting_into_a_used_cache_is_rejected() {
+        let model = TransformerModel::synthesize(&tiny_test_model());
+        let mut cache = model.kv_cache();
+        model.prefill(&[1, 2], &ExactHooks, &mut cache);
+        cache.adopt_prefix(1, &[1, 2, 3], 3);
     }
 
     #[test]

@@ -116,6 +116,13 @@ impl KvTraffic {
     /// Charges one prefill chunk of `new` tokens entering a cache of
     /// `past` tokens: writes `new` tokens; chunk row `i` reads the
     /// `past + i + 1` tokens it attends over.
+    ///
+    /// Under prefix caching `past` includes any adopted shared-prefix
+    /// tokens, but only the `new` (private) tokens are *written*: an
+    /// adopted prefix already lives in the arena, so a warm prefill
+    /// charges no write traffic for it — that is exactly the DRAM
+    /// saving the prefix cache buys, and the serving layer relies on
+    /// this method never double-charging shared pages.
     pub fn record_prefill(&mut self, fp: &KvFootprint, new: usize, past: usize) {
         self.write_bytes += fp.bytes_for_tokens(new);
         // Σ_{i=0}^{new-1} (past + i + 1) = new·past + new·(new+1)/2.
@@ -195,6 +202,25 @@ mod tests {
             stepped.record_decode(&fp, kv_len);
         }
         assert_eq!(stepped, chunked);
+    }
+
+    #[test]
+    fn adopted_prefixes_charge_no_write_traffic() {
+        let fp = KvFootprint::for_scheme(SchemeSpec::Fp32, 1, 1);
+        // A warm prefill that adopted a 6-token shared prefix feeds
+        // only its 2 private tokens; the adopted tokens are `past`.
+        let mut warm = KvTraffic::default();
+        warm.record_prefill(&fp, 2, 6);
+        // A cold prefill writes the whole 8-token prompt.
+        let mut cold = KvTraffic::default();
+        cold.record_prefill(&fp, 8, 0);
+        assert_eq!(warm.write_bytes, cold.write_bytes - fp.bytes_for_tokens(6));
+        // Reads shrink too: the warm rows still attend over the full
+        // past, but the adopted rows' own causal spans are skipped.
+        assert!(warm.read_bytes < cold.read_bytes);
+        // Spans 7+8 = 15 token-reads vs 1+2+..+8 = 36.
+        assert_eq!(warm.read_bytes, 15 * 8);
+        assert_eq!(cold.read_bytes, 36 * 8);
     }
 
     #[test]

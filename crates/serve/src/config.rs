@@ -28,6 +28,15 @@ use crate::ServeError;
 ///   prefill fits and *preempts* the youngest request (evicting its
 ///   pages, replaying it later, outputs bit-identical) when decode
 ///   growth would exhaust the arena mid-run.
+/// * `kv_prefix_cache` — whether prompt prefixes are cached in the
+///   arena's prefix index and shared across requests (default on).
+///   A request whose prompt starts with an already-computed prefix
+///   adopts those pages instead of recomputing them: admission counts
+///   shared pages once, prefill skips the adopted portion's compute and
+///   KV writes, and TTFT collapses for shared-system-prompt traffic.
+///   Sharing is restricted to chunk-invariant schemes, so outputs stay
+///   bit-identical to a cold cache either way. Turn it off for the
+///   cold-cache baseline `serve_sweep` compares against.
 ///
 /// ```
 /// use bbal_serve::ServeConfig;
@@ -46,6 +55,12 @@ use crate::ServeError;
 /// let tight = ServeConfig::default().with_kv_budget(64);
 /// assert_eq!(tight.kv_budget_pages, Some(64));
 /// tight.validate()?;
+///
+/// // Prefix caching is on by default; the cold-cache baseline turns
+/// // it off.
+/// assert!(config.kv_prefix_cache);
+/// let cold = ServeConfig::default().with_kv_prefix_cache(false);
+/// assert!(!cold.kv_prefix_cache);
 ///
 /// // Knobs are validated, not trusted.
 /// let broken = ServeConfig { max_batch: 0, ..ServeConfig::default() };
@@ -67,6 +82,10 @@ pub struct ServeConfig {
     /// KV arena budget in pages, across every active request (`None` =
     /// unbounded — the pre-budget behaviour).
     pub kv_budget_pages: Option<usize>,
+    /// Whether requests share cached prompt-prefix pages through the
+    /// arena's prefix index (copy-on-write; outputs bit-identical to a
+    /// cold cache). `false` is the cold-cache baseline.
+    pub kv_prefix_cache: bool,
 }
 
 impl Default for ServeConfig {
@@ -78,6 +97,7 @@ impl Default for ServeConfig {
             admission: AdmissionPolicy::Fcfs,
             kv_page_tokens: bbal_llm::DEFAULT_PAGE_TOKENS,
             kv_budget_pages: None,
+            kv_prefix_cache: true,
         }
     }
 }
@@ -117,6 +137,14 @@ impl ServeConfig {
     /// Returns a copy with a different KV page granularity.
     pub fn with_kv_page_tokens(mut self, tokens: usize) -> ServeConfig {
         self.kv_page_tokens = tokens;
+        self
+    }
+
+    /// Returns a copy with prefix caching switched on or off — `false`
+    /// is the cold-cache baseline the `serve_sweep` shared-prompt
+    /// scenario compares against.
+    pub fn with_kv_prefix_cache(mut self, on: bool) -> ServeConfig {
+        self.kv_prefix_cache = on;
         self
     }
 
@@ -216,6 +244,14 @@ mod tests {
             .with_kv_page_tokens(4)
             .validate()
             .unwrap();
+    }
+
+    #[test]
+    fn prefix_cache_defaults_on_and_toggles_off() {
+        assert!(ServeConfig::default().kv_prefix_cache);
+        let cold = ServeConfig::default().with_kv_prefix_cache(false);
+        assert!(!cold.kv_prefix_cache);
+        cold.validate().unwrap();
     }
 
     #[test]

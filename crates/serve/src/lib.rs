@@ -39,6 +39,28 @@
 //! re-admission. Greedy decoding is deterministic, so preemption changes
 //! timelines and recompute cost, never tokens.
 //!
+//! ## Prefix caching
+//!
+//! With [`ServeConfig::kv_prefix_cache`] on (the default), a request
+//! whose prefill completes publishes its prompt's full KV pages into
+//! the arena's prefix index; a later request whose prompt opens with
+//! the same token blocks *adopts* those pages by reference instead of
+//! re-running prefill over them — the dominant win for traffic that
+//! shares a system prompt. Sharing is copy-on-write at page
+//! granularity and strictly block-aligned, and it is gated on the
+//! scheme being chunk-invariant on the served model, so adopted and
+//! recomputed prefixes are bit-identical by construction. The budget
+//! machinery composes with it: admission charges a shared page once
+//! across the batch (an adopter's worst case shrinks by the pages
+//! another live request already holds), preemption returns private
+//! pages but only drops references on shared ones, and index-only
+//! (reclaimable) pages are evicted LRU-first whenever the scheduler
+//! needs their space — so a tight budget squeezes the cache before it
+//! ever preempts a request. [`ServeReport`] surfaces the effect as
+//! per-request `shared_prefix_tokens`, the aggregate
+//! [`kv_page_reuse_ratio`](ServeReport::kv_page_reuse_ratio), and the
+//! unique-vs-logical page peaks.
+//!
 //! ## The cost model
 //!
 //! Every scheduler tick is costed against the same cycle-level simulator

@@ -26,9 +26,12 @@ pub struct QueuedEntry {
     /// request queued behind this one, while this one stayed queued.
     /// (Merely waiting for a full batch does not count.)
     pub passed_over: u64,
-    /// Worst-case KV pages the request's prefill will occupy (its whole
-    /// feed sequence, paged). Admission only takes a request whose
-    /// worst-case prefill fits in the arena's free pages.
+    /// Worst-case KV pages the request's prefill will *newly* occupy:
+    /// its whole feed sequence, paged, minus any prefix-cache pages it
+    /// would adopt that another request already holds (shared pages are
+    /// pinned either way, so they are charged once across the batch).
+    /// Admission only takes a request whose worst case fits in the
+    /// arena's free pages.
     pub pages: usize,
 }
 

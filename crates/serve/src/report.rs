@@ -40,6 +40,12 @@ pub struct RequestReport {
     /// (outputs are bit-identical either way; preemption costs
     /// recompute cycles, not correctness).
     pub preemptions: u64,
+    /// Prompt tokens adopted from the arena's prefix cache at the
+    /// request's latest admission: KV rows another request (or an
+    /// earlier incarnation of this one, before a preemption) already
+    /// computed, whose prefill compute and KV writes were skipped
+    /// entirely. 0 on a cold cache or with prefix caching off.
+    pub shared_prefix_tokens: usize,
     /// `Some(reason)` when the request was rejected up front (context
     /// window exceeded, or a worst-case KV footprint no budget of this
     /// size could ever hold) and never scheduled. Rejected requests
@@ -92,9 +98,17 @@ pub struct TickTrace {
     /// the simulated accelerator; fewer schemes per tick means wider
     /// fused GEMMs.
     pub schemes: Vec<SchemeSpec>,
-    /// KV pages held by the active requests at the end of the tick —
-    /// the pages-in-use trace a memory budget is judged against.
+    /// Unique KV pages held by the active requests at the end of the
+    /// tick — pages shared through the prefix cache count *once*. This
+    /// is the pages-in-use trace a memory budget is judged against
+    /// (pages retained only by the prefix index are excluded: they are
+    /// reclaimable the instant the budget needs them).
     pub kv_pages: usize,
+    /// Logical KV pages at the end of the tick: every active request's
+    /// page tables counted in full, shared pages once *per holder*.
+    /// `kv_logical_pages - kv_pages` is the tick's sharing dividend;
+    /// the two are equal when nothing is shared.
+    pub kv_logical_pages: usize,
 }
 
 /// One scheme's slice of a serving run (see
@@ -150,8 +164,14 @@ pub struct ServeReport {
     pub kv_page_tokens: usize,
     /// The arena budget the run was served under (`None` = unbounded).
     pub kv_budget_pages: Option<usize>,
-    /// Most KV pages in use at any tick end.
+    /// Most *unique* KV pages in use at any tick end (shared pages
+    /// counted once — what the arena budget is judged against).
     pub peak_kv_pages: usize,
+    /// Most *logical* KV pages at any tick end (shared pages counted
+    /// once per holding request). The gap to
+    /// [`ServeReport::peak_kv_pages`] is the memory the prefix cache
+    /// saved at the run's high-water mark.
+    pub peak_logical_kv_pages: usize,
     /// Total preemptions across all requests.
     pub preemptions: u64,
     /// KV bytes read from DRAM (attention streaming cached K/V at the
@@ -179,6 +199,7 @@ impl PartialEq for ServeReport {
             && self.kv_page_tokens == other.kv_page_tokens
             && self.kv_budget_pages == other.kv_budget_pages
             && self.peak_kv_pages == other.peak_kv_pages
+            && self.peak_logical_kv_pages == other.peak_logical_kv_pages
             && self.preemptions == other.preemptions
             && self.kv_read_bytes == other.kv_read_bytes
             && self.kv_write_bytes == other.kv_write_bytes
@@ -218,6 +239,29 @@ impl ServeReport {
     /// Total generated tokens across all requests.
     pub fn generated_tokens(&self) -> usize {
         self.requests.iter().map(|r| r.tokens.len()).sum()
+    }
+
+    /// Total prompt tokens served from the prefix cache instead of
+    /// being recomputed (each request's latest admission).
+    pub fn shared_prefix_tokens(&self) -> usize {
+        self.served().map(|r| r.shared_prefix_tokens).sum()
+    }
+
+    /// Fraction of prompt KV pages served from the prefix cache:
+    /// adopted prompt pages over total prompt pages, across the served
+    /// requests. 0.0 for fully-cold traffic, approaching 1.0 when every
+    /// prompt is one shared system prompt. (Adoption is block-granular,
+    /// so per request this is `⌊shared/page⌋ / ⌈prompt/page⌉`; the
+    /// per-layer factor cancels.)
+    pub fn kv_page_reuse_ratio(&self) -> f64 {
+        let pt = self.kv_page_tokens;
+        let shared: usize = self.served().map(|r| r.shared_prefix_tokens / pt).sum();
+        let total: usize = self.served().map(|r| r.prompt_len.div_ceil(pt)).sum();
+        if total == 0 {
+            0.0
+        } else {
+            shared as f64 / total as f64
+        }
     }
 
     /// Aggregate throughput on the simulated accelerator, tokens/s.
@@ -400,6 +444,7 @@ mod tests {
                     first_token_cycles: 1_000_000,
                     finish_cycles: 3_000_000,
                     preemptions: 0,
+                    shared_prefix_tokens: 0,
                     rejected: None,
                 },
                 RequestReport {
@@ -413,6 +458,7 @@ mod tests {
                     first_token_cycles: 2_000_000,
                     finish_cycles: 2_000_000,
                     preemptions: 0,
+                    shared_prefix_tokens: 0,
                     rejected: None,
                 },
             ],
@@ -426,6 +472,7 @@ mod tests {
                     decode_steps: 0,
                     schemes: vec![SchemeSpec::BBAL_PAPER],
                     kv_pages: 1,
+                    kv_logical_pages: 1,
                 },
                 TickTrace {
                     start_cycles: 1_000_000,
@@ -436,6 +483,7 @@ mod tests {
                     decode_steps: 2,
                     schemes: vec![SchemeSpec::BBAL_PAPER, SchemeSpec::Bfp(4)],
                     kv_pages: 2,
+                    kv_logical_pages: 2,
                 },
             ],
             total_cycles: 3_000_000,
@@ -454,6 +502,7 @@ mod tests {
             kv_page_tokens: 16,
             kv_budget_pages: None,
             peak_kv_pages: 2,
+            peak_logical_kv_pages: 2,
             preemptions: 0,
             kv_read_bytes: 96,
             kv_write_bytes: 32,
@@ -532,6 +581,7 @@ mod tests {
             first_token_cycles: 0,
             finish_cycles: 0,
             preemptions: 0,
+            shared_prefix_tokens: 0,
             rejected: Some("context window exceeded".to_owned()),
         });
         assert_eq!(r.served().count(), 2);
@@ -554,6 +604,24 @@ mod tests {
         assert_eq!(r.energy.total_pj(), r.total_energy_pj());
         assert_eq!(r.peak_kv_pages, 2);
         assert_eq!(r.ticks.iter().map(|t| t.kv_pages).max().unwrap(), 2);
+    }
+
+    #[test]
+    fn prefix_reuse_ratio_counts_adopted_prompt_pages() {
+        let mut r = report();
+        assert_eq!(r.shared_prefix_tokens(), 0);
+        assert_eq!(r.kv_page_reuse_ratio(), 0.0);
+        // pt = 16: request 0 adopts 16 of a 32-token prompt (1 of its 2
+        // pages), request 1 its whole 16-token prompt (1 of 1).
+        r.requests[0].prompt_len = 32;
+        r.requests[0].shared_prefix_tokens = 16;
+        r.requests[1].prompt_len = 16;
+        r.requests[1].shared_prefix_tokens = 16;
+        assert_eq!(r.shared_prefix_tokens(), 32);
+        assert!((r.kv_page_reuse_ratio() - 2.0 / 3.0).abs() < 1e-12);
+        // Rejected requests contribute to neither side of the ratio.
+        r.requests[1].rejected = Some("too big".to_owned());
+        assert!((r.kv_page_reuse_ratio() - 1.0 / 2.0).abs() < 1e-12);
     }
 
     #[test]

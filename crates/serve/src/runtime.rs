@@ -33,9 +33,9 @@ use bbal_accel::{simulate_with, AcceleratorConfig, EnergyBreakdown, FormatSpec, 
 use bbal_arith::GateLibrary;
 use bbal_core::SchemeSpec;
 use bbal_llm::graph::PaperDims;
-use bbal_llm::KvArena;
+use bbal_llm::{KvArena, ModelSpec};
 use bbal_mem::{KvFootprint, KvTraffic};
-use bbal_session::{argmax, Session, SessionBuilder};
+use bbal_session::{argmax, prefix_class, Session, SessionBuilder};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
@@ -134,6 +134,13 @@ struct ReqState {
     /// whole prompt is fed as one chunk so the tokens match a lone
     /// `Session::generate` exactly.
     chunk_invariant: bool,
+    /// Prompt tokens adopted from the arena's prefix cache at the
+    /// latest admission (KV rows whose compute was skipped).
+    shared: usize,
+    /// Whether this request's full prompt blocks have been published
+    /// into the prefix index (done once, after its prompt is fully
+    /// cached).
+    published: bool,
     /// Ticks spent queued while a batch slot was free (aging counter).
     passed_over: u64,
     /// Times this request's pages were evicted to relieve arena
@@ -206,6 +213,9 @@ pub struct ServeRuntime {
     /// the real caches; KV byte/energy accounting runs on `dims`, the
     /// simulated paper-scale geometry, like the tick cost model).
     model_layers: usize,
+    /// The served model's spec — with a request's scheme, it names the
+    /// prefix-cache namespace ([`prefix_class`]) admission probes.
+    spec: ModelSpec,
     arena: KvArena,
     clock_ghz: f64,
     lib: GateLibrary,
@@ -239,9 +249,10 @@ impl ServeRuntime {
         // the PTQ pass; uphold it for the probe too.
         probe.prepare();
         let dims = probe.simulated_dims();
-        let vocab = probe.model_spec().vocab;
-        let max_seq = probe.model_spec().max_seq;
-        let model_layers = probe.model_spec().layers;
+        let spec = probe.model_spec().clone();
+        let vocab = spec.vocab;
+        let max_seq = spec.max_seq;
+        let model_layers = spec.layers;
         let clock_ghz = probe.clock_ghz();
         let mut pool = SessionPool::new(template);
         pool.release(probe);
@@ -252,6 +263,7 @@ impl ServeRuntime {
             vocab,
             max_seq,
             model_layers,
+            spec,
             arena,
             clock_ghz,
             lib: GateLibrary::default(),
@@ -277,6 +289,46 @@ impl ServeRuntime {
     /// model's caches: one page table per decoder layer.
     fn pages_for(&self, tokens: usize) -> usize {
         self.model_layers * tokens.div_ceil(self.config.kv_page_tokens)
+    }
+
+    /// Unique KV pages the active requests actually hold: the arena's
+    /// in-use count (shared pages once) less what only the prefix index
+    /// retains — those are reclaimable the instant the budget needs
+    /// them, so admission and preemption treat them as free.
+    fn held_kv_pages(&self) -> usize {
+        self.arena
+            .pages_in_use()
+            .saturating_sub(self.arena.reclaimable_pages())
+    }
+
+    /// New pages this tick's planned units will allocate, summed over
+    /// the active batch (the scheduler's page plan; exact, because
+    /// adopted prefix blocks are always whole pages).
+    fn planned_growth(&self, states: &[ReqState], active: &[usize]) -> usize {
+        active
+            .iter()
+            .map(|&id| {
+                let st = &states[id];
+                let next = match st.next_chunk(self.config.prefill_chunk) {
+                    0 => st.cached + 1, // decode step
+                    chunk => st.cached + chunk,
+                };
+                self.pages_for(next) - self.pages_for(st.cached)
+            })
+            .sum()
+    }
+
+    /// How much of a request's prompt an admission may adopt from the
+    /// prefix cache: everything on a replay (its next logits come from
+    /// replayed generated tokens or a decode step), but one token short
+    /// on a fresh prefill — the last prompt token's logits *are* the
+    /// first generated token, so they must be computed.
+    fn prefix_cap(st: &ReqState) -> usize {
+        if st.tokens.is_empty() {
+            st.prompt.len().saturating_sub(1)
+        } else {
+            st.prompt.len()
+        }
     }
 
     /// Serves a trace of requests to completion and reports per-request
@@ -394,6 +446,8 @@ impl ServeRuntime {
                     tokens: Vec::with_capacity(r.max_new_tokens),
                     cached: 0,
                     chunk_invariant: true,
+                    shared: 0,
+                    published: false,
                     passed_over: 0,
                     preemptions: 0,
                     admitted_at: 0,
@@ -442,6 +496,7 @@ impl ServeRuntime {
                     first_token_cycles: st.first_token_at,
                     finish_cycles: st.finish_at,
                     preemptions: st.preemptions,
+                    shared_prefix_tokens: st.shared,
                     rejected: st.rejected.clone(),
                 })
                 .collect(),
@@ -456,6 +511,7 @@ impl ServeRuntime {
             kv_page_tokens: self.config.kv_page_tokens,
             kv_budget_pages: self.config.kv_budget_pages,
             peak_kv_pages: outcome.peak_kv_pages,
+            peak_logical_kv_pages: outcome.peak_logical_kv_pages,
             preemptions: states.iter().map(|st| st.preemptions).sum(),
             kv_read_bytes: outcome.kv_traffic.read_bytes,
             kv_write_bytes: outcome.kv_traffic.write_bytes,
@@ -489,6 +545,7 @@ impl ServeRuntime {
         let mut kv_traffic = KvTraffic::default();
         let mut kv_dram_energy_pj = 0.0;
         let mut peak_kv_pages = 0usize;
+        let mut peak_logical_kv_pages = 0usize;
 
         loop {
             while pending.front().is_some_and(|&id| states[id].arrival <= now) {
@@ -502,21 +559,41 @@ impl ServeRuntime {
             if slots > 0 && !queue.is_empty() {
                 let active_schemes: BTreeSet<SchemeSpec> =
                     active.iter().map(|&id| states[id].scheme).collect();
-                let used_pages: usize = active
-                    .iter()
-                    .map(|&id| self.pages_for(states[id].cached))
-                    .sum();
+                // Budget space left for newcomers: the arena's held
+                // pages count shared pages *once* (and not at all when
+                // only the prefix index retains them).
                 let free_pages = match self.config.kv_budget_pages {
-                    Some(budget) => budget.saturating_sub(used_pages),
+                    Some(budget) => budget.saturating_sub(self.held_kv_pages()),
                     None => usize::MAX,
                 };
+                // Under a budget, credit each queued request the shared
+                // pages it would adopt that another request already
+                // holds — they are pinned (and counted) either way, so
+                // charging them again would double-count.
+                let probe_credit =
+                    self.config.kv_prefix_cache && self.config.kv_budget_pages.is_some();
                 let entries: Vec<QueuedEntry> = queue
                     .iter()
-                    .map(|&id| QueuedEntry {
-                        id,
-                        scheme: states[id].scheme,
-                        passed_over: states[id].passed_over,
-                        pages: self.pages_for(states[id].feed_len()),
+                    .map(|&id| {
+                        let st = &states[id];
+                        let held_credit = if probe_credit {
+                            self.arena
+                                .probe_prefix(
+                                    prefix_class(&self.spec, st.scheme),
+                                    &st.prompt,
+                                    Self::prefix_cap(st),
+                                    self.model_layers,
+                                )
+                                .held_pages
+                        } else {
+                            0
+                        };
+                        QueuedEntry {
+                            id,
+                            scheme: st.scheme,
+                            passed_over: st.passed_over,
+                            pages: self.pages_for(st.feed_len()).saturating_sub(held_credit),
+                        }
                     })
                     .collect();
                 let admitted =
@@ -559,7 +636,7 @@ impl ServeRuntime {
                 }
                 for id in admitted {
                     let scheme = states[id].scheme;
-                    let session = self.pool.acquire(scheme)?;
+                    let mut session = self.pool.acquire(scheme)?;
                     if let std::collections::btree_map::Entry::Vacant(e) = accel_cfgs.entry(scheme)
                     {
                         e.insert(session.accelerator_config()?);
@@ -568,6 +645,18 @@ impl ServeRuntime {
                         KvFootprint::for_scheme(scheme, self.dims.hidden, self.dims.layers)
                     });
                     states[id].chunk_invariant = session.chunk_invariant_prefill();
+                    // Prefix-cache lookup: adopt the longest cached
+                    // prefix of the prompt (for free — the rows are
+                    // already computed) and start the feed past it.
+                    // The lookup itself refuses non-chunk-invariant
+                    // schemes, whose rows must never be shared.
+                    if self.config.kv_prefix_cache {
+                        let st = &mut states[id];
+                        let adopted = session.prefix_lookup(&st.prompt, Self::prefix_cap(st));
+                        st.fed = adopted;
+                        st.cached = adopted;
+                        st.shared = adopted;
+                    }
                     states[id].session = Some(session);
                     // First admission only: a re-admission after a
                     // preemption must not move the recorded admission
@@ -599,22 +688,12 @@ impl ServeRuntime {
             // the oldest request always fits alone, so this converges.
             if let Some(budget) = self.config.kv_budget_pages {
                 loop {
-                    let used: usize = active
-                        .iter()
-                        .map(|&id| self.pages_for(states[id].cached))
-                        .sum();
-                    let growth: usize = active
-                        .iter()
-                        .map(|&id| {
-                            let st = &states[id];
-                            let next = match st.next_chunk(self.config.prefill_chunk) {
-                                0 => st.cached + 1, // decode step
-                                chunk => st.cached + chunk,
-                            };
-                            self.pages_for(next) - self.pages_for(st.cached)
-                        })
-                        .sum();
-                    if used + growth <= budget || active.len() <= 1 {
+                    // Held pages count shared pages once; index-only
+                    // pages don't count at all (eviction frees them
+                    // before any preemption is worth it).
+                    let held = self.held_kv_pages();
+                    let growth = self.planned_growth(states, &active);
+                    if held + growth <= budget || active.len() <= 1 {
                         break;
                     }
                     let victim = *active
@@ -623,15 +702,23 @@ impl ServeRuntime {
                         .expect("active is non-empty");
                     let st = &mut states[victim];
                     let session = st.session.take().expect("active request owns a session");
-                    // Releasing resets the session, which returns its
-                    // pages to the arena.
+                    // Releasing resets the session, which drops its
+                    // page references: private pages return to the
+                    // arena, shared ones just lose one holder (pages
+                    // the prefix index retains stay adoptable for the
+                    // replay).
                     self.pool.release(session);
                     st.fed = 0;
                     st.cached = 0;
+                    st.shared = 0;
                     st.preemptions += 1;
                     active.retain(|&a| a != victim);
                     queue.push_front(victim);
                 }
+                // Make room *before* dispatch: evict LRU index-only
+                // entries until this tick's planned allocations fit, so
+                // worker threads never have to evict mid-tick.
+                self.arena.ensure_free(self.planned_growth(states, &active));
             }
 
             // Dispatch one unit of work per active request: the next
@@ -686,13 +773,15 @@ impl ServeRuntime {
                     .map_err(|_| ServeError::WorkerLost)?;
             }
             let dispatched = active.len();
-            // Pages held once every dispatched unit lands — the
-            // pages-in-use trace point of this tick.
-            let tick_kv_pages: usize = active
+            // Page tables once every dispatched unit lands, shared
+            // pages counted per holder — the logical trace point of
+            // this tick (the unique count is read off the arena after
+            // the workers are done).
+            let tick_kv_logical: usize = active
                 .iter()
                 .map(|&id| self.pages_for(states[id].cached))
                 .sum();
-            peak_kv_pages = peak_kv_pages.max(tick_kv_pages);
+            peak_logical_kv_pages = peak_logical_kv_pages.max(tick_kv_logical);
 
             // Cost the tick while the workers compute: per-scheme fused
             // op lists on that scheme's accelerator instance, run
@@ -750,6 +839,29 @@ impl ServeRuntime {
                     }
                 }
             }
+            // The tick's unique pages-in-use trace point: measured with
+            // every unit landed (workers idle, arena quiescent) and the
+            // completed requests still holding their pages, mirroring
+            // the pre-sharing per-request sum.
+            let tick_kv_pages = self.held_kv_pages();
+            peak_kv_pages = peak_kv_pages.max(tick_kv_pages);
+
+            // Publish every fully-prefilled prompt's blocks into the
+            // prefix index (once per request, in admission order — the
+            // scheduler is single-threaded here, so first-publication
+            // wins deterministically). Completing requests publish too:
+            // their pages outlive the release for followers to adopt.
+            if self.config.kv_prefix_cache {
+                for &id in &active {
+                    let st = &mut states[id];
+                    if !st.published && st.cached >= st.prompt.len() {
+                        let session = st.session.as_ref().expect("returned by the worker");
+                        session.publish_prefix(&st.prompt);
+                        st.published = true;
+                    }
+                }
+            }
+
             for id in completed {
                 let session = states[id].session.take().expect("returned by the worker");
                 self.pool.release(session);
@@ -776,6 +888,7 @@ impl ServeRuntime {
                 decode_steps,
                 schemes: tick_schemes,
                 kv_pages: tick_kv_pages,
+                kv_logical_pages: tick_kv_logical,
             });
             now = tick_end;
         }
@@ -788,6 +901,7 @@ impl ServeRuntime {
             kv_traffic,
             kv_dram_energy_pj,
             peak_kv_pages,
+            peak_logical_kv_pages,
         })
     }
 }
@@ -801,6 +915,7 @@ struct LoopOutcome {
     kv_traffic: KvTraffic,
     kv_dram_energy_pj: f64,
     peak_kv_pages: usize,
+    peak_logical_kv_pages: usize,
 }
 
 #[cfg(test)]

@@ -585,6 +585,79 @@ impl Session {
         }
     }
 
+    /// The namespace this session's KV rows live under in its arena's
+    /// prefix index: [`prefix_class`] of the session's model and scheme.
+    pub fn prefix_class(&self) -> u64 {
+        prefix_class(&self.spec, self.scheme)
+    }
+
+    /// Clears the cache and adopts the longest cached token prefix of
+    /// `tokens` (capped at `max_tokens`) from the session's arena —
+    /// the prefix-cache lookup a scheduler runs *before* prefill, so
+    /// the shared portion's compute (and KV writes) are skipped
+    /// entirely. Returns the adopted token count; the caller then feeds
+    /// `tokens[adopted..]` through [`Session::prefill_chunk`].
+    ///
+    /// Returns `0` without touching the index when the session's scheme
+    /// is not [chunk-invariant](Session::chunk_invariant_prefill) on
+    /// this model: adopting a prefix effectively changes where the
+    /// prompt is chunked, so only chunk-invariant schemes can reuse
+    /// another request's rows bit-identically. Keep `max_tokens` below
+    /// `tokens.len()` when at least one prompt logit must be computed
+    /// (a fully-adopted prompt yields no logits to sample from).
+    pub fn prefix_lookup(&mut self, tokens: &[usize], max_tokens: usize) -> usize {
+        self.kv.clear();
+        if !self.chunk_invariant_prefill() {
+            return 0;
+        }
+        let class = self.prefix_class();
+        self.kv.adopt_prefix(class, tokens, max_tokens)
+    }
+
+    /// Publishes the full prefix pages of `tokens` now in the session's
+    /// cache into the arena's prefix index, so later sessions of the
+    /// same model + scheme can adopt them. A no-op for schemes that are
+    /// not [chunk-invariant](Session::chunk_invariant_prefill) (their
+    /// rows are chunking-dependent and must never be shared) and for
+    /// blocks already indexed.
+    ///
+    /// The cache's first `tokens.len()` rows must have been computed
+    /// from exactly `tokens` — i.e. call this after prefilling `tokens`
+    /// on this session.
+    pub fn publish_prefix(&self, tokens: &[usize]) {
+        if !self.chunk_invariant_prefill() {
+            return;
+        }
+        self.kv.publish_prefix(self.prefix_class(), tokens);
+    }
+
+    /// Prefills `tokens` through the arena's prefix cache: adopts the
+    /// longest cached prefix (keeping at least the last token to
+    /// compute), prefills the rest, publishes the prompt's full blocks
+    /// for later sessions, and returns the next-token logits — the
+    /// lone-session counterpart of the serve scheduler's
+    /// lookup → prefill → publish sequence.
+    ///
+    /// Bit-identical to [`Session::prefill_chunk`] over the whole
+    /// prompt on an empty cache, warm or cold.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::EmptyPrompt`],
+    /// [`SessionError::TokenOutOfVocab`] or
+    /// [`SessionError::ContextOverflow`].
+    pub fn prefill_shared(&mut self, tokens: &[usize]) -> Result<Vec<f32>, SessionError> {
+        if tokens.is_empty() {
+            return Err(SessionError::EmptyPrompt);
+        }
+        self.check_tokens(tokens)?;
+        self.check_context(tokens.len())?;
+        let adopted = self.prefix_lookup(tokens, tokens.len() - 1);
+        let logits = self.prefill_chunk(&tokens[adopted..])?;
+        self.publish_prefix(tokens);
+        Ok(logits)
+    }
+
     /// Decodes one token against the cached sequence, appending its KV
     /// rows, and returns the next-token logits.
     ///
@@ -728,6 +801,23 @@ impl Session {
     }
 }
 
+/// The prefix-cache namespace for KV rows produced by `spec` under
+/// `scheme`: an FNV-1a hash over the full model specification and the
+/// scheme. Cached KV rows depend on *everything* that shapes the
+/// numbers — the synthesized weights (named by the spec, including its
+/// seed) and the quantisation hooks — so two sessions may share prefix
+/// pages iff their classes match. Schedulers that probe a
+/// [`bbal_llm::KvArena`] directly (before a [`Session`] exists) compute
+/// the class with this function; [`Session::prefix_class`] uses it too.
+pub fn prefix_class(spec: &ModelSpec, scheme: SchemeSpec) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in format!("{spec:?}|{scheme}").bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
 /// Greedy sampling over one logits row: the first index of the strict
 /// maximum. This is the sampler [`Session::generate`] uses; external
 /// serving loops (e.g. `bbal-serve`) must call the same function so
@@ -842,6 +932,99 @@ mod tests {
         assert_eq!(session.kv_len(), 1);
         session.reset();
         assert_eq!(session.kv_len(), 0);
+    }
+
+    /// A Tiny session drawing from `arena`.
+    fn tiny_in(scheme: &str, arena: &bbal_llm::KvArena) -> Session {
+        SessionBuilder::new()
+            .model("Tiny")
+            .scheme(scheme)
+            .kv_arena(arena.clone())
+            .build()
+            .expect("tiny session builds")
+    }
+
+    #[test]
+    fn prefill_shared_reuses_prefix_pages_bit_identically() {
+        let arena = bbal_llm::KvArena::unbounded(4);
+        let prompt_a: Vec<usize> = vec![9, 8, 7, 6, 5, 4, 3, 2, 1, 0];
+        let prompt_b: Vec<usize> = vec![9, 8, 7, 6, 5, 4, 3, 2, 11, 12];
+
+        let mut first = tiny_in("bbfp:4,2", &arena);
+        assert!(first.chunk_invariant_prefill(), "bbfp:4,2 gates the test");
+        first.prefill_shared(&prompt_a).unwrap();
+        assert!(arena.prefix_stats().insertions > 0, "prompt A published");
+
+        // A second session on the same arena adopts the shared prefix…
+        let mut warm = tiny_in("bbfp:4,2", &arena);
+        let warm_logits = warm.prefill_shared(&prompt_b).unwrap();
+        let warm_step = warm.decode_step(13).unwrap();
+        assert!(arena.prefix_stats().hits > 0, "prompt B adopted blocks");
+
+        // …and still matches a cold session on a private arena, bit for
+        // bit, including subsequent decode.
+        let mut cold = tiny("bbfp:4,2");
+        let cold_logits = cold.prefill_chunk(&prompt_b).unwrap();
+        let cold_step = cold.decode_step(13).unwrap();
+        assert_eq!(warm_logits, cold_logits);
+        assert_eq!(warm_step, cold_step);
+        assert_eq!(warm.kv_len(), cold.kv_len());
+    }
+
+    #[test]
+    fn prefix_lookup_gates_on_chunk_invariance() {
+        // int8's 128-wide activation groups do not divide Tiny's row
+        // widths, so its rows are chunking-dependent: the prefix cache
+        // must refuse to share them.
+        let arena = bbal_llm::KvArena::unbounded(4);
+        let prompt: Vec<usize> = (0..12).collect();
+        let mut first = tiny_in("int8", &arena);
+        assert!(!first.chunk_invariant_prefill(), "int8 gates the test");
+        first.prefill(&prompt).unwrap();
+        first.publish_prefix(&prompt);
+        assert_eq!(arena.prefix_stats().insertions, 0);
+
+        let mut second = tiny_in("int8", &arena);
+        assert_eq!(second.prefix_lookup(&prompt, prompt.len()), 0);
+        // And prefill_shared still serves such schemes, just cold.
+        let shared = second.prefill_shared(&prompt).unwrap();
+        let mut cold = tiny("int8");
+        assert_eq!(shared, cold.prefill_chunk(&prompt).unwrap());
+    }
+
+    #[test]
+    fn prefix_classes_isolate_schemes_and_models() {
+        // Same arena, same prompt, different scheme: no sharing — the
+        // rows were quantised differently.
+        let arena = bbal_llm::KvArena::unbounded(4);
+        let prompt: Vec<usize> = (0..8).collect();
+        let mut bbfp = tiny_in("bbfp:4,2", &arena);
+        bbfp.prefill_shared(&prompt).unwrap();
+
+        let mut bfp = tiny_in("bfp4", &arena);
+        assert!(bfp.chunk_invariant_prefill());
+        assert_eq!(bfp.prefix_lookup(&prompt, prompt.len()), 0);
+        assert_ne!(bbfp.prefix_class(), bfp.prefix_class());
+        // The class is stable across sessions of the same pairing.
+        let again = tiny_in("bbfp:4,2", &arena);
+        assert_eq!(bbfp.prefix_class(), again.prefix_class());
+    }
+
+    #[test]
+    fn prefix_lookup_caps_leave_a_token_to_compute() {
+        // A fully block-aligned prompt must not be fully adopted when
+        // the caller needs a logit: the cap keeps the tail private.
+        let arena = bbal_llm::KvArena::unbounded(4);
+        let prompt: Vec<usize> = (0..8).collect();
+        let mut first = tiny_in("bbfp:4,2", &arena);
+        first.prefill_shared(&prompt).unwrap();
+
+        let mut second = tiny_in("bbfp:4,2", &arena);
+        let adopted = second.prefix_lookup(&prompt, prompt.len() - 1);
+        assert_eq!(adopted, 4, "cap holds back the final block");
+        second.reset();
+        let uncapped = second.prefix_lookup(&prompt, prompt.len());
+        assert_eq!(uncapped, 8);
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub mod engine;
 pub mod isoarea;
 pub mod sim;
 pub mod systolic;
+pub mod tp;
 
 pub use bbal::BbalGemm;
 pub use config::{AcceleratorConfig, ConfigError, FormatSpec};
@@ -39,3 +40,4 @@ pub use engine::{BbalEngine, KvState, KV_STATE_PAGE_TOKENS};
 pub use isoarea::{array_for_budget, iso_area_sweep, IsoAreaPoint};
 pub use sim::{simulate, simulate_with, EnergyBreakdown, NonlinearTiming, SimReport};
 pub use systolic::{SystolicTile, TileRun};
+pub use tp::{allreduce_payloads, shard_ops};

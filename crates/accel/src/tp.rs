@@ -1,0 +1,199 @@
+//! Tensor-parallel sharding of a decoder operator list.
+//!
+//! The Megatron-LM split: column-parallel Q/K/V and FFN-up projections
+//! (each shard computes a slice of the output columns), row-parallel
+//! attention-output and FFN-down projections (each shard contracts a
+//! slice of the input and holds a *partial sum* of the full output),
+//! and attention sharded by head. Only the two row-parallel GEMMs per
+//! layer need communication: their partial outputs are all-reduced
+//! across the shard group before the next operator.
+//!
+//! This module transforms shapes; the communication itself is costed by
+//! [`bbal_mem::interconnect`](../../bbal_mem/interconnect/index.html) —
+//! [`allreduce_payloads`] reports the per-collective payload bytes that
+//! model consumes.
+//!
+//! ```
+//! use bbal_accel::tp::shard_ops;
+//! use bbal_llm::graph::{decoder_ops, paper_dims};
+//!
+//! let dims = paper_dims("Llama-7B").unwrap();
+//! let full = decoder_ops(&dims, 128);
+//! // One shard is the identity; four shards shrink every operator.
+//! assert_eq!(shard_ops(&full, 1), full);
+//! let quarter = shard_ops(&full, 4);
+//! let macs = |ops: &[bbal_llm::graph::Op]| ops.iter().map(|o| o.macs()).sum::<u64>();
+//! assert!(4 * macs(&quarter) >= macs(&full));
+//! assert!(macs(&quarter) < macs(&full));
+//! ```
+
+use bbal_llm::graph::{GemmKind, Op};
+
+/// Bytes per activation element on the interconnect (fp16 — partial
+/// sums are carried at half precision like the KV cache's residency
+/// baseline, not at the scheme's quantised width, because they are
+/// accumulator outputs).
+pub const ACTIVATION_BYTES: usize = 2;
+
+/// Shards one decoder pass across `shards` accelerator arrays and
+/// returns the per-shard operator list (every shard runs the same
+/// shapes, so one list describes all of them).
+///
+/// * Column-parallel (`Query`/`Key`/`Value`/`Gate`/`Fc1`): output
+///   columns split, `n → ⌈n/shards⌉`.
+/// * Row-parallel (`Proj`/`Fc2`): contraction split, `k → ⌈k/shards⌉`;
+///   the output is a partial sum (see [`allreduce_payloads`]).
+/// * Attention (`AttnScore`/`AttnContext`, `Softmax`): heads split —
+///   the head count is folded into `m`/`rows`, so `m → ⌈m/shards⌉`.
+/// * `Activation`: runs on the column-parallel FFN-up output slice,
+///   `elems → ⌈elems/shards⌉`.
+///
+/// Ceiling division means shapes stay valid for any `shards`, at the
+/// cost of ≤ `shards−1` rows/columns of padding work per operator —
+/// exactly the padding a real uneven split pays. `shards <= 1` is the
+/// identity.
+pub fn shard_ops(ops: &[Op], shards: usize) -> Vec<Op> {
+    if shards <= 1 {
+        return ops.to_vec();
+    }
+    let s = shards;
+    ops.iter()
+        .map(|op| match *op {
+            Op::Gemm { name, m, k, n } => match name {
+                GemmKind::Query
+                | GemmKind::Key
+                | GemmKind::Value
+                | GemmKind::Gate
+                | GemmKind::Fc1 => Op::Gemm {
+                    name,
+                    m,
+                    k,
+                    n: n.div_ceil(s),
+                },
+                GemmKind::Proj | GemmKind::Fc2 => Op::Gemm {
+                    name,
+                    m,
+                    k: k.div_ceil(s),
+                    n,
+                },
+                GemmKind::AttnScore | GemmKind::AttnContext => Op::Gemm {
+                    name,
+                    m: m.div_ceil(s),
+                    k,
+                    n,
+                },
+            },
+            Op::Softmax { rows, cols } => Op::Softmax {
+                rows: rows.div_ceil(s),
+                cols,
+            },
+            Op::Activation { silu, elems } => Op::Activation {
+                silu,
+                elems: elems.div_ceil(s),
+            },
+        })
+        .collect()
+}
+
+/// The all-reduce payloads (in bytes) one pass over `ops` induces when
+/// run row-parallel: each `Proj`/`Fc2` produces an `m × n` partial sum
+/// that must be reduced across the group. Payloads are per-collective
+/// and independent of the shard count — the `2·(N−1)` wire
+/// amplification is applied by `bbal_mem::interconnect`. Works on
+/// either the full or the sharded list (`m` and `n` of row-parallel
+/// GEMMs are untouched by [`shard_ops`]).
+pub fn allreduce_payloads(ops: &[Op]) -> impl Iterator<Item = u64> + '_ {
+    ops.iter().filter_map(|op| match *op {
+        Op::Gemm {
+            name: GemmKind::Proj | GemmKind::Fc2,
+            m,
+            n,
+            ..
+        } => Some(m as u64 * n as u64 * ACTIVATION_BYTES as u64),
+        _ => None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{simulate_with, AcceleratorConfig, NonlinearTiming};
+    use bbal_arith::GateLibrary;
+    use bbal_llm::graph::{decode_step_ops, decoder_ops, paper_dims};
+
+    fn total_macs(ops: &[Op]) -> u64 {
+        ops.iter().map(|o| o.macs()).sum()
+    }
+
+    fn total_nonlinear(ops: &[Op]) -> u64 {
+        ops.iter().map(|o| o.nonlinear_elems()).sum()
+    }
+
+    #[test]
+    fn one_shard_is_the_identity() {
+        let dims = paper_dims("Llama-7B").unwrap();
+        let ops = decoder_ops(&dims, 64);
+        assert_eq!(shard_ops(&ops, 1), ops);
+        assert_eq!(shard_ops(&ops, 0), ops);
+    }
+
+    #[test]
+    fn work_is_conserved_up_to_ceil_padding() {
+        // N shards each do ≥ 1/N of the full work (never less — sharding
+        // cannot create a free lunch) and the padding overhead is small
+        // at paper-scale dimensions.
+        let dims = paper_dims("Llama-7B").unwrap();
+        let full = decoder_ops(&dims, 96);
+        for shards in [2usize, 3, 4, 8] {
+            let per = shard_ops(&full, shards);
+            let n = shards as u64;
+            assert!(n * total_macs(&per) >= total_macs(&full), "shards={shards}");
+            assert!(n * total_nonlinear(&per) >= total_nonlinear(&full));
+            // < 5% padding overhead at these dimensions.
+            assert!(
+                (n * total_macs(&per)) as f64 <= 1.05 * total_macs(&full) as f64,
+                "shards={shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn divisible_splits_are_exact() {
+        // Llama-7B: hidden 4096, ffn 11008, heads 32 — all divisible by 4.
+        let dims = paper_dims("Llama-7B").unwrap();
+        let full = decoder_ops(&dims, 64);
+        let per = shard_ops(&full, 4);
+        assert_eq!(4 * total_macs(&per), total_macs(&full));
+        assert_eq!(4 * total_nonlinear(&per), total_nonlinear(&full));
+    }
+
+    #[test]
+    fn sharded_pass_takes_fewer_cycles() {
+        let cfg = AcceleratorConfig::bbal_paper();
+        let lib = GateLibrary::default();
+        let dims = paper_dims("OPT-1.3B").unwrap();
+        for ops in [decoder_ops(&dims, 128), decode_step_ops(&dims, 256)] {
+            let full = simulate_with(&cfg, &ops, &lib, NonlinearTiming::BbalUnit);
+            let quarter = simulate_with(&cfg, &shard_ops(&ops, 4), &lib, NonlinearTiming::BbalUnit);
+            assert!(quarter.total_cycles() < full.total_cycles());
+            // Not superlinear: 4 shards cannot beat 4×.
+            assert!(4 * quarter.total_cycles() >= full.total_cycles() / 2);
+        }
+    }
+
+    #[test]
+    fn allreduce_payloads_count_two_per_layer() {
+        let dims = paper_dims("Llama-7B").unwrap();
+        let seq = 32;
+        let ops = decoder_ops(&dims, seq);
+        let payloads: Vec<u64> = allreduce_payloads(&ops).collect();
+        // One Proj + one Fc2 per layer.
+        assert_eq!(payloads.len(), 2 * dims.layers);
+        // Every payload is the full m×hidden activation tile in fp16.
+        let expect = (seq * dims.hidden * ACTIVATION_BYTES) as u64;
+        assert!(payloads.iter().all(|&p| p == expect));
+        // Sharding does not change the payloads.
+        let sharded: Vec<u64> = allreduce_payloads(&shard_ops(&ops, 4)).collect();
+        assert_eq!(payloads, sharded);
+    }
+}

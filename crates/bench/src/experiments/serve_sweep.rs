@@ -34,9 +34,14 @@
 
 use crate::util::{fmt2, print_table, to_io};
 use bbal_core::SchemeSpec;
+use bbal_fleet::{
+    ArrivalProcess, Fleet, FleetReport, LengthDistribution, ReplicaSlice, ReplicaSpec, RoutePolicy,
+    SloBudget, TraceConfig,
+};
 use bbal_serve::{AdmissionPolicy, GenerateRequest, ServeConfig, ServeReport, ServeRuntime};
 use bbal_session::SessionBuilder;
 use std::io::{self, Write};
+use std::time::Instant;
 
 const MODEL: &str = "Llama-7B";
 const REQUESTS: usize = 24;
@@ -61,6 +66,76 @@ const MIXED: [SchemeSpec; 3] = [
 /// System-prompt length of the shared-prefix scenario, in tokens: four
 /// full 16-token KV pages that every follower can adopt.
 const SHARED_PREFIX: usize = 64;
+
+/// Requests in the fleet sweep's generated traces.
+const FLEET_REQUESTS: usize = 48;
+/// Seed of the fleet sweep's trace generator.
+const FLEET_SEED: u64 = 7;
+/// Mean inter-arrival gap of the saturating fleet workload, in cycles:
+/// far below the per-request service time, so a single replica is
+/// permanently backlogged and data parallelism has headroom to scale.
+const SATURATING_GAP: f64 = 100_000.0;
+/// Mean inter-arrival gap of the moderate-load workload, in cycles: on
+/// the scale of a request's batched service time (~1.5 Gcycles on the
+/// Llama-7B stand-in), so queues actually drain between arrivals and
+/// both the arrival process and the routing policy have room to
+/// matter. At ~2.7 Gcycles of batched service per request this offers
+/// roughly nine requests in flight fleet-wide — enough pressure that a
+/// narrow replica backlogs while a batch-8 one still has slack. Used
+/// for the Poisson-vs-bursty comparison and the heterogeneous fleet.
+const MODERATE_GAP: f64 = 300_000_000.0;
+/// Diurnal period of the bursty arrival process, in cycles: the
+/// 48-request moderate trace spans roughly 1.8 periods, so the fleet
+/// sees both a burst crest and a trough.
+const BURSTY_PERIOD: u64 = 20_000_000_000;
+/// The per-class deadline the fleet goodput is measured against, in
+/// milliseconds of simulated time.
+const FLEET_SLO: SloBudget = SloBudget {
+    ttft_ms: 20_000.0,
+    tpot_ms: 2_000.0,
+};
+
+/// The fleet sweep's workload: the mixed 3-scheme lineup over the
+/// `Llama-7B` stand-in's 256-token vocab, with the given arrival
+/// process.
+fn fleet_trace_config(arrivals: ArrivalProcess) -> TraceConfig {
+    TraceConfig {
+        requests: FLEET_REQUESTS,
+        arrivals,
+        prompt_len: LengthDistribution::Uniform { min: 8, max: 24 },
+        output_len: LengthDistribution::Uniform { min: 8, max: 16 },
+        schemes: vec![
+            (SchemeSpec::BBAL_PAPER, 2.0),
+            (SchemeSpec::Bfp(4), 1.0),
+            (SchemeSpec::Oltron, 1.0),
+        ],
+        vocab: 256,
+    }
+}
+
+/// `n` identical replicas at the given batch budget.
+fn homo_specs(n: usize, batch: usize) -> Vec<ReplicaSpec> {
+    (0..n)
+        .map(|i| {
+            ReplicaSpec::new(format!("r{i}"), MODEL).with_config(ServeConfig {
+                max_batch: batch,
+                prefill_chunk: 16,
+                workers: 2,
+                ..ServeConfig::default()
+            })
+        })
+        .collect()
+}
+
+fn run_fleet(
+    specs: Vec<ReplicaSpec>,
+    policy: RoutePolicy,
+    trace: &[GenerateRequest],
+) -> io::Result<FleetReport> {
+    Fleet::new(specs, policy)
+        .and_then(|mut fleet| fleet.serve(trace))
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))
+}
 
 /// A shared-system-prompt trace: every request opens with the same
 /// `SHARED_PREFIX`-token system prompt and appends a distinct 8-token
@@ -199,6 +274,95 @@ impl JsonRow {
     }
 }
 
+/// One fleet configuration's machine-readable record.
+struct FleetJsonRow {
+    scenario: String,
+    replicas: usize,
+    policy: &'static str,
+    arrivals: &'static str,
+    /// Aggregate tokens/s vs the single-replica saturating baseline;
+    /// `None` for the moderate-load rows, which are not comparable.
+    speedup_vs_single: Option<f64>,
+    report: FleetReport,
+}
+
+impl FleetJsonRow {
+    fn to_json(&self) -> String {
+        let r = &self.report;
+        let per_replica = r
+            .replicas
+            .iter()
+            .map(|slice| {
+                format!(
+                    "{{\"name\":\"{}\",\"routed\":{},\"occupancy\":{:.4},\
+                     \"tokens\":{},\"total_cycles\":{},\"makespan_ms\":{:.4}}}",
+                    slice.name,
+                    slice.routed,
+                    slice.occupancy(),
+                    slice.report.generated_tokens(),
+                    slice.report.total_cycles,
+                    slice.makespan_ms(),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"scenario\":\"{}\",\"replicas\":{},\"policy\":\"{}\",\"arrivals\":\"{}\",\
+             \"requests\":{},\"fleet_tokens_per_s\":{:.3},\"speedup_vs_single\":{},\
+             \"makespan_ms\":{:.4},\
+             \"ttft_p50_ms\":{:.4},\"ttft_p99_ms\":{:.4},\"ttft_p999_ms\":{:.4},\
+             \"tpot_p50_ms\":{:.4},\"tpot_p99_ms\":{:.4},\"tpot_p999_ms\":{:.4},\
+             \"goodput\":{:.4},\"slo_ttft_ms\":{:.1},\"slo_tpot_ms\":{:.1},\
+             \"rejected\":{},\"generated_tokens\":{},\"per_replica\":[{}]}}",
+            self.scenario,
+            self.replicas,
+            self.policy,
+            self.arrivals,
+            r.assignments.len(),
+            r.fleet_tokens_per_s(),
+            self.speedup_vs_single
+                .map_or("null".to_owned(), |s| format!("{s:.4}")),
+            r.makespan_ms(),
+            r.ttft_percentile_ms(50.0),
+            r.ttft_percentile_ms(99.0),
+            r.ttft_percentile_ms(99.9),
+            r.tpot_percentile_ms(50.0),
+            r.tpot_percentile_ms(99.0),
+            r.tpot_percentile_ms(99.9),
+            r.goodput(&FLEET_SLO),
+            FLEET_SLO.ttft_ms,
+            FLEET_SLO.tpot_ms,
+            r.rejected(),
+            r.generated_tokens(),
+            per_replica,
+        )
+    }
+}
+
+/// One sweep scenario's simulator wall-clock record for
+/// `results/BENCH_serve.json` (satellite perf tracking: how fast the
+/// *simulator* chews through each scenario, not simulated throughput).
+struct BenchScenario {
+    name: &'static str,
+    wall_ms: f64,
+    generated_tokens: usize,
+}
+
+impl BenchScenario {
+    fn to_json(&self) -> String {
+        let tok_per_s = if self.wall_ms > 0.0 {
+            self.generated_tokens as f64 * 1.0e3 / self.wall_ms
+        } else {
+            0.0
+        };
+        format!(
+            "{{\"name\":\"{}\",\"wall_ms\":{:.1},\"generated_tokens\":{},\
+             \"wall_tokens_per_s\":{:.1}}}",
+            self.name, self.wall_ms, self.generated_tokens, tok_per_s
+        )
+    }
+}
+
 /// Runs the sweep and prints the scheme × batch-size table plus the
 /// memory-pressure table; also writes `results/serve_sweep.json`.
 ///
@@ -242,6 +406,8 @@ pub fn run(w: &mut dyn Write) -> io::Result<()> {
         ),
     ];
 
+    let mut bench: Vec<BenchScenario> = Vec::new();
+    let mut section_start = Instant::now();
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut json_rows: Vec<JsonRow> = Vec::new();
     let mut bbal_batch8_speedup = 0.0;
@@ -335,6 +501,14 @@ pub fn run(w: &mut dyn Write) -> io::Result<()> {
         if all_identical { "yes" } else { "NO" }
     )?;
 
+    bench.push(BenchScenario {
+        name: "batch_sweep",
+        wall_ms: section_start.elapsed().as_secs_f64() * 1.0e3,
+        generated_tokens: json_rows.iter().map(|r| r.report.generated_tokens()).sum(),
+    });
+    section_start = Instant::now();
+    let mut section_mark = json_rows.len();
+
     // --- Memory-pressure sweep -------------------------------------
     // The mixed batch-8 affinity configuration again, under tightening
     // KV budgets. The unbounded run's peak pages set the scale; tight
@@ -422,6 +596,17 @@ pub fn run(w: &mut dyn Write) -> io::Result<()> {
         if pressured_identical { "yes" } else { "NO" }
     )?;
 
+    bench.push(BenchScenario {
+        name: "memory_pressure",
+        wall_ms: section_start.elapsed().as_secs_f64() * 1.0e3,
+        generated_tokens: json_rows[section_mark..]
+            .iter()
+            .map(|r| r.report.generated_tokens())
+            .sum(),
+    });
+    section_start = Instant::now();
+    section_mark = json_rows.len();
+
     // --- Shared-system-prompt scenario ------------------------------
     // Every request opens with the same 64-token system prompt; the
     // prefix cache lets followers adopt the leader's published prefix
@@ -500,19 +685,232 @@ pub fn run(w: &mut dyn Write) -> io::Result<()> {
         identical: true,
     });
 
+    bench.push(BenchScenario {
+        name: "shared_prompt",
+        wall_ms: section_start.elapsed().as_secs_f64() * 1.0e3,
+        generated_tokens: json_rows[section_mark..]
+            .iter()
+            .map(|r| r.report.generated_tokens())
+            .sum(),
+    });
+    section_start = Instant::now();
+
+    // --- Fleet sweep -------------------------------------------------
+    // Data parallelism across replicas (bbal-fleet): the same generated
+    // workload served by 1..8 identical replicas, a Poisson-vs-bursty
+    // arrival comparison at fixed capacity, and a heterogeneous fleet
+    // where least-loaded routing adapts to unequal batch budgets. All
+    // latency percentiles are in milliseconds of simulated time;
+    // goodput counts requests meeting the per-class SLO deadline.
+    writeln!(w)?;
+    writeln!(
+        w,
+        "Fleet sweep: {FLEET_REQUESTS} generated requests (seed {FLEET_SEED}), mixed 3-scheme"
+    )?;
+    writeln!(
+        w,
+        "traffic, least-loaded routing; saturating Poisson mean gap {SATURATING_GAP} cycles,"
+    )?;
+    writeln!(
+        w,
+        "moderate gap {MODERATE_GAP} cycles; SLO: TTFT <= {} ms, TPOT <= {} ms\n",
+        FLEET_SLO.ttft_ms, FLEET_SLO.tpot_ms
+    )?;
+    let saturating = fleet_trace_config(ArrivalProcess::Poisson {
+        mean_gap_cycles: SATURATING_GAP,
+    })
+    .generate(FLEET_SEED);
+    let mut fleet_rows: Vec<Vec<String>> = Vec::new();
+    let mut fleet_json: Vec<FleetJsonRow> = Vec::new();
+    let push_fleet = |rows: &mut Vec<Vec<String>>,
+                      json: &mut Vec<FleetJsonRow>,
+                      scenario: String,
+                      arrivals: &'static str,
+                      policy: RoutePolicy,
+                      speedup: Option<f64>,
+                      report: FleetReport| {
+        let occupancy = report
+            .replicas
+            .iter()
+            .map(ReplicaSlice::occupancy)
+            .sum::<f64>()
+            / report.replicas.len() as f64;
+        rows.push(vec![
+            scenario.clone(),
+            report.replicas.len().to_string(),
+            arrivals.to_owned(),
+            fmt2(report.fleet_tokens_per_s()),
+            speedup.map_or("-".to_owned(), |s| format!("{s:.2}x")),
+            fmt2(report.ttft_percentile_ms(50.0)),
+            fmt2(report.ttft_percentile_ms(99.0)),
+            fmt2(report.ttft_percentile_ms(99.9)),
+            fmt2(report.tpot_percentile_ms(50.0)),
+            fmt2(report.tpot_percentile_ms(99.0)),
+            format!("{:.2}", report.goodput(&FLEET_SLO)),
+            fmt2(occupancy),
+        ]);
+        json.push(FleetJsonRow {
+            scenario,
+            replicas: report.replicas.len(),
+            policy: match policy {
+                RoutePolicy::RoundRobin => "round-robin",
+                RoutePolicy::LeastLoaded => "least-loaded",
+                RoutePolicy::SchemeAffinity => "scheme-affinity",
+            },
+            arrivals,
+            speedup_vs_single: speedup,
+            report,
+        });
+    };
+    let mut single_tokens_per_s = 0.0;
+    let mut homo4_speedup = 0.0;
+    for n in [1usize, 2, 4, 8] {
+        let report = run_fleet(homo_specs(n, 8), RoutePolicy::LeastLoaded, &saturating)?;
+        if n == 1 {
+            single_tokens_per_s = report.fleet_tokens_per_s();
+        }
+        let speedup = report.fleet_tokens_per_s() / single_tokens_per_s;
+        if n == 4 {
+            homo4_speedup = speedup;
+        }
+        push_fleet(
+            &mut fleet_rows,
+            &mut fleet_json,
+            format!("homo-{n}"),
+            "poisson-saturating",
+            RoutePolicy::LeastLoaded,
+            Some(speedup),
+            report,
+        );
+    }
+    // Arrival-process comparison at fixed capacity: the bursty process
+    // has the same baseline rate, so only the tail should move.
+    let moderate = fleet_trace_config(ArrivalProcess::Poisson {
+        mean_gap_cycles: MODERATE_GAP,
+    })
+    .generate(FLEET_SEED);
+    let bursty = fleet_trace_config(ArrivalProcess::Bursty {
+        mean_gap_cycles: MODERATE_GAP,
+        modulation: 0.8,
+        period_cycles: BURSTY_PERIOD,
+    })
+    .generate(FLEET_SEED);
+    for (label, trace) in [
+        ("poisson-moderate", &moderate),
+        ("bursty-moderate", &bursty),
+    ] {
+        let report = run_fleet(homo_specs(4, 8), RoutePolicy::LeastLoaded, trace)?;
+        push_fleet(
+            &mut fleet_rows,
+            &mut fleet_json,
+            "arrivals-4".to_owned(),
+            label,
+            RoutePolicy::LeastLoaded,
+            None,
+            report,
+        );
+    }
+    // Heterogeneous fleet: two batch-8 replicas next to two batch-1
+    // ones, under the moderate load (under saturation every queue grows
+    // in lockstep during the arrival burst and least-loaded degenerates
+    // to rotation). The batch-8 replicas drain faster, stay less
+    // loaded, and should therefore absorb more of the traffic.
+    let hetero_specs: Vec<ReplicaSpec> = [8usize, 8, 1, 1]
+        .iter()
+        .enumerate()
+        .map(|(i, &batch)| {
+            ReplicaSpec::new(format!("b{batch}-r{i}"), MODEL).with_config(ServeConfig {
+                max_batch: batch,
+                prefill_chunk: 16,
+                workers: 2,
+                ..ServeConfig::default()
+            })
+        })
+        .collect();
+    let hetero = run_fleet(hetero_specs, RoutePolicy::LeastLoaded, &moderate)?;
+    let hetero_routed: Vec<String> = hetero
+        .replicas
+        .iter()
+        .map(|r| format!("{}:{}", r.name, r.routed))
+        .collect();
+    push_fleet(
+        &mut fleet_rows,
+        &mut fleet_json,
+        "hetero-4".to_owned(),
+        "poisson-moderate",
+        RoutePolicy::LeastLoaded,
+        None,
+        hetero,
+    );
+    print_table(
+        w,
+        &[
+            "scenario",
+            "replicas",
+            "arrivals",
+            "tok/s (sim)",
+            "speedup",
+            "TTFT p50",
+            "p99",
+            "p99.9",
+            "TPOT p50",
+            "p99",
+            "goodput",
+            "occupancy",
+        ],
+        &fleet_rows,
+    )?;
+    writeln!(w)?;
+    writeln!(
+        w,
+        "4 homogeneous replicas: {homo4_speedup:.2}x aggregate tokens/s vs 1 replica"
+    )?;
+    writeln!(
+        w,
+        "hetero fleet routed (replica:requests): {}",
+        hetero_routed.join(", ")
+    )?;
+    bench.push(BenchScenario {
+        name: "fleet",
+        wall_ms: section_start.elapsed().as_secs_f64() * 1.0e3,
+        generated_tokens: fleet_json.iter().map(|r| r.report.generated_tokens()).sum(),
+    });
+
     // --- Machine-diffable record ------------------------------------
     let json = format!(
         "{{\n  \"model\": \"{MODEL}\",\n  \"requests\": {REQUESTS},\n  \
-         \"max_new_tokens\": {MAX_NEW},\n  \"configs\": [\n    {}\n  ]\n}}\n",
+         \"max_new_tokens\": {MAX_NEW},\n  \"configs\": [\n    {}\n  ],\n  \
+         \"fleet\": [\n    {}\n  ]\n}}\n",
         json_rows
             .iter()
             .map(JsonRow::to_json)
+            .collect::<Vec<_>>()
+            .join(",\n    "),
+        fleet_json
+            .iter()
+            .map(FleetJsonRow::to_json)
             .collect::<Vec<_>>()
             .join(",\n    ")
     );
     std::fs::create_dir_all("results")?;
     std::fs::write("results/serve_sweep.json", json)?;
     writeln!(w, "machine-readable record: results/serve_sweep.json")?;
+
+    // --- Simulator wall-clock record (BENCH_serve.json) --------------
+    // Schema-versioned so CI consumers can detect format changes; the
+    // numbers track how fast the simulator itself runs each scenario
+    // (host-dependent — compare within one machine, not across).
+    let bench_json = format!(
+        "{{\n  \"schema_version\": 1,\n  \"benchmark\": \"serve_sweep\",\n  \
+         \"model\": \"{MODEL}\",\n  \"scenarios\": [\n    {}\n  ]\n}}\n",
+        bench
+            .iter()
+            .map(BenchScenario::to_json)
+            .collect::<Vec<_>>()
+            .join(",\n    ")
+    );
+    std::fs::write("results/BENCH_serve.json", bench_json)?;
+    writeln!(w, "simulator wall-clock record: results/BENCH_serve.json")?;
     Ok(())
 }
 
@@ -586,6 +984,38 @@ mod tests {
         assert!(tight.kv_bytes_moved() > 0);
         assert!(tight.kv_dram_energy_pj > 0.0);
         assert!(tight.rejected().count() == 0);
+    }
+
+    #[test]
+    fn four_homogeneous_replicas_double_aggregate_throughput() {
+        // The ISSUE-7 acceptance gate: under a saturating Poisson load,
+        // 4 homogeneous replicas deliver at least 2x the aggregate
+        // tokens/s of a single replica, and the SLO percentiles improve
+        // monotonically in the right direction.
+        let trace = fleet_trace_config(ArrivalProcess::Poisson {
+            mean_gap_cycles: SATURATING_GAP,
+        })
+        .generate(FLEET_SEED);
+        let single = run_fleet(homo_specs(1, 8), RoutePolicy::LeastLoaded, &trace).unwrap();
+        let quad = run_fleet(homo_specs(4, 8), RoutePolicy::LeastLoaded, &trace).unwrap();
+        let speedup = quad.fleet_tokens_per_s() / single.fleet_tokens_per_s();
+        assert!(speedup >= 2.0, "4-replica speedup only {speedup:.2}x");
+        // Same total work, spread across the fleet.
+        assert_eq!(quad.generated_tokens(), single.generated_tokens());
+        assert_eq!(quad.rejected(), 0);
+        let routed: Vec<usize> = quad.replicas.iter().map(|r| r.routed).collect();
+        assert_eq!(routed.iter().sum::<usize>(), trace.len());
+        assert!(
+            routed.iter().all(|&n| n > 0),
+            "least-loaded left a replica idle: {routed:?}"
+        );
+        // Less backlog per replica means a lighter latency tail.
+        assert!(quad.ttft_percentile_ms(99.0) < single.ttft_percentile_ms(99.0));
+        // Percentile ordering is internally consistent.
+        let p50 = quad.ttft_percentile_ms(50.0);
+        let p99 = quad.ttft_percentile_ms(99.0);
+        let p999 = quad.ttft_percentile_ms(99.9);
+        assert!(p50 > 0.0 && p50 <= p99 && p99 <= p999);
     }
 
     #[test]

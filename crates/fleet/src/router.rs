@@ -1,0 +1,214 @@
+//! Request placement across replicas.
+//!
+//! The router is deliberately decoupled from the runtimes: it sees only
+//! a [`ReplicaSignals`] snapshot per replica (queue depth, batch
+//! occupancy, predicted free KV pages) and returns an index. That keeps
+//! every policy a pure, unit-testable function of its inputs — and the
+//! whole fleet deterministic, because ties always break towards the
+//! lowest replica index.
+
+use bbal_core::SchemeSpec;
+
+/// A snapshot of one replica's load at a routing instant, read off
+/// [`ServeRuntime`](bbal_serve::ServeRuntime)'s introspection API.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicaSignals {
+    /// Requests waiting for a batch slot (arrived or still pending).
+    pub queue_depth: usize,
+    /// Requests currently holding a batch slot.
+    pub active: usize,
+    /// KV pages the replica's arena still has free (`None` =
+    /// unbounded budget).
+    pub free_kv_pages: Option<usize>,
+}
+
+impl ReplicaSignals {
+    /// Load ordering key: queue depth first, batch occupancy second.
+    /// Waiting requests make no progress, while active ones share a
+    /// batch and advance together — so a wide replica running a full
+    /// batch is *less* loaded than a narrow one with a backlog, even
+    /// when its total in-flight count is higher. Ranking by the sum
+    /// would systematically overload narrow replicas in a
+    /// heterogeneous fleet.
+    fn load(&self) -> (usize, usize) {
+        (self.queue_depth, self.active)
+    }
+}
+
+/// How the fleet places each arriving request.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum RoutePolicy {
+    /// Strict rotation, ignoring load. The baseline every other policy
+    /// is measured against.
+    RoundRobin,
+    /// The replica with the shortest queue (ties: fewest active, then
+    /// most free KV pages, then the lower index).
+    #[default]
+    LeastLoaded,
+    /// Keep a scheme's traffic where that scheme already runs: among
+    /// replicas whose most recent request used the same scheme, pick
+    /// the least loaded; if none do, fall back to least-loaded overall.
+    /// Mirrors `bbal-serve`'s scheme-affinity admission one level up —
+    /// per-replica batches stay fusable instead of fragmenting across
+    /// the fleet.
+    SchemeAffinity,
+}
+
+/// Stateful router: owns the rotation counter (round-robin) and the
+/// per-replica last-routed scheme (affinity).
+#[derive(Debug, Clone)]
+pub struct Router {
+    policy: RoutePolicy,
+    next_rr: usize,
+    last_scheme: Vec<Option<SchemeSpec>>,
+}
+
+impl Router {
+    /// A router over `replicas` replicas.
+    pub fn new(policy: RoutePolicy, replicas: usize) -> Router {
+        Router {
+            policy,
+            next_rr: 0,
+            last_scheme: vec![None; replicas],
+        }
+    }
+
+    /// The policy this router runs.
+    pub fn policy(&self) -> RoutePolicy {
+        self.policy
+    }
+
+    /// Picks the replica for a request of `scheme` given each replica's
+    /// current signals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `signals` is empty or its length differs from the
+    /// replica count given at construction.
+    pub fn route(&mut self, scheme: SchemeSpec, signals: &[ReplicaSignals]) -> usize {
+        assert_eq!(
+            signals.len(),
+            self.last_scheme.len(),
+            "one signal snapshot per replica"
+        );
+        assert!(!signals.is_empty(), "routing needs at least one replica");
+        let chosen = match self.policy {
+            RoutePolicy::RoundRobin => {
+                let i = self.next_rr % signals.len();
+                self.next_rr += 1;
+                i
+            }
+            RoutePolicy::LeastLoaded => least_loaded(signals, 0..signals.len()),
+            RoutePolicy::SchemeAffinity => {
+                let matching: Vec<usize> = (0..signals.len())
+                    .filter(|&i| self.last_scheme[i] == Some(scheme))
+                    .collect();
+                if matching.is_empty() {
+                    least_loaded(signals, 0..signals.len())
+                } else {
+                    least_loaded(signals, matching.into_iter())
+                }
+            }
+        };
+        self.last_scheme[chosen] = Some(scheme);
+        chosen
+    }
+}
+
+/// Argmin by `(queue depth, active, fewer free pages is worse, index)`
+/// over a replica index subset. `free_kv_pages = None` (unbounded)
+/// ranks as infinitely many free pages.
+fn least_loaded(signals: &[ReplicaSignals], candidates: impl Iterator<Item = usize>) -> usize {
+    candidates
+        .min_by_key(|&i| {
+            let s = &signals[i];
+            (
+                s.load(),
+                usize::MAX - s.free_kv_pages.unwrap_or(usize::MAX),
+                i,
+            )
+        })
+        .expect("candidate set is non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(queue: usize, active: usize, free: Option<usize>) -> ReplicaSignals {
+        ReplicaSignals {
+            queue_depth: queue,
+            active,
+            free_kv_pages: free,
+        }
+    }
+
+    #[test]
+    fn round_robin_rotates_regardless_of_load() {
+        let mut r = Router::new(RoutePolicy::RoundRobin, 3);
+        let signals = [sig(9, 9, None), sig(0, 0, None), sig(1, 0, None)];
+        let picks: Vec<usize> = (0..6)
+            .map(|_| r.route(SchemeSpec::BBAL_PAPER, &signals))
+            .collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn least_loaded_breaks_ties_on_free_pages_then_index() {
+        let mut r = Router::new(RoutePolicy::LeastLoaded, 3);
+        // Replica 1 has strictly less load.
+        assert_eq!(
+            r.route(
+                SchemeSpec::BBAL_PAPER,
+                &[sig(2, 2, None), sig(1, 1, None), sig(2, 1, None)]
+            ),
+            1
+        );
+        // Equal load: more free pages wins.
+        assert_eq!(
+            r.route(
+                SchemeSpec::BBAL_PAPER,
+                &[sig(1, 1, Some(4)), sig(1, 1, Some(9)), sig(1, 1, Some(6))]
+            ),
+            1
+        );
+        // Full tie: lowest index, deterministically.
+        assert_eq!(
+            r.route(
+                SchemeSpec::BBAL_PAPER,
+                &[sig(1, 1, Some(4)), sig(1, 1, Some(4)), sig(1, 1, Some(4))]
+            ),
+            0
+        );
+        // Unbounded budget ranks above any finite page count.
+        let mut two = Router::new(RoutePolicy::LeastLoaded, 2);
+        assert_eq!(
+            two.route(
+                SchemeSpec::BBAL_PAPER,
+                &[sig(1, 1, Some(1_000)), sig(1, 1, None)]
+            ),
+            1
+        );
+    }
+
+    #[test]
+    fn affinity_keeps_a_scheme_on_its_replica_until_overloaded() {
+        let mut r = Router::new(RoutePolicy::SchemeAffinity, 2);
+        let a = SchemeSpec::BBAL_PAPER;
+        let b = SchemeSpec::Bfp(6);
+        // First request of each scheme lands least-loaded.
+        assert_eq!(r.route(a, &[sig(0, 0, None), sig(0, 0, None)]), 0);
+        assert_eq!(r.route(b, &[sig(1, 0, None), sig(0, 0, None)]), 1);
+        // Follow-up traffic of each scheme sticks to its replica even
+        // when the other is idle.
+        assert_eq!(r.route(a, &[sig(2, 0, None), sig(0, 0, None)]), 0);
+        assert_eq!(r.route(b, &[sig(3, 0, None), sig(1, 0, None)]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "one signal snapshot per replica")]
+    fn mismatched_signal_count_panics() {
+        let mut r = Router::new(RoutePolicy::LeastLoaded, 2);
+        r.route(SchemeSpec::BBAL_PAPER, &[sig(0, 0, None)]);
+    }
+}

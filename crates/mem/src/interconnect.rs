@@ -1,0 +1,264 @@
+//! Inter-accelerator interconnect model: links and ring all-reduce.
+//!
+//! Tensor-parallel serving splits one model's GEMMs across N
+//! accelerator arrays; what it buys in cycles it pays back in
+//! *interconnect traffic* — after the attention output projection and
+//! the FFN down projection, every shard holds a partial sum that must
+//! be all-reduced across the group before the next operator can run.
+//! This module costs that traffic the same way [`crate::dram`] costs
+//! off-chip memory: a link is bandwidth + per-hop latency + energy per
+//! bit, and the collective is the standard *ring all-reduce* (each of
+//! the N links carries `2·(N−1)/N` of the payload, in `2·(N−1)`
+//! pipelined steps).
+//!
+//! ```
+//! use bbal_mem::interconnect::{InterconnectLink, ring_allreduce_wire_bytes};
+//!
+//! let link = InterconnectLink::nvlink_class();
+//! // A 1 MiB payload across 4 shards puts 6 MiB on the wire in total.
+//! assert_eq!(ring_allreduce_wire_bytes(1 << 20, 4), 6 << 20);
+//! // One shard is free: nothing moves.
+//! assert_eq!(ring_allreduce_wire_bytes(1 << 20, 1), 0);
+//! assert!(link.bytes_per_cycle > 0.0);
+//! ```
+
+/// One inter-accelerator link: bandwidth, per-hop latency, and transfer
+/// energy. All figures are per *direction* at the accelerator clock
+/// (matching [`crate::DramChannel`]'s convention).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InterconnectLink {
+    /// Peak bandwidth in bytes per accelerator cycle.
+    pub bytes_per_cycle: f64,
+    /// Fixed latency of one ring step (launch + hop), in cycles.
+    pub hop_latency_cycles: u64,
+    /// Transfer energy in pJ per bit (SerDes + PHY both ends).
+    pub energy_pj_per_bit: f64,
+}
+
+impl InterconnectLink {
+    /// NVLink-class datacenter fabric at a 1 GHz accelerator clock:
+    /// 50 GB/s per direction, ≈ 1.3 pJ/bit, ≈ 500-cycle hop.
+    pub fn nvlink_class() -> InterconnectLink {
+        InterconnectLink {
+            bytes_per_cycle: 50.0,
+            hop_latency_cycles: 500,
+            energy_pj_per_bit: 1.3,
+        }
+    }
+
+    /// PCIe-class host fabric: 16 GB/s per direction, ≈ 4 pJ/bit,
+    /// ≈ 1µs (1000-cycle) hop.
+    pub fn pcie_class() -> InterconnectLink {
+        InterconnectLink {
+            bytes_per_cycle: 16.0,
+            hop_latency_cycles: 1_000,
+            energy_pj_per_bit: 4.0,
+        }
+    }
+
+    /// Edge-board fabric (the LlamaF/embedded-FPGA regime): 2 GB/s,
+    /// ≈ 10 pJ/bit, ≈ 2000-cycle hop.
+    pub fn edge_class() -> InterconnectLink {
+        InterconnectLink {
+            bytes_per_cycle: 2.0,
+            hop_latency_cycles: 2_000,
+            energy_pj_per_bit: 10.0,
+        }
+    }
+
+    /// Cycles one ring step takes to move `bytes` over this link.
+    pub fn step_cycles(&self, bytes: u64) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        self.hop_latency_cycles + (bytes as f64 / self.bytes_per_cycle).ceil() as u64
+    }
+
+    /// Energy to move `bytes` over one link, in pJ.
+    pub fn transfer_energy_pj(&self, bytes: u64) -> f64 {
+        bytes as f64 * 8.0 * self.energy_pj_per_bit
+    }
+}
+
+impl Default for InterconnectLink {
+    fn default() -> InterconnectLink {
+        InterconnectLink::nvlink_class()
+    }
+}
+
+/// A named link preset. `ServeConfig` carries this instead of a raw
+/// [`InterconnectLink`] so scheduler configurations stay `Eq`/`Copy`
+/// (an f64-bearing link cannot derive `Eq`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LinkClass {
+    /// Datacenter fabric ([`InterconnectLink::nvlink_class`]).
+    #[default]
+    Nvlink,
+    /// Host fabric ([`InterconnectLink::pcie_class`]).
+    Pcie,
+    /// Edge-board fabric ([`InterconnectLink::edge_class`]).
+    Edge,
+}
+
+impl LinkClass {
+    /// The preset's link parameters.
+    pub fn link(&self) -> InterconnectLink {
+        match self {
+            LinkClass::Nvlink => InterconnectLink::nvlink_class(),
+            LinkClass::Pcie => InterconnectLink::pcie_class(),
+            LinkClass::Edge => InterconnectLink::edge_class(),
+        }
+    }
+
+    /// The name experiment tables use.
+    pub fn label(&self) -> &'static str {
+        match self {
+            LinkClass::Nvlink => "nvlink",
+            LinkClass::Pcie => "pcie",
+            LinkClass::Edge => "edge",
+        }
+    }
+}
+
+/// Total bytes a ring all-reduce of `payload` bytes across `shards`
+/// puts on the wire, summed over every link: each of the `shards` links
+/// carries `2·(shards−1)/shards · payload` (reduce-scatter then
+/// all-gather), so the total is `2·(shards−1)·payload`. Zero for a
+/// single shard.
+pub fn ring_allreduce_wire_bytes(payload: u64, shards: usize) -> u64 {
+    if shards <= 1 {
+        return 0;
+    }
+    2 * (shards as u64 - 1) * payload
+}
+
+/// Cycles a ring all-reduce of `payload` bytes across `shards` takes:
+/// `2·(shards−1)` pipelined steps, each moving one `payload/shards`
+/// chunk per link in parallel (every link is busy every step, so the
+/// critical path is one chunk per step). Zero for a single shard.
+pub fn ring_allreduce_cycles(link: &InterconnectLink, payload: u64, shards: usize) -> u64 {
+    if shards <= 1 || payload == 0 {
+        return 0;
+    }
+    let chunk = payload.div_ceil(shards as u64);
+    2 * (shards as u64 - 1) * link.step_cycles(chunk)
+}
+
+/// Energy of a ring all-reduce across `shards`, in pJ: every byte on
+/// every link pays the link's per-bit energy.
+pub fn ring_allreduce_energy_pj(link: &InterconnectLink, payload: u64, shards: usize) -> f64 {
+    link.transfer_energy_pj(ring_allreduce_wire_bytes(payload, shards))
+}
+
+/// Accumulated interconnect traffic of a serving run, the counterpart
+/// of [`crate::KvTraffic`] for the tensor-parallel fabric.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InterconnectTraffic {
+    /// All-reduce operations performed.
+    pub allreduces: u64,
+    /// Total bytes moved over all links.
+    pub wire_bytes: u64,
+}
+
+impl InterconnectTraffic {
+    /// Charges one ring all-reduce of `payload` bytes across `shards`.
+    pub fn record_allreduce(&mut self, payload: u64, shards: usize) {
+        if shards <= 1 {
+            return;
+        }
+        self.allreduces += 1;
+        self.wire_bytes += ring_allreduce_wire_bytes(payload, shards);
+    }
+
+    /// Energy of the accumulated traffic over `link`, pJ.
+    pub fn energy_pj(&self, link: &InterconnectLink) -> f64 {
+        link.transfer_energy_pj(self.wire_bytes)
+    }
+
+    /// Folds another accumulator into this one.
+    pub fn merge(&mut self, other: &InterconnectTraffic) {
+        self.allreduces += other.allreduces;
+        self.wire_bytes += other.wire_bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_shard_is_free() {
+        let link = InterconnectLink::nvlink_class();
+        assert_eq!(ring_allreduce_wire_bytes(1 << 20, 1), 0);
+        assert_eq!(ring_allreduce_cycles(&link, 1 << 20, 1), 0);
+        assert_eq!(ring_allreduce_energy_pj(&link, 1 << 20, 1), 0.0);
+    }
+
+    #[test]
+    fn wire_bytes_follow_the_ring_formula() {
+        // 2·(N−1)·payload, independent of the link.
+        assert_eq!(ring_allreduce_wire_bytes(100, 2), 200);
+        assert_eq!(ring_allreduce_wire_bytes(100, 4), 600);
+        assert_eq!(ring_allreduce_wire_bytes(100, 8), 1_400);
+    }
+
+    #[test]
+    fn cycles_scale_with_steps_not_payload_times_shards() {
+        // Doubling the shard count doubles the step count but halves
+        // the chunk, so the bandwidth term stays ~flat and only the
+        // latency term grows.
+        let link = InterconnectLink {
+            bytes_per_cycle: 1.0,
+            hop_latency_cycles: 0,
+            energy_pj_per_bit: 1.0,
+        };
+        let c2 = ring_allreduce_cycles(&link, 1_000, 2);
+        let c8 = ring_allreduce_cycles(&link, 1_000, 8);
+        // 2 shards: 2 steps × 500 = 1000; 8 shards: 14 steps × 125 = 1750.
+        assert_eq!(c2, 1_000);
+        assert_eq!(c8, 1_750);
+        // With a large hop latency the step count dominates.
+        let lat = InterconnectLink {
+            hop_latency_cycles: 10_000,
+            ..link
+        };
+        // Step ratio is 14/2 = 7; the per-step payload term dilutes it
+        // slightly (6.75× here), but it must stay well above linear.
+        assert!(ring_allreduce_cycles(&lat, 1_000, 8) > 6 * ring_allreduce_cycles(&lat, 1_000, 2));
+    }
+
+    #[test]
+    fn presets_order_by_bandwidth_and_energy() {
+        let nv = InterconnectLink::nvlink_class();
+        let pcie = InterconnectLink::pcie_class();
+        let edge = InterconnectLink::edge_class();
+        assert!(nv.bytes_per_cycle > pcie.bytes_per_cycle);
+        assert!(pcie.bytes_per_cycle > edge.bytes_per_cycle);
+        assert!(nv.energy_pj_per_bit < edge.energy_pj_per_bit);
+        assert_eq!(LinkClass::Nvlink.link(), nv);
+        assert_eq!(LinkClass::Edge.link(), edge);
+        assert_eq!(LinkClass::default().label(), "nvlink");
+    }
+
+    #[test]
+    fn traffic_accumulates_and_merges() {
+        let mut t = InterconnectTraffic::default();
+        t.record_allreduce(100, 4);
+        t.record_allreduce(100, 1); // single shard: no-op
+        assert_eq!((t.allreduces, t.wire_bytes), (1, 600));
+        let mut u = t;
+        u.merge(&t);
+        assert_eq!((u.allreduces, u.wire_bytes), (2, 1_200));
+        let link = InterconnectLink::nvlink_class();
+        assert!((u.energy_pj(&link) - 2.0 * t.energy_pj(&link)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interconnect_bit_costs_less_than_dram_bit_on_datacenter_fabric() {
+        // The premise of tensor-parallel serving: moving a partial sum
+        // over NVLink is cheaper than re-streaming weights from DRAM.
+        let nv = InterconnectLink::nvlink_class();
+        let dram = crate::DramChannel::lpddr4();
+        assert!(nv.energy_pj_per_bit < dram.energy_pj_per_bit);
+    }
+}

@@ -26,11 +26,13 @@
 #![warn(missing_debug_implementations)]
 
 pub mod dram;
+pub mod interconnect;
 pub mod kv;
 pub mod lut;
 pub mod sram;
 
 pub use dram::DramChannel;
+pub use interconnect::{InterconnectLink, InterconnectTraffic, LinkClass};
 pub use kv::{kv_bits_per_element, KvFootprint, KvTraffic};
 pub use lut::{LutLayout, SegmentedLutStorage};
 pub use sram::{MemError, SramMacro};

@@ -2,6 +2,7 @@
 
 use crate::policy::AdmissionPolicy;
 use crate::ServeError;
+use bbal_mem::LinkClass;
 
 /// Knobs of the continuous-batching scheduler.
 ///
@@ -86,6 +87,28 @@ pub struct ServeConfig {
     /// arena's prefix index (copy-on-write; outputs bit-identical to a
     /// cold cache). `false` is the cold-cache baseline.
     pub kv_prefix_cache: bool,
+    /// Tensor-parallel shards the tick cost model splits every GEMM
+    /// across (Megatron column/row split, heads sharded for attention).
+    /// `1` — the default — is a single array with zero interconnect
+    /// traffic, bit-identical to the pre-sharding cost model. Sharding
+    /// never changes tokens (the functional math is unsharded); it
+    /// changes tick cycles, and adds two ring all-reduces per decoder
+    /// layer per tick, costed on [`ServeConfig::interconnect`].
+    pub tensor_shards: usize,
+    /// The interconnect class the shard group's all-reduces are costed
+    /// on. Irrelevant (zero traffic) when `tensor_shards == 1`.
+    pub interconnect: LinkClass,
+    /// Cap on retained [`TickTrace`](crate::TickTrace) entries. `None`
+    /// — the default — keeps every tick (the pre-cap behaviour). Under
+    /// `Some(cap)` the trace is decimated by stride doubling: when the
+    /// buffer outgrows the cap, every other retained entry is dropped
+    /// and only each `2ᵏ`-th tick is recorded from then on, so a
+    /// million-tick fleet run holds at most `cap` entries, evenly
+    /// spread, without ever reallocating unboundedly. Aggregates that
+    /// read the trace (occupancy, queue depth) become samples; scalar
+    /// report fields (peaks, totals, per-request metrics) are exact
+    /// either way.
+    pub max_trace_ticks: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -98,6 +121,9 @@ impl Default for ServeConfig {
             kv_page_tokens: bbal_llm::DEFAULT_PAGE_TOKENS,
             kv_budget_pages: None,
             kv_prefix_cache: true,
+            tensor_shards: 1,
+            interconnect: LinkClass::Nvlink,
+            max_trace_ticks: None,
         }
     }
 }
@@ -148,6 +174,22 @@ impl ServeConfig {
         self
     }
 
+    /// Returns a copy costed at `shards` tensor-parallel shards over
+    /// `link` — the fleet's sharded-replica axis.
+    pub fn with_tensor_shards(mut self, shards: usize, link: LinkClass) -> ServeConfig {
+        self.tensor_shards = shards;
+        self.interconnect = link;
+        self
+    }
+
+    /// Returns a copy whose per-tick trace is decimated to at most
+    /// `cap` retained entries (stride-doubling; see
+    /// [`ServeConfig::max_trace_ticks`]).
+    pub fn with_max_trace_ticks(mut self, cap: usize) -> ServeConfig {
+        self.max_trace_ticks = Some(cap);
+        self
+    }
+
     /// Checks every knob is non-zero (including the aging bound of a
     /// scheme-affinity policy — `max_wait_ticks` of 0 would admit every
     /// request as overdue, which is FCFS spelled confusingly — and a
@@ -162,6 +204,7 @@ impl ServeConfig {
             ("prefill_chunk", self.prefill_chunk),
             ("workers", self.workers),
             ("kv_page_tokens", self.kv_page_tokens),
+            ("tensor_shards", self.tensor_shards),
         ] {
             if value == 0 {
                 return Err(ServeError::Config { field, value });
@@ -170,6 +213,12 @@ impl ServeConfig {
         if self.kv_budget_pages == Some(0) {
             return Err(ServeError::Config {
                 field: "kv_budget_pages",
+                value: 0,
+            });
+        }
+        if self.max_trace_ticks == Some(0) {
+            return Err(ServeError::Config {
+                field: "max_trace_ticks",
                 value: 0,
             });
         }
@@ -252,6 +301,37 @@ mod tests {
         let cold = ServeConfig::default().with_kv_prefix_cache(false);
         assert!(!cold.kv_prefix_cache);
         cold.validate().unwrap();
+    }
+
+    #[test]
+    fn shard_and_trace_knobs_validate() {
+        // Defaults preserve the single-array, full-trace behaviour.
+        let d = ServeConfig::default();
+        assert_eq!((d.tensor_shards, d.max_trace_ticks), (1, None));
+        let c = ServeConfig {
+            tensor_shards: 0,
+            ..ServeConfig::default()
+        };
+        assert_eq!(
+            c.validate().unwrap_err(),
+            ServeError::Config {
+                field: "tensor_shards",
+                value: 0
+            }
+        );
+        let c = ServeConfig::default().with_max_trace_ticks(0);
+        assert_eq!(
+            c.validate().unwrap_err(),
+            ServeError::Config {
+                field: "max_trace_ticks",
+                value: 0
+            }
+        );
+        ServeConfig::default()
+            .with_tensor_shards(4, LinkClass::Pcie)
+            .with_max_trace_ticks(128)
+            .validate()
+            .unwrap();
     }
 
     #[test]

@@ -124,7 +124,7 @@ pub use batch::{tick_ops, TickWork};
 pub use config::ServeConfig;
 pub use policy::{AdmissionPolicy, QueuedEntry};
 pub use pool::SessionPool;
-pub use report::{RequestReport, SchemeStats, ServeReport, TickTrace};
+pub use report::{percentile, RequestReport, SchemeStats, ServeReport, TickTrace};
 pub use request::GenerateRequest;
 pub use runtime::ServeRuntime;
 
@@ -158,6 +158,11 @@ pub enum ServeError {
     UnitPanicked,
     /// A worker thread disappeared mid-run (its channel closed).
     WorkerLost,
+    /// A streaming run is already open ([`ServeRuntime::begin`] or
+    /// [`ServeRuntime::serve`] while one is active).
+    RunActive,
+    /// No streaming run is open — call [`ServeRuntime::begin`] first.
+    NoActiveRun,
 }
 
 impl fmt::Display for ServeError {
@@ -174,6 +179,10 @@ impl fmt::Display for ServeError {
                 write!(f, "a work unit panicked mid-run (its session was lost)")
             }
             ServeError::WorkerLost => write!(f, "a worker thread disappeared mid-run"),
+            ServeError::RunActive => write!(f, "a streaming run is already active"),
+            ServeError::NoActiveRun => {
+                write!(f, "no active streaming run — call begin() first")
+            }
         }
     }
 }

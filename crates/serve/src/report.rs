@@ -4,6 +4,43 @@
 use bbal_accel::EnergyBreakdown;
 use bbal_core::SchemeSpec;
 
+/// Nearest-rank percentile of `values` (need not be sorted): the
+/// element at 1-indexed sorted rank `⌈p/100 · n⌉`, clamped to `[1, n]`.
+///
+/// This is the classic nearest-rank definition — the result is always
+/// an element of the sample, never an interpolation. Consequences worth
+/// pinning down:
+///
+/// * `p = 0` (rank clamps to 1) returns the minimum; `p = 100` the
+///   maximum; `p = 50` of `n = 2` returns the *smaller* element
+///   (`⌈1⌉ = 1`), not their midpoint.
+/// * Ties need no special casing: repeated values occupy consecutive
+///   ranks, so an all-equal sample returns that value at every `p`.
+/// * `n = 1` returns the lone element at every `p`.
+///
+/// NaN values sort last ([`f64::total_cmp`]); percentiles of clean data
+/// are unaffected by the ordering rule. Returns `None` on an empty
+/// slice.
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable_by(f64::total_cmp);
+    let n = sorted.len();
+    // Snap to the nearest integer before ceiling: `p/100 · n` for an
+    // exactly-representable rank (99.9% of 1000 = 999) can land a hair
+    // above it in binary and would otherwise ceil one rank too far.
+    let raw = p / 100.0 * n as f64;
+    let rank_f = if (raw - raw.round()).abs() < 1e-9 {
+        raw.round()
+    } else {
+        raw.ceil()
+    };
+    let rank = (rank_f as usize).clamp(1, n);
+    Some(sorted[rank - 1])
+}
+
 /// Outcome of one served request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RequestReport {
@@ -185,6 +222,20 @@ pub struct ServeReport {
     /// attention operands generically); [`ServeReport::total_energy_pj`]
     /// is the sum.
     pub kv_dram_energy_pj: f64,
+    /// Tensor-parallel shards the run was costed at (1 = a single
+    /// array, no interconnect traffic).
+    pub tensor_shards: usize,
+    /// Ring all-reduces performed across the shard group (two per
+    /// decoder layer per tick when `tensor_shards > 1`, zero otherwise).
+    pub interconnect_allreduces: u64,
+    /// Total bytes the all-reduces put on the interconnect, summed over
+    /// every link.
+    pub interconnect_wire_bytes: u64,
+    /// Transfer energy of the interconnect traffic, pJ. Like
+    /// [`ServeReport::kv_dram_energy_pj`], a separate meter on top of
+    /// the operator-level simulator; [`ServeReport::total_energy_pj`]
+    /// includes it.
+    pub interconnect_energy_pj: f64,
 }
 
 impl PartialEq for ServeReport {
@@ -204,6 +255,10 @@ impl PartialEq for ServeReport {
             && self.kv_read_bytes == other.kv_read_bytes
             && self.kv_write_bytes == other.kv_write_bytes
             && self.kv_dram_energy_pj == other.kv_dram_energy_pj
+            && self.tensor_shards == other.tensor_shards
+            && self.interconnect_allreduces == other.interconnect_allreduces
+            && self.interconnect_wire_bytes == other.interconnect_wire_bytes
+            && self.interconnect_energy_pj == other.interconnect_energy_pj
             && self.energy == other.energy
     }
 }
@@ -231,9 +286,12 @@ impl ServeReport {
         self.kv_read_bytes + self.kv_write_bytes
     }
 
-    /// Accelerator energy plus KV DRAM energy, pJ.
+    /// Accelerator energy plus KV DRAM energy plus interconnect
+    /// energy, pJ. (The [`ServeReport::energy`] component breakdown
+    /// matches this total exactly when `tensor_shards == 1`; sharded
+    /// runs add the interconnect meter on top.)
     pub fn total_energy_pj(&self) -> f64 {
-        self.energy_pj + self.kv_dram_energy_pj
+        self.energy_pj + self.kv_dram_energy_pj + self.interconnect_energy_pj
     }
 
     /// Total generated tokens across all requests.
@@ -286,6 +344,31 @@ impl ServeReport {
     /// Mean time to first token, ms.
     pub fn mean_ttft_ms(&self) -> f64 {
         self.mean_over_requests(|r| self.cycles_to_ms(r.ttft_cycles()))
+    }
+
+    /// Nearest-rank percentile of time to first token over the served
+    /// requests, ms (see [`percentile`]; `p` in `[0, 100]`, e.g. `99.9`
+    /// for p999). 0.0 when nothing was served.
+    pub fn ttft_percentile_ms(&self, p: f64) -> f64 {
+        let v: Vec<f64> = self
+            .served()
+            .map(|r| self.cycles_to_ms(r.ttft_cycles()))
+            .collect();
+        percentile(&v, p).unwrap_or(0.0)
+    }
+
+    /// Nearest-rank percentile of per-request mean time per output
+    /// token, ms. Follows the same rule as [`ServeReport::mean_tpot_ms`]:
+    /// single-token requests have no inter-token interval and are
+    /// excluded. 0.0 if no request produced a second token.
+    pub fn tpot_percentile_ms(&self, p: f64) -> f64 {
+        let v: Vec<f64> = self
+            .requests
+            .iter()
+            .filter(|r| r.tokens.len() >= 2)
+            .map(|r| r.tpot_cycles() / (self.clock_ghz * 1.0e6))
+            .collect();
+        percentile(&v, p).unwrap_or(0.0)
     }
 
     /// Worst time to first token, ms.
@@ -507,7 +590,55 @@ mod tests {
             kv_read_bytes: 96,
             kv_write_bytes: 32,
             kv_dram_energy_pj: 6.0,
+            tensor_shards: 1,
+            interconnect_allreduces: 0,
+            interconnect_wire_bytes: 0,
+            interconnect_energy_pj: 0.0,
         }
+    }
+
+    #[test]
+    fn percentile_nearest_rank_edges() {
+        // Empty: undefined.
+        assert_eq!(percentile(&[], 50.0), None);
+        // n = 1: the lone element at every p.
+        for p in [0.0, 50.0, 99.9, 100.0] {
+            assert_eq!(percentile(&[3.5], p), Some(3.5));
+        }
+        // n = 2: nearest rank takes the *smaller* element at p50
+        // (rank ⌈0.5·2⌉ = 1), the larger from p51 up.
+        assert_eq!(percentile(&[8.0, 2.0], 50.0), Some(2.0));
+        assert_eq!(percentile(&[8.0, 2.0], 50.1), Some(8.0));
+        assert_eq!(percentile(&[8.0, 2.0], 0.0), Some(2.0));
+        assert_eq!(percentile(&[8.0, 2.0], 100.0), Some(8.0));
+        // All-equal: ties collapse to the value at every p.
+        let same = [4.0; 7];
+        for p in [0.0, 10.0, 50.0, 99.0, 100.0] {
+            assert_eq!(percentile(&same, p), Some(4.0));
+        }
+        // A real tail: p99/p999 of 0..1000 pick elements, never
+        // interpolations.
+        let v: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 50.0), Some(499.0));
+        assert_eq!(percentile(&v, 99.0), Some(989.0));
+        assert_eq!(percentile(&v, 99.9), Some(998.0));
+        assert_eq!(percentile(&v, 100.0), Some(999.0));
+    }
+
+    #[test]
+    fn report_percentiles_follow_the_served_requests() {
+        let r = report();
+        // TTFTs are 1.0 ms and 1.5 ms; p50 nearest-rank = 1.0, p100 = 1.5.
+        assert_eq!(r.ttft_percentile_ms(50.0), 1.0);
+        assert_eq!(r.ttft_percentile_ms(100.0), 1.5);
+        // Only request 0 has an inter-token interval: every TPOT
+        // percentile is its 1.0 ms.
+        assert_eq!(r.tpot_percentile_ms(50.0), 1.0);
+        assert_eq!(r.tpot_percentile_ms(99.9), 1.0);
+        // No multi-token requests -> no defined TPOT percentile.
+        let mut singles = report();
+        singles.requests.retain(|q| q.tokens.len() < 2);
+        assert_eq!(singles.tpot_percentile_ms(99.0), 0.0);
     }
 
     #[test]

@@ -45,7 +45,8 @@
 #![warn(missing_debug_implementations)]
 
 use bbal_accel::{
-    simulate_with, AcceleratorConfig, BbalEngine, ConfigError, NonlinearTiming, SimReport,
+    shard_ops, simulate_with, AcceleratorConfig, BbalEngine, ConfigError, NonlinearTiming,
+    SimReport,
 };
 use bbal_arith::GateLibrary;
 use bbal_core::{SchemeError, SchemeSpec};
@@ -784,6 +785,52 @@ impl Session {
         let cfg = self.accelerator_config()?;
         let ops = decode_step_ops(&self.simulated_dims(), kv_len);
         Ok(simulate_with(&cfg, &ops, &self.lib, timing))
+    }
+
+    /// Simulates a prefill pass split tensor-parallel across `shards`
+    /// identical arrays (Megatron split, see [`bbal_accel::shard_ops`]).
+    /// Returns one shard's cycle/energy report — shards run the same
+    /// shapes in lockstep, so the group's latency is one shard's latency
+    /// plus the all-reduce time `bbal_mem::interconnect` charges on top.
+    /// `shards <= 1` matches [`Session::simulate_prefill`] exactly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Session::accelerator_config`] errors.
+    pub fn simulate_prefill_sharded(
+        &self,
+        seq_len: usize,
+        shards: usize,
+    ) -> Result<SimReport, SessionError> {
+        let cfg = self.accelerator_config()?;
+        let ops = shard_ops(&decoder_ops(&self.simulated_dims(), seq_len), shards);
+        Ok(simulate_with(
+            &cfg,
+            &ops,
+            &self.lib,
+            NonlinearTiming::BbalUnit,
+        ))
+    }
+
+    /// Simulates one decode step split tensor-parallel across `shards`
+    /// arrays; the sharded counterpart of [`Session::simulate_decode`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Session::accelerator_config`] errors.
+    pub fn simulate_decode_sharded(
+        &self,
+        kv_len: usize,
+        shards: usize,
+    ) -> Result<SimReport, SessionError> {
+        let cfg = self.accelerator_config()?;
+        let ops = shard_ops(&decode_step_ops(&self.simulated_dims(), kv_len), shards);
+        Ok(simulate_with(
+            &cfg,
+            &ops,
+            &self.lib,
+            NonlinearTiming::BbalUnit,
+        ))
     }
 
     /// The bit-faithful hardware datapath (PE array + nonlinear unit)

@@ -16,6 +16,7 @@
 //! | Accelerator + cycle simulator | [`accel`] (`bbal-accel`) | §IV-C, Figs 1(b)/8/9 |
 //! | [`Session`]/[`SessionBuilder`] facade | [`session`] (`bbal-session`) | end-to-end (Fig. 7) |
 //! | Continuous-batching serving runtime | [`serve`] (`bbal-serve`) | beyond the paper |
+//! | Multi-accelerator fleet + trace generation | [`fleet`] (`bbal-fleet`) | beyond the paper |
 //!
 //! ## Quickstart
 //!
@@ -86,6 +87,24 @@
 //! # Ok::<(), bbal::serve::ServeError>(())
 //! ```
 //!
+//! And above a single runtime sits the *fleet*: N replicas behind a
+//! router, fed by a seeded trace generator, measured with SLO-grade
+//! percentiles and goodput:
+//!
+//! ```
+//! use bbal::fleet::{Fleet, ReplicaSpec, RoutePolicy, TraceConfig};
+//!
+//! let mut fleet = Fleet::new(
+//!     vec![ReplicaSpec::new("a0", "Tiny"), ReplicaSpec::new("a1", "Tiny")],
+//!     RoutePolicy::LeastLoaded,
+//! )?;
+//! let trace = TraceConfig::tiny_test(24).generate(7);
+//! let report = fleet.serve(&trace)?;
+//! assert!(report.fleet_tokens_per_s() > 0.0);
+//! assert!(report.ttft_percentile_ms(99.0) >= report.ttft_percentile_ms(50.0));
+//! # Ok::<(), bbal::fleet::FleetError>(())
+//! ```
+//!
 //! ## Reproducing the paper
 //!
 //! Every table and figure has a dedicated binary in `bbal-bench`:
@@ -97,6 +116,7 @@
 pub use bbal_accel as accel;
 pub use bbal_arith as arith;
 pub use bbal_core as core;
+pub use bbal_fleet as fleet;
 pub use bbal_llm as llm;
 pub use bbal_mem as mem;
 pub use bbal_nonlinear as nonlinear;

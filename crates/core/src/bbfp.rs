@@ -198,7 +198,12 @@ impl BbfpBlock {
 }
 
 /// Encodes a single FP16 value against a given shared exponent.
-fn encode_element(v: Fp16, config: BbfpConfig, shared: i32, rounding: RoundingMode) -> BbfpElement {
+pub(crate) fn encode_element(
+    v: Fp16,
+    config: BbfpConfig,
+    shared: i32,
+    rounding: RoundingMode,
+) -> BbfpElement {
     let m = config.mantissa_bits() as i32;
     let o = config.overlap_bits() as i32;
     let max_mantissa = (1u64 << m) - 1;
@@ -282,11 +287,10 @@ pub fn bbfp_quantize_slice_with(
 ) {
     assert_eq!(values.len(), out.len(), "output buffer length mismatch");
     let n = config.block_size();
+    let mut fp16: Vec<Fp16> = Vec::with_capacity(n);
     for (chunk, out_chunk) in values.chunks(n).zip(out.chunks_mut(n)) {
-        let fp16: Vec<Fp16> = chunk
-            .iter()
-            .map(|&v| Fp16::from_f32_saturating(v))
-            .collect();
+        fp16.clear();
+        fp16.extend(chunk.iter().map(|&v| Fp16::from_f32_saturating(v)));
         let shared = policy.shared_exponent(max_exponent(&fp16));
         let scale = exp2i(shared - 14 - config.mantissa_bits() as i32);
         let flag_scale = config.flag_scale();

@@ -216,11 +216,10 @@ pub fn bfp_quantize_slice(
     let n = config.block_size();
     let m = config.mantissa_bits() as u32;
     let max_mantissa = (1u64 << m) - 1;
+    let mut fp16: Vec<Fp16> = Vec::with_capacity(n);
     for (chunk, out_chunk) in values.chunks(n).zip(out.chunks_mut(n)) {
-        let fp16: Vec<Fp16> = chunk
-            .iter()
-            .map(|&v| Fp16::from_f32_saturating(v))
-            .collect();
+        fp16.clear();
+        fp16.extend(chunk.iter().map(|&v| Fp16::from_f32_saturating(v)));
         let shared = max_exponent(&fp16);
         let scale = exp2i(shared - 14 - m as i32);
         for (v, o) in fp16.iter().zip(out_chunk.iter_mut()) {

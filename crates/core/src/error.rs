@@ -34,6 +34,11 @@ pub enum FormatError {
     NonFinite(usize),
     /// Dot products require both operands to share one configuration.
     ConfigMismatch,
+    /// A value handed to a packed encoder is not exactly representable
+    /// in the target scheme (i.e. it was not produced by that scheme's
+    /// quantiser), so the packed layout could not reproduce it
+    /// bit-for-bit.
+    NotRepresentable(usize),
 }
 
 impl fmt::Display for FormatError {
@@ -60,6 +65,12 @@ impl fmt::Display for FormatError {
             }
             FormatError::ConfigMismatch => {
                 write!(f, "operands use different block format configurations")
+            }
+            FormatError::NotRepresentable(i) => {
+                write!(
+                    f,
+                    "value at index {i} is not exactly representable in the target scheme"
+                )
             }
         }
     }

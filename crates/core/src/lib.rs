@@ -46,6 +46,7 @@ pub mod error;
 pub mod format;
 pub mod fp16;
 pub mod overlap;
+pub mod packed;
 pub mod policy;
 pub mod rounding;
 pub mod scheme;
@@ -57,6 +58,7 @@ pub use error::FormatError;
 pub use format::{BbfpConfig, BfpConfig, FormatCost, DEFAULT_BLOCK_SIZE, SHARED_EXPONENT_BITS};
 pub use fp16::Fp16;
 pub use overlap::{select_overlap_width, OverlapScore, OverlapSearch};
+pub use packed::{BlockScheme, LayoutKind, PackedBlock, PackedMatrix};
 pub use policy::ExponentPolicy;
 pub use rounding::RoundingMode;
 pub use scheme::{SchemeError, SchemeSpec};

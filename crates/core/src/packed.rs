@@ -1,0 +1,1078 @@
+//! Packed quantised matrix storage and block-dot GEMM kernels.
+//!
+//! [`crate::bitpack`] defines the bit-exact storage layout of a single
+//! block; this module promotes it to the *storage format* of whole
+//! matrices. A [`PackedMatrix`] holds a weight matrix in its scheme's
+//! native layout — one 5-bit shared exponent per block followed by the
+//! packed `sign|mantissa` (BFP) or `sign|flag|mantissa` (BBFP) element
+//! payloads, with no padding between fields — plus the two kernel
+//! operands that layout factors every weight into:
+//!
+//! ```text
+//!   block b:   [ e₄e₃e₂e₁e₀ | s f m₃m₂m₁m₀ | s f m₃m₂m₁m₀ | … ]
+//!               `────┬────'   `─────┬─────'
+//!            shared exponent   one element lane (BBFP: flag picks the
+//!                              high window, worth ×2^(m−o))
+//!
+//!   weight[j] = mantissa-lane[j] × 2^(shared(b) − 14 − m)
+//!               `──────┬──────'    `────────┬──────────'
+//!               small signed        one power-of-two scale
+//!               integer (f32)       per block
+//! ```
+//!
+//! The kernels exploit that factoring: [`PackedBlock::block_dot`]
+//! accumulates activation × mantissa-integer products and applies the
+//! shared-exponent scale **once per block**; the [`PackedMatrix`] GEMMs
+//! fold the block scale into the broadcast activation (`a·2^s` is exact
+//! — a power-of-two scale only shifts the exponent) so the inner loop is
+//! a plain fused multiply-accumulate over the mantissa lane. No
+//! per-element f32 re-quantisation happens anywhere on the hot path.
+//!
+//! ## The bit-identity invariant
+//!
+//! Every kernel here is **bit-identical** to the scalar f32 reference
+//! path (`Tensor::matmul` over the decoded weights) by construction:
+//!
+//! * decoding is exact: `mantissa × 2^s` is a representable f32 (it *is*
+//!   the stored weight), so the mantissa lane plus block scale lose
+//!   nothing;
+//! * power-of-two scaling commutes with rounding: `fl(a·(m·2^s)) =
+//!   fl((a·2^s)·m) = fl(a·m)·2^s` whenever no intermediate is subnormal
+//!   or infinite — true for the exponent ranges block formats produce;
+//! * accumulation order is preserved: the GEMMs accumulate each output
+//!   element in ascending-`k` order with the same `a == 0.0` skip as the
+//!   reference i-k-j loop, and `fl((x+y)·2^s) = fl(x·2^s + y·2^s)` makes
+//!   the once-per-block scaling of `block_dot` equal to scaling every
+//!   partial sum.
+//!
+//! Schemes whose scales are *not* powers of two (olive, oltron,
+//! omniquant, int) cannot use the block layout; [`PackedMatrix::pack`]
+//! stores them as a dense f32 lane instead ([`LayoutKind::Dense`]), and
+//! FP16 keeps its raw bits next to an exact f32 lane
+//! ([`LayoutKind::Fp16`]). Packing *verifies* itself: the packed bytes
+//! are decoded and compared bit-for-bit against the input, falling back
+//! to the dense layout on any mismatch, so the invariant holds
+//! unconditionally.
+
+use crate::bbfp::encode_element;
+use crate::bfp::{exp2i, max_exponent};
+use crate::bitpack::{BitReader, BitWriter};
+use crate::error::FormatError;
+use crate::format::{BbfpConfig, BfpConfig, SHARED_EXPONENT_BITS};
+use crate::fp16::{Fp16, SIGNIFICAND_BITS};
+use crate::policy::ExponentPolicy;
+use crate::rounding::RoundingMode;
+use crate::scheme::SchemeSpec;
+
+/// The block-format family a [`PackedBlock`] or block-layout
+/// [`PackedMatrix`] is encoded in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockScheme {
+    /// Vanilla BFP: `sign|mantissa` elements.
+    Bfp(BfpConfig),
+    /// Bidirectional BFP: `sign|flag|mantissa` elements, the flag worth
+    /// `×2^(m−o)`.
+    Bbfp(BbfpConfig),
+}
+
+impl BlockScheme {
+    /// The block-format mapping of `scheme`, if it has one.
+    pub fn from_scheme(scheme: SchemeSpec) -> Option<BlockScheme> {
+        match scheme {
+            SchemeSpec::Bfp(m) => BfpConfig::new(m).ok().map(BlockScheme::Bfp),
+            SchemeSpec::Bbfp(m, o) => BbfpConfig::new(m, o).ok().map(BlockScheme::Bbfp),
+            _ => None,
+        }
+    }
+
+    /// Elements per block.
+    pub fn block_size(&self) -> usize {
+        match self {
+            BlockScheme::Bfp(c) => c.block_size(),
+            BlockScheme::Bbfp(c) => c.block_size(),
+        }
+    }
+
+    /// Mantissa bits per element.
+    pub fn mantissa_bits(&self) -> u8 {
+        match self {
+            BlockScheme::Bfp(c) => c.mantissa_bits(),
+            BlockScheme::Bbfp(c) => c.mantissa_bits(),
+        }
+    }
+
+    /// Packed payload bits per element (`1+m` for BFP, `2+m` for BBFP).
+    pub fn element_bits(&self) -> usize {
+        match self {
+            BlockScheme::Bfp(c) => 1 + c.mantissa_bits() as usize,
+            BlockScheme::Bbfp(c) => 2 + c.mantissa_bits() as usize,
+        }
+    }
+}
+
+/// One encoded element: the signed effective mantissa (flag already
+/// applied for BBFP) and the raw fields to pack.
+#[derive(Debug, Clone, Copy)]
+struct EncodedElement {
+    sign: bool,
+    flag: bool,
+    mantissa: u16,
+}
+
+impl EncodedElement {
+    /// The element's value in mantissa units, as an exactly-representable
+    /// f32 (signed; `-0.0` for a negative-signed zero mantissa, so the
+    /// lane reproduces the quantiser's signed zeros bit-for-bit).
+    fn lane_value(&self, scheme: &BlockScheme) -> f32 {
+        let f = match (self.flag, scheme) {
+            (true, BlockScheme::Bbfp(c)) => c.flag_scale(),
+            _ => 1,
+        };
+        let mag = (self.mantissa as u32 * f) as f32;
+        if self.sign {
+            -mag
+        } else {
+            mag
+        }
+    }
+}
+
+/// Encodes one chunk (a full block or a ragged tail) of *already
+/// quantised* values against its own shared exponent — exactly the
+/// per-chunk step of [`crate::bfp::bfp_quantize_slice`] /
+/// [`crate::bbfp::bbfp_quantize_slice`], so re-encoding a quantised
+/// chunk is the identity.
+fn encode_chunk(values: &[f32], scheme: &BlockScheme) -> (i32, Vec<EncodedElement>) {
+    let fp16: Vec<Fp16> = values
+        .iter()
+        .map(|&v| Fp16::from_f32_saturating(v))
+        .collect();
+    match scheme {
+        BlockScheme::Bfp(cfg) => {
+            let shared = max_exponent(&fp16);
+            let m = cfg.mantissa_bits() as u32;
+            let max_mantissa = (1u64 << m) - 1;
+            let elements = fp16
+                .iter()
+                .map(|v| {
+                    let (sig, exp) = v.significand();
+                    let shift = (SIGNIFICAND_BITS - m) as i32 + (shared - exp);
+                    let q = RoundingMode::NearestEven
+                        .shift_right(sig as u64, shift as u32)
+                        .min(max_mantissa);
+                    EncodedElement {
+                        sign: v.is_sign_negative(),
+                        flag: false,
+                        mantissa: q as u16,
+                    }
+                })
+                .collect();
+            (shared, elements)
+        }
+        BlockScheme::Bbfp(cfg) => {
+            let policy = ExponentPolicy::paper_default(*cfg);
+            let shared = policy.shared_exponent(max_exponent(&fp16));
+            let elements = fp16
+                .iter()
+                .map(|v| {
+                    let e = encode_element(*v, *cfg, shared, RoundingMode::NearestEven);
+                    EncodedElement {
+                        sign: e.sign,
+                        flag: e.flag,
+                        mantissa: e.mantissa,
+                    }
+                })
+                .collect();
+            (shared, elements)
+        }
+    }
+}
+
+/// Decodes one chunk's reconstruction from its shared exponent and
+/// elements: `±(mantissa·flag_scale) × 2^(shared−14−m)`.
+fn decode_value(shared: i32, e: &EncodedElement, scheme: &BlockScheme) -> f32 {
+    let scale = exp2i(shared - 14 - scheme.mantissa_bits() as i32);
+    let lane = e.lane_value(scheme);
+    lane * scale
+}
+
+/// One block (up to `block_size` values) stored in its packed bit
+/// layout: 5-bit shared exponent, then the per-element payloads.
+///
+/// This is the single-block face of the packed storage format — the
+/// proptest battery drives it directly. [`PackedBlock::block_dot`] is
+/// the paper-shaped kernel: mantissa-integer products accumulate first,
+/// the shared-exponent scale applies once at the end.
+///
+/// ```
+/// use bbal_core::packed::{BlockScheme, PackedBlock};
+/// use bbal_core::{bfp_quantize_slice, BfpConfig, RoundingMode, SchemeSpec};
+///
+/// let cfg = BfpConfig::new(4)?;
+/// let raw: Vec<f32> = (0..32).map(|i| (i as f32 - 16.0) * 0.1).collect();
+/// let mut q = vec![0.0; 32];
+/// bfp_quantize_slice(&raw, cfg, RoundingMode::NearestEven, &mut q);
+///
+/// let scheme = BlockScheme::from_scheme(SchemeSpec::Bfp(4)).unwrap();
+/// let block = PackedBlock::encode(&q, scheme)?;
+/// assert_eq!(block.decode(), q); // exact round trip
+///
+/// let acts = vec![1.0f32; 32];
+/// let reference: f32 = q.iter().fold(0.0, |acc, w| acc + 1.0 * w);
+/// assert_eq!(block.block_dot(&acts), reference); // bit-identical
+/// # Ok::<(), bbal_core::FormatError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedBlock {
+    scheme: BlockScheme,
+    len: usize,
+    shared_exponent: i32,
+    bytes: Vec<u8>,
+}
+
+impl PackedBlock {
+    /// Encodes a slice of **already quantised** values (at most one
+    /// block) into the packed layout, verifying that decoding the packed
+    /// bytes reproduces the input bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// [`FormatError::LengthMismatch`] if `values` is empty or longer
+    /// than the scheme's block size, [`FormatError::NonFinite`] on NaN
+    /// or infinity, and [`FormatError::NotRepresentable`] if any value
+    /// is not exactly representable in the scheme (i.e. the input was
+    /// not produced by this scheme's quantiser).
+    pub fn encode(values: &[f32], scheme: BlockScheme) -> Result<PackedBlock, FormatError> {
+        let bs = scheme.block_size();
+        if values.is_empty() || values.len() > bs {
+            return Err(FormatError::LengthMismatch {
+                got: values.len(),
+                expected: bs,
+            });
+        }
+        for (i, v) in values.iter().enumerate() {
+            if !v.is_finite() {
+                return Err(FormatError::NonFinite(i));
+            }
+        }
+        let (shared, elements) = encode_chunk(values, &scheme);
+        for (i, (v, e)) in values.iter().zip(&elements).enumerate() {
+            if decode_value(shared, e, &scheme).to_bits() != v.to_bits() {
+                return Err(FormatError::NotRepresentable(i));
+            }
+        }
+        let mut w = BitWriter::new();
+        write_chunk(&mut w, shared, &elements, &scheme);
+        Ok(PackedBlock {
+            scheme,
+            len: values.len(),
+            shared_exponent: shared,
+            bytes: w.into_bytes(),
+        })
+    }
+
+    /// The scheme this block is packed in.
+    pub fn scheme(&self) -> BlockScheme {
+        self.scheme
+    }
+
+    /// Number of encoded values.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the block holds no values (never — encoding rejects
+    /// empty input — but clippy insists `len` has an `is_empty`).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The shared biased exponent of the block.
+    pub fn shared_exponent(&self) -> i32 {
+        self.shared_exponent
+    }
+
+    /// The packed bytes (5-bit shared exponent, then element payloads).
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Exact packed size in bits.
+    pub fn packed_bits(&self) -> usize {
+        SHARED_EXPONENT_BITS as usize + self.len * self.scheme.element_bits()
+    }
+
+    /// Decodes the packed bytes back to f32 values — the exact inverse
+    /// of [`PackedBlock::encode`].
+    pub fn decode(&self) -> Vec<f32> {
+        let mut r = BitReader::new(&self.bytes);
+        let (shared, elements) = read_chunk(&mut r, self.len, &self.scheme);
+        elements
+            .iter()
+            .map(|e| decode_value(shared, e, &self.scheme))
+            .collect()
+    }
+
+    /// The block-dot kernel: accumulates activation × mantissa-integer
+    /// products straight off the packed bits and applies the
+    /// shared-exponent scale **once**, after the loop. Bit-identical to
+    /// the f32 reference `Σ fl(aⱼ·wⱼ)` accumulated in order (power-of-two
+    /// scaling commutes with every rounding in the sum).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acts.len() != self.len()`.
+    pub fn block_dot(&self, acts: &[f32]) -> f32 {
+        assert_eq!(acts.len(), self.len, "activation length mismatch");
+        let mut r = BitReader::new(&self.bytes);
+        let (shared, elements) = read_chunk(&mut r, self.len, &self.scheme);
+        let mut acc = 0.0f32;
+        for (a, e) in acts.iter().zip(&elements) {
+            acc += a * e.lane_value(&self.scheme);
+        }
+        acc * exp2i(shared - 14 - self.scheme.mantissa_bits() as i32)
+    }
+}
+
+/// Writes one chunk into `w`: shared exponent then element payloads.
+fn write_chunk(w: &mut BitWriter, shared: i32, elements: &[EncodedElement], scheme: &BlockScheme) {
+    w.push(shared as u32, SHARED_EXPONENT_BITS);
+    let m = scheme.mantissa_bits() as u32;
+    for e in elements {
+        w.push(e.sign as u32, 1);
+        if matches!(scheme, BlockScheme::Bbfp(_)) {
+            w.push(e.flag as u32, 1);
+        }
+        w.push(e.mantissa as u32, m);
+    }
+}
+
+/// Reads one chunk of `len` elements from `r`.
+fn read_chunk(
+    r: &mut BitReader<'_>,
+    len: usize,
+    scheme: &BlockScheme,
+) -> (i32, Vec<EncodedElement>) {
+    let shared = r.read(SHARED_EXPONENT_BITS).expect("packed buffer intact") as i32;
+    let m = scheme.mantissa_bits() as u32;
+    let mut elements = Vec::with_capacity(len);
+    for _ in 0..len {
+        let sign = r.read(1).expect("packed buffer intact") == 1;
+        let flag =
+            matches!(scheme, BlockScheme::Bbfp(_)) && r.read(1).expect("packed buffer intact") == 1;
+        let mantissa = r.read(m).expect("packed buffer intact") as u16;
+        elements.push(EncodedElement {
+            sign,
+            flag,
+            mantissa,
+        });
+    }
+    (shared, elements)
+}
+
+/// Which storage layout a [`PackedMatrix`] ended up with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayoutKind {
+    /// Plain f32 — schemes without power-of-two block scales, or the
+    /// verified fallback.
+    Dense,
+    /// Raw IEEE binary16 bits plus an exact f32 lane.
+    Fp16,
+    /// Native block layout: packed bits + mantissa lane + per-block
+    /// power-of-two scales.
+    Block,
+}
+
+#[derive(Debug, Clone)]
+enum Layout {
+    Dense {
+        lane: Vec<f32>,
+    },
+    Fp16 {
+        bits: Vec<u16>,
+        lane: Vec<f32>,
+    },
+    Block {
+        scheme: BlockScheme,
+        /// Packed bits of every block, concatenated with no padding.
+        bytes: Vec<u8>,
+        bit_len: usize,
+        /// Signed effective mantissas (flag applied), one per element.
+        lane: Vec<f32>,
+        /// One power-of-two scale per 32-element block of the flat
+        /// row-major buffer (final block may be ragged).
+        scale: Vec<f32>,
+    },
+}
+
+/// A weight matrix stored in its quantisation scheme's packed layout,
+/// with GEMM kernels that are bit-identical to the scalar f32 reference
+/// path (see the module docs for the invariant and its proof sketch).
+///
+/// Blocks run along the **flat row-major buffer** — the same geometry
+/// the slice quantisers use — so packing the output of
+/// `transform_weights` is the identity and every decoder dimension that
+/// is a multiple of the block size gets row-aligned blocks for free.
+///
+/// ```
+/// use bbal_core::packed::{LayoutKind, PackedMatrix};
+/// use bbal_core::{bbfp_quantize_slice, BbfpConfig, RoundingMode, SchemeSpec};
+///
+/// let cfg = BbfpConfig::new(4, 2)?;
+/// let raw: Vec<f32> = (0..64).map(|i| ((i * 7 % 23) as f32 - 11.0) * 0.07).collect();
+/// let mut q = vec![0.0; 64];
+/// bbfp_quantize_slice(&raw, cfg, RoundingMode::NearestEven, &mut q);
+///
+/// let packed = PackedMatrix::pack(&q, 2, 32, SchemeSpec::Bbfp(4, 2));
+/// assert_eq!(packed.layout_kind(), LayoutKind::Block);
+/// assert_eq!(packed.decode(), q); // exact round trip from the bits
+///
+/// // x · W, bit-identical to the f32 reference.
+/// let x = vec![0.5f32, -1.0];
+/// let mut out = vec![0.0; 32];
+/// packed.gemm(&x, 1, &mut out);
+/// let mut reference = vec![0.0f32; 32];
+/// for (k, &a) in x.iter().enumerate() {
+///     if a == 0.0 { continue; }
+///     for j in 0..32 {
+///         reference[j] += a * q[k * 32 + j];
+///     }
+/// }
+/// assert_eq!(out, reference);
+/// # Ok::<(), bbal_core::FormatError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PackedMatrix {
+    rows: usize,
+    cols: usize,
+    scheme: SchemeSpec,
+    layout: Layout,
+}
+
+/// Flat blocks are always this wide (the hardware block size every
+/// scheme in the registry uses).
+const BLOCK: usize = crate::format::DEFAULT_BLOCK_SIZE;
+
+impl PackedMatrix {
+    /// Packs an **already quantised** `rows × cols` row-major matrix
+    /// into `scheme`'s native layout.
+    ///
+    /// BFP/BBFP schemes get the block layout, FP16 the binary16 layout;
+    /// every other scheme — and any input the block encoder cannot
+    /// reproduce bit-for-bit (e.g. values that did not come from this
+    /// scheme's quantiser) — falls back to a dense f32 lane, so the
+    /// GEMM bit-identity invariant holds unconditionally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != rows * cols` or a dimension is zero.
+    pub fn pack(values: &[f32], rows: usize, cols: usize, scheme: SchemeSpec) -> PackedMatrix {
+        assert!(rows > 0 && cols > 0, "degenerate matrix {rows}x{cols}");
+        assert_eq!(values.len(), rows * cols, "data length mismatch");
+        let layout = match scheme {
+            SchemeSpec::Fp16 => pack_fp16(values),
+            SchemeSpec::Bfp(_) | SchemeSpec::Bbfp(_, _) => {
+                BlockScheme::from_scheme(scheme).and_then(|bs| pack_blocks(values, bs))
+            }
+            _ => None,
+        }
+        .unwrap_or_else(|| Layout::Dense {
+            lane: values.to_vec(),
+        });
+        PackedMatrix {
+            rows,
+            cols,
+            scheme,
+            layout,
+        }
+    }
+
+    /// Number of rows (the GEMM contraction length).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (the GEMM output width).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The scheme this matrix was packed for.
+    pub fn scheme(&self) -> SchemeSpec {
+        self.scheme
+    }
+
+    /// Which layout the matrix ended up in.
+    pub fn layout_kind(&self) -> LayoutKind {
+        match &self.layout {
+            Layout::Dense { .. } => LayoutKind::Dense,
+            Layout::Fp16 { .. } => LayoutKind::Fp16,
+            Layout::Block { .. } => LayoutKind::Block,
+        }
+    }
+
+    /// Exact storage size of the packed representation in bits
+    /// (`rows·cols·32` for the dense fallback — the honesty metric the
+    /// memory-density tests pin).
+    pub fn packed_bits(&self) -> usize {
+        match &self.layout {
+            Layout::Dense { lane } => lane.len() * 32,
+            Layout::Fp16 { bits, .. } => bits.len() * 16,
+            Layout::Block { bit_len, .. } => *bit_len,
+        }
+    }
+
+    /// Decodes the authoritative storage back to the full f32 matrix —
+    /// for the block layout that means reading the packed bits, not the
+    /// lane.
+    pub fn decode(&self) -> Vec<f32> {
+        match &self.layout {
+            Layout::Dense { lane } => lane.clone(),
+            Layout::Fp16 { bits, .. } => {
+                bits.iter().map(|&b| Fp16::from_bits(b).to_f32()).collect()
+            }
+            Layout::Block { scheme, bytes, .. } => {
+                let n = self.rows * self.cols;
+                let mut out = Vec::with_capacity(n);
+                let mut r = BitReader::new(bytes);
+                let mut done = 0;
+                while done < n {
+                    let len = BLOCK.min(n - done);
+                    let (shared, elements) = read_chunk(&mut r, len, scheme);
+                    for e in &elements {
+                        out.push(decode_value(shared, e, scheme));
+                    }
+                    done += len;
+                }
+                out
+            }
+        }
+    }
+
+    /// `x · W` for row-major `x` of shape `x_rows × self.rows`, writing
+    /// the full `x_rows × self.cols` product over `out`. Bit-identical
+    /// to the reference i-k-j f32 loop (ascending-`k` accumulation per
+    /// output element, `a == 0.0` rows skipped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != x_rows * self.rows` or
+    /// `out.len() != x_rows * self.cols`.
+    pub fn gemm(&self, x: &[f32], x_rows: usize, out: &mut [f32]) {
+        self.gemm_cols(x, x_rows, 0, self.cols, out);
+    }
+
+    /// As [`PackedMatrix::gemm`], but computes only output columns
+    /// `[c0, c1)`, written *compactly* into `out` (an
+    /// `x_rows × (c1−c0)` row-major buffer) — the unit of work a worker
+    /// pool splits a GEMM into, each worker owning a private output
+    /// strip. Any partition of `0..cols` reproduces
+    /// [`PackedMatrix::gemm`] exactly, because each output element is
+    /// owned by exactly one range and accumulated in the same `k`
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != x_rows * self.rows`,
+    /// `out.len() != x_rows * (c1 - c0)`, or the range is invalid.
+    pub fn gemm_cols(&self, x: &[f32], x_rows: usize, c0: usize, c1: usize, out: &mut [f32]) {
+        assert!(c0 < c1 && c1 <= self.cols, "bad column range {c0}..{c1}");
+        assert_eq!(x.len(), x_rows * self.rows, "x shape mismatch");
+        let width = c1 - c0;
+        assert_eq!(out.len(), x_rows * width, "out shape mismatch");
+        let (lane, scale) = self.kernel_operands();
+        let k_len = self.rows;
+        let n = self.cols;
+        for i in 0..x_rows {
+            let x_row = &x[i * k_len..(i + 1) * k_len];
+            let out_row = &mut out[i * width..(i + 1) * width];
+            out_row.fill(0.0);
+            match scale {
+                None => axpy_dense(x_row, lane, n, c0, c1, out_row),
+                Some(scale) => {
+                    if n.is_multiple_of(BLOCK)
+                        && c0.is_multiple_of(BLOCK)
+                        && c1.is_multiple_of(BLOCK)
+                    {
+                        axpy_block_aligned(x_row, lane, scale, n, c0, c1, out_row);
+                    } else {
+                        axpy_block_ragged(x_row, lane, scale, n, c0, c1, out_row);
+                    }
+                }
+            }
+        }
+    }
+
+    /// `x · Wᵀ` for row-major `x` of shape `x_rows × self.cols`, writing
+    /// `x_rows × self.rows` over `out`. Bit-identical to the reference
+    /// sequential-dot loop (`Tensor::matmul_transposed`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != x_rows * self.cols` or
+    /// `out.len() != x_rows * self.rows`.
+    pub fn gemm_transposed(&self, x: &[f32], x_rows: usize, out: &mut [f32]) {
+        self.gemm_transposed_rows(x, x_rows, 0, self.rows, out);
+    }
+
+    /// As [`PackedMatrix::gemm_transposed`], but computes only the
+    /// output columns corresponding to W rows `[r0, r1)`, written
+    /// compactly into `out` (an `x_rows × (r1−r0)` buffer) — the worker
+    /// split of the transposed GEMM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != x_rows * self.cols`,
+    /// `out.len() != x_rows * (r1 - r0)`, or the range is invalid.
+    pub fn gemm_transposed_rows(
+        &self,
+        x: &[f32],
+        x_rows: usize,
+        r0: usize,
+        r1: usize,
+        out: &mut [f32],
+    ) {
+        assert!(r0 < r1 && r1 <= self.rows, "bad row range {r0}..{r1}");
+        assert_eq!(x.len(), x_rows * self.cols, "x shape mismatch");
+        let width = r1 - r0;
+        assert_eq!(out.len(), x_rows * width, "out shape mismatch");
+        let (lane, scale) = self.kernel_operands();
+        let n = self.cols;
+        for i in 0..x_rows {
+            let x_row = &x[i * n..(i + 1) * n];
+            for r in r0..r1 {
+                let w_row = &lane[r * n..(r + 1) * n];
+                let acc = match scale {
+                    None => dot_plain(x_row, w_row),
+                    Some(scale) => dot_scaled(x_row, w_row, scale, r * n),
+                };
+                out[i * width + (r - r0)] = acc;
+            }
+        }
+    }
+
+    /// The kernel operands: the f32 lane and, for the block layout, the
+    /// per-block scales.
+    fn kernel_operands(&self) -> (&[f32], Option<&[f32]>) {
+        match &self.layout {
+            Layout::Dense { lane } => (lane, None),
+            Layout::Fp16 { lane, .. } => (lane, None),
+            Layout::Block { lane, scale, .. } => (lane, Some(scale)),
+        }
+    }
+}
+
+/// Packs FP16: raw bits + exact f32 lane; `None` if any value is not an
+/// exact binary16 (then the dense fallback keeps bit-identity).
+fn pack_fp16(values: &[f32]) -> Option<Layout> {
+    let mut bits = Vec::with_capacity(values.len());
+    let mut lane = Vec::with_capacity(values.len());
+    for &v in values {
+        let h = Fp16::from_f32_saturating(v);
+        let back = h.to_f32();
+        if back.to_bits() != v.to_bits() {
+            return None;
+        }
+        bits.push(h.to_bits());
+        lane.push(back);
+    }
+    Some(Layout::Fp16 { bits, lane })
+}
+
+/// Packs the block layout over the flat buffer; `None` if any block
+/// fails the bit-exact round-trip check.
+fn pack_blocks(values: &[f32], scheme: BlockScheme) -> Option<Layout> {
+    if scheme.block_size() != BLOCK {
+        return None;
+    }
+    let mut w = BitWriter::new();
+    let mut lane = Vec::with_capacity(values.len());
+    let mut scale = Vec::with_capacity(values.len().div_ceil(BLOCK));
+    for chunk in values.chunks(BLOCK) {
+        if chunk.iter().any(|v| !v.is_finite()) {
+            return None;
+        }
+        let (shared, elements) = encode_chunk(chunk, &scheme);
+        for (v, e) in chunk.iter().zip(&elements) {
+            if decode_value(shared, e, &scheme).to_bits() != v.to_bits() {
+                return None;
+            }
+            lane.push(e.lane_value(&scheme));
+        }
+        scale.push(exp2i(shared - 14 - scheme.mantissa_bits() as i32));
+        write_chunk(&mut w, shared, &elements, &scheme);
+    }
+    let bit_len = w.bit_len();
+    Some(Layout::Block {
+        scheme,
+        bytes: w.into_bytes(),
+        bit_len,
+        lane,
+        scale,
+    })
+}
+
+/// How many nonzero activation rows the fused axpy kernels fold per
+/// pass: quarters the read/write traffic on the output row, which is
+/// what bounds the scalar i-k-j loop.
+const KQUAD: usize = 4;
+
+/// Dense/FP16 axpy over columns `[c0, c1)`: ascending-`k`, zero-skip,
+/// four activation rows fused per pass (per-element accumulation order
+/// is unchanged by the fusion — each output element still sees its `+=`s
+/// in ascending `k`).
+fn axpy_dense(x_row: &[f32], lane: &[f32], n: usize, c0: usize, c1: usize, out_row: &mut [f32]) {
+    let width = c1 - c0;
+    let mut quad = [(0usize, 0.0f32); KQUAD];
+    let mut filled = 0;
+    for (k, &a) in x_row.iter().enumerate() {
+        if a == 0.0 {
+            continue;
+        }
+        quad[filled] = (k, a);
+        filled += 1;
+        if filled == KQUAD {
+            let [q0, q1, q2, q3] = quad;
+            let l0 = &lane[q0.0 * n + c0..q0.0 * n + c1];
+            let l1 = &lane[q1.0 * n + c0..q1.0 * n + c1];
+            let l2 = &lane[q2.0 * n + c0..q2.0 * n + c1];
+            let l3 = &lane[q3.0 * n + c0..q3.0 * n + c1];
+            for j in 0..width {
+                let mut v = out_row[j];
+                v += q0.1 * l0[j];
+                v += q1.1 * l1[j];
+                v += q2.1 * l2[j];
+                v += q3.1 * l3[j];
+                out_row[j] = v;
+            }
+            filled = 0;
+        }
+    }
+    for &(k, a) in &quad[..filled] {
+        let l = &lane[k * n + c0..k * n + c1];
+        for (o, &b) in out_row.iter_mut().zip(l) {
+            *o += a * b;
+        }
+    }
+}
+
+/// Block-layout axpy when every block boundary is column-aligned (the
+/// decoder-dimension fast path): the block scale folds into the
+/// broadcast activation once per block, and four activation rows fuse
+/// per pass exactly as in [`axpy_dense`].
+fn axpy_block_aligned(
+    x_row: &[f32],
+    lane: &[f32],
+    scale: &[f32],
+    n: usize,
+    c0: usize,
+    c1: usize,
+    out_row: &mut [f32],
+) {
+    let bpr = n / BLOCK;
+    let b0 = c0 / BLOCK;
+    let b1 = c1 / BLOCK;
+    let mut quad = [(0usize, 0.0f32); KQUAD];
+    let mut filled = 0;
+    for (k, &a) in x_row.iter().enumerate() {
+        if a == 0.0 {
+            continue;
+        }
+        quad[filled] = (k, a);
+        filled += 1;
+        if filled == KQUAD {
+            let [q0, q1, q2, q3] = quad;
+            for b in b0..b1 {
+                let j0 = b * BLOCK;
+                let as0 = q0.1 * scale[q0.0 * bpr + b];
+                let as1 = q1.1 * scale[q1.0 * bpr + b];
+                let as2 = q2.1 * scale[q2.0 * bpr + b];
+                let as3 = q3.1 * scale[q3.0 * bpr + b];
+                let l0 = &lane[q0.0 * n + j0..q0.0 * n + j0 + BLOCK];
+                let l1 = &lane[q1.0 * n + j0..q1.0 * n + j0 + BLOCK];
+                let l2 = &lane[q2.0 * n + j0..q2.0 * n + j0 + BLOCK];
+                let l3 = &lane[q3.0 * n + j0..q3.0 * n + j0 + BLOCK];
+                let o = &mut out_row[j0 - c0..j0 - c0 + BLOCK];
+                for j in 0..BLOCK {
+                    let mut v = o[j];
+                    v += as0 * l0[j];
+                    v += as1 * l1[j];
+                    v += as2 * l2[j];
+                    v += as3 * l3[j];
+                    o[j] = v;
+                }
+            }
+            filled = 0;
+        }
+    }
+    for &(k, a) in &quad[..filled] {
+        for b in b0..b1 {
+            let j0 = b * BLOCK;
+            let a_s = a * scale[k * bpr + b];
+            let l = &lane[k * n + j0..k * n + j0 + BLOCK];
+            let o = &mut out_row[j0 - c0..j0 - c0 + BLOCK];
+            for j in 0..BLOCK {
+                o[j] += a_s * l[j];
+            }
+        }
+    }
+}
+
+/// Block-layout axpy for arbitrary column ranges and widths (blocks run
+/// along the *flat* buffer, so a ragged matrix's block boundaries shift
+/// per row): walks each row's covered flat-block segments one at a time.
+fn axpy_block_ragged(
+    x_row: &[f32],
+    lane: &[f32],
+    scale: &[f32],
+    n: usize,
+    c0: usize,
+    c1: usize,
+    out_row: &mut [f32],
+) {
+    for (k, &a) in x_row.iter().enumerate() {
+        if a == 0.0 {
+            continue;
+        }
+        let mut j = c0;
+        while j < c1 {
+            let flat = k * n + j;
+            let block = flat / BLOCK;
+            let seg_end = c1.min(j + (BLOCK - flat % BLOCK));
+            let a_s = a * scale[block];
+            let l = &lane[flat..flat + (seg_end - j)];
+            let o = &mut out_row[j - c0..seg_end - c0];
+            for (ov, &lv) in o.iter_mut().zip(l) {
+                *ov += a_s * lv;
+            }
+            j = seg_end;
+        }
+    }
+}
+
+/// Sequential dot product (the transposed-GEMM reference order).
+fn dot_plain(x_row: &[f32], w_row: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for (x, y) in x_row.iter().zip(w_row) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// Sequential dot against the mantissa lane: the block scale folds into
+/// the activation at each flat-block boundary, keeping every partial
+/// product equal to `fl(aⱼ·wⱼ)` while the accumulator order matches the
+/// reference exactly.
+fn dot_scaled(x_row: &[f32], w_row: &[f32], scale: &[f32], flat0: usize) -> f32 {
+    let mut acc = 0.0f32;
+    let n = x_row.len();
+    let mut j = 0;
+    while j < n {
+        let flat = flat0 + j;
+        let block = flat / BLOCK;
+        let seg_end = n.min(j + (BLOCK - flat % BLOCK));
+        let s = scale[block];
+        for jj in j..seg_end {
+            acc += (x_row[jj] * s) * w_row[jj];
+        }
+        j = seg_end;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bbfp::bbfp_quantize_slice;
+    use crate::bfp::bfp_quantize_slice;
+
+    fn quantised(scheme: SchemeSpec, n: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 11) as f64 / (1u64 << 53) as f64 - 0.5) as f32
+        };
+        let raw: Vec<f32> = (0..n).map(|_| next() * 4.0).collect();
+        let mut out = vec![0.0; n];
+        match scheme {
+            SchemeSpec::Bfp(m) => bfp_quantize_slice(
+                &raw,
+                BfpConfig::new(m).unwrap(),
+                RoundingMode::NearestEven,
+                &mut out,
+            ),
+            SchemeSpec::Bbfp(m, o) => bbfp_quantize_slice(
+                &raw,
+                BbfpConfig::new(m, o).unwrap(),
+                RoundingMode::NearestEven,
+                &mut out,
+            ),
+            SchemeSpec::Fp16 => {
+                for (o, &v) in out.iter_mut().zip(&raw) {
+                    *o = Fp16::from_f32_saturating(v).to_f32();
+                }
+            }
+            _ => out.copy_from_slice(&raw),
+        }
+        out
+    }
+
+    /// The scalar reference: `Tensor::matmul`'s i-k-j loop.
+    fn reference_gemm(x: &[f32], x_rows: usize, w: &[f32], k_len: usize, n: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; x_rows * n];
+        for i in 0..x_rows {
+            for k in 0..k_len {
+                let a = x[i * k_len + k];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    out[i * n + j] += a * w[k * n + j];
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn block_round_trip_full_and_ragged() {
+        for scheme in [SchemeSpec::Bfp(4), SchemeSpec::Bbfp(4, 2)] {
+            let bs = BlockScheme::from_scheme(scheme).unwrap();
+            for len in [32usize, 7, 1] {
+                let q = quantised(scheme, len, 3 + len as u64);
+                let block = PackedBlock::encode(&q, bs).unwrap();
+                assert_eq!(block.decode(), q, "{scheme} len {len}");
+                assert_eq!(block.packed_bits(), 5 + len * bs.element_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn encode_rejects_unquantised_input() {
+        let bs = BlockScheme::from_scheme(SchemeSpec::Bfp(4)).unwrap();
+        let raw: Vec<f32> = (0..32).map(|i| (i as f32 * 0.37).sin()).collect();
+        assert!(matches!(
+            PackedBlock::encode(&raw, bs),
+            Err(FormatError::NotRepresentable(_))
+        ));
+    }
+
+    #[test]
+    fn block_dot_is_bit_identical() {
+        for scheme in [
+            SchemeSpec::Bfp(6),
+            SchemeSpec::Bbfp(4, 2),
+            SchemeSpec::Bbfp(6, 3),
+        ] {
+            let bs = BlockScheme::from_scheme(scheme).unwrap();
+            let q = quantised(scheme, 32, 11);
+            let acts = quantised(SchemeSpec::Fp16, 32, 17);
+            let block = PackedBlock::encode(&q, bs).unwrap();
+            let mut acc = 0.0f32;
+            for (a, w) in acts.iter().zip(&q) {
+                acc += a * w;
+            }
+            assert_eq!(block.block_dot(&acts).to_bits(), acc.to_bits(), "{scheme}");
+        }
+    }
+
+    #[test]
+    fn matrix_layouts_by_scheme() {
+        let q = quantised(SchemeSpec::Bbfp(4, 2), 64, 5);
+        assert_eq!(
+            PackedMatrix::pack(&q, 2, 32, SchemeSpec::Bbfp(4, 2)).layout_kind(),
+            LayoutKind::Block
+        );
+        let h = quantised(SchemeSpec::Fp16, 64, 5);
+        assert_eq!(
+            PackedMatrix::pack(&h, 2, 32, SchemeSpec::Fp16).layout_kind(),
+            LayoutKind::Fp16
+        );
+        let raw = quantised(SchemeSpec::Fp32, 64, 5);
+        assert_eq!(
+            PackedMatrix::pack(&raw, 2, 32, SchemeSpec::Oltron).layout_kind(),
+            LayoutKind::Dense
+        );
+        // Unquantised input under a block scheme: verified fallback.
+        assert_eq!(
+            PackedMatrix::pack(&raw, 2, 32, SchemeSpec::Bfp(4)).layout_kind(),
+            LayoutKind::Dense
+        );
+    }
+
+    #[test]
+    fn packed_density_beats_dense() {
+        let q = quantised(SchemeSpec::Bbfp(4, 2), 32 * 32, 7);
+        let p = PackedMatrix::pack(&q, 32, 32, SchemeSpec::Bbfp(4, 2));
+        // 6 payload bits per element + 5/32 shared: ~5x denser than f32.
+        assert!(p.packed_bits() * 5 < 32 * 32 * 32);
+        assert_eq!(p.decode(), q);
+    }
+
+    #[test]
+    fn gemm_matches_reference_aligned_and_ragged() {
+        for scheme in [SchemeSpec::Bbfp(4, 2), SchemeSpec::Bfp(6), SchemeSpec::Fp16] {
+            for (k_len, n) in [(8usize, 64usize), (5, 33), (3, 7)] {
+                let q = quantised(scheme, k_len * n, 13);
+                let p = PackedMatrix::pack(&q, k_len, n, scheme);
+                let mut x = quantised(SchemeSpec::Fp16, 2 * k_len, 29);
+                x[1] = 0.0; // exercise the zero-skip
+                let mut out = vec![f32::NAN; 2 * n];
+                p.gemm(&x, 2, &mut out);
+                let reference = reference_gemm(&x, 2, &q, k_len, n);
+                let same = out
+                    .iter()
+                    .zip(&reference)
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+                assert!(same, "{scheme} {k_len}x{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_cols_partition_reproduces_full_gemm() {
+        let scheme = SchemeSpec::Bbfp(4, 2);
+        let (k_len, n) = (6usize, 96usize);
+        let q = quantised(scheme, k_len * n, 41);
+        let p = PackedMatrix::pack(&q, k_len, n, scheme);
+        let x = quantised(SchemeSpec::Fp16, k_len, 43);
+        let mut full = vec![0.0; n];
+        p.gemm(&x, 1, &mut full);
+        for ranges in [vec![(0, 32), (32, 96)], vec![(0, 1), (1, 50), (50, 96)]] {
+            let mut split = vec![f32::NAN; n];
+            for (c0, c1) in ranges {
+                let mut strip = vec![f32::NAN; c1 - c0];
+                p.gemm_cols(&x, 1, c0, c1, &mut strip);
+                split[c0..c1].copy_from_slice(&strip);
+            }
+            let same = split
+                .iter()
+                .zip(&full)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same);
+        }
+    }
+
+    #[test]
+    fn gemm_transposed_matches_reference() {
+        for scheme in [SchemeSpec::Bbfp(6, 3), SchemeSpec::Oltron] {
+            let (w_rows, n) = (5usize, 40usize);
+            let q = quantised(scheme, w_rows * n, 19);
+            let p = PackedMatrix::pack(&q, w_rows, n, scheme);
+            let x = quantised(SchemeSpec::Fp16, 3 * n, 23);
+            let mut out = vec![0.0; 3 * w_rows];
+            p.gemm_transposed(&x, 3, &mut out);
+            for i in 0..3 {
+                for r in 0..w_rows {
+                    let mut acc = 0.0f32;
+                    for j in 0..n {
+                        acc += x[i * n + j] * q[r * n + j];
+                    }
+                    assert_eq!(out[i * w_rows + r].to_bits(), acc.to_bits(), "{scheme}");
+                }
+            }
+        }
+    }
+}

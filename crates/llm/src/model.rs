@@ -19,6 +19,7 @@ use crate::ops;
 use crate::rng::Stream;
 use crate::tensor::Tensor;
 use crate::zoo::{Family, ModelSpec};
+use bbal_core::{PackedMatrix, SchemeSpec};
 use std::sync::Arc;
 
 /// The weight matrices of one decoder layer.
@@ -279,7 +280,37 @@ impl Drop for KvCache {
     }
 }
 
+/// One decoder layer's weights in packed storage (mirrors
+/// [`LayerWeights`] matrix for matrix).
+#[derive(Debug)]
+struct PackedLayer {
+    wq: PackedMatrix,
+    wk: PackedMatrix,
+    wv: PackedMatrix,
+    wo: PackedMatrix,
+    w_gate: Option<PackedMatrix>,
+    w_up: PackedMatrix,
+    w_down: PackedMatrix,
+}
+
+/// Every decoder weight of a model packed for one scheme (built once at
+/// prepare time, shared by reference between model clones).
+#[derive(Debug)]
+struct PackedWeights {
+    scheme: SchemeSpec,
+    layers: Vec<PackedLayer>,
+    unembedding: PackedMatrix,
+}
+
 /// A decoder-only transformer with synthetic weights.
+///
+/// After PTQ ([`TransformerModel::with_transformed_weights`]) the
+/// decoder weights can additionally be *packed* into their scheme's
+/// native bit layout ([`TransformerModel::pack_weights`]); every weight
+/// GEMM in [`forward`](TransformerModel::forward) and
+/// [`prefill_chunk`](TransformerModel::prefill_chunk) then routes
+/// through the packed block-dot kernels — bit-identical to the scalar
+/// path by the packed storage invariant (see `bbal_core::packed`).
 #[derive(Debug, Clone)]
 pub struct TransformerModel {
     spec: ModelSpec,
@@ -287,6 +318,13 @@ pub struct TransformerModel {
     layers: Vec<LayerWeights>,
     unembedding: Tensor,
     outlier_channels: Vec<usize>,
+    /// Packed decoder weights, shared between clones; dropped by any
+    /// weight transform (the pack mirrors the weights it was built
+    /// from).
+    packed: Option<Arc<PackedWeights>>,
+    /// Worker threads the packed GEMM driver may fan out to (1 =
+    /// inline, no spawning). Any value produces identical bits.
+    gemm_workers: usize,
 }
 
 impl TransformerModel {
@@ -432,6 +470,8 @@ impl TransformerModel {
             layers,
             unembedding,
             outlier_channels,
+            packed: None,
+            gemm_workers: 1,
         }
     }
 
@@ -456,10 +496,79 @@ impl TransformerModel {
     /// as is standard for W/A quantisation studies.
     pub fn with_transformed_weights(&self, hooks: &impl InferenceHooks) -> TransformerModel {
         let mut clone = self.clone();
+        // Any stale pack belongs to the weights before this transform.
+        clone.packed = None;
         for layer in &mut clone.layers {
             layer.for_each_weight_mut(&mut |w| hooks.transform_weights(w));
         }
         clone
+    }
+
+    /// Packs every decoder weight matrix into `scheme`'s native bit
+    /// layout so subsequent GEMMs run on the packed kernels. Call after
+    /// [`TransformerModel::with_transformed_weights`] with the scheme
+    /// that produced the weights; any weight the layout cannot reproduce
+    /// bit-for-bit falls back to a dense lane, so outputs are identical
+    /// either way. The unembedding stays full precision (as in PTQ) and
+    /// packs as an f32 lane.
+    pub fn pack_weights(&mut self, scheme: SchemeSpec) {
+        let pack = |t: &Tensor| PackedMatrix::pack(t.data(), t.rows(), t.cols(), scheme);
+        let layers = self
+            .layers
+            .iter()
+            .map(|l| PackedLayer {
+                wq: pack(&l.wq),
+                wk: pack(&l.wk),
+                wv: pack(&l.wv),
+                wo: pack(&l.wo),
+                w_gate: l.w_gate.as_ref().map(pack),
+                w_up: pack(&l.w_up),
+                w_down: pack(&l.w_down),
+            })
+            .collect();
+        let unembedding = PackedMatrix::pack(
+            self.unembedding.data(),
+            self.unembedding.rows(),
+            self.unembedding.cols(),
+            SchemeSpec::Fp32,
+        );
+        self.packed = Some(Arc::new(PackedWeights {
+            scheme,
+            layers,
+            unembedding,
+        }));
+    }
+
+    /// The scheme the decoder weights are currently packed for, if any.
+    pub fn packed_scheme(&self) -> Option<SchemeSpec> {
+        self.packed.as_ref().map(|p| p.scheme)
+    }
+
+    /// Sets how many worker threads the packed GEMM driver may fan out
+    /// to (1 = run inline). Purely a throughput knob: every worker count
+    /// produces bit-identical outputs.
+    pub fn set_gemm_workers(&mut self, workers: usize) {
+        self.gemm_workers = workers.max(1);
+    }
+
+    /// The packed GEMM driver's worker-thread budget.
+    pub fn gemm_workers(&self) -> usize {
+        self.gemm_workers
+    }
+
+    /// `x · w`, routed through the packed kernel when a packed mirror of
+    /// `w` is available (bit-identical to `Tensor::matmul` by the packed
+    /// storage invariant), else the scalar reference path.
+    fn mm(&self, x: &Tensor, w: &Tensor, packed: Option<&PackedMatrix>) -> Tensor {
+        match packed {
+            Some(p) => {
+                assert_eq!(x.cols(), p.rows(), "matmul shape mismatch");
+                let mut out = Tensor::zeros(x.rows(), p.cols());
+                crate::gemm::gemm(p, x.data(), x.rows(), self.gemm_workers, out.data_mut());
+                out
+            }
+            None => x.matmul(w),
+        }
     }
 
     fn normalise(&self, x: &Tensor) -> Tensor {
@@ -551,13 +660,15 @@ impl TransformerModel {
         let dh = self.spec.head_dim();
         let scale = 1.0 / (dh as f32).sqrt();
 
-        for layer in &self.layers {
+        let packed = self.packed.as_deref();
+        for (li, layer) in self.layers.iter().enumerate() {
+            let pl = packed.map(|p| &p.layers[li]);
             // --- Attention block ---
             let mut a = self.normalise(&x);
             hooks.transform_activations(a.data_mut());
-            let q = a.matmul(&layer.wq);
-            let k = a.matmul(&layer.wk);
-            let v = a.matmul(&layer.wv);
+            let q = self.mm(&a, &layer.wq, pl.map(|p| &p.wq));
+            let k = self.mm(&a, &layer.wk, pl.map(|p| &p.wk));
+            let v = self.mm(&a, &layer.wv, pl.map(|p| &p.wv));
 
             let mut ctx = Tensor::zeros(seq, h);
             for head in 0..heads {
@@ -582,7 +693,7 @@ impl TransformerModel {
                 ctx.set_column_slice(c0, &ctx_h);
             }
             hooks.transform_activations(ctx.data_mut());
-            let attn_out = ctx.matmul(&layer.wo);
+            let attn_out = self.mm(&ctx, &layer.wo, pl.map(|p| &p.wo));
             x.add_assign(&attn_out);
 
             // --- FFN block ---
@@ -590,25 +701,29 @@ impl TransformerModel {
             hooks.transform_activations(f.data_mut());
             let ffn_out = match (&layer.w_gate, self.spec.family) {
                 (Some(w_gate), _) => {
-                    let mut gate = f.matmul(w_gate);
+                    let mut gate = self.mm(&f, w_gate, pl.and_then(|p| p.w_gate.as_ref()));
                     hooks.activation(gate.data_mut(), self.spec.activation());
-                    let up = f.matmul(&layer.w_up);
+                    let up = self.mm(&f, &layer.w_up, pl.map(|p| &p.w_up));
                     gate.mul_assign_elementwise(&up);
                     hooks.transform_activations(gate.data_mut());
-                    gate.matmul(&layer.w_down)
+                    self.mm(&gate, &layer.w_down, pl.map(|p| &p.w_down))
                 }
                 (None, _) => {
-                    let mut up = f.matmul(&layer.w_up);
+                    let mut up = self.mm(&f, &layer.w_up, pl.map(|p| &p.w_up));
                     hooks.activation(up.data_mut(), self.spec.activation());
                     hooks.transform_activations(up.data_mut());
-                    up.matmul(&layer.w_down)
+                    self.mm(&up, &layer.w_down, pl.map(|p| &p.w_down))
                 }
             };
             x.add_assign(&ffn_out);
         }
 
         let final_norm = self.normalise(&x);
-        final_norm.matmul(&self.unembedding)
+        self.mm(
+            &final_norm,
+            &self.unembedding,
+            packed.map(|p| &p.unembedding),
+        )
     }
 
     /// Processes a *chunk* of tokens against a (possibly non-empty) KV
@@ -653,13 +768,15 @@ impl TransformerModel {
             x.row_mut(i).copy_from_slice(self.embedding.row(t));
         }
 
+        let packed = self.packed.as_deref();
         for (li, layer) in self.layers.iter().enumerate() {
+            let pl = packed.map(|p| &p.layers[li]);
             // --- Attention block ---
             let mut a = self.normalise(&x);
             hooks.transform_activations(a.data_mut());
-            let q = a.matmul(&layer.wq);
-            let k = a.matmul(&layer.wk);
-            let v = a.matmul(&layer.wv);
+            let q = self.mm(&a, &layer.wq, pl.map(|p| &p.wq));
+            let k = self.mm(&a, &layer.wk, pl.map(|p| &p.wk));
+            let v = self.mm(&a, &layer.wv, pl.map(|p| &p.wv));
             for r in 0..new {
                 cache.push_layer_row(li, k.row(r), v.row(r));
             }
@@ -696,7 +813,7 @@ impl TransformerModel {
                 }
             }
             hooks.transform_activations(ctx.data_mut());
-            let attn_out = ctx.matmul(&layer.wo);
+            let attn_out = self.mm(&ctx, &layer.wo, pl.map(|p| &p.wo));
             x.add_assign(&attn_out);
 
             // --- FFN block ---
@@ -704,18 +821,18 @@ impl TransformerModel {
             hooks.transform_activations(f.data_mut());
             let ffn_out = match (&layer.w_gate, self.spec.family) {
                 (Some(w_gate), _) => {
-                    let mut gate = f.matmul(w_gate);
+                    let mut gate = self.mm(&f, w_gate, pl.and_then(|p| p.w_gate.as_ref()));
                     hooks.activation(gate.data_mut(), self.spec.activation());
-                    let up = f.matmul(&layer.w_up);
+                    let up = self.mm(&f, &layer.w_up, pl.map(|p| &p.w_up));
                     gate.mul_assign_elementwise(&up);
                     hooks.transform_activations(gate.data_mut());
-                    gate.matmul(&layer.w_down)
+                    self.mm(&gate, &layer.w_down, pl.map(|p| &p.w_down))
                 }
                 (None, _) => {
-                    let mut up = f.matmul(&layer.w_up);
+                    let mut up = self.mm(&f, &layer.w_up, pl.map(|p| &p.w_up));
                     hooks.activation(up.data_mut(), self.spec.activation());
                     hooks.transform_activations(up.data_mut());
-                    up.matmul(&layer.w_down)
+                    self.mm(&up, &layer.w_down, pl.map(|p| &p.w_down))
                 }
             };
             x.add_assign(&ffn_out);
@@ -723,7 +840,11 @@ impl TransformerModel {
         cache.len = past + new;
 
         let final_norm = self.normalise(&x);
-        final_norm.matmul(&self.unembedding)
+        self.mm(
+            &final_norm,
+            &self.unembedding,
+            packed.map(|p| &p.unembedding),
+        )
     }
 
     /// One autoregressive decode step: processes `token` against the

@@ -57,7 +57,15 @@ use bbal_llm::{
 };
 use bbal_nonlinear::NonlinearUnitConfig;
 use bbal_quant::hooks_for;
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// Prepared (PTQ-transformed + packed) models, shared across every
+/// session cloned from one builder and keyed by [`prefix_class`] — the
+/// same "model spec + scheme names the weights" contract the KV prefix
+/// cache relies on.
+type PreparedCache = Arc<Mutex<HashMap<u64, Arc<TransformerModel>>>>;
 
 /// Errors from building or driving a [`Session`].
 #[derive(Debug, Clone, PartialEq)]
@@ -190,6 +198,8 @@ pub struct SessionBuilder {
     eval_seq_len: usize,
     eval_seed: u64,
     kv_arena: Option<KvArena>,
+    gemm_workers: usize,
+    prepared_cache: PreparedCache,
 }
 
 impl Default for SessionBuilder {
@@ -213,6 +223,8 @@ impl SessionBuilder {
             eval_seq_len: 24,
             eval_seed: 1234,
             kv_arena: None,
+            gemm_workers: 1,
+            prepared_cache: Arc::new(Mutex::new(HashMap::new())),
         }
     }
 
@@ -283,6 +295,17 @@ impl SessionBuilder {
         self.eval_sequences = sequences;
         self.eval_seq_len = seq_len;
         self.eval_seed = seed;
+        self
+    }
+
+    /// Sets the worker-thread budget of the packed GEMM driver
+    /// (default 1 = inline). Purely a throughput knob — every worker
+    /// count produces bit-identical outputs. Applied when a session
+    /// first prepares a model+scheme pairing; sessions sharing that
+    /// prepared model through the builder's cache inherit the first
+    /// builder's setting.
+    pub fn gemm_workers(mut self, workers: usize) -> SessionBuilder {
+        self.gemm_workers = workers.max(1);
         self
     }
 
@@ -367,6 +390,8 @@ impl SessionBuilder {
             hooks,
             reference,
             prepared: None,
+            gemm_workers: self.gemm_workers,
+            prepared_cache: self.prepared_cache,
             kv,
             pe_rows: self.pe_rows,
             pe_cols: self.pe_cols,
@@ -390,7 +415,9 @@ pub struct Session {
     spec: ModelSpec,
     hooks: Box<dyn InferenceHooks + Send>,
     reference: TransformerModel,
-    prepared: Option<TransformerModel>,
+    prepared: Option<Arc<TransformerModel>>,
+    gemm_workers: usize,
+    prepared_cache: PreparedCache,
     kv: KvCache,
     pe_rows: usize,
     pe_cols: usize,
@@ -469,16 +496,42 @@ impl Session {
         self.clock_ghz
     }
 
-    /// Quantises the weights once (the PTQ step). Idempotent; called
-    /// automatically by the serving entry points.
+    /// Quantises the weights once (the PTQ step) and packs them into
+    /// the scheme's native bit layout for the packed GEMM kernels.
+    /// Idempotent; called automatically by the serving entry points.
+    ///
+    /// Sessions cloned from one [`SessionBuilder`] (a serve pool's
+    /// template, a sweep's base builder) share prepared models through
+    /// the builder's cache: the first session to prepare a model+scheme
+    /// pairing pays for the PTQ transform and the pack, every later one
+    /// gets the same weights by reference — outputs are identical either
+    /// way, since preparation is deterministic in (spec, scheme).
     pub fn prepare(&mut self) -> &TransformerModel {
         if self.prepared.is_none() {
-            self.prepared = Some(
-                self.reference
-                    .with_transformed_weights(&self.hooks.as_ref()),
-            );
+            let key = prefix_class(&self.spec, self.scheme);
+            let cached = {
+                let cache = match self.prepared_cache.lock() {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                cache.get(&key).cloned()
+            };
+            let model = cached.unwrap_or_else(|| {
+                let mut built = self
+                    .reference
+                    .with_transformed_weights(&self.hooks.as_ref());
+                built.pack_weights(self.scheme);
+                built.set_gemm_workers(self.gemm_workers);
+                let built = Arc::new(built);
+                let mut cache = match self.prepared_cache.lock() {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                Arc::clone(cache.entry(key).or_insert(built))
+            });
+            self.prepared = Some(model);
         }
-        self.prepared.as_ref().expect("prepared just above")
+        self.prepared.as_deref().expect("prepared just above")
     }
 
     fn check_tokens(&self, tokens: &[usize]) -> Result<(), SessionError> {
@@ -1282,5 +1335,50 @@ mod tests {
         let a = session.prepare().layers()[0].wq.get(0, 0);
         let b = session.prepare().layers()[0].wq.get(0, 0);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn prepare_packs_the_session_scheme() {
+        let mut session = tiny("bbfp:4,2");
+        assert_eq!(
+            session.prepare().packed_scheme(),
+            Some(SchemeSpec::Bbfp(4, 2))
+        );
+        let mut fp32 = tiny("fp32");
+        assert_eq!(fp32.prepare().packed_scheme(), Some(SchemeSpec::Fp32));
+    }
+
+    #[test]
+    fn cloned_builders_share_one_prepared_model_per_scheme() {
+        // The serve pool clones one template builder per session slot;
+        // every slot on the same scheme must share the same prepared
+        // weights by reference (PTQ once, not once per slot).
+        let template = SessionBuilder::new().model("Tiny").scheme("bbfp:4,2");
+        let mut a = template.clone().build().unwrap();
+        let mut b = template.clone().build().unwrap();
+        a.prepare();
+        b.prepare();
+        assert!(Arc::ptr_eq(
+            a.prepared.as_ref().unwrap(),
+            b.prepared.as_ref().unwrap()
+        ));
+        // A different scheme gets its own prepared weights…
+        let mut c = template.clone().scheme("bfp4").build().unwrap();
+        c.prepare();
+        assert!(!Arc::ptr_eq(
+            a.prepared.as_ref().unwrap(),
+            c.prepared.as_ref().unwrap()
+        ));
+        // …and an unrelated builder shares nothing.
+        let mut d = SessionBuilder::new()
+            .model("Tiny")
+            .scheme("bbfp:4,2")
+            .build()
+            .unwrap();
+        d.prepare();
+        assert!(!Arc::ptr_eq(
+            a.prepared.as_ref().unwrap(),
+            d.prepared.as_ref().unwrap()
+        ));
     }
 }

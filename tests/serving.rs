@@ -238,3 +238,48 @@ fn affinity_fuses_wider_and_starves_no_one() {
         assert!(r.first_token_cycles > r.admitted_cycles);
     }
 }
+
+#[test]
+fn packed_serve_matches_pre_packed_golden_token_streams() {
+    // Literal token streams captured from the scalar-GEMM serving path
+    // before weights moved into `PackedMatrix` storage. The packed
+    // kernels are proven bit-identical to `Tensor::matmul` (see
+    // `tests/packed_kernels.rs`), so a full serve over them must keep
+    // reproducing these exact streams — under every scheduling
+    // configuration, since scheduling never changes outputs either.
+    const GOLDEN: [[usize; 5]; 10] = [
+        [62, 19, 17, 62, 42],
+        [49, 26, 25, 63, 11],
+        [49, 43, 42, 32, 24],
+        [24, 61, 47, 42, 62],
+        [43, 47, 2, 32, 24],
+        [31, 62, 8, 62, 8],
+        [6, 30, 1, 30, 42],
+        [43, 1, 39, 39, 39],
+        [1, 49, 62, 42, 16],
+        [1, 1, 61, 27, 27],
+    ];
+    let trace = mixed_trace();
+    let configs = [
+        ("default", ServeConfig::default()),
+        ("sequential", ServeConfig::sequential()),
+        (
+            "batched-4 workers-3",
+            ServeConfig {
+                workers: 3,
+                ..ServeConfig::default().with_max_batch(4)
+            },
+        ),
+    ];
+    for (label, config) in configs {
+        let report = serve(config, &trace);
+        for (r, golden) in report.requests.iter().zip(&GOLDEN) {
+            assert_eq!(
+                r.tokens,
+                golden.to_vec(),
+                "{label}: request {} diverged from the pre-packed golden",
+                r.id
+            );
+        }
+    }
+}

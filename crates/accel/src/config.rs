@@ -163,18 +163,21 @@ impl FormatSpec {
             SchemeSpec::Bbfp(m, o) => Ok(FormatSpec::bbfp(m, o)?),
             SchemeSpec::Oltron => Ok(FormatSpec::oltron()),
             SchemeSpec::Olive => Ok(FormatSpec::olive()),
+            // Algebra-derived block families: the PE microarchitecture and
+            // the amortised storage bits both fall out of the point.
+            SchemeSpec::Mx(..) | SchemeSpec::Msfp(..) | SchemeSpec::BlockMf(..) => {
+                let alg = scheme
+                    .algebra()?
+                    .ok_or(SchemeError::NoHardwareMapping(scheme))?;
+                let bits = alg.cost().equivalent_bit_width;
+                Ok(FormatSpec {
+                    pe: PeKind::Algebra(alg),
+                    weight_bits: bits,
+                    activation_bits: bits,
+                })
+            }
             other => Err(SchemeError::NoHardwareMapping(other)),
         }
-    }
-
-    /// Looks a spec up by the method names used in the figures.
-    #[deprecated(
-        since = "0.1.0",
-        note = "parse a `SchemeSpec` and use `from_scheme` instead"
-    )]
-    pub fn by_name(name: &str) -> Option<FormatSpec> {
-        let scheme: SchemeSpec = name.parse().ok()?;
-        FormatSpec::from_scheme(scheme).ok()
     }
 }
 
@@ -345,6 +348,23 @@ mod tests {
             Err(SchemeError::NoHardwareMapping(SchemeSpec::Fp16))
         ));
         assert!(FormatSpec::from_scheme(SchemeSpec::Bbfp(9, 9)).is_err());
+    }
+
+    #[test]
+    fn algebra_families_build_accelerator_configs() {
+        let lib = GateLibrary::default();
+        for (id, bits) in [
+            ("mx:8,4,2", 1.0 + 4.0 + (8.0 + 16.0) / 32.0),
+            ("msfp:4,16", 1.0 + 4.0 + 8.0 / 16.0),
+            ("blockmf:4,3,8", 1.0 + 3.0 + 4.0 + 8.0 / 32.0),
+        ] {
+            let scheme: SchemeSpec = id.parse().unwrap();
+            let cfg = AcceleratorConfig::for_scheme(scheme, 16, 16).unwrap();
+            assert!((cfg.format.weight_bits - bits).abs() < 1e-9, "{id}");
+            assert_eq!(cfg.format.activation_bits, cfg.format.weight_bits);
+            assert!(cfg.pe_array_area_um2(&lib) > 0.0, "{id}");
+            assert!(cfg.static_power_mw(&lib) > 0.0, "{id}");
+        }
     }
 
     #[test]

@@ -10,8 +10,11 @@ use crate::adder::{CarryChain, RippleCarryAdder};
 use crate::float::{Fp16Multiplier, FpAccumulator, FpEncoder};
 use crate::gates::{CostSummary, GateCounts, GateKind, GateLibrary};
 use crate::multiplier::ArrayMultiplier;
-use crate::shifter::FlagShifter;
-use bbal_core::{BbfpConfig, BfpConfig, FormatCost, SchemeError, SchemeSpec};
+use crate::shifter::{BarrelShifter, FlagShifter};
+use bbal_core::{
+    BbfpConfig, BfpConfig, ElementKind, FormatAlgebra, FormatCost, ScaleKind, SchemeError,
+    SchemeSpec,
+};
 
 /// Guard bits a lane accumulator carries above the product width to absorb
 /// block-length accumulation (32 terms → 5 bits).
@@ -28,6 +31,130 @@ pub enum MacKind {
     Bfp(BfpConfig),
     /// Bidirectional block floating point.
     Bbfp(BbfpConfig),
+    /// A format-algebra point (MX, MSFP, block minifloat): the lane and
+    /// shared logic are derived from the point's scale and element kinds
+    /// rather than hand-written per family.
+    Algebra(FormatAlgebra),
+}
+
+/// Lane datapath gates for a format-algebra point: the multiplier, the
+/// per-lane scale handling (micro-exponent routing for two-level scales,
+/// exponent add + alignment shift for minifloat elements) and the
+/// partial-sum adder. Shared per-block logic lives in
+/// [`algebra_shared_gate_counts`].
+fn algebra_lane_gate_counts(alg: &FormatAlgebra) -> GateCounts {
+    let m = alg.mantissa_bits as u32;
+    match (alg.element, alg.scale) {
+        (ElementKind::Minifloat { exp_bits }, _) => {
+            // Minifloat lane: (m+1)-bit significand multiplier (implicit
+            // leading one), per-lane exponent adder and an alignment
+            // barrel shifter into the accumulator window.
+            let e = exp_bits as u32;
+            let mut g = ArrayMultiplier::new(m + 1).gate_counts();
+            g += RippleCarryAdder::new(e + 1).gate_counts();
+            g += BarrelShifter::new(2 * (m + 1) + ACCUMULATOR_GUARD_BITS, (1 << e) - 1)
+                .gate_counts();
+            g += RippleCarryAdder::new(2 * (m + 1) + ACCUMULATOR_GUARD_BITS).gate_counts();
+            g += GateCounts::new().with(GateKind::Xor2, 1);
+            g
+        }
+        (ElementKind::Fixed, ScaleKind::TwoLevel { sub_scale_bits, .. }) => {
+            // MX-style lane: fixed multiplier plus flag-style product
+            // routing by the per-sub-block micro exponent (the shift is
+            // 0 or 1 per operand, the BBFP gap-1 structure).
+            let s = sub_scale_bits as u32;
+            let mut g = ArrayMultiplier::new(m).gate_counts();
+            g += FlagShifter::new(2 * m, s).gate_counts();
+            g += RippleCarryAdder::new(2 * m).gate_counts();
+            g += CarryChain::new(2 * s + ACCUMULATOR_GUARD_BITS).gate_counts();
+            g += GateCounts::new().with(GateKind::Xor2, 1);
+            g
+        }
+        (ElementKind::Fixed, _) if alg.overlap_bits > 0 => {
+            // Overlapped-window lane (the BBFP structure).
+            let gap = m - alg.overlap_bits as u32;
+            let mut g = ArrayMultiplier::new(m).gate_counts();
+            g += FlagShifter::new(2 * m, gap).gate_counts();
+            g += RippleCarryAdder::new(2 * m).gate_counts();
+            g += CarryChain::new(2 * gap + ACCUMULATOR_GUARD_BITS).gate_counts();
+            g += GateCounts::new().with(GateKind::Xor2, 1);
+            g
+        }
+        (ElementKind::Fixed, _) => {
+            // Plain shared-scale lane (the BFP / MSFP structure).
+            let mut g = ArrayMultiplier::new(m).gate_counts();
+            g += RippleCarryAdder::new(2 * m + ACCUMULATOR_GUARD_BITS).gate_counts();
+            g += GateCounts::new().with(GateKind::Xor2, 1);
+            g
+        }
+    }
+}
+
+/// Per-block shared logic for a format-algebra point: the shared-scale
+/// adder sized to the scale width and the FP encode of the block result.
+fn algebra_shared_gate_counts(alg: &FormatAlgebra) -> GateCounts {
+    let m = alg.mantissa_bits as u32;
+    let scale_bits = match alg.scale {
+        ScaleKind::SharedExponent { bits }
+        | ScaleKind::SharedBias { bits }
+        | ScaleKind::TwoLevel { bits, .. } => bits as u32,
+    };
+    let acc = match (alg.element, alg.scale) {
+        (ElementKind::Minifloat { .. }, _) => 2 * (m + 1) + ACCUMULATOR_GUARD_BITS,
+        (ElementKind::Fixed, ScaleKind::TwoLevel { sub_scale_bits, .. }) => {
+            2 * m + 2 * sub_scale_bits as u32 + ACCUMULATOR_GUARD_BITS
+        }
+        (ElementKind::Fixed, _) if alg.overlap_bits > 0 => {
+            2 * m + 2 * (m - alg.overlap_bits as u32) + ACCUMULATOR_GUARD_BITS
+        }
+        (ElementKind::Fixed, _) => 2 * m + ACCUMULATOR_GUARD_BITS,
+    };
+    let mut g = RippleCarryAdder::new(scale_bits + 1).gate_counts();
+    g += FpEncoder::new(acc).gate_counts();
+    g
+}
+
+/// Lane critical-path delay for a format-algebra point, mirroring
+/// [`algebra_lane_gate_counts`].
+fn algebra_lane_delay_ps(alg: &FormatAlgebra, lib: &GateLibrary) -> f64 {
+    let m = alg.mantissa_bits as u32;
+    match (alg.element, alg.scale) {
+        (ElementKind::Minifloat { exp_bits }, _) => {
+            let e = exp_bits as u32;
+            ArrayMultiplier::new(m + 1).cost(lib).delay_ps
+                + RippleCarryAdder::new(e + 1).cost(lib).delay_ps
+                + BarrelShifter::new(2 * (m + 1) + ACCUMULATOR_GUARD_BITS, (1 << e) - 1)
+                    .cost(lib)
+                    .delay_ps
+                + RippleCarryAdder::new(2 * (m + 1) + ACCUMULATOR_GUARD_BITS)
+                    .cost(lib)
+                    .delay_ps
+        }
+        (ElementKind::Fixed, ScaleKind::TwoLevel { sub_scale_bits, .. }) => {
+            let s = sub_scale_bits as u32;
+            ArrayMultiplier::new(m).cost(lib).delay_ps
+                + FlagShifter::new(2 * m, s).cost(lib).delay_ps
+                + RippleCarryAdder::new(2 * m).cost(lib).delay_ps
+                + CarryChain::new(2 * s + ACCUMULATOR_GUARD_BITS)
+                    .cost(lib)
+                    .delay_ps
+        }
+        (ElementKind::Fixed, _) if alg.overlap_bits > 0 => {
+            let gap = m - alg.overlap_bits as u32;
+            ArrayMultiplier::new(m).cost(lib).delay_ps
+                + FlagShifter::new(2 * m, gap).cost(lib).delay_ps
+                + RippleCarryAdder::new(2 * m).cost(lib).delay_ps
+                + CarryChain::new(2 * gap + ACCUMULATOR_GUARD_BITS)
+                    .cost(lib)
+                    .delay_ps
+        }
+        (ElementKind::Fixed, _) => {
+            ArrayMultiplier::new(m).cost(lib).delay_ps
+                + RippleCarryAdder::new(2 * m + ACCUMULATOR_GUARD_BITS)
+                    .cost(lib)
+                    .delay_ps
+        }
+    }
 }
 
 impl MacKind {
@@ -46,6 +173,10 @@ impl MacKind {
             SchemeSpec::Int(bits) => Ok(MacKind::Int(bits)),
             SchemeSpec::Bfp(m) => Ok(MacKind::Bfp(BfpConfig::new(m)?)),
             SchemeSpec::Bbfp(m, o) => Ok(MacKind::Bbfp(BbfpConfig::new(m, o)?)),
+            SchemeSpec::Mx(..) | SchemeSpec::Msfp(..) | SchemeSpec::BlockMf(..) => scheme
+                .algebra()?
+                .map(MacKind::Algebra)
+                .ok_or(SchemeError::NoHardwareMapping(scheme)),
             other => Err(SchemeError::NoHardwareMapping(other)),
         }
     }
@@ -57,6 +188,7 @@ impl MacKind {
             MacKind::Int(bits) => FormatCost::int(*bits as u32),
             MacKind::Bfp(cfg) => cfg.cost(),
             MacKind::Bbfp(cfg) => cfg.cost(),
+            MacKind::Algebra(alg) => alg.cost(),
         }
     }
 
@@ -67,6 +199,7 @@ impl MacKind {
             MacKind::Int(bits) => format!("INT{bits}"),
             MacKind::Bfp(cfg) => format!("BFP{}", cfg.mantissa_bits()),
             MacKind::Bbfp(cfg) => format!("BBFP({},{})", cfg.mantissa_bits(), cfg.overlap_bits()),
+            MacKind::Algebra(alg) => alg.display_name(),
         }
     }
 }
@@ -126,6 +259,7 @@ impl BlockMac {
                 g += GateCounts::new().with(GateKind::Xor2, 1);
                 g
             }
+            MacKind::Algebra(alg) => algebra_lane_gate_counts(&alg),
         }
     }
 
@@ -133,6 +267,7 @@ impl BlockMac {
     fn shared_gate_counts(&self) -> GateCounts {
         match self.kind {
             MacKind::Fp16 | MacKind::Int(_) => GateCounts::new(),
+            MacKind::Algebra(alg) => algebra_shared_gate_counts(&alg),
             MacKind::Bfp(cfg) => {
                 let m = cfg.mantissa_bits() as u32;
                 let mut g = RippleCarryAdder::new(6).gate_counts(); // shared exponent add
@@ -186,6 +321,7 @@ impl BlockMac {
                         .cost(lib)
                         .delay_ps
             }
+            MacKind::Algebra(alg) => algebra_lane_delay_ps(&alg, lib),
         };
         CostSummary {
             area_um2: g.area_um2(lib),
@@ -293,5 +429,44 @@ mod tests {
         ] {
             assert!(BlockMac::new(kind, 32).cost(&lib()).delay_ps > 0.0);
         }
+    }
+
+    #[test]
+    fn algebra_macs_derive_from_scheme_ids() {
+        for (id, expect_name) in [
+            ("mx:8,4,2", "MX(8,4,2)"),
+            ("msfp:4,16", "MSFP(4,16)"),
+            ("blockmf:4,3,8", "BlockMF(4,3,8)"),
+        ] {
+            let scheme: SchemeSpec = id.parse().unwrap();
+            let kind = MacKind::from_scheme(scheme).unwrap();
+            assert_eq!(kind.name(), expect_name);
+            let cost = BlockMac::new(kind, 32).cost(&lib());
+            assert!(cost.area_um2 > 0.0, "{id}");
+            assert!(cost.delay_ps > 0.0, "{id}");
+            assert!(kind.format_cost().equivalent_bit_width > 0.0, "{id}");
+        }
+    }
+
+    #[test]
+    fn algebra_mac_areas_are_ordered_sensibly() {
+        let mx = area(MacKind::from_scheme("mx:8,4,2".parse().unwrap()).unwrap());
+        let msfp = area(MacKind::from_scheme("msfp:4,32".parse().unwrap()).unwrap());
+        let blockmf = area(MacKind::from_scheme("blockmf:4,3,8".parse().unwrap()).unwrap());
+        let bfp4 = area(MacKind::Bfp(BfpConfig::new(4).unwrap()));
+        // MSFP shares the BFP lane structure; only the shared scale adder
+        // width differs, so the 32-lane MAC areas sit within a few percent.
+        assert!(
+            (msfp / bfp4 - 1.0).abs() < 0.05,
+            "MSFP/BFP4 {}",
+            msfp / bfp4
+        );
+        // The MX micro-exponent router adds a modest per-lane premium.
+        assert!(mx > bfp4, "MX {mx} vs BFP4 {bfp4}");
+        assert!(mx / bfp4 < 1.4, "MX/BFP4 {}", mx / bfp4);
+        // Block minifloat pays per-lane exponent add + alignment, well
+        // below the scalar FP16 lane at equal mantissa width.
+        assert!(blockmf > bfp4, "BlockMF {blockmf} vs BFP4 {bfp4}");
+        assert!(blockmf < area(MacKind::Fp16), "BlockMF {blockmf} vs FP16");
     }
 }

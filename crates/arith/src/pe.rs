@@ -11,7 +11,8 @@
 use crate::adder::{CarryChain, RippleCarryAdder};
 use crate::gates::{CostSummary, GateCounts, GateKind, GateLibrary};
 use crate::multiplier::ArrayMultiplier;
-use crate::shifter::FlagShifter;
+use crate::shifter::{BarrelShifter, FlagShifter};
+use bbal_core::{ElementKind, FormatAlgebra, ScaleKind};
 
 /// Guard bits each PE's partial-sum path carries above the product width.
 pub const PE_GUARD_BITS: u32 = 4;
@@ -29,6 +30,10 @@ pub enum PeKind {
     Bfp(u8),
     /// BBFP PE: `m`-bit multiplier, flag routing, sparse partial-sum adder.
     Bbfp(u8, u8),
+    /// A PE derived from a format-algebra point (MX, MSFP, block
+    /// minifloat): the datapath mirrors the point's scale and element
+    /// kinds instead of a hand-written per-family design.
+    Algebra(FormatAlgebra),
 }
 
 impl PeKind {
@@ -39,6 +44,7 @@ impl PeKind {
             PeKind::Olive => "Olive".to_owned(),
             PeKind::Bfp(m) => format!("BFP{m}"),
             PeKind::Bbfp(m, o) => format!("BBFP({m},{o})"),
+            PeKind::Algebra(alg) => alg.display_name(),
         }
     }
 
@@ -58,6 +64,102 @@ impl PeKind {
             PeKind::Bbfp(6, 5),
         ]
     }
+}
+
+/// Lane datapath gates for an algebra-derived PE, mirroring the block-MAC
+/// lane structure at PE guard width (see `bbal-arith`'s `mac` module).
+fn algebra_pe_gate_counts(alg: &FormatAlgebra) -> GateCounts {
+    let m = alg.mantissa_bits as u32;
+    match (alg.element, alg.scale) {
+        (ElementKind::Minifloat { exp_bits }, _) => {
+            let e = exp_bits as u32;
+            let mut g = ArrayMultiplier::new(m + 1).gate_counts();
+            g += RippleCarryAdder::new(e + 1).gate_counts();
+            g += BarrelShifter::new(2 * (m + 1) + PE_GUARD_BITS, (1 << e) - 1).gate_counts();
+            g += RippleCarryAdder::new(2 * (m + 1) + PE_GUARD_BITS).gate_counts();
+            g += GateCounts::new().with(GateKind::Xor2, 1);
+            g
+        }
+        (ElementKind::Fixed, ScaleKind::TwoLevel { sub_scale_bits, .. }) => {
+            let s = sub_scale_bits as u32;
+            let mut g = ArrayMultiplier::new(m).gate_counts();
+            g += FlagShifter::new(2 * m, s).gate_counts();
+            g += RippleCarryAdder::new(2 * m).gate_counts();
+            g += CarryChain::new(2 * s + PE_GUARD_BITS).gate_counts();
+            g += GateCounts::new().with(GateKind::Xor2, 1);
+            g
+        }
+        (ElementKind::Fixed, _) if alg.overlap_bits > 0 => {
+            let gap = m - alg.overlap_bits as u32;
+            let mut g = ArrayMultiplier::new(m).gate_counts();
+            g += FlagShifter::new(2 * m, gap).gate_counts();
+            g += RippleCarryAdder::new(2 * m).gate_counts();
+            g += CarryChain::new(2 * gap + PE_GUARD_BITS).gate_counts();
+            g += GateCounts::new().with(GateKind::Xor2, 1);
+            g
+        }
+        (ElementKind::Fixed, _) => {
+            let mut g = ArrayMultiplier::new(m).gate_counts();
+            g += RippleCarryAdder::new(2 * m + PE_GUARD_BITS).gate_counts();
+            g += GateCounts::new().with(GateKind::Xor2, 1);
+            g
+        }
+    }
+}
+
+/// Critical-path delay for an algebra-derived PE.
+fn algebra_pe_delay_ps(alg: &FormatAlgebra, lib: &GateLibrary) -> f64 {
+    let m = alg.mantissa_bits as u32;
+    match (alg.element, alg.scale) {
+        (ElementKind::Minifloat { exp_bits }, _) => {
+            let e = exp_bits as u32;
+            ArrayMultiplier::new(m + 1).cost(lib).delay_ps
+                + RippleCarryAdder::new(e + 1).cost(lib).delay_ps
+                + BarrelShifter::new(2 * (m + 1) + PE_GUARD_BITS, (1 << e) - 1)
+                    .cost(lib)
+                    .delay_ps
+                + RippleCarryAdder::new(2 * (m + 1) + PE_GUARD_BITS)
+                    .cost(lib)
+                    .delay_ps
+        }
+        (ElementKind::Fixed, ScaleKind::TwoLevel { sub_scale_bits, .. }) => {
+            let s = sub_scale_bits as u32;
+            ArrayMultiplier::new(m).cost(lib).delay_ps
+                + FlagShifter::new(2 * m, s).cost(lib).delay_ps
+                + RippleCarryAdder::new(2 * m).cost(lib).delay_ps
+                + CarryChain::new(2 * s + PE_GUARD_BITS).cost(lib).delay_ps
+        }
+        (ElementKind::Fixed, _) if alg.overlap_bits > 0 => {
+            let gap = m - alg.overlap_bits as u32;
+            ArrayMultiplier::new(m).cost(lib).delay_ps
+                + FlagShifter::new(2 * m, gap).cost(lib).delay_ps
+                + RippleCarryAdder::new(2 * m).cost(lib).delay_ps
+                + CarryChain::new(2 * gap + PE_GUARD_BITS).cost(lib).delay_ps
+        }
+        (ElementKind::Fixed, _) => {
+            ArrayMultiplier::new(m).cost(lib).delay_ps
+                + RippleCarryAdder::new(2 * m + PE_GUARD_BITS)
+                    .cost(lib)
+                    .delay_ps
+        }
+    }
+}
+
+/// Register widths `(weight, psum)` for an algebra-derived PE.
+fn algebra_register_bits(alg: &FormatAlgebra) -> (u32, u32) {
+    let m = alg.mantissa_bits as u32;
+    let weight = alg.payload_bits_per_element();
+    let psum = match (alg.element, alg.scale) {
+        (ElementKind::Minifloat { .. }, _) => 2 * (m + 1) + PE_GUARD_BITS,
+        (ElementKind::Fixed, ScaleKind::TwoLevel { sub_scale_bits, .. }) => {
+            2 * m + 2 * sub_scale_bits as u32 + PE_GUARD_BITS
+        }
+        (ElementKind::Fixed, _) if alg.overlap_bits > 0 => {
+            2 * m + 2 * (m - alg.overlap_bits as u32) + PE_GUARD_BITS
+        }
+        (ElementKind::Fixed, _) => 2 * m + PE_GUARD_BITS,
+    };
+    (weight, psum)
 }
 
 /// One weight-stationary processing element.
@@ -133,6 +235,7 @@ impl ProcessingElement {
                 g += GateCounts::new().with(GateKind::Xor2, 1); // sign
                 g
             }
+            PeKind::Algebra(alg) => algebra_pe_gate_counts(&alg),
         };
         // Weight register + partial-sum pipeline register (systolic).
         let (weight_bits, psum_bits) = self.register_bits();
@@ -155,6 +258,7 @@ impl ProcessingElement {
                 let gap = (m - o) as u32;
                 (m as u32 + 2, 2 * m as u32 + 2 * gap + PE_GUARD_BITS)
             }
+            PeKind::Algebra(alg) => algebra_register_bits(&alg),
         }
     }
 
@@ -183,6 +287,7 @@ impl ProcessingElement {
                     + RippleCarryAdder::new(2 * m as u32).cost(lib).delay_ps
                     + CarryChain::new(2 * gap + PE_GUARD_BITS).cost(lib).delay_ps
             }
+            PeKind::Algebra(alg) => algebra_pe_delay_ps(&alg, lib),
         };
         CostSummary {
             area_um2: g.area_um2(lib),
@@ -276,6 +381,35 @@ mod tests {
         assert_eq!(rows.len(), 11);
         let bbfp63 = rows.iter().find(|(n, _, _)| n == "BBFP(6,3)").unwrap();
         assert!((bbfp63.2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn algebra_pes_cover_new_families() {
+        let lib = GateLibrary::default();
+        let mx = PeKind::Algebra(FormatAlgebra::mx(8, 4, 2).unwrap());
+        let msfp = PeKind::Algebra(FormatAlgebra::msfp(4, 16).unwrap());
+        let blockmf = PeKind::Algebra(FormatAlgebra::blockmf(4, 3, 8).unwrap());
+        assert_eq!(mx.name(), "MX(8,4,2)");
+        assert_eq!(msfp.name(), "MSFP(4,16)");
+        assert_eq!(blockmf.name(), "BlockMF(4,3,8)");
+        // The MSFP PE shares the BFP lane; its area matches BFP4 to within
+        // the weight-register difference.
+        let r = area(msfp) / area(PeKind::Bfp(4));
+        assert!((0.9..1.1).contains(&r), "MSFP/BFP4 PE ratio {r}");
+        // MX pays the micro-exponent router; BlockMF pays the per-lane
+        // exponent add + alignment shifter. Both stay in the low-bit class.
+        assert!(area(mx) > area(PeKind::Bfp(4)));
+        assert!(area(blockmf) < area(PeKind::Bfp(6)) * 1.5);
+        for k in [mx, msfp, blockmf] {
+            let pe = ProcessingElement::with_exponent_adder(k);
+            assert!(pe.cost(&lib).delay_ps > 0.0, "{}", k.name());
+            assert!(
+                ProcessingElement::with_exponent_bypass(k)
+                    .cost(&lib)
+                    .area_um2
+                    < pe.cost(&lib).area_um2
+            );
+        }
     }
 
     #[test]

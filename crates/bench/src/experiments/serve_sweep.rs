@@ -33,11 +33,15 @@
 //! the perf trajectory is machine-diffable across PRs.
 
 use crate::util::{fmt2, print_table, to_io};
+use bbal_accel::AcceleratorConfig;
+use bbal_arith::GateLibrary;
 use bbal_core::SchemeSpec;
 use bbal_fleet::{
     ArrivalProcess, Fleet, FleetReport, LengthDistribution, ReplicaSlice, ReplicaSpec, RoutePolicy,
     SloBudget, TraceConfig,
 };
+use bbal_llm::zoo;
+use bbal_mem::KvFootprint;
 use bbal_serve::{AdmissionPolicy, GenerateRequest, ServeConfig, ServeReport, ServeRuntime};
 use bbal_session::SessionBuilder;
 use std::io::{self, Write};
@@ -335,6 +339,40 @@ impl FleetJsonRow {
             r.rejected(),
             r.generated_tokens(),
             per_replica,
+        )
+    }
+}
+
+/// The format-family lineup: the paper's BBFP(4,2) against one point of
+/// each algebra-derived family at comparable equivalent bit-width.
+const FAMILY_IDS: [&str; 4] = ["bbfp:4,2", "mx:8,4,2", "msfp:4,16", "blockmf:4,3,8"];
+
+/// One format-family row's machine-readable record.
+struct FamilyJsonRow {
+    scheme: String,
+    paper_name: String,
+    equivalent_bits: f64,
+    ppl: f64,
+    pe_area_um2: f64,
+    kv_bytes_per_token: f64,
+    tokens_per_s: f64,
+    identical: bool,
+}
+
+impl FamilyJsonRow {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"scheme\":\"{}\",\"paper_name\":\"{}\",\"equivalent_bits\":{:.4},\
+             \"ppl\":{:.4},\"pe_area_um2\":{:.1},\"kv_bytes_per_token\":{:.2},\
+             \"tokens_per_s\":{:.3},\"identical\":{}}}",
+            self.scheme,
+            self.paper_name,
+            self.equivalent_bits,
+            self.ppl,
+            self.pe_area_um2,
+            self.kv_bytes_per_token,
+            self.tokens_per_s,
+            self.identical,
         )
     }
 }
@@ -875,12 +913,96 @@ pub fn run(w: &mut dyn Write) -> io::Result<()> {
         wall_ms: section_start.elapsed().as_secs_f64() * 1.0e3,
         generated_tokens: fleet_json.iter().map(|r| r.report.generated_tokens()).sum(),
     });
+    section_start = Instant::now();
+
+    // --- Format-family comparison ------------------------------------
+    // The composable format algebra (bbal-core::algebra) lets MX / MSFP
+    // / block-minifloat scheme ids flow through the exact same stack as
+    // BBFP — same quantiser hooks, packed kernels, PE-area model, KV
+    // accounting, and scheduler — so the families can be pitted against
+    // each other at iso-bit-width on four axes: accuracy proxy (ppl on
+    // the serve model), PE array area, KV bytes per cached token, and
+    // batch-8 served throughput.
+    writeln!(w)?;
+    writeln!(
+        w,
+        "Format-family comparison at iso-bit-width ({MODEL} stand-in, batch 8 FCFS):"
+    )?;
+    writeln!(w)?;
+    let lib = GateLibrary::default();
+    let model_spec = zoo::find(MODEL).ok_or_else(|| {
+        io::Error::new(io::ErrorKind::NotFound, format!("{MODEL} not in the zoo"))
+    })?;
+    let mut family_rows: Vec<Vec<String>> = Vec::new();
+    let mut family_json: Vec<FamilyJsonRow> = Vec::new();
+    let mut family_tokens = 0usize;
+    for id in FAMILY_IDS {
+        let scheme: SchemeSpec = id.parse().map_err(to_io)?;
+        let alg = scheme
+            .algebra()
+            .map_err(to_io)?
+            .expect("every lineup family lowers to the algebra");
+        let bits = alg.cost().equivalent_bit_width;
+        let session = SessionBuilder::new()
+            .model(MODEL)
+            .scheme_spec(scheme)
+            .eval_set(2, 24, 1234)
+            .build()
+            .map_err(to_io)?;
+        let ppl = session.evaluate().ppl;
+        let pe_area = AcceleratorConfig::for_scheme(scheme, 16, 16)
+            .map_err(to_io)?
+            .pe_array_area_um2(&lib);
+        let kv_bytes =
+            KvFootprint::for_scheme(scheme, model_spec.hidden, model_spec.layers).bytes_per_token();
+        let sequential = serve(&[scheme], 1, AdmissionPolicy::Fcfs, None)?;
+        let batched = serve(&[scheme], 8, AdmissionPolicy::Fcfs, None)?;
+        let identical = identical_outputs(&sequential, &batched);
+        family_tokens += sequential.generated_tokens() + batched.generated_tokens();
+        family_rows.push(vec![
+            scheme.paper_name(),
+            format!("{bits:.2}"),
+            format!("{ppl:.2}"),
+            fmt2(pe_area),
+            fmt2(kv_bytes),
+            fmt2(batched.sim_tokens_per_s()),
+            identical.to_string(),
+        ]);
+        family_json.push(FamilyJsonRow {
+            scheme: id.to_owned(),
+            paper_name: scheme.paper_name(),
+            equivalent_bits: bits,
+            ppl,
+            pe_area_um2: pe_area,
+            kv_bytes_per_token: kv_bytes,
+            tokens_per_s: batched.sim_tokens_per_s(),
+            identical,
+        });
+    }
+    print_table(
+        w,
+        &[
+            "format",
+            "eq bits",
+            "ppl",
+            "PE array um2",
+            "KV B/tok",
+            "tok/s (sim)",
+            "identical",
+        ],
+        &family_rows,
+    )?;
+    bench.push(BenchScenario {
+        name: "format_family",
+        wall_ms: section_start.elapsed().as_secs_f64() * 1.0e3,
+        generated_tokens: family_tokens,
+    });
 
     // --- Machine-diffable record ------------------------------------
     let json = format!(
         "{{\n  \"model\": \"{MODEL}\",\n  \"requests\": {REQUESTS},\n  \
          \"max_new_tokens\": {MAX_NEW},\n  \"configs\": [\n    {}\n  ],\n  \
-         \"fleet\": [\n    {}\n  ]\n}}\n",
+         \"fleet\": [\n    {}\n  ],\n  \"format_family\": [\n    {}\n  ]\n}}\n",
         json_rows
             .iter()
             .map(JsonRow::to_json)
@@ -889,6 +1011,11 @@ pub fn run(w: &mut dyn Write) -> io::Result<()> {
         fleet_json
             .iter()
             .map(FleetJsonRow::to_json)
+            .collect::<Vec<_>>()
+            .join(",\n    "),
+        family_json
+            .iter()
+            .map(FamilyJsonRow::to_json)
             .collect::<Vec<_>>()
             .join(",\n    ")
     );

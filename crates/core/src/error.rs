@@ -39,6 +39,27 @@ pub enum FormatError {
     /// quantiser), so the packed layout could not reproduce it
     /// bit-for-bit.
     NotRepresentable(usize),
+    /// A shared-scale field width is outside the supported `5..=8`
+    /// range (it must hold any biased FP16 exponent, and silicon caps
+    /// it at a byte).
+    ScaleWidth(u8),
+    /// A two-level sub-block does not evenly tile the block (it must be
+    /// a power of two between 1 and 16 that divides the block size).
+    SubBlock {
+        /// Offending sub-block length.
+        sub_block: usize,
+        /// Block size the sub-blocks must tile.
+        block_size: usize,
+    },
+    /// A per-element minifloat exponent width is outside the supported
+    /// `2..=6` range.
+    ExponentWidth(u8),
+    /// A shared-bias field width is outside the supported `2..=8`
+    /// range.
+    BiasWidth(u8),
+    /// The combination of scale kind, element kind, and overlap bits is
+    /// not a point of the format algebra the codec supports.
+    UnsupportedCombination(&'static str),
 }
 
 impl fmt::Display for FormatError {
@@ -71,6 +92,28 @@ impl fmt::Display for FormatError {
                     f,
                     "value at index {i} is not exactly representable in the target scheme"
                 )
+            }
+            FormatError::ScaleWidth(b) => {
+                write!(f, "shared-scale width {b} outside supported range 5..=8")
+            }
+            FormatError::SubBlock {
+                sub_block,
+                block_size,
+            } => write!(
+                f,
+                "sub-block {sub_block} must be a power of two in 1..=16 dividing the block size {block_size}"
+            ),
+            FormatError::ExponentWidth(e) => {
+                write!(
+                    f,
+                    "minifloat exponent width {e} outside supported range 2..=6"
+                )
+            }
+            FormatError::BiasWidth(b) => {
+                write!(f, "shared-bias width {b} outside supported range 2..=8")
+            }
+            FormatError::UnsupportedCombination(what) => {
+                write!(f, "unsupported format-algebra combination: {what}")
             }
         }
     }

@@ -37,6 +37,7 @@
 #![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod algebra;
 pub mod analysis;
 pub mod bbfp;
 pub mod bfp;
@@ -51,6 +52,7 @@ pub mod policy;
 pub mod rounding;
 pub mod scheme;
 
+pub use algebra::{algebra_quantize_slice, ElementKind, FormatAlgebra, ScaleKind};
 pub use bbfp::{bbfp_quantize_slice, bbfp_quantize_slice_with, BbfpBlock, BbfpElement};
 pub use bfp::{bfp_quantize_slice, BfpBlock};
 pub use dot::{bbfp_dot, bbfp_products, bfp_dot, BbfpProduct, FixedPointDot};

@@ -3,10 +3,12 @@
 //! [`crate::bitpack`] defines the bit-exact storage layout of a single
 //! block; this module promotes it to the *storage format* of whole
 //! matrices. A [`PackedMatrix`] holds a weight matrix in its scheme's
-//! native layout — one 5-bit shared exponent per block followed by the
-//! packed `sign|mantissa` (BFP) or `sign|flag|mantissa` (BBFP) element
-//! payloads, with no padding between fields — plus the two kernel
-//! operands that layout factors every weight into:
+//! native layout — one shared scale field per block (5-bit exponent for
+//! BFP/BBFP, 8-bit for MX/MSFP, a signed bias for block minifloat),
+//! any per-sub-block offset codes, then the packed element payloads
+//! (`sign|mantissa`, `sign|flag|mantissa`, or `sign|exp|mantissa`),
+//! with no padding between fields — plus the two kernel operands that
+//! layout factors every weight into:
 //!
 //! ```text
 //!   block b:   [ e₄e₃e₂e₁e₀ | s f m₃m₂m₁m₀ | s f m₃m₂m₁m₀ | … ]
@@ -14,10 +16,12 @@
 //!            shared exponent   one element lane (BBFP: flag picks the
 //!                              high window, worth ×2^(m−o))
 //!
-//!   weight[j] = mantissa-lane[j] × 2^(shared(b) − 14 − m)
-//!               `──────┬──────'    `────────┬──────────'
-//!               small signed        one power-of-two scale
-//!               integer (f32)       per block
+//!   weight[j] = lane[j] × 2^(scale-exponent(b))
+//!               `──┬──'    `────────┬────────'
+//!           exact f32 (flags,   one power-of-two scale
+//!           micro-exponents,    per block
+//!           minifloat exps
+//!           folded in)
 //! ```
 //!
 //! The kernels exploit that factoring: [`PackedBlock::block_dot`]
@@ -54,18 +58,23 @@
 //! to the dense layout on any mismatch, so the invariant holds
 //! unconditionally.
 
-use crate::bbfp::encode_element;
-use crate::bfp::{exp2i, max_exponent};
+use crate::algebra::{self, AlgChunk, ElementKind, FormatAlgebra, ScaleKind};
+use crate::bfp::exp2i;
 use crate::bitpack::{BitReader, BitWriter};
 use crate::error::FormatError;
 use crate::format::{BbfpConfig, BfpConfig, SHARED_EXPONENT_BITS};
-use crate::fp16::{Fp16, SIGNIFICAND_BITS};
-use crate::policy::ExponentPolicy;
+use crate::fp16::Fp16;
 use crate::rounding::RoundingMode;
 use crate::scheme::SchemeSpec;
 
 /// The block-format family a [`PackedBlock`] or block-layout
 /// [`PackedMatrix`] is encoded in.
+///
+/// All variants encode and decode through the same
+/// [`crate::algebra`] chunk codec; `Bfp`/`Bbfp` keep their own
+/// constructors (and the exact bit layout PR 8 pinned), while
+/// `Algebra` carries any other packable point of the format algebra —
+/// MX, MSFP, block minifloat.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BlockScheme {
     /// Vanilla BFP: `sign|mantissa` elements.
@@ -73,6 +82,9 @@ pub enum BlockScheme {
     /// Bidirectional BFP: `sign|flag|mantissa` elements, the flag worth
     /// `×2^(m−o)`.
     Bbfp(BbfpConfig),
+    /// Any other packable point of the format algebra (MX two-level
+    /// scaling, MSFP wide blocks, block minifloat).
+    Algebra(FormatAlgebra),
 }
 
 impl BlockScheme {
@@ -81,7 +93,39 @@ impl BlockScheme {
         match scheme {
             SchemeSpec::Bfp(m) => BfpConfig::new(m).ok().map(BlockScheme::Bfp),
             SchemeSpec::Bbfp(m, o) => BbfpConfig::new(m, o).ok().map(BlockScheme::Bbfp),
+            SchemeSpec::Mx(..) | SchemeSpec::Msfp(..) | SchemeSpec::BlockMf(..) => scheme
+                .algebra()
+                .ok()
+                .flatten()
+                .filter(FormatAlgebra::packable)
+                .map(BlockScheme::Algebra),
             _ => None,
+        }
+    }
+
+    /// The format-algebra point every variant lowers to — the single
+    /// description the chunk codec runs on.
+    pub fn algebra_form(&self) -> FormatAlgebra {
+        match self {
+            BlockScheme::Bfp(c) => FormatAlgebra {
+                block_size: c.block_size(),
+                scale: ScaleKind::SharedExponent {
+                    bits: SHARED_EXPONENT_BITS as u8,
+                },
+                mantissa_bits: c.mantissa_bits(),
+                overlap_bits: 0,
+                element: ElementKind::Fixed,
+            },
+            BlockScheme::Bbfp(c) => FormatAlgebra {
+                block_size: c.block_size(),
+                scale: ScaleKind::SharedExponent {
+                    bits: SHARED_EXPONENT_BITS as u8,
+                },
+                mantissa_bits: c.mantissa_bits(),
+                overlap_bits: c.overlap_bits(),
+                element: ElementKind::Fixed,
+            },
+            BlockScheme::Algebra(a) => *a,
         }
     }
 
@@ -90,6 +134,7 @@ impl BlockScheme {
         match self {
             BlockScheme::Bfp(c) => c.block_size(),
             BlockScheme::Bbfp(c) => c.block_size(),
+            BlockScheme::Algebra(a) => a.block_size,
         }
     }
 
@@ -98,102 +143,28 @@ impl BlockScheme {
         match self {
             BlockScheme::Bfp(c) => c.mantissa_bits(),
             BlockScheme::Bbfp(c) => c.mantissa_bits(),
+            BlockScheme::Algebra(a) => a.mantissa_bits,
         }
     }
 
-    /// Packed payload bits per element (`1+m` for BFP, `2+m` for BBFP).
+    /// Packed payload bits per element (`1+m` for BFP, `2+m` for BBFP,
+    /// `1+e+m` for minifloat elements).
     pub fn element_bits(&self) -> usize {
-        match self {
-            BlockScheme::Bfp(c) => 1 + c.mantissa_bits() as usize,
-            BlockScheme::Bbfp(c) => 2 + c.mantissa_bits() as usize,
-        }
-    }
-}
-
-/// One encoded element: the signed effective mantissa (flag already
-/// applied for BBFP) and the raw fields to pack.
-#[derive(Debug, Clone, Copy)]
-struct EncodedElement {
-    sign: bool,
-    flag: bool,
-    mantissa: u16,
-}
-
-impl EncodedElement {
-    /// The element's value in mantissa units, as an exactly-representable
-    /// f32 (signed; `-0.0` for a negative-signed zero mantissa, so the
-    /// lane reproduces the quantiser's signed zeros bit-for-bit).
-    fn lane_value(&self, scheme: &BlockScheme) -> f32 {
-        let f = match (self.flag, scheme) {
-            (true, BlockScheme::Bbfp(c)) => c.flag_scale(),
-            _ => 1,
-        };
-        let mag = (self.mantissa as u32 * f) as f32;
-        if self.sign {
-            -mag
-        } else {
-            mag
-        }
+        self.algebra_form().payload_bits_per_element() as usize
     }
 }
 
 /// Encodes one chunk (a full block or a ragged tail) of *already
-/// quantised* values against its own shared exponent — exactly the
-/// per-chunk step of [`crate::bfp::bfp_quantize_slice`] /
-/// [`crate::bbfp::bbfp_quantize_slice`], so re-encoding a quantised
-/// chunk is the identity.
-fn encode_chunk(values: &[f32], scheme: &BlockScheme) -> (i32, Vec<EncodedElement>) {
+/// quantised* values against its own shared scale — exactly the
+/// per-chunk step of [`crate::algebra::algebra_quantize_slice`] (which
+/// the legacy `bfp_quantize_slice`/`bbfp_quantize_slice` agree with on
+/// their points), so re-encoding a quantised chunk is the identity.
+fn encode_chunk(values: &[f32], alg: &FormatAlgebra) -> AlgChunk {
     let fp16: Vec<Fp16> = values
         .iter()
         .map(|&v| Fp16::from_f32_saturating(v))
         .collect();
-    match scheme {
-        BlockScheme::Bfp(cfg) => {
-            let shared = max_exponent(&fp16);
-            let m = cfg.mantissa_bits() as u32;
-            let max_mantissa = (1u64 << m) - 1;
-            let elements = fp16
-                .iter()
-                .map(|v| {
-                    let (sig, exp) = v.significand();
-                    let shift = (SIGNIFICAND_BITS - m) as i32 + (shared - exp);
-                    let q = RoundingMode::NearestEven
-                        .shift_right(sig as u64, shift as u32)
-                        .min(max_mantissa);
-                    EncodedElement {
-                        sign: v.is_sign_negative(),
-                        flag: false,
-                        mantissa: q as u16,
-                    }
-                })
-                .collect();
-            (shared, elements)
-        }
-        BlockScheme::Bbfp(cfg) => {
-            let policy = ExponentPolicy::paper_default(*cfg);
-            let shared = policy.shared_exponent(max_exponent(&fp16));
-            let elements = fp16
-                .iter()
-                .map(|v| {
-                    let e = encode_element(*v, *cfg, shared, RoundingMode::NearestEven);
-                    EncodedElement {
-                        sign: e.sign,
-                        flag: e.flag,
-                        mantissa: e.mantissa,
-                    }
-                })
-                .collect();
-            (shared, elements)
-        }
-    }
-}
-
-/// Decodes one chunk's reconstruction from its shared exponent and
-/// elements: `±(mantissa·flag_scale) × 2^(shared−14−m)`.
-fn decode_value(shared: i32, e: &EncodedElement, scheme: &BlockScheme) -> f32 {
-    let scale = exp2i(shared - 14 - scheme.mantissa_bits() as i32);
-    let lane = e.lane_value(scheme);
-    lane * scale
+    algebra::encode_chunk(&fp16, alg, RoundingMode::NearestEven)
 }
 
 /// One block (up to `block_size` values) stored in its packed bit
@@ -227,6 +198,7 @@ pub struct PackedBlock {
     scheme: BlockScheme,
     len: usize,
     shared_exponent: i32,
+    bit_len: usize,
     bytes: Vec<u8>,
 }
 
@@ -255,18 +227,21 @@ impl PackedBlock {
                 return Err(FormatError::NonFinite(i));
             }
         }
-        let (shared, elements) = encode_chunk(values, &scheme);
-        for (i, (v, e)) in values.iter().zip(&elements).enumerate() {
-            if decode_value(shared, e, &scheme).to_bits() != v.to_bits() {
+        let alg = scheme.algebra_form();
+        let chunk = encode_chunk(values, &alg);
+        for (i, v) in values.iter().enumerate() {
+            if chunk.decode_value(i, &alg).to_bits() != v.to_bits() {
                 return Err(FormatError::NotRepresentable(i));
             }
         }
         let mut w = BitWriter::new();
-        write_chunk(&mut w, shared, &elements, &scheme);
+        algebra::write_chunk(&mut w, &chunk, &alg);
+        let bit_len = w.bit_len();
         Ok(PackedBlock {
             scheme,
             len: values.len(),
-            shared_exponent: shared,
+            shared_exponent: chunk.scale_code,
+            bit_len,
             bytes: w.into_bytes(),
         })
     }
@@ -287,30 +262,31 @@ impl PackedBlock {
         self.len == 0
     }
 
-    /// The shared biased exponent of the block.
+    /// The shared scale code of the block: the biased maximum exponent
+    /// for shared-exponent and two-level schemes, the signed exponent
+    /// bias for block minifloat.
     pub fn shared_exponent(&self) -> i32 {
         self.shared_exponent
     }
 
-    /// The packed bytes (5-bit shared exponent, then element payloads).
+    /// The packed bytes (shared scale field, any sub-block offsets,
+    /// then element payloads).
     pub fn bytes(&self) -> &[u8] {
         &self.bytes
     }
 
     /// Exact packed size in bits.
     pub fn packed_bits(&self) -> usize {
-        SHARED_EXPONENT_BITS as usize + self.len * self.scheme.element_bits()
+        self.bit_len
     }
 
     /// Decodes the packed bytes back to f32 values — the exact inverse
     /// of [`PackedBlock::encode`].
     pub fn decode(&self) -> Vec<f32> {
+        let alg = self.scheme.algebra_form();
         let mut r = BitReader::new(&self.bytes);
-        let (shared, elements) = read_chunk(&mut r, self.len, &self.scheme);
-        elements
-            .iter()
-            .map(|e| decode_value(shared, e, &self.scheme))
-            .collect()
+        let chunk = algebra::read_chunk(&mut r, self.len, &alg);
+        (0..self.len).map(|i| chunk.decode_value(i, &alg)).collect()
     }
 
     /// The block-dot kernel: accumulates activation × mantissa-integer
@@ -324,50 +300,15 @@ impl PackedBlock {
     /// Panics if `acts.len() != self.len()`.
     pub fn block_dot(&self, acts: &[f32]) -> f32 {
         assert_eq!(acts.len(), self.len, "activation length mismatch");
+        let alg = self.scheme.algebra_form();
         let mut r = BitReader::new(&self.bytes);
-        let (shared, elements) = read_chunk(&mut r, self.len, &self.scheme);
+        let chunk = algebra::read_chunk(&mut r, self.len, &alg);
         let mut acc = 0.0f32;
-        for (a, e) in acts.iter().zip(&elements) {
-            acc += a * e.lane_value(&self.scheme);
+        for (i, a) in acts.iter().enumerate() {
+            acc += a * chunk.lane_value(i, &alg);
         }
-        acc * exp2i(shared - 14 - self.scheme.mantissa_bits() as i32)
+        acc * exp2i(chunk.scale_exponent(&alg))
     }
-}
-
-/// Writes one chunk into `w`: shared exponent then element payloads.
-fn write_chunk(w: &mut BitWriter, shared: i32, elements: &[EncodedElement], scheme: &BlockScheme) {
-    w.push(shared as u32, SHARED_EXPONENT_BITS);
-    let m = scheme.mantissa_bits() as u32;
-    for e in elements {
-        w.push(e.sign as u32, 1);
-        if matches!(scheme, BlockScheme::Bbfp(_)) {
-            w.push(e.flag as u32, 1);
-        }
-        w.push(e.mantissa as u32, m);
-    }
-}
-
-/// Reads one chunk of `len` elements from `r`.
-fn read_chunk(
-    r: &mut BitReader<'_>,
-    len: usize,
-    scheme: &BlockScheme,
-) -> (i32, Vec<EncodedElement>) {
-    let shared = r.read(SHARED_EXPONENT_BITS).expect("packed buffer intact") as i32;
-    let m = scheme.mantissa_bits() as u32;
-    let mut elements = Vec::with_capacity(len);
-    for _ in 0..len {
-        let sign = r.read(1).expect("packed buffer intact") == 1;
-        let flag =
-            matches!(scheme, BlockScheme::Bbfp(_)) && r.read(1).expect("packed buffer intact") == 1;
-        let mantissa = r.read(m).expect("packed buffer intact") as u16;
-        elements.push(EncodedElement {
-            sign,
-            flag,
-            mantissa,
-        });
-    }
-    (shared, elements)
 }
 
 /// Which storage layout a [`PackedMatrix`] ended up with.
@@ -397,11 +338,15 @@ enum Layout {
         /// Packed bits of every block, concatenated with no padding.
         bytes: Vec<u8>,
         bit_len: usize,
-        /// Signed effective mantissas (flag applied), one per element.
+        /// Signed effective lane values (flags, micro-exponents and
+        /// minifloat exponents already folded in), one per element.
         lane: Vec<f32>,
-        /// One power-of-two scale per 32-element block of the flat
+        /// One power-of-two scale per `group`-element block of the flat
         /// row-major buffer (final block may be ragged).
         scale: Vec<f32>,
+        /// The scheme's block size — the stride of `scale` along the
+        /// flat buffer.
+        group: usize,
     },
 }
 
@@ -449,10 +394,6 @@ pub struct PackedMatrix {
     layout: Layout,
 }
 
-/// Flat blocks are always this wide (the hardware block size every
-/// scheme in the registry uses).
-const BLOCK: usize = crate::format::DEFAULT_BLOCK_SIZE;
-
 impl PackedMatrix {
     /// Packs an **already quantised** `rows × cols` row-major matrix
     /// into `scheme`'s native layout.
@@ -471,7 +412,11 @@ impl PackedMatrix {
         assert_eq!(values.len(), rows * cols, "data length mismatch");
         let layout = match scheme {
             SchemeSpec::Fp16 => pack_fp16(values),
-            SchemeSpec::Bfp(_) | SchemeSpec::Bbfp(_, _) => {
+            SchemeSpec::Bfp(_)
+            | SchemeSpec::Bbfp(_, _)
+            | SchemeSpec::Mx(..)
+            | SchemeSpec::Msfp(..)
+            | SchemeSpec::BlockMf(..) => {
                 BlockScheme::from_scheme(scheme).and_then(|bs| pack_blocks(values, bs))
             }
             _ => None,
@@ -531,16 +476,22 @@ impl PackedMatrix {
             Layout::Fp16 { bits, .. } => {
                 bits.iter().map(|&b| Fp16::from_bits(b).to_f32()).collect()
             }
-            Layout::Block { scheme, bytes, .. } => {
+            Layout::Block {
+                scheme,
+                bytes,
+                group,
+                ..
+            } => {
+                let alg = scheme.algebra_form();
                 let n = self.rows * self.cols;
                 let mut out = Vec::with_capacity(n);
                 let mut r = BitReader::new(bytes);
                 let mut done = 0;
                 while done < n {
-                    let len = BLOCK.min(n - done);
-                    let (shared, elements) = read_chunk(&mut r, len, scheme);
-                    for e in &elements {
-                        out.push(decode_value(shared, e, scheme));
+                    let len = (*group).min(n - done);
+                    let chunk = algebra::read_chunk(&mut r, len, &alg);
+                    for i in 0..len {
+                        out.push(chunk.decode_value(i, &alg));
                     }
                     done += len;
                 }
@@ -589,14 +540,14 @@ impl PackedMatrix {
             out_row.fill(0.0);
             match scale {
                 None => axpy_dense(x_row, lane, n, c0, c1, out_row),
-                Some(scale) => {
-                    if n.is_multiple_of(BLOCK)
-                        && c0.is_multiple_of(BLOCK)
-                        && c1.is_multiple_of(BLOCK)
+                Some((scale, group)) => {
+                    if n.is_multiple_of(group)
+                        && c0.is_multiple_of(group)
+                        && c1.is_multiple_of(group)
                     {
-                        axpy_block_aligned(x_row, lane, scale, n, c0, c1, out_row);
+                        axpy_block_aligned(x_row, lane, scale, group, n, c0, c1, out_row);
                     } else {
-                        axpy_block_ragged(x_row, lane, scale, n, c0, c1, out_row);
+                        axpy_block_ragged(x_row, lane, scale, group, n, c0, c1, out_row);
                     }
                 }
             }
@@ -644,7 +595,13 @@ impl PackedMatrix {
                 let w_row = &lane[r * n..(r + 1) * n];
                 let acc = match scale {
                     None => dot_plain(x_row, w_row),
-                    Some(scale) => dot_scaled(x_row, w_row, scale, r * n),
+                    // Row-aligned rows (the common decoder shapes, where
+                    // n is a multiple of the block size) take the fast
+                    // path: no per-segment flat-index division.
+                    Some((scale, group)) if n.is_multiple_of(group) => {
+                        dot_scaled_aligned(x_row, w_row, &scale[r * (n / group)..], group)
+                    }
+                    Some((scale, group)) => dot_scaled(x_row, w_row, scale, group, r * n),
                 };
                 out[i * width + (r - r0)] = acc;
             }
@@ -652,12 +609,14 @@ impl PackedMatrix {
     }
 
     /// The kernel operands: the f32 lane and, for the block layout, the
-    /// per-block scales.
-    fn kernel_operands(&self) -> (&[f32], Option<&[f32]>) {
+    /// per-block scales with their block-size stride.
+    fn kernel_operands(&self) -> (&[f32], Option<(&[f32], usize)>) {
         match &self.layout {
             Layout::Dense { lane } => (lane, None),
             Layout::Fp16 { lane, .. } => (lane, None),
-            Layout::Block { lane, scale, .. } => (lane, Some(scale)),
+            Layout::Block {
+                lane, scale, group, ..
+            } => (lane, Some((scale, *group))),
         }
     }
 }
@@ -682,25 +641,27 @@ fn pack_fp16(values: &[f32]) -> Option<Layout> {
 /// Packs the block layout over the flat buffer; `None` if any block
 /// fails the bit-exact round-trip check.
 fn pack_blocks(values: &[f32], scheme: BlockScheme) -> Option<Layout> {
-    if scheme.block_size() != BLOCK {
+    let alg = scheme.algebra_form();
+    if !alg.packable() {
         return None;
     }
+    let group = alg.block_size;
     let mut w = BitWriter::new();
     let mut lane = Vec::with_capacity(values.len());
-    let mut scale = Vec::with_capacity(values.len().div_ceil(BLOCK));
-    for chunk in values.chunks(BLOCK) {
+    let mut scale = Vec::with_capacity(values.len().div_ceil(group));
+    for chunk in values.chunks(group) {
         if chunk.iter().any(|v| !v.is_finite()) {
             return None;
         }
-        let (shared, elements) = encode_chunk(chunk, &scheme);
-        for (v, e) in chunk.iter().zip(&elements) {
-            if decode_value(shared, e, &scheme).to_bits() != v.to_bits() {
+        let encoded = encode_chunk(chunk, &alg);
+        for (i, v) in chunk.iter().enumerate() {
+            if encoded.decode_value(i, &alg).to_bits() != v.to_bits() {
                 return None;
             }
-            lane.push(e.lane_value(&scheme));
+            lane.push(encoded.lane_value(i, &alg));
         }
-        scale.push(exp2i(shared - 14 - scheme.mantissa_bits() as i32));
-        write_chunk(&mut w, shared, &elements, &scheme);
+        scale.push(exp2i(encoded.scale_exponent(&alg)));
+        algebra::write_chunk(&mut w, &encoded, &alg);
     }
     let bit_len = w.bit_len();
     Some(Layout::Block {
@@ -709,6 +670,7 @@ fn pack_blocks(values: &[f32], scheme: BlockScheme) -> Option<Layout> {
         bit_len,
         lane,
         scale,
+        group,
     })
 }
 
@@ -760,18 +722,20 @@ fn axpy_dense(x_row: &[f32], lane: &[f32], n: usize, c0: usize, c1: usize, out_r
 /// decoder-dimension fast path): the block scale folds into the
 /// broadcast activation once per block, and four activation rows fuse
 /// per pass exactly as in [`axpy_dense`].
+#[allow(clippy::too_many_arguments)]
 fn axpy_block_aligned(
     x_row: &[f32],
     lane: &[f32],
     scale: &[f32],
+    group: usize,
     n: usize,
     c0: usize,
     c1: usize,
     out_row: &mut [f32],
 ) {
-    let bpr = n / BLOCK;
-    let b0 = c0 / BLOCK;
-    let b1 = c1 / BLOCK;
+    let bpr = n / group;
+    let b0 = c0 / group;
+    let b1 = c1 / group;
     let mut quad = [(0usize, 0.0f32); KQUAD];
     let mut filled = 0;
     for (k, &a) in x_row.iter().enumerate() {
@@ -783,17 +747,17 @@ fn axpy_block_aligned(
         if filled == KQUAD {
             let [q0, q1, q2, q3] = quad;
             for b in b0..b1 {
-                let j0 = b * BLOCK;
+                let j0 = b * group;
                 let as0 = q0.1 * scale[q0.0 * bpr + b];
                 let as1 = q1.1 * scale[q1.0 * bpr + b];
                 let as2 = q2.1 * scale[q2.0 * bpr + b];
                 let as3 = q3.1 * scale[q3.0 * bpr + b];
-                let l0 = &lane[q0.0 * n + j0..q0.0 * n + j0 + BLOCK];
-                let l1 = &lane[q1.0 * n + j0..q1.0 * n + j0 + BLOCK];
-                let l2 = &lane[q2.0 * n + j0..q2.0 * n + j0 + BLOCK];
-                let l3 = &lane[q3.0 * n + j0..q3.0 * n + j0 + BLOCK];
-                let o = &mut out_row[j0 - c0..j0 - c0 + BLOCK];
-                for j in 0..BLOCK {
+                let l0 = &lane[q0.0 * n + j0..q0.0 * n + j0 + group];
+                let l1 = &lane[q1.0 * n + j0..q1.0 * n + j0 + group];
+                let l2 = &lane[q2.0 * n + j0..q2.0 * n + j0 + group];
+                let l3 = &lane[q3.0 * n + j0..q3.0 * n + j0 + group];
+                let o = &mut out_row[j0 - c0..j0 - c0 + group];
+                for j in 0..group {
                     let mut v = o[j];
                     v += as0 * l0[j];
                     v += as1 * l1[j];
@@ -807,11 +771,11 @@ fn axpy_block_aligned(
     }
     for &(k, a) in &quad[..filled] {
         for b in b0..b1 {
-            let j0 = b * BLOCK;
+            let j0 = b * group;
             let a_s = a * scale[k * bpr + b];
-            let l = &lane[k * n + j0..k * n + j0 + BLOCK];
-            let o = &mut out_row[j0 - c0..j0 - c0 + BLOCK];
-            for j in 0..BLOCK {
+            let l = &lane[k * n + j0..k * n + j0 + group];
+            let o = &mut out_row[j0 - c0..j0 - c0 + group];
+            for j in 0..group {
                 o[j] += a_s * l[j];
             }
         }
@@ -821,10 +785,12 @@ fn axpy_block_aligned(
 /// Block-layout axpy for arbitrary column ranges and widths (blocks run
 /// along the *flat* buffer, so a ragged matrix's block boundaries shift
 /// per row): walks each row's covered flat-block segments one at a time.
+#[allow(clippy::too_many_arguments)]
 fn axpy_block_ragged(
     x_row: &[f32],
     lane: &[f32],
     scale: &[f32],
+    group: usize,
     n: usize,
     c0: usize,
     c1: usize,
@@ -837,8 +803,8 @@ fn axpy_block_ragged(
         let mut j = c0;
         while j < c1 {
             let flat = k * n + j;
-            let block = flat / BLOCK;
-            let seg_end = c1.min(j + (BLOCK - flat % BLOCK));
+            let block = flat / group;
+            let seg_end = c1.min(j + (group - flat % group));
             let a_s = a * scale[block];
             let l = &lane[flat..flat + (seg_end - j)];
             let o = &mut out_row[j - c0..seg_end - c0];
@@ -859,18 +825,39 @@ fn dot_plain(x_row: &[f32], w_row: &[f32]) -> f32 {
     acc
 }
 
+/// Sequential dot against the mantissa lane when the row starts on a
+/// block boundary and covers whole blocks (`n % group == 0`): the
+/// per-segment flat-index division of [`dot_scaled`] disappears and the
+/// inner loop runs over exact-size chunks the compiler can keep in
+/// registers. Accumulation order is identical to [`dot_scaled`] (and to
+/// the scalar reference), so the result is bit-identical.
+fn dot_scaled_aligned(x_row: &[f32], w_row: &[f32], scale: &[f32], group: usize) -> f32 {
+    let mut acc = 0.0f32;
+    for (bi, (xc, wc)) in x_row
+        .chunks_exact(group)
+        .zip(w_row.chunks_exact(group))
+        .enumerate()
+    {
+        let s = scale[bi];
+        for (x, w) in xc.iter().zip(wc) {
+            acc += (x * s) * w;
+        }
+    }
+    acc
+}
+
 /// Sequential dot against the mantissa lane: the block scale folds into
 /// the activation at each flat-block boundary, keeping every partial
 /// product equal to `fl(aⱼ·wⱼ)` while the accumulator order matches the
 /// reference exactly.
-fn dot_scaled(x_row: &[f32], w_row: &[f32], scale: &[f32], flat0: usize) -> f32 {
+fn dot_scaled(x_row: &[f32], w_row: &[f32], scale: &[f32], group: usize, flat0: usize) -> f32 {
     let mut acc = 0.0f32;
     let n = x_row.len();
     let mut j = 0;
     while j < n {
         let flat = flat0 + j;
-        let block = flat / BLOCK;
-        let seg_end = n.min(j + (BLOCK - flat % BLOCK));
+        let block = flat / group;
+        let seg_end = n.min(j + (group - flat % group));
         let s = scale[block];
         for jj in j..seg_end {
             acc += (x_row[jj] * s) * w_row[jj];
@@ -909,6 +896,15 @@ mod tests {
                 RoundingMode::NearestEven,
                 &mut out,
             ),
+            SchemeSpec::Mx(..) | SchemeSpec::Msfp(..) | SchemeSpec::BlockMf(..) => {
+                let alg = scheme.algebra().unwrap().unwrap();
+                crate::algebra::algebra_quantize_slice(
+                    &raw,
+                    &alg,
+                    RoundingMode::NearestEven,
+                    &mut out,
+                );
+            }
             SchemeSpec::Fp16 => {
                 for (o, &v) in out.iter_mut().zip(&raw) {
                     *o = Fp16::from_f32_saturating(v).to_f32();
@@ -918,6 +914,14 @@ mod tests {
         }
         out
     }
+
+    /// The new-family lineup every packed test sweeps alongside the
+    /// classic schemes.
+    const NEW_FAMILIES: [SchemeSpec; 3] = [
+        SchemeSpec::Mx(8, 4, 2),
+        SchemeSpec::Msfp(4, 16),
+        SchemeSpec::BlockMf(4, 3, 8),
+    ];
 
     /// The scalar reference: `Tensor::matmul`'s i-k-j loop.
     fn reference_gemm(x: &[f32], x_rows: usize, w: &[f32], k_len: usize, n: usize) -> Vec<f32> {
@@ -946,6 +950,53 @@ mod tests {
                 assert_eq!(block.decode(), q, "{scheme} len {len}");
                 assert_eq!(block.packed_bits(), 5 + len * bs.element_bits());
             }
+        }
+    }
+
+    #[test]
+    fn new_family_blocks_round_trip_with_exact_bit_budgets() {
+        for scheme in NEW_FAMILIES {
+            let bs = BlockScheme::from_scheme(scheme).unwrap();
+            let alg = bs.algebra_form();
+            for len in [bs.block_size(), 7, 1] {
+                let q = quantised(scheme, len, 3 + len as u64);
+                let block = PackedBlock::encode(&q, bs).unwrap();
+                assert_eq!(block.decode(), q, "{scheme} len {len}");
+                let sub_bits = match alg.scale {
+                    ScaleKind::TwoLevel {
+                        sub_block,
+                        sub_scale_bits,
+                        ..
+                    } => len.div_ceil(sub_block) * sub_scale_bits as usize,
+                    _ => 0,
+                };
+                let scale_bits = match alg.scale {
+                    ScaleKind::SharedExponent { bits }
+                    | ScaleKind::SharedBias { bits }
+                    | ScaleKind::TwoLevel { bits, .. } => bits as usize,
+                };
+                assert_eq!(
+                    block.packed_bits(),
+                    scale_bits + sub_bits + len * bs.element_bits(),
+                    "{scheme} len {len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn new_family_block_dot_is_bit_identical() {
+        for scheme in NEW_FAMILIES {
+            let bs = BlockScheme::from_scheme(scheme).unwrap();
+            let n = bs.block_size();
+            let q = quantised(scheme, n, 11);
+            let acts = quantised(SchemeSpec::Fp16, n, 17);
+            let block = PackedBlock::encode(&q, bs).unwrap();
+            let mut acc = 0.0f32;
+            for (a, w) in acts.iter().zip(&q) {
+                acc += a * w;
+            }
+            assert_eq!(block.block_dot(&acts).to_bits(), acc.to_bits(), "{scheme}");
         }
     }
 
@@ -1000,6 +1051,21 @@ mod tests {
             PackedMatrix::pack(&raw, 2, 32, SchemeSpec::Bfp(4)).layout_kind(),
             LayoutKind::Dense
         );
+        // Each new family packs its own quantiser output natively …
+        for scheme in NEW_FAMILIES {
+            let q = quantised(scheme, 64, 5);
+            assert_eq!(
+                PackedMatrix::pack(&q, 2, 32, scheme).layout_kind(),
+                LayoutKind::Block,
+                "{scheme}"
+            );
+            // … and falls back to Dense on foreign input.
+            assert_eq!(
+                PackedMatrix::pack(&raw, 2, 32, scheme).layout_kind(),
+                LayoutKind::Dense,
+                "{scheme}"
+            );
+        }
     }
 
     #[test]
@@ -1013,7 +1079,14 @@ mod tests {
 
     #[test]
     fn gemm_matches_reference_aligned_and_ragged() {
-        for scheme in [SchemeSpec::Bbfp(4, 2), SchemeSpec::Bfp(6), SchemeSpec::Fp16] {
+        for scheme in [
+            SchemeSpec::Bbfp(4, 2),
+            SchemeSpec::Bfp(6),
+            SchemeSpec::Fp16,
+            SchemeSpec::Mx(8, 4, 2),
+            SchemeSpec::Msfp(4, 16),
+            SchemeSpec::BlockMf(4, 3, 8),
+        ] {
             for (k_len, n) in [(8usize, 64usize), (5, 33), (3, 7)] {
                 let q = quantised(scheme, k_len * n, 13);
                 let p = PackedMatrix::pack(&q, k_len, n, scheme);
@@ -1056,8 +1129,45 @@ mod tests {
     }
 
     #[test]
+    fn transposed_aligned_fast_path_is_bit_identical_to_segment_walk() {
+        // Satellite check for the PR 8 `gemm_transposed` regression: the
+        // aligned fast path must agree bit-for-bit with the generic
+        // segment walk it bypasses, on every block scheme.
+        for scheme in [
+            SchemeSpec::Bbfp(4, 2),
+            SchemeSpec::Bfp(6),
+            SchemeSpec::Mx(8, 4, 2),
+            SchemeSpec::Msfp(4, 16),
+            SchemeSpec::BlockMf(4, 3, 8),
+        ] {
+            let bs = BlockScheme::from_scheme(scheme).unwrap();
+            let group = bs.block_size();
+            let (w_rows, n) = (4usize, group * 3);
+            let q = quantised(scheme, w_rows * n, 31);
+            let p = PackedMatrix::pack(&q, w_rows, n, scheme);
+            assert_eq!(p.layout_kind(), LayoutKind::Block, "{scheme}");
+            let (lane, scale) = p.kernel_operands();
+            let (scale, g) = scale.unwrap();
+            assert_eq!(g, group);
+            let x = quantised(SchemeSpec::Fp16, n, 37);
+            for r in 0..w_rows {
+                let w_row = &lane[r * n..(r + 1) * n];
+                let fast = dot_scaled_aligned(&x, w_row, &scale[r * (n / group)..], group);
+                let slow = dot_scaled(&x, w_row, scale, group, r * n);
+                assert_eq!(fast.to_bits(), slow.to_bits(), "{scheme} row {r}");
+            }
+        }
+    }
+
+    #[test]
     fn gemm_transposed_matches_reference() {
-        for scheme in [SchemeSpec::Bbfp(6, 3), SchemeSpec::Oltron] {
+        for scheme in [
+            SchemeSpec::Bbfp(6, 3),
+            SchemeSpec::Oltron,
+            SchemeSpec::Mx(8, 4, 2),
+            SchemeSpec::Msfp(4, 16),
+            SchemeSpec::BlockMf(4, 3, 8),
+        ] {
             let (w_rows, n) = (5usize, 40usize);
             let q = quantised(scheme, w_rows * n, 19);
             let p = PackedMatrix::pack(&q, w_rows, n, scheme);

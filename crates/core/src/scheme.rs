@@ -19,9 +19,16 @@
 //! | `int8`, `int:8` | symmetric integer, 8 bits |
 //! | `bfp4`, `bfp:4` | vanilla BFP, 4-bit mantissas |
 //! | `bbfp:4,2` | BBFP, 4-bit mantissas, 2 overlap bits |
+//! | `mx:8,4,2` | MX two-level scaling: 8-bit block exponent, 4-bit mantissas, 2-wide sub-blocks |
+//! | `msfp:4,16` | MSFP: 8-bit shared exponent, 4-bit mantissas, 16-wide blocks |
+//! | `blockmf:4,3,8` | block minifloat: e4m3 elements, 8-bit shared bias |
 //! | `olive` | outlier-victim pairs (Olive, ISCA 2023) |
 //! | `oltron` | fixed-budget outliers (Oltron, DAC 2024) |
 //! | `omniquant` | learned clipping (OmniQuant, 2023) |
+//!
+//! The block-format rows are all points of one parameter space — see
+//! [`crate::algebra::FormatAlgebra`], which every variant lowers into
+//! via [`SchemeSpec::algebra`].
 //!
 //! Parsing is case-insensitive and also accepts the paper's display
 //! names (`"BBFP(4,2)"`, `"BFP4"`, `"OmniQuant"`), so the strings used in
@@ -41,6 +48,7 @@
 //! # Ok::<(), bbal_core::SchemeError>(())
 //! ```
 
+use crate::algebra::FormatAlgebra;
 use crate::error::FormatError;
 use crate::format::{BbfpConfig, BfpConfig};
 use std::fmt;
@@ -69,6 +77,17 @@ pub enum SchemeSpec {
     Bfp(u8),
     /// Bidirectional BFP with `m`-bit mantissas and `o` overlap bits.
     Bbfp(u8, u8),
+    /// MX-style two-level scaled vectors: an `e`-bit block exponent, a
+    /// 1-bit micro-exponent per `sub`-element sub-block, `m`-bit
+    /// mantissas (`mx:<e>,<m>,<sub>`).
+    Mx(u8, u8, u8),
+    /// MSFP row tiles: an 8-bit shared exponent over a `block`-wide
+    /// tile of `m`-bit mantissas (`msfp:<m>,<block>`).
+    Msfp(u8, u8),
+    /// Block minifloat: per-element floats with `e` exponent and `m`
+    /// mantissa bits sharing a `bias`-bit exponent bias
+    /// (`blockmf:<e>,<m>,<bias>`).
+    BlockMf(u8, u8, u8),
     /// Outlier-victim pair quantisation (Olive, ISCA 2023).
     Olive,
     /// Fixed-budget dual-precision outlier quantisation (Oltron, DAC 2024).
@@ -93,7 +112,54 @@ impl SchemeSpec {
             SchemeSpec::Int(bits) => bits >= 2 && bits <= MAX_INT_BITS,
             SchemeSpec::Bfp(m) => m >= 1 && m <= MAX_MANTISSA_BITS,
             SchemeSpec::Bbfp(m, o) => m >= 1 && m <= MAX_MANTISSA_BITS && o < m,
+            SchemeSpec::Mx(e, m, sub) => {
+                e >= 5
+                    && e <= 8
+                    && m >= 1
+                    && m <= MAX_MANTISSA_BITS
+                    && sub.is_power_of_two()
+                    && sub <= 16
+            }
+            SchemeSpec::Msfp(m, block) => {
+                m >= 1
+                    && m <= MAX_MANTISSA_BITS
+                    && block.is_power_of_two()
+                    && block >= 4
+                    && block <= 128
+            }
+            SchemeSpec::BlockMf(e, m, bias) => {
+                e >= 2 && e <= 6 && m >= 1 && m <= MAX_MANTISSA_BITS && bias >= 2 && bias <= 8
+            }
         }
+    }
+
+    /// The [`FormatAlgebra`] point this scheme lowers to, or `None` for
+    /// the outlier-aware baselines (Olive/Oltron/OmniQuant) and exact
+    /// FP32, which are not block formats. Scalar FP16/INT lower to
+    /// degenerate (block size 1) points used for cost accounting.
+    ///
+    /// # Errors
+    ///
+    /// [`SchemeError::Format`] if the width parameters are invalid.
+    pub fn algebra(&self) -> Result<Option<FormatAlgebra>, SchemeError> {
+        let alg = match *self {
+            SchemeSpec::Fp32 | SchemeSpec::Olive | SchemeSpec::Oltron | SchemeSpec::OmniQuant => {
+                return Ok(None)
+            }
+            SchemeSpec::Fp16 => FormatAlgebra::scalar_fp16(),
+            SchemeSpec::Int(bits) => {
+                if !(2..=MAX_INT_BITS).contains(&bits) {
+                    return Err(SchemeError::IntBits(bits));
+                }
+                FormatAlgebra::scalar_int(bits)?
+            }
+            SchemeSpec::Bfp(m) => FormatAlgebra::bfp(m)?,
+            SchemeSpec::Bbfp(m, o) => FormatAlgebra::bbfp(m, o)?,
+            SchemeSpec::Mx(e, m, sub) => FormatAlgebra::mx(e, m, sub as usize)?,
+            SchemeSpec::Msfp(m, block) => FormatAlgebra::msfp(m, block as usize)?,
+            SchemeSpec::BlockMf(e, m, bias) => FormatAlgebra::blockmf(e, m, bias)?,
+        };
+        Ok(Some(alg))
     }
 
     /// Validates the width parameters, returning the typed error a parse
@@ -112,6 +178,9 @@ impl SchemeSpec {
             SchemeSpec::Bbfp(m, o) => BbfpConfig::new(m, o)
                 .map(|_| ())
                 .map_err(SchemeError::Format),
+            SchemeSpec::Mx(..) | SchemeSpec::Msfp(..) | SchemeSpec::BlockMf(..) => {
+                self.algebra().map(|_| ())
+            }
             _ => Ok(()),
         }
     }
@@ -151,6 +220,9 @@ impl SchemeSpec {
             SchemeSpec::Int(bits) => format!("INT{bits}"),
             SchemeSpec::Bfp(m) => format!("BFP{m}"),
             SchemeSpec::Bbfp(m, o) => format!("BBFP({m},{o})"),
+            SchemeSpec::Mx(e, m, sub) => format!("MX({e},{m},{sub})"),
+            SchemeSpec::Msfp(m, block) => format!("MSFP({m},{block})"),
+            SchemeSpec::BlockMf(e, m, bias) => format!("BlockMF({e},{m},{bias})"),
             SchemeSpec::Olive => "Olive".to_owned(),
             SchemeSpec::Oltron => "Oltron".to_owned(),
             SchemeSpec::OmniQuant => "OmniQuant".to_owned(),
@@ -176,6 +248,16 @@ impl SchemeSpec {
                 all.push(SchemeSpec::Bbfp(m, o));
             }
         }
+        // Curated points of the new families (the full spaces are large;
+        // these exercise every parser branch and both scale kinds).
+        all.extend([
+            SchemeSpec::Mx(8, 4, 2),
+            SchemeSpec::Mx(5, 3, 4),
+            SchemeSpec::Msfp(4, 16),
+            SchemeSpec::Msfp(6, 64),
+            SchemeSpec::BlockMf(4, 3, 8),
+            SchemeSpec::BlockMf(5, 2, 4),
+        ]);
         all
     }
 }
@@ -188,6 +270,9 @@ impl fmt::Display for SchemeSpec {
             SchemeSpec::Int(bits) => write!(f, "int{bits}"),
             SchemeSpec::Bfp(m) => write!(f, "bfp{m}"),
             SchemeSpec::Bbfp(m, o) => write!(f, "bbfp:{m},{o}"),
+            SchemeSpec::Mx(e, m, sub) => write!(f, "mx:{e},{m},{sub}"),
+            SchemeSpec::Msfp(m, block) => write!(f, "msfp:{m},{block}"),
+            SchemeSpec::BlockMf(e, m, bias) => write!(f, "blockmf:{e},{m},{bias}"),
             SchemeSpec::Olive => write!(f, "olive"),
             SchemeSpec::Oltron => write!(f, "oltron"),
             SchemeSpec::OmniQuant => write!(f, "omniquant"),
@@ -226,10 +311,15 @@ impl fmt::Display for SchemeError {
             SchemeError::Unknown(s) => write!(
                 f,
                 "unknown scheme {s:?} (expected fp32, fp16, int<bits>, bfp<m>, \
-                 bbfp:<m>,<o>, olive, oltron or omniquant)"
+                 bbfp:<m>,<o>, mx:<e>,<m>,<sub>, msfp:<m>,<block>, \
+                 blockmf:<e>,<m>,<bias>, olive, oltron or omniquant)"
             ),
             SchemeError::BadParams { scheme, params } => {
-                write!(f, "invalid {scheme} parameters {params:?}")
+                write!(
+                    f,
+                    "invalid {scheme} parameters {params:?} (expected {})",
+                    expected_grammar(scheme)
+                )
             }
             SchemeError::IntBits(bits) => {
                 write!(f, "integer width {bits} outside supported range 2..=16")
@@ -257,6 +347,20 @@ impl From<FormatError> for SchemeError {
     }
 }
 
+/// The parameter grammar a family's id string expects, for error
+/// messages.
+fn expected_grammar(scheme: &str) -> &'static str {
+    match scheme {
+        "bbfp" => "bbfp:<m>,<o> — mantissa bits, overlap bits",
+        "bfp" => "bfp<m> — mantissa bits",
+        "int" => "int<bits> — total bits",
+        "mx" => "mx:<e>,<m>,<sub> — block-exponent bits, mantissa bits, sub-block length",
+        "msfp" => "msfp:<m>,<block> — mantissa bits, block size",
+        "blockmf" => "blockmf:<e>,<m>,<bias> — element exponent bits, mantissa bits, bias bits",
+        _ => "a numeric parameter list",
+    }
+}
+
 /// Parses `"4,2"`-style width pairs (also accepting `"(4,2)"`).
 fn parse_pair(scheme: &'static str, s: &str) -> Result<(u8, u8), SchemeError> {
     let bad = || SchemeError::BadParams {
@@ -273,6 +377,33 @@ fn parse_pair(scheme: &'static str, s: &str) -> Result<(u8, u8), SchemeError> {
         m.trim().parse().map_err(|_| bad())?,
         o.trim().parse().map_err(|_| bad())?,
     ))
+}
+
+/// Parses `"8,4,2"`-style width triples (also accepting `"(8,4,2)"`).
+fn parse_triple(scheme: &'static str, s: &str) -> Result<(u8, u8, u8), SchemeError> {
+    let bad = || SchemeError::BadParams {
+        scheme,
+        params: s.to_owned(),
+    };
+    let inner = s
+        .strip_prefix('(')
+        .map(|rest| rest.strip_suffix(')').ok_or_else(bad))
+        .transpose()?
+        .unwrap_or(s);
+    let mut parts = inner.split(',');
+    let mut next = || -> Result<u8, SchemeError> {
+        parts
+            .next()
+            .ok_or_else(bad)?
+            .trim()
+            .parse()
+            .map_err(|_| bad())
+    };
+    let triple = (next()?, next()?, next()?);
+    if parts.next().is_some() {
+        return Err(bad());
+    }
+    Ok(triple)
 }
 
 fn parse_width(scheme: &'static str, s: &str) -> Result<u8, SchemeError> {
@@ -316,7 +447,38 @@ impl FromStr for SchemeSpec {
             "oltron" => SchemeSpec::Oltron,
             "omniquant" => SchemeSpec::OmniQuant,
             _ => {
-                if let Some(rest) = lower.strip_prefix("bbfp") {
+                if let Some(rest) = lower.strip_prefix("blockmf") {
+                    // "blockmf:4,3,8" canonical; "blockmf(4,3,8)" accepted.
+                    let rest = rest.strip_prefix(':').unwrap_or(rest);
+                    if rest.is_empty() {
+                        return Err(SchemeError::BadParams {
+                            scheme: "blockmf",
+                            params: String::new(),
+                        });
+                    }
+                    let (e, m, bias) = parse_triple("blockmf", rest)?;
+                    SchemeSpec::BlockMf(e, m, bias)
+                } else if let Some(rest) = lower.strip_prefix("msfp") {
+                    let rest = rest.strip_prefix(':').unwrap_or(rest);
+                    if rest.is_empty() {
+                        return Err(SchemeError::BadParams {
+                            scheme: "msfp",
+                            params: String::new(),
+                        });
+                    }
+                    let (m, block) = parse_pair("msfp", rest)?;
+                    SchemeSpec::Msfp(m, block)
+                } else if let Some(rest) = lower.strip_prefix("mx") {
+                    let rest = rest.strip_prefix(':').unwrap_or(rest);
+                    if rest.is_empty() {
+                        return Err(SchemeError::BadParams {
+                            scheme: "mx",
+                            params: String::new(),
+                        });
+                    }
+                    let (e, m, sub) = parse_triple("mx", rest)?;
+                    SchemeSpec::Mx(e, m, sub)
+                } else if let Some(rest) = lower.strip_prefix("bbfp") {
                     // "bbfp:4,2" canonical; "bbfp(4,2)" / "bbfp4,2" accepted.
                     let rest = rest.strip_prefix(':').unwrap_or(rest);
                     if rest.is_empty() {
@@ -427,6 +589,126 @@ mod tests {
             "fp42".parse::<SchemeSpec>(),
             Err(SchemeError::Unknown(_))
         ));
+    }
+
+    #[test]
+    fn new_family_strings_parse() {
+        assert_eq!(
+            "mx:8,4,2".parse::<SchemeSpec>().unwrap(),
+            SchemeSpec::Mx(8, 4, 2)
+        );
+        assert_eq!(
+            "msfp:4,16".parse::<SchemeSpec>().unwrap(),
+            SchemeSpec::Msfp(4, 16)
+        );
+        assert_eq!(
+            "blockmf:4,3,8".parse::<SchemeSpec>().unwrap(),
+            SchemeSpec::BlockMf(4, 3, 8)
+        );
+        // Paper-name and parenthesised forms round-trip too.
+        assert_eq!(
+            "MX(8,4,2)".parse::<SchemeSpec>().unwrap(),
+            SchemeSpec::Mx(8, 4, 2)
+        );
+        assert_eq!(
+            "MSFP(4,16)".parse::<SchemeSpec>().unwrap(),
+            SchemeSpec::Msfp(4, 16)
+        );
+        assert_eq!(
+            "BlockMF(4,3,8)".parse::<SchemeSpec>().unwrap(),
+            SchemeSpec::BlockMf(4, 3, 8)
+        );
+    }
+
+    #[test]
+    fn malformed_family_ids_are_typed_errors() {
+        // Missing parameters.
+        assert!(matches!(
+            "mx:".parse::<SchemeSpec>(),
+            Err(SchemeError::BadParams { scheme: "mx", .. })
+        ));
+        assert!(matches!(
+            "mx".parse::<SchemeSpec>(),
+            Err(SchemeError::BadParams { scheme: "mx", .. })
+        ));
+        assert!(matches!(
+            "msfp:4".parse::<SchemeSpec>(),
+            Err(SchemeError::BadParams { scheme: "msfp", .. })
+        ));
+        assert!(matches!(
+            "blockmf:4,3".parse::<SchemeSpec>(),
+            Err(SchemeError::BadParams {
+                scheme: "blockmf",
+                ..
+            })
+        ));
+        // Out-of-range widths surface the format layer's typed errors.
+        assert!(matches!(
+            "msfp:0,32".parse::<SchemeSpec>(),
+            Err(SchemeError::Format(FormatError::MantissaWidth(0)))
+        ));
+        assert!(matches!(
+            "msfp:4,3".parse::<SchemeSpec>(),
+            Err(SchemeError::Format(FormatError::BlockSize(3)))
+        ));
+        assert!(matches!(
+            "blockmf:9,9,9".parse::<SchemeSpec>(),
+            Err(SchemeError::Format(FormatError::ExponentWidth(9)))
+        ));
+        assert!(matches!(
+            "mx:9,4,2".parse::<SchemeSpec>(),
+            Err(SchemeError::Format(FormatError::ScaleWidth(9)))
+        ));
+        assert!(matches!(
+            "mx:8,4,3".parse::<SchemeSpec>(),
+            Err(SchemeError::Format(FormatError::SubBlock { .. }))
+        ));
+        // Trailing garbage never parses.
+        assert!(matches!(
+            "mx:8,4,2,9".parse::<SchemeSpec>(),
+            Err(SchemeError::BadParams { scheme: "mx", .. })
+        ));
+        assert!(matches!(
+            "mx:8,4,2x".parse::<SchemeSpec>(),
+            Err(SchemeError::BadParams { scheme: "mx", .. })
+        ));
+        assert!(matches!(
+            "msfp:4,16junk".parse::<SchemeSpec>(),
+            Err(SchemeError::BadParams { scheme: "msfp", .. })
+        ));
+        // The message tells the user what the family expects.
+        let err = "mx:".parse::<SchemeSpec>().unwrap_err().to_string();
+        assert!(err.contains("mx:<e>,<m>,<sub>"), "{err}");
+    }
+
+    #[test]
+    fn schemes_lower_to_algebra_points() {
+        // Block formats lower to packable points with matching costs.
+        let mx = SchemeSpec::Mx(8, 4, 2).algebra().unwrap().unwrap();
+        assert_eq!(mx.block_size, 32);
+        let msfp = SchemeSpec::Msfp(4, 16).algebra().unwrap().unwrap();
+        assert_eq!(msfp.block_size, 16);
+        let bmf = SchemeSpec::BlockMf(4, 3, 8).algebra().unwrap().unwrap();
+        assert!(bmf.packable());
+        // Scalars lower to degenerate cost-accounting points.
+        let fp16 = SchemeSpec::Fp16.algebra().unwrap().unwrap();
+        assert_eq!(fp16.cost().equivalent_bit_width, 16.0);
+        assert!(!fp16.packable());
+        // Outlier-aware baselines are not block formats.
+        assert!(SchemeSpec::Oltron.algebra().unwrap().is_none());
+        // Display names agree with paper names for block formats.
+        // (BBFP(m,0) lowers to the same point as BFP<m> and takes the
+        // BFP label, so the zero-overlap alias is skipped.)
+        for s in SchemeSpec::enumerate() {
+            if matches!(s, SchemeSpec::Bbfp(_, 0)) {
+                continue;
+            }
+            if let Some(alg) = s.algebra().unwrap() {
+                if alg.packable() {
+                    assert_eq!(alg.display_name(), s.paper_name(), "{s}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -192,6 +192,9 @@ fn scheme() -> impl Strategy<Value = SchemeSpec> {
         (1u8..=10)
             .prop_flat_map(|m| (Just(m), 0..m))
             .prop_map(|(m, o)| SchemeSpec::Bbfp(m, o)),
+        (5u8..=8, 1u8..=10, 0u8..=4).prop_map(|(e, m, s)| SchemeSpec::Mx(e, m, 1u8 << s)),
+        (1u8..=10, 2u8..=7).prop_map(|(m, b)| SchemeSpec::Msfp(m, 1u8 << b)),
+        (2u8..=6, 1u8..=10, 2u8..=8).prop_map(|(e, m, w)| SchemeSpec::BlockMf(e, m, w)),
     ]
 }
 
@@ -220,6 +223,18 @@ proptest! {
             prop_assert_eq!((cfg.mantissa_bits(), cfg.overlap_bits()), (m, o));
         }
     }
+
+    /// Every block-format scheme lowers to a format-algebra point whose
+    /// storage cost is finite and whose payload fits the scheme's widths.
+    #[test]
+    fn block_schemes_lower_to_valid_algebra_points(s in scheme()) {
+        if let Some(alg) = s.algebra().unwrap() {
+            alg.validate().unwrap();
+            let cost = alg.cost();
+            prop_assert!(cost.equivalent_bit_width > 0.0);
+            prop_assert!(cost.equivalent_bit_width <= 32.0);
+        }
+    }
 }
 
 #[test]
@@ -233,4 +248,28 @@ fn malformed_scheme_strings_are_typed_errors() {
         "bbfp:9,9".parse::<SchemeSpec>(),
         Err(SchemeError::Format(_))
     ));
+    // The algebra families fail the same ways: missing params are
+    // `BadParams` with the family's grammar, bad widths are typed
+    // `FormatError`s, trailing garbage never parses.
+    assert!(matches!(
+        "mx:".parse::<SchemeSpec>(),
+        Err(SchemeError::BadParams { scheme: "mx", .. })
+    ));
+    assert!(matches!(
+        "msfp:0,32".parse::<SchemeSpec>(),
+        Err(SchemeError::Format(_))
+    ));
+    assert!(matches!(
+        "blockmf:9,9,9".parse::<SchemeSpec>(),
+        Err(SchemeError::Format(_))
+    ));
+    for garbage in ["mx:8,4,2,9", "mx:8,4,2x", "msfp:4,16junk", "blockmf:4,3,"] {
+        assert!(
+            matches!(
+                garbage.parse::<SchemeSpec>(),
+                Err(SchemeError::BadParams { .. })
+            ),
+            "{garbage}"
+        );
+    }
 }

@@ -33,9 +33,10 @@ use bbal_core::SchemeSpec;
 
 /// Storage bits per cached KV element under `scheme`.
 ///
-/// BFP/BBFP schemes amortise their shared exponent (and overlap bits)
-/// over the 32-element block, matching `bbal_core`'s
-/// `FormatCost::equivalent_bit_width`; Olive/Oltron carry their pair
+/// Every block-format scheme (BFP, BBFP, MX, MSFP, block minifloat)
+/// lowers to a `bbal_core::FormatAlgebra` point whose
+/// `FormatCost::equivalent_bit_width` amortises the shared scale (and
+/// any sub-block codes) over the block; Olive/Oltron carry their pair
 /// marker / outlier side-band; INT carries its bit width. Schemes with
 /// no block storage model (FP16, OmniQuant's learned clipping — and
 /// any invalid width combination) fall back to FP16's 16 bits, the
@@ -45,21 +46,17 @@ pub fn kv_bits_per_element(scheme: SchemeSpec) -> f64 {
     match scheme {
         SchemeSpec::Fp32 => 32.0,
         SchemeSpec::Int(bits) => f64::from(bits),
-        SchemeSpec::Bfp(_) => scheme
-            .bfp_config()
-            .ok()
-            .flatten()
-            .map_or(FP16_FALLBACK, |c| c.cost().equivalent_bit_width),
-        SchemeSpec::Bbfp(_, _) => scheme
-            .bbfp_config()
-            .ok()
-            .flatten()
-            .map_or(FP16_FALLBACK, |c| c.cost().equivalent_bit_width),
         // 4-bit pairs + 1-bit pair marker, outliers reusing victim bits.
         SchemeSpec::Olive => 5.5,
         // 4-bit body + zero flag + 3×8-bit outlier slots per 128 elems.
         SchemeSpec::Oltron => 5.0 + (3.0 * 8.0) / 128.0,
-        SchemeSpec::Fp16 | SchemeSpec::OmniQuant => FP16_FALLBACK,
+        // Everything else derives from the format algebra; schemes that
+        // do not lower (OmniQuant) or fail validation keep the baseline.
+        _ => scheme
+            .algebra()
+            .ok()
+            .flatten()
+            .map_or(FP16_FALLBACK, |alg| alg.cost().equivalent_bit_width),
     }
 }
 
@@ -168,6 +165,17 @@ mod tests {
         assert!(
             (kv_bits_per_element(SchemeSpec::BBAL_PAPER) - (4.0 + 2.0 + 5.0 / 32.0)).abs() < 1e-9
         );
+    }
+
+    #[test]
+    fn algebra_families_amortise_their_scales() {
+        // payload + shared bits / block, straight from the algebra.
+        let mx = kv_bits_per_element("mx:8,4,2".parse().unwrap());
+        assert!((mx - (5.0 + 24.0 / 32.0)).abs() < 1e-9, "mx {mx}");
+        let msfp = kv_bits_per_element("msfp:4,16".parse().unwrap());
+        assert!((msfp - (5.0 + 8.0 / 16.0)).abs() < 1e-9, "msfp {msfp}");
+        let bmf = kv_bits_per_element("blockmf:4,3,8".parse().unwrap());
+        assert!((bmf - (8.0 + 8.0 / 32.0)).abs() < 1e-9, "blockmf {bmf}");
     }
 
     #[test]

@@ -2,8 +2,8 @@
 //! carry the `bbal-core` formats into the transformer forward pass.
 
 use bbal_core::{
-    bbfp_quantize_slice_with, bfp_quantize_slice, BbfpConfig, BfpConfig, ExponentPolicy,
-    RoundingMode,
+    algebra_quantize_slice, bbfp_quantize_slice_with, bfp_quantize_slice, BbfpConfig, BfpConfig,
+    ExponentPolicy, FormatAlgebra, RoundingMode, SchemeSpec,
 };
 use bbal_llm::{InferenceHooks, StatsSpan};
 
@@ -116,6 +116,65 @@ impl InferenceHooks for BbfpQuantizer {
     }
 }
 
+/// Generic block-format quantiser for any packable point of the
+/// [`FormatAlgebra`] — the single hook set behind the MX, MSFP, and
+/// block-minifloat scheme families. Where [`BfpQuantizer`] and
+/// [`BbfpQuantizer`] adapt hand-written encoders, this adapter is
+/// *derived*: the algebra point fixes the codec, the stats span, and
+/// the display name with no per-family code.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlgebraQuantizer {
+    /// The format-algebra point this quantiser encodes to.
+    pub algebra: FormatAlgebra,
+    /// Rounding mode (RNE, matching every other block quantiser).
+    pub rounding: RoundingMode,
+    scheme: SchemeSpec,
+}
+
+impl AlgebraQuantizer {
+    /// Creates the quantiser for a block-format scheme.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the scheme's [`bbal_core::SchemeError`] for invalid
+    /// width parameters, and `NoHardwareMapping` for schemes that are
+    /// not packable block formats.
+    pub fn from_scheme(scheme: SchemeSpec) -> Result<AlgebraQuantizer, bbal_core::SchemeError> {
+        let algebra = scheme
+            .algebra()?
+            .filter(FormatAlgebra::packable)
+            .ok_or(bbal_core::SchemeError::NoHardwareMapping(scheme))?;
+        Ok(AlgebraQuantizer {
+            algebra,
+            rounding: RoundingMode::NearestEven,
+            scheme,
+        })
+    }
+
+    fn apply(&self, data: &mut [f32]) {
+        let src = data.to_vec();
+        algebra_quantize_slice(&src, &self.algebra, self.rounding, data);
+    }
+}
+
+impl InferenceHooks for AlgebraQuantizer {
+    fn transform_weights(&self, weights: &mut [f32]) {
+        self.apply(weights);
+    }
+
+    fn transform_activations(&self, activations: &mut [f32]) {
+        self.apply(activations);
+    }
+
+    fn activation_stats_span(&self) -> StatsSpan {
+        StatsSpan::Blocks(self.algebra.block_size)
+    }
+
+    fn name(&self) -> String {
+        self.scheme.paper_name()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,5 +244,47 @@ mod tests {
     fn invalid_configs_propagate_errors() {
         assert!(BfpQuantizer::new(0).is_err());
         assert!(BbfpQuantizer::new(4, 4).is_err());
+        assert!(AlgebraQuantizer::from_scheme(SchemeSpec::Mx(9, 4, 2)).is_err());
+        assert!(AlgebraQuantizer::from_scheme(SchemeSpec::Oltron).is_err());
+    }
+
+    #[test]
+    fn algebra_quantizer_derives_name_span_and_idempotence() {
+        for scheme in [
+            SchemeSpec::Mx(8, 4, 2),
+            SchemeSpec::Msfp(4, 16),
+            SchemeSpec::BlockMf(4, 3, 8),
+        ] {
+            let q = AlgebraQuantizer::from_scheme(scheme).unwrap();
+            assert_eq!(q.name(), scheme.paper_name());
+            assert_eq!(
+                q.activation_stats_span(),
+                StatsSpan::Blocks(q.algebra.block_size)
+            );
+            let data = outlier_data(256);
+            let mut once = data.clone();
+            q.transform_weights(&mut once);
+            let mut twice = once.clone();
+            q.transform_weights(&mut twice);
+            assert_eq!(once, twice, "{scheme}");
+        }
+    }
+
+    #[test]
+    fn msfp_matches_bfp_quantizer_at_same_point() {
+        // MSFP with a 32-wide block is numerically plain BFP; at other
+        // block sizes it is the same encoder over a different tile.
+        let q = AlgebraQuantizer::from_scheme(SchemeSpec::Msfp(4, 16)).unwrap();
+        let data = outlier_data(512);
+        let mut a = data.clone();
+        q.transform_weights(&mut a);
+        let mut b = data.clone();
+        bfp_quantize_slice(
+            &b.clone(),
+            BfpConfig::with_block_size(4, 16).unwrap(),
+            RoundingMode::NearestEven,
+            &mut b,
+        );
+        assert_eq!(a, b);
     }
 }

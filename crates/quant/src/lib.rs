@@ -43,12 +43,10 @@ pub mod omniquant;
 pub mod registry;
 pub mod smooth;
 
-pub use block::{BbfpQuantizer, BfpQuantizer};
+pub use block::{AlgebraQuantizer, BbfpQuantizer, BfpQuantizer};
 pub use int::IntQuantizer;
 pub use olive::OliveQuantizer;
 pub use oltron::OltronQuantizer;
 pub use omniquant::OmniQuantizer;
-#[allow(deprecated)]
-pub use registry::{fig8_methods, table2_methods};
 pub use registry::{hooks_for, methods, Method, FIG8_SCHEMES, TABLE2_SCHEMES};
 pub use smooth::SmoothQuantizer;

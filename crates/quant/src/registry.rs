@@ -2,8 +2,8 @@
 //!
 //! Each lineup is a `const` slice of [`SchemeSpec`] values — the single
 //! identifier type the whole stack keys on — and [`hooks_for`] derives
-//! the matching [`InferenceHooks`] implementation. The old hand-built
-//! `Vec<Method>` free functions remain as thin deprecated wrappers.
+//! the matching [`InferenceHooks`] implementation for any scheme,
+//! including the algebra-derived MX / MSFP / block-minifloat families.
 //!
 //! ```
 //! use bbal_quant::registry::{hooks_for, TABLE2_SCHEMES};
@@ -15,7 +15,7 @@
 //! # Ok::<(), bbal_core::SchemeError>(())
 //! ```
 
-use crate::block::{BbfpQuantizer, BfpQuantizer};
+use crate::block::{AlgebraQuantizer, BbfpQuantizer, BfpQuantizer};
 use crate::int::IntQuantizer;
 use crate::olive::OliveQuantizer;
 use crate::oltron::OltronQuantizer;
@@ -87,6 +87,9 @@ pub fn hooks_for(scheme: SchemeSpec) -> Result<Box<dyn InferenceHooks + Send>, S
         SchemeSpec::Int(bits) => Box::new(IntQuantizer::new(bits)),
         SchemeSpec::Bfp(m) => Box::new(BfpQuantizer::new(m)?),
         SchemeSpec::Bbfp(m, o) => Box::new(BbfpQuantizer::new(m, o)?),
+        SchemeSpec::Mx(..) | SchemeSpec::Msfp(..) | SchemeSpec::BlockMf(..) => {
+            Box::new(AlgebraQuantizer::from_scheme(scheme)?)
+        }
         SchemeSpec::Olive => Box::new(OliveQuantizer::new()),
         SchemeSpec::Oltron => Box::new(OltronQuantizer::new()),
         SchemeSpec::OmniQuant => Box::new(OmniQuantizer::new()),
@@ -144,19 +147,6 @@ impl TryFrom<SchemeSpec> for Method {
 /// module are compile-time validated and never fail.
 pub fn methods(schemes: &[SchemeSpec]) -> Result<Vec<Method>, SchemeError> {
     schemes.iter().copied().map(Method::from_scheme).collect()
-}
-
-/// The Table II lineup as ready-made hook sets.
-#[deprecated(since = "0.1.0", note = "use `methods(TABLE2_SCHEMES)` instead")]
-pub fn table2_methods() -> Vec<Method> {
-    // The lineup is const-validated above, so this cannot fail.
-    methods(TABLE2_SCHEMES).unwrap_or_else(|_| unreachable!("TABLE2_SCHEMES is const-validated"))
-}
-
-/// The Fig. 8 lineup as ready-made hook sets.
-#[deprecated(since = "0.1.0", note = "use `methods(FIG8_SCHEMES)` instead")]
-pub fn fig8_methods() -> Vec<Method> {
-    methods(FIG8_SCHEMES).unwrap_or_else(|_| unreachable!("FIG8_SCHEMES is const-validated"))
 }
 
 #[cfg(test)]
@@ -220,13 +210,6 @@ mod tests {
         assert!(hooks_for(SchemeSpec::Bbfp(9, 9)).is_err());
         assert!(Method::from_scheme(SchemeSpec::Bfp(11)).is_err());
         assert!(methods(&[SchemeSpec::Fp16, SchemeSpec::Int(1)]).is_err());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_still_work() {
-        assert_eq!(table2_methods().len(), 11);
-        assert_eq!(fig8_methods().len(), 11);
     }
 
     #[test]

@@ -5,8 +5,9 @@
 //! **the packed path never changes a single output bit** relative to the
 //! scalar f32 path (`Tensor::matmul` / `Tensor::matmul_transposed` /
 //! an in-order `Σ fl(aⱼ·wⱼ)` reference). The battery sweeps all
-//! `TABLE2_SCHEMES` × matrix shapes (including ragged dimensions not
-//! divisible by the 32-element block) × seeds, and additionally pins
+//! `TABLE2_SCHEMES` plus the algebra-derived MX / MSFP / block-minifloat
+//! families × matrix shapes (including ragged dimensions not divisible
+//! by the scheme's block size) × seeds, and additionally pins
 //! worker-count determinism: the data-parallel driver in
 //! `bbal_llm::gemm` must produce identical bits for 1 and N threads.
 //!
@@ -76,15 +77,37 @@ fn quantised_weights(scheme: SchemeSpec, n: usize, seed: u64) -> Vec<f32> {
     w
 }
 
-/// A Table II scheme picked by index (proptest shrinks towards index 0).
-fn table2_scheme() -> impl Strategy<Value = SchemeSpec> {
-    (0..TABLE2_SCHEMES.len()).prop_map(|i| TABLE2_SCHEMES[i])
+/// The algebra-derived families (MX / MSFP / block minifloat) ride the
+/// same battery as the Table II lineup, including a non-32 block size.
+const ALGEBRA_SCHEMES: [SchemeSpec; 3] = [
+    SchemeSpec::Mx(8, 4, 2),
+    SchemeSpec::Msfp(4, 16),
+    SchemeSpec::BlockMf(4, 3, 8),
+];
+
+/// Every scheme the battery sweeps: the Table II lineup followed by the
+/// algebra families (so indices 4.. are all block formats).
+fn sweep_schemes() -> Vec<SchemeSpec> {
+    TABLE2_SCHEMES
+        .iter()
+        .copied()
+        .chain(ALGEBRA_SCHEMES)
+        .collect()
+}
+
+/// A sweep scheme picked by index (proptest shrinks towards index 0).
+fn sweep_scheme() -> impl Strategy<Value = SchemeSpec> {
+    (0..TABLE2_SCHEMES.len() + ALGEBRA_SCHEMES.len()).prop_map(|i| sweep_schemes()[i])
 }
 
 /// The expected storage layout for a scheme.
 fn expected_layout(scheme: SchemeSpec) -> LayoutKind {
     match scheme {
-        SchemeSpec::Bfp(_) | SchemeSpec::Bbfp(_, _) => LayoutKind::Block,
+        SchemeSpec::Bfp(_)
+        | SchemeSpec::Bbfp(_, _)
+        | SchemeSpec::Mx(..)
+        | SchemeSpec::Msfp(..)
+        | SchemeSpec::BlockMf(..) => LayoutKind::Block,
         SchemeSpec::Fp16 => LayoutKind::Fp16,
         _ => LayoutKind::Dense,
     }
@@ -137,7 +160,7 @@ proptest! {
     /// layout: the packed form is storage, never re-quantisation.
     #[test]
     fn packed_roundtrip_is_bit_exact(
-        scheme in table2_scheme(),
+        scheme in sweep_scheme(),
         rows in 1usize..7,
         cols in 1usize..70,
         seed in any::<u64>(),
@@ -160,7 +183,7 @@ proptest! {
         cols in 1usize..70,
         seed in any::<u64>(),
     ) {
-        for &scheme in TABLE2_SCHEMES {
+        for scheme in sweep_schemes() {
             let w = quantised_weights(scheme, rows * cols, seed);
             let p = PackedMatrix::pack(&w, rows, cols, scheme);
             prop_assert_eq!(
@@ -183,16 +206,24 @@ proptest! {
 
     /// Single-block encode → decode is exact, and `block_dot` off the
     /// packed bits equals the in-order f32 reference bit-for-bit —
-    /// including ragged blocks shorter than 32 elements.
+    /// including ragged blocks shorter than the scheme's block size.
     #[test]
     fn block_dot_is_bit_identical(
-        scheme_idx in 4usize..TABLE2_SCHEMES.len(), // the Bfp/Bbfp rows
+        scheme_idx in 4usize..TABLE2_SCHEMES.len() + ALGEBRA_SCHEMES.len(),
         len in 1usize..=32,
         seed in any::<u64>(),
     ) {
-        let scheme = TABLE2_SCHEMES[scheme_idx];
+        let scheme = sweep_schemes()[scheme_idx]; // indices 4.. are block formats
         let block_scheme = BlockScheme::from_scheme(scheme)
             .expect("indices 4.. are block formats");
+        // One block holds at most `block_size` values (16 for MSFP(4,16)).
+        let len = len.min(
+            scheme
+                .algebra()
+                .expect("block formats validate")
+                .expect("block formats lower to the algebra")
+                .block_size,
+        );
         let w = quantised_weights(scheme, len, seed);
         let block = PackedBlock::encode(&w, block_scheme)
             .expect("hook-quantised values are representable");
@@ -217,7 +248,7 @@ proptest! {
     /// quantisation blocks straddle row boundaries.
     #[test]
     fn packed_gemm_matches_scalar_bitwise(
-        scheme in table2_scheme(),
+        scheme in sweep_scheme(),
         x_rows in 1usize..4,
         k in 1usize..70,
         n in 1usize..70,
@@ -236,7 +267,7 @@ proptest! {
     /// model uses wherever the scalar path used `matmul_transposed`.
     #[test]
     fn packed_gemm_transposed_matches_scalar_bitwise(
-        scheme in table2_scheme(),
+        scheme in sweep_scheme(),
         x_rows in 1usize..4,
         rows in 1usize..70,
         n in 1usize..70,
@@ -256,7 +287,7 @@ proptest! {
     /// exactly one worker and accumulated in the same k order.
     #[test]
     fn worker_count_never_changes_gemm_bits(
-        scheme in table2_scheme(),
+        scheme in sweep_scheme(),
         k in 1usize..60,
         n in 33usize..128, // wide enough to split into >1 block range
         workers in 2usize..9,
@@ -286,13 +317,14 @@ proptest! {
 // Deterministic spot checks (run even when PROPTEST_CASES is tiny)
 // ---------------------------------------------------------------------
 
-/// Paper-shaped dims (multiples of 32, the aligned fast path) for every
-/// Table II scheme at a fixed seed — the exact configuration the model
-/// runs, as one plain test that never shrinks away.
+/// Paper-shaped dims (multiples of every sweep block size, the aligned
+/// fast path) for every sweep scheme at a fixed seed — the exact
+/// configuration the model runs, as one plain test that never shrinks
+/// away.
 #[test]
 fn paper_shape_gemm_is_bit_identical_for_every_scheme() {
     let (k, n) = (64, 96);
-    for &scheme in TABLE2_SCHEMES {
+    for scheme in sweep_schemes() {
         let w = quantised_weights(scheme, k * n, 0xB1D5);
         let x = activations(3 * k, 0xACC5);
         let p = PackedMatrix::pack(&w, k, n, scheme);

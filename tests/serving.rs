@@ -206,6 +206,50 @@ fn every_table2_scheme_serves_like_a_lone_session_or_is_rejected() {
 }
 
 #[test]
+fn algebra_families_serve_like_lone_sessions() {
+    // The format-algebra families (MX / MSFP / block minifloat) must flow
+    // through the serving runtime with zero scheduler changes: batched,
+    // chunked-prefill, multi-worker serving produces exactly the tokens a
+    // lone `Session::generate` does — through packed weights, since the
+    // prepare step packs every block-format scheme.
+    let mut spec = bbal::llm::zoo::tiny_test_model();
+    spec.name = "Tiny-96";
+    spec.hidden = 96;
+    let template = SessionBuilder::new()
+        .model_spec(spec.clone())
+        .scheme("bbfp:4,2");
+    let mut rt = ServeRuntime::new(
+        template,
+        ServeConfig {
+            max_batch: 4,
+            prefill_chunk: 5,
+            workers: 2,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+
+    let long_prompt: Vec<usize> = (0..23).map(|t| (t * 7 + 3) % 60).collect();
+    for id in ["mx:8,4,2", "msfp:4,16", "blockmf:4,3,8"] {
+        let scheme: SchemeSpec = id.parse().unwrap();
+        let reqs = vec![
+            GenerateRequest::new(long_prompt.clone(), 4).scheme(scheme),
+            GenerateRequest::new(vec![1, 2, 3], 4).scheme(scheme),
+        ];
+        let report = rt.serve(&reqs).unwrap_or_else(|e| panic!("{id}: {e}"));
+        for (r, req) in report.requests.iter().zip(&reqs) {
+            let mut lone = SessionBuilder::new()
+                .model_spec(spec.clone())
+                .scheme_spec(scheme)
+                .build()
+                .unwrap();
+            let expected = lone.generate(&req.prompt, req.max_new_tokens).unwrap();
+            assert_eq!(r.tokens, expected, "{scheme} request {} diverged", r.id);
+        }
+    }
+}
+
+#[test]
 fn affinity_fuses_wider_and_starves_no_one() {
     let trace = mixed_trace();
     let fcfs = serve(ServeConfig::default(), &trace);

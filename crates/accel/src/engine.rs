@@ -11,7 +11,7 @@
 //! re-materialising and re-encoding `kᵀ` from scratch on every call.
 
 use crate::bbal::BbalGemm;
-use bbal_core::{BbfpBlock, BbfpConfig, SchemeError, SchemeSpec};
+use bbal_core::{BbfpBlock, BbfpConfig, PackedRows, SchemeError, SchemeSpec, SHARED_EXPONENT_BITS};
 use bbal_llm::Tensor;
 use bbal_nonlinear::{NonlinearUnit, NonlinearUnitConfig};
 
@@ -20,11 +20,32 @@ use bbal_nonlinear::{NonlinearUnit, NonlinearUnitConfig};
 pub const KV_STATE_PAGE_TOKENS: usize = 16;
 
 /// One fixed-size page of the engine-level KV cache: up to
-/// `page_tokens` pre-encoded K rows and FP32 V rows.
-#[derive(Debug, Clone, Default)]
+/// `page_tokens` K rows in the *packed* BBFP storage layout (each row's
+/// blocks back-to-back at their exact `FormatCost` bit widths, rounded
+/// up to bytes per block) and V rows in a [`PackedRows`] buffer. The
+/// packed bytes decode to exactly the [`BbfpBlock`]s that were encoded
+/// (the bit-level round trip is exact), so packing is storage only —
+/// attention over a packed cache is bit-identical to attention over the
+/// unpacked blocks.
+#[derive(Debug, Clone)]
 struct KvStatePage {
-    k_blocks: Vec<Vec<BbfpBlock>>,
-    v_data: Vec<f32>,
+    /// Packed K rows, `rows × blocks_per_row × block_bytes`.
+    k_packed: Vec<u8>,
+    /// Cached K rows in this page (`v_rows` tracks the same count).
+    k_rows: usize,
+    /// V rows (dense f32 layout — context blocks span the sequence
+    /// dimension, so V cannot be pre-blocked along the head).
+    v_rows: PackedRows,
+}
+
+impl KvStatePage {
+    fn new(head_dim: usize) -> KvStatePage {
+        KvStatePage {
+            k_packed: Vec::new(),
+            k_rows: 0,
+            v_rows: PackedRows::new(SchemeSpec::Fp32, head_dim),
+        }
+    }
 }
 
 /// The KV cache of one attention head in the engine's serving layout.
@@ -102,8 +123,38 @@ impl KvState {
         self.pages.len()
     }
 
+    /// Bytes each packed K block occupies: the exact `FormatCost` bit
+    /// width of one `sign|flag|mantissa` block plus its 5-bit shared
+    /// exponent, rounded up to whole bytes.
+    fn block_bytes(&self) -> usize {
+        let bs = self.config.block_size();
+        let m = self.config.mantissa_bits() as usize;
+        (SHARED_EXPONENT_BITS as usize + bs * (2 + m)).div_ceil(8)
+    }
+
+    /// Packed K blocks per row (`encode_row` zero-pads the tail stripe,
+    /// so every block is full-width).
+    fn blocks_per_row(&self) -> usize {
+        self.head_dim.div_ceil(self.config.block_size())
+    }
+
+    /// Bytes the cache actually stores: packed K blocks plus the V
+    /// buffer's packed layout.
+    pub fn packed_kv_bytes(&self) -> usize {
+        self.pages
+            .iter()
+            .map(|p| p.k_packed.len() + p.v_rows.packed_bytes())
+            .sum()
+    }
+
+    /// Bytes the same tokens would occupy as dense f32 K and V rows —
+    /// the baseline the packed layout is saving against.
+    pub fn dense_kv_bytes(&self) -> usize {
+        2 * self.len * self.head_dim * std::mem::size_of::<f32>()
+    }
+
     /// Appends one token's key/value rows, encoding the key into the
-    /// weight buffer's block layout once.
+    /// weight buffer's block layout once and storing it packed.
     ///
     /// # Panics
     ///
@@ -116,26 +167,42 @@ impl KvState {
         if self
             .pages
             .last()
-            .is_none_or(|p| p.k_blocks.len() >= self.page_tokens)
+            .is_none_or(|p| p.k_rows >= self.page_tokens)
         {
-            self.pages.push(KvStatePage::default());
+            self.pages.push(KvStatePage::new(self.head_dim));
         }
+        let block_bytes = self.block_bytes();
         let page = self.pages.last_mut().expect("page ensured above");
-        page.k_blocks.push(gemm.encode_row(k_row));
-        page.v_data.extend_from_slice(v_row);
+        for block in gemm.encode_row(k_row) {
+            let bytes = block.to_packed_bytes();
+            debug_assert_eq!(bytes.len(), block_bytes);
+            page.k_packed.extend_from_slice(&bytes);
+        }
+        page.k_rows += 1;
+        page.v_rows.push_row(v_row);
         self.len += 1;
     }
 
-    /// The pre-encoded K blocks of token `j`.
-    fn k_row_blocks(&self, j: usize) -> &[BbfpBlock] {
-        &self.pages[j / self.page_tokens].k_blocks[j % self.page_tokens]
+    /// The K blocks of token `j`, decoded from their packed bytes (the
+    /// round trip is bit-exact, so these are the blocks `push` encoded).
+    fn k_row_blocks(&self, j: usize) -> Vec<BbfpBlock> {
+        let page = &self.pages[j / self.page_tokens];
+        let (bpr, bb) = (self.blocks_per_row(), self.block_bytes());
+        let row0 = (j % self.page_tokens) * bpr * bb;
+        (0..bpr)
+            .map(|b| {
+                let off = row0 + b * bb;
+                BbfpBlock::from_packed_bytes(&page.k_packed[off..off + bb], self.config)
+                    .expect("packed cache holds whole blocks")
+            })
+            .collect()
     }
 
     /// The cached values as a `[len, head_dim]` tensor.
     fn v_tensor(&self) -> Tensor {
         let mut data = Vec::with_capacity(self.len * self.head_dim);
         for page in &self.pages {
-            data.extend_from_slice(&page.v_data);
+            data.extend_from_slice(&page.v_rows.to_dense());
         }
         Tensor::from_vec(self.len, self.head_dim, data)
     }
@@ -273,7 +340,7 @@ impl BbalEngine {
             let q_blocks = self.gemm.encode_row(q.row(i));
             let mut gathered: Vec<f32> = visible
                 .iter()
-                .map(|&j| self.gemm.dot_encoded(&q_blocks, kv.k_row_blocks(j)) * scale)
+                .map(|&j| self.gemm.dot_encoded(&q_blocks, &kv.k_row_blocks(j)) * scale)
                 .collect();
             self.nonlinear.softmax_row(&mut gathered);
             let row = probs.row_mut(i);
@@ -319,7 +386,7 @@ impl BbalEngine {
             let q_blocks = self.gemm.encode_row(q.row(i));
             let row = probs.row_mut(i);
             for (j, s) in row.iter_mut().enumerate().take(visible) {
-                *s = self.gemm.dot_encoded(&q_blocks, kv.k_row_blocks(j)) * scale;
+                *s = self.gemm.dot_encoded(&q_blocks, &kv.k_row_blocks(j)) * scale;
             }
             // Causal softmax through the nonlinear unit: the max unit and
             // subtraction operate on the visible prefix only.
@@ -571,6 +638,27 @@ mod tests {
             let out = engine.decode_attention(&q_row, &kv);
             assert_eq!(out.data(), reference.data(), "page_tokens {page_tokens}");
         }
+    }
+
+    #[test]
+    fn packed_kv_state_stores_a_fraction_of_dense_bytes() {
+        // BBFP(4,2) K rows pack to 6 bits + shared exponent per element
+        // against 32-bit f32: the K half of the cache must shrink below
+        // a quarter, so K+V together land under ⅝ of the dense bytes.
+        let (seq, dh) = (19, 32);
+        let k = tensor(seq, dh, 109);
+        let v = tensor(seq, dh, 113);
+        let engine = BbalEngine::paper();
+        let mut kv = engine.new_kv_state(dh);
+        for t in 0..seq {
+            kv.push(k.row(t), v.row(t));
+        }
+        let packed = kv.packed_kv_bytes();
+        let dense = kv.dense_kv_bytes();
+        // V stays f32 (seq × dh × 4); K packs to ⌈(5 + 32·6)/8⌉ bytes a
+        // block — exactly one block per 32-wide row here.
+        assert_eq!(packed, seq * dh * 4 + seq * 25);
+        assert!(8 * packed < 5 * dense, "packed {packed} vs dense {dense}");
     }
 
     #[test]

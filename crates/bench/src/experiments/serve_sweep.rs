@@ -205,6 +205,33 @@ fn serve(
     runtime.serve(&trace(schemes)).map_err(to_io)
 }
 
+/// Serves the standard trace with per-row KV quantisation on and the
+/// page store optionally packed, under an optional *byte* budget — the
+/// packed-KV pressure sweep's configuration axis. Packing never changes
+/// a token (the `bbal-serve` bit-identity battery pins that); it only
+/// shrinks what each block-scheme page charges against the budget.
+fn serve_quant(
+    schemes: &[SchemeSpec],
+    batch: usize,
+    admission: AdmissionPolicy,
+    kv_budget_bytes: Option<u64>,
+    kv_packed: bool,
+) -> io::Result<ServeReport> {
+    let template = SessionBuilder::new().model(MODEL).scheme("bbfp:4,2");
+    let config = ServeConfig {
+        max_batch: batch,
+        prefill_chunk: 16,
+        workers: 2,
+        admission,
+        kv_budget_bytes,
+        kv_quant: true,
+        kv_packed,
+        ..ServeConfig::default()
+    };
+    let mut runtime = ServeRuntime::new(template, config).map_err(to_io)?;
+    runtime.serve(&trace(schemes)).map_err(to_io)
+}
+
 fn identical_outputs(base: &ServeReport, report: &ServeReport) -> bool {
     base.requests
         .iter()
@@ -218,6 +245,15 @@ struct JsonRow {
     policy: &'static str,
     batch: usize,
     kv_budget_pages: Option<usize>,
+    /// Byte twin of `kv_budget_pages`: the packed-KV pressure sweep
+    /// budgets actual page bytes instead of page counts.
+    kv_budget_bytes: Option<u64>,
+    /// Whether K/V rows were quantised through the request scheme
+    /// before caching (off for the default sweep sections).
+    kv_quant: bool,
+    /// Whether KV pages stored scheme-native packed rows; never changes
+    /// tokens, only `peak_kv_bytes`.
+    kv_packed: bool,
     report: ServeReport,
     speedup: f64,
     /// What `speedup` is measured against: the lineup's sequential
@@ -237,12 +273,14 @@ impl JsonRow {
         let r = &self.report;
         format!(
             "{{\"lineup\":\"{}\",\"policy\":\"{}\",\"batch\":{},\"kv_budget_pages\":{},\
+             \"kv_budget_bytes\":{},\"kv_quant\":{},\"kv_packed\":{},\
              \"tokens_per_s\":{:.3},\"speedup\":{:.4},\"speedup_baseline\":\"{}\",\
              \"mean_ttft_ms\":{:.4},\
              \"mean_tpot_ms\":{:.4},\"mean_latency_ms\":{:.4},\"occupancy\":{:.4},\
              \"rows_per_gemm\":{:.4},\"scheme_switches\":{},\"total_cycles\":{},\
              \"energy_pj\":{:.3},\"kv_dram_energy_pj\":{:.3},\"kv_bytes_moved\":{},\
              \"kv_page_tokens\":{},\"peak_kv_pages\":{},\"peak_logical_kv_pages\":{},\
+             \"peak_kv_bytes\":{},\"peak_logical_kv_bytes\":{},\
              \"preemptions\":{},\"prefix_cache\":{},\"prefix_reuse_ratio\":{:.4},\
              \"shared_prefix_tokens\":{},\
              \"rejected\":{},\"generated_tokens\":{},\"identical\":{}}}",
@@ -251,6 +289,10 @@ impl JsonRow {
             self.batch,
             self.kv_budget_pages
                 .map_or("null".to_owned(), |p| p.to_string()),
+            self.kv_budget_bytes
+                .map_or("null".to_owned(), |b| b.to_string()),
+            self.kv_quant,
+            self.kv_packed,
             r.sim_tokens_per_s(),
             self.speedup,
             self.speedup_baseline,
@@ -267,6 +309,8 @@ impl JsonRow {
             r.kv_page_tokens,
             r.peak_kv_pages,
             r.peak_logical_kv_pages,
+            r.peak_kv_bytes,
+            r.peak_logical_kv_bytes,
             r.preemptions,
             self.prefix_cache,
             r.kv_page_reuse_ratio(),
@@ -495,6 +539,9 @@ pub fn run(w: &mut dyn Write) -> io::Result<()> {
                     policy: policy.label(),
                     batch,
                     kv_budget_pages: None,
+                    kv_budget_bytes: None,
+                    kv_quant: false,
+                    kv_packed: false,
                     report,
                     speedup,
                     speedup_baseline: "sequential",
@@ -604,6 +651,9 @@ pub fn run(w: &mut dyn Write) -> io::Result<()> {
                 policy: AFFINITY.label(),
                 batch: 8,
                 kv_budget_pages: budget,
+                kv_budget_bytes: None,
+                kv_quant: false,
+                kv_packed: false,
                 report,
                 speedup,
                 speedup_baseline: "unbounded",
@@ -636,6 +686,113 @@ pub fn run(w: &mut dyn Write) -> io::Result<()> {
 
     bench.push(BenchScenario {
         name: "memory_pressure",
+        wall_ms: section_start.elapsed().as_secs_f64() * 1.0e3,
+        generated_tokens: json_rows[section_mark..]
+            .iter()
+            .map(|r| r.report.generated_tokens())
+            .sum(),
+    });
+    section_start = Instant::now();
+    section_mark = json_rows.len();
+
+    // --- Packed-KV pressure sweep ------------------------------------
+    // The same mixed batch-8 affinity trace, now with per-row KV
+    // quantisation on so pages may hold scheme-native packed rows.
+    // Budgets here are *bytes*, not page counts: the byte budget is
+    // half the unbounded dense-storage peak, and both storage layouts
+    // serve under it. Packed block-scheme pages charge a fraction of
+    // their f32 equivalent, so the packed runtime keeps more of the
+    // working set resident and preempts less — with every token still
+    // bit-identical to the unbounded run.
+    writeln!(w)?;
+    writeln!(
+        w,
+        "Packed-KV pressure sweep: mixed lineup, batch 8, affinity admission,"
+    )?;
+    writeln!(
+        w,
+        "KV quantisation on; byte budget = half the unbounded dense-storage peak\n"
+    )?;
+    let quant_unbounded = serve_quant(&MIXED, 8, AFFINITY, None, false)?;
+    let byte_budget = (quant_unbounded.peak_kv_bytes / 2).max(1);
+    let packed_runs: [(&'static str, bool, Option<u64>); 3] = [
+        ("dense-f32", false, None),
+        ("dense-f32", false, Some(byte_budget)),
+        ("packed", true, Some(byte_budget)),
+    ];
+    let mut packed_tbl: Vec<Vec<String>> = Vec::new();
+    let mut packed_identical = true;
+    let mut dense_budget_preemptions = 0u64;
+    let mut packed_budget_preemptions = 0u64;
+    for (label, kv_packed, budget) in packed_runs {
+        let report = if budget.is_none() {
+            quant_unbounded.clone()
+        } else {
+            serve_quant(&MIXED, 8, AFFINITY, budget, kv_packed)?
+        };
+        let identical = identical_outputs(&quant_unbounded, &report);
+        packed_identical &= identical;
+        let speedup = report.sim_tokens_per_s() / quant_unbounded.sim_tokens_per_s();
+        if budget.is_some() {
+            if kv_packed {
+                packed_budget_preemptions = report.preemptions;
+            } else {
+                dense_budget_preemptions = report.preemptions;
+            }
+        }
+        packed_tbl.push(vec![
+            label.to_owned(),
+            budget.map_or("unbounded".to_owned(), |b| b.to_string()),
+            fmt2(report.sim_tokens_per_s()),
+            format!("{speedup:.2}x"),
+            format!("{:.1}", report.peak_kv_bytes as f64 / 1024.0),
+            format!("{:.1}", report.peak_logical_kv_bytes as f64 / 1024.0),
+            report.preemptions.to_string(),
+            if identical { "yes" } else { "NO" }.to_owned(),
+        ]);
+        json_rows.push(JsonRow {
+            lineup: "mixed-kvquant",
+            policy: AFFINITY.label(),
+            batch: 8,
+            kv_budget_pages: None,
+            kv_budget_bytes: budget,
+            kv_quant: true,
+            kv_packed,
+            report,
+            speedup,
+            speedup_baseline: "unbounded-dense-storage",
+            prefix_cache: true,
+            identical,
+        });
+    }
+    print_table(
+        w,
+        &[
+            "storage",
+            "kv budget B",
+            "tok/s (sim)",
+            "vs unbound",
+            "peak KV KiB",
+            "logical KiB",
+            "preempt",
+            "identical",
+        ],
+        &packed_tbl,
+    )?;
+    writeln!(w)?;
+    writeln!(
+        w,
+        "half-peak byte budget ({byte_budget} B): dense storage {dense_budget_preemptions} \
+         preemptions, packed {packed_budget_preemptions}"
+    )?;
+    writeln!(
+        w,
+        "outputs bit-identical across the packed sweep: {}",
+        if packed_identical { "yes" } else { "NO" }
+    )?;
+
+    bench.push(BenchScenario {
+        name: "packed_kv_pressure",
         wall_ms: section_start.elapsed().as_secs_f64() * 1.0e3,
         generated_tokens: json_rows[section_mark..]
             .iter()
@@ -705,6 +862,9 @@ pub fn run(w: &mut dyn Write) -> io::Result<()> {
         policy: "fcfs",
         batch: 8,
         kv_budget_pages: None,
+        kv_budget_bytes: None,
+        kv_quant: false,
+        kv_packed: false,
         report: warm,
         speedup: warm_speedup,
         speedup_baseline: "cold-cache",
@@ -716,6 +876,9 @@ pub fn run(w: &mut dyn Write) -> io::Result<()> {
         policy: "fcfs",
         batch: 8,
         kv_budget_pages: None,
+        kv_budget_bytes: None,
+        kv_quant: false,
+        kv_packed: false,
         report: cold,
         speedup: 1.0,
         speedup_baseline: "cold-cache",
@@ -1111,6 +1274,40 @@ mod tests {
         assert!(tight.kv_bytes_moved() > 0);
         assert!(tight.kv_dram_energy_pj > 0.0);
         assert!(tight.rejected().count() == 0);
+    }
+
+    #[test]
+    fn packed_storage_preempts_less_at_equal_byte_budget() {
+        // The PR-10 acceptance gate: at the same byte budget — half the
+        // unbounded dense-storage peak — packed pages charge fewer
+        // bytes, keep more of the working set resident and preempt
+        // strictly less, while every output token stays bit-identical.
+        let unbounded = serve_quant(&MIXED, 8, AFFINITY, None, false).unwrap();
+        assert_eq!(unbounded.preemptions, 0);
+        assert!(unbounded.peak_kv_bytes > 0);
+        let budget = (unbounded.peak_kv_bytes / 2).max(1);
+        let dense = serve_quant(&MIXED, 8, AFFINITY, Some(budget), false).unwrap();
+        let packed = serve_quant(&MIXED, 8, AFFINITY, Some(budget), true).unwrap();
+        assert!(
+            dense.preemptions > 0,
+            "a half-peak byte budget must pressure dense storage"
+        );
+        assert!(
+            packed.preemptions < dense.preemptions,
+            "packed storage must preempt strictly less at the same byte \
+             budget (packed {} vs dense {})",
+            packed.preemptions,
+            dense.preemptions
+        );
+        assert!(dense.peak_kv_bytes <= budget);
+        assert!(packed.peak_kv_bytes <= budget);
+        assert_eq!(packed.kv_budget_bytes, Some(budget));
+        for (a, b) in unbounded.requests.iter().zip(&dense.requests) {
+            assert_eq!(a.tokens, b.tokens, "dense request {} diverged", a.id);
+        }
+        for (a, b) in unbounded.requests.iter().zip(&packed.requests) {
+            assert_eq!(a.tokens, b.tokens, "packed request {} diverged", a.id);
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@ use crate::error::FormatError;
 use crate::format::{BbfpConfig, BfpConfig, SHARED_EXPONENT_BITS};
 
 /// A little-endian bit writer.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct BitWriter {
     bytes: Vec<u8>,
     bit_len: usize,

@@ -60,7 +60,10 @@ pub use error::FormatError;
 pub use format::{BbfpConfig, BfpConfig, FormatCost, DEFAULT_BLOCK_SIZE, SHARED_EXPONENT_BITS};
 pub use fp16::Fp16;
 pub use overlap::{select_overlap_width, OverlapScore, OverlapSearch};
-pub use packed::{BlockScheme, LayoutKind, PackedBlock, PackedMatrix};
+pub use packed::{
+    attn_dot_packed, attn_weighted_sum_packed, packed_rows_capacity_bytes, BlockScheme, LayoutKind,
+    PackedBlock, PackedMatrix, PackedRows,
+};
 pub use policy::ExponentPolicy;
 pub use rounding::RoundingMode;
 pub use scheme::{SchemeError, SchemeSpec};

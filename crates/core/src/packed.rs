@@ -867,6 +867,392 @@ fn dot_scaled(x_row: &[f32], w_row: &[f32], scale: &[f32], group: usize, flat0: 
     acc
 }
 
+/// The storage layout of a [`PackedRows`] buffer.
+#[derive(Debug, Clone)]
+enum RowsLayout {
+    /// Plain f32 rows — non-block schemes, widths that are not whole
+    /// blocks, or the verified fallback after a row the block encoder
+    /// could not reproduce bit-for-bit.
+    Dense { lane: Vec<f32> },
+    /// Scheme-native block layout. Because the row width is a whole
+    /// number of blocks, every row starts block-aligned and blocks
+    /// never straddle rows.
+    Block {
+        scheme: BlockScheme,
+        /// Packed bits of every chunk, appended row by row.
+        writer: BitWriter,
+        /// Effective lane values (flags, micro-exponents folded), one
+        /// per element, row-major.
+        lane: Vec<f32>,
+        /// One power-of-two scale per `group`-element block of the flat
+        /// row-major buffer.
+        scale: Vec<f32>,
+        /// The scheme's block size — the stride of `scale`.
+        group: usize,
+    },
+}
+
+/// A row-append packed buffer: the storage format of KV-cache pages and
+/// other append-only row stores.
+///
+/// Where [`PackedMatrix`] packs a complete matrix once (weights, known
+/// at prepare time), `PackedRows` grows one row at a time — the shape
+/// of a KV cache, which appends one key/value row per token per layer.
+/// Rows are encoded into the scheme's block layout on append
+/// ([`PackedRows::push_row`]), with the same self-verification as
+/// [`PackedMatrix::pack`]: any row the encoder cannot reproduce
+/// bit-for-bit demotes the *whole buffer* to a dense f32 lane
+/// (reconstructed exactly from the already-verified rows), so reads are
+/// always bit-identical to the rows that were pushed, for every scheme
+/// and every input.
+///
+/// The attention kernels ([`attn_dot_packed`],
+/// [`attn_weighted_sum_packed`]) read head-column slices of the rows
+/// straight off the mantissa lane + block scales, reusing the
+/// power-of-two commuting argument of the module docs — so QK^T and AV
+/// over a packed buffer are bit-identical to the dense f32 loops they
+/// replace.
+///
+/// ```
+/// use bbal_core::packed::{LayoutKind, PackedRows};
+/// use bbal_core::{bbfp_quantize_slice, BbfpConfig, RoundingMode, SchemeSpec};
+///
+/// let cfg = BbfpConfig::new(4, 2)?;
+/// let raw: Vec<f32> = (0..64).map(|i| ((i * 5 % 17) as f32 - 8.0) * 0.1).collect();
+/// let mut q = vec![0.0; 64];
+/// bbfp_quantize_slice(&raw, cfg, RoundingMode::NearestEven, &mut q);
+///
+/// let mut rows = PackedRows::new(SchemeSpec::Bbfp(4, 2), 32);
+/// rows.push_row(&q[..32]);
+/// rows.push_row(&q[32..]);
+/// assert_eq!(rows.layout_kind(), LayoutKind::Block);
+/// assert_eq!(rows.to_dense(), q); // exact round trip
+/// assert!(rows.packed_bytes() * 2 <= 64 * 4); // ≤ 0.5× the f32 bytes
+/// # Ok::<(), bbal_core::FormatError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PackedRows {
+    width: usize,
+    rows: usize,
+    layout: RowsLayout,
+}
+
+impl Default for PackedRows {
+    /// An empty dense buffer of zero width (reconfigure with
+    /// [`PackedRows::reset`] before use).
+    fn default() -> PackedRows {
+        PackedRows::new(SchemeSpec::Fp32, 0)
+    }
+}
+
+impl PackedRows {
+    /// An empty buffer whose rows are `width` columns wide, stored in
+    /// `scheme`'s block layout when the scheme has one and `width` is a
+    /// whole number of blocks, else as dense f32.
+    pub fn new(scheme: SchemeSpec, width: usize) -> PackedRows {
+        let layout = match BlockScheme::from_scheme(scheme) {
+            Some(bs) if width > 0 && width.is_multiple_of(bs.block_size()) => RowsLayout::Block {
+                scheme: bs,
+                writer: BitWriter::new(),
+                lane: Vec::new(),
+                scale: Vec::new(),
+                group: bs.block_size(),
+            },
+            _ => RowsLayout::Dense { lane: Vec::new() },
+        };
+        PackedRows {
+            width,
+            rows: 0,
+            layout,
+        }
+    }
+
+    /// Row width in columns.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of rows pushed.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// True before any row has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Which layout the buffer currently holds ([`LayoutKind::Fp16`]
+    /// never occurs here).
+    pub fn layout_kind(&self) -> LayoutKind {
+        match &self.layout {
+            RowsLayout::Dense { .. } => LayoutKind::Dense,
+            RowsLayout::Block { .. } => LayoutKind::Block,
+        }
+    }
+
+    /// Exact storage size of the current contents in bits
+    /// (`rows·width·32` after a dense demotion — the honesty metric).
+    pub fn packed_bits(&self) -> usize {
+        match &self.layout {
+            RowsLayout::Dense { lane } => lane.len() * 32,
+            RowsLayout::Block { writer, .. } => writer.bit_len(),
+        }
+    }
+
+    /// [`PackedRows::packed_bits`] rounded up to whole bytes.
+    pub fn packed_bytes(&self) -> usize {
+        self.packed_bits().div_ceil(8)
+    }
+
+    /// Drops every row, keeping the scheme/width configuration.
+    pub fn clear(&mut self) {
+        self.rows = 0;
+        match &mut self.layout {
+            RowsLayout::Dense { lane } => lane.clear(),
+            RowsLayout::Block {
+                writer,
+                lane,
+                scale,
+                ..
+            } => {
+                *writer = BitWriter::new();
+                lane.clear();
+                scale.clear();
+            }
+        }
+    }
+
+    /// Drops every row *and* reconfigures the buffer for a (possibly
+    /// different) scheme and width — how a recycled page buffer is
+    /// prepared for its next owner.
+    pub fn reset(&mut self, scheme: SchemeSpec, width: usize) {
+        *self = PackedRows::new(scheme, width);
+    }
+
+    /// Appends one row, encoding it into the block layout when possible.
+    ///
+    /// A row that is not exactly representable in the scheme (it did not
+    /// come from this scheme's quantiser, or contains non-finite values)
+    /// demotes the whole buffer to the dense layout; previously encoded
+    /// rows are reconstructed exactly (`lane × 2^scale` is the stored
+    /// value), so the buffer's contents always equal the pushed rows
+    /// bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != self.width()`.
+    pub fn push_row(&mut self, row: &[f32]) {
+        assert_eq!(row.len(), self.width, "row width mismatch");
+        self.rows += 1;
+        match &mut self.layout {
+            RowsLayout::Dense { lane } => {
+                lane.extend_from_slice(row);
+                return;
+            }
+            RowsLayout::Block {
+                scheme,
+                writer,
+                lane,
+                scale,
+                group,
+            } => {
+                let alg = scheme.algebra_form();
+                if let Some((row_lane, chunks)) = encode_row(row, &alg, *group) {
+                    lane.extend_from_slice(&row_lane);
+                    for c in &chunks {
+                        scale.push(exp2i(c.scale_exponent(&alg)));
+                        algebra::write_chunk(writer, c, &alg);
+                    }
+                    return;
+                }
+            }
+        }
+        // The row is not representable in the block layout: demote the
+        // buffer to dense (exact) and append the row as raw f32.
+        self.demote();
+        if let RowsLayout::Dense { lane } = &mut self.layout {
+            lane.extend_from_slice(row);
+        }
+    }
+
+    /// Rebuilds the dense layout from the block layout — exact, because
+    /// every stored value *is* `lane × 2^scale` (a representable f32).
+    fn demote(&mut self) {
+        if let RowsLayout::Block {
+            lane, scale, group, ..
+        } = &self.layout
+        {
+            let dense: Vec<f32> = lane
+                .iter()
+                .enumerate()
+                .map(|(i, &l)| l * scale[i / *group])
+                .collect();
+            self.layout = RowsLayout::Dense { lane: dense };
+        }
+    }
+
+    /// The stored value at `(row, col)` — bit-identical to what was
+    /// pushed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the position is out of range.
+    pub fn get(&self, row: usize, col: usize) -> f32 {
+        assert!(row < self.rows && col < self.width, "position out of range");
+        let flat = row * self.width + col;
+        match &self.layout {
+            RowsLayout::Dense { lane } => lane[flat],
+            RowsLayout::Block {
+                lane, scale, group, ..
+            } => lane[flat] * scale[flat / group],
+        }
+    }
+
+    /// All rows as a flat dense f32 buffer — bit-identical to the rows
+    /// that were pushed.
+    pub fn to_dense(&self) -> Vec<f32> {
+        match &self.layout {
+            RowsLayout::Dense { lane } => lane.clone(),
+            RowsLayout::Block {
+                lane, scale, group, ..
+            } => lane
+                .iter()
+                .enumerate()
+                .map(|(i, &l)| l * scale[i / *group])
+                .collect(),
+        }
+    }
+}
+
+/// Encodes one whole-block row into (lane values, chunks); `None` if
+/// any chunk fails the bit-exact round trip (the caller demotes).
+fn encode_row(row: &[f32], alg: &FormatAlgebra, group: usize) -> Option<(Vec<f32>, Vec<AlgChunk>)> {
+    let mut lane = Vec::with_capacity(row.len());
+    let mut chunks = Vec::with_capacity(row.len() / group);
+    for chunk_vals in row.chunks(group) {
+        if chunk_vals.iter().any(|v| !v.is_finite()) {
+            return None;
+        }
+        let encoded = encode_chunk(chunk_vals, alg);
+        for (i, v) in chunk_vals.iter().enumerate() {
+            if encoded.decode_value(i, alg).to_bits() != v.to_bits() {
+                return None;
+            }
+            lane.push(encoded.lane_value(i, alg));
+        }
+        chunks.push(encoded);
+    }
+    Some((lane, chunks))
+}
+
+/// `q · K[j, c0..c0+q.len()]` over a packed row buffer: the QK^T inner
+/// product of one attention head against one cached key row.
+/// Bit-identical to the dense f32 dot in ascending-column order (the
+/// block scale folds into the broadcast activation, exactly as in
+/// [`PackedMatrix::gemm_transposed`]).
+///
+/// # Panics
+///
+/// Panics if `j` or the column span is out of range.
+pub fn attn_dot_packed(q: &[f32], rows: &PackedRows, j: usize, c0: usize) -> f32 {
+    let dh = q.len();
+    assert!(
+        j < rows.rows && c0 + dh <= rows.width,
+        "attention span out of range"
+    );
+    let flat0 = j * rows.width + c0;
+    match &rows.layout {
+        RowsLayout::Dense { lane } => dot_plain(q, &lane[flat0..flat0 + dh]),
+        RowsLayout::Block {
+            lane, scale, group, ..
+        } => {
+            let k_row = &lane[flat0..flat0 + dh];
+            if c0.is_multiple_of(*group) && dh.is_multiple_of(*group) {
+                dot_scaled_aligned(q, k_row, &scale[flat0 / *group..], *group)
+            } else {
+                dot_scaled(q, k_row, scale, *group, flat0)
+            }
+        }
+    }
+}
+
+/// `out[d] += probs[j] · V[j, c0+d]` for every row `j` in ascending
+/// order: the AV accumulation of one attention head over a packed row
+/// buffer, bit-identical to the dense f32 loop (per output element the
+/// `+=`s arrive in the same order, and the power-of-two block scale
+/// folds into the broadcast probability exactly).
+///
+/// # Panics
+///
+/// Panics if `probs` or the column span is out of range.
+pub fn attn_weighted_sum_packed(probs: &[f32], rows: &PackedRows, c0: usize, out: &mut [f32]) {
+    let dh = out.len();
+    assert!(
+        probs.len() <= rows.rows && c0 + dh <= rows.width,
+        "attention span out of range"
+    );
+    match &rows.layout {
+        RowsLayout::Dense { lane } => {
+            for (j, &p) in probs.iter().enumerate() {
+                let flat0 = j * rows.width + c0;
+                let v_row = &lane[flat0..flat0 + dh];
+                for (o, &vv) in out.iter_mut().zip(v_row) {
+                    *o += p * vv;
+                }
+            }
+        }
+        RowsLayout::Block {
+            lane, scale, group, ..
+        } => {
+            for (j, &p) in probs.iter().enumerate() {
+                let flat0 = j * rows.width + c0;
+                let mut d = 0;
+                while d < dh {
+                    let flat = flat0 + d;
+                    let block = flat / group;
+                    let seg_end = dh.min(d + (group - flat % group));
+                    let ps = p * scale[block];
+                    for dd in d..seg_end {
+                        out[dd] += ps * lane[flat0 + dd];
+                    }
+                    d = seg_end;
+                }
+            }
+        }
+    }
+}
+
+/// Bits one packed chunk of `len` elements occupies under `alg`.
+fn chunk_bits(alg: &FormatAlgebra, len: usize) -> usize {
+    let scale_bits = match alg.scale {
+        ScaleKind::SharedExponent { bits } | ScaleKind::SharedBias { bits } => bits as usize,
+        ScaleKind::TwoLevel {
+            bits,
+            sub_block,
+            sub_scale_bits,
+        } => bits as usize + len.div_ceil(sub_block) * sub_scale_bits as usize,
+    };
+    scale_bits + len * alg.payload_bits_per_element() as usize
+}
+
+/// Exact storage capacity, in bytes, of `rows` packed rows of `width`
+/// columns under `scheme` — dense f32 bytes when the scheme has no
+/// block layout or `width` is not a whole number of blocks. This is the
+/// single source of truth KV arenas and serving schedulers size page
+/// byte budgets by: a full [`PackedRows`] buffer of quantised rows
+/// occupies exactly this many bytes.
+pub fn packed_rows_capacity_bytes(scheme: SchemeSpec, width: usize, rows: usize) -> usize {
+    let bits = match BlockScheme::from_scheme(scheme) {
+        Some(bs) if width > 0 && width.is_multiple_of(bs.block_size()) => {
+            let alg = bs.algebra_form();
+            rows * (width / bs.block_size()) * chunk_bits(&alg, bs.block_size())
+        }
+        _ => rows * width * 32,
+    };
+    bits.div_ceil(8)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1155,6 +1541,177 @@ mod tests {
                 let fast = dot_scaled_aligned(&x, w_row, &scale[r * (n / group)..], group);
                 let slow = dot_scaled(&x, w_row, scale, group, r * n);
                 assert_eq!(fast.to_bits(), slow.to_bits(), "{scheme} row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_rows_round_trip_and_capacity() {
+        let schemes = [
+            SchemeSpec::Bfp(4),
+            SchemeSpec::Bfp(6),
+            SchemeSpec::Bbfp(4, 2),
+            SchemeSpec::Bbfp(6, 3),
+            SchemeSpec::Mx(8, 4, 2),
+            SchemeSpec::Msfp(4, 16),
+            SchemeSpec::BlockMf(4, 3, 8),
+        ];
+        for scheme in schemes {
+            let bs = BlockScheme::from_scheme(scheme).unwrap();
+            let width = bs.block_size() * 2;
+            let mut rows = PackedRows::new(scheme, width);
+            assert_eq!(rows.layout_kind(), LayoutKind::Block, "{scheme}");
+            let mut all = Vec::new();
+            for r in 0..5 {
+                let q = quantised(scheme, width, 100 + r);
+                rows.push_row(&q);
+                all.extend_from_slice(&q);
+            }
+            assert_eq!(rows.rows(), 5);
+            assert_eq!(rows.layout_kind(), LayoutKind::Block, "{scheme}");
+            let dense = rows.to_dense();
+            let same = dense
+                .iter()
+                .zip(&all)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "{scheme} round trip");
+            assert_eq!(rows.get(3, 1).to_bits(), all[3 * width + 1].to_bits());
+            // A full buffer of quantised rows occupies exactly its
+            // capacity, and a block scheme stores ≤ 0.5× the f32 bytes.
+            assert_eq!(
+                rows.packed_bytes(),
+                packed_rows_capacity_bytes(scheme, width, 5),
+                "{scheme} capacity"
+            );
+            assert!(
+                packed_rows_capacity_bytes(scheme, width, 5) * 2 <= 5 * width * 4,
+                "{scheme} ≤ 0.5× f32 bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn packed_rows_capacity_matches_actual_bits() {
+        for scheme in [SchemeSpec::Bbfp(4, 2), SchemeSpec::Mx(8, 4, 2)] {
+            let bs = BlockScheme::from_scheme(scheme).unwrap();
+            let width = bs.block_size();
+            let mut rows = PackedRows::new(scheme, width);
+            for r in 0..3 {
+                rows.push_row(&quantised(scheme, width, 7 + r));
+            }
+            assert_eq!(
+                rows.packed_bits().div_ceil(8),
+                packed_rows_capacity_bytes(scheme, width, 3),
+                "{scheme}"
+            );
+        }
+    }
+
+    #[test]
+    fn packed_rows_demotes_exactly_on_unquantised_rows() {
+        let scheme = SchemeSpec::Bfp(4);
+        let mut rows = PackedRows::new(scheme, 32);
+        let q = quantised(scheme, 32, 3);
+        rows.push_row(&q);
+        let raw: Vec<f32> = (0..32).map(|i| (i as f32 * 0.37).sin()).collect();
+        rows.push_row(&raw);
+        assert_eq!(rows.layout_kind(), LayoutKind::Dense);
+        let dense = rows.to_dense();
+        let expect: Vec<f32> = q.iter().chain(&raw).copied().collect();
+        let same = dense
+            .iter()
+            .zip(&expect)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same, "demotion must reconstruct prior rows exactly");
+        assert_eq!(rows.packed_bits(), 2 * 32 * 32);
+    }
+
+    #[test]
+    fn packed_rows_non_block_and_ragged_widths_stay_dense() {
+        assert_eq!(
+            PackedRows::new(SchemeSpec::Fp32, 8).layout_kind(),
+            LayoutKind::Dense
+        );
+        assert_eq!(
+            PackedRows::new(SchemeSpec::Oltron, 32).layout_kind(),
+            LayoutKind::Dense
+        );
+        // Width not a whole number of blocks: dense.
+        assert_eq!(
+            PackedRows::new(SchemeSpec::Bfp(4), 33).layout_kind(),
+            LayoutKind::Dense
+        );
+        assert_eq!(packed_rows_capacity_bytes(SchemeSpec::Fp32, 8, 2), 64);
+        assert_eq!(packed_rows_capacity_bytes(SchemeSpec::Bfp(4), 33, 2), 264);
+    }
+
+    #[test]
+    fn packed_rows_reset_recycles_across_schemes() {
+        let mut rows = PackedRows::new(SchemeSpec::Bfp(4), 32);
+        rows.push_row(&quantised(SchemeSpec::Bfp(4), 32, 9));
+        rows.reset(SchemeSpec::Msfp(4, 16), 16);
+        assert!(rows.is_empty());
+        assert_eq!(rows.width(), 16);
+        assert_eq!(rows.layout_kind(), LayoutKind::Block);
+        rows.push_row(&quantised(SchemeSpec::Msfp(4, 16), 16, 9));
+        assert_eq!(rows.rows(), 1);
+        rows.clear();
+        assert!(rows.is_empty());
+        assert_eq!(rows.packed_bits(), 0);
+    }
+
+    #[test]
+    fn attn_kernels_match_dense_reference_aligned_and_ragged() {
+        // head_dim 16 against block-32 schemes exercises the ragged
+        // segment walk; block-16 MSFP and c0 multiples of 32 the aligned
+        // fast path.
+        for scheme in [
+            SchemeSpec::Bfp(4),
+            SchemeSpec::Bbfp(4, 2),
+            SchemeSpec::Bbfp(6, 3),
+            SchemeSpec::Mx(8, 4, 2),
+            SchemeSpec::Msfp(4, 16),
+            SchemeSpec::BlockMf(4, 3, 8),
+            SchemeSpec::Fp32,
+            SchemeSpec::Oltron,
+        ] {
+            let width = 64usize;
+            let n_rows = 7usize;
+            let mut rows = PackedRows::new(scheme, width);
+            let mut dense = Vec::new();
+            for r in 0..n_rows {
+                let q = quantised(scheme, width, 50 + r as u64);
+                rows.push_row(&q);
+                dense.extend_from_slice(&q);
+            }
+            let probs = quantised(SchemeSpec::Fp16, n_rows, 77);
+            for (c0, dh) in [(0usize, 16usize), (16, 16), (48, 16), (0, 32), (32, 32)] {
+                let q_vec = quantised(SchemeSpec::Fp16, dh, 81);
+                for j in 0..n_rows {
+                    let mut reference = 0.0f32;
+                    for (d, qv) in q_vec.iter().enumerate() {
+                        reference += qv * dense[j * width + c0 + d];
+                    }
+                    let got = attn_dot_packed(&q_vec, &rows, j, c0);
+                    assert_eq!(
+                        got.to_bits(),
+                        reference.to_bits(),
+                        "{scheme} dot c0={c0} dh={dh} j={j}"
+                    );
+                }
+                let mut out = vec![0.0f32; dh];
+                let mut reference = vec![0.0f32; dh];
+                for (j, &p) in probs.iter().enumerate() {
+                    for (d, rv) in reference.iter_mut().enumerate() {
+                        *rv += p * dense[j * width + c0 + d];
+                    }
+                }
+                attn_weighted_sum_packed(&probs, &rows, c0, &mut out);
+                let same = out
+                    .iter()
+                    .zip(&reference)
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+                assert!(same, "{scheme} weighted sum c0={c0} dh={dh}");
             }
         }
     }

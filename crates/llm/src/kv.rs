@@ -50,6 +50,10 @@
 //! demand ([`KvArena::ensure_free`]) or automatically when an
 //! allocation would otherwise exhaust the budget.
 
+use bbal_core::{
+    algebra_quantize_slice, packed_rows_capacity_bytes, BlockScheme, PackedRows, RoundingMode,
+    SchemeSpec,
+};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -63,32 +67,137 @@ pub const DEFAULT_PAGE_TOKENS: usize = 16;
 /// reclaimable prefix-cache entry remains).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ArenaFull {
-    /// The arena's budget, in pages.
-    pub budget_pages: usize,
+    /// The arena's budget in pages, if one is set.
+    pub budget_pages: Option<usize>,
+    /// The arena's budget in bytes, if one is set.
+    pub budget_bytes: Option<u64>,
 }
 
 impl fmt::Display for ArenaFull {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "KV arena budget of {} pages exhausted",
-            self.budget_pages
-        )
+        match (self.budget_pages, self.budget_bytes) {
+            (Some(p), Some(b)) => {
+                write!(f, "KV arena budget of {p} pages / {b} bytes exhausted")
+            }
+            (Some(p), None) => write!(f, "KV arena budget of {p} pages exhausted"),
+            (None, Some(b)) => write!(f, "KV arena budget of {b} bytes exhausted"),
+            (None, None) => write!(f, "KV arena budget exhausted"),
+        }
     }
 }
 
 impl std::error::Error for ArenaFull {}
 
+/// How a [`KvCache`](crate::KvCache) stores its key/value rows.
+///
+/// The default — dense f32, no quantisation — reproduces the classic
+/// cache exactly. The two knobs are independent and both opt-in:
+///
+/// * `quantize` passes every appended K/V row through `scheme`'s
+///   quantiser (per row, so any prefill chunking and any page size
+///   produce the same rows). This **changes the numerics**
+///   deterministically — it is the paper's compressed-KV operating
+///   point, applied identically in prefill and decode.
+/// * `packed` stores the page buffers in `scheme`'s packed block layout
+///   ([`PackedRows`]) instead of dense f32. This **never changes the
+///   numerics**: packing self-verifies and the attention kernels are
+///   bit-identical to the dense loops, so `packed` on/off yields the
+///   same token streams at a fraction of the page bytes.
+///
+/// Packing without quantisation stores dense f32 (raw activations are
+/// not representable in a block format), so the byte win requires both
+/// knobs; [`KvStore::storage_scheme`] encodes that rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KvStore {
+    /// The quantisation scheme of the cached rows.
+    pub scheme: SchemeSpec,
+    /// Quantise each appended row through `scheme` before caching.
+    pub quantize: bool,
+    /// Store pages in `scheme`'s packed block layout.
+    pub packed: bool,
+}
+
+impl KvStore {
+    /// The classic store: dense f32 rows, no quantisation.
+    pub fn dense_f32() -> KvStore {
+        KvStore {
+            scheme: SchemeSpec::Fp32,
+            quantize: false,
+            packed: false,
+        }
+    }
+
+    /// The scheme pages are physically stored in: `scheme` when both
+    /// knobs are on (rows are quantised, so the block layout round-trips
+    /// exactly), dense f32 otherwise.
+    pub fn storage_scheme(&self) -> SchemeSpec {
+        if self.packed && self.quantize {
+            self.scheme
+        } else {
+            SchemeSpec::Fp32
+        }
+    }
+
+    /// Bytes one full page (K rows + V rows, `page_tokens × hidden`
+    /// each) occupies — and is charged against an arena byte budget —
+    /// under this store.
+    pub fn page_bytes(&self, hidden: usize, page_tokens: usize) -> u64 {
+        2 * packed_rows_capacity_bytes(self.storage_scheme(), hidden, page_tokens) as u64
+    }
+
+    /// Quantises one K/V row in place through `scheme` (the per-row
+    /// step of the `quantize` knob). A no-op when `quantize` is off,
+    /// when the scheme has no block form (`fp32` et al.), or when the
+    /// row is non-finite. Per-row application makes the result
+    /// independent of prefill chunking and page size.
+    pub fn quantize_row(&self, row: &mut [f32]) {
+        if !self.quantize {
+            return;
+        }
+        let Some(block) = BlockScheme::from_scheme(self.scheme) else {
+            return;
+        };
+        if !row.iter().all(|v| v.is_finite()) {
+            return;
+        }
+        let raw = row.to_vec();
+        algebra_quantize_slice(&raw, &block.algebra_form(), RoundingMode::NearestEven, row);
+    }
+
+    /// Bytes a `layers`-layer cache holding `tokens` tokens occupies
+    /// under this store — whole pages, the byte twin of
+    /// [`KvArena::pages_for_tokens`].
+    pub fn bytes_for_tokens(
+        &self,
+        hidden: usize,
+        page_tokens: usize,
+        tokens: usize,
+        layers: usize,
+    ) -> u64 {
+        (layers * tokens.div_ceil(page_tokens)) as u64 * self.page_bytes(hidden, page_tokens)
+    }
+}
+
+impl Default for KvStore {
+    fn default() -> KvStore {
+        KvStore::dense_f32()
+    }
+}
+
 /// One page of KV storage: up to `page_tokens` key rows and value rows
-/// of one decoder layer, row-major. The row width is whatever the
-/// owning cache pushes (the model's hidden width); the arena only
-/// recycles the backing buffers.
+/// of one decoder layer, each held in a [`PackedRows`] buffer (dense
+/// f32 for the classic store, the scheme's block layout for a packed
+/// store). The row width is whatever the owning cache pushes (the
+/// model's hidden width); the arena only recycles the backing buffers.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct PageBuf {
-    /// Key rows, `[rows × hidden]`.
-    pub k: Vec<f32>,
-    /// Value rows, `[rows × hidden]`.
-    pub v: Vec<f32>,
+    /// Key rows, `page_tokens × hidden`.
+    pub k: PackedRows,
+    /// Value rows, `page_tokens × hidden`.
+    pub v: PackedRows,
+    /// Bytes this page is charged against the arena's byte accounting
+    /// (its full-page capacity under the owning cache's store).
+    pub charge: u64,
 }
 
 /// A refcounted handle to one page. Shared pages are immutable (they
@@ -158,19 +267,33 @@ pub struct PrefixProbe {
     /// a new adopter gets *for free* against the budget, because they
     /// are pinned by another request either way.
     pub held_pages: usize,
+    /// Byte twin of `pages`: charges of the resident blocks' pages.
+    pub bytes: u64,
+    /// Byte twin of `held_pages`.
+    pub held_bytes: u64,
 }
 
 #[derive(Debug)]
 struct ArenaInner {
     page_tokens: usize,
     budget_pages: Option<usize>,
+    /// Optional budget in *bytes* of packed page storage — the honest
+    /// twin of `budget_pages` once pages are scheme-sized. Both budgets
+    /// are enforced when both are set.
+    budget_bytes: Option<u64>,
     /// Unique pages out of the free-list (shared pages count once).
     unique: usize,
     peak_unique: usize,
+    /// Bytes charged by unique pages (each page's full-capacity charge).
+    unique_bytes: u64,
+    peak_unique_bytes: u64,
     /// Page handles held by caches (shared pages count once per
     /// holder). Excludes the prefix index's own references.
     logical: usize,
     peak_logical: usize,
+    /// Byte twin of `logical`: page charges summed per holder.
+    logical_bytes: u64,
+    peak_logical_bytes: u64,
     free: Vec<PageBuf>,
     /// (class, prefix hash) → indexed block.
     index: BTreeMap<(u64, u64), PrefixEntry>,
@@ -205,11 +328,22 @@ impl ArenaInner {
                 buf.k.clear();
                 buf.v.clear();
                 self.unique = self.unique.saturating_sub(1);
+                self.unique_bytes = self.unique_bytes.saturating_sub(buf.charge);
+                buf.charge = 0;
                 self.free.push(buf);
             }
         }
         self.evictions += 1;
         true
+    }
+
+    /// Bytes still allocatable under the byte budget without eviction
+    /// (`u64::MAX` when no byte budget is set).
+    fn free_bytes(&self) -> u64 {
+        match self.budget_bytes {
+            Some(b) => b.saturating_sub(self.unique_bytes),
+            None => u64::MAX,
+        }
     }
 }
 
@@ -258,7 +392,7 @@ impl KvArena {
     ///
     /// Panics if `page_tokens` is zero.
     pub fn unbounded(page_tokens: usize) -> KvArena {
-        KvArena::build(page_tokens, None)
+        KvArena::build(page_tokens, None, None)
     }
 
     /// An arena limited to `budget_pages` pages across every cache that
@@ -269,19 +403,59 @@ impl KvArena {
     /// Panics if `page_tokens` or `budget_pages` is zero.
     pub fn with_budget(page_tokens: usize, budget_pages: usize) -> KvArena {
         assert!(budget_pages > 0, "zero-page budget");
-        KvArena::build(page_tokens, Some(budget_pages))
+        KvArena::build(page_tokens, Some(budget_pages), None)
     }
 
-    fn build(page_tokens: usize, budget_pages: Option<usize>) -> KvArena {
+    /// An arena limited to `budget_bytes` bytes of packed page storage
+    /// across every cache that draws from it — the honest budget once
+    /// pages are scheme-sized (a compressed page charges only its
+    /// packed capacity, so a byte budget admits more compressed pages
+    /// than f32 ones).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_tokens` or `budget_bytes` is zero.
+    pub fn with_byte_budget(page_tokens: usize, budget_bytes: u64) -> KvArena {
+        assert!(budget_bytes > 0, "zero-byte budget");
+        KvArena::build(page_tokens, None, Some(budget_bytes))
+    }
+
+    /// An arena constrained by any combination of page and byte budgets
+    /// (`None` + `None` is [`KvArena::unbounded`]). Allocation fails as
+    /// soon as *either* budget is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_tokens` is zero, or if either budget is `Some(0)`.
+    pub fn with_budgets(
+        page_tokens: usize,
+        budget_pages: Option<usize>,
+        budget_bytes: Option<u64>,
+    ) -> KvArena {
+        assert!(budget_pages != Some(0), "zero-page budget");
+        assert!(budget_bytes != Some(0), "zero-byte budget");
+        KvArena::build(page_tokens, budget_pages, budget_bytes)
+    }
+
+    fn build(
+        page_tokens: usize,
+        budget_pages: Option<usize>,
+        budget_bytes: Option<u64>,
+    ) -> KvArena {
         assert!(page_tokens > 0, "zero-token pages");
         KvArena {
             inner: Arc::new(Mutex::new(ArenaInner {
                 page_tokens,
                 budget_pages,
+                budget_bytes,
                 unique: 0,
                 peak_unique: 0,
+                unique_bytes: 0,
+                peak_unique_bytes: 0,
                 logical: 0,
                 peak_logical: 0,
+                logical_bytes: 0,
+                peak_logical_bytes: 0,
                 free: Vec::new(),
                 index: BTreeMap::new(),
                 clock: 0,
@@ -310,6 +484,39 @@ impl KvArena {
     /// The budget in pages, or `None` for an unbounded arena.
     pub fn budget_pages(&self) -> Option<usize> {
         self.lock().budget_pages
+    }
+
+    /// The budget in bytes, or `None` when no byte budget is set.
+    pub fn budget_bytes(&self) -> Option<u64> {
+        self.lock().budget_bytes
+    }
+
+    /// Bytes charged by unique pages — the byte twin of
+    /// [`KvArena::pages_in_use`], judged against the byte budget.
+    pub fn bytes_in_use(&self) -> u64 {
+        self.lock().unique_bytes
+    }
+
+    /// Byte twin of [`KvArena::logical_pages_in_use`]: page charges
+    /// summed per holder. `logical − unique` bytes is the sharing win.
+    pub fn logical_bytes_in_use(&self) -> u64 {
+        self.lock().logical_bytes
+    }
+
+    /// Bytes still allocatable before the byte budget is hit, without
+    /// eviction (`u64::MAX` when no byte budget is set).
+    pub fn free_bytes(&self) -> u64 {
+        self.lock().free_bytes()
+    }
+
+    /// High-water mark of [`KvArena::bytes_in_use`].
+    pub fn peak_bytes(&self) -> u64 {
+        self.lock().peak_unique_bytes
+    }
+
+    /// High-water mark of [`KvArena::logical_bytes_in_use`].
+    pub fn peak_logical_bytes(&self) -> u64 {
+        self.lock().peak_logical_bytes
     }
 
     /// Unique pages currently out of the free-list — what the budget is
@@ -369,6 +576,18 @@ impl KvArena {
             .count()
     }
 
+    /// Byte twin of [`KvArena::reclaimable_pages`]: charges of pages
+    /// held only by the prefix index.
+    pub fn reclaimable_bytes(&self) -> u64 {
+        let g = self.lock();
+        g.index
+            .values()
+            .flat_map(|e| &e.pages)
+            .filter(|p| Arc::strong_count(p) == 1)
+            .map(|p| p.charge)
+            .sum()
+    }
+
     /// Prefix-cache activity counters.
     pub fn prefix_stats(&self) -> PrefixStats {
         let g = self.lock();
@@ -406,11 +625,13 @@ impl KvArena {
             }
             probe.tokens += pt;
             probe.pages += layers;
-            probe.held_pages += entry
-                .pages
-                .iter()
-                .filter(|p| Arc::strong_count(p) > 1)
-                .count();
+            for p in &entry.pages {
+                probe.bytes += p.charge;
+                if Arc::strong_count(p) > 1 {
+                    probe.held_pages += 1;
+                    probe.held_bytes += p.charge;
+                }
+            }
         }
         probe
     }
@@ -428,6 +649,22 @@ impl KvArena {
         };
         let mut evicted = 0;
         while budget.saturating_sub(g.unique) < pages && g.evict_one() {
+            evicted += 1;
+        }
+        evicted
+    }
+
+    /// Byte twin of [`KvArena::ensure_free`]: evicts LRU reclaimable
+    /// prefix entries until at least `bytes` bytes are allocatable
+    /// without further eviction (or nothing reclaimable remains).
+    /// Returns the entries evicted. No-op without a byte budget.
+    pub fn ensure_free_bytes(&self, bytes: u64) -> usize {
+        let mut g = self.lock();
+        if g.budget_bytes.is_none() {
+            return 0;
+        }
+        let mut evicted = 0;
+        while g.free_bytes() < bytes && g.evict_one() {
             evicted += 1;
         }
         evicted
@@ -469,6 +706,12 @@ impl KvArena {
         }
         g.logical += blocks.len() * layers;
         g.peak_logical = g.peak_logical.max(g.logical);
+        g.logical_bytes += blocks
+            .iter()
+            .flatten()
+            .map(|p: &PageRef| p.charge)
+            .sum::<u64>();
+        g.peak_logical_bytes = g.peak_logical_bytes.max(g.logical_bytes);
         blocks
     }
 
@@ -504,38 +747,51 @@ impl KvArena {
         g.insertions += 1;
     }
 
-    /// Takes one page out of the arena (recycled when available). When
-    /// the budget is exhausted, reclaimable prefix entries are evicted
-    /// LRU-first before giving up.
+    /// Takes one page out of the arena (recycled when available),
+    /// charging `charge` bytes against the byte accounting. When a
+    /// budget (pages or bytes) is exhausted, reclaimable prefix entries
+    /// are evicted LRU-first before giving up.
     ///
     /// # Errors
     ///
-    /// [`ArenaFull`] when the budget is exhausted and nothing is
+    /// [`ArenaFull`] when a budget is exhausted and nothing is
     /// reclaimable.
-    pub(crate) fn alloc(&self) -> Result<PageBuf, ArenaFull> {
+    pub(crate) fn alloc(&self, charge: u64) -> Result<PageBuf, ArenaFull> {
         let mut g = self.lock();
-        if let Some(budget) = g.budget_pages {
-            while g.unique >= budget && g.evict_one() {}
-            if g.unique >= budget {
+        if g.budget_pages.is_some() || g.budget_bytes.is_some() {
+            let over = |g: &ArenaInner| {
+                g.budget_pages.is_some_and(|b| g.unique >= b) || g.free_bytes() < charge
+            };
+            while over(&g) && g.evict_one() {}
+            if over(&g) {
                 return Err(ArenaFull {
-                    budget_pages: budget,
+                    budget_pages: g.budget_pages,
+                    budget_bytes: g.budget_bytes,
                 });
             }
         }
         g.unique += 1;
         g.peak_unique = g.peak_unique.max(g.unique);
+        g.unique_bytes += charge;
+        g.peak_unique_bytes = g.peak_unique_bytes.max(g.unique_bytes);
         g.logical += 1;
         g.peak_logical = g.peak_logical.max(g.logical);
-        Ok(g.free.pop().unwrap_or_default())
+        g.logical_bytes += charge;
+        g.peak_logical_bytes = g.peak_logical_bytes.max(g.logical_bytes);
+        let mut buf = g.free.pop().unwrap_or_default();
+        buf.charge = charge;
+        Ok(buf)
     }
 
-    /// Registers `handles` additional cache-held references to already
-    /// allocated pages (a copy-on-write cache clone): logical pages
-    /// grow, unique pages do not.
-    pub(crate) fn share(&self, handles: usize) {
+    /// Registers `handles` additional cache-held references (charging
+    /// `bytes` in total) to already allocated pages (a copy-on-write
+    /// cache clone): logical pages grow, unique pages do not.
+    pub(crate) fn share(&self, handles: usize, bytes: u64) {
         let mut g = self.lock();
         g.logical += handles;
         g.peak_logical = g.peak_logical.max(g.logical);
+        g.logical_bytes += bytes;
+        g.peak_logical_bytes = g.peak_logical_bytes.max(g.logical_bytes);
     }
 
     /// Drops one cache-held page reference. The page returns to the
@@ -546,11 +802,14 @@ impl KvArena {
         let mut g = self.lock();
         debug_assert!(g.logical > 0, "releasing into an empty arena");
         g.logical = g.logical.saturating_sub(1);
+        g.logical_bytes = g.logical_bytes.saturating_sub(page.charge);
         if let Ok(mut buf) = Arc::try_unwrap(page) {
             buf.k.clear();
             buf.v.clear();
             debug_assert!(g.unique > 0, "freeing an untracked page");
             g.unique = g.unique.saturating_sub(1);
+            g.unique_bytes = g.unique_bytes.saturating_sub(buf.charge);
+            buf.charge = 0;
             g.free.push(buf);
         }
     }
@@ -567,17 +826,32 @@ impl Default for KvArena {
 mod tests {
     use super::*;
 
-    /// Allocates one page and wraps it in the handle a cache would hold.
+    /// Allocates one page (zero byte charge) and wraps it in the handle
+    /// a cache would hold.
     fn alloc_ref(arena: &KvArena) -> Result<PageRef, ArenaFull> {
-        arena.alloc().map(Arc::new)
+        arena.alloc(0).map(Arc::new)
     }
 
     /// Publishes a one-layer block for `prefix`, allocating a fresh full
     /// page for it, and returns the cache-held handle.
     fn publish_block(arena: &KvArena, class: u64, prefix: &[usize]) -> PageRef {
-        let mut page = arena.alloc().expect("arena has room");
-        page.k.extend(prefix.iter().map(|&t| t as f32));
-        page.v.extend(prefix.iter().map(|&t| -(t as f32)));
+        publish_block_charged(arena, class, prefix, 0)
+    }
+
+    /// As [`publish_block`], with an explicit byte charge.
+    fn publish_block_charged(
+        arena: &KvArena,
+        class: u64,
+        prefix: &[usize],
+        charge: u64,
+    ) -> PageRef {
+        let mut page = arena.alloc(charge).expect("arena has room");
+        page.k.reset(SchemeSpec::Fp32, 1);
+        page.v.reset(SchemeSpec::Fp32, 1);
+        for &t in prefix {
+            page.k.push_row(&[t as f32]);
+            page.v.push_row(&[-(t as f32)]);
+        }
         let page = Arc::new(page);
         arena.publish_prefix(class, prefix, vec![page.clone()]);
         page
@@ -590,7 +864,13 @@ mod tests {
         let b = alloc_ref(&arena).unwrap();
         assert_eq!(arena.pages_in_use(), 2);
         assert_eq!(arena.free_pages(), 0);
-        assert_eq!(arena.alloc().unwrap_err(), ArenaFull { budget_pages: 2 });
+        assert_eq!(
+            arena.alloc(0).unwrap_err(),
+            ArenaFull {
+                budget_pages: Some(2),
+                budget_bytes: None
+            }
+        );
         arena.release_ref(a);
         assert_eq!(arena.pages_in_use(), 1);
         let c = alloc_ref(&arena).unwrap();
@@ -604,12 +884,99 @@ mod tests {
     #[test]
     fn released_buffers_come_back_empty() {
         let arena = KvArena::unbounded(4);
-        let mut page = arena.alloc().unwrap();
-        page.k.extend_from_slice(&[1.0, 2.0]);
-        page.v.extend_from_slice(&[3.0]);
+        let mut page = arena.alloc(8).unwrap();
+        page.k.reset(SchemeSpec::Fp32, 2);
+        page.k.push_row(&[1.0, 2.0]);
         arena.release_ref(Arc::new(page));
-        let recycled = arena.alloc().unwrap();
+        assert_eq!(arena.bytes_in_use(), 0);
+        let recycled = arena.alloc(4).unwrap();
         assert!(recycled.k.is_empty() && recycled.v.is_empty());
+        assert_eq!(recycled.charge, 4);
+        assert_eq!(arena.bytes_in_use(), 4);
+    }
+
+    #[test]
+    fn byte_budget_is_enforced_and_released_bytes_recycle() {
+        let arena = KvArena::with_byte_budget(8, 100);
+        assert_eq!(arena.budget_pages(), None);
+        assert_eq!(arena.budget_bytes(), Some(100));
+        assert_eq!(arena.free_bytes(), 100);
+        let a = Arc::new(arena.alloc(60).unwrap());
+        assert_eq!(arena.bytes_in_use(), 60);
+        assert_eq!(arena.free_bytes(), 40);
+        assert_eq!(
+            arena.alloc(60).unwrap_err(),
+            ArenaFull {
+                budget_pages: None,
+                budget_bytes: Some(100)
+            }
+        );
+        // A smaller page still fits: byte budgets admit by size, not
+        // count.
+        let b = Arc::new(arena.alloc(40).unwrap());
+        assert_eq!(arena.peak_bytes(), 100);
+        assert_eq!(arena.logical_bytes_in_use(), 100);
+        arena.release_ref(a);
+        assert_eq!(arena.bytes_in_use(), 40);
+        let c = Arc::new(arena.alloc(60).unwrap());
+        arena.release_ref(b);
+        arena.release_ref(c);
+        assert_eq!(arena.bytes_in_use(), 0);
+        assert_eq!(arena.logical_bytes_in_use(), 0);
+        assert_eq!(arena.peak_bytes(), 100);
+    }
+
+    #[test]
+    fn byte_budget_evicts_reclaimable_prefix_entries() {
+        let arena = KvArena::with_byte_budget(2, 100);
+        let cold = publish_block_charged(&arena, 1, &[1, 2], 80);
+        arena.release_ref(cold);
+        assert_eq!(arena.reclaimable_bytes(), 80);
+        // The next allocation does not fit without evicting the entry.
+        let page = Arc::new(arena.alloc(50).unwrap());
+        assert_eq!(arena.prefix_stats().evictions, 1);
+        assert_eq!(arena.bytes_in_use(), 50);
+        arena.release_ref(page);
+    }
+
+    #[test]
+    fn ensure_free_bytes_evicts_up_front() {
+        let arena = KvArena::with_byte_budget(2, 100);
+        for (prefix, charge) in [([1usize, 2], 30), ([3, 4], 30), ([5, 6], 30)] {
+            let p = publish_block_charged(&arena, 1, &prefix, charge);
+            arena.release_ref(p);
+        }
+        assert_eq!(arena.free_bytes(), 10);
+        assert_eq!(arena.ensure_free_bytes(10), 0); // already free
+        assert_eq!(arena.ensure_free_bytes(50), 2); // evicts two entries
+        assert_eq!(arena.free_bytes(), 70);
+        // Unbounded (no byte budget): never evicts.
+        let unbounded = KvArena::with_budget(2, 8);
+        let p = publish_block_charged(&unbounded, 1, &[1, 2], 30);
+        unbounded.release_ref(p);
+        assert_eq!(unbounded.ensure_free_bytes(u64::MAX), 0);
+    }
+
+    #[test]
+    fn probe_and_adoption_report_bytes() {
+        let arena = KvArena::unbounded(2);
+        let held = publish_block_charged(&arena, 1, &[1, 2], 10);
+        let released = publish_block_charged(&arena, 1, &[1, 2, 3, 4], 10);
+        arena.release_ref(released);
+        let probe = arena.probe_prefix(1, &[1, 2, 3, 4], 4, 1);
+        assert_eq!(probe.bytes, 20);
+        assert_eq!(probe.held_bytes, 10);
+        let blocks = arena.adopt_prefix(1, &[1, 2, 3, 4], 4, 1);
+        assert_eq!(blocks.len(), 2);
+        // held (10) + adopter's two handles (20).
+        assert_eq!(arena.logical_bytes_in_use(), 30);
+        for block in blocks {
+            for page in block {
+                arena.release_ref(page);
+            }
+        }
+        assert_eq!(arena.logical_bytes_in_use(), 10);
+        drop(held);
     }
 
     #[test]
@@ -626,9 +993,9 @@ mod tests {
         let arena = KvArena::with_budget(4, 1);
         let other = arena.clone();
         let page = alloc_ref(&other).unwrap();
-        assert!(arena.alloc().is_err());
+        assert!(arena.alloc(0).is_err());
         other.release_ref(page);
-        assert!(arena.alloc().is_ok());
+        assert!(arena.alloc(0).is_ok());
     }
 
     #[test]
@@ -644,7 +1011,7 @@ mod tests {
         let arena = KvArena::unbounded(4);
         let a = alloc_ref(&arena).unwrap();
         let b = a.clone();
-        arena.share(1);
+        arena.share(1, 0);
         assert_eq!(arena.pages_in_use(), 1);
         assert_eq!(arena.logical_pages_in_use(), 2);
         assert_eq!(arena.peak_logical_pages(), 2);
@@ -668,7 +1035,7 @@ mod tests {
 
         let blocks = arena.adopt_prefix(7, &[3, 1, 9, 9], 4, 1);
         assert_eq!(blocks.len(), 1);
-        assert_eq!(blocks[0][0].k, page.k);
+        assert_eq!(blocks[0][0].k.to_dense(), page.k.to_dense());
         assert!(Arc::ptr_eq(&blocks[0][0], &page));
         // Adoption allocated nothing: one unique page, two holders.
         assert_eq!(arena.pages_in_use(), 1);
@@ -769,7 +1136,7 @@ mod tests {
         let b = publish_block(&arena, 1, &[3, 4]);
         assert_eq!(arena.free_pages(), 0);
         // Both entries are held by caches: nothing to evict.
-        assert!(arena.alloc().is_err());
+        assert!(arena.alloc(0).is_err());
         arena.release_ref(a);
         // Now one entry is reclaimable and alloc succeeds by evicting it.
         let c = alloc_ref(&arena).unwrap();

@@ -14,12 +14,12 @@
 //! outliers.
 
 use crate::hooks::InferenceHooks;
-use crate::kv::{KvArena, PageRef};
+use crate::kv::{KvArena, KvStore, PageRef};
 use crate::ops;
 use crate::rng::Stream;
 use crate::tensor::Tensor;
 use crate::zoo::{Family, ModelSpec};
-use bbal_core::{PackedMatrix, SchemeSpec};
+use bbal_core::{attn_dot_packed, attn_weighted_sum_packed, PackedMatrix, SchemeSpec};
 use std::sync::Arc;
 
 /// The weight matrices of one decoder layer.
@@ -67,36 +67,6 @@ struct LayerKv {
     pages: Vec<PageRef>,
 }
 
-impl LayerKv {
-    /// Columns `c0..c0+width` of token `j`'s cached key row.
-    #[inline]
-    fn k_row(
-        &self,
-        j: usize,
-        page_tokens: usize,
-        hidden: usize,
-        c0: usize,
-        width: usize,
-    ) -> &[f32] {
-        let off = (j % page_tokens) * hidden + c0;
-        &self.pages[j / page_tokens].k[off..off + width]
-    }
-
-    /// Columns `c0..c0+width` of token `j`'s cached value row.
-    #[inline]
-    fn v_row(
-        &self,
-        j: usize,
-        page_tokens: usize,
-        hidden: usize,
-        c0: usize,
-        width: usize,
-    ) -> &[f32] {
-        let off = (j % page_tokens) * hidden + c0;
-        &self.pages[j / page_tokens].v[off..off + width]
-    }
-}
-
 /// Owned KV-cache state for [`TransformerModel::prefill`] and
 /// [`TransformerModel::decode_step`].
 ///
@@ -117,6 +87,9 @@ pub struct KvCache {
     hidden: usize,
     page_tokens: usize,
     arena: KvArena,
+    store: KvStore,
+    /// Arena byte charge per page, fixed by the store at construction.
+    page_charge: u64,
     layers: Vec<LayerKv>,
     len: usize,
 }
@@ -145,6 +118,11 @@ impl KvCache {
     /// The arena this cache allocates from.
     pub fn arena(&self) -> &KvArena {
         &self.arena
+    }
+
+    /// The KV storage policy this cache was created with.
+    pub fn store(&self) -> &KvStore {
+        &self.store
     }
 
     /// Discards all cached tokens (start of a new sequence), dropping
@@ -212,16 +190,32 @@ impl KvCache {
     }
 
     fn push_layer_row(&mut self, layer: usize, k_row: &[f32], v_row: &[f32]) {
-        let capacity = self.page_tokens * self.hidden;
+        let (mut kq, mut vq) = (Vec::new(), Vec::new());
+        let (k_row, v_row) = if self.store.quantize {
+            kq.extend_from_slice(k_row);
+            vq.extend_from_slice(v_row);
+            self.store.quantize_row(&mut kq);
+            self.store.quantize_row(&mut vq);
+            (kq.as_slice(), vq.as_slice())
+        } else {
+            (k_row, v_row)
+        };
         let lk = &mut self.layers[layer];
-        if lk.pages.last().is_none_or(|p| p.k.len() >= capacity) {
+        if lk
+            .pages
+            .last()
+            .is_none_or(|p| p.k.rows() >= self.page_tokens)
+        {
             // The scheduler reserves pages before dispatching work, and
             // a lone session's private arena is unbounded — running out
             // here means the caller's accounting is wrong.
-            let page = self
+            let mut page = self
                 .arena
-                .alloc()
+                .alloc(self.page_charge)
                 .unwrap_or_else(|e| panic!("KV cache page allocation failed: {e}"));
+            let storage = self.store.storage_scheme();
+            page.k.reset(storage, self.hidden);
+            page.v.reset(storage, self.hidden);
             lk.pages.push(Arc::new(page));
         } else if Arc::get_mut(lk.pages.last_mut().expect("tail checked above")).is_none() {
             // Copy-on-write: the partial tail page is shared (this cache
@@ -231,10 +225,10 @@ impl KvCache {
             let tail = lk.pages.last().expect("tail checked above");
             let mut copy = self
                 .arena
-                .alloc()
+                .alloc(self.page_charge)
                 .unwrap_or_else(|e| panic!("KV cache copy-on-write failed: {e}"));
-            copy.k.extend_from_slice(&tail.k);
-            copy.v.extend_from_slice(&tail.v);
+            copy.k = tail.k.clone();
+            copy.v = tail.v.clone();
             let shared = std::mem::replace(
                 lk.pages.last_mut().expect("tail checked above"),
                 Arc::new(copy),
@@ -243,8 +237,8 @@ impl KvCache {
         }
         let page = Arc::get_mut(lk.pages.last_mut().expect("page ensured above"))
             .expect("tail page is uniquely owned after copy-on-write");
-        page.k.extend_from_slice(k_row);
-        page.v.extend_from_slice(v_row);
+        page.k.push_row(k_row);
+        page.v.push_row(v_row);
     }
 }
 
@@ -263,11 +257,15 @@ impl Clone for KvCache {
                 pages: l.pages.clone(),
             })
             .collect();
-        self.arena.share(layers.iter().map(|l| l.pages.len()).sum());
+        let handles = layers.iter().map(|l| l.pages.len()).sum();
+        let bytes = layers.iter().flat_map(|l| &l.pages).map(|p| p.charge).sum();
+        self.arena.share(handles, bytes);
         KvCache {
             hidden: self.hidden,
             page_tokens: self.page_tokens,
             arena: self.arena.clone(),
+            store: self.store,
+            page_charge: self.page_charge,
             layers,
             len: self.len,
         }
@@ -590,12 +588,24 @@ impl TransformerModel {
 
     /// An empty KV cache drawing its pages from `arena` — the serving
     /// configuration, where every request's cache shares (and is
-    /// bounded by) one arena.
+    /// bounded by) one arena. Rows are stored dense f32
+    /// ([`KvStore::dense_f32`]).
     pub fn kv_cache_in(&self, arena: &KvArena) -> KvCache {
+        self.kv_cache_with(arena, KvStore::default())
+    }
+
+    /// An empty KV cache drawing from `arena` with an explicit KV
+    /// [storage policy](KvStore): `store.quantize` passes K/V rows
+    /// through the scheme's quantiser, `store.packed` keeps the page
+    /// buffers in the scheme's packed block layout. Each arena page is
+    /// charged [`KvStore::page_bytes`] against the arena's byte budget.
+    pub fn kv_cache_with(&self, arena: &KvArena, store: KvStore) -> KvCache {
         KvCache {
             hidden: self.spec.hidden,
             page_tokens: arena.page_tokens(),
             arena: arena.clone(),
+            page_charge: store.page_bytes(self.spec.hidden, arena.page_tokens()),
+            store,
             layers: (0..self.spec.layers).map(|_| LayerKv::default()).collect(),
             len: 0,
         }
@@ -794,21 +804,19 @@ impl TransformerModel {
                     // contiguous layout, so paging never changes a bit.
                     let span = past + i + 1;
                     let mut scores = vec![0.0f32; span];
+                    let q_row = &q.row(i)[c0..c0 + dh];
                     for (j, s) in scores.iter_mut().enumerate() {
-                        let k_row = lk.k_row(j, pt, h, c0, dh);
-                        let mut acc = 0.0f32;
-                        for (qv, kv) in q.row(i)[c0..c0 + dh].iter().zip(k_row) {
-                            acc += qv * kv;
-                        }
-                        *s = acc * scale;
+                        let page = &lk.pages[j / pt];
+                        *s = attn_dot_packed(q_row, &page.k, j % pt, c0) * scale;
                     }
                     hooks.softmax_row(&mut scores);
-                    let ctx_row = ctx.row_mut(i);
-                    for (j, p) in scores.iter().enumerate() {
-                        let v_row = lk.v_row(j, pt, h, c0, dh);
-                        for (d, vv) in v_row.iter().enumerate() {
-                            ctx_row[c0 + d] += p * vv;
-                        }
+                    let ctx_row = &mut ctx.row_mut(i)[c0..c0 + dh];
+                    let mut j0 = 0;
+                    while j0 < span {
+                        let page = &lk.pages[j0 / pt];
+                        let take = (span - j0).min(pt - (j0 % pt));
+                        attn_weighted_sum_packed(&scores[j0..j0 + take], &page.v, c0, ctx_row);
+                        j0 += take;
                     }
                 }
             }
@@ -1200,5 +1208,115 @@ mod tests {
         let mut cache = model.kv_cache();
         model.prefill(&[1], &ExactHooks, &mut cache);
         model.prefill(&[2], &ExactHooks, &mut cache);
+    }
+
+    fn store(scheme: &str, quantize: bool, packed: bool) -> KvStore {
+        KvStore {
+            scheme: scheme.parse().unwrap(),
+            quantize,
+            packed,
+        }
+    }
+
+    #[test]
+    fn packed_kv_storage_never_changes_logits() {
+        // `packed` is storage only: with quantisation on, packed on/off
+        // must produce bit-identical prefill and decode logits while
+        // the packed pages charge at most half the dense f32 bytes.
+        let model = TransformerModel::synthesize(&tiny_test_model());
+        let prompt = [3usize, 7, 1, 9, 2];
+        let decode = [4usize, 8, 2];
+        let schemes = [
+            "bfp:4",
+            "bfp:6",
+            "bbfp:4,2",
+            "bbfp:6,3",
+            "mx:8,4,2",
+            "msfp:4,16",
+            "blockmf:4,3,8",
+        ];
+        for scheme in schemes {
+            let dense_arena = KvArena::unbounded(4);
+            let packed_arena = KvArena::unbounded(4);
+            let mut dense = model.kv_cache_with(&dense_arena, store(scheme, true, false));
+            let mut packed = model.kv_cache_with(&packed_arena, store(scheme, true, true));
+            let a = model.prefill(&prompt, &ExactHooks, &mut dense);
+            let b = model.prefill(&prompt, &ExactHooks, &mut packed);
+            assert_eq!(a.data(), b.data(), "{scheme} prefill");
+            for &t in &decode {
+                let sa = model.decode_step(t, &ExactHooks, &mut dense);
+                let sb = model.decode_step(t, &ExactHooks, &mut packed);
+                assert_eq!(sa, sb, "{scheme} decode {t}");
+            }
+            assert!(
+                2 * packed_arena.bytes_in_use() <= dense_arena.bytes_in_use(),
+                "{scheme}: packed {} vs dense {} bytes",
+                packed_arena.bytes_in_use(),
+                dense_arena.bytes_in_use(),
+            );
+        }
+    }
+
+    #[test]
+    fn quantized_kv_changes_numerics_but_not_with_chunking() {
+        // `quantize` is applied per row, so prefill chunking, page size
+        // and decode stepping all see the same cached rows...
+        let model = TransformerModel::synthesize(&tiny_test_model());
+        let seq = [3usize, 7, 1, 4, 8, 2, 6];
+        let st = store("bfp:4", true, false);
+
+        let mut whole = model.kv_cache_with(&KvArena::unbounded(16), st);
+        let full = model.prefill(&seq, &ExactHooks, &mut whole);
+
+        let mut chunked = model.kv_cache_with(&KvArena::unbounded(2), st);
+        model.prefill(&seq[..2], &ExactHooks, &mut chunked);
+        model.prefill_chunk(&seq[2..5], &ExactHooks, &mut chunked);
+        for (i, &t) in seq[5..].iter().enumerate() {
+            let step = model.decode_step(t, &ExactHooks, &mut chunked);
+            assert_eq!(step.as_slice(), full.row(5 + i), "decode {i}");
+        }
+
+        // ...while genuinely changing the numerics vs the exact cache.
+        let exact = model.forward(&seq, &ExactHooks);
+        let last = seq.len() - 1;
+        assert_ne!(full.row(last), exact.row(last));
+    }
+
+    #[test]
+    fn packing_without_quantisation_stays_dense_and_exact() {
+        // Raw f32 activations have no block form: `packed` alone stores
+        // dense f32 (full page charge) and reproduces the exact logits.
+        let model = TransformerModel::synthesize(&tiny_test_model());
+        let st = store("bfp:4", false, true);
+        assert_eq!(st.storage_scheme(), SchemeSpec::Fp32);
+        let arena = KvArena::unbounded(4);
+        let mut cache = model.kv_cache_with(&arena, st);
+        let tokens = [1usize, 5, 9, 2];
+        let got = model.prefill(&tokens, &ExactHooks, &mut cache);
+        let exact = model.forward(&tokens, &ExactHooks);
+        assert_eq!(got.data(), exact.data());
+        assert_eq!(
+            arena.bytes_in_use(),
+            KvStore::dense_f32().page_bytes(model.spec().hidden, 4)
+        );
+    }
+
+    #[test]
+    fn packed_cow_clone_stays_bit_identical() {
+        // Copy-on-write must clone the packed buffers faithfully: a
+        // clone that diverges after a shared packed tail page agrees
+        // with the original bit for bit.
+        let model = TransformerModel::synthesize(&tiny_test_model());
+        let arena = KvArena::unbounded(4);
+        let st = store("bbfp:4,2", true, true);
+        let mut cache = model.kv_cache_with(&arena, st);
+        model.prefill(&[5, 6, 7], &ExactHooks, &mut cache);
+        let mut clone = cache.clone();
+        let step_a = model.decode_step(9, &ExactHooks, &mut cache);
+        let step_b = model.decode_step(9, &ExactHooks, &mut clone);
+        assert_eq!(step_a, step_b);
+        let step_a2 = model.decode_step(1, &ExactHooks, &mut cache);
+        let step_b2 = model.decode_step(1, &ExactHooks, &mut clone);
+        assert_eq!(step_a2, step_b2);
     }
 }

@@ -179,6 +179,41 @@ mod tests {
     }
 
     #[test]
+    fn kv_bits_accounting_matches_actual_packed_page_bytes() {
+        // The analytic footprint model and the packed page layout must
+        // agree exactly: for every block scheme,
+        // `kv_bits_per_element × elements` (rounded up to whole bytes)
+        // is the capacity a packed KV page actually charges. Block
+        // sizes are powers of two, so the amortised bit width is exact
+        // in binary and the comparison needs no tolerance.
+        use bbal_core::packed_rows_capacity_bytes;
+        let block_schemes = [
+            "bfp:6",
+            "bfp:4",
+            "bbfp:3,1",
+            "bbfp:4,2",
+            "bbfp:4,3",
+            "bbfp:6,3",
+            "bbfp:6,4",
+            "mx:8,4,2",
+            "msfp:4,16",
+            "blockmf:4,3,8",
+        ];
+        for spec in block_schemes {
+            let scheme: SchemeSpec = spec.parse().expect("scheme parses");
+            for (hidden, tokens) in [(64usize, 4usize), (64, 7), (128, 16), (4096, 1)] {
+                let bits = kv_bits_per_element(scheme) * (hidden * tokens) as f64;
+                let expected = (bits / 8.0).ceil() as usize;
+                assert_eq!(
+                    packed_rows_capacity_bytes(scheme, hidden, tokens),
+                    expected,
+                    "{spec} at {hidden}x{tokens}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn unmapped_schemes_fall_back_to_fp16() {
         assert_eq!(kv_bits_per_element(SchemeSpec::OmniQuant), 16.0);
         // Invalid widths cannot panic the accounting path.

@@ -87,6 +87,20 @@ pub struct ServeConfig {
     /// arena's prefix index (copy-on-write; outputs bit-identical to a
     /// cold cache). `false` is the cold-cache baseline.
     pub kv_prefix_cache: bool,
+    /// KV arena budget in *bytes* across every active request (`None` =
+    /// unbounded). Orthogonal to `kv_budget_pages`: pages are counted
+    /// at the byte charge of the sessions' KV store, so a packed store
+    /// fits more pages under the same byte budget — the equal-byte
+    /// memory-pressure axis of `serve_sweep`.
+    pub kv_budget_bytes: Option<u64>,
+    /// Quantise every cached K/V row through each session's scheme (the
+    /// compressed-KV operating point; deterministic, chunking-invariant,
+    /// but different numerics from the exact f32 cache). Default off.
+    pub kv_quant: bool,
+    /// Store KV pages in each scheme's packed block layout. Never
+    /// changes any output token; with `kv_quant` it shrinks every
+    /// page's byte charge to the scheme's packed size. Default off.
+    pub kv_packed: bool,
     /// Tensor-parallel shards the tick cost model splits every GEMM
     /// across (Megatron column/row split, heads sharded for attention).
     /// `1` — the default — is a single array with zero interconnect
@@ -121,6 +135,9 @@ impl Default for ServeConfig {
             kv_page_tokens: bbal_llm::DEFAULT_PAGE_TOKENS,
             kv_budget_pages: None,
             kv_prefix_cache: true,
+            kv_budget_bytes: None,
+            kv_quant: false,
+            kv_packed: false,
             tensor_shards: 1,
             interconnect: LinkClass::Nvlink,
             max_trace_ticks: None,
@@ -163,6 +180,26 @@ impl ServeConfig {
     /// Returns a copy with a different KV page granularity.
     pub fn with_kv_page_tokens(mut self, tokens: usize) -> ServeConfig {
         self.kv_page_tokens = tokens;
+        self
+    }
+
+    /// Returns a copy with a KV arena budget of `bytes` — the
+    /// equal-byte memory-pressure axis, where a packed KV store fits
+    /// more pages than a dense one under the same budget.
+    pub fn with_kv_budget_bytes(mut self, bytes: u64) -> ServeConfig {
+        self.kv_budget_bytes = Some(bytes);
+        self
+    }
+
+    /// Returns a copy with KV-row quantisation switched on or off.
+    pub fn with_kv_quant(mut self, on: bool) -> ServeConfig {
+        self.kv_quant = on;
+        self
+    }
+
+    /// Returns a copy with packed KV page storage switched on or off.
+    pub fn with_kv_packed(mut self, on: bool) -> ServeConfig {
+        self.kv_packed = on;
         self
     }
 
@@ -213,6 +250,12 @@ impl ServeConfig {
         if self.kv_budget_pages == Some(0) {
             return Err(ServeError::Config {
                 field: "kv_budget_pages",
+                value: 0,
+            });
+        }
+        if self.kv_budget_bytes == Some(0) {
+            return Err(ServeError::Config {
+                field: "kv_budget_bytes",
                 value: 0,
             });
         }
@@ -330,6 +373,29 @@ mod tests {
         ServeConfig::default()
             .with_tensor_shards(4, LinkClass::Pcie)
             .with_max_trace_ticks(128)
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn packed_kv_knobs_default_off_and_validate() {
+        let d = ServeConfig::default();
+        assert_eq!(
+            (d.kv_budget_bytes, d.kv_quant, d.kv_packed),
+            (None, false, false)
+        );
+        let c = ServeConfig::default().with_kv_budget_bytes(0);
+        assert_eq!(
+            c.validate().unwrap_err(),
+            ServeError::Config {
+                field: "kv_budget_bytes",
+                value: 0
+            }
+        );
+        ServeConfig::default()
+            .with_kv_budget_bytes(1 << 20)
+            .with_kv_quant(true)
+            .with_kv_packed(true)
             .validate()
             .unwrap();
     }

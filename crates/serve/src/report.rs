@@ -201,6 +201,10 @@ pub struct ServeReport {
     pub kv_page_tokens: usize,
     /// The arena budget the run was served under (`None` = unbounded).
     pub kv_budget_pages: Option<usize>,
+    /// The arena's *byte* budget (`None` = no byte budget). Judged
+    /// against actual packed page charges, so a byte budget admits
+    /// more compressed-scheme pages than f32 ones.
+    pub kv_budget_bytes: Option<u64>,
     /// Most *unique* KV pages in use at any tick end (shared pages
     /// counted once — what the arena budget is judged against).
     pub peak_kv_pages: usize,
@@ -209,6 +213,15 @@ pub struct ServeReport {
     /// [`ServeReport::peak_kv_pages`] is the memory the prefix cache
     /// saved at the run's high-water mark.
     pub peak_logical_kv_pages: usize,
+    /// Byte twin of [`ServeReport::peak_kv_pages`]: most *unique* KV
+    /// bytes charged at any tick end, at each page's actual packed
+    /// capacity. With packed storage off every page charges its dense
+    /// f32 capacity; the ratio between the two configurations is the
+    /// run's measured KV compression.
+    pub peak_kv_bytes: u64,
+    /// Byte twin of [`ServeReport::peak_logical_kv_pages`]: page
+    /// charges summed once per holding request.
+    pub peak_logical_kv_bytes: u64,
     /// Total preemptions across all requests.
     pub preemptions: u64,
     /// KV bytes read from DRAM (attention streaming cached K/V at the
@@ -249,8 +262,11 @@ impl PartialEq for ServeReport {
             && self.sessions_reused == other.sessions_reused
             && self.kv_page_tokens == other.kv_page_tokens
             && self.kv_budget_pages == other.kv_budget_pages
+            && self.kv_budget_bytes == other.kv_budget_bytes
             && self.peak_kv_pages == other.peak_kv_pages
             && self.peak_logical_kv_pages == other.peak_logical_kv_pages
+            && self.peak_kv_bytes == other.peak_kv_bytes
+            && self.peak_logical_kv_bytes == other.peak_logical_kv_bytes
             && self.preemptions == other.preemptions
             && self.kv_read_bytes == other.kv_read_bytes
             && self.kv_write_bytes == other.kv_write_bytes
@@ -584,8 +600,11 @@ mod tests {
             sessions_reused: 0,
             kv_page_tokens: 16,
             kv_budget_pages: None,
+            kv_budget_bytes: None,
             peak_kv_pages: 2,
             peak_logical_kv_pages: 2,
+            peak_kv_bytes: 1024,
+            peak_logical_kv_bytes: 1024,
             preemptions: 0,
             kv_read_bytes: 96,
             kv_write_bytes: 32,

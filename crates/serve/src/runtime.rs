@@ -51,7 +51,7 @@ use bbal_accel::{
 use bbal_arith::GateLibrary;
 use bbal_core::SchemeSpec;
 use bbal_llm::graph::PaperDims;
-use bbal_llm::{KvArena, ModelSpec};
+use bbal_llm::{KvArena, KvStore, ModelSpec, PrefixProbe};
 use bbal_mem::interconnect::ring_allreduce_cycles;
 use bbal_mem::{InterconnectTraffic, KvFootprint, KvTraffic};
 use bbal_session::{argmax, prefix_class, Session, SessionBuilder};
@@ -279,6 +279,8 @@ struct RunState {
     interconnect: InterconnectTraffic,
     peak_kv_pages: usize,
     peak_logical_kv_pages: usize,
+    peak_kv_bytes: u64,
+    peak_logical_kv_bytes: u64,
 }
 
 impl fmt::Debug for RunState {
@@ -322,12 +324,18 @@ impl ServeRuntime {
     pub fn new(template: SessionBuilder, config: ServeConfig) -> Result<ServeRuntime, ServeError> {
         config.validate()?;
         // One shared paged arena: every pooled session's KV cache draws
-        // from (and is bounded by) it.
-        let arena = match config.kv_budget_pages {
-            Some(pages) => KvArena::with_budget(config.kv_page_tokens, pages),
-            None => KvArena::unbounded(config.kv_page_tokens),
-        };
-        let template = template.resolve_model()?.kv_arena(arena.clone());
+        // from (and is bounded by) it. Pages charge their scheme-native
+        // packed capacity, so the byte budget is honest under packing.
+        let arena = KvArena::with_budgets(
+            config.kv_page_tokens,
+            config.kv_budget_pages,
+            config.kv_budget_bytes,
+        );
+        let template = template
+            .resolve_model()?
+            .kv_arena(arena.clone())
+            .kv_quant(config.kv_quant)
+            .kv_packed(config.kv_packed);
         // One probe session pins the model geometry and the clock; it
         // goes straight into the pool rather than being thrown away.
         let mut probe = template.clone().build()?;
@@ -378,6 +386,54 @@ impl ServeRuntime {
         self.model_layers * tokens.div_ceil(self.config.kv_page_tokens)
     }
 
+    /// The KV storage configuration a session serving `scheme` runs
+    /// under — the runtime's knobs applied to the request's scheme.
+    fn kv_store_for(&self, scheme: SchemeSpec) -> KvStore {
+        KvStore {
+            scheme,
+            quantize: self.config.kv_quant,
+            packed: self.config.kv_packed,
+        }
+    }
+
+    /// Bytes one arena page charges for a session serving `scheme` —
+    /// the *actual* packed page capacity, which is what sessions charge
+    /// the arena per page. Scheme-dependent: a packed Bbfp page is a
+    /// fraction of an f32 one.
+    fn page_charge(&self, scheme: SchemeSpec) -> u64 {
+        self.kv_store_for(scheme)
+            .page_bytes(self.spec.hidden, self.config.kv_page_tokens)
+    }
+
+    /// Byte twin of [`ServeRuntime::pages_for`] for a request served
+    /// under `scheme`.
+    fn bytes_for(&self, scheme: SchemeSpec, tokens: usize) -> u64 {
+        self.pages_for(tokens) as u64 * self.page_charge(scheme)
+    }
+
+    /// Byte twin of [`ServeRuntime::held_kv_pages`]: bytes the active
+    /// requests actually hold, with index-only retained bytes treated
+    /// as free (they are reclaimed on demand).
+    fn held_kv_bytes(&self) -> u64 {
+        self.arena
+            .bytes_in_use()
+            .saturating_sub(self.arena.reclaimable_bytes())
+    }
+
+    /// The prefix-index class sessions of this runtime publish and
+    /// adopt under. Mirrors `Session::prefix_class`: KV quantisation
+    /// changes the cached rows' bits, so quantised runs live in their
+    /// own class (packing alone does not — packed pages hold the same
+    /// values).
+    fn class_for(&self, scheme: SchemeSpec) -> u64 {
+        let base = prefix_class(&self.spec, scheme);
+        if self.config.kv_quant {
+            base ^ 0x9E37_79B9_7F4A_7C15
+        } else {
+            base
+        }
+    }
+
     /// Unique KV pages the active requests actually hold: the arena's
     /// in-use count (shared pages once) less what only the prefix index
     /// retains — those are reclaimable the instant the budget needs
@@ -401,6 +457,22 @@ impl ServeRuntime {
                     chunk => st.cached + chunk,
                 };
                 self.pages_for(next) - self.pages_for(st.cached)
+            })
+            .sum()
+    }
+
+    /// Byte twin of [`ServeRuntime::planned_growth`], priced per
+    /// request at its scheme's packed page charge.
+    fn planned_growth_bytes(&self, states: &[ReqState], active: &[usize]) -> u64 {
+        active
+            .iter()
+            .map(|&id| {
+                let st = &states[id];
+                let next = match st.next_chunk(self.config.prefill_chunk) {
+                    0 => st.cached + 1, // decode step
+                    chunk => st.cached + chunk,
+                };
+                self.bytes_for(st.scheme, next) - self.bytes_for(st.scheme, st.cached)
             })
             .sum()
     }
@@ -535,6 +607,8 @@ impl ServeRuntime {
             interconnect: InterconnectTraffic::default(),
             peak_kv_pages: 0,
             peak_logical_kv_pages: 0,
+            peak_kv_bytes: 0,
+            peak_logical_kv_bytes: 0,
         });
         Ok(())
     }
@@ -578,6 +652,7 @@ impl ServeRuntime {
         // converges: any admitted request can always finish alone.)
         let needed = request.prompt.len() + request.max_new_tokens;
         let worst_pages = self.pages_for(needed);
+        let worst_bytes = self.bytes_for(request.scheme, needed);
         let rejected = if needed > self.max_seq {
             Some(format!(
                 "prompt of {} + {} new tokens exceeds the context window of {}",
@@ -594,6 +669,16 @@ impl ServeRuntime {
                 "worst-case KV footprint of {worst_pages} pages exceeds the \
                  arena budget of {} pages",
                 self.config.kv_budget_pages.expect("checked above")
+            ))
+        } else if self
+            .config
+            .kv_budget_bytes
+            .is_some_and(|budget| worst_bytes > budget)
+        {
+            Some(format!(
+                "worst-case KV footprint of {worst_bytes} bytes exceeds the \
+                 arena budget of {} bytes",
+                self.config.kv_budget_bytes.expect("checked above")
             ))
         } else {
             None
@@ -742,8 +827,11 @@ impl ServeRuntime {
             sessions_reused: self.pool.reused() - ss.reused_before,
             kv_page_tokens: self.config.kv_page_tokens,
             kv_budget_pages: self.config.kv_budget_pages,
+            kv_budget_bytes: self.config.kv_budget_bytes,
             peak_kv_pages: ss.peak_kv_pages,
             peak_logical_kv_pages: ss.peak_logical_kv_pages,
+            peak_kv_bytes: ss.peak_kv_bytes,
+            peak_logical_kv_bytes: ss.peak_logical_kv_bytes,
             preemptions: ss.states.iter().map(|st| st.preemptions).sum(),
             kv_read_bytes: ss.kv_traffic.read_bytes,
             kv_write_bytes: ss.kv_traffic.write_bytes,
@@ -786,6 +874,15 @@ impl ServeRuntime {
         self.config
             .kv_budget_pages
             .map(|budget| budget.saturating_sub(self.held_kv_pages()))
+    }
+
+    /// Byte twin of [`ServeRuntime::free_kv_pages`]: packed KV bytes
+    /// the arena still has free for newcomers (`None` = no byte
+    /// budget). Bytes retained only by the prefix index count as free.
+    pub fn free_kv_bytes(&self) -> Option<u64> {
+        self.config
+            .kv_budget_bytes
+            .map(|budget| budget.saturating_sub(self.held_kv_bytes()))
     }
 
     /// Tears a run down after an error: recovers every recoverable
@@ -860,40 +957,51 @@ impl ServeRuntime {
                 Some(budget) => budget.saturating_sub(self.held_kv_pages()),
                 None => usize::MAX,
             };
+            let free_bytes = match self.config.kv_budget_bytes {
+                Some(budget) => budget.saturating_sub(self.held_kv_bytes()),
+                None => u64::MAX,
+            };
             // Under a budget, credit each queued request the shared
-            // pages it would adopt that another request already
-            // holds — they are pinned (and counted) either way, so
-            // charging them again would double-count.
-            let probe_credit = self.config.kv_prefix_cache && self.config.kv_budget_pages.is_some();
+            // pages (and their bytes) it would adopt that another
+            // request already holds — they are pinned (and counted)
+            // either way, so charging them again would double-count.
+            let probe_credit = self.config.kv_prefix_cache
+                && (self.config.kv_budget_pages.is_some() || self.config.kv_budget_bytes.is_some());
             let entries: Vec<QueuedEntry> = ss
                 .queue
                 .iter()
                 .map(|&id| {
                     let st = &ss.states[id];
-                    let held_credit = if probe_credit {
-                        self.arena
-                            .probe_prefix(
-                                prefix_class(&self.spec, st.scheme),
-                                &st.prompt,
-                                Self::prefix_cap(st),
-                                self.model_layers,
-                            )
-                            .held_pages
+                    let probe = if probe_credit {
+                        self.arena.probe_prefix(
+                            self.class_for(st.scheme),
+                            &st.prompt,
+                            Self::prefix_cap(st),
+                            self.model_layers,
+                        )
                     } else {
-                        0
+                        PrefixProbe::default()
                     };
                     QueuedEntry {
                         id,
                         scheme: st.scheme,
                         passed_over: st.passed_over,
-                        pages: self.pages_for(st.feed_len()).saturating_sub(held_credit),
+                        pages: self
+                            .pages_for(st.feed_len())
+                            .saturating_sub(probe.held_pages),
+                        bytes: self
+                            .bytes_for(st.scheme, st.feed_len())
+                            .saturating_sub(probe.held_bytes),
                     }
                 })
                 .collect();
-            let admitted =
-                self.config
-                    .admission
-                    .admit(&entries, &active_schemes, slots, free_pages);
+            let admitted = self.config.admission.admit(
+                &entries,
+                &active_schemes,
+                slots,
+                free_pages,
+                free_bytes,
+            );
             // A remaining request was *passed over* if the policy
             // either held a slot it could have taken open or gave
             // one to a request queued behind it: age it. Under FCFS
@@ -913,6 +1021,13 @@ impl ServeRuntime {
                         .map(|e| e.pages)
                         .sum(),
                 );
+                let free_bytes_after = free_bytes.saturating_sub(
+                    entries
+                        .iter()
+                        .filter(|e| admitted.contains(&e.id))
+                        .map(|e| e.bytes)
+                        .sum(),
+                );
                 let last_taken_pos = entries
                     .iter()
                     .enumerate()
@@ -920,7 +1035,10 @@ impl ServeRuntime {
                     .map(|(pos, _)| pos)
                     .max();
                 for (pos, e) in entries.iter().enumerate() {
-                    if admitted.contains(&e.id) || e.pages > free_after {
+                    if admitted.contains(&e.id)
+                        || e.pages > free_after
+                        || e.bytes > free_bytes_after
+                    {
                         continue;
                     }
                     if leftover > 0 || last_taken_pos.is_some_and(|last| pos < last) {
@@ -988,14 +1106,21 @@ impl ServeRuntime {
         // reconstructs the state bit for bit) and re-queue it at
         // the front. The up-front footprint rejection guarantees
         // the oldest request always fits alone, so this converges.
-        if let Some(budget) = self.config.kv_budget_pages {
+        if self.config.kv_budget_pages.is_some() || self.config.kv_budget_bytes.is_some() {
             loop {
                 // Held pages count shared pages once; index-only
                 // pages don't count at all (eviction frees them
-                // before any preemption is worth it).
-                let held = self.held_kv_pages();
-                let growth = self.planned_growth(&ss.states, &ss.active);
-                if held + growth <= budget || ss.active.len() <= 1 {
+                // before any preemption is worth it). Either budget
+                // axis — pages or packed bytes — can force a
+                // preemption.
+                let over_pages = self.config.kv_budget_pages.is_some_and(|budget| {
+                    self.held_kv_pages() + self.planned_growth(&ss.states, &ss.active) > budget
+                });
+                let over_bytes = self.config.kv_budget_bytes.is_some_and(|budget| {
+                    self.held_kv_bytes() + self.planned_growth_bytes(&ss.states, &ss.active)
+                        > budget
+                });
+                if (!over_pages && !over_bytes) || ss.active.len() <= 1 {
                     break;
                 }
                 let victim = *ss
@@ -1020,9 +1145,12 @@ impl ServeRuntime {
             }
             // Make room *before* dispatch: evict LRU index-only
             // entries until this tick's planned allocations fit, so
-            // worker threads never have to evict mid-tick.
+            // worker threads never have to evict mid-tick. (Each call
+            // is a no-op when its budget axis is unset.)
             self.arena
                 .ensure_free(self.planned_growth(&ss.states, &ss.active));
+            self.arena
+                .ensure_free_bytes(self.planned_growth_bytes(&ss.states, &ss.active));
         }
 
         // Dispatch one unit of work per active request: the next
@@ -1087,6 +1215,12 @@ impl ServeRuntime {
             .map(|&id| self.pages_for(ss.states[id].cached))
             .sum();
         ss.peak_logical_kv_pages = ss.peak_logical_kv_pages.max(tick_kv_logical);
+        let tick_kv_logical_bytes: u64 = ss
+            .active
+            .iter()
+            .map(|&id| self.bytes_for(ss.states[id].scheme, ss.states[id].cached))
+            .sum();
+        ss.peak_logical_kv_bytes = ss.peak_logical_kv_bytes.max(tick_kv_logical_bytes);
 
         // Cost the tick while the workers compute: per-scheme fused
         // op lists on that scheme's accelerator instance, run
@@ -1181,6 +1315,7 @@ impl ServeRuntime {
         // the pre-sharing per-request sum.
         let tick_kv_pages = self.held_kv_pages();
         ss.peak_kv_pages = ss.peak_kv_pages.max(tick_kv_pages);
+        ss.peak_kv_bytes = ss.peak_kv_bytes.max(self.held_kv_bytes());
 
         // Publish every fully-prefilled prompt's blocks into the
         // prefix index (once per request, in admission order — the

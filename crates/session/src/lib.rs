@@ -52,7 +52,7 @@ use bbal_arith::GateLibrary;
 use bbal_core::{SchemeError, SchemeSpec};
 use bbal_llm::graph::{decode_step_ops, decoder_ops, paper_dims, PaperDims};
 use bbal_llm::{
-    evaluate_ppl, zoo, EvalSet, InferenceHooks, KvArena, KvCache, ModelSpec, PplResult,
+    evaluate_ppl, zoo, EvalSet, InferenceHooks, KvArena, KvCache, KvStore, ModelSpec, PplResult,
     TransformerModel,
 };
 use bbal_nonlinear::NonlinearUnitConfig;
@@ -198,6 +198,8 @@ pub struct SessionBuilder {
     eval_seq_len: usize,
     eval_seed: u64,
     kv_arena: Option<KvArena>,
+    kv_quant: bool,
+    kv_packed: bool,
     gemm_workers: usize,
     prepared_cache: PreparedCache,
 }
@@ -223,6 +225,8 @@ impl SessionBuilder {
             eval_seq_len: 24,
             eval_seed: 1234,
             kv_arena: None,
+            kv_quant: false,
+            kv_packed: false,
             gemm_workers: 1,
             prepared_cache: Arc::new(Mutex::new(HashMap::new())),
         }
@@ -318,6 +322,27 @@ impl SessionBuilder {
         self
     }
 
+    /// Quantises every cached K/V row through the session's scheme (the
+    /// paper's compressed-KV operating point). Applied per row, so
+    /// prefill chunking, page size and decode stepping all see the same
+    /// rows — but the numerics *do* change deterministically versus the
+    /// exact f32 cache, and the session's [prefix
+    /// class](Session::prefix_class) changes with the knob so quantised
+    /// and exact rows never mix in a prefix index. Default off.
+    pub fn kv_quant(mut self, on: bool) -> SessionBuilder {
+        self.kv_quant = on;
+        self
+    }
+
+    /// Stores KV pages in the scheme's packed block layout instead of
+    /// dense f32 — never changes a bit of any output, and (combined
+    /// with [`SessionBuilder::kv_quant`]) shrinks every page's byte
+    /// charge to the scheme's packed size. Default off.
+    pub fn kv_packed(mut self, on: bool) -> SessionBuilder {
+        self.kv_packed = on;
+        self
+    }
+
     /// Resolves the model choice *now* (name lookup + weight synthesis)
     /// and stores the built model, so every later [`SessionBuilder::build`]
     /// on clones of this builder shares the same reference weights instead
@@ -380,9 +405,14 @@ impl SessionBuilder {
             return Err(SessionError::InvalidClock(self.clock_ghz));
         }
         let hooks = hooks_for(scheme)?;
+        let store = KvStore {
+            scheme,
+            quantize: self.kv_quant,
+            packed: self.kv_packed,
+        };
         let kv = match &self.kv_arena {
-            Some(arena) => reference.kv_cache_in(arena),
-            None => reference.kv_cache(),
+            Some(arena) => reference.kv_cache_with(arena, store),
+            None => reference.kv_cache_with(&KvArena::default(), store),
         };
         Ok(Session {
             scheme,
@@ -640,9 +670,23 @@ impl Session {
     }
 
     /// The namespace this session's KV rows live under in its arena's
-    /// prefix index: [`prefix_class`] of the session's model and scheme.
+    /// prefix index: [`prefix_class`] of the session's model and
+    /// scheme, further split by the KV-quantisation knob — quantised
+    /// rows are different bits from exact rows of the same model +
+    /// scheme and must never be adopted across the setting. (`kv_packed`
+    /// does not split the class: packing never changes a bit.)
     pub fn prefix_class(&self) -> u64 {
-        prefix_class(&self.spec, self.scheme)
+        let base = prefix_class(&self.spec, self.scheme);
+        if self.kv.store().quantize {
+            base ^ 0x9E37_79B9_7F4A_7C15
+        } else {
+            base
+        }
+    }
+
+    /// The KV storage policy the session's cache runs under.
+    pub fn kv_store(&self) -> &KvStore {
+        self.kv.store()
     }
 
     /// Clears the cache and adopts the longest cached token prefix of
